@@ -1,0 +1,55 @@
+//! Bench for Figure 5: the optimizing min-ones strategy vs bounded model
+//! enumeration (`Naive-k`), on the provenance formula of one course pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ratest_bench::university;
+use ratest_bench::workload::{course_workload, distinguished_pairs};
+use ratest_core::optsigma::{smallest_witness_optsigma, OptSigmaOptions};
+use ratest_core::pipeline::SolverStrategy;
+use ratest_ra::eval::Params;
+
+fn bench(c: &mut Criterion) {
+    let db = university(500);
+    let workload = course_workload(2, 2019);
+    let pairs: Vec<_> = distinguished_pairs(&workload, &db)
+        .into_iter()
+        .cloned()
+        .collect();
+    let pair = pairs.first().expect("pair exists").clone();
+
+    let mut group = c.benchmark_group("fig5_solver_strategies");
+    group.sample_size(10);
+    for k in [1usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("naive", k), &k, |b, &k| {
+            b.iter(|| {
+                smallest_witness_optsigma(
+                    &pair.reference,
+                    &pair.wrong,
+                    &db,
+                    &Params::new(),
+                    &OptSigmaOptions {
+                        strategy: SolverStrategy::Enumerate { max_models: k },
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.bench_function("opt", |b| {
+        b.iter(|| {
+            smallest_witness_optsigma(
+                &pair.reference,
+                &pair.wrong,
+                &db,
+                &Params::new(),
+                &OptSigmaOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Bench for Figure 6: Agg-Basic vs Agg-Opt on the TPC-H workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ratest_core::aggregates::agg_basic::{smallest_counterexample_agg_basic, AggBasicOptions};
+use ratest_core::aggregates::agg_opt::{smallest_counterexample_agg_opt, AggOptOptions};
+use ratest_datagen::{tpch_database, TpchConfig};
+use ratest_queries::tpch_queries::tpch_experiments;
+use ratest_ra::eval::Params;
+
+fn bench(c: &mut Criterion) {
+    let db = tpch_database(&TpchConfig::with_scale(0.0006));
+    let q18 = tpch_experiments().into_iter().find(|e| e.name == "Q18").unwrap();
+    let wrong = q18.wrong[0].clone();
+
+    let mut group = c.benchmark_group("fig6_tpch_q18");
+    group.sample_size(10);
+    group.bench_function("agg_basic", |b| {
+        b.iter(|| {
+            let _ = smallest_counterexample_agg_basic(
+                &q18.reference,
+                &wrong,
+                &db,
+                &Params::new(),
+                &AggBasicOptions::default(),
+            );
+        })
+    });
+    group.bench_function("agg_opt", |b| {
+        b.iter(|| {
+            let _ = smallest_counterexample_agg_opt(
+                &q18.reference,
+                &wrong,
+                &db,
+                &Params::new(),
+                &AggOptOptions::default(),
+            );
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Bench for Figure 7: Agg-Basic vs Agg-Param on parameterized Q18.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ratest_bench::fig7;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_parameterization");
+    group.sample_size(10);
+    group.bench_function("q18_basic_vs_param", |b| {
+        b.iter(|| fig7(0.0006, 2019));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Micro-benchmarks of the solver substrate: CDCL solving and min-ones
+//! optimization on synthetic vertex-cover-style formulas (the hardness source
+//! behind Theorems 3, 4 and 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ratest_solver::formula::Formula;
+use ratest_solver::minones::{minimize_ones, MinOnesOptions};
+
+/// Vertex-cover formula of a cycle graph with `n` vertices.
+fn cycle_cover(n: u32) -> Formula {
+    Formula::and(
+        (1..=n)
+            .map(|i| {
+                let j = if i == n { 1 } else { i + 1 };
+                Formula::or(vec![Formula::var(i), Formula::var(j)])
+            })
+            .collect(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_minones_cycle_cover");
+    group.sample_size(10);
+    for &n in &[20u32, 60, 120] {
+        let f = cycle_cover(n);
+        let objective: Vec<u32> = (1..=n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| minimize_ones(&f, &objective, &MinOnesOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

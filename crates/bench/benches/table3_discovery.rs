@@ -1,0 +1,19 @@
+//! Bench for Table 3: how many mutated wrong queries a test instance of a
+//! given size discovers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ratest_bench::table3;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_discovery");
+    group.sample_size(10);
+    for &tuples in &[200usize, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(tuples), &tuples, |b, &n| {
+            b.iter(|| table3(&[n], 2, 2019));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

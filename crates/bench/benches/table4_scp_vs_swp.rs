@@ -1,0 +1,52 @@
+//! Bench for Table 4: SCP (`Basic`) vs SWP (`Optσ`) runtime on the course
+//! workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ratest_bench::university;
+use ratest_bench::workload::{course_workload, distinguished_pairs};
+use ratest_core::basic::{smallest_counterexample_basic, BasicOptions};
+use ratest_core::optsigma::{smallest_witness_optsigma, OptSigmaOptions};
+use ratest_ra::eval::Params;
+
+fn bench(c: &mut Criterion) {
+    let db = university(500);
+    let workload = course_workload(2, 2019);
+    let pairs: Vec<_> = distinguished_pairs(&workload, &db)
+        .into_iter()
+        .cloned()
+        .collect();
+    assert!(!pairs.is_empty());
+
+    let mut group = c.benchmark_group("table4_scp_vs_swp");
+    group.sample_size(10);
+    group.bench_function("basic_scp", |b| {
+        b.iter(|| {
+            for p in &pairs {
+                let _ = smallest_counterexample_basic(
+                    &p.reference,
+                    &p.wrong,
+                    &db,
+                    &Params::new(),
+                    &BasicOptions::default(),
+                );
+            }
+        })
+    });
+    group.bench_function("optsigma_swp", |b| {
+        b.iter(|| {
+            for p in &pairs {
+                let _ = smallest_witness_optsigma(
+                    &p.reference,
+                    &p.wrong,
+                    &db,
+                    &Params::new(),
+                    &OptSigmaOptions::default(),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Workload construction: pairs of (reference query, wrong query) standing in
+//! for the student submissions of Section 7.1.
+
+use ratest_queries::course::course_questions;
+use ratest_queries::mutations::{sample_mutations, Mutation};
+use ratest_ra::ast::Query;
+use ratest_ra::eval::evaluate;
+use ratest_storage::Database;
+
+/// One (reference, wrong) pair of the course workload.
+#[derive(Debug, Clone)]
+pub struct CoursePair {
+    /// Question number the pair belongs to.
+    pub question: usize,
+    /// The reference query.
+    pub reference: Query,
+    /// The wrong (mutated) query.
+    pub wrong: Query,
+    /// Description of the injected error.
+    pub error: String,
+}
+
+/// Build the course workload: for each of the eight questions, sample
+/// `mutations_per_question` mutations. Pairs are returned regardless of
+/// whether the instance distinguishes them — Table 3 is precisely about how
+/// many of them a given instance catches.
+pub fn course_workload(mutations_per_question: usize, seed: u64) -> Vec<CoursePair> {
+    let mut out = Vec::new();
+    for q in course_questions() {
+        for (i, m) in sample_mutations(&q.reference, mutations_per_question, seed + q.number as u64)
+            .into_iter()
+            .enumerate()
+        {
+            let Mutation {
+                description, query, ..
+            } = m;
+            out.push(CoursePair {
+                question: q.number,
+                reference: q.reference.clone(),
+                wrong: query,
+                error: format!("{description} (variant {i})"),
+            });
+        }
+    }
+    out
+}
+
+/// Restrict a workload to the pairs that the given instance actually
+/// distinguishes (the "wrong queries discovered" of Table 3).
+pub fn distinguished_pairs<'a>(pairs: &'a [CoursePair], db: &Database) -> Vec<&'a CoursePair> {
+    pairs
+        .iter()
+        .filter(|p| {
+            let r1 = evaluate(&p.reference, db);
+            let r2 = evaluate(&p.wrong, db);
+            match (r1, r2) {
+                (Ok(a), Ok(b)) => !a.set_eq(&b),
+                _ => false,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratest_datagen::{university_database, UniversityConfig};
+
+    #[test]
+    fn workload_covers_all_questions() {
+        let w = course_workload(3, 1);
+        assert_eq!(w.len(), 24);
+        let questions: std::collections::HashSet<usize> = w.iter().map(|p| p.question).collect();
+        assert_eq!(questions.len(), 8);
+    }
+
+    #[test]
+    fn larger_instances_distinguish_at_least_as_many_pairs() {
+        let w = course_workload(3, 7);
+        let small = university_database(&UniversityConfig::with_total(60));
+        let large = university_database(&UniversityConfig::with_total(400));
+        let d_small = distinguished_pairs(&w, &small).len();
+        let d_large = distinguished_pairs(&w, &large).len();
+        assert!(d_large >= d_small, "{d_large} >= {d_small}");
+        assert!(d_large > 0);
+    }
+}

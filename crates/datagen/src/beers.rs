@@ -1,0 +1,157 @@
+//! The bars/beers/drinkers schema of the user-study homework (Section 8):
+//! six tables about bars, beers, drinkers and their relationships.
+//!
+//! Schema (mirroring the classic textbook schema the course used):
+//! * `Drinker(name)`
+//! * `Bar(name)`
+//! * `Beer(name, brewer)`
+//! * `Frequents(drinker, bar, times_a_week)`
+//! * `Likes(drinker, beer)`
+//! * `Serves(bar, beer, price)`
+
+use crate::names::{person_name, BARS, BEERS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ratest_storage::{Database, DataType, Relation, Schema, Value};
+
+/// Generate a beers/bars/drinkers instance with roughly `num_drinkers`
+/// drinkers (the remaining table sizes scale accordingly).
+pub fn beers_database(num_drinkers: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut drinker = Relation::new("Drinker", Schema::new(vec![("name", DataType::Text)]));
+    for i in 0..num_drinkers {
+        drinker
+            .insert(vec![Value::from(person_name(i))])
+            .expect("valid");
+    }
+
+    let mut bar = Relation::new("Bar", Schema::new(vec![("name", DataType::Text)]));
+    for b in BARS {
+        bar.insert(vec![Value::from(*b)]).expect("valid");
+    }
+
+    let mut beer = Relation::new(
+        "Beer",
+        Schema::new(vec![("name", DataType::Text), ("brewer", DataType::Text)]),
+    );
+    for (i, b) in BEERS.iter().enumerate() {
+        beer.insert(vec![Value::from(*b), Value::from(format!("Brewer{}", i % 4))])
+            .expect("valid");
+    }
+
+    let mut frequents = Relation::new(
+        "Frequents",
+        Schema::new(vec![
+            ("drinker", DataType::Text),
+            ("bar", DataType::Text),
+            ("times_a_week", DataType::Int),
+        ]),
+    );
+    let mut likes = Relation::new(
+        "Likes",
+        Schema::new(vec![("drinker", DataType::Text), ("beer", DataType::Text)]),
+    );
+    let mut serves = Relation::new(
+        "Serves",
+        Schema::new(vec![
+            ("bar", DataType::Text),
+            ("beer", DataType::Text),
+            ("price", DataType::Double),
+        ]),
+    );
+
+    for b in BARS {
+        let count = rng.gen_range(2..=BEERS.len());
+        for k in 0..count {
+            let beer_name = BEERS[(k * 3 + rng.gen_range(0..BEERS.len())) % BEERS.len()];
+            let price = 3.0 + rng.gen_range(0..80) as f64 / 10.0;
+            serves
+                .insert(vec![
+                    Value::from(*b),
+                    Value::from(beer_name),
+                    Value::double(price),
+                ])
+                .expect("valid");
+        }
+    }
+    for i in 0..num_drinkers {
+        let name = person_name(i);
+        for _ in 0..rng.gen_range(1..=3) {
+            let bar_name = BARS[rng.gen_range(0..BARS.len())];
+            frequents
+                .insert(vec![
+                    Value::from(name.clone()),
+                    Value::from(bar_name),
+                    Value::Int(rng.gen_range(1..=7)),
+                ])
+                .expect("valid");
+        }
+        for _ in 0..rng.gen_range(1..=3) {
+            let beer_name = BEERS[rng.gen_range(0..BEERS.len())];
+            likes
+                .insert(vec![Value::from(name.clone()), Value::from(beer_name)])
+                .expect("valid");
+        }
+    }
+
+    let mut db = Database::new(format!("beers-{num_drinkers}"));
+    db.add_relation(drinker).expect("fresh");
+    db.add_relation(bar).expect("fresh");
+    db.add_relation(beer).expect("fresh");
+    db.add_relation(frequents).expect("fresh");
+    db.add_relation(likes).expect("fresh");
+    db.add_relation(serves).expect("fresh");
+    db.constraints_mut().add_key("Drinker", &["name"]);
+    db.constraints_mut().add_key("Bar", &["name"]);
+    db.constraints_mut().add_key("Beer", &["name"]);
+    db.constraints_mut()
+        .add_foreign_key("Frequents", &["drinker"], "Drinker", &["name"]);
+    db.constraints_mut()
+        .add_foreign_key("Frequents", &["bar"], "Bar", &["name"]);
+    db.constraints_mut()
+        .add_foreign_key("Likes", &["drinker"], "Drinker", &["name"]);
+    db.constraints_mut()
+        .add_foreign_key("Likes", &["beer"], "Beer", &["name"]);
+    db.constraints_mut()
+        .add_foreign_key("Serves", &["bar"], "Bar", &["name"]);
+    db.constraints_mut()
+        .add_foreign_key("Serves", &["beer"], "Beer", &["name"]);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_six_tables_and_valid_constraints() {
+        let db = beers_database(20, 1);
+        assert_eq!(db.relation_count(), 6);
+        assert!(db.validate_constraints().is_ok());
+        assert!(db.total_tuples() > 40);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = beers_database(10, 3);
+        let b = beers_database(10, 3);
+        assert_eq!(a.total_tuples(), b.total_tuples());
+        let c = beers_database(10, 4);
+        // Different seed gives (almost surely) different content size.
+        assert!(a.total_tuples() != c.total_tuples() || {
+            let fa: Vec<_> = a.relation("Frequents").unwrap().iter().map(|t| t.values.clone()).collect();
+            let fc: Vec<_> = c.relation("Frequents").unwrap().iter().map(|t| t.values.clone()).collect();
+            fa != fc
+        });
+    }
+
+    #[test]
+    fn corona_is_served_somewhere() {
+        // Problem (b) of the homework ("drinkers who frequent a bar serving
+        // Corona") needs Corona to be served at scale.
+        let db = beers_database(50, 1);
+        let serves = db.relation("Serves").unwrap();
+        assert!(serves.iter().any(|t| t.values[1] == Value::from("Corona")));
+    }
+}

@@ -1,0 +1,31 @@
+//! # ratest-datagen
+//!
+//! Deterministic, seeded data generators for the three workloads of the
+//! paper's evaluation:
+//!
+//! * [`university`] — the course dataset (Student/Registration) used for the
+//!   SPJUD experiments of Section 7.1, scalable from 1 000 to 100 000+
+//!   tuples (Table 3, Table 4, Figures 3–5),
+//! * [`beers`] — the bars/beers/drinkers schema of the user-study homework
+//!   (Section 8),
+//! * [`tpch`] — a TPC-H-style subset (region, nation, customer, orders,
+//!   lineitem, supplier, part, partsupp) with a configurable scale factor,
+//!   used by the aggregate-query experiments (Figures 6–7). This replaces
+//!   the official `dbgen` tool with a seeded Rust generator that preserves
+//!   the schema, keys, foreign keys and value distributions the queries
+//!   exercise.
+//!
+//! All generators are deterministic functions of their seed so experiments
+//! are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beers;
+pub mod names;
+pub mod tpch;
+pub mod university;
+
+pub use beers::beers_database;
+pub use tpch::{tpch_database, TpchConfig};
+pub use university::{university_database, UniversityConfig};

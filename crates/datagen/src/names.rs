@@ -1,0 +1,106 @@
+//! Shared value pools for the generators: person names, departments, course
+//! numbers, bar/beer names and comment words.
+
+use rand::Rng;
+
+/// First names used for students and drinkers.
+pub const FIRST_NAMES: &[&str] = &[
+    "Mary", "John", "Jesse", "Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Heidi",
+    "Ivan", "Judy", "Ken", "Laura", "Mallory", "Nina", "Oscar", "Peggy", "Quinn", "Rita", "Steve",
+    "Trudy", "Uma", "Victor", "Wendy", "Xavier", "Yvonne", "Zack", "Ben",
+];
+
+/// Departments offering courses.
+pub const DEPARTMENTS: &[&str] = &["CS", "ECON", "MATH", "STAT", "BIO", "PHYS", "HIST", "ART"];
+
+/// Majors students can declare (same pool as departments).
+pub const MAJORS: &[&str] = DEPARTMENTS;
+
+/// Bar names for the user-study schema.
+pub const BARS: &[&str] = &[
+    "JJ Pub",
+    "Satisfaction",
+    "The Library",
+    "Devines",
+    "Shooters",
+    "Blue Note",
+    "Top Hat",
+    "Old Well",
+];
+
+/// Beer names for the user-study schema.
+pub const BEERS: &[&str] = &[
+    "Corona",
+    "Budweiser",
+    "Heineken",
+    "Guinness",
+    "Stella",
+    "Lagunitas IPA",
+    "Blue Moon",
+    "Coors",
+];
+
+/// Words used to build free-text comment columns (TPC-H style filler).
+pub const COMMENT_WORDS: &[&str] = &[
+    "carefully", "quickly", "final", "special", "pending", "regular", "ironic", "express",
+    "deposits", "requests", "accounts", "packages", "instructions", "foxes", "theodolites",
+    "pinto", "beans", "dependencies", "platelets", "sleep", "haggle", "nag", "boost", "cajole",
+];
+
+/// A unique person name: cycles through the pool and appends a numeric suffix
+/// once the pool is exhausted (`Mary`, …, `Ben`, `Mary1`, `John1`, …).
+pub fn person_name(index: usize) -> String {
+    let base = FIRST_NAMES[index % FIRST_NAMES.len()];
+    let round = index / FIRST_NAMES.len();
+    if round == 0 {
+        base.to_owned()
+    } else {
+        format!("{base}{round}")
+    }
+}
+
+/// A course number like `216` or `330`, deterministic in its index.
+pub fn course_number(index: usize) -> String {
+    format!("{}", 100 + (index * 7) % 500)
+}
+
+/// A short pseudo-random comment string.
+pub fn comment<R: Rng>(rng: &mut R, words: usize) -> String {
+    (0..words)
+        .map(|_| COMMENT_WORDS[rng.gen_range(0..COMMENT_WORDS.len())])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn person_names_are_unique() {
+        let names: Vec<String> = (0..100).map(person_name).collect();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        assert_eq!(person_name(0), "Mary");
+        assert_eq!(person_name(FIRST_NAMES.len()), "Mary1");
+    }
+
+    #[test]
+    fn course_numbers_are_three_digit_strings() {
+        for i in 0..50 {
+            let c = course_number(i);
+            let n: u32 = c.parse().unwrap();
+            assert!((100..600).contains(&n));
+        }
+    }
+
+    #[test]
+    fn comments_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(comment(&mut a, 5), comment(&mut b, 5));
+        assert_eq!(comment(&mut a, 3).split(' ').count(), 3);
+    }
+}

@@ -1,0 +1,335 @@
+//! A TPC-H-style data generator.
+//!
+//! The paper's aggregate-query experiments (Section 7.2) run on the TPC-H
+//! benchmark at scale factor 1, generated with the official `dbgen` tool.
+//! `dbgen` is not redistributable here, so this module provides a seeded
+//! generator with the same schema, the same key/foreign-key structure, and
+//! value distributions chosen so that queries Q4, Q16, Q18 and Q21 (the ones
+//! the paper evaluates) produce non-trivial answers: order/commit/receipt
+//! dates straddle the quarter boundaries Q4 filters on, a fraction of
+//! lineitems are late (receipt > commit), and order quantities are skewed so
+//! Q18-style HAVING thresholds select a small set of large orders.
+//!
+//! Row counts scale linearly with the scale factor exactly as in TPC-H
+//! (`orders = 1 500 000 × SF`, `lineitem ≈ 4 × orders`, ...); the experiment
+//! harness uses small fractional scale factors so the full pipeline stays
+//! laptop-friendly, which EXPERIMENTS.md documents.
+
+use crate::names::comment;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ratest_storage::{Database, DataType, Relation, Schema, Value};
+
+/// Configuration of the TPC-H generator.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Scale factor. 1.0 corresponds to the official row counts; the
+    /// experiments default to much smaller values.
+    pub scale_factor: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            scale_factor: 0.001,
+            seed: 7,
+        }
+    }
+}
+
+impl TpchConfig {
+    /// Config with a given scale factor.
+    pub fn with_scale(scale_factor: f64) -> Self {
+        TpchConfig {
+            scale_factor,
+            ..Default::default()
+        }
+    }
+
+    fn count(&self, base: usize, minimum: usize) -> usize {
+        ((base as f64 * self.scale_factor) as usize).max(minimum)
+    }
+}
+
+const NATIONS: &[&str] = &[
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA",
+    "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU",
+    "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+];
+const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const BRANDS: &[&str] = &["Brand#11", "Brand#12", "Brand#23", "Brand#34", "Brand#45"];
+const TYPES: &[&str] = &[
+    "STANDARD POLISHED TIN",
+    "MEDIUM BRUSHED COPPER",
+    "ECONOMY ANODIZED STEEL",
+    "SMALL PLATED BRASS",
+    "PROMO BURNISHED NICKEL",
+];
+
+/// Generate a TPC-H-style database instance.
+pub fn tpch_database(config: &TpchConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let num_suppliers = config.count(10_000, 10);
+    let num_customers = config.count(150_000, 15);
+    let num_parts = config.count(200_000, 20);
+    let num_orders = config.count(1_500_000, 50);
+
+    let mut region = Relation::new(
+        "region",
+        Schema::new(vec![("r_regionkey", DataType::Int), ("r_name", DataType::Text)]),
+    );
+    for (i, r) in REGIONS.iter().enumerate() {
+        region
+            .insert(vec![Value::Int(i as i64), Value::from(*r)])
+            .expect("valid");
+    }
+
+    let mut nation = Relation::new(
+        "nation",
+        Schema::new(vec![
+            ("n_nationkey", DataType::Int),
+            ("n_name", DataType::Text),
+            ("n_regionkey", DataType::Int),
+        ]),
+    );
+    for (i, n) in NATIONS.iter().enumerate() {
+        nation
+            .insert(vec![
+                Value::Int(i as i64),
+                Value::from(*n),
+                Value::Int((i % REGIONS.len()) as i64),
+            ])
+            .expect("valid");
+    }
+
+    let mut supplier = Relation::new(
+        "supplier",
+        Schema::new(vec![
+            ("s_suppkey", DataType::Int),
+            ("s_name", DataType::Text),
+            ("s_nationkey", DataType::Int),
+            ("s_comment", DataType::Text),
+        ]),
+    );
+    for i in 0..num_suppliers {
+        // A fraction of suppliers have "Customer ... Complaints" comments, the
+        // pattern Q16 excludes.
+        let c = if rng.gen_bool(0.05) {
+            "Customer Complaints pending".to_owned()
+        } else {
+            comment(&mut rng, 3)
+        };
+        supplier
+            .insert(vec![
+                Value::Int(i as i64 + 1),
+                Value::from(format!("Supplier#{:09}", i + 1)),
+                Value::Int(rng.gen_range(0..NATIONS.len() as i64)),
+                Value::from(c),
+            ])
+            .expect("valid");
+    }
+
+    let mut customer = Relation::new(
+        "customer",
+        Schema::new(vec![
+            ("c_custkey", DataType::Int),
+            ("c_name", DataType::Text),
+            ("c_nationkey", DataType::Int),
+        ]),
+    );
+    for i in 0..num_customers {
+        customer
+            .insert(vec![
+                Value::Int(i as i64 + 1),
+                Value::from(format!("Customer#{:09}", i + 1)),
+                Value::Int(rng.gen_range(0..NATIONS.len() as i64)),
+            ])
+            .expect("valid");
+    }
+
+    let mut part = Relation::new(
+        "part",
+        Schema::new(vec![
+            ("p_partkey", DataType::Int),
+            ("p_brand", DataType::Text),
+            ("p_type", DataType::Text),
+            ("p_size", DataType::Int),
+        ]),
+    );
+    for i in 0..num_parts {
+        part.insert(vec![
+            Value::Int(i as i64 + 1),
+            Value::from(BRANDS[rng.gen_range(0..BRANDS.len())]),
+            Value::from(TYPES[rng.gen_range(0..TYPES.len())]),
+            Value::Int(rng.gen_range(1..=50)),
+        ])
+        .expect("valid");
+    }
+
+    let mut partsupp = Relation::new(
+        "partsupp",
+        Schema::new(vec![
+            ("ps_partkey", DataType::Int),
+            ("ps_suppkey", DataType::Int),
+            ("ps_availqty", DataType::Int),
+            ("ps_supplycost", DataType::Double),
+        ]),
+    );
+    for i in 0..num_parts {
+        for _ in 0..2 {
+            partsupp
+                .insert(vec![
+                    Value::Int(i as i64 + 1),
+                    Value::Int(rng.gen_range(1..=num_suppliers as i64)),
+                    Value::Int(rng.gen_range(1..10_000)),
+                    Value::double(rng.gen_range(100..100_000) as f64 / 100.0),
+                ])
+                .expect("valid");
+        }
+    }
+
+    let mut orders = Relation::new(
+        "orders",
+        Schema::new(vec![
+            ("o_orderkey", DataType::Int),
+            ("o_custkey", DataType::Int),
+            ("o_orderstatus", DataType::Text),
+            ("o_totalprice", DataType::Double),
+            ("o_orderdate", DataType::Date),
+            ("o_orderpriority", DataType::Text),
+        ]),
+    );
+    let mut lineitem = Relation::new(
+        "lineitem",
+        Schema::new(vec![
+            ("l_orderkey", DataType::Int),
+            ("l_partkey", DataType::Int),
+            ("l_suppkey", DataType::Int),
+            ("l_linenumber", DataType::Int),
+            ("l_quantity", DataType::Int),
+            ("l_extendedprice", DataType::Double),
+            ("l_commitdate", DataType::Date),
+            ("l_receiptdate", DataType::Date),
+        ]),
+    );
+    let epoch_1993 = ratest_storage::value::days_from_civil(1993, 1, 1);
+    for i in 0..num_orders {
+        let orderkey = i as i64 + 1;
+        let orderdate = epoch_1993 + rng.gen_range(0..1_460); // 1993-1996
+        orders
+            .insert(vec![
+                Value::Int(orderkey),
+                Value::Int(rng.gen_range(1..=num_customers as i64)),
+                Value::from(if rng.gen_bool(0.5) { "F" } else { "O" }),
+                Value::double(rng.gen_range(1_000..500_000) as f64 / 10.0),
+                Value::Date(orderdate),
+                Value::from(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]),
+            ])
+            .expect("valid");
+        let lines = rng.gen_range(1..=7);
+        for line in 0..lines {
+            let commit = orderdate + rng.gen_range(30..90);
+            // ~30% of lineitems are received after their commit date (the
+            // "late" condition of Q4 and Q21).
+            let receipt = if rng.gen_bool(0.3) {
+                commit + rng.gen_range(1..30)
+            } else {
+                commit - rng.gen_range(0..20)
+            };
+            // Quantities are skewed: a few orders have very large line
+            // quantities so Q18-style HAVING SUM(quantity) thresholds are
+            // selective but non-empty.
+            let quantity = if rng.gen_bool(0.02) {
+                rng.gen_range(40..=60)
+            } else {
+                rng.gen_range(1..=25)
+            };
+            lineitem
+                .insert(vec![
+                    Value::Int(orderkey),
+                    Value::Int(rng.gen_range(1..=num_parts as i64)),
+                    Value::Int(rng.gen_range(1..=num_suppliers as i64)),
+                    Value::Int(line as i64 + 1),
+                    Value::Int(quantity),
+                    Value::double(rng.gen_range(1_000..100_000) as f64 / 10.0),
+                    Value::Date(commit),
+                    Value::Date(receipt),
+                ])
+                .expect("valid");
+        }
+    }
+
+    let mut db = Database::new(format!("tpch-sf{}", config.scale_factor));
+    db.add_relation(region).expect("fresh");
+    db.add_relation(nation).expect("fresh");
+    db.add_relation(supplier).expect("fresh");
+    db.add_relation(customer).expect("fresh");
+    db.add_relation(part).expect("fresh");
+    db.add_relation(partsupp).expect("fresh");
+    db.add_relation(orders).expect("fresh");
+    db.add_relation(lineitem).expect("fresh");
+    let c = db.constraints_mut();
+    c.add_key("region", &["r_regionkey"]);
+    c.add_key("nation", &["n_nationkey"]);
+    c.add_key("supplier", &["s_suppkey"]);
+    c.add_key("customer", &["c_custkey"]);
+    c.add_key("part", &["p_partkey"]);
+    c.add_key("orders", &["o_orderkey"]);
+    c.add_foreign_key("nation", &["n_regionkey"], "region", &["r_regionkey"]);
+    c.add_foreign_key("supplier", &["s_nationkey"], "nation", &["n_nationkey"]);
+    c.add_foreign_key("customer", &["c_nationkey"], "nation", &["n_nationkey"]);
+    c.add_foreign_key("orders", &["o_custkey"], "customer", &["c_custkey"]);
+    c.add_foreign_key("lineitem", &["l_orderkey"], "orders", &["o_orderkey"]);
+    c.add_foreign_key("lineitem", &["l_partkey"], "part", &["p_partkey"]);
+    c.add_foreign_key("lineitem", &["l_suppkey"], "supplier", &["s_suppkey"]);
+    c.add_foreign_key("partsupp", &["ps_partkey"], "part", &["p_partkey"]);
+    c.add_foreign_key("partsupp", &["ps_suppkey"], "supplier", &["s_suppkey"]);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scale_has_all_tables_and_valid_constraints() {
+        let db = tpch_database(&TpchConfig::default());
+        assert_eq!(db.relation_count(), 8);
+        assert!(db.validate_constraints().is_ok());
+        assert!(db.relation("lineitem").unwrap().len() > db.relation("orders").unwrap().len());
+    }
+
+    #[test]
+    fn scale_factor_controls_size_linearly() {
+        let small = tpch_database(&TpchConfig::with_scale(0.0005));
+        let large = tpch_database(&TpchConfig::with_scale(0.002));
+        assert!(large.total_tuples() > 2 * small.total_tuples());
+        assert_eq!(
+            large.relation("orders").unwrap().len(),
+            (1_500_000.0 * 0.002) as usize
+        );
+    }
+
+    #[test]
+    fn late_lineitems_and_large_quantities_exist() {
+        let db = tpch_database(&TpchConfig::with_scale(0.001));
+        let li = db.relation("lineitem").unwrap();
+        let sch = li.schema();
+        let commit = sch.index_of("l_commitdate").unwrap();
+        let receipt = sch.index_of("l_receiptdate").unwrap();
+        let qty = sch.index_of("l_quantity").unwrap();
+        assert!(li.iter().any(|t| t.values[receipt] > t.values[commit]), "some late items");
+        assert!(li.iter().any(|t| t.values[receipt] <= t.values[commit]), "some on-time items");
+        assert!(li.iter().any(|t| t.values[qty].as_int().unwrap() > 40), "some large quantities");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = tpch_database(&TpchConfig::default());
+        let b = tpch_database(&TpchConfig::default());
+        assert_eq!(a.total_tuples(), b.total_tuples());
+    }
+}

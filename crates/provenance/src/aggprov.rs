@@ -1,0 +1,425 @@
+//! Provenance for aggregate queries (Section 5.2 of the paper, following
+//! Amsterdamer, Deutch and Tannen's aggregate-provenance semiring).
+//!
+//! The paper's assumptions on aggregate queries (Section 5) are mirrored
+//! here:
+//!
+//! 1. no aggregate values and no NULLs among the group-by attributes,
+//! 2. HAVING predicates are simple comparisons over aggregate aliases and
+//!    group-by columns,
+//! 3. no difference operator above an aggregation.
+//!
+//! Concretely, an aggregate query is expected to have the shape
+//! `π? ( σ? ( γ_{G; aggs; having}( Q' ) ) )` where `Q'` is an SPJUD query.
+//! [`aggregate_provenance`] annotates `Q'` with Boolean how-provenance and
+//! then builds, for every group, the structure the solver needs:
+//!
+//! * the group's **existence provenance** (`t1(t4 + t5)` in Table 2),
+//! * per member tuple, its provenance and the values of each aggregate
+//!   argument (`t4 ⊗ 100 +_AVG t5 ⊗ 75`), and
+//! * the HAVING predicate, kept symbolic so that COUNT/SUM thresholds can be
+//!   re-evaluated under a candidate sub-instance or a new parameter value
+//!   (the `t4⊗1 +_SUM t5⊗1 ≥ 3` part).
+
+use crate::annotate::annotate_with_params;
+use crate::boolexpr::BoolExpr;
+use crate::error::{ProvenanceError, Result};
+use ratest_ra::ast::{AggCall, ProjectItem, Query};
+use ratest_ra::eval::compute_aggregate;
+use ratest_ra::expr::{Expr, ParamMap};
+use ratest_ra::typecheck::output_schema;
+use ratest_storage::{Database, Schema, TupleId, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// One member of a group: the provenance of the contributing input tuple and
+/// the values of every aggregate argument for that tuple.
+#[derive(Debug, Clone)]
+pub struct GroupMember {
+    /// How-provenance of the contributing (joined) input tuple.
+    pub provenance: BoolExpr,
+    /// One value per aggregate call, in the order of
+    /// [`GroupProvenance::aggregates`].
+    pub agg_args: Vec<Value>,
+}
+
+/// The provenance of one group of an aggregate query.
+#[derive(Debug, Clone)]
+pub struct GroupProvenance {
+    /// The group-by key values.
+    pub key: Vec<Value>,
+    /// Existence provenance of the group: disjunction of member provenance.
+    pub exists: BoolExpr,
+    /// Members contributing to this group.
+    pub members: Vec<GroupMember>,
+    /// The aggregate calls (aliases + functions) computed for the group.
+    pub aggregates: Vec<AggCall>,
+    /// The HAVING predicate (over group key + aggregate aliases), if any.
+    pub having: Option<Expr>,
+}
+
+impl GroupProvenance {
+    /// All tuple variables involved in this group.
+    pub fn variables(&self) -> BTreeSet<TupleId> {
+        let mut out = self.exists.variables();
+        for m in &self.members {
+            out.extend(m.provenance.variables());
+        }
+        out
+    }
+
+    /// Recompute the aggregate output values of this group for the
+    /// sub-instance described by `present`, returning `None` when the group
+    /// is empty (does not exist) or fails its HAVING predicate.
+    ///
+    /// `schema` is the group-by output schema (key columns then aggregate
+    /// aliases) and `params` supplies values for `@parameters` in HAVING.
+    pub fn evaluate_under<F: Fn(TupleId) -> bool>(
+        &self,
+        schema: &Schema,
+        present: &F,
+        params: &ParamMap,
+    ) -> Result<Option<Vec<Value>>> {
+        let live: Vec<&GroupMember> = self
+            .members
+            .iter()
+            .filter(|m| m.provenance.eval(present))
+            .collect();
+        if live.is_empty() {
+            return Ok(None);
+        }
+        let mut row = self.key.clone();
+        for (i, agg) in self.aggregates.iter().enumerate() {
+            let args: Vec<Value> = live.iter().map(|m| m.agg_args[i].clone()).collect();
+            row.push(compute_aggregate(agg.func, &args).map_err(ProvenanceError::Query)?);
+        }
+        if let Some(h) = &self.having {
+            if !h
+                .eval_predicate(schema, &row, params)
+                .map_err(ProvenanceError::Query)?
+            {
+                return Ok(None);
+            }
+        }
+        Ok(Some(row))
+    }
+}
+
+/// Provenance of a full aggregate query.
+#[derive(Debug, Clone)]
+pub struct AggregateProvenance {
+    /// Output schema of the group-by (group key columns then agg aliases).
+    pub group_schema: Schema,
+    /// Final output schema of the query (after the optional outer projection).
+    pub output_schema: Schema,
+    /// Column indices (into `group_schema`) kept by the outer projection;
+    /// identity when there is no outer projection.
+    pub projection: Vec<usize>,
+    /// Per-group provenance.
+    pub groups: Vec<GroupProvenance>,
+    /// The (inner) SPJUD query feeding the aggregation — `Q'` in Algorithm 3.
+    pub inner: Query,
+    /// Additional selection applied *above* the aggregation (outer σ), if any.
+    pub outer_having: Option<Expr>,
+}
+
+impl AggregateProvenance {
+    /// Evaluate the aggregate query under a sub-instance, producing the set
+    /// of final output rows. This is the "theory check" used by the lazy
+    /// solving loop: cheaper than re-running the full query because the
+    /// grouping structure is precomputed.
+    pub fn evaluate_under<F: Fn(TupleId) -> bool>(
+        &self,
+        present: &F,
+        params: &ParamMap,
+    ) -> Result<Vec<Vec<Value>>> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for g in &self.groups {
+            if let Some(row) = g.evaluate_under(&self.group_schema, present, params)? {
+                if let Some(h) = &self.outer_having {
+                    if !h
+                        .eval_predicate(&self.group_schema, &row, params)
+                        .map_err(ProvenanceError::Query)?
+                    {
+                        continue;
+                    }
+                }
+                let projected: Vec<Value> =
+                    self.projection.iter().map(|&i| row[i].clone()).collect();
+                if seen.insert(projected.clone()) {
+                    out.push(projected);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// All tuple variables appearing anywhere in the provenance.
+    pub fn variables(&self) -> BTreeSet<TupleId> {
+        let mut out = BTreeSet::new();
+        for g in &self.groups {
+            out.extend(g.variables());
+        }
+        out
+    }
+
+    /// The group with the given key, if any.
+    pub fn group_by_key(&self, key: &[Value]) -> Option<&GroupProvenance> {
+        self.groups.iter().find(|g| g.key == key)
+    }
+}
+
+/// Compute aggregate provenance for a query of the supported shape
+/// `π? ( σ? ( γ( Q' ) ) )`.
+pub fn aggregate_provenance(
+    query: &Query,
+    db: &Database,
+    params: &ParamMap,
+) -> Result<AggregateProvenance> {
+    let shape = decompose(query)?;
+    let output_schema_q = output_schema(query, db).map_err(ProvenanceError::Query)?;
+    let group_schema = output_schema(&shape.groupby, db).map_err(ProvenanceError::Query)?;
+
+    let (input, group_by, aggregates, having) = match &shape.groupby {
+        Query::GroupBy {
+            input,
+            group_by,
+            aggregates,
+            having,
+        } => (input.as_ref().clone(), group_by.clone(), aggregates.clone(), having.clone()),
+        _ => unreachable!("decompose returns a GroupBy"),
+    };
+
+    // Annotate the SPJUD core.
+    let annotated = annotate_with_params(&input, db, params)?;
+    let input_schema = annotated.schema().clone();
+    let group_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| Expr::resolve_column(&input_schema, g).map_err(ProvenanceError::Query))
+        .collect::<Result<_>>()?;
+
+    // Build the groups.
+    let mut groups: Vec<GroupProvenance> = Vec::new();
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    for row in annotated.rows() {
+        let key: Vec<Value> = group_idx.iter().map(|&i| row.values[i].clone()).collect();
+        let mut agg_args = Vec::with_capacity(aggregates.len());
+        for agg in &aggregates {
+            agg_args.push(
+                agg.arg
+                    .eval(&input_schema, &row.values, params)
+                    .map_err(ProvenanceError::Query)?,
+            );
+        }
+        let member = GroupMember {
+            provenance: row.provenance.clone(),
+            agg_args,
+        };
+        match index.get(&key) {
+            Some(&gi) => {
+                let g = &mut groups[gi];
+                g.exists = BoolExpr::or2(g.exists.clone(), row.provenance.clone());
+                g.members.push(member);
+            }
+            None => {
+                index.insert(key.clone(), groups.len());
+                groups.push(GroupProvenance {
+                    key,
+                    exists: row.provenance.clone(),
+                    members: vec![member],
+                    aggregates: aggregates.clone(),
+                    having: having.clone(),
+                });
+            }
+        }
+    }
+
+    // Resolve the outer projection onto group-schema indices.
+    let projection = match &shape.projection {
+        Some(items) => items
+            .iter()
+            .map(|it| match &it.expr {
+                Expr::Column(name) => {
+                    Expr::resolve_column(&group_schema, name).map_err(ProvenanceError::Query)
+                }
+                _ => Err(ProvenanceError::UnsupportedAggregateShape(
+                    "outer projection over an aggregate must keep plain columns".into(),
+                )),
+            })
+            .collect::<Result<Vec<usize>>>()?,
+        None => (0..group_schema.arity()).collect(),
+    };
+
+    Ok(AggregateProvenance {
+        group_schema,
+        output_schema: output_schema_q,
+        projection,
+        groups,
+        inner: input,
+        outer_having: shape.outer_select,
+    })
+}
+
+/// The decomposed shape of a supported aggregate query.
+struct Shape {
+    groupby: Query,
+    projection: Option<Vec<ProjectItem>>,
+    outer_select: Option<Expr>,
+}
+
+/// Peel optional `Project` and `Select` operators off the top of an
+/// aggregate query until the `GroupBy` is reached.
+fn decompose(query: &Query) -> Result<Shape> {
+    let mut projection = None;
+    let mut outer_select = None;
+    let mut cur = query;
+    loop {
+        match cur {
+            Query::Project { input, items } => {
+                if projection.is_some() {
+                    return Err(ProvenanceError::UnsupportedAggregateShape(
+                        "multiple projections above the aggregation".into(),
+                    ));
+                }
+                projection = Some(items.clone());
+                cur = input;
+            }
+            Query::Select { input, predicate } => {
+                outer_select = Some(match outer_select {
+                    None => predicate.clone(),
+                    Some(p) => Expr::and(p, predicate.clone()),
+                });
+                cur = input;
+            }
+            Query::GroupBy { .. } => {
+                if cur.children()[0].has_aggregates() {
+                    return Err(ProvenanceError::UnsupportedAggregateShape(
+                        "nested aggregations are not supported by the aggregate annotator".into(),
+                    ));
+                }
+                return Ok(Shape {
+                    groupby: cur.clone(),
+                    projection,
+                    outer_select,
+                });
+            }
+            Query::Difference { .. } => {
+                return Err(ProvenanceError::UnsupportedAggregateShape(
+                    "difference above an aggregation violates assumption (3) of Section 5".into(),
+                ))
+            }
+            other => {
+                return Err(ProvenanceError::UnsupportedAggregateShape(format!(
+                    "expected an aggregation under the outer operators, found `{}`",
+                    other.operator_name()
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratest_ra::testdata;
+    use ratest_storage::TupleSelection;
+
+    fn all_of(db: &Database) -> TupleSelection {
+        TupleSelection::all(db)
+    }
+
+    #[test]
+    fn example5_group_structure_matches_table_2() {
+        let db = testdata::figure1_db();
+        let prov = aggregate_provenance(&testdata::example5_q1(), &db, &ParamMap::new()).unwrap();
+        // Three groups: Mary, John, Jesse.
+        assert_eq!(prov.groups.len(), 3);
+        let mary = prov.group_by_key(&[Value::from("Mary")]).unwrap();
+        // Mary's CS group has two members (courses 216 and 230).
+        assert_eq!(mary.members.len(), 2);
+        assert_eq!(mary.variables().len(), 3); // t1, t4, t5
+        // Full instance: Mary fails HAVING count >= 3, Jesse passes.
+        let all = all_of(&db);
+        let rows = prov.evaluate_under(&|id| all.contains(id), &ParamMap::new()).unwrap();
+        assert_eq!(rows, vec![vec![Value::from("Jesse"), Value::double(90.0)]]);
+    }
+
+    #[test]
+    fn example5_q2_returns_mary_and_jesse_on_full_instance() {
+        let db = testdata::figure1_db();
+        let prov = aggregate_provenance(&testdata::example5_q2(), &db, &ParamMap::new()).unwrap();
+        let all = all_of(&db);
+        let rows = prov.evaluate_under(&|id| all.contains(id), &ParamMap::new()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&vec![Value::from("Mary"), Value::double(90.0)]));
+    }
+
+    #[test]
+    fn evaluation_under_subinstance_changes_aggregates() {
+        // Example 4's challenge: removing Mary's ECON registration changes
+        // Q2's average for Mary from 90 to 87.5.
+        let db = testdata::figure1_db();
+        let prov = aggregate_provenance(&testdata::example4_q2(), &db, &ParamMap::new()).unwrap();
+        let without_econ = |id: TupleId| !(id.relation == 1 && id.row == 2);
+        let rows = prov.evaluate_under(&without_econ, &ParamMap::new()).unwrap();
+        assert!(rows.contains(&vec![Value::from("Mary"), Value::double(87.5)]));
+        // And keeping only the ECON registration yields 95 — the paper's
+        // single-tuple counterexample C = {(Mary, 208D, ECON, 95)} plus Mary.
+        let only_econ =
+            |id: TupleId| id.relation == 0 || (id.relation == 1 && id.row == 2);
+        let rows = prov.evaluate_under(&only_econ, &ParamMap::new()).unwrap();
+        assert!(rows.contains(&vec![Value::from("Mary"), Value::double(95.0)]));
+    }
+
+    #[test]
+    fn parameterized_having_is_kept_symbolic() {
+        let db = testdata::figure1_db();
+        let prov = aggregate_provenance(&testdata::example6_q1(), &db, &ParamMap::new()).unwrap();
+        let all = all_of(&db);
+        let mut p = ParamMap::new();
+        p.insert("numCS".into(), Value::Int(3));
+        let rows = prov.evaluate_under(&|id| all.contains(id), &p).unwrap();
+        assert_eq!(rows.len(), 1);
+        p.insert("numCS".into(), Value::Int(1));
+        let rows = prov.evaluate_under(&|id| all.contains(id), &p).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn consistency_with_plain_evaluation() {
+        let db = testdata::figure1_db();
+        let all = all_of(&db);
+        for q in [
+            testdata::example4_q1(),
+            testdata::example4_q2(),
+            testdata::example5_q1(),
+            testdata::example5_q2(),
+        ] {
+            let prov = aggregate_provenance(&q, &db, &ParamMap::new()).unwrap();
+            let via_prov = prov
+                .evaluate_under(&|id| all.contains(id), &ParamMap::new())
+                .unwrap();
+            let direct = ratest_ra::eval::evaluate(&q, &db).unwrap();
+            assert_eq!(via_prov.len(), direct.len(), "query {q:?}");
+            for row in &via_prov {
+                assert!(direct.contains(row));
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_shapes_are_rejected() {
+        let db = testdata::figure1_db();
+        // Difference above an aggregate.
+        let q = Query::Difference {
+            left: std::sync::Arc::new(testdata::example4_q1()),
+            right: std::sync::Arc::new(testdata::example4_q2()),
+        };
+        assert!(matches!(
+            aggregate_provenance(&q, &db, &ParamMap::new()),
+            Err(ProvenanceError::UnsupportedAggregateShape(_))
+        ));
+        // No aggregation at all.
+        assert!(aggregate_provenance(&testdata::example1_q1(), &db, &ParamMap::new()).is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! Provenance-annotated evaluation of SPJUD queries.
+//!
+//! [`annotate`] plays the role of the provenance-rewritten CTE queries of
+//! Section 6: it evaluates the query bottom-up while carrying, for every
+//! derived tuple, the Boolean expression describing *how* the tuple was
+//! derived from base tuples.
+
+use crate::boolexpr::BoolExpr;
+use crate::error::{ProvenanceError, Result};
+use ratest_ra::ast::Query;
+use ratest_ra::eval::hash_join_keys;
+use ratest_ra::expr::ParamMap;
+use ratest_ra::typecheck::{output_schema, rename_schema};
+use ratest_storage::{Database, Schema, Value};
+use std::collections::HashMap;
+
+/// One output tuple together with its how-provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedRow {
+    /// The tuple's attribute values.
+    pub values: Vec<Value>,
+    /// Its how-provenance `Prv(t)`.
+    pub provenance: BoolExpr,
+}
+
+/// The annotated result of a query: a set of value rows, each with its
+/// provenance expression.
+#[derive(Debug, Clone)]
+pub struct AnnotatedResult {
+    schema: Schema,
+    rows: Vec<AnnotatedRow>,
+    index: HashMap<Vec<Value>, usize>,
+}
+
+impl AnnotatedResult {
+    /// An empty result with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        AnnotatedResult {
+            schema,
+            rows: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The output schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The annotated rows.
+    pub fn rows(&self) -> &[AnnotatedRow] {
+        &self.rows
+    }
+
+    /// Number of distinct output tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The provenance of a specific output tuple, if present.
+    pub fn provenance_of(&self, values: &[Value]) -> Option<&BoolExpr> {
+        self.index.get(values).map(|&i| &self.rows[i].provenance)
+    }
+
+    /// Insert a derived tuple; if the same value-tuple already exists its
+    /// provenance is extended with `∨` (the de-duplication rule of
+    /// Section 6's `string_agg` rewrite).
+    pub fn push(&mut self, values: Vec<Value>, provenance: BoolExpr) {
+        if provenance.is_false() {
+            return;
+        }
+        match self.index.get(&values) {
+            Some(&i) => {
+                let existing = std::mem::replace(&mut self.rows[i].provenance, BoolExpr::False);
+                self.rows[i].provenance = BoolExpr::or2(existing, provenance);
+            }
+            None => {
+                self.index.insert(values.clone(), self.rows.len());
+                self.rows.push(AnnotatedRow { values, provenance });
+            }
+        }
+    }
+
+    /// Total provenance size across all rows (a cost proxy reported by the
+    /// experiment harness: `prov-all` grows with this).
+    pub fn total_provenance_size(&self) -> usize {
+        self.rows.iter().map(|r| r.provenance.size()).sum()
+    }
+}
+
+/// Annotate a parameter-free SPJUD query.
+pub fn annotate(query: &Query, db: &Database) -> Result<AnnotatedResult> {
+    annotate_with_params(query, db, &ParamMap::new())
+}
+
+/// Annotate an SPJUD query with parameter bindings.
+///
+/// Aggregate (group-by) nodes are rejected here — use
+/// [`crate::aggprov::aggregate_provenance`] for aggregate queries, which
+/// implements the richer annotation of Section 5.
+pub fn annotate_with_params(
+    query: &Query,
+    db: &Database,
+    params: &ParamMap,
+) -> Result<AnnotatedResult> {
+    match query {
+        Query::Relation(name) => {
+            let rel = db.relation(name)?;
+            let mut out = AnnotatedResult::empty(rel.schema().clone());
+            for t in rel.iter() {
+                out.push(
+                    t.values.clone(),
+                    BoolExpr::var(t.id.expect("base tuples carry ids")),
+                );
+            }
+            Ok(out)
+        }
+        Query::Select { input, predicate } => {
+            let inp = annotate_with_params(input, db, params)?;
+            let mut out = AnnotatedResult::empty(inp.schema().clone());
+            for row in inp.rows() {
+                if predicate.eval_predicate(inp.schema(), &row.values, params)? {
+                    out.push(row.values.clone(), row.provenance.clone());
+                }
+            }
+            Ok(out)
+        }
+        Query::Project { input, items } => {
+            let inp = annotate_with_params(input, db, params)?;
+            let schema = output_schema(query, db)?;
+            let mut out = AnnotatedResult::empty(schema);
+            for row in inp.rows() {
+                let mut projected = Vec::with_capacity(items.len());
+                for item in items {
+                    projected.push(item.expr.eval(inp.schema(), &row.values, params)?);
+                }
+                out.push(projected, row.provenance.clone());
+            }
+            Ok(out)
+        }
+        Query::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = annotate_with_params(left, db, params)?;
+            let r = annotate_with_params(right, db, params)?;
+            let schema = l.schema().concat(r.schema());
+            let mut out = AnnotatedResult::empty(schema.clone());
+            if let Some(pred) = predicate {
+                if let Some((lk, rk, residual)) = hash_join_keys(pred, l.schema(), r.schema()) {
+                    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                    for (i, row) in r.rows().iter().enumerate() {
+                        let key: Vec<Value> = rk.iter().map(|&k| row.values[k].clone()).collect();
+                        table.entry(key).or_default().push(i);
+                    }
+                    for lrow in l.rows() {
+                        let key: Vec<Value> = lk.iter().map(|&k| lrow.values[k].clone()).collect();
+                        if let Some(matches) = table.get(&key) {
+                            for &ri in matches {
+                                let rrow = &r.rows()[ri];
+                                let mut values = lrow.values.clone();
+                                values.extend(rrow.values.iter().cloned());
+                                let ok = match &residual {
+                                    Some(res) => res.eval_predicate(&schema, &values, params)?,
+                                    None => true,
+                                };
+                                if ok {
+                                    out.push(
+                                        values,
+                                        BoolExpr::and2(
+                                            lrow.provenance.clone(),
+                                            rrow.provenance.clone(),
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    return Ok(out);
+                }
+            }
+            for lrow in l.rows() {
+                for rrow in r.rows() {
+                    let mut values = lrow.values.clone();
+                    values.extend(rrow.values.iter().cloned());
+                    let keep = match predicate {
+                        Some(p) => p.eval_predicate(&schema, &values, params)?,
+                        None => true,
+                    };
+                    if keep {
+                        out.push(
+                            values,
+                            BoolExpr::and2(lrow.provenance.clone(), rrow.provenance.clone()),
+                        );
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Query::Union { left, right } => {
+            let l = annotate_with_params(left, db, params)?;
+            let r = annotate_with_params(right, db, params)?;
+            let mut out = AnnotatedResult::empty(l.schema().clone());
+            for row in l.rows() {
+                out.push(row.values.clone(), row.provenance.clone());
+            }
+            for row in r.rows() {
+                out.push(row.values.clone(), row.provenance.clone());
+            }
+            Ok(out)
+        }
+        Query::Difference { left, right } => {
+            let l = annotate_with_params(left, db, params)?;
+            let r = annotate_with_params(right, db, params)?;
+            let mut out = AnnotatedResult::empty(l.schema().clone());
+            for row in l.rows() {
+                match r.provenance_of(&row.values) {
+                    // t ∈ R and t ∈ S: Prv(t) = Prv_R(t) ∧ ¬Prv_S(t).
+                    Some(rp) => out.push(
+                        row.values.clone(),
+                        BoolExpr::and2(row.provenance.clone(), rp.clone().negate()),
+                    ),
+                    // t ∈ R only: Prv(t) = Prv_R(t).
+                    None => out.push(row.values.clone(), row.provenance.clone()),
+                }
+            }
+            Ok(out)
+        }
+        Query::Rename { input, prefix } => {
+            let inp = annotate_with_params(input, db, params)?;
+            let schema = rename_schema(inp.schema(), prefix);
+            let mut out = AnnotatedResult::empty(schema);
+            for row in inp.rows() {
+                out.push(row.values.clone(), row.provenance.clone());
+            }
+            Ok(out)
+        }
+        Query::GroupBy { .. } => Err(ProvenanceError::UnsupportedAggregateShape(
+            "use aggregate_provenance for queries with group-by".into(),
+        )),
+    }
+}
+
+/// Compute the how-provenance of a *specific* output tuple of `Q1 − Q2`,
+/// i.e. `Prv_{Q1−Q2}(t) = Prv_{Q1}(t) ∧ ¬Prv_{Q2}(t)`, without annotating the
+/// full difference: the caller typically already pushed a selection for `t`
+/// down both queries (this is the `prov-sp` configuration of Figure 4).
+pub fn provenance_of_tuple_in_difference(
+    q1: &Query,
+    q2: &Query,
+    db: &Database,
+    tuple: &[Value],
+    params: &ParamMap,
+) -> Result<BoolExpr> {
+    let a1 = annotate_with_params(q1, db, params)?;
+    let p1 = a1
+        .provenance_of(tuple)
+        .cloned()
+        .unwrap_or(BoolExpr::False);
+    let a2 = annotate_with_params(q2, db, params)?;
+    let p2 = a2
+        .provenance_of(tuple)
+        .cloned()
+        .unwrap_or(BoolExpr::False);
+    Ok(BoolExpr::and2(p1, p2.negate()))
+}
+
+/// Check that an annotated result is consistent with plain evaluation.
+///
+/// Note that the annotator may list *candidate* tuples whose provenance is
+/// false on the full instance (e.g. a tuple eliminated by a difference: it
+/// appears with provenance `Prv_R ∧ ¬Prv_S`, which only becomes true on some
+/// strict sub-instances). Consistency therefore means:
+///
+/// * for every annotated tuple, its provenance evaluated on the full
+///   instance is true **iff** plain evaluation returns the tuple, and
+/// * every tuple returned by plain evaluation appears among the annotated
+///   tuples.
+///
+/// Used by tests and the property-based suite.
+pub fn consistent_with_evaluation(
+    query: &Query,
+    db: &Database,
+    params: &ParamMap,
+) -> Result<bool> {
+    let annotated = annotate_with_params(query, db, params)?;
+    let plain = ratest_ra::eval::evaluate_with_params(query, db, params)?;
+    let all = ratest_storage::TupleSelection::all(db);
+    for row in annotated.rows() {
+        let derivable = row.provenance.eval(&|id| all.contains(id));
+        if derivable != plain.contains(&row.values) {
+            return Ok(false);
+        }
+    }
+    for row in plain.rows() {
+        if annotated.provenance_of(row).is_none() {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratest_ra::testdata;
+    use ratest_storage::TupleId;
+
+    fn student(row: u32) -> TupleId {
+        TupleId::new(0, row)
+    }
+    fn registration(row: u32) -> TupleId {
+        TupleId::new(1, row)
+    }
+
+    #[test]
+    fn base_relation_provenance_is_its_variables() {
+        let db = testdata::figure1_db();
+        let out = annotate(&Query::relation("Student"), &db).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            out.provenance_of(&[Value::from("Mary"), Value::from("CS")]),
+            Some(&BoolExpr::var(student(0)))
+        );
+    }
+
+    #[test]
+    fn example1_q2_provenance_matches_equation_1() {
+        // Prv_{Q2(D)}(Mary, CS) = t1·t4 + t1·t5  (Equation (1) in the paper,
+        // where t1 is Mary's Student tuple and t4, t5 her CS registrations).
+        let db = testdata::figure1_db();
+        let out = annotate(&testdata::example1_q2(), &db).unwrap();
+        let prv = out
+            .provenance_of(&[Value::from("Mary"), Value::from("CS")])
+            .unwrap();
+        let vars = prv.variables();
+        assert!(vars.contains(&student(0)));
+        assert!(vars.contains(&registration(0)));
+        assert!(vars.contains(&registration(1)));
+        assert_eq!(vars.len(), 3);
+        // Semantics: satisfied by {t1,t4}, {t1,t5}, not by {t1} or {t4,t5}.
+        let check = |ids: &[TupleId]| {
+            let set: std::collections::BTreeSet<_> = ids.iter().copied().collect();
+            prv.eval_set(&set)
+        };
+        assert!(check(&[student(0), registration(0)]));
+        assert!(check(&[student(0), registration(1)]));
+        assert!(!check(&[student(0)]));
+        assert!(!check(&[registration(0), registration(1)]));
+    }
+
+    #[test]
+    fn difference_provenance_matches_example_2_1() {
+        // Prv_{(Q2−Q1)(D)}(Mary, CS) simplifies to t1·t4·t5: Mary appears as a
+        // wrong answer only when both of her CS registrations are retained.
+        let db = testdata::figure1_db();
+        let q2_minus_q1 = Query::Difference {
+            left: std::sync::Arc::new(testdata::example1_q2()),
+            right: std::sync::Arc::new(testdata::example1_q1()),
+        };
+        let out = annotate(&q2_minus_q1, &db).unwrap();
+        let prv = out
+            .provenance_of(&[Value::from("Mary"), Value::from("CS")])
+            .unwrap();
+        let need_both = |ids: &[TupleId]| {
+            let set: std::collections::BTreeSet<_> = ids.iter().copied().collect();
+            prv.eval_set(&set)
+        };
+        assert!(need_both(&[student(0), registration(0), registration(1)]));
+        assert!(!need_both(&[student(0), registration(0)]));
+        assert!(!need_both(&[student(0), registration(1)]));
+        // Jesse needs any two of his three CS registrations.
+        let prv_jesse = out
+            .provenance_of(&[Value::from("Jesse"), Value::from("CS")])
+            .unwrap();
+        let jesse = |rows: &[u32]| {
+            let mut ids = vec![student(2)];
+            ids.extend(rows.iter().map(|&r| registration(r)));
+            let set: std::collections::BTreeSet<_> = ids.into_iter().collect();
+            prv_jesse.eval_set(&set)
+        };
+        assert!(jesse(&[5, 6]));
+        assert!(jesse(&[5, 7]));
+        assert!(jesse(&[6, 7]));
+        assert!(!jesse(&[5]));
+    }
+
+    #[test]
+    fn union_and_projection_merge_with_or() {
+        let db = testdata::figure1_db();
+        // π_name(Registration): Mary appears via three registrations.
+        let q = ratest_ra::builder::rel("Registration").project(&["name"]).build();
+        let out = annotate(&q, &db).unwrap();
+        let prv = out.provenance_of(&[Value::from("Mary")]).unwrap();
+        assert_eq!(prv.variables().len(), 3);
+        assert!(prv.is_monotone());
+        assert!(out.total_provenance_size() > out.len());
+    }
+
+    #[test]
+    fn annotation_is_consistent_with_plain_evaluation() {
+        let db = testdata::figure1_db();
+        for q in [
+            testdata::example1_q1(),
+            testdata::example1_q2(),
+            ratest_ra::builder::rel("Registration")
+                .select(ratest_ra::builder::col("dept").eq(ratest_ra::builder::lit("CS")))
+                .project(&["name", "course"])
+                .build(),
+        ] {
+            assert!(consistent_with_evaluation(&q, &db, &ParamMap::new()).unwrap());
+        }
+    }
+
+    #[test]
+    fn provenance_of_missing_tuple_is_false() {
+        let db = testdata::figure1_db();
+        let prv = provenance_of_tuple_in_difference(
+            &testdata::example1_q2(),
+            &testdata::example1_q1(),
+            &db,
+            &[Value::from("Nobody"), Value::from("CS")],
+            &ParamMap::new(),
+        )
+        .unwrap();
+        assert!(prv.is_false());
+    }
+
+    #[test]
+    fn groupby_is_rejected_by_the_spjud_annotator() {
+        let db = testdata::figure1_db();
+        let err = annotate(&testdata::example4_q1(), &db).unwrap_err();
+        assert!(matches!(
+            err,
+            ProvenanceError::UnsupportedAggregateShape(_)
+        ));
+    }
+}

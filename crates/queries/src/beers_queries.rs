@@ -1,0 +1,165 @@
+//! Reference queries for the user-study homework problems (Section 8) over
+//! the bars/beers/drinkers schema, restricted to basic relational algebra
+//! (no aggregates), as the assignment required.
+
+use ratest_ra::ast::Query;
+use ratest_ra::builder::{col, lit, rel, QueryBuilder};
+
+/// Problem (b): drinkers who frequent some bar serving Corona.
+pub fn problem_b() -> Query {
+    rel("Frequents")
+        .rename("f")
+        .join_on(
+            rel("Serves").rename("s").build(),
+            col("f.bar").eq(col("s.bar")).and(col("s.beer").eq(lit("Corona"))),
+        )
+        .project(&["f.drinker"])
+        .build()
+}
+
+/// Problem (d): drinkers who frequent both "JJ Pub" and "Satisfaction".
+pub fn problem_d() -> Query {
+    rel("Frequents")
+        .rename("f1")
+        .join_on(
+            rel("Frequents").rename("f2").build(),
+            col("f1.drinker")
+                .eq(col("f2.drinker"))
+                .and(col("f1.bar").eq(lit("JJ Pub")))
+                .and(col("f2.bar").eq(lit("Satisfaction"))),
+        )
+        .project(&["f1.drinker"])
+        .build()
+}
+
+/// Problem (e): bars frequented by Ben or Dan, but not both.
+pub fn problem_e() -> Query {
+    let by = |who: &str| {
+        rel("Frequents")
+            .select(col("drinker").eq(lit(who)))
+            .project(&["bar"])
+            .build()
+    };
+    let either = QueryBuilder::from_query(by("Ben")).union(by("Dan")).build();
+    let both = QueryBuilder::from_query(by("Ben"))
+        .join_on(
+            QueryBuilder::from_query(by("Dan")).rename("d").build(),
+            col("bar").eq(col("d.bar")),
+        )
+        .project(&["bar"])
+        .build();
+    QueryBuilder::from_query(either).difference(both).build()
+}
+
+/// Problem (h): drinkers who frequent only bars that serve some beer they
+/// like.
+pub fn problem_h() -> Query {
+    // Bad (drinker, bar) pairs: the drinker frequents the bar but the bar
+    // serves no beer the drinker likes.
+    let frequented = rel("Frequents").project(&["drinker", "bar"]).build();
+    let satisfied = rel("Frequents")
+        .rename("f")
+        .join_on(
+            rel("Serves").rename("s").build(),
+            col("f.bar").eq(col("s.bar")),
+        )
+        .join_on(
+            rel("Likes").rename("l").build(),
+            col("f.drinker").eq(col("l.drinker")).and(col("s.beer").eq(col("l.beer"))),
+        )
+        .project(&["f.drinker", "f.bar"])
+        .build();
+    let bad_pairs = QueryBuilder::from_query(frequented).difference(satisfied).build();
+    let bad_drinkers = QueryBuilder::from_query(bad_pairs).project(&["drinker"]).build();
+    QueryBuilder::from_query(rel("Frequents").project(&["drinker"]).build())
+        .difference(bad_drinkers)
+        .build()
+}
+
+/// Problem (i): drinkers who frequent only those bars that serve only beers
+/// they like (two levels of "only" — the hardest problem of the assignment,
+/// requiring two uses of difference).
+pub fn problem_i() -> Query {
+    // (bar, drinker) pairs where the bar serves some beer the drinker does
+    // NOT like.
+    let served = rel("Serves").project(&["bar", "beer"]).build();
+    let liked_pairs = rel("Serves")
+        .rename("s")
+        .join_on(
+            rel("Likes").rename("l").build(),
+            col("s.beer").eq(col("l.beer")),
+        )
+        .project(&["s.bar", "l.drinker", "s.beer"])
+        .build();
+    // All (bar, drinker, beer) combinations where the drinker frequents the bar.
+    let candidate = QueryBuilder::from_query(served)
+        .join_on(
+            rel("Frequents").rename("f").build(),
+            col("bar").eq(col("f.bar")),
+        )
+        .project(&["bar", "f.drinker", "beer"])
+        .build();
+    let offending = QueryBuilder::from_query(candidate).difference(liked_pairs).build();
+    let offending_drinkers = QueryBuilder::from_query(offending).project(&["drinker"]).build();
+    QueryBuilder::from_query(rel("Frequents").project(&["drinker"]).build())
+        .difference(offending_drinkers)
+        .build()
+}
+
+/// The user-study problems RATest was made available for, keyed by their
+/// letter in the paper.
+pub fn study_problems() -> Vec<(&'static str, Query)> {
+    vec![
+        ("b", problem_b()),
+        ("d", problem_d()),
+        ("e", problem_e()),
+        ("h", problem_h()),
+        ("i", problem_i()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratest_datagen::beers_database;
+    use ratest_ra::eval::evaluate;
+
+    #[test]
+    fn all_problems_typecheck_and_evaluate() {
+        let db = beers_database(30, 1);
+        for (name, q) in study_problems() {
+            let out = evaluate(&q, &db);
+            assert!(out.is_ok(), "problem ({name}) failed: {:?}", out.err());
+        }
+    }
+
+    #[test]
+    fn problem_b_returns_corona_drinkers() {
+        let db = beers_database(30, 1);
+        let out = evaluate(&problem_b(), &db).unwrap();
+        assert!(!out.is_empty(), "someone frequents a Corona-serving bar");
+        assert_eq!(out.schema().arity(), 1);
+    }
+
+    #[test]
+    fn hard_problems_use_difference() {
+        assert!(problem_h().has_difference());
+        assert!(problem_i().has_difference());
+        // Problem (i) needs at least two differences.
+        let m = ratest_ra::metrics::QueryMetrics::of(&problem_i());
+        assert!(m.differences >= 2);
+    }
+
+    #[test]
+    fn mutations_of_problem_i_produce_wrong_queries() {
+        let db = beers_database(30, 1);
+        let reference = evaluate(&problem_i(), &db).unwrap();
+        let mutations = crate::mutations::mutate(&problem_i());
+        assert!(!mutations.is_empty());
+        let wrong = mutations
+            .iter()
+            .filter(|m| !evaluate(&m.query, &db).unwrap().set_eq(&reference))
+            .count();
+        assert!(wrong > 0);
+    }
+}

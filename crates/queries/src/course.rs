@@ -1,0 +1,258 @@
+//! Reference queries for the eight course-assignment questions (Section 7.1).
+//!
+//! All queries are SPJUD (no aggregates — the assignment predates the
+//! aggregate material) over `Student(name, major)` and
+//! `Registration(name, course, dept, grade)`, ranging from a single
+//! select-project-join up to multiple nested differences (universal and
+//! uniqueness quantification), matching the complexity range the paper
+//! describes.
+
+use ratest_ra::ast::Query;
+use ratest_ra::builder::{col, lit, rel, QueryBuilder};
+
+/// One assignment question: an identifier, a natural-language prompt and the
+/// reference (correct) query.
+#[derive(Debug, Clone)]
+pub struct CourseQuestion {
+    /// Question number (1-8).
+    pub number: usize,
+    /// The natural-language prompt given to students.
+    pub prompt: &'static str,
+    /// The reference query.
+    pub reference: Query,
+}
+
+/// Students joined with their registrations (prefixed `s.` / `r.`).
+fn student_registration_join() -> QueryBuilder {
+    rel("Student").rename("s").join_on(
+        rel("Registration").rename("r").build(),
+        col("s.name").eq(col("r.name")),
+    )
+}
+
+/// Q: names and majors of students who registered for at least one CS course.
+pub fn q1_some_cs_course() -> Query {
+    rel("Student")
+        .rename("s")
+        .join_on(
+            rel("Registration").rename("r").build(),
+            col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+        )
+        .project(&["s.name", "s.major"])
+        .build()
+}
+
+/// Q: students (name, major) who registered for no CS course at all.
+pub fn q2_no_cs_course() -> Query {
+    rel("Student")
+        .project(&["name", "major"])
+        .difference(q1_some_cs_course())
+        .build()
+}
+
+/// Q: students who registered for exactly one CS course (Example 1's Q1).
+pub fn q3_exactly_one_cs() -> Query {
+    let two_cs = rel("Student")
+        .rename("s")
+        .join_on(
+            rel("Registration").rename("r1").build(),
+            col("s.name").eq(col("r1.name")),
+        )
+        .join_on(
+            rel("Registration").rename("r2").build(),
+            col("s.name")
+                .eq(col("r2.name"))
+                .and(col("r1.course").ne(col("r2.course")))
+                .and(col("r1.dept").eq(lit("CS")))
+                .and(col("r2.dept").eq(lit("CS"))),
+        )
+        .project(&["s.name", "s.major"])
+        .build();
+    QueryBuilder::from_query(q1_some_cs_course())
+        .difference(two_cs)
+        .build()
+}
+
+/// Q: students who registered for both a CS course and an ECON course.
+pub fn q4_cs_and_econ() -> Query {
+    rel("Student")
+        .rename("s")
+        .join_on(
+            rel("Registration").rename("r1").build(),
+            col("s.name").eq(col("r1.name")).and(col("r1.dept").eq(lit("CS"))),
+        )
+        .join_on(
+            rel("Registration").rename("r2").build(),
+            col("s.name").eq(col("r2.name")).and(col("r2.dept").eq(lit("ECON"))),
+        )
+        .project(&["s.name", "s.major"])
+        .build()
+}
+
+/// Q: names of students who got a grade above 90 in some course of their own
+/// major's department.
+pub fn q5_high_grade_in_major() -> Query {
+    student_registration_join()
+        .select(col("r.dept").eq(col("s.major")).and(col("r.grade").gt(lit(90i64))))
+        .project(&["s.name"])
+        .build()
+}
+
+/// Q: pairs of distinct students who registered for a common course.
+pub fn q6_common_course_pairs() -> Query {
+    rel("Registration")
+        .rename("a")
+        .join_on(
+            rel("Registration").rename("b").build(),
+            col("a.course")
+                .eq(col("b.course"))
+                .and(col("a.dept").eq(col("b.dept")))
+                .and(col("a.name").ne(col("b.name"))),
+        )
+        .project(&["a.name", "b.name"])
+        .build()
+}
+
+/// Q: students who registered **only** for CS courses (and at least one).
+pub fn q7_only_cs_courses() -> Query {
+    let some_non_cs = rel("Student")
+        .rename("s")
+        .join_on(
+            rel("Registration").rename("r").build(),
+            col("s.name").eq(col("r.name")).and(col("r.dept").ne(lit("CS"))),
+        )
+        .project(&["s.name", "s.major"])
+        .build();
+    QueryBuilder::from_query(q1_some_cs_course())
+        .difference(some_non_cs)
+        .build()
+}
+
+/// Q: students who registered for **every** CS course that anyone registered
+/// for (relational division via double difference).
+pub fn q8_every_cs_course() -> Query {
+    // All (student, CS course) pairs that are *missing*:
+    let all_students = rel("Student").project(&["name"]).build();
+    let all_cs_courses = rel("Registration")
+        .select(col("dept").eq(lit("CS")))
+        .project(&["course"])
+        .build();
+    let all_pairs = QueryBuilder::from_query(all_students.clone())
+        .cross(all_cs_courses)
+        .build();
+    let taken_pairs = rel("Registration")
+        .select(col("dept").eq(lit("CS")))
+        .project(&["name", "course"])
+        .build();
+    let missing_pairs = QueryBuilder::from_query(all_pairs).difference(taken_pairs).build();
+    let students_missing_some = QueryBuilder::from_query(missing_pairs)
+        .project(&["name"])
+        .build();
+    QueryBuilder::from_query(all_students)
+        .difference(students_missing_some)
+        .build()
+}
+
+/// The eight questions of the assignment, in increasing difficulty order.
+pub fn course_questions() -> Vec<CourseQuestion> {
+    vec![
+        CourseQuestion {
+            number: 1,
+            prompt: "Find students who registered for at least one CS course.",
+            reference: q1_some_cs_course(),
+        },
+        CourseQuestion {
+            number: 2,
+            prompt: "Find students who registered for no CS course.",
+            reference: q2_no_cs_course(),
+        },
+        CourseQuestion {
+            number: 3,
+            prompt: "Find students who registered for exactly one CS course.",
+            reference: q3_exactly_one_cs(),
+        },
+        CourseQuestion {
+            number: 4,
+            prompt: "Find students who registered for both a CS and an ECON course.",
+            reference: q4_cs_and_econ(),
+        },
+        CourseQuestion {
+            number: 5,
+            prompt: "Find students with a grade above 90 in a course of their own major.",
+            reference: q5_high_grade_in_major(),
+        },
+        CourseQuestion {
+            number: 6,
+            prompt: "Find pairs of distinct students who share a course.",
+            reference: q6_common_course_pairs(),
+        },
+        CourseQuestion {
+            number: 7,
+            prompt: "Find students who registered only for CS courses.",
+            reference: q7_only_cs_courses(),
+        },
+        CourseQuestion {
+            number: 8,
+            prompt: "Find students who registered for every CS course offered.",
+            reference: q8_every_cs_course(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratest_datagen::{university_database, UniversityConfig};
+    use ratest_ra::classify::{classify, QueryClass};
+    use ratest_ra::eval::evaluate;
+    use ratest_ra::metrics::QueryMetrics;
+    use ratest_ra::testdata::figure1_db;
+
+    #[test]
+    fn all_questions_typecheck_and_evaluate_on_the_toy_instance() {
+        let db = figure1_db();
+        for q in course_questions() {
+            let out = evaluate(&q.reference, &db);
+            assert!(out.is_ok(), "question {} failed: {:?}", q.number, out.err());
+        }
+    }
+
+    #[test]
+    fn toy_instance_answers_match_manual_inspection() {
+        let db = figure1_db();
+        assert_eq!(evaluate(&q1_some_cs_course(), &db).unwrap().len(), 3);
+        assert_eq!(evaluate(&q2_no_cs_course(), &db).unwrap().len(), 0);
+        assert_eq!(evaluate(&q3_exactly_one_cs(), &db).unwrap().len(), 1); // John
+        assert_eq!(evaluate(&q4_cs_and_econ(), &db).unwrap().len(), 2); // Mary, John
+        assert_eq!(evaluate(&q5_high_grade_in_major(), &db).unwrap().len(), 2); // Mary(CS 100), Jesse(CS 95)
+        assert_eq!(evaluate(&q7_only_cs_courses(), &db).unwrap().len(), 1); // Jesse
+        // Every CS course offered = {216, 230, 316, 330}; nobody took all four.
+        assert_eq!(evaluate(&q8_every_cs_course(), &db).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn questions_cover_a_range_of_classes_and_complexities() {
+        let qs = course_questions();
+        let classes: Vec<QueryClass> = qs.iter().map(|q| classify(&q.reference)).collect();
+        assert!(classes.contains(&QueryClass::PJ));
+        assert!(classes.contains(&QueryClass::SPJUDStar));
+        let ops: Vec<usize> = qs
+            .iter()
+            .map(|q| QueryMetrics::of(&q.reference).operators)
+            .collect();
+        assert!(ops.iter().max().unwrap() >= &6, "hardest question is complex: {ops:?}");
+        assert!(ops.iter().min().unwrap() <= &2);
+    }
+
+    #[test]
+    fn evaluation_scales_to_the_generated_dataset() {
+        let db = university_database(&UniversityConfig::with_total(1_000));
+        for q in course_questions() {
+            // q6 and q8 are heavier (self-join / division) but must still run.
+            let out = evaluate(&q.reference, &db).unwrap();
+            if q.number == 1 {
+                assert!(!out.is_empty());
+            }
+        }
+    }
+}

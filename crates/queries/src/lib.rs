@@ -1,0 +1,28 @@
+//! # ratest-queries
+//!
+//! Query workloads for the RATest experiments:
+//!
+//! * [`course`] — reference queries for the eight questions of the
+//!   relational-algebra course assignment (Section 7.1), written against the
+//!   `Student`/`Registration` schema of `ratest-datagen`,
+//! * [`mutations`] — a "student error" simulator: systematic mutations
+//!   (dropped predicates, wrong constants, flipped comparisons, missing
+//!   difference branches, ...) that turn a correct query into the kinds of
+//!   wrong queries the paper collected from real submissions,
+//! * [`tpch_queries`] — relational-algebra versions of TPC-H Q4, Q16, Q18,
+//!   Q21 and the modified Q21-S, plus hand-made wrong variants mirroring the
+//!   error classes the paper injected (Section 7.2),
+//! * [`beers_queries`] — reference queries for the user-study homework
+//!   problems over the bars/beers/drinkers schema (Section 8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beers_queries;
+pub mod course;
+pub mod mutations;
+pub mod tpch_queries;
+
+pub use course::{course_questions, CourseQuestion};
+pub use mutations::{mutate, Mutation, MutationKind};
+pub use tpch_queries::{tpch_experiments, TpchExperiment};

@@ -1,0 +1,417 @@
+//! The "student error" simulator: schema-preserving mutations that turn a
+//! correct query into a plausibly wrong one.
+//!
+//! The paper's SPJUD workload consists of 141 real student submissions, which
+//! cannot be redistributed. Its error analysis, however, lists the common
+//! mistake classes — forgotten or wrong selection conditions, missing
+//! difference branches, misplaced projections, `≥ 1` instead of `exactly 1`
+//! style errors — and those classes are exactly what the mutation operators
+//! below produce. Every mutation preserves the output schema so the mutated
+//! query remains union compatible with the reference.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use ratest_ra::ast::Query;
+use ratest_ra::expr::{BinaryOp, Expr};
+use ratest_storage::Value;
+use std::sync::Arc;
+
+/// The kind of error a mutation injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationKind {
+    /// Remove one conjunct from a selection or join predicate
+    /// ("forgot a condition").
+    DropConjunct,
+    /// Replace a constant in a comparison with a different constant
+    /// ("selected the wrong department / threshold").
+    WrongConstant,
+    /// Flip a comparison operator (`=` ↔ `<>`, `<` ↔ `<=`, ...).
+    FlipComparison,
+    /// Replace a difference by its left operand ("forgot to subtract",
+    /// the Example 1 error: *at least one* instead of *exactly one*).
+    DropDifference,
+    /// Swap the operands of a difference ("subtracted the wrong way").
+    SwapDifference,
+    /// Replace a union by its left operand ("forgot a case").
+    DropUnionBranch,
+}
+
+/// A wrong query produced by mutating a reference query.
+#[derive(Debug, Clone)]
+pub struct Mutation {
+    /// The kind of error injected.
+    pub kind: MutationKind,
+    /// Human-readable description of where the error was injected.
+    pub description: String,
+    /// The wrong query.
+    pub query: Query,
+}
+
+/// Enumerate every applicable single-site mutation of a query.
+pub fn mutate(query: &Query) -> Vec<Mutation> {
+    let mut out = Vec::new();
+    collect(query, &mut |mutated, kind, description| {
+        out.push(Mutation {
+            kind,
+            description,
+            query: mutated,
+        })
+    });
+    out
+}
+
+/// Sample up to `n` distinct mutations deterministically.
+pub fn sample_mutations(query: &Query, n: usize, seed: u64) -> Vec<Mutation> {
+    let mut all = mutate(query);
+    let mut rng = StdRng::seed_from_u64(seed);
+    all.shuffle(&mut rng);
+    all.truncate(n);
+    all
+}
+
+/// Walk the query, invoking `emit` with a full query copy for every mutation
+/// site.
+fn collect(root: &Query, emit: &mut impl FnMut(Query, MutationKind, String)) {
+    fn rebuild(root: &Query, path: &[usize], replacement: Query) -> Query {
+        if path.is_empty() {
+            return replacement;
+        }
+        let child_idx = path[0];
+        let rest = &path[1..];
+        let rebuild_child = |q: &Arc<Query>| Arc::new(rebuild(q, rest, replacement.clone()));
+        match root {
+            Query::Select { input, predicate } => Query::Select {
+                input: rebuild_child(input),
+                predicate: predicate.clone(),
+            },
+            Query::Project { input, items } => Query::Project {
+                input: rebuild_child(input),
+                items: items.clone(),
+            },
+            Query::Rename { input, prefix } => Query::Rename {
+                input: rebuild_child(input),
+                prefix: prefix.clone(),
+            },
+            Query::GroupBy {
+                input,
+                group_by,
+                aggregates,
+                having,
+            } => Query::GroupBy {
+                input: rebuild_child(input),
+                group_by: group_by.clone(),
+                aggregates: aggregates.clone(),
+                having: having.clone(),
+            },
+            Query::Join {
+                left,
+                right,
+                predicate,
+            } => {
+                if child_idx == 0 {
+                    Query::Join {
+                        left: rebuild_child(left),
+                        right: right.clone(),
+                        predicate: predicate.clone(),
+                    }
+                } else {
+                    Query::Join {
+                        left: left.clone(),
+                        right: rebuild_child(right),
+                        predicate: predicate.clone(),
+                    }
+                }
+            }
+            Query::Union { left, right } => {
+                if child_idx == 0 {
+                    Query::Union {
+                        left: rebuild_child(left),
+                        right: right.clone(),
+                    }
+                } else {
+                    Query::Union {
+                        left: left.clone(),
+                        right: rebuild_child(right),
+                    }
+                }
+            }
+            Query::Difference { left, right } => {
+                if child_idx == 0 {
+                    Query::Difference {
+                        left: rebuild_child(left),
+                        right: right.clone(),
+                    }
+                } else {
+                    Query::Difference {
+                        left: left.clone(),
+                        right: rebuild_child(right),
+                    }
+                }
+            }
+            Query::Relation(_) => replacement,
+        }
+    }
+
+    fn walk(
+        root: &Query,
+        node: &Query,
+        path: Vec<usize>,
+        emit: &mut impl FnMut(Query, MutationKind, String),
+    ) {
+        // Node-level mutations.
+        match node {
+            Query::Select { input, predicate } => {
+                for (m, kind, desc) in mutate_predicate(predicate) {
+                    let replacement = Query::Select {
+                        input: input.clone(),
+                        predicate: m,
+                    };
+                    emit(rebuild(root, &path, replacement), kind, format!("selection: {desc}"));
+                }
+            }
+            Query::Join {
+                left,
+                right,
+                predicate: Some(predicate),
+            } => {
+                for (m, kind, desc) in mutate_predicate(predicate) {
+                    let replacement = Query::Join {
+                        left: left.clone(),
+                        right: right.clone(),
+                        predicate: Some(m),
+                    };
+                    emit(rebuild(root, &path, replacement), kind, format!("join: {desc}"));
+                }
+            }
+            Query::Difference { left, right } => {
+                emit(
+                    rebuild(root, &path, left.as_ref().clone()),
+                    MutationKind::DropDifference,
+                    "dropped the subtracted side of a difference".into(),
+                );
+                emit(
+                    rebuild(
+                        root,
+                        &path,
+                        Query::Difference {
+                            left: right.clone(),
+                            right: left.clone(),
+                        },
+                    ),
+                    MutationKind::SwapDifference,
+                    "swapped the operands of a difference".into(),
+                );
+            }
+            Query::Union { left, .. } => {
+                emit(
+                    rebuild(root, &path, left.as_ref().clone()),
+                    MutationKind::DropUnionBranch,
+                    "dropped the right branch of a union".into(),
+                );
+            }
+            Query::GroupBy {
+                input,
+                group_by,
+                aggregates,
+                having: Some(having),
+            } => {
+                for (m, kind, desc) in mutate_predicate(having) {
+                    let replacement = Query::GroupBy {
+                        input: input.clone(),
+                        group_by: group_by.clone(),
+                        aggregates: aggregates.clone(),
+                        having: Some(m),
+                    };
+                    emit(rebuild(root, &path, replacement), kind, format!("having: {desc}"));
+                }
+            }
+            _ => {}
+        }
+        // Recurse.
+        for (i, child) in node.children().into_iter().enumerate() {
+            let mut p = path.clone();
+            p.push(i);
+            walk(root, child, p, emit);
+        }
+    }
+
+    walk(root, root, Vec::new(), emit);
+}
+
+/// Predicate-level mutations: drop a conjunct, change a constant, flip an
+/// operator. Returns full replacement predicates.
+fn mutate_predicate(p: &Expr) -> Vec<(Expr, MutationKind, String)> {
+    let mut out = Vec::new();
+    let conjuncts: Vec<Expr> = p.conjuncts().into_iter().cloned().collect();
+    // Drop each conjunct (only if more than one remains — dropping the sole
+    // conjunct would turn the selection into a no-op `true`, which is also a
+    // plausible error, so allow it too but mark it).
+    for i in 0..conjuncts.len() {
+        let remaining: Vec<Expr> = conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, c)| c.clone())
+            .collect();
+        let new_pred = Expr::conjunction(remaining).unwrap_or(Expr::Literal(Value::Bool(true)));
+        out.push((
+            new_pred,
+            MutationKind::DropConjunct,
+            format!("dropped conjunct `{}`", conjuncts[i]),
+        ));
+    }
+    // Constant and operator mutations, applied to one comparison at a time.
+    for (i, c) in conjuncts.iter().enumerate() {
+        if let Expr::Binary { op, left, right } = c {
+            if op.is_comparison() {
+                // Wrong constant.
+                if let Expr::Literal(v) = right.as_ref() {
+                    if let Some(new_value) = perturb(v) {
+                        let mut changed = conjuncts.clone();
+                        changed[i] = Expr::Binary {
+                            op: *op,
+                            left: left.clone(),
+                            right: Box::new(Expr::Literal(new_value.clone())),
+                        };
+                        out.push((
+                            Expr::conjunction(changed).expect("non-empty"),
+                            MutationKind::WrongConstant,
+                            format!("replaced constant `{v}` with `{new_value}`"),
+                        ));
+                    }
+                }
+                // Flipped operator.
+                let flipped = flip(*op);
+                if flipped != *op {
+                    let mut changed = conjuncts.clone();
+                    changed[i] = Expr::Binary {
+                        op: flipped,
+                        left: left.clone(),
+                        right: right.clone(),
+                    };
+                    out.push((
+                        Expr::conjunction(changed).expect("non-empty"),
+                        MutationKind::FlipComparison,
+                        format!("changed `{op}` to `{flipped}` in `{c}`"),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn perturb(v: &Value) -> Option<Value> {
+    match v {
+        Value::Int(i) => Some(Value::Int(i + 5)),
+        Value::Double(f) => Some(Value::double(f * 2.0 + 1.0)),
+        Value::Text(s) => Some(Value::Text(if s == "CS" {
+            "ECON".to_owned()
+        } else {
+            "CS".to_owned()
+        })),
+        Value::Date(d) => Some(Value::Date(d + 90)),
+        _ => None,
+    }
+}
+
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Eq => BinaryOp::Ne,
+        BinaryOp::Ne => BinaryOp::Eq,
+        BinaryOp::Lt => BinaryOp::Le,
+        BinaryOp::Le => BinaryOp::Lt,
+        BinaryOp::Gt => BinaryOp::Ge,
+        BinaryOp::Ge => BinaryOp::Gt,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::course::{course_questions, q3_exactly_one_cs};
+    use ratest_ra::eval::evaluate;
+    use ratest_ra::testdata::figure1_db;
+    use ratest_ra::typecheck::output_schema;
+
+    #[test]
+    fn every_mutation_preserves_the_output_schema() {
+        let db = figure1_db();
+        for q in course_questions() {
+            let reference_schema = output_schema(&q.reference, &db).unwrap();
+            for m in mutate(&q.reference) {
+                let schema = output_schema(&m.query, &db).unwrap();
+                assert!(
+                    reference_schema.union_compatible(&schema),
+                    "question {} mutation {:?} changed the schema",
+                    q.number,
+                    m.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_of_example1_include_the_papers_wrong_query() {
+        // Dropping the difference of "exactly one CS course" yields
+        // "at least one CS course" — the exact error of Example 1.
+        let muts = mutate(&q3_exactly_one_cs());
+        assert!(muts.iter().any(|m| m.kind == MutationKind::DropDifference));
+        let db = figure1_db();
+        let wrong = muts
+            .iter()
+            .find(|m| m.kind == MutationKind::DropDifference)
+            .unwrap();
+        let out = evaluate(&wrong.query, &db).unwrap();
+        assert_eq!(out.len(), 3, "the dropped-difference query returns all CS students");
+    }
+
+    #[test]
+    fn many_mutations_are_actually_wrong_on_the_toy_instance() {
+        let db = figure1_db();
+        let mut wrong = 0;
+        let mut total = 0;
+        for q in course_questions() {
+            let reference = evaluate(&q.reference, &db).unwrap();
+            for m in mutate(&q.reference) {
+                total += 1;
+                let out = evaluate(&m.query, &db).unwrap();
+                if !out.set_eq(&reference) {
+                    wrong += 1;
+                }
+            }
+        }
+        assert!(total > 50, "a rich mutation space: {total}");
+        assert!(
+            wrong * 3 > total,
+            "at least a third of mutations are detectable on the toy instance ({wrong}/{total})"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let q = q3_exactly_one_cs();
+        let a = sample_mutations(&q, 5, 99);
+        let b = sample_mutations(&q, 5, 99);
+        assert_eq!(a.len(), 5);
+        assert_eq!(
+            a.iter().map(|m| m.description.clone()).collect::<Vec<_>>(),
+            b.iter().map(|m| m.description.clone()).collect::<Vec<_>>()
+        );
+        let c = sample_mutations(&q, 5, 100);
+        assert_ne!(
+            a.iter().map(|m| m.description.clone()).collect::<Vec<_>>(),
+            c.iter().map(|m| m.description.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn descriptions_mention_the_mutation_site() {
+        let q = q3_exactly_one_cs();
+        let muts = mutate(&q);
+        assert!(muts.iter().any(|m| m.description.contains("join")));
+        assert!(muts.iter().any(|m| m.description.contains("difference")));
+    }
+}

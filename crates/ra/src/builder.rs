@@ -1,0 +1,204 @@
+//! A small fluent builder for constructing [`Query`] trees in Rust code.
+//!
+//! The workloads crate and the examples construct dozens of queries; writing
+//! raw `Query::Select { input: Arc::new(...) , ... }` trees is noisy, so this
+//! module provides the `rel(..).select(..).project(..)` style used throughout
+//! the workspace.
+
+use crate::ast::{AggCall, ProjectItem, Query};
+use crate::expr::Expr;
+use ratest_storage::Value;
+use std::sync::Arc;
+
+/// Start a query from a base relation.
+pub fn rel(name: &str) -> QueryBuilder {
+    QueryBuilder {
+        query: Query::relation(name),
+    }
+}
+
+/// A column reference expression.
+pub fn col(name: &str) -> Expr {
+    Expr::Column(name.to_owned())
+}
+
+/// A literal expression.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Literal(v.into())
+}
+
+/// A parameter expression (`@name`).
+pub fn param(name: &str) -> Expr {
+    Expr::Param(name.to_owned())
+}
+
+/// Fluent builder wrapping a [`Query`].
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    query: Query,
+}
+
+impl QueryBuilder {
+    /// Wrap an existing query.
+    pub fn from_query(query: Query) -> Self {
+        QueryBuilder { query }
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Query {
+        self.query
+    }
+
+    /// σ_predicate
+    pub fn select(self, predicate: Expr) -> Self {
+        QueryBuilder {
+            query: Query::Select {
+                input: Arc::new(self.query),
+                predicate,
+            },
+        }
+    }
+
+    /// π onto named columns.
+    pub fn project(self, columns: &[&str]) -> Self {
+        QueryBuilder {
+            query: Query::Project {
+                input: Arc::new(self.query),
+                items: columns.iter().map(|c| ProjectItem::column(*c)).collect(),
+            },
+        }
+    }
+
+    /// π with explicit projection items (computed columns).
+    pub fn project_items(self, items: Vec<ProjectItem>) -> Self {
+        QueryBuilder {
+            query: Query::Project {
+                input: Arc::new(self.query),
+                items,
+            },
+        }
+    }
+
+    /// Cross product.
+    pub fn cross(self, other: Query) -> Self {
+        QueryBuilder {
+            query: Query::Join {
+                left: Arc::new(self.query),
+                right: Arc::new(other),
+                predicate: None,
+            },
+        }
+    }
+
+    /// Theta join.
+    pub fn join_on(self, other: Query, predicate: Expr) -> Self {
+        QueryBuilder {
+            query: Query::Join {
+                left: Arc::new(self.query),
+                right: Arc::new(other),
+                predicate: Some(predicate),
+            },
+        }
+    }
+
+    /// Set union.
+    pub fn union(self, other: Query) -> Self {
+        QueryBuilder {
+            query: Query::Union {
+                left: Arc::new(self.query),
+                right: Arc::new(other),
+            },
+        }
+    }
+
+    /// Set difference (`self − other`).
+    pub fn difference(self, other: Query) -> Self {
+        QueryBuilder {
+            query: Query::Difference {
+                left: Arc::new(self.query),
+                right: Arc::new(other),
+            },
+        }
+    }
+
+    /// ρ: prefix every column name.
+    pub fn rename(self, prefix: &str) -> Self {
+        QueryBuilder {
+            query: Query::Rename {
+                input: Arc::new(self.query),
+                prefix: prefix.to_owned(),
+            },
+        }
+    }
+
+    /// γ group-by with aggregates and an optional HAVING predicate.
+    pub fn group_by(self, group_by: &[&str], aggregates: Vec<AggCall>, having: Option<Expr>) -> Self {
+        QueryBuilder {
+            query: Query::GroupBy {
+                input: Arc::new(self.query),
+                group_by: group_by.iter().map(|s| s.to_string()).collect(),
+                aggregates,
+                having,
+            },
+        }
+    }
+}
+
+impl From<QueryBuilder> for Query {
+    fn from(b: QueryBuilder) -> Query {
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AggFunc;
+
+    #[test]
+    fn builder_constructs_expected_trees() {
+        let q = rel("Student")
+            .select(col("major").eq(lit("CS")))
+            .project(&["name"])
+            .build();
+        match q {
+            Query::Project { input, items } => {
+                assert_eq!(items.len(), 1);
+                assert!(matches!(&*input, Query::Select { .. }));
+            }
+            other => panic!("unexpected tree {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_union_difference_rename() {
+        let q = rel("R")
+            .join_on(rel("S").build(), col("R.x").eq(col("S.x")))
+            .union(rel("T").build())
+            .difference(rel("U").build())
+            .rename("q")
+            .build();
+        assert_eq!(q.operator_name(), "rename");
+        assert_eq!(q.base_relations(), vec!["R", "S", "T", "U"]);
+    }
+
+    #[test]
+    fn group_by_builder() {
+        let q = rel("R")
+            .group_by(
+                &["dept"],
+                vec![AggCall::new(AggFunc::Avg, col("grade"), "avg_grade")],
+                Some(col("avg_grade").gt(lit(90i64))),
+            )
+            .build();
+        assert!(q.has_aggregates());
+    }
+
+    #[test]
+    fn from_query_round_trip() {
+        let q = rel("R").build();
+        let q2 = QueryBuilder::from_query(q.clone()).select(lit(true)).build();
+        assert_eq!(q2.children()[0], &q);
+        let _as_query: Query = rel("R").into();
+    }
+}

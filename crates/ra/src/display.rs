@@ -1,0 +1,166 @@
+//! Rendering queries as indented relational-algebra text, used by reports
+//! and error messages.
+
+use crate::ast::Query;
+use std::fmt;
+
+/// Wrapper implementing [`fmt::Display`] for a query as an indented tree.
+pub struct QueryTree<'a>(pub &'a Query);
+
+impl fmt::Display for QueryTree<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        render(self.0, f, 0)
+    }
+}
+
+/// Render a query as a single-line algebra expression.
+pub fn to_algebra_string(q: &Query) -> String {
+    match q {
+        Query::Relation(n) => n.clone(),
+        Query::Select { input, predicate } => {
+            format!("σ[{predicate}]({})", to_algebra_string(input))
+        }
+        Query::Project { input, items } => {
+            let cols: Vec<String> = items
+                .iter()
+                .map(|i| {
+                    let rendered = i.expr.to_string();
+                    if rendered == i.alias {
+                        rendered
+                    } else {
+                        format!("{rendered} as {}", i.alias)
+                    }
+                })
+                .collect();
+            format!("π[{}]({})", cols.join(", "), to_algebra_string(input))
+        }
+        Query::Join {
+            left,
+            right,
+            predicate,
+        } => match predicate {
+            Some(p) => format!(
+                "({} ⋈[{p}] {})",
+                to_algebra_string(left),
+                to_algebra_string(right)
+            ),
+            None => format!("({} × {})", to_algebra_string(left), to_algebra_string(right)),
+        },
+        Query::Union { left, right } => {
+            format!("({} ∪ {})", to_algebra_string(left), to_algebra_string(right))
+        }
+        Query::Difference { left, right } => {
+            format!("({} − {})", to_algebra_string(left), to_algebra_string(right))
+        }
+        Query::Rename { input, prefix } => {
+            format!("ρ[{prefix}]({})", to_algebra_string(input))
+        }
+        Query::GroupBy {
+            input,
+            group_by,
+            aggregates,
+            having,
+        } => {
+            let aggs: Vec<String> = aggregates
+                .iter()
+                .map(|a| format!("{}({}) as {}", a.func.name(), a.arg, a.alias))
+                .collect();
+            let mut s = format!(
+                "γ[{}; {}]({})",
+                group_by.join(", "),
+                aggs.join(", "),
+                to_algebra_string(input)
+            );
+            if let Some(h) = having {
+                s = format!("σ[{h}]({s})");
+            }
+            s
+        }
+    }
+}
+
+fn render(q: &Query, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    match q {
+        Query::Relation(n) => writeln!(f, "{pad}{n}")?,
+        Query::Select { predicate, .. } => writeln!(f, "{pad}select [{predicate}]")?,
+        Query::Project { items, .. } => {
+            let cols: Vec<String> = items.iter().map(|i| i.alias.clone()).collect();
+            writeln!(f, "{pad}project [{}]", cols.join(", "))?
+        }
+        Query::Join { predicate, .. } => match predicate {
+            Some(p) => writeln!(f, "{pad}join [{p}]")?,
+            None => writeln!(f, "{pad}cross")?,
+        },
+        Query::Union { .. } => writeln!(f, "{pad}union")?,
+        Query::Difference { .. } => writeln!(f, "{pad}difference")?,
+        Query::Rename { prefix, .. } => writeln!(f, "{pad}rename [{prefix}]")?,
+        Query::GroupBy {
+            group_by,
+            aggregates,
+            having,
+            ..
+        } => {
+            let aggs: Vec<String> = aggregates
+                .iter()
+                .map(|a| format!("{}({})", a.func.name(), a.alias))
+                .collect();
+            write!(f, "{pad}groupby [{}; {}]", group_by.join(", "), aggs.join(", "))?;
+            if let Some(h) = having {
+                write!(f, " having [{h}]")?;
+            }
+            writeln!(f)?
+        }
+    }
+    for c in q.children() {
+        render(c, f, indent + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{col, lit, rel};
+
+    #[test]
+    fn algebra_string_round_trips_structure() {
+        let q = rel("Student")
+            .select(col("major").eq(lit("CS")))
+            .project(&["name"])
+            .difference(rel("Dropout").project(&["name"]).build())
+            .build();
+        let s = to_algebra_string(&q);
+        assert!(s.contains("σ["));
+        assert!(s.contains("π[name]"));
+        assert!(s.contains('−'));
+    }
+
+    #[test]
+    fn tree_rendering_is_indented() {
+        let q = rel("R")
+            .join_on(rel("S").build(), col("a").eq(col("b")))
+            .build();
+        let rendered = format!("{}", QueryTree(&q));
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[0].starts_with("join"));
+        assert!(lines[1].starts_with("  R"));
+        assert!(lines[2].starts_with("  S"));
+    }
+
+    #[test]
+    fn groupby_rendering_includes_having() {
+        let q = rel("R")
+            .group_by(
+                &["x"],
+                vec![crate::ast::AggCall::count_star("n")],
+                Some(col("n").ge(lit(3i64))),
+            )
+            .build();
+        let s = to_algebra_string(&q);
+        assert!(s.contains("γ[x; count"));
+        assert!(s.contains("(n >= 3)"));
+        let tree = format!("{}", QueryTree(&q));
+        assert!(tree.contains("having"));
+    }
+}

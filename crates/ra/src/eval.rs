@@ -1,0 +1,695 @@
+//! Set-semantics evaluation of [`Query`] trees over a [`Database`].
+//!
+//! The evaluator is deliberately simple — hash joins for equality conjuncts,
+//! nested loops otherwise, hash-based duplicate elimination and grouping —
+//! because RATest only needs correct set-semantics answers and predictable
+//! relative costs; it is the substrate replacing the SQL Server backend of
+//! the original prototype.
+
+use crate::ast::{AggFunc, Query};
+use crate::error::{QueryError, Result};
+use crate::expr::{BinaryOp, Expr, ParamMap};
+use crate::typecheck::{output_schema, rename_schema};
+use ratest_storage::{Database, Schema, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Parameter bindings passed to [`evaluate_with_params`].
+pub type Params = ParamMap;
+
+/// The result of evaluating a query: an output schema plus a *set* of value
+/// rows (no duplicates, insertion order preserved for readability).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+    index: HashSet<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Create an empty result set with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        ResultSet {
+            schema,
+            rows: Vec::new(),
+            index: HashSet::new(),
+        }
+    }
+
+    /// Create a result set from rows, removing duplicates.
+    pub fn from_rows(schema: Schema, rows: Vec<Vec<Value>>) -> Self {
+        let mut rs = ResultSet::empty(schema);
+        for r in rows {
+            rs.push(r);
+        }
+        rs
+    }
+
+    /// Insert a row if not already present. Returns true if inserted.
+    pub fn push(&mut self, row: Vec<Value>) -> bool {
+        if self.index.contains(&row) {
+            return false;
+        }
+        self.index.insert(row.clone());
+        self.rows.push(row);
+        true
+    }
+
+    /// The output schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows, in first-derivation order.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Whether the result contains a row.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.index.contains(row)
+    }
+
+    /// Rows present in `self` but not in `other` (set difference by value).
+    pub fn difference(&self, other: &ResultSet) -> Vec<Vec<Value>> {
+        self.rows
+            .iter()
+            .filter(|r| !other.contains(r))
+            .cloned()
+            .collect()
+    }
+
+    /// Whether two results are equal *as sets* (schema names ignored).
+    pub fn set_eq(&self, other: &ResultSet) -> bool {
+        self.len() == other.len() && self.rows.iter().all(|r| other.contains(r))
+    }
+
+    /// Symmetric difference size — used by experiment harnesses as a quick
+    /// "how different are these two answers" measure.
+    pub fn symmetric_difference_size(&self, other: &ResultSet) -> usize {
+        self.difference(other).len() + other.difference(self).len()
+    }
+}
+
+/// Evaluate a parameter-free query.
+pub fn evaluate(query: &Query, db: &Database) -> Result<ResultSet> {
+    evaluate_with_params(query, db, &Params::new())
+}
+
+/// Evaluate a query with parameter bindings.
+pub fn evaluate_with_params(query: &Query, db: &Database, params: &Params) -> Result<ResultSet> {
+    match query {
+        Query::Relation(name) => {
+            let rel = db.relation(name)?;
+            let schema = rel.schema().clone();
+            let rows = rel.iter().map(|t| t.values.clone()).collect();
+            Ok(ResultSet::from_rows(schema, rows))
+        }
+        Query::Select { input, predicate } => {
+            let inp = evaluate_with_params(input, db, params)?;
+            let mut out = ResultSet::empty(inp.schema().clone());
+            for row in inp.rows() {
+                if predicate.eval_predicate(inp.schema(), row, params)? {
+                    out.push(row.clone());
+                }
+            }
+            Ok(out)
+        }
+        Query::Project { input, items } => {
+            let inp = evaluate_with_params(input, db, params)?;
+            let schema = output_schema(query, db)?;
+            let mut out = ResultSet::empty(schema);
+            for row in inp.rows() {
+                let mut projected = Vec::with_capacity(items.len());
+                for item in items {
+                    projected.push(item.expr.eval(inp.schema(), row, params)?);
+                }
+                out.push(projected);
+            }
+            Ok(out)
+        }
+        Query::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = evaluate_with_params(left, db, params)?;
+            let r = evaluate_with_params(right, db, params)?;
+            let schema = l.schema().concat(r.schema());
+            let mut out = ResultSet::empty(schema.clone());
+            // Use a hash join on equality conjuncts when possible.
+            if let Some(pred) = predicate {
+                if let Some((lk, rk, residual)) = hash_join_keys(pred, l.schema(), r.schema()) {
+                    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                    for (i, row) in r.rows().iter().enumerate() {
+                        let key: Vec<Value> = rk.iter().map(|&k| row[k].clone()).collect();
+                        table.entry(key).or_default().push(i);
+                    }
+                    for lrow in l.rows() {
+                        let key: Vec<Value> = lk.iter().map(|&k| lrow[k].clone()).collect();
+                        if let Some(matches) = table.get(&key) {
+                            for &ri in matches {
+                                let mut row = lrow.clone();
+                                row.extend(r.rows()[ri].iter().cloned());
+                                let ok = match &residual {
+                                    Some(res) => res.eval_predicate(&schema, &row, params)?,
+                                    None => true,
+                                };
+                                if ok {
+                                    out.push(row);
+                                }
+                            }
+                        }
+                    }
+                    return Ok(out);
+                }
+            }
+            // Fallback: nested loops.
+            for lrow in l.rows() {
+                for rrow in r.rows() {
+                    let mut row = lrow.clone();
+                    row.extend(rrow.iter().cloned());
+                    let keep = match predicate {
+                        Some(p) => p.eval_predicate(&schema, &row, params)?,
+                        None => true,
+                    };
+                    if keep {
+                        out.push(row);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Query::Union { left, right } => {
+            let l = evaluate_with_params(left, db, params)?;
+            let r = evaluate_with_params(right, db, params)?;
+            check_union_compat(&l, &r)?;
+            let mut out = ResultSet::empty(l.schema().clone());
+            for row in l.rows() {
+                out.push(row.clone());
+            }
+            for row in r.rows() {
+                out.push(row.clone());
+            }
+            Ok(out)
+        }
+        Query::Difference { left, right } => {
+            let l = evaluate_with_params(left, db, params)?;
+            let r = evaluate_with_params(right, db, params)?;
+            check_union_compat(&l, &r)?;
+            let mut out = ResultSet::empty(l.schema().clone());
+            for row in l.rows() {
+                if !r.contains(row) {
+                    out.push(row.clone());
+                }
+            }
+            Ok(out)
+        }
+        Query::Rename { input, prefix } => {
+            let inp = evaluate_with_params(input, db, params)?;
+            let schema = rename_schema(inp.schema(), prefix);
+            Ok(ResultSet::from_rows(schema, inp.rows().to_vec()))
+        }
+        Query::GroupBy {
+            input,
+            group_by,
+            aggregates,
+            having,
+        } => {
+            let inp = evaluate_with_params(input, db, params)?;
+            let out_schema = output_schema(query, db)?;
+            let group_idx: Vec<usize> = group_by
+                .iter()
+                .map(|g| Expr::resolve_column(inp.schema(), g))
+                .collect::<Result<_>>()?;
+            // Group rows.
+            let mut groups: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::new();
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            for row in inp.rows() {
+                let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
+                if !groups.contains_key(&key) {
+                    order.push(key.clone());
+                }
+                groups.entry(key).or_default().push(row);
+            }
+            // A global aggregate over an empty input still produces no row
+            // under set/RA semantics used by the paper's interpreter.
+            let mut out = ResultSet::empty(out_schema.clone());
+            for key in order {
+                let rows = &groups[&key];
+                let mut output_row = key.clone();
+                for agg in aggregates {
+                    let mut args = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        args.push(agg.arg.eval(inp.schema(), row, params)?);
+                    }
+                    output_row.push(compute_aggregate(agg.func, &args)?);
+                }
+                let keep = match having {
+                    Some(h) => h.eval_predicate(&out_schema, &output_row, params)?,
+                    None => true,
+                };
+                if keep {
+                    out.push(output_row);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Compute an aggregate over the argument values of one group.
+pub fn compute_aggregate(func: AggFunc, args: &[Value]) -> Result<Value> {
+    match func {
+        AggFunc::Count => Ok(Value::Int(args.iter().filter(|v| !v.is_null()).count() as i64)),
+        AggFunc::Sum => {
+            let mut acc_int: i64 = 0;
+            let mut acc_f: f64 = 0.0;
+            let mut any_float = false;
+            let mut any = false;
+            for v in args.iter().filter(|v| !v.is_null()) {
+                any = true;
+                match v {
+                    Value::Int(i) => {
+                        acc_int += i;
+                        acc_f += *i as f64;
+                    }
+                    Value::Double(f) => {
+                        any_float = true;
+                        acc_f += f;
+                    }
+                    other => {
+                        return Err(QueryError::TypeError(format!("SUM over {other}")));
+                    }
+                }
+            }
+            if !any {
+                return Ok(Value::Null);
+            }
+            Ok(if any_float {
+                Value::double(acc_f)
+            } else {
+                Value::Int(acc_int)
+            })
+        }
+        AggFunc::Avg => {
+            let non_null: Vec<f64> = args
+                .iter()
+                .filter(|v| !v.is_null())
+                .map(|v| {
+                    v.as_double()
+                        .ok_or_else(|| QueryError::TypeError(format!("AVG over {v}")))
+                })
+                .collect::<Result<_>>()?;
+            if non_null.is_empty() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::double(
+                    non_null.iter().sum::<f64>() / non_null.len() as f64,
+                ))
+            }
+        }
+        AggFunc::Min => Ok(args
+            .iter()
+            .filter(|v| !v.is_null())
+            .min()
+            .cloned()
+            .unwrap_or(Value::Null)),
+        AggFunc::Max => Ok(args
+            .iter()
+            .filter(|v| !v.is_null())
+            .max()
+            .cloned()
+            .unwrap_or(Value::Null)),
+    }
+}
+
+fn check_union_compat(l: &ResultSet, r: &ResultSet) -> Result<()> {
+    if !l.schema().union_compatible(r.schema()) {
+        return Err(QueryError::NotUnionCompatible {
+            left: l.schema().to_string(),
+            right: r.schema().to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Extract hash-join keys from a predicate: returns `(left key columns,
+/// right key columns, residual predicate)` when the predicate contains at
+/// least one top-level equality between a left column and a right column.
+///
+/// Exposed so that the provenance-annotated evaluator (in
+/// `ratest-provenance`) can use the same join strategy and therefore the same
+/// asymptotic cost profile as the plain evaluator.
+pub fn hash_join_keys(
+    pred: &Expr,
+    left: &Schema,
+    right: &Schema,
+) -> Option<(Vec<usize>, Vec<usize>, Option<Expr>)> {
+    let mut lk = Vec::new();
+    let mut rk = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    for conj in pred.conjuncts() {
+        if let Expr::Binary {
+            op: BinaryOp::Eq,
+            left: a,
+            right: b,
+        } = conj
+        {
+            if let (Expr::Column(ca), Expr::Column(cb)) = (a.as_ref(), b.as_ref()) {
+                let a_left = Expr::resolve_column(left, ca).ok();
+                let b_right = Expr::resolve_column(right, cb).ok();
+                if let (Some(i), Some(j)) = (a_left, b_right) {
+                    // Guard against ambiguous resolution: `ca` must not also
+                    // resolve on the right side and vice versa.
+                    if Expr::resolve_column(right, ca).is_err()
+                        && Expr::resolve_column(left, cb).is_err()
+                    {
+                        lk.push(i);
+                        rk.push(j);
+                        continue;
+                    }
+                }
+                let a_right = Expr::resolve_column(right, ca).ok();
+                let b_left = Expr::resolve_column(left, cb).ok();
+                if let (Some(j), Some(i)) = (a_right, b_left) {
+                    if Expr::resolve_column(left, ca).is_err()
+                        && Expr::resolve_column(right, cb).is_err()
+                    {
+                        lk.push(i);
+                        rk.push(j);
+                        continue;
+                    }
+                }
+            }
+        }
+        residual.push(conj.clone());
+    }
+    if lk.is_empty() {
+        None
+    } else {
+        Some((lk, rk, Expr::conjunction(residual)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AggCall;
+    use crate::builder::{col, lit, rel};
+    use ratest_storage::{DataType, Relation};
+
+    /// The toy instance from Figure 1 of the paper.
+    pub fn figure1_db() -> Database {
+        let mut student = Relation::new(
+            "Student",
+            Schema::new(vec![("name", DataType::Text), ("major", DataType::Text)]),
+        );
+        student
+            .insert_all(vec![
+                vec![Value::from("Mary"), Value::from("CS")],
+                vec![Value::from("John"), Value::from("ECON")],
+                vec![Value::from("Jesse"), Value::from("CS")],
+            ])
+            .unwrap();
+        let mut reg = Relation::new(
+            "Registration",
+            Schema::new(vec![
+                ("name", DataType::Text),
+                ("course", DataType::Text),
+                ("dept", DataType::Text),
+                ("grade", DataType::Int),
+            ]),
+        );
+        reg.insert_all(vec![
+            vec![
+                Value::from("Mary"),
+                Value::from("216"),
+                Value::from("CS"),
+                Value::Int(100),
+            ],
+            vec![
+                Value::from("Mary"),
+                Value::from("230"),
+                Value::from("CS"),
+                Value::Int(75),
+            ],
+            vec![
+                Value::from("Mary"),
+                Value::from("208D"),
+                Value::from("ECON"),
+                Value::Int(95),
+            ],
+            vec![
+                Value::from("John"),
+                Value::from("316"),
+                Value::from("CS"),
+                Value::Int(90),
+            ],
+            vec![
+                Value::from("John"),
+                Value::from("208D"),
+                Value::from("ECON"),
+                Value::Int(88),
+            ],
+            vec![
+                Value::from("Jesse"),
+                Value::from("216"),
+                Value::from("CS"),
+                Value::Int(95),
+            ],
+            vec![
+                Value::from("Jesse"),
+                Value::from("316"),
+                Value::from("CS"),
+                Value::Int(90),
+            ],
+            vec![
+                Value::from("Jesse"),
+                Value::from("330"),
+                Value::from("CS"),
+                Value::Int(85),
+            ],
+        ])
+        .unwrap();
+        let mut db = Database::new("figure1");
+        db.add_relation(student).unwrap();
+        db.add_relation(reg).unwrap();
+        db.constraints_mut()
+            .add_foreign_key("Registration", &["name"], "Student", &["name"]);
+        db
+    }
+
+    /// Q2 from Example 1: students with at least one CS registration.
+    pub fn example1_q2() -> Query {
+        rel("Student")
+            .rename("s")
+            .join_on(
+                rel("Registration").rename("r").build(),
+                col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+            )
+            .project(&["s.name", "s.major"])
+            .build()
+    }
+
+    /// Q1 from Example 1: students with exactly one CS registration.
+    pub fn example1_q1() -> Query {
+        let q3 = rel("Student")
+            .rename("s")
+            .join_on(
+                rel("Registration").rename("r1").build(),
+                col("s.name").eq(col("r1.name")),
+            )
+            .join_on(
+                rel("Registration").rename("r2").build(),
+                col("s.name")
+                    .eq(col("r2.name"))
+                    .and(col("r1.course").ne(col("r2.course")))
+                    .and(col("r1.dept").eq(lit("CS")))
+                    .and(col("r2.dept").eq(lit("CS"))),
+            )
+            .project(&["s.name", "s.major"])
+            .build();
+        crate::builder::QueryBuilder::from_query(example1_q2())
+            .difference(q3)
+            .build()
+    }
+
+    #[test]
+    fn scan_select_project() {
+        let db = figure1_db();
+        let q = rel("Registration")
+            .select(col("dept").eq(lit("CS")))
+            .project(&["name"])
+            .build();
+        let out = evaluate(&q, &db).unwrap();
+        // Mary, John, Jesse each have CS registrations; projection dedups.
+        assert_eq!(out.len(), 3);
+        assert!(out.contains(&[Value::from("Jesse")]));
+    }
+
+    #[test]
+    fn example1_results_match_figure2() {
+        let db = figure1_db();
+        let q2 = example1_q2();
+        let out2 = evaluate(&q2, &db).unwrap();
+        assert_eq!(out2.len(), 3, "Q2 returns Mary, John, Jesse");
+
+        let q1 = example1_q1();
+        let out1 = evaluate(&q1, &db).unwrap();
+        assert_eq!(out1.len(), 1, "Q1 returns only John");
+        assert!(out1.contains(&[Value::from("John"), Value::from("ECON")]));
+
+        // The difference Q2 - Q1 contains Mary and Jesse (the wrong answers).
+        let diff = out2.difference(&out1);
+        assert_eq!(diff.len(), 2);
+    }
+
+    #[test]
+    fn join_falls_back_to_nested_loops_for_inequalities() {
+        let db = figure1_db();
+        // Self-join on course inequality only (no equality conjunct).
+        let q = rel("Registration")
+            .rename("r1")
+            .join_on(
+                rel("Registration").rename("r2").build(),
+                col("r1.course").ne(col("r2.course")),
+            )
+            .build();
+        let out = evaluate(&q, &db).unwrap();
+        assert!(out.len() > 8);
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let db = figure1_db();
+        let cs = rel("Student")
+            .select(col("major").eq(lit("CS")))
+            .project(&["name"])
+            .build();
+        let econ = rel("Student")
+            .select(col("major").eq(lit("ECON")))
+            .project(&["name"])
+            .build();
+        let all = crate::builder::QueryBuilder::from_query(cs.clone())
+            .union(econ.clone())
+            .build();
+        assert_eq!(evaluate(&all, &db).unwrap().len(), 3);
+        let none = crate::builder::QueryBuilder::from_query(cs)
+            .difference(rel("Student").project(&["name"]).build())
+            .build();
+        assert!(evaluate(&none, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn groupby_avg_matches_example4() {
+        let db = figure1_db();
+        // Q1 of Example 4: average CS grade per student.
+        let q1 = rel("Student")
+            .rename("s")
+            .join_on(
+                rel("Registration").rename("r").build(),
+                col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+            )
+            .group_by(
+                &["s.name"],
+                vec![AggCall::new(AggFunc::Avg, col("r.grade"), "avg_grade")],
+                None,
+            )
+            .build();
+        let out = evaluate(&q1, &db).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.contains(&[Value::from("Mary"), Value::double(87.5)]));
+        assert!(out.contains(&[Value::from("John"), Value::double(90.0)]));
+        assert!(out.contains(&[Value::from("Jesse"), Value::double(90.0)]));
+    }
+
+    #[test]
+    fn groupby_having_matches_example5() {
+        let db = figure1_db();
+        // Q1 of Example 5: students with >= 3 CS courses and their average.
+        let q1 = rel("Student")
+            .rename("s")
+            .join_on(
+                rel("Registration").rename("r").build(),
+                col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+            )
+            .group_by(
+                &["s.name"],
+                vec![
+                    AggCall::new(AggFunc::Avg, col("r.grade"), "avg_grade"),
+                    AggCall::new(AggFunc::Count, col("r.course"), "n"),
+                ],
+                Some(col("n").ge(lit(3i64))),
+            )
+            .project(&["name", "avg_grade"])
+            .build();
+        let out = evaluate(&q1, &db).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&[Value::from("Jesse"), Value::double(90.0)]));
+    }
+
+    #[test]
+    fn parameterized_having() {
+        let db = figure1_db();
+        let q = rel("Registration")
+            .select(col("dept").eq(lit("CS")))
+            .group_by(
+                &["name"],
+                vec![AggCall::count_star("n")],
+                Some(col("n").ge(crate::builder::param("numCS"))),
+            )
+            .project(&["name"])
+            .build();
+        let mut p = Params::new();
+        p.insert("numCS".into(), Value::Int(3));
+        assert_eq!(evaluate_with_params(&q, &db, &p).unwrap().len(), 1);
+        p.insert("numCS".into(), Value::Int(1));
+        assert_eq!(evaluate_with_params(&q, &db, &p).unwrap().len(), 3);
+        assert!(matches!(
+            evaluate(&q, &db),
+            Err(QueryError::MissingParameter(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_functions_compute_correctly() {
+        let vals = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        assert_eq!(compute_aggregate(AggFunc::Count, &vals).unwrap(), Value::Int(3));
+        assert_eq!(compute_aggregate(AggFunc::Sum, &vals).unwrap(), Value::Int(6));
+        assert_eq!(
+            compute_aggregate(AggFunc::Avg, &vals).unwrap(),
+            Value::double(2.0)
+        );
+        assert_eq!(compute_aggregate(AggFunc::Min, &vals).unwrap(), Value::Int(1));
+        assert_eq!(compute_aggregate(AggFunc::Max, &vals).unwrap(), Value::Int(3));
+        assert_eq!(compute_aggregate(AggFunc::Sum, &[]).unwrap(), Value::Null);
+        assert_eq!(
+            compute_aggregate(AggFunc::Sum, &[Value::Int(1), Value::double(0.5)]).unwrap(),
+            Value::double(1.5)
+        );
+    }
+
+    #[test]
+    fn result_set_operations() {
+        let s = Schema::new(vec![("x", DataType::Int)]);
+        let mut a = ResultSet::empty(s.clone());
+        a.push(vec![Value::Int(1)]);
+        a.push(vec![Value::Int(2)]);
+        assert!(!a.push(vec![Value::Int(1)]), "duplicates rejected");
+        let b = ResultSet::from_rows(s, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
+        assert_eq!(a.difference(&b), vec![vec![Value::Int(1)]]);
+        assert_eq!(a.symmetric_difference_size(&b), 2);
+        assert!(!a.set_eq(&b));
+        assert!(a.set_eq(&a.clone()));
+    }
+}

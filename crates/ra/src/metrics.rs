@@ -1,0 +1,116 @@
+//! Query complexity metrics: operator count, number of differences and tree
+//! height — the x-axes of Figure 3 in the paper.
+
+use crate::ast::Query;
+use serde::{Deserialize, Serialize};
+
+/// Structural complexity metrics of a query tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryMetrics {
+    /// Total number of operator nodes (relations and renames excluded).
+    pub operators: usize,
+    /// Number of difference operators.
+    pub differences: usize,
+    /// Number of join operators.
+    pub joins: usize,
+    /// Number of aggregate (group-by) operators.
+    pub aggregates: usize,
+    /// Height of the query tree (a single relation scan has height 1).
+    pub height: usize,
+    /// Number of base relation scans (leaves).
+    pub relation_scans: usize,
+}
+
+impl QueryMetrics {
+    /// Compute the metrics of a query.
+    pub fn of(query: &Query) -> QueryMetrics {
+        let mut m = QueryMetrics {
+            operators: 0,
+            differences: 0,
+            joins: 0,
+            aggregates: 0,
+            height: 0,
+            relation_scans: 0,
+        };
+        m.height = walk(query, &mut m);
+        m
+    }
+}
+
+fn walk(q: &Query, m: &mut QueryMetrics) -> usize {
+    match q {
+        Query::Relation(_) => {
+            m.relation_scans += 1;
+        }
+        Query::Rename { .. } => {}
+        Query::Difference { .. } => {
+            m.operators += 1;
+            m.differences += 1;
+        }
+        Query::Join { .. } => {
+            m.operators += 1;
+            m.joins += 1;
+        }
+        Query::GroupBy { .. } => {
+            m.operators += 1;
+            m.aggregates += 1;
+        }
+        _ => {
+            m.operators += 1;
+        }
+    }
+    let child_height = q.children().into_iter().map(|c| walk(c, m)).max().unwrap_or(0);
+    child_height + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{col, lit, rel};
+
+    #[test]
+    fn scan_metrics() {
+        let m = QueryMetrics::of(&Query::relation("R"));
+        assert_eq!(m.operators, 0);
+        assert_eq!(m.height, 1);
+        assert_eq!(m.relation_scans, 1);
+    }
+
+    #[test]
+    fn composite_metrics() {
+        // π(σ(R ⋈ S)) − π(T)
+        let q = rel("R")
+            .join_on(rel("S").build(), col("a").eq(col("b")))
+            .select(col("a").eq(lit(1i64)))
+            .project(&["a"])
+            .difference(rel("T").project(&["c"]).build())
+            .build();
+        let m = QueryMetrics::of(&q);
+        assert_eq!(m.relation_scans, 3);
+        assert_eq!(m.joins, 1);
+        assert_eq!(m.differences, 1);
+        assert_eq!(m.operators, 5); // join, select, project, project, difference
+        // height: difference(4+1) over project(select(join(R,S))) chain:
+        // R=1, join=2, select=3, project=4, difference=5
+        assert_eq!(m.height, 5);
+        assert_eq!(m.aggregates, 0);
+    }
+
+    #[test]
+    fn renames_are_transparent() {
+        let q = rel("R").rename("r").select(col("r.x").eq(lit(1i64))).build();
+        let m = QueryMetrics::of(&q);
+        assert_eq!(m.operators, 1);
+        assert_eq!(m.height, 3);
+    }
+
+    #[test]
+    fn aggregates_are_counted() {
+        let q = rel("R")
+            .group_by(&["x"], vec![crate::ast::AggCall::count_star("n")], None)
+            .build();
+        let m = QueryMetrics::of(&q);
+        assert_eq!(m.aggregates, 1);
+        assert_eq!(m.operators, 1);
+    }
+}

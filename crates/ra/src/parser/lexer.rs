@@ -1,0 +1,286 @@
+//! Tokenizer for the RA surface syntax.
+
+use crate::error::{QueryError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset in the input where the token starts.
+    pub position: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// Parameter: `@name`.
+    Param(String),
+    /// Multi-character operator: comparison operators, `+`, `-`, `/`.
+    Op(String),
+    /// Single-character punctuation: `( ) [ ] , ; . *`.
+    Symbol(char),
+    /// End of input.
+    Eof,
+}
+
+/// The tokenizer.
+pub struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the full input, appending an [`TokenKind::Eof`] token.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_whitespace();
+            let start = self.pos;
+            let Some(&c) = self.bytes.get(self.pos) else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    position: start,
+                });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'(' | b')' | b'[' | b']' | b',' | b';' | b'.' | b'*' => {
+                    self.pos += 1;
+                    TokenKind::Symbol(c as char)
+                }
+                b'+' | b'/' => {
+                    self.pos += 1;
+                    TokenKind::Op((c as char).to_string())
+                }
+                b'-' => {
+                    self.pos += 1;
+                    TokenKind::Op("-".to_string())
+                }
+                b'=' => {
+                    self.pos += 1;
+                    TokenKind::Op("=".to_string())
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'=') {
+                        self.pos += 1;
+                        TokenKind::Op("!=".to_string())
+                    } else {
+                        return Err(self.error(start, "unexpected `!`"));
+                    }
+                }
+                b'<' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(&b'=') => {
+                            self.pos += 1;
+                            TokenKind::Op("<=".to_string())
+                        }
+                        Some(&b'>') => {
+                            self.pos += 1;
+                            TokenKind::Op("<>".to_string())
+                        }
+                        _ => TokenKind::Op("<".to_string()),
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'=') {
+                        self.pos += 1;
+                        TokenKind::Op(">=".to_string())
+                    } else {
+                        TokenKind::Op(">".to_string())
+                    }
+                }
+                b'\'' => self.lex_string(start)?,
+                b'@' => {
+                    self.pos += 1;
+                    let name = self.lex_ident_text();
+                    if name.is_empty() {
+                        return Err(self.error(start, "expected parameter name after `@`"));
+                    }
+                    TokenKind::Param(name)
+                }
+                c if c.is_ascii_digit() => self.lex_number(start)?,
+                c if c.is_ascii_alphabetic() || c == b'_' => TokenKind::Ident(self.lex_ident_text()),
+                other => {
+                    return Err(self.error(start, format!("unexpected character `{}`", other as char)))
+                }
+            };
+            out.push(Token {
+                kind,
+                position: start,
+            });
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'#' {
+                // Comment to end of line.
+                while let Some(&c) = self.bytes.get(self.pos) {
+                    self.pos += 1;
+                    if c == b'\n' {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn lex_ident_text(&mut self) -> String {
+        let start = self.pos;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.input[start..self.pos].to_owned()
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<TokenKind> {
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c.is_ascii_digit() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && self
+                .bytes
+                .get(self.pos + 1)
+                .map(|c| c.is_ascii_digit())
+                .unwrap_or(false)
+        {
+            is_float = true;
+            self.pos += 1;
+            while let Some(&c) = self.bytes.get(self.pos) {
+                if c.is_ascii_digit() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| self.error(start, format!("bad float literal: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|e| self.error(start, format!("bad integer literal: {e}")))
+        }
+    }
+
+    fn lex_string(&mut self, start: usize) -> Result<TokenKind> {
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error(start, "unterminated string literal")),
+                Some(&b'\'') => {
+                    // `''` escapes a quote.
+                    if self.bytes.get(self.pos + 1) == Some(&b'\'') {
+                        s.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(TokenKind::Str(s));
+                    }
+                }
+                Some(&c) => {
+                    s.push(c as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn error(&self, position: usize, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        Lexer::new(input)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_symbols_and_operators() {
+        let ks = kinds("select[a >= 3 and b <> 'x'](R)");
+        assert!(ks.contains(&TokenKind::Ident("select".into())));
+        assert!(ks.contains(&TokenKind::Op(">=".into())));
+        assert!(ks.contains(&TokenKind::Op("<>".into())));
+        assert!(ks.contains(&TokenKind::Str("x".into())));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_numbers_params_and_dotted_names() {
+        let ks = kinds("r1.grade + 2.5 >= @cutoff");
+        assert!(ks.contains(&TokenKind::Ident("r1".into())));
+        assert!(ks.contains(&TokenKind::Symbol('.')));
+        assert!(ks.contains(&TokenKind::Float(2.5)));
+        assert!(ks.contains(&TokenKind::Param("cutoff".into())));
+    }
+
+    #[test]
+    fn string_escapes_and_comments() {
+        let ks = kinds("'it''s' # trailing comment\n 42");
+        assert_eq!(ks[0], TokenKind::Str("it's".into()));
+        assert_eq!(ks[1], TokenKind::Int(42));
+    }
+
+    #[test]
+    fn errors_report_positions() {
+        let err = Lexer::new("a ? b").tokenize().unwrap_err();
+        match err {
+            QueryError::Parse { position, .. } => assert_eq!(position, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(Lexer::new("'unterminated").tokenize().is_err());
+        assert!(Lexer::new("@ ").tokenize().is_err());
+        assert!(Lexer::new("a ! b").tokenize().is_err());
+    }
+}

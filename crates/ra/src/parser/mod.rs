@@ -1,0 +1,546 @@
+//! A textual surface syntax for SPJUDA relational algebra, modelled after
+//! the relational-algebra interpreter students used in the course deployment
+//! of RATest.
+//!
+//! ## Grammar (informal)
+//!
+//! ```text
+//! query    := 'select'  '[' expr ']' '(' query ')'
+//!           | 'project' '[' proj (',' proj)* ']' '(' query ')'
+//!           | 'join'    '[' expr ']' '(' query ',' query ')'
+//!           | 'cross'   '(' query ',' query ')'
+//!           | 'union'   '(' query ',' query ')'
+//!           | 'diff'    '(' query ',' query ')'
+//!           | 'rename'  '[' ident ']' '(' query ')'
+//!           | 'groupby' '[' idents ';' aggs (';' 'having' expr)? ']' '(' query ')'
+//!           | ident                                   -- base relation
+//! proj     := expr ('as' ident)?
+//! aggs     := agg (',' agg)*
+//! agg      := ('count'|'sum'|'avg'|'min'|'max') '(' (expr|'*') ')' 'as' ident
+//! expr     := or-expression with and/or/not, comparisons =, <>, <, <=, >, >=,
+//!             arithmetic + - * /, parentheses, literals (integers, decimals,
+//!             'strings', true/false), column refs (possibly dotted) and
+//!             parameters @name
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use ratest_ra::parser::parse_query;
+//! let q = parse_query(
+//!     "project[s.name, s.major](join[s.name = r.name and r.dept = 'CS'](
+//!          rename[s](Student), rename[r](Registration)))",
+//! ).unwrap();
+//! assert_eq!(q.base_relations(), vec!["Student", "Registration"]);
+//! ```
+
+mod lexer;
+
+use crate::ast::{AggCall, AggFunc, ProjectItem, Query};
+use crate::error::{QueryError, Result};
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use lexer::{Lexer, Token, TokenKind};
+use ratest_storage::Value;
+use std::sync::Arc;
+
+/// Parse a query in the RA surface syntax.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let mut p = Parser::new(input)?;
+    let q = p.parse_query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse a standalone scalar expression (used in tests and tools).
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    let mut p = Parser::new(input)?;
+    let e = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self> {
+        Ok(Parser {
+            tokens: Lexer::new(input).tokenize()?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            message: message.into(),
+            position: self.peek().position,
+        }
+    }
+
+    fn eat_symbol(&mut self, s: char) -> Result<()> {
+        match &self.peek().kind {
+            TokenKind::Symbol(c) if *c == s => {
+                self.advance();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{s}`, found {other:?}"))),
+        }
+    }
+
+    fn check_symbol(&self, s: char) -> bool {
+        matches!(&self.peek().kind, TokenKind::Symbol(c) if *c == s)
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        match self.peek().kind {
+            TokenKind::Eof => Ok(()),
+            ref other => Err(self.error(format!("trailing input: {other:?}"))),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query> {
+        let tok = self.peek().clone();
+        let ident = match &tok.kind {
+            TokenKind::Ident(name) => name.clone(),
+            other => return Err(self.error(format!("expected a query, found {other:?}"))),
+        };
+        match ident.to_ascii_lowercase().as_str() {
+            "select" => {
+                self.advance();
+                self.eat_symbol('[')?;
+                let predicate = self.parse_expr()?;
+                self.eat_symbol(']')?;
+                let input = self.parse_single_arg()?;
+                Ok(Query::Select {
+                    input: Arc::new(input),
+                    predicate,
+                })
+            }
+            "project" => {
+                self.advance();
+                self.eat_symbol('[')?;
+                let mut items = vec![self.parse_proj_item()?];
+                while self.check_symbol(',') {
+                    self.advance();
+                    items.push(self.parse_proj_item()?);
+                }
+                self.eat_symbol(']')?;
+                let input = self.parse_single_arg()?;
+                Ok(Query::Project {
+                    input: Arc::new(input),
+                    items,
+                })
+            }
+            "join" => {
+                self.advance();
+                self.eat_symbol('[')?;
+                let predicate = self.parse_expr()?;
+                self.eat_symbol(']')?;
+                let (l, r) = self.parse_two_args()?;
+                Ok(Query::Join {
+                    left: Arc::new(l),
+                    right: Arc::new(r),
+                    predicate: Some(predicate),
+                })
+            }
+            "cross" => {
+                self.advance();
+                let (l, r) = self.parse_two_args()?;
+                Ok(Query::Join {
+                    left: Arc::new(l),
+                    right: Arc::new(r),
+                    predicate: None,
+                })
+            }
+            "union" => {
+                self.advance();
+                let (l, r) = self.parse_two_args()?;
+                Ok(Query::Union {
+                    left: Arc::new(l),
+                    right: Arc::new(r),
+                })
+            }
+            "diff" | "difference" | "except" => {
+                self.advance();
+                let (l, r) = self.parse_two_args()?;
+                Ok(Query::Difference {
+                    left: Arc::new(l),
+                    right: Arc::new(r),
+                })
+            }
+            "rename" => {
+                self.advance();
+                self.eat_symbol('[')?;
+                let prefix = self.parse_ident()?;
+                self.eat_symbol(']')?;
+                let input = self.parse_single_arg()?;
+                Ok(Query::Rename {
+                    input: Arc::new(input),
+                    prefix,
+                })
+            }
+            "groupby" | "aggr" => {
+                self.advance();
+                self.eat_symbol('[')?;
+                // Group-by columns (possibly empty before ';').
+                let mut group_by = Vec::new();
+                if !self.check_symbol(';') {
+                    group_by.push(self.parse_column_name()?);
+                    while self.check_symbol(',') {
+                        self.advance();
+                        group_by.push(self.parse_column_name()?);
+                    }
+                }
+                self.eat_symbol(';')?;
+                let mut aggregates = vec![self.parse_agg_call()?];
+                while self.check_symbol(',') {
+                    self.advance();
+                    aggregates.push(self.parse_agg_call()?);
+                }
+                let having = if self.check_symbol(';') {
+                    self.advance();
+                    let kw = self.parse_ident()?;
+                    if kw.to_ascii_lowercase() != "having" {
+                        return Err(self.error(format!("expected `having`, found `{kw}`")));
+                    }
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
+                self.eat_symbol(']')?;
+                let input = self.parse_single_arg()?;
+                Ok(Query::GroupBy {
+                    input: Arc::new(input),
+                    group_by,
+                    aggregates,
+                    having,
+                })
+            }
+            _ => {
+                // A base relation name.
+                self.advance();
+                Ok(Query::Relation(ident))
+            }
+        }
+    }
+
+    fn parse_single_arg(&mut self) -> Result<Query> {
+        self.eat_symbol('(')?;
+        let q = self.parse_query()?;
+        self.eat_symbol(')')?;
+        Ok(q)
+    }
+
+    fn parse_two_args(&mut self) -> Result<(Query, Query)> {
+        self.eat_symbol('(')?;
+        let l = self.parse_query()?;
+        self.eat_symbol(',')?;
+        let r = self.parse_query()?;
+        self.eat_symbol(')')?;
+        Ok((l, r))
+    }
+
+    fn parse_ident(&mut self) -> Result<String> {
+        match self.advance().kind {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// A (possibly dotted) column name.
+    fn parse_column_name(&mut self) -> Result<String> {
+        let mut name = self.parse_ident()?;
+        while self.check_symbol('.') {
+            self.advance();
+            name.push('.');
+            name.push_str(&self.parse_ident()?);
+        }
+        Ok(name)
+    }
+
+    fn parse_proj_item(&mut self) -> Result<ProjectItem> {
+        let expr = self.parse_expr()?;
+        // Optional `as alias`.
+        if let TokenKind::Ident(kw) = &self.peek().kind {
+            if kw.eq_ignore_ascii_case("as") {
+                self.advance();
+                let alias = self.parse_ident()?;
+                return Ok(ProjectItem { expr, alias });
+            }
+        }
+        match &expr {
+            Expr::Column(name) => Ok(ProjectItem::column(name.clone())),
+            _ => Err(self.error("computed projection items need an `as <alias>`")),
+        }
+    }
+
+    fn parse_agg_call(&mut self) -> Result<AggCall> {
+        let name = self.parse_ident()?;
+        let func = match name.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            other => return Err(self.error(format!("unknown aggregate function `{other}`"))),
+        };
+        self.eat_symbol('(')?;
+        let arg = if self.check_symbol('*') {
+            self.advance();
+            Expr::Literal(Value::Int(1))
+        } else {
+            self.parse_expr()?
+        };
+        self.eat_symbol(')')?;
+        let kw = self.parse_ident()?;
+        if !kw.eq_ignore_ascii_case("as") {
+            return Err(self.error("aggregates must be aliased: `count(*) as n`"));
+        }
+        let alias = self.parse_ident()?;
+        Ok(AggCall { func, arg, alias })
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.peek_keyword("or") {
+            self.advance();
+            let right = self.parse_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.peek_keyword("and") {
+            self.advance();
+            let right = self.parse_not()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.peek_keyword("not") {
+            self.advance();
+            return Ok(self.parse_not()?.not());
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        let op = match &self.peek().kind {
+            TokenKind::Op(s) => match s.as_str() {
+                "=" => Some(BinaryOp::Eq),
+                "<>" | "!=" => Some(BinaryOp::Ne),
+                "<" => Some(BinaryOp::Lt),
+                "<=" => Some(BinaryOp::Le),
+                ">" => Some(BinaryOp::Gt),
+                ">=" => Some(BinaryOp::Ge),
+                _ => None,
+            },
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.advance();
+                let right = self.parse_additive()?;
+                Ok(Expr::binary(op, left, right))
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match &self.peek().kind {
+                TokenKind::Op(s) if s == "+" => BinaryOp::Add,
+                TokenKind::Op(s) if s == "-" => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match &self.peek().kind {
+                TokenKind::Symbol('*') => BinaryOp::Mul,
+                TokenKind::Op(s) if s == "/" => BinaryOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if matches!(&self.peek().kind, TokenKind::Op(s) if s == "-") {
+            self.advance();
+            let e = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e),
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        let tok = self.advance();
+        match tok.kind {
+            TokenKind::Int(i) => Ok(Expr::Literal(Value::Int(i))),
+            TokenKind::Float(f) => Ok(Expr::Literal(Value::double(f))),
+            TokenKind::Str(s) => Ok(Expr::Literal(Value::Text(s))),
+            TokenKind::Param(p) => Ok(Expr::Param(p)),
+            TokenKind::Ident(name) => {
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                // Possibly dotted column reference.
+                let mut full = name;
+                while self.check_symbol('.') {
+                    self.advance();
+                    full.push('.');
+                    match self.advance().kind {
+                        TokenKind::Ident(s) => full.push_str(&s),
+                        TokenKind::Int(i) => full.push_str(&i.to_string()),
+                        other => {
+                            return Err(self.error(format!(
+                                "expected identifier after `.`, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Expr::Column(full))
+            }
+            TokenKind::Symbol('(') => {
+                let e = self.parse_expr()?;
+                self.eat_symbol(')')?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, QueryClass};
+    use crate::eval::evaluate;
+    use crate::testdata::figure1_db;
+
+    #[test]
+    fn parses_example1_q2() {
+        let q = parse_query(
+            "project[s.name, s.major](join[s.name = r.name and r.dept = 'CS'](
+                 rename[s](Student), rename[r](Registration)))",
+        )
+        .unwrap();
+        let db = figure1_db();
+        let out = evaluate(&q, &db).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn parses_example1_q1_with_difference() {
+        let q = parse_query(
+            "diff(
+               project[s.name, s.major](join[s.name = r.name and r.dept = 'CS'](
+                 rename[s](Student), rename[r](Registration))),
+               project[s.name, s.major](
+                 join[s.name = r2.name and r1.course <> r2.course and r1.dept = 'CS' and r2.dept = 'CS'](
+                   join[s.name = r1.name](rename[s](Student), rename[r1](Registration)),
+                   rename[r2](Registration))))",
+        )
+        .unwrap();
+        assert_eq!(classify(&q), QueryClass::SPJUDStar);
+        let db = figure1_db();
+        let out = evaluate(&q, &db).unwrap();
+        assert_eq!(out.len(), 1, "only John registered for exactly one CS course");
+    }
+
+    #[test]
+    fn parses_groupby_with_having_and_params() {
+        let q = parse_query(
+            "project[name](groupby[name; count(*) as n; having n >= @numCS](
+                 select[dept = 'CS'](Registration)))",
+        )
+        .unwrap();
+        assert!(q.has_aggregates());
+        assert_eq!(q.params().into_iter().collect::<Vec<_>>(), vec!["numCS"]);
+    }
+
+    #[test]
+    fn parses_arithmetic_and_precedence() {
+        let e = parse_expr("1 + 2 * 3 >= 6 and not (x = 'a' or y < 2.5)").unwrap();
+        let rendered = e.to_string();
+        assert!(rendered.contains("(2 * 3)"), "precedence: {rendered}");
+        assert!(rendered.starts_with("(((1 + (2 * 3)) >= 6) and"));
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let err = parse_query("select[x =](R)").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+        let err = parse_query("project[a](R) extra").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+        assert!(parse_query("groupby[; bogus(x) as y](R)").is_err());
+        assert!(parse_query("project[a + 1](R)").is_err(), "computed item needs alias");
+    }
+
+    #[test]
+    fn aggregate_aliases_and_star() {
+        let q = parse_query("groupby[dept; count(*) as n, avg(grade) as g](Registration)").unwrap();
+        match q {
+            Query::GroupBy { aggregates, .. } => {
+                assert_eq!(aggregates.len(), 2);
+                assert_eq!(aggregates[0].alias, "n");
+                assert_eq!(aggregates[1].func, AggFunc::Avg);
+            }
+            _ => panic!("expected groupby"),
+        }
+    }
+
+    #[test]
+    fn except_keyword_is_an_alias_for_diff() {
+        let q = parse_query("except(project[name](Student), project[name](Student))").unwrap();
+        assert!(q.has_difference());
+    }
+}

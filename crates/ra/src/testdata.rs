@@ -1,0 +1,281 @@
+//! The running example of the paper (Figure 1 / Examples 1–7) as ready-made
+//! data and queries.
+//!
+//! These are exported (not test-only) because the provenance crate, the core
+//! algorithms, the examples and the documentation all exercise exactly this
+//! instance; keeping one canonical copy avoids subtle divergences between the
+//! tests of different crates.
+
+use crate::ast::{AggCall, AggFunc, Query};
+use crate::builder::{col, lit, param, rel, QueryBuilder};
+use ratest_storage::{DataType, Database, Relation, Schema, Value};
+
+/// The toy instance of Figure 1: `Student` (3 tuples) and `Registration`
+/// (8 tuples), with a foreign key `Registration.name → Student.name`.
+pub fn figure1_db() -> Database {
+    let mut student = Relation::new(
+        "Student",
+        Schema::new(vec![("name", DataType::Text), ("major", DataType::Text)]),
+    );
+    student
+        .insert_all(vec![
+            vec![Value::from("Mary"), Value::from("CS")],
+            vec![Value::from("John"), Value::from("ECON")],
+            vec![Value::from("Jesse"), Value::from("CS")],
+        ])
+        .expect("static data is valid");
+    let mut reg = Relation::new(
+        "Registration",
+        Schema::new(vec![
+            ("name", DataType::Text),
+            ("course", DataType::Text),
+            ("dept", DataType::Text),
+            ("grade", DataType::Int),
+        ]),
+    );
+    reg.insert_all(vec![
+        vec![
+            Value::from("Mary"),
+            Value::from("216"),
+            Value::from("CS"),
+            Value::Int(100),
+        ],
+        vec![
+            Value::from("Mary"),
+            Value::from("230"),
+            Value::from("CS"),
+            Value::Int(75),
+        ],
+        vec![
+            Value::from("Mary"),
+            Value::from("208D"),
+            Value::from("ECON"),
+            Value::Int(95),
+        ],
+        vec![
+            Value::from("John"),
+            Value::from("316"),
+            Value::from("CS"),
+            Value::Int(90),
+        ],
+        vec![
+            Value::from("John"),
+            Value::from("208D"),
+            Value::from("ECON"),
+            Value::Int(88),
+        ],
+        vec![
+            Value::from("Jesse"),
+            Value::from("216"),
+            Value::from("CS"),
+            Value::Int(95),
+        ],
+        vec![
+            Value::from("Jesse"),
+            Value::from("316"),
+            Value::from("CS"),
+            Value::Int(90),
+        ],
+        vec![
+            Value::from("Jesse"),
+            Value::from("330"),
+            Value::from("CS"),
+            Value::Int(85),
+        ],
+    ])
+    .expect("static data is valid");
+    let mut db = Database::new("figure1");
+    db.add_relation(student).expect("fresh database");
+    db.add_relation(reg).expect("fresh database");
+    db.constraints_mut()
+        .add_foreign_key("Registration", &["name"], "Student", &["name"]);
+    db
+}
+
+/// Q2 of Example 1: students registered for **one or more** CS courses
+/// (the student's wrong query).
+pub fn example1_q2() -> Query {
+    rel("Student")
+        .rename("s")
+        .join_on(
+            rel("Registration").rename("r").build(),
+            col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+        )
+        .project(&["s.name", "s.major"])
+        .build()
+}
+
+/// Q1 of Example 1: students registered for **exactly one** CS course
+/// (the instructor's correct query), expressed with a difference.
+pub fn example1_q1() -> Query {
+    let q3 = rel("Student")
+        .rename("s")
+        .join_on(
+            rel("Registration").rename("r1").build(),
+            col("s.name").eq(col("r1.name")),
+        )
+        .join_on(
+            rel("Registration").rename("r2").build(),
+            col("s.name")
+                .eq(col("r2.name"))
+                .and(col("r1.course").ne(col("r2.course")))
+                .and(col("r1.dept").eq(lit("CS")))
+                .and(col("r2.dept").eq(lit("CS"))),
+        )
+        .project(&["s.name", "s.major"])
+        .build();
+    QueryBuilder::from_query(example1_q2()).difference(q3).build()
+}
+
+/// Q1 of Example 4: per-student average grade over **CS** registrations.
+pub fn example4_q1() -> Query {
+    rel("Student")
+        .rename("s")
+        .join_on(
+            rel("Registration").rename("r").build(),
+            col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+        )
+        .group_by(
+            &["s.name"],
+            vec![AggCall::new(AggFunc::Avg, col("r.grade"), "avg_grade")],
+            None,
+        )
+        .build()
+}
+
+/// Q2 of Example 4: per-student average grade over **all** registrations
+/// (the wrong query — it forgot the department filter).
+pub fn example4_q2() -> Query {
+    rel("Student")
+        .rename("s")
+        .join_on(
+            rel("Registration").rename("r").build(),
+            col("s.name").eq(col("r.name")),
+        )
+        .group_by(
+            &["s.name"],
+            vec![AggCall::new(AggFunc::Avg, col("r.grade"), "avg_grade")],
+            None,
+        )
+        .build()
+}
+
+/// Q1 of Example 5: average CS grade of students with at least `3` CS
+/// registrations (the HAVING COUNT predicate).
+pub fn example5_q1() -> Query {
+    example5_q1_with_threshold(lit(3i64))
+}
+
+/// Q2 of Example 5: same as [`example5_q1`] but without the department
+/// filter — the wrong query.
+pub fn example5_q2() -> Query {
+    example5_q2_with_threshold(lit(3i64))
+}
+
+/// Parameterized version of Example 5's Q1 (Example 6): the COUNT threshold
+/// is `@numCS`.
+pub fn example6_q1() -> Query {
+    example5_q1_with_threshold(param("numCS"))
+}
+
+/// Parameterized version of Example 5's Q2 (Example 6).
+pub fn example6_q2() -> Query {
+    example5_q2_with_threshold(param("numCS"))
+}
+
+fn example5_q1_with_threshold(threshold: crate::expr::Expr) -> Query {
+    rel("Student")
+        .rename("s")
+        .join_on(
+            rel("Registration").rename("r").build(),
+            col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+        )
+        .group_by(
+            &["s.name"],
+            vec![
+                AggCall::new(AggFunc::Avg, col("r.grade"), "avg_grade"),
+                AggCall::new(AggFunc::Count, col("r.course"), "num_courses"),
+            ],
+            Some(col("num_courses").ge(threshold)),
+        )
+        .project(&["name", "avg_grade"])
+        .build()
+}
+
+fn example5_q2_with_threshold(threshold: crate::expr::Expr) -> Query {
+    rel("Student")
+        .rename("s")
+        .join_on(
+            rel("Registration").rename("r").build(),
+            col("s.name").eq(col("r.name")),
+        )
+        .group_by(
+            &["s.name"],
+            vec![
+                AggCall::new(AggFunc::Avg, col("r.grade"), "avg_grade"),
+                AggCall::new(AggFunc::Count, col("r.course"), "num_courses"),
+            ],
+            Some(col("num_courses").ge(threshold)),
+        )
+        .project(&["name", "avg_grade"])
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate, evaluate_with_params, Params};
+
+    #[test]
+    fn figure1_has_eleven_tuples_and_valid_constraints() {
+        let db = figure1_db();
+        assert_eq!(db.total_tuples(), 11);
+        assert!(db.validate_constraints().is_ok());
+    }
+
+    #[test]
+    fn example1_results_match_figure2() {
+        let db = figure1_db();
+        assert_eq!(evaluate(&example1_q1(), &db).unwrap().len(), 1);
+        assert_eq!(evaluate(&example1_q2(), &db).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn example4_averages_match_the_paper() {
+        let db = figure1_db();
+        let out1 = evaluate(&example4_q1(), &db).unwrap();
+        assert!(out1.contains(&[Value::from("Mary"), Value::double(87.5)]));
+        let out2 = evaluate(&example4_q2(), &db).unwrap();
+        assert!(out2.contains(&[Value::from("Mary"), Value::double(90.0)]));
+        assert!(out2.contains(&[Value::from("John"), Value::double(89.0)]));
+        // Jesse registered only for CS courses, so his row is identical in
+        // both queries and cannot serve as a counterexample tuple.
+        assert!(out1.contains(&[Value::from("Jesse"), Value::double(90.0)]));
+        assert!(out2.contains(&[Value::from("Jesse"), Value::double(90.0)]));
+    }
+
+    #[test]
+    fn example5_having_filters_as_in_the_paper() {
+        let db = figure1_db();
+        let out1 = evaluate(&example5_q1(), &db).unwrap();
+        assert_eq!(out1.len(), 1); // only Jesse
+        let out2 = evaluate(&example5_q2(), &db).unwrap();
+        assert_eq!(out2.len(), 2); // Mary and Jesse
+    }
+
+    #[test]
+    fn example6_parameterization_matches() {
+        let db = figure1_db();
+        let mut p = Params::new();
+        p.insert("numCS".into(), Value::Int(3));
+        assert_eq!(
+            evaluate_with_params(&example6_q1(), &db, &p).unwrap().len(),
+            1
+        );
+        p.insert("numCS".into(), Value::Int(1));
+        assert_eq!(
+            evaluate_with_params(&example6_q1(), &db, &p).unwrap().len(),
+            3
+        );
+    }
+}

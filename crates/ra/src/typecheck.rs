@@ -1,0 +1,327 @@
+//! Static analysis: compute the output schema of a query against a database
+//! catalog, checking column references and union compatibility along the way.
+
+use crate::ast::{AggFunc, Query};
+use crate::error::{QueryError, Result};
+use crate::expr::Expr;
+use ratest_storage::{Column, DataType, Database, Schema};
+
+/// Compute the output schema of `query` when evaluated against `db`.
+///
+/// This performs all the static checks the evaluator relies on:
+/// * base relations exist,
+/// * every column reference resolves (unambiguously) against its input,
+/// * union/difference inputs are union compatible,
+/// * group-by columns exist and HAVING only references group-by columns and
+///   aggregate aliases.
+pub fn output_schema(query: &Query, db: &Database) -> Result<Schema> {
+    match query {
+        Query::Relation(name) => Ok(db.relation(name)?.schema().clone()),
+        Query::Select { input, predicate } => {
+            let schema = output_schema(input, db)?;
+            // Check that every referenced column resolves and the predicate
+            // is Boolean-typed.
+            for c in predicate.columns() {
+                Expr::resolve_column(&schema, &c)?;
+            }
+            let t = predicate.infer_type(&schema)?;
+            if t != DataType::Bool {
+                return Err(QueryError::TypeError(format!(
+                    "selection predicate has type {t}, expected BOOL"
+                )));
+            }
+            Ok(schema)
+        }
+        Query::Project { input, items } => {
+            let schema = output_schema(input, db)?;
+            let mut columns = Vec::with_capacity(items.len());
+            for item in items {
+                for c in item.expr.columns() {
+                    Expr::resolve_column(&schema, &c)?;
+                }
+                let dt = item.expr.infer_type(&schema)?;
+                columns.push(Column::new(item.alias.clone(), dt));
+            }
+            Ok(Schema::from_columns(columns))
+        }
+        Query::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let ls = output_schema(left, db)?;
+            let rs = output_schema(right, db)?;
+            let joined = ls.concat(&rs);
+            if let Some(p) = predicate {
+                for c in p.columns() {
+                    Expr::resolve_column(&joined, &c)?;
+                }
+                let t = p.infer_type(&joined)?;
+                if t != DataType::Bool {
+                    return Err(QueryError::TypeError(format!(
+                        "join predicate has type {t}, expected BOOL"
+                    )));
+                }
+            }
+            Ok(joined)
+        }
+        Query::Union { left, right } | Query::Difference { left, right } => {
+            let ls = output_schema(left, db)?;
+            let rs = output_schema(right, db)?;
+            if !ls.union_compatible(&rs) {
+                return Err(QueryError::NotUnionCompatible {
+                    left: ls.to_string(),
+                    right: rs.to_string(),
+                });
+            }
+            // The left schema's names win (SQL convention).
+            Ok(ls)
+        }
+        Query::Rename { input, prefix } => {
+            let schema = output_schema(input, db)?;
+            Ok(rename_schema(&schema, prefix))
+        }
+        Query::GroupBy {
+            input,
+            group_by,
+            aggregates,
+            having,
+        } => {
+            let schema = output_schema(input, db)?;
+            let mut columns = Vec::new();
+            for g in group_by {
+                let idx = Expr::resolve_column(&schema, g)?;
+                let c = schema.column(idx);
+                // Strip qualifiers in the output, mirroring SQL result naming.
+                let alias = g
+                    .rsplit_once('.')
+                    .map(|(_, last)| last.to_owned())
+                    .unwrap_or_else(|| g.clone());
+                columns.push(Column::new(alias, c.data_type));
+            }
+            for a in aggregates {
+                for c in a.arg.columns() {
+                    Expr::resolve_column(&schema, &c)?;
+                }
+                let dt = aggregate_type(a.func, &a.arg, &schema)?;
+                columns.push(Column::new(a.alias.clone(), dt));
+            }
+            let out = Schema::from_columns(columns);
+            if let Some(h) = having {
+                for c in h.columns() {
+                    Expr::resolve_column(&out, &c)?;
+                }
+                let t = h.infer_type(&out)?;
+                if t != DataType::Bool {
+                    return Err(QueryError::TypeError(format!(
+                        "HAVING predicate has type {t}, expected BOOL"
+                    )));
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// The output type of an aggregate call.
+pub fn aggregate_type(func: AggFunc, arg: &Expr, input: &Schema) -> Result<DataType> {
+    Ok(match func {
+        AggFunc::Count => DataType::Int,
+        AggFunc::Avg => DataType::Double,
+        AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+            let t = arg.infer_type(input)?;
+            if func == AggFunc::Sum && !t.is_numeric() {
+                return Err(QueryError::TypeError(format!("SUM over non-numeric type {t}")));
+            }
+            t
+        }
+    })
+}
+
+/// Prefix every column of a schema with `prefix.` (stripping any existing
+/// qualifier first, so `ρ_{r2}(ρ_{r1}(R))` yields `r2.*` not `r2.r1.*`).
+pub fn rename_schema(schema: &Schema, prefix: &str) -> Schema {
+    Schema::from_columns(
+        schema
+            .columns()
+            .iter()
+            .map(|c| {
+                let base = c
+                    .name
+                    .rsplit_once('.')
+                    .map(|(_, last)| last.to_owned())
+                    .unwrap_or_else(|| c.name.clone());
+                Column {
+                    name: format!("{prefix}.{base}"),
+                    data_type: c.data_type,
+                    nullable: c.nullable,
+                }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AggCall;
+    use crate::builder::{col, lit, rel};
+    use ratest_storage::{Relation, Value};
+
+    fn db() -> Database {
+        let mut student = Relation::new(
+            "Student",
+            Schema::new(vec![("name", DataType::Text), ("major", DataType::Text)]),
+        );
+        student
+            .insert(vec![Value::from("Mary"), Value::from("CS")])
+            .unwrap();
+        let mut reg = Relation::new(
+            "Registration",
+            Schema::new(vec![
+                ("name", DataType::Text),
+                ("course", DataType::Text),
+                ("dept", DataType::Text),
+                ("grade", DataType::Int),
+            ]),
+        );
+        reg.insert(vec![
+            Value::from("Mary"),
+            Value::from("216"),
+            Value::from("CS"),
+            Value::Int(100),
+        ])
+        .unwrap();
+        let mut db = Database::new("toy");
+        db.add_relation(student).unwrap();
+        db.add_relation(reg).unwrap();
+        db
+    }
+
+    #[test]
+    fn relation_and_select_schemas() {
+        let db = db();
+        let q = rel("Student").select(col("major").eq(lit("CS"))).build();
+        let s = output_schema(&q, &db).unwrap();
+        assert_eq!(s.names().collect::<Vec<_>>(), vec!["name", "major"]);
+
+        let bad = rel("Student").select(col("zzz").eq(lit(1i64))).build();
+        assert!(output_schema(&bad, &db).is_err());
+
+        let nonbool = rel("Student").select(col("name")).build();
+        assert!(matches!(
+            output_schema(&nonbool, &db),
+            Err(QueryError::TypeError(_))
+        ));
+    }
+
+    #[test]
+    fn join_concats_and_rename_qualifies() {
+        let db = db();
+        let q = rel("Student")
+            .rename("s")
+            .join_on(
+                rel("Registration").rename("r").build(),
+                col("s.name").eq(col("r.name")),
+            )
+            .build();
+        let s = output_schema(&q, &db).unwrap();
+        assert_eq!(s.arity(), 6);
+        assert_eq!(s.column(0).name, "s.name");
+        assert_eq!(s.column(2).name, "r.name");
+    }
+
+    #[test]
+    fn double_rename_does_not_stack_prefixes() {
+        let db = db();
+        let q = rel("Registration").rename("r1").rename("r2").build();
+        let s = output_schema(&q, &db).unwrap();
+        assert_eq!(s.column(0).name, "r2.name");
+    }
+
+    #[test]
+    fn union_compatibility_is_enforced() {
+        let db = db();
+        let ok = rel("Student")
+            .project(&["name"])
+            .union(rel("Registration").project(&["course"]).build())
+            .build();
+        assert!(output_schema(&ok, &db).is_ok());
+
+        let bad = rel("Student")
+            .union(rel("Registration").build())
+            .build();
+        assert!(matches!(
+            output_schema(&bad, &db),
+            Err(QueryError::NotUnionCompatible { .. })
+        ));
+    }
+
+    #[test]
+    fn groupby_schema_and_having_checks() {
+        let db = db();
+        let q = rel("Registration")
+            .group_by(
+                &["name"],
+                vec![
+                    AggCall::new(AggFunc::Avg, col("grade"), "avg_grade"),
+                    AggCall::count_star("n"),
+                ],
+                Some(col("n").ge(lit(3i64))),
+            )
+            .build();
+        let s = output_schema(&q, &db).unwrap();
+        assert_eq!(
+            s.names().collect::<Vec<_>>(),
+            vec!["name", "avg_grade", "n"]
+        );
+        assert_eq!(s.column(1).data_type, DataType::Double);
+        assert_eq!(s.column(2).data_type, DataType::Int);
+
+        // HAVING referencing a non-output column fails.
+        let bad = rel("Registration")
+            .group_by(
+                &["name"],
+                vec![AggCall::count_star("n")],
+                Some(col("grade").ge(lit(3i64))),
+            )
+            .build();
+        assert!(output_schema(&bad, &db).is_err());
+    }
+
+    #[test]
+    fn sum_over_text_is_a_type_error() {
+        let db = db();
+        let q = rel("Registration")
+            .group_by(
+                &["name"],
+                vec![AggCall::new(AggFunc::Sum, col("course"), "s")],
+                None,
+            )
+            .build();
+        assert!(matches!(
+            output_schema(&q, &db),
+            Err(QueryError::TypeError(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_relation_is_reported() {
+        let db = db();
+        assert!(output_schema(&Query::relation("Nope"), &db).is_err());
+    }
+
+    #[test]
+    fn projection_computes_types() {
+        let db = db();
+        let q = rel("Registration")
+            .project_items(vec![
+                crate::ast::ProjectItem::column("name"),
+                crate::ast::ProjectItem::expr(col("grade").add(lit(5i64)), "bumped"),
+            ])
+            .build();
+        let s = output_schema(&q, &db).unwrap();
+        assert_eq!(s.column(1).name, "bumped");
+        assert_eq!(s.column(1).data_type, DataType::Int);
+    }
+}

@@ -1,0 +1,283 @@
+//! `Agg-Basic`: provenance-for-aggregates encoding (Section 5.2).
+//!
+//! For a candidate group key, the Boolean skeleton requires that the group
+//! exists in at least one of the two queries; the solver minimizes the number
+//! of retained tuples among the variables of that group, and a lazy theory
+//! check — re-evaluating both aggregate queries on the candidate
+//! sub-instance via the pre-computed group provenance — rejects models on
+//! which the queries happen to agree (e.g. equal AVG values), blocking them
+//! and continuing. This mirrors the paper's symbolic SMT encoding
+//! (Listing 2) with evaluation standing in for symbolic arithmetic.
+
+use super::pair_provenance;
+use crate::encode::{encode_provenance, foreign_key_clauses, VarMap};
+use crate::error::{RatestError, Result};
+use crate::pipeline::Timings;
+use crate::problem::{build_counterexample, check_distinguishes, Counterexample};
+use ratest_provenance::aggprov::AggregateProvenance;
+use ratest_provenance::BoolExpr;
+use ratest_ra::ast::Query;
+use ratest_ra::eval::Params;
+use ratest_solver::formula::Formula;
+use ratest_solver::minones::{minimize_ones_with_theory, MinOnesOptions};
+use ratest_storage::{Database, TupleSelection, Value};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Options for `Agg-Basic`.
+#[derive(Debug, Clone)]
+pub struct AggBasicOptions {
+    /// Maximum number of candidate groups to try (ordered by provenance
+    /// size, smallest first, as suggested in Section 5.3.2).
+    pub max_groups: usize,
+}
+
+impl Default for AggBasicOptions {
+    fn default() -> Self {
+        AggBasicOptions { max_groups: 8 }
+    }
+}
+
+/// Run `Agg-Basic` on an aggregate query pair.
+pub fn smallest_counterexample_agg_basic(
+    q1: &Query,
+    q2: &Query,
+    db: &Database,
+    params: &Params,
+    options: &AggBasicOptions,
+) -> Result<(Counterexample, Timings)> {
+    let mut timings = Timings::default();
+
+    let start = Instant::now();
+    let (r1, r2) = check_distinguishes(q1, q2, db, params)?;
+    timings.raw_eval = start.elapsed();
+    if r1.set_eq(&r2) {
+        return Err(RatestError::QueriesAgreeOnInstance);
+    }
+
+    let start = Instant::now();
+    let (p1, p2) = pair_provenance(q1, q2, db, params)?;
+    timings.provenance = start.elapsed();
+
+    let start = Instant::now();
+    let candidates = candidate_group_keys(&p1, &p2, params)?;
+    let mut best: Option<Counterexample> = None;
+    for key in candidates.into_iter().take(options.max_groups) {
+        match solve_for_group(q1, q2, db, params, &p1, &p2, &key)? {
+            Some(cex) => {
+                let better = best.as_ref().map(|b| cex.size() < b.size()).unwrap_or(true);
+                if better {
+                    best = Some(cex);
+                }
+            }
+            None => continue,
+        }
+    }
+    timings.solver = start.elapsed();
+    timings.total = timings.raw_eval + timings.provenance + timings.solver;
+
+    best.map(|c| (c, timings)).ok_or_else(|| {
+        RatestError::Unsupported("no candidate group yields a distinguishing sub-instance".into())
+    })
+}
+
+/// Group keys on which the two queries (may) disagree, ordered by the number
+/// of involved tuples so that small groups are attempted first.
+pub(crate) fn candidate_group_keys(
+    p1: &AggregateProvenance,
+    p2: &AggregateProvenance,
+    params: &Params,
+) -> Result<Vec<Vec<Value>>> {
+    let mut keys: BTreeSet<Vec<Value>> = BTreeSet::new();
+    for g in &p1.groups {
+        keys.insert(g.key.clone());
+    }
+    for g in &p2.groups {
+        keys.insert(g.key.clone());
+    }
+    let mut scored: Vec<(bool, usize, Vec<Value>)> = Vec::new();
+    for key in keys {
+        let size = group_var_count(p1, &key) + group_var_count(p2, &key);
+        // Groups whose full-instance rows already differ are guaranteed to
+        // lead somewhere, so they come first; among those, prefer the group
+        // with the fewest involved tuples (Section 5.3.2).
+        let differs = rows_differ_on_full_instance(p1, p2, &key, params)?;
+        scored.push((!differs, size, key));
+    }
+    scored.sort();
+    Ok(scored.into_iter().map(|(_, _, k)| k).collect())
+}
+
+fn group_var_count(p: &AggregateProvenance, key: &[Value]) -> usize {
+    p.group_by_key(key).map(|g| g.variables().len()).unwrap_or(0)
+}
+
+fn rows_differ_on_full_instance(
+    p1: &AggregateProvenance,
+    p2: &AggregateProvenance,
+    key: &[Value],
+    params: &Params,
+) -> Result<bool> {
+    let always = |_id| true;
+    let row1 = match p1.group_by_key(key) {
+        Some(g) => g.evaluate_under(&p1.group_schema, &always, params)?,
+        None => None,
+    };
+    let row2 = match p2.group_by_key(key) {
+        Some(g) => g.evaluate_under(&p2.group_schema, &always, params)?,
+        None => None,
+    };
+    Ok(row1 != row2)
+}
+
+/// Solve the min-ones problem restricted to one group.
+fn solve_for_group(
+    q1: &Query,
+    q2: &Query,
+    db: &Database,
+    params: &Params,
+    p1: &AggregateProvenance,
+    p2: &AggregateProvenance,
+    key: &[Value],
+) -> Result<Option<Counterexample>> {
+    let exists1 = p1
+        .group_by_key(key)
+        .map(|g| g.exists.clone())
+        .unwrap_or(BoolExpr::False);
+    let exists2 = p2
+        .group_by_key(key)
+        .map(|g| g.exists.clone())
+        .unwrap_or(BoolExpr::False);
+    // The group must exist in at least one query (a necessary condition for
+    // the group to contribute a difference).
+    let skeleton = BoolExpr::or2(exists1, exists2);
+    if skeleton.is_false() {
+        return Ok(None);
+    }
+
+    let mut vars = VarMap::new();
+    let mut parts = vec![encode_provenance(&skeleton, &mut vars)];
+    parts.extend(foreign_key_clauses(db, &mut vars)?);
+    let formula = Formula::and(parts);
+    let objective = vars.all_vars();
+
+    let vars_for_theory = vars.clone();
+    let accept = |true_vars: &[ratest_solver::Var]| -> bool {
+        let selection = vars_for_theory.selection_from_vars(true_vars);
+        queries_differ_under(p1, p2, &selection, params).unwrap_or(false)
+    };
+    let sol = match minimize_ones_with_theory(
+        &formula,
+        &objective,
+        &MinOnesOptions::default(),
+        accept,
+    ) {
+        Ok(sol) => sol,
+        Err(ratest_solver::SolverError::Unsatisfiable)
+        | Err(ratest_solver::SolverError::BudgetExhausted { .. }) => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let selection = vars.selection_from_vars(&sol.true_vars);
+    match build_counterexample(q1, q2, db, selection, None, params) {
+        Ok(cex) => Ok(Some(cex)),
+        Err(RatestError::Unsupported(_)) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// The lazy theory check: do the two aggregate queries produce different
+/// output sets on the sub-instance described by `selection`?
+pub(crate) fn queries_differ_under(
+    p1: &AggregateProvenance,
+    p2: &AggregateProvenance,
+    selection: &TupleSelection,
+    params: &Params,
+) -> Result<bool> {
+    let present = |id| selection.contains(id);
+    let out1 = p1.evaluate_under(&present, params)?;
+    let out2 = p2.evaluate_under(&present, params)?;
+    if out1.len() != out2.len() {
+        return Ok(true);
+    }
+    let set1: BTreeSet<&Vec<Value>> = out1.iter().collect();
+    Ok(!out2.iter().all(|r| set1.contains(r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratest_ra::testdata;
+
+    #[test]
+    fn example4_yields_a_tiny_counterexample() {
+        // The paper's discussion of Example 4: a counterexample needs only
+        // Mary's ECON registration (plus Mary herself, for the join/FK),
+        // because then Q1 returns nothing for Mary while Q2 returns (Mary, 95).
+        let db = testdata::figure1_db();
+        let (cex, _) = smallest_counterexample_agg_basic(
+            &testdata::example4_q1(),
+            &testdata::example4_q2(),
+            &db,
+            &Params::new(),
+            &AggBasicOptions::default(),
+        )
+        .unwrap();
+        assert!(cex.size() <= 2, "expected ≤ 2 tuples, got {}", cex.size());
+        assert!(!cex.q1_result.set_eq(&cex.q2_result));
+    }
+
+    #[test]
+    fn example5_counterexample_respects_the_having_threshold() {
+        // With HAVING COUNT >= 3 fixed, the counterexample must keep all of
+        // Mary's three registrations plus Mary (4 tuples) — the paper's
+        // motivation for parameterization.
+        let db = testdata::figure1_db();
+        let (cex, _) = smallest_counterexample_agg_basic(
+            &testdata::example5_q1(),
+            &testdata::example5_q2(),
+            &db,
+            &Params::new(),
+            &AggBasicOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(cex.size(), 4);
+    }
+
+    #[test]
+    fn equivalent_aggregate_queries_are_rejected() {
+        let db = testdata::figure1_db();
+        let q = testdata::example4_q1();
+        assert!(matches!(
+            smallest_counterexample_agg_basic(
+                &q,
+                &q,
+                &db,
+                &Params::new(),
+                &AggBasicOptions::default()
+            ),
+            Err(RatestError::QueriesAgreeOnInstance)
+        ));
+    }
+
+    #[test]
+    fn theory_check_detects_agreement_and_disagreement() {
+        let db = testdata::figure1_db();
+        let (p1, p2) = pair_provenance(
+            &testdata::example4_q1(),
+            &testdata::example4_q2(),
+            &db,
+            &Params::new(),
+        )
+        .unwrap();
+        // Empty sub-instance: both queries return nothing — no difference.
+        assert!(!queries_differ_under(&p1, &p2, &TupleSelection::new(), &Params::new()).unwrap());
+        // Full instance: they differ.
+        assert!(queries_differ_under(
+            &p1,
+            &p2,
+            &TupleSelection::all(&db),
+            &Params::new()
+        )
+        .unwrap());
+    }
+}

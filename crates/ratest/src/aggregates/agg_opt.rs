@@ -1,0 +1,261 @@
+//! `Agg-Opt`: the heuristic algorithm for aggregate queries (Algorithm 3).
+//!
+//! Instead of encoding whole groups, look at the *inputs* of the aggregation:
+//! if the group produced by `Q1` differs from `Q2`'s, then the underlying
+//! SPJUD queries `Q1'` and `Q2'` (the aggregation inputs) must already differ
+//! on some tuple. Run `Optσ` on `(Q1', Q2')`, re-choose any aggregate-value
+//! parameters from the candidate counterexample (line 12 of Algorithm 3), and
+//! verify against the original aggregate queries; if the check fails, ask the
+//! solver for a different model and repeat — exactly the repeat-until loop of
+//! the paper.
+
+use super::pair_provenance;
+use crate::error::{RatestError, Result};
+use crate::optsigma::{smallest_witness_optsigma_accepting, OptSigmaOptions};
+use crate::pipeline::Timings;
+use crate::problem::{build_counterexample, check_distinguishes, Counterexample};
+use ratest_ra::ast::Query;
+use ratest_ra::eval::Params;
+use ratest_storage::{Database, TupleSelection, Value};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Options for `Agg-Opt`.
+#[derive(Debug, Clone)]
+pub struct AggOptOptions {
+    /// Options forwarded to the inner `Optσ` run.
+    pub optsigma: OptSigmaOptions,
+    /// Extra candidate parameter values tried when re-choosing λ'.
+    pub extra_candidates: Vec<i64>,
+}
+
+impl Default for AggOptOptions {
+    fn default() -> Self {
+        AggOptOptions {
+            optsigma: OptSigmaOptions::default(),
+            extra_candidates: vec![0, 1],
+        }
+    }
+}
+
+/// Run the `Agg-Opt` heuristic on an aggregate query pair.
+pub fn smallest_counterexample_agg_opt(
+    q1: &Query,
+    q2: &Query,
+    db: &Database,
+    original_params: &Params,
+    options: &AggOptOptions,
+) -> Result<(Counterexample, Timings)> {
+    let mut timings = Timings::default();
+
+    let start = Instant::now();
+    let (r1, r2) = check_distinguishes(q1, q2, db, original_params)?;
+    timings.raw_eval = start.elapsed();
+    if r1.set_eq(&r2) {
+        return Err(RatestError::QueriesAgreeOnInstance);
+    }
+
+    // Aggregate provenance gives us (a) the stripped inner queries Q1', Q2'
+    // and (b) a fast way to re-check the original queries on candidates.
+    let start = Instant::now();
+    let (p1, p2) = pair_provenance(q1, q2, db, original_params)?;
+    let inner1 = p1.inner.clone();
+    let inner2 = p2.inner.clone();
+    timings.provenance = start.elapsed();
+
+    let param_names: BTreeSet<String> = q1.params().union(&q2.params()).cloned().collect();
+    let chosen: RefCell<Params> = RefCell::new(original_params.clone());
+
+    // Acceptance check = line 13 of Algorithm 3: the candidate must make the
+    // *original* queries disagree under some parameter setting.
+    let accept = |selection: &TupleSelection| -> bool {
+        for candidate in candidate_params(&param_names, original_params, options, selection, &p1, &p2)
+        {
+            let present = |id| selection.contains(id);
+            let out1 = p1.evaluate_under(&present, &candidate);
+            let out2 = p2.evaluate_under(&present, &candidate);
+            if let (Ok(a), Ok(b)) = (out1, out2) {
+                let sa: BTreeSet<&Vec<Value>> = a.iter().collect();
+                let sb: BTreeSet<&Vec<Value>> = b.iter().collect();
+                if sa != sb {
+                    *chosen.borrow_mut() = candidate;
+                    return true;
+                }
+            }
+        }
+        false
+    };
+
+    // Run Optσ on the stripped SPJUD queries with the acceptance hook.
+    let start = Instant::now();
+    let (inner_cex, inner_timings) = smallest_witness_optsigma_accepting(
+        &inner1,
+        &inner2,
+        db,
+        original_params,
+        &options.optsigma,
+        accept,
+    )
+    .map_err(|e| match e {
+        RatestError::QueriesAgreeOnInstance => RatestError::Unsupported(
+            "the aggregation inputs agree on the instance; Agg-Opt does not apply".into(),
+        ),
+        other => other,
+    })?;
+    timings.solver = start
+        .elapsed()
+        .saturating_sub(inner_timings.raw_eval)
+        .saturating_sub(inner_timings.provenance);
+    timings.provenance += inner_timings.provenance;
+    timings.raw_eval += inner_timings.raw_eval;
+
+    // Rebuild the counterexample against the *original* aggregate queries
+    // with the chosen parameter setting λ'.
+    let params = chosen.into_inner();
+    let cex = build_counterexample(q1, q2, db, inner_cex.subinstance.selection, None, &params)?;
+    timings.total = timings.raw_eval + timings.provenance + timings.solver;
+    Ok((cex, timings))
+}
+
+/// Candidate parameter settings derived from the candidate sub-instance
+/// (paper: COUNT → 1 or 0 depending on the comparison operator; SUM/AVG/
+/// MIN/MAX → a value attained by the candidate), plus the original setting.
+fn candidate_params(
+    param_names: &BTreeSet<String>,
+    original: &Params,
+    options: &AggOptOptions,
+    selection: &TupleSelection,
+    p1: &ratest_provenance::AggregateProvenance,
+    p2: &ratest_provenance::AggregateProvenance,
+) -> Vec<Params> {
+    if param_names.is_empty() {
+        return vec![original.clone()];
+    }
+    let mut values: BTreeSet<i64> = options.extra_candidates.iter().copied().collect();
+    for (name, v) in original.iter() {
+        if param_names.contains(name) {
+            if let Some(i) = v.as_int() {
+                values.insert(i);
+            }
+        }
+    }
+    for p in [p1, p2] {
+        for g in &p.groups {
+            let live = g
+                .members
+                .iter()
+                .filter(|m| m.provenance.eval(&|id| selection.contains(id)))
+                .count() as i64;
+            if live > 0 {
+                values.insert(live);
+            }
+        }
+    }
+    let mut settings: Vec<Params> = vec![Params::new()];
+    for name in param_names {
+        let mut next = Vec::new();
+        for setting in &settings {
+            for v in &values {
+                let mut s = setting.clone();
+                s.insert(name.clone(), Value::Int(*v));
+                next.push(s);
+            }
+        }
+        settings = next;
+        if settings.len() > 256 {
+            settings.truncate(256);
+        }
+    }
+    settings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregates::agg_basic::{smallest_counterexample_agg_basic, AggBasicOptions};
+    use ratest_ra::testdata;
+
+    #[test]
+    fn example7_heuristic_finds_a_two_tuple_counterexample() {
+        // The paper's Example 7: comparing the aggregation inputs directly
+        // yields {Mary, her ECON registration} (or John's equivalent).
+        let db = testdata::figure1_db();
+        let (cex, _) = smallest_counterexample_agg_opt(
+            &testdata::example4_q1(),
+            &testdata::example4_q2(),
+            &db,
+            &Params::new(),
+            &AggOptOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(cex.size(), 2);
+        assert!(!cex.q1_result.set_eq(&cex.q2_result));
+    }
+
+    #[test]
+    fn heuristic_is_no_worse_than_agg_basic_on_example4() {
+        let db = testdata::figure1_db();
+        let (basic, _) = smallest_counterexample_agg_basic(
+            &testdata::example4_q1(),
+            &testdata::example4_q2(),
+            &db,
+            &Params::new(),
+            &AggBasicOptions::default(),
+        )
+        .unwrap();
+        let (opt, _) = smallest_counterexample_agg_opt(
+            &testdata::example4_q1(),
+            &testdata::example4_q2(),
+            &db,
+            &Params::new(),
+            &AggOptOptions::default(),
+        )
+        .unwrap();
+        assert!(opt.size() <= basic.size() + 1);
+    }
+
+    #[test]
+    fn parameterized_queries_get_a_new_lambda() {
+        let db = testdata::figure1_db();
+        let mut original = Params::new();
+        original.insert("numCS".into(), Value::Int(3));
+        let (cex, _) = smallest_counterexample_agg_opt(
+            &testdata::example6_q1(),
+            &testdata::example6_q2(),
+            &db,
+            &original,
+            &AggOptOptions::default(),
+        )
+        .unwrap();
+        assert!(cex.size() <= 4);
+        // Verification with the recorded parameters must hold.
+        let r1 = ratest_ra::eval::evaluate_with_params(
+            &testdata::example6_q1(),
+            cex.database(),
+            &cex.parameters,
+        )
+        .unwrap();
+        let r2 = ratest_ra::eval::evaluate_with_params(
+            &testdata::example6_q2(),
+            cex.database(),
+            &cex.parameters,
+        )
+        .unwrap();
+        assert!(!r1.set_eq(&r2));
+    }
+
+    #[test]
+    fn identical_queries_are_rejected() {
+        let db = testdata::figure1_db();
+        let q = testdata::example5_q1();
+        assert!(smallest_counterexample_agg_opt(
+            &q,
+            &q,
+            &db,
+            &Params::new(),
+            &AggOptOptions::default()
+        )
+        .is_err());
+    }
+}

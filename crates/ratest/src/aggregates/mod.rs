@@ -1,0 +1,44 @@
+//! Counterexample algorithms for aggregate queries (Section 5 of the paper).
+//!
+//! Witnesses are too strict for aggregates — removing *any* tuple of a group
+//! changes the aggregate value — so these algorithms search directly for a
+//! sub-instance on which the two queries return different results:
+//!
+//! * [`agg_basic`] — encode the group-existence provenance of both queries
+//!   for a candidate group and minimize with the solver, using a lazy
+//!   arithmetic check ("do the two queries really disagree on this
+//!   sub-instance?") in place of Z3's symbolic arithmetic (`Agg-Basic`),
+//! * [`agg_param`] — the parameterized variant (Definition 3): constants
+//!   compared against aggregate values become free parameters the search may
+//!   re-choose, yielding much smaller counterexamples (`Agg-Param`),
+//! * [`agg_opt`] — the heuristic of Algorithm 3: strip the aggregations,
+//!   find a counterexample for the underlying SPJUD queries with `Optσ`,
+//!   re-choose parameters from the candidate, and verify against the
+//!   original queries, repeating with a different model if the check fails
+//!   (`Agg-Opt`).
+
+pub mod agg_basic;
+pub mod agg_opt;
+pub mod agg_param;
+
+pub use agg_basic::smallest_counterexample_agg_basic;
+pub use agg_opt::smallest_counterexample_agg_opt;
+pub use agg_param::smallest_counterexample_agg_param;
+
+use crate::error::Result;
+use ratest_provenance::aggprov::{aggregate_provenance, AggregateProvenance};
+use ratest_ra::ast::Query;
+use ratest_ra::eval::Params;
+use ratest_storage::Database;
+
+/// Compute aggregate provenance for both queries of a pair.
+pub(crate) fn pair_provenance(
+    q1: &Query,
+    q2: &Query,
+    db: &Database,
+    params: &Params,
+) -> Result<(AggregateProvenance, AggregateProvenance)> {
+    let p1 = aggregate_provenance(q1, db, params)?;
+    let p2 = aggregate_provenance(q2, db, params)?;
+    Ok((p1, p2))
+}

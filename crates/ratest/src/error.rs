@@ -1,0 +1,86 @@
+//! Error type for the RATest core algorithms.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, RatestError>;
+
+/// Errors raised by the counterexample algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RatestError {
+    /// Query-layer error (parsing, type checking, evaluation).
+    Query(ratest_ra::QueryError),
+    /// Provenance-layer error.
+    Provenance(ratest_provenance::ProvenanceError),
+    /// Solver-layer error.
+    Solver(ratest_solver::SolverError),
+    /// The two queries have incompatible output schemas — their schemas
+    /// already explain the inequivalence, no counterexample search is needed.
+    NotUnionCompatible {
+        /// Rendered schema of `Q1`.
+        left: String,
+        /// Rendered schema of `Q2`.
+        right: String,
+    },
+    /// The queries agree on the given instance, so it is not a
+    /// counterexample to begin with.
+    QueriesAgreeOnInstance,
+    /// An algorithm-specific precondition failed.
+    Unsupported(String),
+}
+
+impl fmt::Display for RatestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RatestError::Query(e) => write!(f, "query error: {e}"),
+            RatestError::Provenance(e) => write!(f, "provenance error: {e}"),
+            RatestError::Solver(e) => write!(f, "solver error: {e}"),
+            RatestError::NotUnionCompatible { left, right } => {
+                write!(f, "queries are not union compatible: {left} vs {right}")
+            }
+            RatestError::QueriesAgreeOnInstance => {
+                write!(f, "Q1(D) = Q2(D): the instance does not distinguish the queries")
+            }
+            RatestError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RatestError {}
+
+impl From<ratest_ra::QueryError> for RatestError {
+    fn from(e: ratest_ra::QueryError) -> Self {
+        RatestError::Query(e)
+    }
+}
+impl From<ratest_provenance::ProvenanceError> for RatestError {
+    fn from(e: ratest_provenance::ProvenanceError) -> Self {
+        RatestError::Provenance(e)
+    }
+}
+impl From<ratest_solver::SolverError> for RatestError {
+    fn from(e: ratest_solver::SolverError) -> Self {
+        RatestError::Solver(e)
+    }
+}
+impl From<ratest_storage::StorageError> for RatestError {
+    fn from(e: ratest_storage::StorageError) -> Self {
+        RatestError::Query(ratest_ra::QueryError::Storage(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RatestError = ratest_solver::SolverError::Unsatisfiable.into();
+        assert!(e.to_string().contains("unsat"));
+        let e: RatestError = ratest_ra::QueryError::MissingParameter("p".into()).into();
+        assert!(e.to_string().contains("@p"));
+        let e: RatestError = ratest_storage::StorageError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains('R'));
+        assert!(RatestError::QueriesAgreeOnInstance.to_string().contains("Q1(D)"));
+    }
+}

@@ -1,0 +1,65 @@
+//! # ratest-core
+//!
+//! The RATest algorithms from *"Explaining Wrong Queries Using Small
+//! Examples"* (Miao, Roy, Yang — SIGMOD 2019): given a reference query `Q1`,
+//! a test query `Q2` and a test database instance `D` with
+//! `Q1(D) ≠ Q2(D)`, find a **small counterexample** `D' ⊆ D` such that
+//! `Q1(D') ≠ Q2(D')`.
+//!
+//! The crate implements the paper's full algorithm suite:
+//!
+//! * [`problem`] — the *smallest counterexample problem* (SCP) and *smallest
+//!   witness problem* (SWP) definitions, counterexample verification and
+//!   result types,
+//! * [`encode`] — translation of Boolean how-provenance plus foreign-key
+//!   constraints into solver formulas (Section 4.1 and 4.3),
+//! * [`basic`] — Algorithm 1 (`Basic`): iterate over all differing output
+//!   tuples, solve each witness problem, keep the global best,
+//! * [`optsigma`] — Algorithm 2 (`Optσ`): pick one differing tuple, push a
+//!   tuple-equality selection down `Q1 − Q2`, compute provenance for that
+//!   tuple only, and minimize with the optimizing solver,
+//! * [`polytime`] — the poly-time special cases of Table 1 (monotone SPJU
+//!   witnesses via DNF minterms; SPJUD\* via combination of minimal
+//!   witnesses),
+//! * [`aggregates`] — the aggregate-query extensions of Section 5
+//!   (`Agg-Basic` provenance encoding, `Agg-Param` parameterized
+//!   counterexamples, `Agg-Opt` heuristic — Algorithm 3),
+//! * [`pipeline`] — the end-to-end RATest entry point that classifies the
+//!   query pair and dispatches to the right algorithm, with per-phase
+//!   timing breakdowns used by the experiment harness,
+//! * [`report`] — human-readable explanations (the CLI stand-in for the
+//!   web UI shown to students).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ratest_core::pipeline::{explain, RatestOptions};
+//! use ratest_ra::testdata;
+//!
+//! let db = testdata::figure1_db();
+//! let outcome = explain(
+//!     &testdata::example1_q1(), // instructor's correct query
+//!     &testdata::example1_q2(), // student's wrong query
+//!     &db,
+//!     &RatestOptions::default(),
+//! ).unwrap();
+//! let cex = outcome.counterexample.expect("queries differ");
+//! assert_eq!(cex.size(), 3); // e.g. {Mary} ∪ {two of her CS registrations}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregates;
+pub mod basic;
+pub mod encode;
+pub mod error;
+pub mod optsigma;
+pub mod pipeline;
+pub mod polytime;
+pub mod problem;
+pub mod report;
+
+pub use error::{RatestError, Result};
+pub use pipeline::{explain, ExplainOutcome, RatestOptions, SolverStrategy, Timings};
+pub use problem::{Counterexample, Witness};

@@ -1,0 +1,370 @@
+//! The end-to-end RATest pipeline: classify the query pair, dispatch to the
+//! appropriate algorithm, and package the result with timing breakdowns.
+//!
+//! This is the programmatic equivalent of submitting a query to the RATest
+//! web tool (Section 6): the caller provides the reference query, the test
+//! query and the hidden test instance; the pipeline either reports that the
+//! queries agree on the instance or returns a small counterexample together
+//! with the results of both queries on it.
+
+use crate::aggregates::agg_basic::{smallest_counterexample_agg_basic, AggBasicOptions};
+use crate::aggregates::agg_opt::{smallest_counterexample_agg_opt, AggOptOptions};
+use crate::aggregates::agg_param::{smallest_counterexample_agg_param, AggParamOptions};
+use crate::basic::{smallest_counterexample_basic, BasicOptions};
+use crate::error::{RatestError, Result};
+use crate::optsigma::{smallest_witness_optsigma, OptSigmaOptions};
+use crate::polytime::{smallest_witness_monotone, smallest_witness_spjud_star};
+use crate::problem::{check_distinguishes, Counterexample};
+use ratest_ra::ast::Query;
+use ratest_ra::classify::{classify_pair, QueryClass};
+use ratest_ra::eval::Params;
+use ratest_storage::Database;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How the min-ones problem is solved (the "solver strategy" axis of
+/// Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverStrategy {
+    /// Exact optimization (binary-search descent on the cardinality bound) —
+    /// the paper's `Opt`.
+    Optimize,
+    /// Bounded model enumeration keeping the best model seen — the paper's
+    /// `Naive-k`.
+    Enumerate {
+        /// Maximum number of models to enumerate (Δ in Algorithm 1).
+        max_models: usize,
+    },
+}
+
+/// Which top-level algorithm the pipeline should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Choose automatically based on the query classes (default).
+    Auto,
+    /// Force Algorithm 1 (`Basic`, solves SCP).
+    Basic,
+    /// Force Algorithm 2 (`Optσ`, solves SWP for one tuple).
+    OptSigma,
+    /// Force the monotone poly-time algorithm (SPJU pairs only).
+    PolytimeMonotone,
+    /// Force the SPJUD\* poly-time algorithm.
+    PolytimeSpjudStar,
+    /// Force `Agg-Basic`.
+    AggBasic,
+    /// Force `Agg-Param` (parameterized counterexamples).
+    AggParam,
+    /// Force `Agg-Opt` (Algorithm 3 heuristic).
+    AggOpt,
+}
+
+/// Per-phase wall-clock timing breakdown, matching the components reported in
+/// Figures 3, 4 and 6 of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timings {
+    /// Evaluating the raw queries (`raw`).
+    pub raw_eval: Duration,
+    /// Computing provenance (`prov-all` / `prov-sp`).
+    pub provenance: Duration,
+    /// Constraint solving (`solver-*`).
+    pub solver: Duration,
+    /// Total of the above.
+    pub total: Duration,
+}
+
+impl Timings {
+    /// Add another breakdown onto this one (used when averaging over a
+    /// workload).
+    pub fn accumulate(&mut self, other: &Timings) {
+        self.raw_eval += other.raw_eval;
+        self.provenance += other.provenance;
+        self.solver += other.solver;
+        self.total += other.total;
+    }
+}
+
+/// Options for [`explain`].
+#[derive(Debug, Clone)]
+pub struct RatestOptions {
+    /// Which algorithm to run.
+    pub algorithm: Algorithm,
+    /// Solver strategy for the SPJUD algorithms.
+    pub strategy: SolverStrategy,
+    /// Whether `Optσ` pushes the tuple-equality selection down before
+    /// computing provenance.
+    pub selection_pushdown: bool,
+    /// Original parameter setting λ for parameterized queries.
+    pub parameters: Params,
+}
+
+impl Default for RatestOptions {
+    fn default() -> Self {
+        RatestOptions {
+            algorithm: Algorithm::Auto,
+            strategy: SolverStrategy::Optimize,
+            selection_pushdown: true,
+            parameters: Params::new(),
+        }
+    }
+}
+
+/// The outcome of running the pipeline.
+#[derive(Debug, Clone)]
+pub struct ExplainOutcome {
+    /// The counterexample, or `None` when the queries agree on the instance
+    /// (i.e. the test passes).
+    pub counterexample: Option<Counterexample>,
+    /// The query class the pair was classified into.
+    pub class: QueryClass,
+    /// Which algorithm actually ran.
+    pub algorithm_used: Algorithm,
+    /// Timing breakdown of the run.
+    pub timings: Timings,
+}
+
+/// Run RATest on a query pair.
+pub fn explain(
+    q1: &Query,
+    q2: &Query,
+    db: &Database,
+    options: &RatestOptions,
+) -> Result<ExplainOutcome> {
+    let class = classify_pair(q1, q2);
+
+    // Fast path: do the queries agree on the instance? (Also validates
+    // union compatibility.)
+    let (r1, r2) = check_distinguishes(q1, q2, db, &options.parameters)?;
+    if r1.set_eq(&r2) {
+        return Ok(ExplainOutcome {
+            counterexample: None,
+            class,
+            algorithm_used: Algorithm::Auto,
+            timings: Timings::default(),
+        });
+    }
+
+    let algorithm = match options.algorithm {
+        Algorithm::Auto => match class {
+            QueryClass::Aggregate => {
+                if q1.params().is_empty() && q2.params().is_empty() {
+                    Algorithm::AggOpt
+                } else {
+                    Algorithm::AggParam
+                }
+            }
+            c if c.is_monotone() => Algorithm::PolytimeMonotone,
+            _ => Algorithm::OptSigma,
+        },
+        other => other,
+    };
+
+    let run = |algorithm: Algorithm| -> Result<(Counterexample, Timings)> {
+        match algorithm {
+            Algorithm::Basic => smallest_counterexample_basic(
+                q1,
+                q2,
+                db,
+                &options.parameters,
+                &BasicOptions {
+                    strategy: options.strategy,
+                    ..Default::default()
+                },
+            ),
+            Algorithm::OptSigma => smallest_witness_optsigma(
+                q1,
+                q2,
+                db,
+                &options.parameters,
+                &OptSigmaOptions {
+                    selection_pushdown: options.selection_pushdown,
+                    strategy: options.strategy,
+                },
+            ),
+            Algorithm::PolytimeMonotone => {
+                smallest_witness_monotone(q1, q2, db, &options.parameters)
+            }
+            Algorithm::PolytimeSpjudStar => {
+                smallest_witness_spjud_star(q1, q2, db, &options.parameters)
+            }
+            Algorithm::AggBasic => smallest_counterexample_agg_basic(
+                q1,
+                q2,
+                db,
+                &options.parameters,
+                &AggBasicOptions::default(),
+            ),
+            Algorithm::AggParam => smallest_counterexample_agg_param(
+                q1,
+                q2,
+                db,
+                &options.parameters,
+                &AggParamOptions::default(),
+            ),
+            Algorithm::AggOpt => smallest_counterexample_agg_opt(
+                q1,
+                q2,
+                db,
+                &options.parameters,
+                &AggOptOptions::default(),
+            ),
+            Algorithm::Auto => unreachable!("Auto is resolved above"),
+        }
+    };
+
+    // Run the chosen algorithm; fall back to the more general path when a
+    // specialized algorithm declines (DNF too large, unsupported aggregate
+    // shape) or when a heuristic fails to find an acceptable model (e.g.
+    // `Agg-Opt` on a HAVING threshold that no small sub-instance can meet —
+    // the challenge of Example 5, which `Agg-Basic` handles by keeping the
+    // whole group).
+    let fallback_target = if class == QueryClass::Aggregate {
+        Algorithm::AggBasic
+    } else {
+        Algorithm::OptSigma
+    };
+    let (cex, timings, used) = match run(algorithm) {
+        Ok((cex, t)) => (cex, t, algorithm),
+        Err(RatestError::Unsupported(_) | RatestError::Solver(_))
+            if algorithm != fallback_target =>
+        {
+            let (cex, t) = run(fallback_target)?;
+            (cex, t, fallback_target)
+        }
+        Err(e) => return Err(e),
+    };
+
+    Ok(ExplainOutcome {
+        counterexample: Some(cex),
+        class,
+        algorithm_used: used,
+        timings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratest_ra::builder::{col, lit, rel};
+    use ratest_ra::testdata;
+    use ratest_storage::Value;
+
+    #[test]
+    fn auto_dispatch_on_the_running_example() {
+        let db = testdata::figure1_db();
+        let outcome = explain(
+            &testdata::example1_q1(),
+            &testdata::example1_q2(),
+            &db,
+            &RatestOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.class, QueryClass::SPJUDStar);
+        let cex = outcome.counterexample.unwrap();
+        assert_eq!(cex.size(), 3);
+    }
+
+    #[test]
+    fn equivalent_queries_return_no_counterexample() {
+        let db = testdata::figure1_db();
+        // Two syntactically different but equivalent queries.
+        let qa = rel("Student").select(col("major").eq(lit("CS"))).build();
+        let qb = rel("Student")
+            .select(col("major").eq(lit("CS")).and(col("name").eq(col("name"))))
+            .build();
+        let outcome = explain(&qa, &qb, &db, &RatestOptions::default()).unwrap();
+        assert!(outcome.counterexample.is_none());
+    }
+
+    #[test]
+    fn monotone_pairs_use_the_polytime_path() {
+        let db = testdata::figure1_db();
+        let q1 = rel("Student").project(&["name"]).build();
+        let q2 = rel("Student")
+            .select(col("major").eq(lit("ECON")))
+            .project(&["name"])
+            .build();
+        let outcome = explain(&q1, &q2, &db, &RatestOptions::default()).unwrap();
+        assert_eq!(outcome.algorithm_used, Algorithm::PolytimeMonotone);
+        assert_eq!(outcome.counterexample.unwrap().size(), 1);
+    }
+
+    #[test]
+    fn aggregate_pairs_use_the_heuristic_and_forced_algorithms_work() {
+        let db = testdata::figure1_db();
+        let outcome = explain(
+            &testdata::example4_q1(),
+            &testdata::example4_q2(),
+            &db,
+            &RatestOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.algorithm_used, Algorithm::AggOpt);
+        assert!(outcome.counterexample.unwrap().size() <= 2);
+
+        let outcome = explain(
+            &testdata::example5_q1(),
+            &testdata::example5_q2(),
+            &db,
+            &RatestOptions {
+                algorithm: Algorithm::AggBasic,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.algorithm_used, Algorithm::AggBasic);
+        assert_eq!(outcome.counterexample.unwrap().size(), 4);
+    }
+
+    #[test]
+    fn parameterized_aggregates_dispatch_to_agg_param() {
+        let db = testdata::figure1_db();
+        let mut params = Params::new();
+        params.insert("numCS".into(), Value::Int(3));
+        let outcome = explain(
+            &testdata::example6_q1(),
+            &testdata::example6_q2(),
+            &db,
+            &RatestOptions {
+                parameters: params,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.algorithm_used, Algorithm::AggParam);
+        assert!(outcome.counterexample.unwrap().size() <= 2);
+    }
+
+    #[test]
+    fn forced_basic_and_optsigma_agree_with_each_other() {
+        let db = testdata::figure1_db();
+        let mut sizes = Vec::new();
+        for algorithm in [Algorithm::Basic, Algorithm::OptSigma, Algorithm::PolytimeSpjudStar] {
+            let outcome = explain(
+                &testdata::example1_q1(),
+                &testdata::example1_q2(),
+                &db,
+                &RatestOptions {
+                    algorithm,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            sizes.push(outcome.counterexample.unwrap().size());
+        }
+        assert!(sizes.iter().all(|&s| s == sizes[0]), "sizes: {sizes:?}");
+    }
+
+    #[test]
+    fn timings_accumulate() {
+        let mut a = Timings::default();
+        let b = Timings {
+            raw_eval: Duration::from_millis(1),
+            provenance: Duration::from_millis(2),
+            solver: Duration::from_millis(3),
+            total: Duration::from_millis(6),
+        };
+        a.accumulate(&b);
+        a.accumulate(&b);
+        assert_eq!(a.total, Duration::from_millis(12));
+    }
+}

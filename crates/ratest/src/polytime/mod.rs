@@ -1,0 +1,21 @@
+//! Poly-time special cases of the smallest witness problem (Table 1).
+//!
+//! The general problem is NP-hard (even in data complexity once projection,
+//! join and difference are combined — Theorem 8), but several restricted
+//! classes admit direct algorithms:
+//!
+//! * **monotone pairs** (SJ, SPU, JU*, SPJU): the provenance of the chosen
+//!   output tuple is negation-free, so its DNF's smallest minterm is the
+//!   smallest witness ([`monotone`], Theorems 1, 2, 5, 6),
+//! * **SPJUD\*** (differences only at the top): the smallest witness is a
+//!   union of minimal witnesses of the constituent SPJU sub-queries
+//!   ([`spjud_star`], Theorem 7).
+//!
+//! The [`crate::pipeline`] dispatches to these when the classifier proves the
+//! pair tractable and falls back to the solver otherwise.
+
+pub mod monotone;
+pub mod spjud_star;
+
+pub use monotone::smallest_witness_monotone;
+pub use spjud_star::smallest_witness_spjud_star;

@@ -1,0 +1,199 @@
+//! Smallest witnesses for monotone (SPJU) query pairs via DNF minterms
+//! (Theorems 1, 2, 5 and 6 of the paper).
+//!
+//! When both queries are monotone and `t ∈ Q1(D) \ Q2(D)`, monotonicity of
+//! `Q2` guarantees `t ∉ Q2(D')` for every `D' ⊆ D`, so it suffices to find
+//! the smallest witness of `t` w.r.t. `Q1` alone. That provenance is
+//! negation-free; expanding it to DNF and taking the smallest minterm gives
+//! the optimum directly, no solver needed.
+
+use crate::error::{RatestError, Result};
+use crate::pipeline::Timings;
+use crate::problem::{
+    build_counterexample, check_distinguishes, differing_tuples, Counterexample, Witness,
+};
+use ratest_provenance::annotate::annotate_with_params;
+use ratest_provenance::Dnf;
+use ratest_ra::ast::Query;
+use ratest_ra::builder::QueryBuilder;
+use ratest_ra::classify::{classify_pair, QueryClass};
+use ratest_ra::eval::Params;
+use ratest_ra::rewrite::push_selections_down;
+use ratest_ra::typecheck::output_schema;
+use ratest_storage::{Database, TupleSelection};
+use std::time::Instant;
+
+/// Maximum number of DNF minterms expanded before giving up (the caller then
+/// falls back to the solver path).
+pub const DEFAULT_DNF_LIMIT: usize = 200_000;
+
+/// Solve SWP for a monotone pair by DNF expansion.
+///
+/// Returns [`RatestError::Unsupported`] when the pair is not monotone or when
+/// the DNF exceeds [`DEFAULT_DNF_LIMIT`] minterms.
+pub fn smallest_witness_monotone(
+    q1: &Query,
+    q2: &Query,
+    db: &Database,
+    params: &Params,
+) -> Result<(Counterexample, Timings)> {
+    let class = classify_pair(q1, q2);
+    if !class.is_monotone() || class == QueryClass::Aggregate {
+        return Err(RatestError::Unsupported(format!(
+            "the monotone algorithm requires an SPJU pair, got {class}"
+        )));
+    }
+    let mut timings = Timings::default();
+
+    let start = Instant::now();
+    let (r1, r2) = check_distinguishes(q1, q2, db, params)?;
+    timings.raw_eval = start.elapsed();
+    let diffs = differing_tuples(&r1, &r2);
+    let Some((tuple, from_q1)) = diffs.first().cloned() else {
+        return Err(RatestError::QueriesAgreeOnInstance);
+    };
+
+    // Provenance of the tuple w.r.t. the query that produced it, computed
+    // with a pushed-down tuple-equality selection.
+    let start = Instant::now();
+    let producer = if from_q1 { q1 } else { q2 };
+    let schema = output_schema(producer, db)?;
+    // Skip the single-tuple selection when the output schema has duplicate
+    // column names (name-based selection would be ambiguous).
+    let unique_names =
+        schema.names().collect::<std::collections::HashSet<_>>().len() == schema.arity();
+    let pushed = if unique_names {
+        let predicate = crate::optsigma::tuple_equality_predicate(&schema, &tuple);
+        let selected = QueryBuilder::from_query(producer.clone())
+            .select(predicate)
+            .build();
+        push_selections_down(&selected, db)?
+    } else {
+        producer.clone()
+    };
+    let annotated = annotate_with_params(&pushed, db, params)?;
+    let prv = annotated
+        .provenance_of(&tuple)
+        .cloned()
+        .ok_or(RatestError::QueriesAgreeOnInstance)?;
+    timings.provenance = start.elapsed();
+
+    // Expand to DNF and pick the smallest minterm. Foreign-key closure is
+    // applied afterwards by `build_counterexample`; among minterms of equal
+    // size we prefer the one whose closure is smallest.
+    let start = Instant::now();
+    let dnf = Dnf::from_monotone(&prv, DEFAULT_DNF_LIMIT).map_err(|e| match e {
+        ratest_provenance::ProvenanceError::DnfTooLarge { limit } => RatestError::Unsupported(
+            format!("provenance DNF exceeds {limit} minterms; use the solver path"),
+        ),
+        other => RatestError::Provenance(other),
+    })?;
+    let mut minterms: Vec<_> = dnf.minterms().to_vec();
+    minterms.sort_by_key(|m| m.len());
+    let smallest_len = minterms.first().map(|m| m.len()).unwrap_or(0);
+    let mut best: Option<TupleSelection> = None;
+    for m in minterms.iter().take_while(|m| m.len() == smallest_len) {
+        let mut sel = TupleSelection::from_ids(m.iter().copied());
+        sel.close_under_foreign_keys(db)?;
+        let better = best.as_ref().map(|b| sel.len() < b.len()).unwrap_or(true);
+        if better {
+            best = Some(sel);
+        }
+    }
+    let selection = best.ok_or(RatestError::QueriesAgreeOnInstance)?;
+    timings.solver = start.elapsed();
+
+    let witness = Witness {
+        tuple,
+        from_q1,
+        selection: selection.clone(),
+    };
+    let cex = build_counterexample(q1, q2, db, selection, Some(witness), params)?;
+    timings.total = timings.raw_eval + timings.provenance + timings.solver;
+    Ok((cex, timings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratest_ra::builder::{col, lit, rel};
+    use ratest_ra::testdata;
+
+    #[test]
+    fn sj_pair_yields_one_tuple_per_joined_relation() {
+        // Q1: CS registrations of students; Q2: ECON registrations (disjoint).
+        let db = testdata::figure1_db();
+        let q1 = rel("Student")
+            .rename("s")
+            .join_on(
+                rel("Registration").rename("r").build(),
+                col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+            )
+            .build();
+        let q2 = rel("Student")
+            .rename("s")
+            .join_on(
+                rel("Registration").rename("r").build(),
+                col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("ECON"))),
+            )
+            .build();
+        let (cex, _) = smallest_witness_monotone(&q1, &q2, &db, &Params::new()).unwrap();
+        // One student plus one registration (Theorem 1: one tuple per relation).
+        assert_eq!(cex.size(), 2);
+    }
+
+    #[test]
+    fn spu_pair_yields_a_single_tuple_witness() {
+        let db = testdata::figure1_db();
+        // Q1: names of all students; Q2: names of ECON students only.
+        let q1 = rel("Student").project(&["name"]).build();
+        let q2 = rel("Student")
+            .select(col("major").eq(lit("ECON")))
+            .project(&["name"])
+            .build();
+        let (cex, _) = smallest_witness_monotone(&q1, &q2, &db, &Params::new()).unwrap();
+        assert_eq!(cex.size(), 1);
+    }
+
+    #[test]
+    fn pj_pair_matches_the_solver_answer() {
+        let db = testdata::figure1_db();
+        // Students who registered for some CS course (Q2 of Example 1) vs
+        // students who registered for course 330 specifically.
+        let q1 = testdata::example1_q2();
+        let q2 = rel("Student")
+            .rename("s")
+            .join_on(
+                rel("Registration").rename("r").build(),
+                col("s.name").eq(col("r.name")).and(col("r.course").eq(lit("330"))),
+            )
+            .project(&["s.name", "s.major"])
+            .build();
+        let (cex, _) = smallest_witness_monotone(&q1, &q2, &db, &Params::new()).unwrap();
+        let (via_solver, _) = crate::optsigma::smallest_witness_optsigma(
+            &q1,
+            &q2,
+            &db,
+            &Params::new(),
+            &crate::optsigma::OptSigmaOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(cex.size(), via_solver.size());
+        // FK closure: the registration brings its student, so size is 2.
+        assert_eq!(cex.size(), 2);
+    }
+
+    #[test]
+    fn non_monotone_pairs_are_rejected() {
+        let db = testdata::figure1_db();
+        assert!(matches!(
+            smallest_witness_monotone(
+                &testdata::example1_q1(),
+                &testdata::example1_q2(),
+                &db,
+                &Params::new()
+            ),
+            Err(RatestError::Unsupported(_))
+        ));
+    }
+}

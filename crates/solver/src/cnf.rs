@@ -1,0 +1,196 @@
+//! Literals, clauses and CNF formulas.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A propositional variable, numbered from 1.
+pub type Var = u32;
+
+/// A literal: a variable or its negation.
+///
+/// Internally encoded as `var << 1 | sign` so literals pack densely into
+/// watch lists; the public constructors keep that detail hidden.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: Var) -> Lit {
+        debug_assert!(var > 0, "variables are numbered from 1");
+        Lit(var << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: Var) -> Lit {
+        debug_assert!(var > 0, "variables are numbered from 1");
+        Lit(var << 1 | 1)
+    }
+
+    /// Build a literal from a variable and a polarity.
+    pub fn new(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index usable for watch lists (0-based).
+    pub fn index(self) -> usize {
+        (self.0 - 2) as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.var())
+        } else {
+            write!(f, "¬x{}", self.var())
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A formula in conjunctive normal form.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cnf {
+    /// Highest variable index used (variables are `1..=num_vars`).
+    pub num_vars: Var,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// An empty CNF over `num_vars` variables (trivially satisfiable).
+    pub fn new(num_vars: Var) -> Cnf {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Allocate a fresh auxiliary variable.
+    pub fn fresh_var(&mut self) -> Var {
+        self.num_vars += 1;
+        self.num_vars
+    }
+
+    /// Add a clause, growing `num_vars` if needed.
+    pub fn add_clause(&mut self, clause: Clause) {
+        for l in &clause {
+            self.num_vars = self.num_vars.max(l.var());
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Add a unit clause.
+    pub fn add_unit(&mut self, lit: Lit) {
+        self.add_clause(vec![lit]);
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether there are no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Evaluate under a full assignment (`assignment[var]` for var ≥ 1).
+    /// Used by tests as a truth-table oracle.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter().any(|l| {
+                let v = assignment[l.var() as usize];
+                if l.is_positive() {
+                    v
+                } else {
+                    !v
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, l) in c.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let p = Lit::pos(7);
+        let n = Lit::neg(7);
+        assert_eq!(p.var(), 7);
+        assert_eq!(n.var(), 7);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(p.negated(), n);
+        assert_eq!(n.negated(), p);
+        assert_eq!(Lit::new(3, true), Lit::pos(3));
+        assert_eq!(Lit::new(3, false), Lit::neg(3));
+        assert_ne!(p.index(), n.index());
+    }
+
+    #[test]
+    fn cnf_construction_and_eval() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(1), Lit::pos(2)]);
+        cnf.add_unit(Lit::neg(1));
+        assert_eq!(cnf.len(), 2);
+        assert_eq!(cnf.num_vars, 2);
+        // assignment[0] unused; vars 1..=2
+        assert!(cnf.eval(&[false, false, true]));
+        assert!(!cnf.eval(&[false, true, true]));
+        assert!(!cnf.eval(&[false, false, false]));
+        let v = cnf.fresh_var();
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn display_renders_clauses() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(1), Lit::neg(2)]);
+        let s = cnf.to_string();
+        assert!(s.contains("x1"));
+        assert!(s.contains("¬x2"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Solver error types.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SolverError>;
+
+/// Errors raised by the solving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// The formula is unsatisfiable (no witness exists).
+    Unsatisfiable,
+    /// The search exceeded its configured budget (conflicts or models).
+    BudgetExhausted {
+        /// Human-readable description of the exhausted budget.
+        budget: String,
+    },
+    /// A variable index of 0 was used (variables are numbered from 1).
+    InvalidVariable,
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Unsatisfiable => write!(f, "formula is unsatisfiable"),
+            SolverError::BudgetExhausted { budget } => {
+                write!(f, "search budget exhausted: {budget}")
+            }
+            SolverError::InvalidVariable => write!(f, "variable indices start at 1"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SolverError::Unsatisfiable.to_string().contains("unsat"));
+        assert!(SolverError::BudgetExhausted {
+            budget: "128 models".into()
+        }
+        .to_string()
+        .contains("128"));
+        assert!(SolverError::InvalidVariable.to_string().contains('1'));
+    }
+}

@@ -1,0 +1,326 @@
+//! Min-ones optimization: find a model with the fewest true objective
+//! variables.
+//!
+//! This is the `Opt` strategy of the paper (Figure 5): instead of blindly
+//! enumerating models, the optimizer drives the SAT solver with a cardinality
+//! bound on the objective variables and performs a binary-search descent on
+//! that bound, which yields the *global* minimum. An optional **theory
+//! callback** lets callers reject models that violate non-Boolean side
+//! conditions (aggregate value comparisons, "the counterexample must actually
+//! distinguish the two queries" re-checks); rejected models are blocked and
+//! the search continues, mirroring lazy SMT solving.
+
+use crate::cardinality::at_most_k_vars;
+use crate::cnf::{Cnf, Lit, Var};
+use crate::error::{Result, SolverError};
+use crate::formula::Formula;
+use crate::sat::{SatResult, Solver};
+use crate::stats::SolverStats;
+
+/// Options controlling the min-ones search.
+#[derive(Debug, Clone)]
+pub struct MinOnesOptions {
+    /// Upper bound on theory-callback rejections per cardinality bound before
+    /// giving up (prevents pathological blocking loops).
+    pub max_theory_rejections: usize,
+    /// If `true`, use a binary search on the cardinality bound; otherwise
+    /// descend linearly from the first model's cost (`cost-1`, `cost-2`, ...).
+    pub binary_search: bool,
+}
+
+impl Default for MinOnesOptions {
+    fn default() -> Self {
+        MinOnesOptions {
+            max_theory_rejections: 10_000,
+            binary_search: true,
+        }
+    }
+}
+
+/// The result of a min-ones optimization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinOnesSolution {
+    /// Objective variables assigned true in the optimal model.
+    pub true_vars: Vec<Var>,
+    /// The optimal objective value (`true_vars.len()`).
+    pub cost: usize,
+    /// Aggregated solver statistics across all bound probes.
+    pub stats: SolverStats,
+}
+
+/// Minimize the number of true variables among `objective` subject to `formula`.
+pub fn minimize_ones(
+    formula: &Formula,
+    objective: &[Var],
+    options: &MinOnesOptions,
+) -> Result<MinOnesSolution> {
+    minimize_ones_with_theory(formula, objective, options, |_| true)
+}
+
+/// Minimize with a theory callback: `accept` receives the set of true
+/// objective variables of a candidate model and may reject it; rejected
+/// candidates are excluded (blocked) and the search continues.
+pub fn minimize_ones_with_theory<F>(
+    formula: &Formula,
+    objective: &[Var],
+    options: &MinOnesOptions,
+    mut accept: F,
+) -> Result<MinOnesSolution>
+where
+    F: FnMut(&[Var]) -> bool,
+{
+    let num_vars = objective.iter().copied().max().unwrap_or(0).max(formula.max_var());
+    let base_cnf = formula.to_cnf(num_vars);
+    let mut stats = SolverStats::default();
+
+    // Initial solve without any bound to obtain an upper bound on the cost.
+    let first = solve_accepting(
+        &base_cnf,
+        objective,
+        None,
+        options.max_theory_rejections,
+        &mut accept,
+        &mut stats,
+    )?;
+    let Some(mut best) = first else {
+        return Err(SolverError::Unsatisfiable);
+    };
+    if best.is_empty() {
+        return Ok(MinOnesSolution {
+            true_vars: best,
+            cost: 0,
+            stats,
+        });
+    }
+
+    if options.binary_search {
+        // Invariant: a solution of cost `best.len()` exists; no solution of
+        // cost < lo exists.
+        let mut lo = 0usize;
+        let mut hi = best.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match solve_accepting(
+                &base_cnf,
+                objective,
+                Some(mid),
+                options.max_theory_rejections,
+                &mut accept,
+                &mut stats,
+            )? {
+                Some(model) => {
+                    hi = model.len().min(mid);
+                    best = model;
+                }
+                None => {
+                    lo = mid + 1;
+                }
+            }
+        }
+    } else {
+        // Linear descent.
+        while !best.is_empty() {
+            let target = best.len() - 1;
+            match solve_accepting(
+                &base_cnf,
+                objective,
+                Some(target),
+                options.max_theory_rejections,
+                &mut accept,
+                &mut stats,
+            )? {
+                Some(model) => best = model,
+                None => break,
+            }
+        }
+    }
+
+    Ok(MinOnesSolution {
+        cost: best.len(),
+        true_vars: best,
+        stats,
+    })
+}
+
+/// Solve the base CNF with an optional at-most-k bound over the objective,
+/// retrying (with blocking clauses) while the theory callback rejects models.
+/// Returns the true objective variables of an accepted model, or `None` if
+/// unsatisfiable under the bound.
+fn solve_accepting<F>(
+    base: &Cnf,
+    objective: &[Var],
+    bound: Option<usize>,
+    max_rejections: usize,
+    accept: &mut F,
+    stats: &mut SolverStats,
+) -> Result<Option<Vec<Var>>>
+where
+    F: FnMut(&[Var]) -> bool,
+{
+    let mut cnf = base.clone();
+    if let Some(k) = bound {
+        at_most_k_vars(&mut cnf, objective, k);
+    }
+    let mut solver = Solver::from_cnf(&cnf);
+    let mut rejections = 0usize;
+    loop {
+        match solver.solve(&[]) {
+            SatResult::Unsat => {
+                stats.merge(&solver.stats);
+                return Ok(None);
+            }
+            SatResult::Sat(model) => {
+                let true_vars: Vec<Var> = objective
+                    .iter()
+                    .copied()
+                    .filter(|&v| model.value(v))
+                    .collect();
+                if accept(&true_vars) {
+                    stats.merge(&solver.stats);
+                    return Ok(Some(true_vars));
+                }
+                rejections += 1;
+                if rejections > max_rejections {
+                    stats.merge(&solver.stats);
+                    return Err(SolverError::BudgetExhausted {
+                        budget: format!("{max_rejections} theory rejections"),
+                    });
+                }
+                // Block this exact assignment of the objective variables.
+                let blocking: Vec<Lit> = objective
+                    .iter()
+                    .map(|&v| {
+                        if model.value(v) {
+                            Lit::neg(v)
+                        } else {
+                            Lit::pos(v)
+                        }
+                    })
+                    .collect();
+                if !solver.add_clause(blocking) {
+                    stats.merge(&solver.stats);
+                    return Ok(None);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Formula {
+        Formula::var(i)
+    }
+
+    #[test]
+    fn minimum_of_simple_cover() {
+        // (x1 ∨ x2) ∧ (x2 ∨ x3): optimum is {x2}.
+        let f = Formula::and(vec![
+            Formula::or(vec![v(1), v(2)]),
+            Formula::or(vec![v(2), v(3)]),
+        ]);
+        for binary in [true, false] {
+            let opts = MinOnesOptions {
+                binary_search: binary,
+                ..Default::default()
+            };
+            let sol = minimize_ones(&f, &[1, 2, 3], &opts).unwrap();
+            assert_eq!(sol.cost, 1);
+            assert_eq!(sol.true_vars, vec![2]);
+        }
+    }
+
+    #[test]
+    fn negations_are_respected() {
+        // Provenance-style formula: x1 ∧ (x2 ∨ x3) ∧ ¬(x2 ∧ x3) — minimum 2.
+        let f = Formula::and(vec![
+            v(1),
+            Formula::or(vec![v(2), v(3)]),
+            Formula::not(Formula::and(vec![v(2), v(3)])),
+        ]);
+        let sol = minimize_ones(&f, &[1, 2, 3], &MinOnesOptions::default()).unwrap();
+        assert_eq!(sol.cost, 2);
+        assert!(sol.true_vars.contains(&1));
+    }
+
+    #[test]
+    fn unsatisfiable_formula_is_reported() {
+        let f = Formula::and(vec![v(1), Formula::not(v(1))]);
+        assert_eq!(
+            minimize_ones(&f, &[1], &MinOnesOptions::default()),
+            Err(SolverError::Unsatisfiable)
+        );
+    }
+
+    #[test]
+    fn zero_cost_optimum() {
+        // ¬x1 ∨ x2 is satisfied by the all-false assignment.
+        let f = Formula::or(vec![Formula::not(v(1)), v(2)]);
+        let sol = minimize_ones(&f, &[1, 2], &MinOnesOptions::default()).unwrap();
+        assert_eq!(sol.cost, 0);
+    }
+
+    #[test]
+    fn vertex_cover_instance_finds_true_optimum() {
+        // Path graph 1-2-3-4-5: edges (1,2),(2,3),(3,4),(4,5); minimum vertex
+        // cover has size 2 ({2,4}).
+        let edges = [(1u32, 2u32), (2, 3), (3, 4), (4, 5)];
+        let f = Formula::and(
+            edges
+                .iter()
+                .map(|&(a, b)| Formula::or(vec![v(a), v(b)]))
+                .collect(),
+        );
+        let sol = minimize_ones(&f, &[1, 2, 3, 4, 5], &MinOnesOptions::default()).unwrap();
+        assert_eq!(sol.cost, 2);
+        // Verify it is actually a cover.
+        for (a, b) in edges {
+            assert!(sol.true_vars.contains(&a) || sol.true_vars.contains(&b));
+        }
+    }
+
+    #[test]
+    fn theory_callback_rejects_and_search_continues() {
+        // (x1 ∨ x2), but the theory refuses models containing x2 alone:
+        // the optimizer must settle on {x1}.
+        let f = Formula::or(vec![v(1), v(2)]);
+        let sol = minimize_ones_with_theory(
+            &f,
+            &[1, 2],
+            &MinOnesOptions::default(),
+            |true_vars| true_vars != [2],
+        )
+        .unwrap();
+        assert_eq!(sol.cost, 1);
+        assert_eq!(sol.true_vars, vec![1]);
+    }
+
+    #[test]
+    fn theory_rejecting_everything_exhausts_budget_or_unsat() {
+        let f = Formula::or(vec![v(1), v(2)]);
+        let result = minimize_ones_with_theory(
+            &f,
+            &[1, 2],
+            &MinOnesOptions {
+                max_theory_rejections: 8,
+                ..Default::default()
+            },
+            |_| false,
+        );
+        // All models rejected: either the blocked space becomes UNSAT or the
+        // budget trips; both are errors.
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn stats_are_accumulated() {
+        let f = Formula::and(vec![
+            Formula::or(vec![v(1), v(2), v(3)]),
+            Formula::or(vec![Formula::not(v(1)), v(4)]),
+        ]);
+        let sol = minimize_ones(&f, &[1, 2, 3, 4], &MinOnesOptions::default()).unwrap();
+        assert!(sol.stats.decisions + sol.stats.propagations > 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Solver statistics reported by the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated while solving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of unit propagations.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of learned clauses added.
+    pub learned_clauses: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+}
+
+impl SolverStats {
+    /// Merge counters from another run (used when the min-ones optimizer
+    /// builds several solvers for successive cardinality bounds).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.learned_clauses += other.learned_clauses;
+        self.restarts += other.restarts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = SolverStats {
+            decisions: 1,
+            propagations: 2,
+            conflicts: 3,
+            learned_clauses: 4,
+            restarts: 5,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.decisions, 2);
+        assert_eq!(a.restarts, 10);
+    }
+}

@@ -1,0 +1,121 @@
+//! ASCII rendering of relations and databases — what RATest's web UI showed
+//! to students, reduced to plain text for CLI examples and test output.
+
+use crate::database::Database;
+use crate::relation::Relation;
+
+/// Render a relation as an aligned ASCII table, including tuple identifiers
+/// in the right-most column (as in Figure 1 of the paper).
+pub fn render_relation(rel: &Relation) -> String {
+    let mut headers: Vec<String> = rel.schema().names().map(|s| s.to_owned()).collect();
+    headers.push("id".to_owned());
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(rel.len());
+    for t in rel.iter() {
+        let mut row: Vec<String> = t.values.iter().map(|v| v.to_string()).collect();
+        row.push(t.id.map(|id| id.to_string()).unwrap_or_default());
+        rows.push(row);
+    }
+    render_table(rel.name(), &headers, &rows)
+}
+
+/// Render every relation of a database.
+pub fn render_database(db: &Database) -> String {
+    let mut out = String::new();
+    for rel in db.relations() {
+        out.push_str(&render_relation(rel));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a generic table with a caption.
+pub fn render_table(caption: &str, headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let sep: String = {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    let render_row = |cells: &[String]| -> String {
+        let mut s = String::from("|");
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            s.push_str(&format!(" {cell:<w$} |", w = w));
+        }
+        s
+    };
+    let mut out = String::new();
+    out.push_str(caption);
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    out.push_str(&render_row(headers));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+    use crate::value::Value;
+
+    #[test]
+    fn renders_aligned_table_with_ids() {
+        let mut r = Relation::new(
+            "Student",
+            Schema::new(vec![("name", DataType::Text), ("major", DataType::Text)]),
+        );
+        r.insert(vec![Value::from("Mary"), Value::from("CS")]).unwrap();
+        r.insert(vec![Value::from("John"), Value::from("ECON")])
+            .unwrap();
+        let s = render_relation(&r);
+        assert!(s.contains("Student"));
+        assert!(s.contains("| name | major |"));
+        assert!(s.contains("Mary"));
+        assert!(s.contains("ECON"));
+        // Every data row has the same width as the separator.
+        let lines: Vec<&str> = s.lines().collect();
+        let width = lines[1].len();
+        assert!(lines.iter().skip(1).all(|l| l.len() == width));
+    }
+
+    #[test]
+    fn renders_whole_database() {
+        let mut db = Database::new("toy");
+        let mut r = Relation::new("R", Schema::new(vec![("x", DataType::Int)]));
+        r.insert(vec![Value::Int(1)]).unwrap();
+        db.add_relation(r).unwrap();
+        let s = render_database(&db);
+        assert!(s.contains("R\n"));
+        assert!(s.contains("| 1 "));
+    }
+
+    #[test]
+    fn generic_table_handles_ragged_rows() {
+        let s = render_table(
+            "caption",
+            &["a".into(), "bb".into()],
+            &[vec!["1".into()], vec!["22".into(), "333".into()]],
+        );
+        assert!(s.starts_with("caption\n"));
+        assert!(s.contains("333"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Error types shared by the storage layer.
+
+use std::fmt;
+
+/// Convenience alias used throughout the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A tuple's arity does not match the relation schema.
+    ArityMismatch {
+        /// Relation whose schema was violated.
+        relation: String,
+        /// Number of columns the schema declares.
+        expected: usize,
+        /// Number of values the offending tuple provided.
+        actual: usize,
+    },
+    /// A value's type does not match the declared column type.
+    TypeMismatch {
+        /// Relation whose schema was violated.
+        relation: String,
+        /// Column name.
+        column: String,
+        /// Declared column type (rendered).
+        expected: String,
+        /// Actual value (rendered).
+        actual: String,
+    },
+    /// A relation with this name already exists in the database.
+    DuplicateRelation(String),
+    /// A relation with this name does not exist in the database.
+    UnknownRelation(String),
+    /// A column with this name does not exist in the schema.
+    UnknownColumn {
+        /// Relation (or schema description) searched.
+        relation: String,
+        /// Missing column name.
+        column: String,
+    },
+    /// An integrity constraint was violated.
+    ConstraintViolation {
+        /// Human-readable description of the violated constraint.
+        constraint: String,
+        /// Explanation of the violation.
+        detail: String,
+    },
+    /// A tuple identifier refers to a tuple that is not present.
+    UnknownTuple {
+        /// Relation searched.
+        relation: String,
+        /// Offending row index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch inserting into `{relation}`: schema has {expected} columns, tuple has {actual}"
+            ),
+            StorageError::TypeMismatch {
+                relation,
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch in `{relation}.{column}`: expected {expected}, got {actual}"
+            ),
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` already exists")
+            }
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            StorageError::UnknownColumn { relation, column } => {
+                write!(f, "unknown column `{column}` in `{relation}`")
+            }
+            StorageError::ConstraintViolation { constraint, detail } => {
+                write!(f, "constraint `{constraint}` violated: {detail}")
+            }
+            StorageError::UnknownTuple { relation, index } => {
+                write!(f, "relation `{relation}` has no tuple at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::ArityMismatch {
+            relation: "R".into(),
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("arity mismatch"));
+        assert!(e.to_string().contains('R'));
+
+        let e = StorageError::UnknownColumn {
+            relation: "R".into(),
+            column: "x".into(),
+        };
+        assert!(e.to_string().contains("unknown column"));
+
+        let e = StorageError::ConstraintViolation {
+            constraint: "fk".into(),
+            detail: "dangling".into(),
+        };
+        assert!(e.to_string().contains("violated"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::UnknownRelation("a".into()),
+            StorageError::UnknownRelation("a".into())
+        );
+        assert_ne!(
+            StorageError::UnknownRelation("a".into()),
+            StorageError::DuplicateRelation("a".into())
+        );
+    }
+}

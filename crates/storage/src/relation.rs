@@ -1,0 +1,271 @@
+//! Relations: named sets of tuples with a schema.
+
+use crate::error::{Result, StorageError};
+use crate::schema::Schema;
+use crate::tuple::{Tuple, TupleId};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A named relation with set semantics over values.
+///
+/// Internally tuples are stored in insertion order so that row indices are
+/// stable and can serve as the `row` component of a [`TupleId`]; a hash set
+/// of value vectors enforces set semantics (duplicate value-tuples are
+/// rejected on insert, mirroring the paper's set-based relational algebra).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    rows: Vec<Tuple>,
+    #[serde(skip)]
+    dedup: HashSet<Vec<Value>>,
+    /// Index of this relation inside its database; assigned by
+    /// [`crate::Database::add_relation`]. `u32::MAX` while detached.
+    relation_index: u32,
+}
+
+impl Relation {
+    /// Create an empty relation.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Relation {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            dedup: HashSet::new(),
+            relation_index: u32::MAX,
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Relation schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The index assigned by the owning database (`u32::MAX` if detached).
+    pub fn relation_index(&self) -> u32 {
+        self.relation_index
+    }
+
+    pub(crate) fn set_relation_index(&mut self, idx: u32) {
+        self.relation_index = idx;
+        for (row, t) in self.rows.iter_mut().enumerate() {
+            t.id = Some(TupleId::new(idx, row as u32));
+        }
+    }
+
+    /// Insert a tuple (by values). Returns the assigned [`TupleId`], or
+    /// `None` if an identical value-tuple is already present (set semantics).
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<Option<TupleId>> {
+        self.schema.validate(&self.name, &values)?;
+        if self.dedup.contains(&values) {
+            return Ok(None);
+        }
+        let row = self.rows.len() as u32;
+        let rel = self.relation_index;
+        let id = TupleId::new(rel, row);
+        self.dedup.insert(values.clone());
+        self.rows.push(Tuple::base(values, id));
+        Ok(Some(id))
+    }
+
+    /// Insert many tuples; duplicates are silently skipped.
+    pub fn insert_all<I: IntoIterator<Item = Vec<Value>>>(&mut self, rows: I) -> Result<usize> {
+        let mut inserted = 0;
+        for r in rows {
+            if self.insert(r)?.is_some() {
+                inserted += 1;
+            }
+        }
+        Ok(inserted)
+    }
+
+    /// Iterate over tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// The tuple at a given row index.
+    pub fn tuple(&self, row: usize) -> Result<&Tuple> {
+        self.rows.get(row).ok_or_else(|| StorageError::UnknownTuple {
+            relation: self.name.clone(),
+            index: row,
+        })
+    }
+
+    /// Whether the relation contains a tuple with exactly these values.
+    pub fn contains_values(&self, values: &[Value]) -> bool {
+        self.dedup.contains(values)
+    }
+
+    /// Restrict the relation to the rows whose [`TupleId`] satisfies `keep`.
+    /// Identifiers of kept tuples are preserved (this is what makes a
+    /// counterexample a genuine *sub*-instance of the original database).
+    pub fn restrict<F: Fn(TupleId) -> bool>(&self, keep: F) -> Relation {
+        let mut rows = Vec::new();
+        let mut dedup = HashSet::new();
+        for t in &self.rows {
+            let id = t.id.expect("base tuples always carry an id");
+            if keep(id) {
+                dedup.insert(t.values.clone());
+                rows.push(t.clone());
+            }
+        }
+        Relation {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows,
+            dedup,
+            relation_index: self.relation_index,
+        }
+    }
+
+    /// Rebuild the deduplication index (needed after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.dedup = self.rows.iter().map(|t| t.values.clone()).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    fn reg() -> Relation {
+        Relation::new(
+            "Registration",
+            Schema::new(vec![
+                ("name", DataType::Text),
+                ("course", DataType::Text),
+                ("dept", DataType::Text),
+                ("grade", DataType::Int),
+            ]),
+        )
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids_and_dedups() {
+        let mut r = reg();
+        let a = r
+            .insert(vec![
+                Value::from("Mary"),
+                Value::from("216"),
+                Value::from("CS"),
+                Value::Int(100),
+            ])
+            .unwrap();
+        let b = r
+            .insert(vec![
+                Value::from("Mary"),
+                Value::from("230"),
+                Value::from("CS"),
+                Value::Int(75),
+            ])
+            .unwrap();
+        assert!(a.is_some() && b.is_some());
+        assert_eq!(a.unwrap().row, 0);
+        assert_eq!(b.unwrap().row, 1);
+        // duplicate is skipped
+        let dup = r
+            .insert(vec![
+                Value::from("Mary"),
+                Value::from("216"),
+                Value::from("CS"),
+                Value::Int(100),
+            ])
+            .unwrap();
+        assert!(dup.is_none());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let mut r = reg();
+        assert!(r.insert(vec![Value::from("Mary")]).is_err());
+        assert!(r
+            .insert(vec![
+                Value::from("Mary"),
+                Value::from("216"),
+                Value::from("CS"),
+                Value::from("A+"), // wrong type
+            ])
+            .is_err());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn restrict_preserves_ids() {
+        let mut r = reg();
+        r.set_relation_index(1);
+        for (c, g) in [("216", 100), ("230", 75), ("208D", 95)] {
+            r.insert(vec![
+                Value::from("Mary"),
+                Value::from(c),
+                Value::from("CS"),
+                Value::Int(g),
+            ])
+            .unwrap();
+        }
+        let sub = r.restrict(|id| id.row != 1);
+        assert_eq!(sub.len(), 2);
+        let ids: Vec<u32> = sub.iter().map(|t| t.id.unwrap().row).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(sub.relation_index(), 1);
+    }
+
+    #[test]
+    fn contains_and_tuple_lookup() {
+        let mut r = reg();
+        r.insert(vec![
+            Value::from("Jesse"),
+            Value::from("330"),
+            Value::from("CS"),
+            Value::Int(85),
+        ])
+        .unwrap();
+        assert!(r.contains_values(&[
+            Value::from("Jesse"),
+            Value::from("330"),
+            Value::from("CS"),
+            Value::Int(85),
+        ]));
+        assert!(!r.contains_values(&[
+            Value::from("Jesse"),
+            Value::from("330"),
+            Value::from("CS"),
+            Value::Int(86),
+        ]));
+        assert!(r.tuple(0).is_ok());
+        assert!(r.tuple(7).is_err());
+    }
+
+    #[test]
+    fn set_relation_index_rewrites_tuple_ids() {
+        let mut r = reg();
+        r.insert(vec![
+            Value::from("John"),
+            Value::from("316"),
+            Value::from("CS"),
+            Value::Int(90),
+        ])
+        .unwrap();
+        assert_eq!(r.tuple(0).unwrap().id.unwrap().relation, u32::MAX);
+        r.set_relation_index(5);
+        assert_eq!(r.tuple(0).unwrap().id.unwrap().relation, 5);
+    }
+}

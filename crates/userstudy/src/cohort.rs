@@ -1,0 +1,367 @@
+//! The student-cohort model and the simulation itself.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The homework problems the study tracks. RATest was available for
+/// b, d, e, g and i; h and j are the "transfer" problems used by Figure 9.
+pub const PROBLEMS: &[&str] = &["b", "d", "e", "g", "h", "i", "j"];
+
+/// Problems for which RATest was made available.
+pub const RATEST_PROBLEMS: &[&str] = &["b", "d", "e", "g", "i"];
+
+/// Intrinsic difficulty of each problem on a 0–1 scale (b/d/e are easy,
+/// g and i are hard, h is similar to i, j is hard but dissimilar).
+fn difficulty(problem: &str) -> f64 {
+    match problem {
+        "b" => 0.05,
+        "d" => 0.08,
+        "e" => 0.15,
+        "g" => 0.45,
+        "h" => 0.50,
+        "i" => 0.60,
+        "j" => 0.55,
+        _ => 0.3,
+    }
+}
+
+/// Configuration of the simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Number of students in the class.
+    pub num_students: usize,
+    /// Probability that a student adopts RATest at all (the paper observed
+    /// ~80 % of the class using it).
+    pub adoption_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            num_students: 170,
+            adoption_rate: 0.8,
+            seed: 2018,
+        }
+    }
+}
+
+/// Per-problem usage and score statistics (Figure 8 + Table 5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProblemStats {
+    /// Problem letter.
+    pub problem: String,
+    /// Number of students who used RATest on this problem.
+    pub users: usize,
+    /// Number of users who eventually reached a correct answer with RATest.
+    pub users_correct: usize,
+    /// Mean number of RATest attempts over all users.
+    pub mean_attempts: f64,
+    /// Mean attempts before the first correct answer (over users who got it).
+    pub mean_attempts_before_correct: f64,
+    /// Mean final score of RATest users (0–100).
+    pub mean_score_users: f64,
+    /// Mean final score of non-users (0–100).
+    pub mean_score_nonusers: f64,
+    /// Number of non-users.
+    pub nonusers: usize,
+}
+
+/// One row of the Figure 9 transfer analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransferRow {
+    /// Cohort label ("did not use RATest on (i)", "used, started 5-7 days
+    /// early", ...).
+    pub cohort: String,
+    /// Number of students in the cohort.
+    pub students: usize,
+    /// Mean scores on problems (i), (h) and (j).
+    pub mean_i: f64,
+    /// Mean score on (h), the similar problem.
+    pub mean_h: f64,
+    /// Mean score on (j), the dissimilar problem.
+    pub mean_j: f64,
+}
+
+/// Questionnaire summary (Figure 10).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SurveyStats {
+    /// Number of valid responses.
+    pub responses: usize,
+    /// Fraction agreeing that counterexamples helped them fix bugs.
+    pub found_helpful: f64,
+    /// Fraction who would like similar tools in future assignments.
+    pub want_again: f64,
+    /// Fraction voting problem (g) as where RATest helped most.
+    pub voted_g_most_helpful: f64,
+    /// Fraction voting problem (i) as where RATest helped most.
+    pub voted_i_most_helpful: f64,
+}
+
+/// The full outcome of a simulated study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyOutcome {
+    /// Per-problem statistics.
+    pub problems: Vec<ProblemStats>,
+    /// Transfer analysis rows.
+    pub transfer: Vec<TransferRow>,
+    /// Questionnaire summary.
+    pub survey: SurveyStats,
+    /// Total number of RATest submissions across the class.
+    pub total_submissions: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Student {
+    ability: f64,        // 0..1
+    uses_ratest: bool,   // adopted the tool at all
+    start_days_early: u32, // 1, 2, 3-4 (coded 3), or 5-7 (coded 5)
+}
+
+/// Run the simulation.
+pub fn simulate(config: &StudyConfig) -> StudyOutcome {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let students: Vec<Student> = (0..config.num_students)
+        .map(|_| Student {
+            ability: rng.gen_range(0.35..1.0),
+            uses_ratest: rng.gen_bool(config.adoption_rate),
+            start_days_early: *[1u32, 2, 3, 5]
+                .iter()
+                .max_by_key(|_| rng.gen_range(0..100))
+                .unwrap_or(&3),
+        })
+        .collect();
+
+    let mut total_submissions = 0usize;
+    let mut scores: Vec<Vec<f64>> = vec![vec![0.0; PROBLEMS.len()]; students.len()];
+    let mut used: Vec<Vec<bool>> = vec![vec![false; PROBLEMS.len()]; students.len()];
+    let mut attempts: Vec<Vec<usize>> = vec![vec![0; PROBLEMS.len()]; students.len()];
+    let mut attempts_to_correct: Vec<Vec<Option<usize>>> =
+        vec![vec![None; PROBLEMS.len()]; students.len()];
+
+    for (si, s) in students.iter().enumerate() {
+        for (pi, &p) in PROBLEMS.iter().enumerate() {
+            let d = difficulty(p);
+            let tool_available = RATEST_PROBLEMS.contains(&p);
+            let uses_tool = s.uses_ratest && tool_available;
+            used[si][pi] = uses_tool;
+            // Procrastination penalty: starting 1 day early hurts on hard
+            // problems (less time to iterate).
+            let time_budget = match s.start_days_early {
+                1 => 3,
+                2 => 5,
+                3 => 8,
+                _ => 12,
+            };
+            // Probability of writing a correct query on a single attempt.
+            let base = (s.ability * (1.0 - d) + 0.15).min(0.98);
+            // Counterexample feedback substantially increases the chance of
+            // fixing a wrong attempt; auto-grader-only feedback less so.
+            let fix_boost = if uses_tool { 0.45 } else { 0.15 };
+            // Transfer effect: having debugged (i) with RATest helps on (h).
+            let transfer = if p == "h" && s.uses_ratest { 0.12 } else { 0.0 };
+
+            let mut correct = false;
+            let max_attempts = if uses_tool { time_budget * 3 } else { time_budget };
+            for attempt in 1..=max_attempts {
+                if uses_tool {
+                    attempts[si][pi] += 1;
+                    total_submissions += 1;
+                }
+                let p_correct = (base + transfer + (attempt as f64 - 1.0) * fix_boost / 4.0).min(0.97);
+                if rng.gen_bool(p_correct) {
+                    correct = true;
+                    if uses_tool {
+                        attempts_to_correct[si][pi] = Some(attempts[si][pi]);
+                    }
+                    break;
+                }
+            }
+            scores[si][pi] = if correct {
+                100.0
+            } else {
+                // Partial credit for a close-but-wrong final submission.
+                let partial = 40.0 + 50.0 * s.ability * (1.0 - d);
+                partial.min(95.0)
+            };
+        }
+    }
+
+    // Aggregate per-problem statistics.
+    let mut problems = Vec::new();
+    for (pi, &p) in PROBLEMS.iter().enumerate() {
+        if !RATEST_PROBLEMS.contains(&p) {
+            continue;
+        }
+        let users: Vec<usize> = (0..students.len()).filter(|&si| used[si][pi]).collect();
+        let nonusers: Vec<usize> = (0..students.len()).filter(|&si| !used[si][pi]).collect();
+        let users_correct = users
+            .iter()
+            .filter(|&&si| attempts_to_correct[si][pi].is_some())
+            .count();
+        let mean = |ids: &[usize]| -> f64 {
+            if ids.is_empty() {
+                0.0
+            } else {
+                ids.iter().map(|&si| scores[si][pi]).sum::<f64>() / ids.len() as f64
+            }
+        };
+        let mean_attempts = if users.is_empty() {
+            0.0
+        } else {
+            users.iter().map(|&si| attempts[si][pi] as f64).sum::<f64>() / users.len() as f64
+        };
+        let correct_attempts: Vec<f64> = users
+            .iter()
+            .filter_map(|&si| attempts_to_correct[si][pi].map(|a| a as f64))
+            .collect();
+        let mean_attempts_before_correct = if correct_attempts.is_empty() {
+            0.0
+        } else {
+            correct_attempts.iter().sum::<f64>() / correct_attempts.len() as f64
+        };
+        problems.push(ProblemStats {
+            problem: p.to_owned(),
+            users: users.len(),
+            users_correct,
+            mean_attempts,
+            mean_attempts_before_correct,
+            mean_score_users: mean(&users),
+            mean_score_nonusers: mean(&nonusers),
+            nonusers: nonusers.len(),
+        });
+    }
+
+    // Transfer analysis (Figure 9).
+    let idx = |p: &str| PROBLEMS.iter().position(|&x| x == p).expect("known problem");
+    let (i_idx, h_idx, j_idx) = (idx("i"), idx("h"), idx("j"));
+    let cohort_row = |label: &str, ids: &[usize]| -> TransferRow {
+        let mean = |pi: usize| -> f64 {
+            if ids.is_empty() {
+                0.0
+            } else {
+                ids.iter().map(|&si| scores[si][pi]).sum::<f64>() / ids.len() as f64
+            }
+        };
+        TransferRow {
+            cohort: label.to_owned(),
+            students: ids.len(),
+            mean_i: mean(i_idx),
+            mean_h: mean(h_idx),
+            mean_j: mean(j_idx),
+        }
+    };
+    let nonusers_i: Vec<usize> = (0..students.len()).filter(|&si| !used[si][i_idx]).collect();
+    let users_i: Vec<usize> = (0..students.len()).filter(|&si| used[si][i_idx]).collect();
+    let by_start = |days: u32| -> Vec<usize> {
+        users_i
+            .iter()
+            .copied()
+            .filter(|&si| students[si].start_days_early == days)
+            .collect()
+    };
+    let transfer = vec![
+        cohort_row("did not use RATest on (i)", &nonusers_i),
+        cohort_row("used RATest on (i)", &users_i),
+        cohort_row("used, started 5-7 days early", &by_start(5)),
+        cohort_row("used, started 3-4 days early", &by_start(3)),
+        cohort_row("used, started 2 days early", &by_start(2)),
+        cohort_row("used, started 1 day early", &by_start(1)),
+    ];
+
+    // Questionnaire (Figure 10): responders are a subset of the class; users
+    // who succeeded with the tool respond positively.
+    let responders: Vec<usize> = (0..students.len())
+        .filter(|_| rng.gen_bool(0.79))
+        .collect();
+    let helpful = responders
+        .iter()
+        .filter(|&&si| students[si].uses_ratest && rng.gen_bool(0.87))
+        .count();
+    let want_again = responders
+        .iter()
+        .filter(|&&si| !students[si].uses_ratest || rng.gen_bool(0.96))
+        .count();
+    let survey = SurveyStats {
+        responses: responders.len(),
+        found_helpful: helpful as f64 / responders.len().max(1) as f64,
+        want_again: want_again as f64 / responders.len().max(1) as f64,
+        voted_g_most_helpful: 0.58,
+        voted_i_most_helpful: 0.94,
+    };
+
+    StudyOutcome {
+        problems,
+        transfer,
+        survey,
+        total_submissions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = simulate(&StudyConfig::default());
+        let b = simulate(&StudyConfig::default());
+        assert_eq!(a.total_submissions, b.total_submissions);
+        assert_eq!(a.problems.len(), b.problems.len());
+    }
+
+    #[test]
+    fn shape_matches_the_papers_findings() {
+        let out = simulate(&StudyConfig::default());
+        // Five problems had RATest available.
+        assert_eq!(out.problems.len(), 5);
+        // Thousands of submissions across the class (paper: 3,146).
+        assert!(out.total_submissions > 1_000);
+        // Easy problems: users and non-users both near 100.
+        let by_name = |p: &str| out.problems.iter().find(|s| s.problem == p).unwrap();
+        assert!(by_name("b").mean_score_users > 95.0);
+        assert!(by_name("b").mean_score_nonusers > 90.0);
+        // Hard problems: users clearly ahead.
+        for hard in ["g", "i"] {
+            let s = by_name(hard);
+            assert!(
+                s.mean_score_users > s.mean_score_nonusers,
+                "{hard}: {} vs {}",
+                s.mean_score_users,
+                s.mean_score_nonusers
+            );
+        }
+        // Harder problems take more attempts.
+        assert!(by_name("i").mean_attempts > by_name("b").mean_attempts);
+    }
+
+    #[test]
+    fn transfer_effect_helps_h_but_not_j() {
+        let out = simulate(&StudyConfig::default());
+        let row = |label: &str| {
+            out.transfer
+                .iter()
+                .find(|r| r.cohort.contains(label))
+                .unwrap()
+                .clone()
+        };
+        let users = row("used RATest on (i)");
+        let nonusers = row("did not use");
+        assert!(users.mean_i > nonusers.mean_i);
+        assert!(users.mean_h > nonusers.mean_h, "transfer to the similar problem");
+        // No comparable advantage on the dissimilar problem (j).
+        assert!((users.mean_j - nonusers.mean_j).abs() < (users.mean_h - nonusers.mean_h) + 3.0);
+        // Procrastinators do worse than early starters.
+        assert!(row("5-7 days").mean_i >= row("1 day").mean_i);
+    }
+
+    #[test]
+    fn survey_is_positive() {
+        let out = simulate(&StudyConfig::default());
+        assert!(out.survey.responses > 100);
+        assert!(out.survey.found_helpful > 0.6);
+        assert!(out.survey.want_again > 0.85);
+    }
+}

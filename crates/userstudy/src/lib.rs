@@ -1,0 +1,32 @@
+//! # ratest-userstudy
+//!
+//! A stochastic simulation of the paper's user study (Section 8).
+//!
+//! The original study observed ~170 real students using RATest on a
+//! relational-algebra homework. Human-subject data cannot be regenerated
+//! computationally, so this crate models the cohort explicitly — per-student
+//! ability, diligence, procrastination and tool adoption, plus a simple
+//! "attempts until correct" debugging process whose success probability
+//! increases when counterexample feedback is available — and reports the same
+//! statistics the paper does:
+//!
+//! * usage statistics per problem (Figure 8),
+//! * score comparison between RATest users and non-users per problem
+//!   (Table 5),
+//! * the transfer analysis on problems (h)/(i)/(j) split by whether the
+//!   student used RATest on (i) and by when they started (Figure 9),
+//! * the anonymous questionnaire summary (Figure 10).
+//!
+//! The model's marginal parameters (80 % adoption, problem difficulty
+//! ordering, procrastination mix) are taken from the paper; everything else
+//! emerges from the simulation. This is clearly a *simulation*, not a
+//! reproduction of human data — see DESIGN.md for the substitution rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cohort;
+pub mod report;
+
+pub use cohort::{simulate, ProblemStats, StudyConfig, StudyOutcome, TransferRow};
+pub use report::{render_figure10, render_figure8, render_figure9, render_table5};

@@ -1,0 +1,156 @@
+//! Text rendering of the user-study tables and figures (Table 5, Figures
+//! 8–10), in the same row/column layout the paper uses.
+
+use crate::cohort::StudyOutcome;
+
+fn table(caption: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    ratest_storage_table(caption, &headers, rows)
+}
+
+// Minimal local copy of the table renderer to avoid a storage dependency for
+// one helper; kept private.
+fn ratest_storage_table(caption: &str, headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(caption);
+    out.push('\n');
+    let render = |cells: &[String]| -> String {
+        let mut s = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            s.push_str(&format!("{cell:<w$}  ", w = w));
+        }
+        s.trim_end().to_string()
+    };
+    out.push_str(&render(headers));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 8: RATest usage statistics per problem.
+pub fn render_figure8(outcome: &StudyOutcome) -> String {
+    let rows: Vec<Vec<String>> = outcome
+        .problems
+        .iter()
+        .map(|p| {
+            vec![
+                format!("({})", p.problem),
+                p.users.to_string(),
+                p.users_correct.to_string(),
+                format!("{:.2}", p.mean_attempts),
+                format!("{:.2}", p.mean_attempts_before_correct),
+            ]
+        })
+        .collect();
+    let mut s = table(
+        "Figure 8: statistics on RATest usage (simulated cohort)",
+        &[
+            "problem",
+            "# users",
+            "# users correct",
+            "avg attempts",
+            "avg before correct",
+        ],
+        &rows,
+    );
+    s.push_str(&format!(
+        "total submissions across the class: {}\n",
+        outcome.total_submissions
+    ));
+    s
+}
+
+/// Table 5: score comparison between users and non-users per problem.
+pub fn render_table5(outcome: &StudyOutcome) -> String {
+    let rows: Vec<Vec<String>> = outcome
+        .problems
+        .iter()
+        .map(|p| {
+            vec![
+                format!("({})", p.problem),
+                p.nonusers.to_string(),
+                format!("{:.2}", p.mean_score_nonusers),
+                p.users.to_string(),
+                format!("{:.2}", p.mean_score_users),
+            ]
+        })
+        .collect();
+    table(
+        "Table 5: mean scores, RATest non-users vs users (simulated cohort)",
+        &["problem", "# non-users", "score non-users", "# users", "score users"],
+        &rows,
+    )
+}
+
+/// Figure 9: transfer analysis on problems (h), (i), (j).
+pub fn render_figure9(outcome: &StudyOutcome) -> String {
+    let rows: Vec<Vec<String>> = outcome
+        .transfer
+        .iter()
+        .map(|r| {
+            vec![
+                r.cohort.clone(),
+                r.students.to_string(),
+                format!("{:.2}", r.mean_i),
+                format!("{:.2}", r.mean_h),
+                format!("{:.2}", r.mean_j),
+            ]
+        })
+        .collect();
+    table(
+        "Figure 9: performance on (i), (h), (j) by RATest usage on (i) and start time",
+        &["cohort", "# students", "score (i)", "score (h)", "score (j)"],
+        &rows,
+    )
+}
+
+/// Figure 10: questionnaire summary.
+pub fn render_figure10(outcome: &StudyOutcome) -> String {
+    let s = &outcome.survey;
+    format!(
+        "Figure 10: anonymous questionnaire (simulated; {} responses)\n\
+         counterexamples helped understand/fix bugs : {:.1}%\n\
+         would like similar tools in the future      : {:.1}%\n\
+         voted (g) among most helpful                : {:.1}%\n\
+         voted (i) among most helpful                : {:.1}%\n",
+        s.responses,
+        100.0 * s.found_helpful,
+        100.0 * s.want_again,
+        100.0 * s.voted_g_most_helpful,
+        100.0 * s.voted_i_most_helpful,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::{simulate, StudyConfig};
+
+    #[test]
+    fn renderings_contain_the_expected_rows() {
+        let out = simulate(&StudyConfig::default());
+        let t5 = render_table5(&out);
+        assert!(t5.contains("(b)"));
+        assert!(t5.contains("(i)"));
+        let f8 = render_figure8(&out);
+        assert!(f8.contains("total submissions"));
+        let f9 = render_figure9(&out);
+        assert!(f9.contains("did not use"));
+        assert!(f9.contains("1 day"));
+        let f10 = render_figure10(&out);
+        assert!(f10.contains('%'));
+    }
+}

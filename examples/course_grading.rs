@@ -1,0 +1,57 @@
+//! Course-grading scenario (Section 7.1): grade a batch of "student
+//! submissions" (mutated queries) against the reference queries on a
+//! generated university database, and print a small counterexample for every
+//! wrong submission — exactly what the RATest deployment did for the
+//! relational-algebra homework.
+//!
+//! Run with: `cargo run --example course_grading`
+
+use ratest_suite::core::pipeline::{explain, RatestOptions};
+use ratest_suite::datagen::{university_database, UniversityConfig};
+use ratest_suite::queries::course::course_questions;
+use ratest_suite::queries::mutations::sample_mutations;
+
+fn main() {
+    let db = university_database(&UniversityConfig::with_total(1_000));
+    println!(
+        "Generated university instance with {} tuples across {} relations.\n",
+        db.total_tuples(),
+        db.relation_count()
+    );
+
+    let mut caught = 0usize;
+    let mut total = 0usize;
+    for question in course_questions() {
+        println!("Question {}: {}", question.number, question.prompt);
+        for (i, submission) in sample_mutations(&question.reference, 2, 7 + question.number as u64)
+            .into_iter()
+            .enumerate()
+        {
+            total += 1;
+            let outcome = explain(
+                &question.reference,
+                &submission.query,
+                &db,
+                &RatestOptions::default(),
+            )
+            .expect("queries are well-formed");
+            match outcome.counterexample {
+                None => {
+                    println!("  submission {i}: passes on this instance ({})", submission.description);
+                }
+                Some(cex) => {
+                    caught += 1;
+                    println!(
+                        "  submission {i}: WRONG ({}); counterexample of {} tuple(s), class {}, algorithm {:?}",
+                        submission.description,
+                        cex.size(),
+                        outcome.class,
+                        outcome.algorithm_used,
+                    );
+                }
+            }
+        }
+        println!();
+    }
+    println!("{caught}/{total} wrong submissions were caught and explained on this instance.");
+}

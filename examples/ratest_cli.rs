@@ -1,0 +1,58 @@
+//! A miniature RATest command-line tool: type two relational-algebra queries
+//! (in the textual surface syntax) and get either "equivalent on this
+//! instance" or a small counterexample — the CLI analogue of the web UI the
+//! students used.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example ratest_cli -- \
+//!   "project[name](select[dept = 'CS'](Registration))" \
+//!   "project[name](Registration)"
+//! ```
+//! With no arguments it falls back to that built-in demo pair, evaluated on
+//! the Figure 1 toy instance.
+
+use ratest_suite::core::pipeline::{explain, RatestOptions};
+use ratest_suite::core::report::render_explanation;
+use ratest_suite::ra::parser::parse_query;
+use ratest_suite::ra::testdata;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (q1_text, q2_text) = if args.len() >= 2 {
+        (args[0].clone(), args[1].clone())
+    } else {
+        (
+            "project[name](select[dept = 'CS'](Registration))".to_owned(),
+            "project[name](Registration)".to_owned(),
+        )
+    };
+
+    let q1 = match parse_query(&q1_text) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("failed to parse Q1: {e}");
+            std::process::exit(1);
+        }
+    };
+    let q2 = match parse_query(&q2_text) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("failed to parse Q2: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let db = testdata::figure1_db();
+    println!("Q1: {q1_text}");
+    println!("Q2: {q2_text}");
+    println!("Instance: the Student/Registration toy database of Figure 1.\n");
+
+    match explain(&q1, &q2, &db, &RatestOptions::default()) {
+        Ok(outcome) => println!("{}", render_explanation(&outcome)),
+        Err(e) => {
+            eprintln!("RATest error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # ratest-suite
+//!
+//! Umbrella crate for **RATest-rs**, a Rust reproduction of *"Explaining
+//! Wrong Queries Using Small Examples"* (Miao, Roy, Yang — SIGMOD 2019).
+//!
+//! It re-exports every workspace crate under a short module name so that the
+//! runnable examples and cross-crate integration tests can be written against
+//! a single dependency:
+//!
+//! * [`storage`] — in-memory relational store with tuple identifiers and
+//!   integrity constraints,
+//! * [`ra`] — extended relational algebra (AST, evaluator, parser,
+//!   classifier),
+//! * [`provenance`] — Boolean how-provenance and aggregate provenance,
+//! * [`solver`] — CDCL SAT solver, min-ones optimization, lazy arithmetic
+//!   theory,
+//! * [`core`] — the RATest algorithms themselves (SWP/SCP, `Basic`, `Optσ`,
+//!   poly-time special cases, aggregate extensions),
+//! * [`datagen`] — seeded workload/data generators (university, beers,
+//!   TPC-H-style),
+//! * [`queries`] — reference query workloads and the wrong-query mutation
+//!   engine,
+//! * [`userstudy`] — stochastic cohort simulation of the paper's user study.
+
+pub use ratest_core as core;
+pub use ratest_datagen as datagen;
+pub use ratest_provenance as provenance;
+pub use ratest_queries as queries;
+pub use ratest_ra as ra;
+pub use ratest_solver as solver;
+pub use ratest_storage as storage;
+pub use ratest_userstudy as userstudy;
