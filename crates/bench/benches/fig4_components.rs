@@ -18,12 +18,18 @@ fn bench(c: &mut Criterion) {
             .into_iter()
             .cloned()
             .collect();
-        let pair = pairs.first().expect("at least one distinguishable pair").clone();
-        let (r1, r2) = check_distinguishes(&pair.reference, &pair.wrong, &db, &Params::new()).unwrap();
+        let pair = pairs
+            .first()
+            .expect("at least one distinguishable pair")
+            .clone();
+        let (r1, r2) =
+            check_distinguishes(&pair.reference, &pair.wrong, &db, &Params::new()).unwrap();
         let (tuple, from_q1) = differing_tuples(&r1, &r2)[0].clone();
 
         group.bench_with_input(BenchmarkId::new("raw_eval", tuples), &tuples, |b, _| {
-            b.iter(|| check_distinguishes(&pair.reference, &pair.wrong, &db, &Params::new()).unwrap())
+            b.iter(|| {
+                check_distinguishes(&pair.reference, &pair.wrong, &db, &Params::new()).unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("prov_sp", tuples), &tuples, |b, _| {
             b.iter(|| {

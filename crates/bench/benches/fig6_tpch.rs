@@ -9,7 +9,10 @@ use ratest_ra::eval::Params;
 
 fn bench(c: &mut Criterion) {
     let db = tpch_database(&TpchConfig::with_scale(0.0006));
-    let q18 = tpch_experiments().into_iter().find(|e| e.name == "Q18").unwrap();
+    let q18 = tpch_experiments()
+        .into_iter()
+        .find(|e| e.name == "Q18")
+        .unwrap();
     let wrong = q18.wrong[0].clone();
 
     let mut group = c.benchmark_group("fig6_tpch_q18");

@@ -72,19 +72,34 @@ fn main() {
     println!("# RATest-rs experiment reproduction (scale: {scale_name})\n");
 
     if run_all || experiment == "table3" {
-        println!("{}", render_table3(&table3(&s.table3_sizes, s.mutations, seed)));
+        println!(
+            "{}",
+            render_table3(&table3(&s.table3_sizes, s.mutations, seed))
+        );
     }
     if run_all || experiment == "table4" {
-        println!("{}", render_table4(&table4(s.table4_tuples, s.mutations.min(3), seed)));
+        println!(
+            "{}",
+            render_table4(&table4(s.table4_tuples, s.mutations.min(3), seed))
+        );
     }
     if run_all || experiment == "fig3" {
-        println!("{}", render_fig3(&fig3(s.table4_tuples, s.mutations.min(3), seed)));
+        println!(
+            "{}",
+            render_fig3(&fig3(s.table4_tuples, s.mutations.min(3), seed))
+        );
     }
     if run_all || experiment == "fig4" {
-        println!("{}", render_fig4(&fig4(&s.fig_sizes, s.mutations.min(2), seed)));
+        println!(
+            "{}",
+            render_fig4(&fig4(&s.fig_sizes, s.mutations.min(2), seed))
+        );
     }
     if run_all || experiment == "fig5" {
-        println!("{}", render_fig5(&fig5(s.table4_tuples, s.mutations.min(3), seed)));
+        println!(
+            "{}",
+            render_fig5(&fig5(s.table4_tuples, s.mutations.min(3), seed))
+        );
     }
     if run_all || experiment == "fig6" {
         println!("{}", render_fig6(&fig6(s.tpch_sf, seed)));

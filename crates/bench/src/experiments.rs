@@ -295,7 +295,12 @@ pub fn fig5(tuples: usize, mutations_per_question: usize, seed: u64) -> Vec<Fig5
     let pairs = distinguished_pairs(&workload, &db);
     let mut strategies: Vec<(String, SolverStrategy)> = [1usize, 2, 8, 32, 128]
         .iter()
-        .map(|&k| (format!("Naive-{k}"), SolverStrategy::Enumerate { max_models: k }))
+        .map(|&k| {
+            (
+                format!("Naive-{k}"),
+                SolverStrategy::Enumerate { max_models: k },
+            )
+        })
         .collect();
     strategies.push(("Opt".to_owned(), SolverStrategy::Optimize));
 
@@ -349,10 +354,7 @@ pub struct Fig6Row {
 
 /// Run the Figure 6 experiment at the given TPC-H scale factor.
 pub fn fig6(scale_factor: f64, seed: u64) -> Vec<Fig6Row> {
-    let db = tpch_database(&TpchConfig {
-        scale_factor,
-        seed,
-    });
+    let db = tpch_database(&TpchConfig { scale_factor, seed });
     let mut rows = Vec::new();
     for exp in tpch_experiments() {
         for (variant, wrong) in exp.wrong.iter().enumerate() {
@@ -404,10 +406,7 @@ pub struct Fig7Result {
 
 /// Run the Figure 7 experiment (parameterization effectiveness on Q18).
 pub fn fig7(scale_factor: f64, seed: u64) -> Fig7Result {
-    let db = tpch_database(&TpchConfig {
-        scale_factor,
-        seed,
-    });
+    let db = tpch_database(&TpchConfig { scale_factor, seed });
     let q18 = tpch_experiments()
         .into_iter()
         .find(|e| e.name == "Q18")
@@ -444,10 +443,26 @@ pub fn fig7(scale_factor: f64, seed: u64) -> Fig7Result {
         }
     }
     Fig7Result {
-        basic_solver_time: if n > 0 { basic_time / n as u32 } else { Duration::ZERO },
-        basic_size: if n > 0 { basic_size as f64 / n as f64 } else { 0.0 },
-        param_solver_time: if n > 0 { param_time / n as u32 } else { Duration::ZERO },
-        param_size: if n > 0 { param_size as f64 / n as f64 } else { 0.0 },
+        basic_solver_time: if n > 0 {
+            basic_time / n as u32
+        } else {
+            Duration::ZERO
+        },
+        basic_size: if n > 0 {
+            basic_size as f64 / n as f64
+        } else {
+            0.0
+        },
+        param_solver_time: if n > 0 {
+            param_time / n as u32
+        } else {
+            Duration::ZERO
+        },
+        param_size: if n > 0 {
+            param_size as f64 / n as f64
+        } else {
+            0.0
+        },
         pairs: n,
     }
 }

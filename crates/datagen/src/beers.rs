@@ -12,7 +12,7 @@
 use crate::names::{person_name, BARS, BEERS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ratest_storage::{Database, DataType, Relation, Schema, Value};
+use ratest_storage::{DataType, Database, Relation, Schema, Value};
 
 /// Generate a beers/bars/drinkers instance with roughly `num_drinkers`
 /// drinkers (the remaining table sizes scale accordingly).
@@ -36,8 +36,11 @@ pub fn beers_database(num_drinkers: usize, seed: u64) -> Database {
         Schema::new(vec![("name", DataType::Text), ("brewer", DataType::Text)]),
     );
     for (i, b) in BEERS.iter().enumerate() {
-        beer.insert(vec![Value::from(*b), Value::from(format!("Brewer{}", i % 4))])
-            .expect("valid");
+        beer.insert(vec![
+            Value::from(*b),
+            Value::from(format!("Brewer{}", i % 4)),
+        ])
+        .expect("valid");
     }
 
     let mut frequents = Relation::new(
@@ -139,11 +142,23 @@ mod tests {
         assert_eq!(a.total_tuples(), b.total_tuples());
         let c = beers_database(10, 4);
         // Different seed gives (almost surely) different content size.
-        assert!(a.total_tuples() != c.total_tuples() || {
-            let fa: Vec<_> = a.relation("Frequents").unwrap().iter().map(|t| t.values.clone()).collect();
-            let fc: Vec<_> = c.relation("Frequents").unwrap().iter().map(|t| t.values.clone()).collect();
-            fa != fc
-        });
+        assert!(
+            a.total_tuples() != c.total_tuples() || {
+                let fa: Vec<_> = a
+                    .relation("Frequents")
+                    .unwrap()
+                    .iter()
+                    .map(|t| t.values.clone())
+                    .collect();
+                let fc: Vec<_> = c
+                    .relation("Frequents")
+                    .unwrap()
+                    .iter()
+                    .map(|t| t.values.clone())
+                    .collect();
+                fa != fc
+            }
+        );
     }
 
     #[test]

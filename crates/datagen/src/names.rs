@@ -42,9 +42,30 @@ pub const BEERS: &[&str] = &[
 
 /// Words used to build free-text comment columns (TPC-H style filler).
 pub const COMMENT_WORDS: &[&str] = &[
-    "carefully", "quickly", "final", "special", "pending", "regular", "ironic", "express",
-    "deposits", "requests", "accounts", "packages", "instructions", "foxes", "theodolites",
-    "pinto", "beans", "dependencies", "platelets", "sleep", "haggle", "nag", "boost", "cajole",
+    "carefully",
+    "quickly",
+    "final",
+    "special",
+    "pending",
+    "regular",
+    "ironic",
+    "express",
+    "deposits",
+    "requests",
+    "accounts",
+    "packages",
+    "instructions",
+    "foxes",
+    "theodolites",
+    "pinto",
+    "beans",
+    "dependencies",
+    "platelets",
+    "sleep",
+    "haggle",
+    "nag",
+    "boost",
+    "cajole",
 ];
 
 /// A unique person name: cycles through the pool and appends a numeric suffix

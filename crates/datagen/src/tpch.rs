@@ -18,7 +18,7 @@
 use crate::names::comment;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ratest_storage::{Database, DataType, Relation, Schema, Value};
+use ratest_storage::{DataType, Database, Relation, Schema, Value};
 
 /// Configuration of the TPC-H generator.
 #[derive(Debug, Clone)]
@@ -54,9 +54,31 @@ impl TpchConfig {
 }
 
 const NATIONS: &[&str] = &[
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA",
-    "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU",
-    "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
 ];
 const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
@@ -79,7 +101,10 @@ pub fn tpch_database(config: &TpchConfig) -> Database {
 
     let mut region = Relation::new(
         "region",
-        Schema::new(vec![("r_regionkey", DataType::Int), ("r_name", DataType::Text)]),
+        Schema::new(vec![
+            ("r_regionkey", DataType::Int),
+            ("r_name", DataType::Text),
+        ]),
     );
     for (i, r) in REGIONS.iter().enumerate() {
         region
@@ -321,9 +346,18 @@ mod tests {
         let commit = sch.index_of("l_commitdate").unwrap();
         let receipt = sch.index_of("l_receiptdate").unwrap();
         let qty = sch.index_of("l_quantity").unwrap();
-        assert!(li.iter().any(|t| t.values[receipt] > t.values[commit]), "some late items");
-        assert!(li.iter().any(|t| t.values[receipt] <= t.values[commit]), "some on-time items");
-        assert!(li.iter().any(|t| t.values[qty].as_int().unwrap() > 40), "some large quantities");
+        assert!(
+            li.iter().any(|t| t.values[receipt] > t.values[commit]),
+            "some late items"
+        );
+        assert!(
+            li.iter().any(|t| t.values[receipt] <= t.values[commit]),
+            "some on-time items"
+        );
+        assert!(
+            li.iter().any(|t| t.values[qty].as_int().unwrap() > 40),
+            "some large quantities"
+        );
     }
 
     #[test]

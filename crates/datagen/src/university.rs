@@ -12,7 +12,7 @@
 use crate::names::{course_number, person_name, DEPARTMENTS, MAJORS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ratest_storage::{Database, DataType, Relation, Schema, Value};
+use ratest_storage::{DataType, Database, Relation, Schema, Value};
 
 /// Configuration of the university generator.
 #[derive(Debug, Clone)]
@@ -90,7 +90,7 @@ pub fn university_database(config: &UniversityConfig) -> Database {
         } else {
             DEPARTMENTS[rng.gen_range(0..DEPARTMENTS.len())]
         };
-        let course = course_number(rng.gen_range(0..80) + attempt % 3);
+        let course = course_number(rng.gen_range(0..80usize) + attempt % 3);
         let grade = rng.gen_range(60..=100);
         attempt += 1;
         if registration
@@ -167,9 +167,7 @@ mod tests {
     fn every_student_appears_and_cs_courses_exist() {
         let db = university_database(&UniversityConfig::with_total(1_000));
         let reg = db.relation("Registration").unwrap();
-        let has_cs = reg
-            .iter()
-            .any(|t| t.values[2] == Value::from("CS"));
+        let has_cs = reg.iter().any(|t| t.values[2] == Value::from("CS"));
         assert!(has_cs);
         // Registrations reference only existing students (FK validated above,
         // but double-check the generator's round-robin coverage).
@@ -179,6 +177,8 @@ mod tests {
             .iter()
             .map(|t| t.values[0].to_string())
             .collect();
-        assert!(reg.iter().all(|t| students.contains(&t.values[0].to_string())));
+        assert!(reg
+            .iter()
+            .all(|t| students.contains(&t.values[0].to_string())));
     }
 }

@@ -1,0 +1,146 @@
+//! `grade` — batch-grade a generated cohort of student submissions.
+//!
+//! Generates a class of submissions for one course question (reference
+//! queries + mutation-based student errors + a hidden university instance),
+//! grades them on a worker pool with fingerprint dedup and a shared
+//! reference annotation, and prints the class report.
+//!
+//! ```text
+//! grade [--question 1..8] [--class N] [--db-tuples N] [--workers N]
+//!       [--seed N] [--timeout-ms N] [--json PATH] [--explain ID]
+//!       [--compare-sequential]
+//! ```
+
+use ratest_grader::{generate_cohort, CohortConfig, Grader, GraderConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    cohort: CohortConfig,
+    workers: usize,
+    timeout_ms: u64,
+    json_path: Option<String>,
+    explain_id: Option<String>,
+    compare_sequential: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cohort: CohortConfig::default(),
+        workers: 4,
+        timeout_ms: 30_000,
+        json_path: None,
+        explain_id: None,
+        compare_sequential: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--question" => args.cohort.question = parse(&value("--question")?)?,
+            "--class" => args.cohort.class_size = parse(&value("--class")?)?,
+            "--db-tuples" => args.cohort.db_tuples = parse(&value("--db-tuples")?)?,
+            "--seed" => args.cohort.seed = parse(&value("--seed")?)?,
+            "--workers" => args.workers = parse(&value("--workers")?)?,
+            "--timeout-ms" => args.timeout_ms = parse(&value("--timeout-ms")?)?,
+            "--json" => args.json_path = Some(value("--json")?),
+            "--explain" => args.explain_id = Some(value("--explain")?),
+            "--compare-sequential" => args.compare_sequential = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: grade [--question 1..8] [--class N] [--db-tuples N] \
+                     [--workers N] [--seed N] [--timeout-ms N] [--json PATH] \
+                     [--explain ID] [--compare-sequential]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid numeric value: {s}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("grade: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cohort = generate_cohort(&args.cohort);
+    println!("question {}: {}", args.cohort.question, cohort.prompt);
+    println!(
+        "cohort: {} submissions over a hidden instance of {} tuples (seed {})\n",
+        cohort.submissions.len(),
+        cohort.db.total_tuples(),
+        args.cohort.seed
+    );
+
+    let grader = Grader::new(GraderConfig {
+        workers: args.workers.max(1),
+        per_job_timeout: Duration::from_millis(args.timeout_ms),
+        ..Default::default()
+    });
+    let report = match grader.grade(
+        &cohort.prompt,
+        &cohort.reference,
+        &cohort.db,
+        &cohort.submissions,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("grade: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render_text());
+
+    if let Some(id) = &args.explain_id {
+        match report.explanation_for(id) {
+            Some(text) => println!("\nexplanation for {id}:\n{text}"),
+            None => println!("\n{id}: no counterexample (correct, error, or unknown id)"),
+        }
+    }
+
+    if args.compare_sequential {
+        let sequential = Grader::new(GraderConfig {
+            workers: 1,
+            per_job_timeout: Duration::from_millis(args.timeout_ms),
+            ..Default::default()
+        });
+        match sequential.grade(
+            &cohort.prompt,
+            &cohort.reference,
+            &cohort.db,
+            &cohort.submissions,
+        ) {
+            Ok(seq) => {
+                let par = report.stats.wall_time.as_secs_f64();
+                let s = seq.stats.wall_time.as_secs_f64();
+                println!(
+                    "\nsequential wall {:?} vs {} workers {:?}  (speedup {:.2}x)",
+                    seq.stats.wall_time,
+                    args.workers.max(1),
+                    report.stats.wall_time,
+                    if par > 0.0 { s / par } else { f64::INFINITY }
+                );
+            }
+            Err(e) => eprintln!("grade: sequential comparison failed: {e}"),
+        }
+    }
+
+    if let Some(path) = &args.json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("grade: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote JSON report to {path}");
+    }
+    ExitCode::SUCCESS
+}

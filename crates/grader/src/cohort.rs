@@ -1,0 +1,171 @@
+//! Generated grading workloads: a class of simulated students submitting
+//! answers to a course question over a hidden university instance.
+//!
+//! Reuses the repo's existing machinery end to end: the reference queries
+//! come from [`ratest_queries::course`], wrong answers from the mutation
+//! engine ([`ratest_queries::mutations`] — the paper's student-error
+//! classes), the class ability/adoption model from
+//! [`ratest_userstudy::sample_class`], names and the hidden instance from
+//! [`ratest_datagen`].
+
+use crate::submission::Submission;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ratest_datagen::names::person_name;
+use ratest_datagen::{university_database, UniversityConfig};
+use ratest_queries::course::course_questions;
+use ratest_queries::mutations::mutate;
+use ratest_ra::ast::Query;
+use ratest_storage::Database;
+use ratest_userstudy::sample_class;
+
+/// Configuration of a generated cohort.
+#[derive(Debug, Clone)]
+pub struct CohortConfig {
+    /// Course question number (1–8, see `ratest_queries::course`).
+    pub question: usize,
+    /// Number of students (= submissions).
+    pub class_size: usize,
+    /// Total tuples in the hidden test instance.
+    pub db_tuples: usize,
+    /// RATest adoption rate fed to the class model.
+    pub adoption_rate: f64,
+    /// Seed for the class, the instance and the error draws.
+    pub seed: u64,
+}
+
+impl Default for CohortConfig {
+    fn default() -> Self {
+        CohortConfig {
+            question: 3, // "exactly one CS course" — the paper's Example 1
+            class_size: 50,
+            db_tuples: 60,
+            adoption_rate: 0.8,
+            seed: 2019,
+        }
+    }
+}
+
+/// A generated grading workload.
+#[derive(Debug, Clone)]
+pub struct GeneratedCohort {
+    /// The natural-language prompt of the question.
+    pub prompt: String,
+    /// The instructor's reference query.
+    pub reference: Query,
+    /// The hidden test instance (with foreign keys).
+    pub db: Database,
+    /// One submission per student.
+    pub submissions: Vec<Submission>,
+}
+
+/// Generate a cohort of submissions for one course question.
+///
+/// Each student's chance of submitting the reference query grows with their
+/// sampled ability; everyone else submits a single-site mutation of the
+/// reference drawn from the paper's error classes. Because the mutation
+/// space of a query is finite and popular errors repeat, realistic cohorts
+/// contain many duplicate wrong answers — exactly what the grading engine's
+/// fingerprint dedup exploits.
+pub fn generate_cohort(config: &CohortConfig) -> GeneratedCohort {
+    let questions = course_questions();
+    let idx = config.question.clamp(1, questions.len()) - 1;
+    let question = &questions[idx];
+
+    let db = university_database(&UniversityConfig {
+        total_tuples: config.db_tuples,
+        seed: config.seed,
+        ..Default::default()
+    });
+
+    let profiles = sample_class(config.class_size, config.adoption_rate, config.seed);
+    let mutations = mutate(&question.reference);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_C0DE);
+
+    let submissions = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, profile)| {
+            let p_correct = (profile.ability * 0.85).min(0.95);
+            let query = if mutations.is_empty() || rng.gen_bool(p_correct) {
+                question.reference.clone()
+            } else {
+                mutations[rng.gen_range(0..mutations.len())].query.clone()
+            };
+            Submission::new(format!("s{i:03}"), person_name(i), query)
+        })
+        .collect();
+
+    GeneratedCohort {
+        prompt: question.prompt.to_owned(),
+        reference: question.reference.clone(),
+        db,
+        submissions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::submission::group_by_fingerprint;
+
+    #[test]
+    fn cohorts_are_deterministic_per_seed() {
+        let a = generate_cohort(&CohortConfig::default());
+        let b = generate_cohort(&CohortConfig::default());
+        assert_eq!(a.submissions.len(), b.submissions.len());
+        for (x, y) in a.submissions.iter().zip(&b.submissions) {
+            assert_eq!(x.query, y.query);
+        }
+        let c = generate_cohort(&CohortConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        assert!(
+            a.submissions
+                .iter()
+                .zip(&c.submissions)
+                .any(|(x, y)| x.query != y.query),
+            "different seeds draw different cohorts"
+        );
+    }
+
+    #[test]
+    fn cohorts_contain_duplicates_and_wrong_answers() {
+        let cohort = generate_cohort(&CohortConfig::default());
+        assert_eq!(cohort.submissions.len(), 50);
+        let groups = group_by_fingerprint(&cohort.submissions);
+        assert!(
+            groups.len() < cohort.submissions.len(),
+            "a class of 50 repeats answers: {} distinct",
+            groups.len()
+        );
+        let wrong = cohort
+            .submissions
+            .iter()
+            .filter(|s| s.query != cohort.reference)
+            .count();
+        assert!(wrong > 0, "some students are wrong");
+        assert!(wrong < cohort.submissions.len(), "some students are right");
+    }
+
+    #[test]
+    fn the_hidden_instance_has_constraints() {
+        let cohort = generate_cohort(&CohortConfig::default());
+        assert!(cohort.db.total_tuples() >= 50);
+        assert!(cohort.db.validate_constraints().is_ok());
+    }
+
+    #[test]
+    fn every_question_number_generates() {
+        for q in 1..=8 {
+            let cohort = generate_cohort(&CohortConfig {
+                question: q,
+                class_size: 8,
+                ..Default::default()
+            });
+            assert_eq!(cohort.submissions.len(), 8);
+            assert!(!cohort.prompt.is_empty());
+        }
+    }
+}

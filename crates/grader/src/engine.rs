@@ -1,0 +1,510 @@
+//! The batch grading engine: shared reference preparation, fingerprint
+//! dedup + cross-batch verdict cache, and a bounded worker pool with
+//! per-job timeouts.
+
+use crate::report::{BatchReport, BatchStats};
+use crate::submission::{group_by_fingerprint, Submission};
+use crate::verdict::{GradedSubmission, Verdict};
+use ratest_core::pipeline::{explain_with_reference, PreparedReference, RatestOptions};
+use ratest_core::RatestError;
+use ratest_ra::ast::Query;
+use ratest_storage::Database;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of the grading engine.
+#[derive(Debug, Clone)]
+pub struct GraderConfig {
+    /// Number of worker threads grading distinct submissions concurrently.
+    /// `1` reproduces the sequential loop (the benchmark baseline).
+    pub workers: usize,
+    /// Wall-clock budget per distinct submission; [`Duration::ZERO`]
+    /// disables the timeout (jobs then run inline on the worker).
+    pub per_job_timeout: Duration,
+    /// Pipeline options forwarded to every explanation run.
+    pub options: RatestOptions,
+}
+
+impl Default for GraderConfig {
+    fn default() -> Self {
+        GraderConfig {
+            workers: 4,
+            per_job_timeout: Duration::from_secs(30),
+            options: RatestOptions::default(),
+        }
+    }
+}
+
+/// Fatal engine errors. Per-submission failures are *not* errors — they
+/// surface as [`Verdict::Error`] so one bad submission cannot sink a batch.
+#[derive(Debug)]
+pub enum GraderError {
+    /// The reference query itself failed to evaluate or annotate; nothing
+    /// can be graded against it.
+    Reference(RatestError),
+}
+
+impl std::fmt::Display for GraderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraderError::Reference(e) => write!(f, "reference query is not gradable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraderError {}
+
+/// The batch grading engine. One instance carries a fingerprint → verdict
+/// cache across batches, so regrading a class after a deadline extension
+/// only pays for the new distinct submissions.
+#[derive(Debug, Default)]
+pub struct Grader {
+    config: GraderConfig,
+    /// Keyed by `(grading context, submission fingerprint)` — the context
+    /// covers the reference query, the hidden instance and the pipeline
+    /// options, so one engine can serve multiple assignments without
+    /// leaking verdicts between them.
+    cache: Mutex<HashMap<(u64, u64), Verdict>>,
+}
+
+/// One unit of work: a distinct fingerprint group to explain.
+struct Job {
+    fingerprint: u64,
+    query: Arc<Query>,
+}
+
+impl Grader {
+    /// Create an engine with the given configuration.
+    pub fn new(config: GraderConfig) -> Grader {
+        Grader {
+            config,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &GraderConfig {
+        &self.config
+    }
+
+    /// Number of fingerprints in the cross-batch verdict cache.
+    pub fn cached_verdicts(&self) -> usize {
+        self.cache.lock().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Hash of everything (besides the submission) a verdict depends on:
+    /// the reference query's canonical form, the hidden instance's full
+    /// content, and the pipeline options. Batches with different contexts
+    /// never share cache entries.
+    fn context_key(&self, reference: &Query, db: &Database) -> u64 {
+        use ratest_ra::canonical::canonical_form;
+        use std::fmt::Write as _;
+        let mut desc = canonical_form(reference);
+        let _ = write!(desc, "|db:{}", db.name());
+        for rel in db.relations() {
+            let _ = write!(desc, "|rel:{}:{}", rel.name(), rel.schema());
+            for t in rel.iter() {
+                let _ = write!(desc, "|{:?}:{:?}", t.id, t.values);
+            }
+        }
+        let _ = write!(
+            desc,
+            "|opts:{:?}:{:?}:{}",
+            self.config.options.algorithm,
+            self.config.options.strategy,
+            self.config.options.selection_pushdown
+        );
+        let mut params: Vec<_> = self.config.options.parameters.iter().collect();
+        params.sort_by(|a, b| a.0.cmp(b.0));
+        for (k, v) in params {
+            let _ = write!(desc, "|param:{k}={v:?}");
+        }
+        // FNV-1a, matching the platform-stable submission fingerprints.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in desc.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Grade a batch of submissions against one reference query on a hidden
+    /// test instance.
+    pub fn grade(
+        &self,
+        label: &str,
+        reference: &Query,
+        db: &Database,
+        submissions: &[Submission],
+    ) -> Result<BatchReport, GraderError> {
+        let wall_start = Instant::now();
+
+        // Evaluate + annotate the reference once for the whole batch.
+        let prepared = Arc::new(
+            PreparedReference::prepare(reference, db, &self.config.options.parameters)
+                .map_err(GraderError::Reference)?,
+        );
+        let context = self.context_key(reference, db);
+
+        // Dedup: each distinct canonical fingerprint is explained once.
+        let groups = group_by_fingerprint(submissions);
+        let mut verdicts: HashMap<u64, (Verdict, Duration, bool)> = HashMap::new();
+        let mut jobs: VecDeque<Job> = VecDeque::new();
+        {
+            let cache = self.cache.lock().expect("grader cache poisoned");
+            for g in &groups {
+                match cache.get(&(context, g.fingerprint)) {
+                    Some(v) => {
+                        verdicts.insert(g.fingerprint, (v.clone(), Duration::ZERO, true));
+                    }
+                    None => jobs.push_back(Job {
+                        fingerprint: g.fingerprint,
+                        query: g.query.clone(),
+                    }),
+                }
+            }
+        }
+        let cache_hits = verdicts.len();
+        let pipeline_runs = jobs.len();
+
+        // Grade the distinct jobs on a bounded worker pool.
+        let fresh = run_jobs(jobs, prepared, Arc::new(db.clone()), &self.config);
+        {
+            let mut cache = self.cache.lock().expect("grader cache poisoned");
+            for (fp, (v, _)) in &fresh {
+                // Timeout verdicts are load-dependent: caching them would
+                // make a transient stall permanent and defeat regrading with
+                // a larger budget. Correct/Wrong/Error are deterministic.
+                if !matches!(v, Verdict::Timeout { .. }) {
+                    cache.insert((context, *fp), v.clone());
+                }
+            }
+        }
+        for (fp, (v, d)) in fresh {
+            verdicts.insert(fp, (v, d, false));
+        }
+
+        // Join verdicts back onto every submission, in submission order.
+        let mut graded: Vec<GradedSubmission> = Vec::with_capacity(submissions.len());
+        let mut by_index: Vec<Option<GradedSubmission>> = vec![None; submissions.len()];
+        for g in &groups {
+            let (verdict, duration, from_cache) =
+                verdicts.get(&g.fingerprint).cloned().unwrap_or((
+                    Verdict::Error {
+                        message: "internal: no verdict recorded for fingerprint group".into(),
+                    },
+                    Duration::ZERO,
+                    false,
+                ));
+            for &i in &g.members {
+                by_index[i] = Some(GradedSubmission {
+                    submission_id: submissions[i].id.clone(),
+                    author: submissions[i].author.clone(),
+                    fingerprint: g.fingerprint,
+                    verdict: verdict.clone(),
+                    from_cache,
+                    grading_time: duration,
+                });
+            }
+        }
+        for slot in by_index {
+            graded.push(slot.expect("every submission belongs to a group"));
+        }
+
+        let stats = BatchStats::collect(
+            &graded,
+            groups.len(),
+            cache_hits,
+            pipeline_runs,
+            self.config.workers,
+            wall_start.elapsed(),
+        );
+        Ok(BatchReport {
+            label: label.to_owned(),
+            graded,
+            stats,
+        })
+    }
+}
+
+/// Drain the job queue with `config.workers` threads; returns
+/// fingerprint → (verdict, grading time).
+fn run_jobs(
+    jobs: VecDeque<Job>,
+    prepared: Arc<PreparedReference>,
+    db: Arc<Database>,
+    config: &GraderConfig,
+) -> HashMap<u64, (Verdict, Duration)> {
+    let results: Arc<Mutex<HashMap<u64, (Verdict, Duration)>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    if jobs.is_empty() {
+        return Arc::try_unwrap(results)
+            .map(|m| m.into_inner().unwrap_or_default())
+            .unwrap_or_default();
+    }
+    let worker_count = config.workers.max(1).min(jobs.len());
+    let queue = Arc::new(Mutex::new(jobs));
+
+    let mut handles = Vec::with_capacity(worker_count);
+    for _ in 0..worker_count {
+        let queue = queue.clone();
+        let results = results.clone();
+        let prepared = prepared.clone();
+        let db = db.clone();
+        let options = config.options.clone();
+        let timeout = config.per_job_timeout;
+        handles.push(std::thread::spawn(move || loop {
+            let job = match queue.lock() {
+                Ok(mut q) => q.pop_front(),
+                Err(_) => None,
+            };
+            let Some(job) = job else {
+                break;
+            };
+            let start = Instant::now();
+            let verdict = grade_one_with_timeout(
+                prepared.clone(),
+                job.query.clone(),
+                db.clone(),
+                options.clone(),
+                timeout,
+            );
+            let elapsed = start.elapsed();
+            if let Ok(mut r) = results.lock() {
+                r.insert(job.fingerprint, (verdict, elapsed));
+            }
+        }));
+    }
+    for h in handles {
+        // A panicking worker has already converted its job's panic into a
+        // `Verdict::Error` inside `grade_one`; a panic here would mean the
+        // pool plumbing itself failed, which we surface by ignoring the
+        // worker (its remaining queue share is drained by the others).
+        let _ = h.join();
+    }
+
+    Arc::try_unwrap(results)
+        .map(|m| m.into_inner().unwrap_or_default())
+        .unwrap_or_default()
+}
+
+/// Grade one submission, enforcing the per-job wall-clock budget.
+///
+/// The pipeline has no cancellation points, so the timeout is implemented by
+/// running the job on its own thread and abandoning it when the budget
+/// elapses: the worker records [`Verdict::Timeout`] and moves on, while the
+/// abandoned thread finishes (or not) in the background without blocking the
+/// batch. With `timeout == 0` the job runs inline on the worker.
+fn grade_one_with_timeout(
+    prepared: Arc<PreparedReference>,
+    query: Arc<Query>,
+    db: Arc<Database>,
+    options: RatestOptions,
+    timeout: Duration,
+) -> Verdict {
+    if timeout.is_zero() {
+        return grade_one(&prepared, &query, &db, &options);
+    }
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(grade_one(&prepared, &query, &db, &options));
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(verdict) => verdict,
+        Err(_) => Verdict::Timeout { budget: timeout },
+    }
+}
+
+/// Run the shared-reference pipeline for one submission, converting every
+/// failure mode (typed errors *and* panics) into a verdict.
+fn grade_one(
+    prepared: &PreparedReference,
+    query: &Query,
+    db: &Database,
+    options: &RatestOptions,
+) -> Verdict {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        explain_with_reference(prepared, query, db, options)
+    }));
+    match outcome {
+        Ok(Ok(outcome)) => match outcome.counterexample {
+            None => Verdict::Correct,
+            Some(cex) => Verdict::Wrong {
+                counterexample: Box::new(cex),
+                class: outcome.class,
+                algorithm: outcome.algorithm_used,
+                timings: outcome.timings,
+            },
+        },
+        Ok(Err(e)) => Verdict::Error {
+            message: e.to_string(),
+        },
+        Err(panic) => Verdict::Error {
+            message: format!(
+                "explanation panicked: {}",
+                panic
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .or_else(|| panic.downcast_ref::<String>().map(|s| s.as_str()))
+                    .unwrap_or("<non-string panic payload>")
+            ),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratest_ra::builder::{col, lit, rel};
+    use ratest_ra::testdata;
+
+    fn toy_batch() -> (Query, Database, Vec<Submission>) {
+        let db = testdata::figure1_db();
+        let reference = testdata::example1_q1();
+        let wrong = testdata::example1_q2();
+        let subs = vec![
+            Submission::new("s0", "Ada", reference.clone()),
+            Submission::new("s1", "Ben", wrong.clone()),
+            Submission::new("s2", "Cyd", wrong.clone()),
+            Submission::new("s3", "Dee", wrong),
+        ];
+        (reference, db, subs)
+    }
+
+    #[test]
+    fn duplicates_are_graded_once_and_verdicts_shared() {
+        let (reference, db, subs) = toy_batch();
+        let grader = Grader::new(GraderConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let report = grader.grade("toy", &reference, &db, &subs).unwrap();
+        assert_eq!(report.stats.submissions, 4);
+        assert_eq!(report.stats.distinct_groups, 2);
+        assert_eq!(report.stats.pipeline_runs, 2);
+        assert_eq!(report.stats.dedup_hits, 2);
+        assert_eq!(report.graded[0].verdict.tag(), "correct");
+        for g in &report.graded[1..] {
+            assert_eq!(g.verdict.tag(), "wrong");
+            assert_eq!(
+                g.verdict.counterexample().unwrap().size(),
+                3,
+                "Example 2's optimum"
+            );
+        }
+    }
+
+    #[test]
+    fn the_verdict_cache_carries_across_batches() {
+        let (reference, db, subs) = toy_batch();
+        let grader = Grader::new(GraderConfig::default());
+        let first = grader.grade("b1", &reference, &db, &subs).unwrap();
+        assert_eq!(first.stats.cache_hits, 0);
+        assert_eq!(grader.cached_verdicts(), 2);
+        let second = grader.grade("b2", &reference, &db, &subs).unwrap();
+        assert_eq!(second.stats.cache_hits, 2);
+        assert_eq!(second.stats.pipeline_runs, 0);
+        assert!(second.graded.iter().all(|g| g.from_cache));
+    }
+
+    #[test]
+    fn the_cache_is_scoped_to_the_reference_and_instance() {
+        let (reference, db, subs) = toy_batch();
+        let grader = Grader::new(GraderConfig::default());
+        let first = grader
+            .grade("q-exactly-one", &reference, &db, &subs)
+            .unwrap();
+        assert_eq!(first.graded[1].verdict.tag(), "wrong");
+
+        // Grading the same submissions against a different reference must
+        // not reuse the first assignment's verdicts: s1's query IS the new
+        // reference, so it flips from wrong to correct.
+        let other_reference = testdata::example1_q2();
+        let second = grader
+            .grade("q-at-least-one", &other_reference, &db, &subs)
+            .unwrap();
+        assert_eq!(second.stats.cache_hits, 0, "different context, no reuse");
+        assert_eq!(second.graded[1].verdict.tag(), "correct");
+    }
+
+    #[test]
+    fn timeout_verdicts_are_not_cached() {
+        let (reference, db, subs) = toy_batch();
+        let strict = Grader::new(GraderConfig {
+            workers: 1,
+            per_job_timeout: Duration::from_nanos(1),
+            ..Default::default()
+        });
+        let first = strict.grade("b1", &reference, &db, &subs).unwrap();
+        assert_eq!(
+            first.stats.timeouts, first.stats.submissions,
+            "a 1 ns budget times everything out: {:?}",
+            first.stats
+        );
+        // Timeouts must not persist: the regrade re-attempts every group
+        // instead of replaying the stale Timeout from the cache.
+        let second = strict.grade("b2", &reference, &db, &subs).unwrap();
+        assert_eq!(second.stats.cache_hits, 0, "{:?}", second.stats);
+        assert_eq!(second.stats.pipeline_runs, second.stats.distinct_groups);
+    }
+
+    #[test]
+    fn ungradable_submissions_become_error_verdicts_not_failures() {
+        let (reference, db, mut subs) = toy_batch();
+        // Wrong arity: not union compatible with the reference.
+        subs.push(Submission::new(
+            "s4",
+            "Eve",
+            rel("Student").project(&["name"]).build(),
+        ));
+        // References a relation that does not exist.
+        subs.push(Submission::new(
+            "s5",
+            "Fay",
+            rel("NoSuchTable").select(col("x").eq(lit(1i64))).build(),
+        ));
+        let grader = Grader::new(GraderConfig::default());
+        let report = grader.grade("toy", &reference, &db, &subs).unwrap();
+        assert_eq!(report.graded[4].verdict.tag(), "error");
+        assert_eq!(report.graded[5].verdict.tag(), "error");
+        // The rest of the batch still graded normally.
+        assert_eq!(report.graded[0].verdict.tag(), "correct");
+        assert_eq!(report.stats.errors, 2);
+    }
+
+    #[test]
+    fn a_broken_reference_is_a_batch_level_error() {
+        let db = testdata::figure1_db();
+        let reference = rel("Nope").build();
+        let grader = Grader::new(GraderConfig::default());
+        let err = grader
+            .grade("toy", &reference, &db, &[])
+            .expect_err("reference does not evaluate");
+        assert!(err.to_string().contains("not gradable"));
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let (reference, db, subs) = toy_batch();
+        let sequential = Grader::new(GraderConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let parallel = Grader::new(GraderConfig {
+            workers: 4,
+            ..Default::default()
+        });
+        let a = sequential.grade("seq", &reference, &db, &subs).unwrap();
+        let b = parallel.grade("par", &reference, &db, &subs).unwrap();
+        let tags = |r: &BatchReport| {
+            r.graded
+                .iter()
+                .map(|g| g.verdict.tag().to_owned())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(tags(&a), tags(&b));
+    }
+}

@@ -1,0 +1,49 @@
+//! # ratest-grader
+//!
+//! The batch grading engine: the class-scale workload the paper's Section 6
+//! deployment (the RATest course tool) served. Given **one** reference query,
+//! a hidden test instance and *N* student submissions, the engine produces a
+//! per-submission verdict — *agrees*, *counterexample* (with the small
+//! distinguishing sub-instance), *error* or *timeout* — plus a class-level
+//! report with dedup/cache/timing statistics.
+//!
+//! Three batch-level optimizations make this much cheaper than running the
+//! one-pair [`ratest_core::pipeline::explain`] in a loop:
+//!
+//! 1. **Dedup by canonical fingerprint** ([`submission`]): submissions are
+//!    grouped by [`ratest_ra::canonical::fingerprint`], so syntactically
+//!    different but equivalent-after-normalization queries are explained
+//!    once and the verdict is reused for every member of the group. Across
+//!    batches, a fingerprint → verdict cache gives the same effect for
+//!    resubmissions.
+//! 2. **Shared reference preparation**
+//!    ([`ratest_core::pipeline::PreparedReference`]): the reference query is
+//!    evaluated and provenance-annotated once per batch; workers combine the
+//!    shared annotation with each submission's own annotation via
+//!    [`ratest_provenance::difference_of`] instead of re-annotating the
+//!    reference per pair.
+//! 3. **A bounded worker pool** ([`engine`]): distinct submissions are graded
+//!    concurrently by `workers` threads with a per-job wall-clock timeout, so
+//!    one pathological submission cannot stall the whole class.
+//!
+//! The [`cohort`] module generates realistic grading workloads (reference
+//! questions from `ratest_queries::course`, student errors from
+//! `ratest_queries::mutations`, ability/adoption from
+//! `ratest_userstudy::sample_class`, hidden instances from
+//! `ratest_datagen`), and the `grade` binary wires it all into a CLI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cohort;
+pub mod engine;
+pub mod json;
+pub mod report;
+pub mod submission;
+pub mod verdict;
+
+pub use cohort::{generate_cohort, CohortConfig, GeneratedCohort};
+pub use engine::{Grader, GraderConfig, GraderError};
+pub use report::{BatchReport, BatchStats};
+pub use submission::{group_by_fingerprint, Submission, SubmissionGroup};
+pub use verdict::{GradedSubmission, Verdict};

@@ -1,0 +1,316 @@
+//! Class-level reports: per-submission verdict table, aggregate statistics,
+//! and a JSON rendering for downstream tooling (LMS upload, dashboards).
+
+use crate::json::Json;
+use crate::verdict::{GradedSubmission, Verdict};
+use ratest_core::report::render_counterexample;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Aggregate statistics for one graded batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStats {
+    /// Total submissions in the batch.
+    pub submissions: usize,
+    /// Distinct canonical fingerprints among them.
+    pub distinct_groups: usize,
+    /// Submissions whose verdict was shared from another member of their
+    /// fingerprint group (`submissions − distinct_groups`).
+    pub dedup_hits: usize,
+    /// Distinct groups answered from the cross-batch verdict cache.
+    pub cache_hits: usize,
+    /// Explanation pipeline runs actually executed
+    /// (`distinct_groups − cache_hits`).
+    pub pipeline_runs: usize,
+    /// Worker threads configured.
+    pub workers: usize,
+    /// Submissions that agree with the reference.
+    pub correct: usize,
+    /// Submissions with a counterexample.
+    pub wrong: usize,
+    /// Submissions that could not be graded.
+    pub errors: usize,
+    /// Submissions whose grading timed out.
+    pub timeouts: usize,
+    /// Wall-clock time for the whole batch.
+    pub wall_time: Duration,
+    /// Sum of per-job grading times (≥ `wall_time` when workers > 1 and the
+    /// pool is busy — the parallel speedup is `total_grading_time /
+    /// wall_time`).
+    pub total_grading_time: Duration,
+    /// Mean counterexample size over wrong submissions (0 when none).
+    pub mean_counterexample_size: f64,
+}
+
+impl BatchStats {
+    /// Aggregate from per-submission outcomes.
+    pub fn collect(
+        graded: &[GradedSubmission],
+        distinct_groups: usize,
+        cache_hits: usize,
+        pipeline_runs: usize,
+        workers: usize,
+        wall_time: Duration,
+    ) -> BatchStats {
+        let mut correct = 0;
+        let mut wrong = 0;
+        let mut errors = 0;
+        let mut timeouts = 0;
+        let mut cex_sizes: Vec<usize> = Vec::new();
+        for g in graded {
+            match &g.verdict {
+                Verdict::Correct => correct += 1,
+                Verdict::Wrong { counterexample, .. } => {
+                    wrong += 1;
+                    cex_sizes.push(counterexample.size());
+                }
+                Verdict::Error { .. } => errors += 1,
+                Verdict::Timeout { .. } => timeouts += 1,
+            }
+        }
+        // Each group's grading time is counted once (not per member).
+        let mut seen = std::collections::HashSet::new();
+        let total_grading_time = graded
+            .iter()
+            .filter(|g| seen.insert(g.fingerprint))
+            .map(|g| g.grading_time)
+            .sum();
+        let mean_counterexample_size = if cex_sizes.is_empty() {
+            0.0
+        } else {
+            cex_sizes.iter().sum::<usize>() as f64 / cex_sizes.len() as f64
+        };
+        BatchStats {
+            submissions: graded.len(),
+            distinct_groups,
+            dedup_hits: graded.len().saturating_sub(distinct_groups),
+            cache_hits,
+            pipeline_runs,
+            workers,
+            correct,
+            wrong,
+            errors,
+            timeouts,
+            wall_time,
+            total_grading_time,
+            mean_counterexample_size,
+        }
+    }
+
+    /// Fraction of submissions answered without a pipeline run in this batch
+    /// (group dedup + cross-batch cache).
+    pub fn reuse_rate(&self) -> f64 {
+        if self.submissions == 0 {
+            return 0.0;
+        }
+        1.0 - self.pipeline_runs as f64 / self.submissions as f64
+    }
+}
+
+/// The full outcome of grading one batch.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Batch label (e.g. the question prompt).
+    pub label: String,
+    /// Per-submission verdicts, in submission order.
+    pub graded: Vec<GradedSubmission>,
+    /// Aggregate statistics.
+    pub stats: BatchStats,
+}
+
+impl BatchReport {
+    /// Render a human-readable summary: one line per submission plus the
+    /// batch statistics (the CLI's default output).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== batch: {}", self.label);
+        for g in &self.graded {
+            let detail = match &g.verdict {
+                Verdict::Correct => "agrees with the reference".to_owned(),
+                Verdict::Wrong { counterexample, .. } => {
+                    format!("counterexample with {} tuple(s)", counterexample.size())
+                }
+                Verdict::Error { message } => format!("error: {message}"),
+                Verdict::Timeout { budget } => format!("timed out after {budget:?}"),
+            };
+            let cached = if g.from_cache { " [cached]" } else { "" };
+            let _ = writeln!(
+                out,
+                "{:<6} {:<22} {:<8} {}{}",
+                g.submission_id,
+                g.author,
+                g.verdict.tag(),
+                detail,
+                cached
+            );
+        }
+        let s = &self.stats;
+        let _ = writeln!(
+            out,
+            "-- {} submissions, {} distinct ({} dedup hits, {} cache hits), {} pipeline runs on {} workers",
+            s.submissions, s.distinct_groups, s.dedup_hits, s.cache_hits, s.pipeline_runs, s.workers
+        );
+        let _ = writeln!(
+            out,
+            "-- verdicts: {} correct / {} wrong / {} error / {} timeout; mean counterexample {:.1} tuples",
+            s.correct, s.wrong, s.errors, s.timeouts, s.mean_counterexample_size
+        );
+        let _ = writeln!(
+            out,
+            "-- wall {:?}, cumulative grading {:?} (reuse rate {:.0}%)",
+            s.wall_time,
+            s.total_grading_time,
+            s.reuse_rate() * 100.0
+        );
+        out
+    }
+
+    /// Render the counterexample shown to one student, if their submission
+    /// was wrong.
+    pub fn explanation_for(&self, submission_id: &str) -> Option<String> {
+        self.graded
+            .iter()
+            .find(|g| g.submission_id == submission_id)
+            .and_then(|g| g.verdict.counterexample())
+            .map(render_counterexample)
+    }
+
+    /// Render the class-level JSON report.
+    pub fn to_json(&self) -> String {
+        let graded: Vec<Json> = self
+            .graded
+            .iter()
+            .map(|g| {
+                let mut pairs = vec![
+                    ("id", Json::str(&g.submission_id)),
+                    ("author", Json::str(&g.author)),
+                    ("fingerprint", Json::str(format!("{:016x}", g.fingerprint))),
+                    ("verdict", Json::str(g.verdict.tag())),
+                    ("from_cache", Json::Bool(g.from_cache)),
+                    (
+                        "grading_ms",
+                        Json::Float(g.grading_time.as_secs_f64() * 1e3),
+                    ),
+                ];
+                match &g.verdict {
+                    Verdict::Wrong {
+                        counterexample,
+                        class,
+                        algorithm,
+                        ..
+                    } => {
+                        pairs.push((
+                            "counterexample_size",
+                            Json::Int(counterexample.size() as i64),
+                        ));
+                        pairs.push(("class", Json::str(class.to_string())));
+                        pairs.push(("algorithm", Json::str(format!("{algorithm:?}"))));
+                    }
+                    Verdict::Error { message } => {
+                        pairs.push(("message", Json::str(message)));
+                    }
+                    Verdict::Timeout { budget } => {
+                        pairs.push(("timeout_ms", Json::Float(budget.as_secs_f64() * 1e3)));
+                    }
+                    Verdict::Correct => {}
+                }
+                Json::obj(pairs)
+            })
+            .collect();
+        let s = &self.stats;
+        Json::obj(vec![
+            ("label", Json::str(&self.label)),
+            (
+                "stats",
+                Json::obj(vec![
+                    ("submissions", Json::Int(s.submissions as i64)),
+                    ("distinct_groups", Json::Int(s.distinct_groups as i64)),
+                    ("dedup_hits", Json::Int(s.dedup_hits as i64)),
+                    ("cache_hits", Json::Int(s.cache_hits as i64)),
+                    ("pipeline_runs", Json::Int(s.pipeline_runs as i64)),
+                    ("workers", Json::Int(s.workers as i64)),
+                    ("correct", Json::Int(s.correct as i64)),
+                    ("wrong", Json::Int(s.wrong as i64)),
+                    ("errors", Json::Int(s.errors as i64)),
+                    ("timeouts", Json::Int(s.timeouts as i64)),
+                    ("wall_ms", Json::Float(s.wall_time.as_secs_f64() * 1e3)),
+                    (
+                        "grading_ms",
+                        Json::Float(s.total_grading_time.as_secs_f64() * 1e3),
+                    ),
+                    (
+                        "mean_counterexample_size",
+                        Json::Float(s.mean_counterexample_size),
+                    ),
+                    ("reuse_rate", Json::Float(s.reuse_rate())),
+                ]),
+            ),
+            ("submissions", Json::Arr(graded)),
+        ])
+        .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Grader, GraderConfig};
+    use crate::submission::Submission;
+    use ratest_ra::testdata;
+
+    fn toy_report() -> BatchReport {
+        let db = testdata::figure1_db();
+        let reference = testdata::example1_q1();
+        let subs = vec![
+            Submission::new("s0", "Ada", reference.clone()),
+            Submission::new("s1", "Ben", testdata::example1_q2()),
+            Submission::new("s2", "Cyd", testdata::example1_q2()),
+        ];
+        Grader::new(GraderConfig::default())
+            .grade("exactly one CS", &reference, &db, &subs)
+            .unwrap()
+    }
+
+    #[test]
+    fn text_report_mentions_verdicts_and_stats() {
+        let report = toy_report();
+        let text = report.render_text();
+        assert!(text.contains("s0"));
+        assert!(text.contains("correct"));
+        assert!(text.contains("wrong"));
+        assert!(text.contains("pipeline runs"));
+        assert!(text.contains("dedup"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_complete() {
+        let report = toy_report();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"submissions\":3"));
+        assert!(json.contains("\"pipeline_runs\":2"));
+        assert!(json.contains("\"verdict\":\"wrong\""));
+        assert!(json.contains("\"counterexample_size\":3"));
+        assert!(json.contains("\"fingerprint\""));
+    }
+
+    #[test]
+    fn per_student_explanations_render_for_wrong_submissions() {
+        let report = toy_report();
+        assert!(
+            report.explanation_for("s0").is_none(),
+            "correct: no counterexample"
+        );
+        let text = report
+            .explanation_for("s1")
+            .expect("wrong: has explanation");
+        assert!(!text.is_empty());
+    }
+
+    #[test]
+    fn reuse_rate_reflects_dedup() {
+        let report = toy_report();
+        // 3 submissions, 2 distinct → 1/3 reuse.
+        assert!((report.stats.reuse_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

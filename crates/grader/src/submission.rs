@@ -1,0 +1,104 @@
+//! Submissions and fingerprint-based dedup grouping.
+
+use ratest_ra::ast::Query;
+use ratest_ra::canonical::fingerprint;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One student submission: an identifier, the author's display name and the
+/// submitted query.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// Stable submission identifier (e.g. `"s017"`).
+    pub id: String,
+    /// Author display name (shown in reports).
+    pub author: String,
+    /// The submitted relational-algebra query.
+    pub query: Query,
+}
+
+impl Submission {
+    /// Construct a submission.
+    pub fn new(id: impl Into<String>, author: impl Into<String>, query: Query) -> Submission {
+        Submission {
+            id: id.into(),
+            author: author.into(),
+            query,
+        }
+    }
+}
+
+/// A group of submissions that share a canonical fingerprint — graded once,
+/// verdict shared by every member.
+#[derive(Debug, Clone)]
+pub struct SubmissionGroup {
+    /// The shared canonical fingerprint.
+    pub fingerprint: u64,
+    /// A representative query (the first member's), used for grading.
+    pub query: Arc<Query>,
+    /// Indices into the original submission slice.
+    pub members: Vec<usize>,
+}
+
+/// Group submissions by canonical fingerprint, preserving first-seen order.
+pub fn group_by_fingerprint(submissions: &[Submission]) -> Vec<SubmissionGroup> {
+    let mut order: Vec<SubmissionGroup> = Vec::new();
+    let mut index: HashMap<u64, usize> = HashMap::new();
+    for (i, sub) in submissions.iter().enumerate() {
+        let fp = fingerprint(&sub.query);
+        match index.get(&fp) {
+            Some(&g) => order[g].members.push(i),
+            None => {
+                index.insert(fp, order.len());
+                order.push(SubmissionGroup {
+                    fingerprint: fp,
+                    query: Arc::new(sub.query.clone()),
+                    members: vec![i],
+                });
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratest_ra::builder::{col, lit, rel};
+
+    #[test]
+    fn equivalent_submissions_share_a_group() {
+        let a = rel("R")
+            .select(col("x").eq(lit(1i64)).and(col("y").eq(lit(2i64))))
+            .build();
+        // Same predicate, conjuncts flipped.
+        let b = rel("R")
+            .select(col("y").eq(lit(2i64)).and(col("x").eq(lit(1i64))))
+            .build();
+        let c = rel("R").select(col("x").eq(lit(9i64))).build();
+        let subs = vec![
+            Submission::new("s1", "Ada", a),
+            Submission::new("s2", "Ben", b),
+            Submission::new("s3", "Cyd", c),
+        ];
+        let groups = group_by_fingerprint(&subs);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].members, vec![0, 1]);
+        assert_eq!(groups[1].members, vec![2]);
+    }
+
+    #[test]
+    fn grouping_preserves_first_seen_order() {
+        let q1 = rel("R").build();
+        let q2 = rel("S").build();
+        let subs = vec![
+            Submission::new("a", "A", q2.clone()),
+            Submission::new("b", "B", q1.clone()),
+            Submission::new("c", "C", q2),
+        ];
+        let groups = group_by_fingerprint(&subs);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].members, vec![0, 2]);
+        assert_eq!(groups[1].members, vec![1]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Per-submission grading verdicts.
+
+use ratest_core::pipeline::{Algorithm, Timings};
+use ratest_core::problem::Counterexample;
+use ratest_ra::classify::QueryClass;
+use std::time::Duration;
+
+/// The outcome of grading one (distinct) submission.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// The submission agrees with the reference on the hidden instance.
+    Correct,
+    /// The submission is wrong: a small counterexample distinguishes it from
+    /// the reference.
+    Wrong {
+        /// The distinguishing sub-instance and both results on it.
+        counterexample: Box<Counterexample>,
+        /// The query class the pair was classified into.
+        class: QueryClass,
+        /// Which algorithm produced the counterexample.
+        algorithm: Algorithm,
+        /// Per-phase timing breakdown of the explanation run.
+        timings: Timings,
+    },
+    /// The submission could not be graded (type error, unsupported shape,
+    /// solver failure, ...). The message is surfaced to the student.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// Grading exceeded the per-job timeout; the submission needs manual
+    /// attention (or a bigger budget).
+    Timeout {
+        /// The configured budget that was exceeded.
+        budget: Duration,
+    },
+}
+
+impl Verdict {
+    /// Short machine-readable tag (used in reports and JSON).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Verdict::Correct => "correct",
+            Verdict::Wrong { .. } => "wrong",
+            Verdict::Error { .. } => "error",
+            Verdict::Timeout { .. } => "timeout",
+        }
+    }
+
+    /// The counterexample, when the verdict is [`Verdict::Wrong`].
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Verdict::Wrong { counterexample, .. } => Some(counterexample),
+            _ => None,
+        }
+    }
+}
+
+/// A submission joined with its verdict and grading provenance.
+#[derive(Debug, Clone)]
+pub struct GradedSubmission {
+    /// The submission's identifier.
+    pub submission_id: String,
+    /// The submission's author.
+    pub author: String,
+    /// Canonical fingerprint of the submitted query.
+    pub fingerprint: u64,
+    /// The verdict (shared by every member of the fingerprint group).
+    pub verdict: Verdict,
+    /// Whether the verdict came from the cross-batch verdict cache rather
+    /// than a pipeline run in this batch.
+    pub from_cache: bool,
+    /// Wall-clock time of the pipeline run that produced this verdict
+    /// (zero for cache hits).
+    pub grading_time: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(Verdict::Correct.tag(), "correct");
+        assert_eq!(
+            Verdict::Error {
+                message: "x".into()
+            }
+            .tag(),
+            "error"
+        );
+        assert_eq!(
+            Verdict::Timeout {
+                budget: Duration::from_secs(1)
+            }
+            .tag(),
+            "timeout"
+        );
+    }
+
+    #[test]
+    fn verdicts_are_cloneable_and_thread_safe() {
+        fn assert_shareable<T: Clone + Send + Sync>() {}
+        assert_shareable::<Verdict>();
+        assert_shareable::<GradedSubmission>();
+    }
+}

@@ -186,7 +186,12 @@ pub fn aggregate_provenance(
             group_by,
             aggregates,
             having,
-        } => (input.as_ref().clone(), group_by.clone(), aggregates.clone(), having.clone()),
+        } => (
+            input.as_ref().clone(),
+            group_by.clone(),
+            aggregates.clone(),
+            having.clone(),
+        ),
         _ => unreachable!("decompose returns a GroupBy"),
     };
 
@@ -338,9 +343,11 @@ mod tests {
         // Mary's CS group has two members (courses 216 and 230).
         assert_eq!(mary.members.len(), 2);
         assert_eq!(mary.variables().len(), 3); // t1, t4, t5
-        // Full instance: Mary fails HAVING count >= 3, Jesse passes.
+                                               // Full instance: Mary fails HAVING count >= 3, Jesse passes.
         let all = all_of(&db);
-        let rows = prov.evaluate_under(&|id| all.contains(id), &ParamMap::new()).unwrap();
+        let rows = prov
+            .evaluate_under(&|id| all.contains(id), &ParamMap::new())
+            .unwrap();
         assert_eq!(rows, vec![vec![Value::from("Jesse"), Value::double(90.0)]]);
     }
 
@@ -349,7 +356,9 @@ mod tests {
         let db = testdata::figure1_db();
         let prov = aggregate_provenance(&testdata::example5_q2(), &db, &ParamMap::new()).unwrap();
         let all = all_of(&db);
-        let rows = prov.evaluate_under(&|id| all.contains(id), &ParamMap::new()).unwrap();
+        let rows = prov
+            .evaluate_under(&|id| all.contains(id), &ParamMap::new())
+            .unwrap();
         assert_eq!(rows.len(), 2);
         assert!(rows.contains(&vec![Value::from("Mary"), Value::double(90.0)]));
     }
@@ -361,12 +370,13 @@ mod tests {
         let db = testdata::figure1_db();
         let prov = aggregate_provenance(&testdata::example4_q2(), &db, &ParamMap::new()).unwrap();
         let without_econ = |id: TupleId| !(id.relation == 1 && id.row == 2);
-        let rows = prov.evaluate_under(&without_econ, &ParamMap::new()).unwrap();
+        let rows = prov
+            .evaluate_under(&without_econ, &ParamMap::new())
+            .unwrap();
         assert!(rows.contains(&vec![Value::from("Mary"), Value::double(87.5)]));
         // And keeping only the ECON registration yields 95 — the paper's
         // single-tuple counterexample C = {(Mary, 208D, ECON, 95)} plus Mary.
-        let only_econ =
-            |id: TupleId| id.relation == 0 || (id.relation == 1 && id.row == 2);
+        let only_econ = |id: TupleId| id.relation == 0 || (id.relation == 1 && id.row == 2);
         let rows = prov.evaluate_under(&only_econ, &ParamMap::new()).unwrap();
         assert!(rows.contains(&vec![Value::from("Mary"), Value::double(95.0)]));
     }

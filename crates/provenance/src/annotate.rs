@@ -93,6 +93,32 @@ impl AnnotatedResult {
     }
 }
 
+/// Combine two *already computed* annotations into the annotation of their
+/// set difference, without re-evaluating either query.
+///
+/// This is the sharing primitive behind batch grading: the reference query's
+/// annotation is computed once per batch and combined — via this function —
+/// with each distinct submission's annotation to obtain `ann(Q1 − Q2)` and
+/// `ann(Q2 − Q1)`, instead of annotating the full difference query per pair.
+/// The combination rule matches the `Difference` case of
+/// [`annotate_with_params`] exactly: every row of `left` survives with
+/// `Prv_L(t) ∧ ¬Prv_R(t)` when `right` can also derive `t`, unchanged
+/// otherwise. The inputs must be union compatible (value tuples are matched
+/// positionally).
+pub fn difference_of(left: &AnnotatedResult, right: &AnnotatedResult) -> AnnotatedResult {
+    let mut out = AnnotatedResult::empty(left.schema().clone());
+    for row in left.rows() {
+        match right.provenance_of(&row.values) {
+            Some(rp) => out.push(
+                row.values.clone(),
+                BoolExpr::and2(row.provenance.clone(), rp.clone().negate()),
+            ),
+            None => out.push(row.values.clone(), row.provenance.clone()),
+        }
+    }
+    out
+}
+
 /// Annotate a parameter-free SPJUD query.
 pub fn annotate(query: &Query, db: &Database) -> Result<AnnotatedResult> {
     annotate_with_params(query, db, &ParamMap::new())
@@ -218,19 +244,7 @@ pub fn annotate_with_params(
         Query::Difference { left, right } => {
             let l = annotate_with_params(left, db, params)?;
             let r = annotate_with_params(right, db, params)?;
-            let mut out = AnnotatedResult::empty(l.schema().clone());
-            for row in l.rows() {
-                match r.provenance_of(&row.values) {
-                    // t ∈ R and t ∈ S: Prv(t) = Prv_R(t) ∧ ¬Prv_S(t).
-                    Some(rp) => out.push(
-                        row.values.clone(),
-                        BoolExpr::and2(row.provenance.clone(), rp.clone().negate()),
-                    ),
-                    // t ∈ R only: Prv(t) = Prv_R(t).
-                    None => out.push(row.values.clone(), row.provenance.clone()),
-                }
-            }
-            Ok(out)
+            Ok(difference_of(&l, &r))
         }
         Query::Rename { input, prefix } => {
             let inp = annotate_with_params(input, db, params)?;
@@ -259,15 +273,9 @@ pub fn provenance_of_tuple_in_difference(
     params: &ParamMap,
 ) -> Result<BoolExpr> {
     let a1 = annotate_with_params(q1, db, params)?;
-    let p1 = a1
-        .provenance_of(tuple)
-        .cloned()
-        .unwrap_or(BoolExpr::False);
+    let p1 = a1.provenance_of(tuple).cloned().unwrap_or(BoolExpr::False);
     let a2 = annotate_with_params(q2, db, params)?;
-    let p2 = a2
-        .provenance_of(tuple)
-        .cloned()
-        .unwrap_or(BoolExpr::False);
+    let p2 = a2.provenance_of(tuple).cloned().unwrap_or(BoolExpr::False);
     Ok(BoolExpr::and2(p1, p2.negate()))
 }
 
@@ -284,11 +292,7 @@ pub fn provenance_of_tuple_in_difference(
 ///   tuples.
 ///
 /// Used by tests and the property-based suite.
-pub fn consistent_with_evaluation(
-    query: &Query,
-    db: &Database,
-    params: &ParamMap,
-) -> Result<bool> {
+pub fn consistent_with_evaluation(query: &Query, db: &Database, params: &ParamMap) -> Result<bool> {
     let annotated = annotate_with_params(query, db, params)?;
     let plain = ratest_ra::eval::evaluate_with_params(query, db, params)?;
     let all = ratest_storage::TupleSelection::all(db);
@@ -395,7 +399,9 @@ mod tests {
     fn union_and_projection_merge_with_or() {
         let db = testdata::figure1_db();
         // π_name(Registration): Mary appears via three registrations.
-        let q = ratest_ra::builder::rel("Registration").project(&["name"]).build();
+        let q = ratest_ra::builder::rel("Registration")
+            .project(&["name"])
+            .build();
         let out = annotate(&q, &db).unwrap();
         let prv = out.provenance_of(&[Value::from("Mary")]).unwrap();
         assert_eq!(prv.variables().len(), 3);
@@ -436,9 +442,28 @@ mod tests {
     fn groupby_is_rejected_by_the_spjud_annotator() {
         let db = testdata::figure1_db();
         let err = annotate(&testdata::example4_q1(), &db).unwrap_err();
-        assert!(matches!(
-            err,
-            ProvenanceError::UnsupportedAggregateShape(_)
-        ));
+        assert!(matches!(err, ProvenanceError::UnsupportedAggregateShape(_)));
+    }
+
+    #[test]
+    fn difference_of_matches_annotating_the_difference_query() {
+        let db = testdata::figure1_db();
+        let q1 = testdata::example1_q1();
+        let q2 = testdata::example1_q2();
+        let diff = Query::Difference {
+            left: std::sync::Arc::new(q2.clone()),
+            right: std::sync::Arc::new(q1.clone()),
+        };
+        let whole = annotate(&diff, &db).unwrap();
+        let combined = difference_of(&annotate(&q2, &db).unwrap(), &annotate(&q1, &db).unwrap());
+        assert_eq!(whole.len(), combined.len());
+        for row in whole.rows() {
+            assert_eq!(
+                Some(&row.provenance),
+                combined.provenance_of(&row.values),
+                "row {:?} differs",
+                row.values
+            );
+        }
     }
 }

@@ -222,7 +222,10 @@ mod tests {
             BoolExpr::or(vec![BoolExpr::False, b.clone()]),
             BoolExpr::Var(t(2))
         );
-        assert_eq!(BoolExpr::or(vec![BoolExpr::True, b.clone()]), BoolExpr::True);
+        assert_eq!(
+            BoolExpr::or(vec![BoolExpr::True, b.clone()]),
+            BoolExpr::True
+        );
         assert_eq!(BoolExpr::and(vec![]), BoolExpr::True);
         assert_eq!(BoolExpr::or(vec![]), BoolExpr::False);
         // Flattening.

@@ -63,7 +63,10 @@ pub fn render_min_ones(provenance: &BoolExpr, foreign_keys: &[(TupleId, TupleId)
             tuple_var(*parent)
         );
     }
-    let objective: Vec<String> = vars.iter().map(|v| format!("(b2i {})", tuple_var(*v))).collect();
+    let objective: Vec<String> = vars
+        .iter()
+        .map(|v| format!("(b2i {})", tuple_var(*v)))
+        .collect();
     let _ = writeln!(out, "(minimize (+ {}))", objective.join(" "));
     let _ = writeln!(out, "(check-sat)");
     let _ = writeln!(out, "(get-model)");
@@ -103,11 +106,7 @@ pub fn aggregate_term(group: &GroupProvenance, agg_index: usize) -> String {
     match func {
         AggFunc::Count => format!("(+ {})", indicator.join(" ")),
         AggFunc::Sum => format!("(+ {})", weighted.join(" ")),
-        AggFunc::Avg => format!(
-            "(/ (+ {}) (+ {}))",
-            weighted.join(" "),
-            indicator.join(" ")
-        ),
+        AggFunc::Avg => format!("(/ (+ {}) (+ {}))", weighted.join(" "), indicator.join(" ")),
         // MIN/MAX have no compact linear encoding; render an uninterpreted
         // marker that documents the intent (the solver layer handles these
         // lazily by evaluation, not symbolically).
@@ -166,7 +165,10 @@ pub fn render_aggregate_difference(
         value(g1),
         value(g2)
     );
-    let objective: Vec<String> = vars.iter().map(|v| format!("(b2i {})", tuple_var(*v))).collect();
+    let objective: Vec<String> = vars
+        .iter()
+        .map(|v| format!("(b2i {})", tuple_var(*v)))
+        .collect();
     let _ = writeln!(out, "(minimize (+ {}))", objective.join(" "));
     let _ = writeln!(out, "(check-sat)");
     out

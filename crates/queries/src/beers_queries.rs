@@ -11,7 +11,9 @@ pub fn problem_b() -> Query {
         .rename("f")
         .join_on(
             rel("Serves").rename("s").build(),
-            col("f.bar").eq(col("s.bar")).and(col("s.beer").eq(lit("Corona"))),
+            col("f.bar")
+                .eq(col("s.bar"))
+                .and(col("s.beer").eq(lit("Corona"))),
         )
         .project(&["f.drinker"])
         .build()
@@ -65,12 +67,18 @@ pub fn problem_h() -> Query {
         )
         .join_on(
             rel("Likes").rename("l").build(),
-            col("f.drinker").eq(col("l.drinker")).and(col("s.beer").eq(col("l.beer"))),
+            col("f.drinker")
+                .eq(col("l.drinker"))
+                .and(col("s.beer").eq(col("l.beer"))),
         )
         .project(&["f.drinker", "f.bar"])
         .build();
-    let bad_pairs = QueryBuilder::from_query(frequented).difference(satisfied).build();
-    let bad_drinkers = QueryBuilder::from_query(bad_pairs).project(&["drinker"]).build();
+    let bad_pairs = QueryBuilder::from_query(frequented)
+        .difference(satisfied)
+        .build();
+    let bad_drinkers = QueryBuilder::from_query(bad_pairs)
+        .project(&["drinker"])
+        .build();
     QueryBuilder::from_query(rel("Frequents").project(&["drinker"]).build())
         .difference(bad_drinkers)
         .build()
@@ -99,8 +107,12 @@ pub fn problem_i() -> Query {
         )
         .project(&["bar", "f.drinker", "beer"])
         .build();
-    let offending = QueryBuilder::from_query(candidate).difference(liked_pairs).build();
-    let offending_drinkers = QueryBuilder::from_query(offending).project(&["drinker"]).build();
+    let offending = QueryBuilder::from_query(candidate)
+        .difference(liked_pairs)
+        .build();
+    let offending_drinkers = QueryBuilder::from_query(offending)
+        .project(&["drinker"])
+        .build();
     QueryBuilder::from_query(rel("Frequents").project(&["drinker"]).build())
         .difference(offending_drinkers)
         .build()

@@ -36,7 +36,9 @@ pub fn q1_some_cs_course() -> Query {
         .rename("s")
         .join_on(
             rel("Registration").rename("r").build(),
-            col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+            col("s.name")
+                .eq(col("r.name"))
+                .and(col("r.dept").eq(lit("CS"))),
         )
         .project(&["s.name", "s.major"])
         .build()
@@ -79,11 +81,15 @@ pub fn q4_cs_and_econ() -> Query {
         .rename("s")
         .join_on(
             rel("Registration").rename("r1").build(),
-            col("s.name").eq(col("r1.name")).and(col("r1.dept").eq(lit("CS"))),
+            col("s.name")
+                .eq(col("r1.name"))
+                .and(col("r1.dept").eq(lit("CS"))),
         )
         .join_on(
             rel("Registration").rename("r2").build(),
-            col("s.name").eq(col("r2.name")).and(col("r2.dept").eq(lit("ECON"))),
+            col("s.name")
+                .eq(col("r2.name"))
+                .and(col("r2.dept").eq(lit("ECON"))),
         )
         .project(&["s.name", "s.major"])
         .build()
@@ -93,7 +99,11 @@ pub fn q4_cs_and_econ() -> Query {
 /// major's department.
 pub fn q5_high_grade_in_major() -> Query {
     student_registration_join()
-        .select(col("r.dept").eq(col("s.major")).and(col("r.grade").gt(lit(90i64))))
+        .select(
+            col("r.dept")
+                .eq(col("s.major"))
+                .and(col("r.grade").gt(lit(90i64))),
+        )
         .project(&["s.name"])
         .build()
 }
@@ -119,7 +129,9 @@ pub fn q7_only_cs_courses() -> Query {
         .rename("s")
         .join_on(
             rel("Registration").rename("r").build(),
-            col("s.name").eq(col("r.name")).and(col("r.dept").ne(lit("CS"))),
+            col("s.name")
+                .eq(col("r.name"))
+                .and(col("r.dept").ne(lit("CS"))),
         )
         .project(&["s.name", "s.major"])
         .build();
@@ -144,7 +156,9 @@ pub fn q8_every_cs_course() -> Query {
         .select(col("dept").eq(lit("CS")))
         .project(&["name", "course"])
         .build();
-    let missing_pairs = QueryBuilder::from_query(all_pairs).difference(taken_pairs).build();
+    let missing_pairs = QueryBuilder::from_query(all_pairs)
+        .difference(taken_pairs)
+        .build();
     let students_missing_some = QueryBuilder::from_query(missing_pairs)
         .project(&["name"])
         .build();
@@ -226,7 +240,7 @@ mod tests {
         assert_eq!(evaluate(&q4_cs_and_econ(), &db).unwrap().len(), 2); // Mary, John
         assert_eq!(evaluate(&q5_high_grade_in_major(), &db).unwrap().len(), 2); // Mary(CS 100), Jesse(CS 95)
         assert_eq!(evaluate(&q7_only_cs_courses(), &db).unwrap().len(), 1); // Jesse
-        // Every CS course offered = {216, 230, 316, 330}; nobody took all four.
+                                                                            // Every CS course offered = {216, 230, 316, 330}; nobody took all four.
         assert_eq!(evaluate(&q8_every_cs_course(), &db).unwrap().len(), 0);
     }
 
@@ -240,7 +254,10 @@ mod tests {
             .iter()
             .map(|q| QueryMetrics::of(&q.reference).operators)
             .collect();
-        assert!(ops.iter().max().unwrap() >= &6, "hardest question is complex: {ops:?}");
+        assert!(
+            ops.iter().max().unwrap() >= &6,
+            "hardest question is complex: {ops:?}"
+        );
         assert!(ops.iter().min().unwrap() <= &2);
     }
 

@@ -167,7 +167,11 @@ fn collect(root: &Query, emit: &mut impl FnMut(Query, MutationKind, String)) {
                         input: input.clone(),
                         predicate: m,
                     };
-                    emit(rebuild(root, &path, replacement), kind, format!("selection: {desc}"));
+                    emit(
+                        rebuild(root, &path, replacement),
+                        kind,
+                        format!("selection: {desc}"),
+                    );
                 }
             }
             Query::Join {
@@ -181,7 +185,11 @@ fn collect(root: &Query, emit: &mut impl FnMut(Query, MutationKind, String)) {
                         right: right.clone(),
                         predicate: Some(m),
                     };
-                    emit(rebuild(root, &path, replacement), kind, format!("join: {desc}"));
+                    emit(
+                        rebuild(root, &path, replacement),
+                        kind,
+                        format!("join: {desc}"),
+                    );
                 }
             }
             Query::Difference { left, right } => {
@@ -223,7 +231,11 @@ fn collect(root: &Query, emit: &mut impl FnMut(Query, MutationKind, String)) {
                         aggregates: aggregates.clone(),
                         having: Some(m),
                     };
-                    emit(rebuild(root, &path, replacement), kind, format!("having: {desc}"));
+                    emit(
+                        rebuild(root, &path, replacement),
+                        kind,
+                        format!("having: {desc}"),
+                    );
                 }
             }
             _ => {}
@@ -365,7 +377,11 @@ mod tests {
             .find(|m| m.kind == MutationKind::DropDifference)
             .unwrap();
         let out = evaluate(&wrong.query, &db).unwrap();
-        assert_eq!(out.len(), 3, "the dropped-difference query returns all CS students");
+        assert_eq!(
+            out.len(),
+            3,
+            "the dropped-difference query returns all CS students"
+        );
     }
 
     #[test]

@@ -134,7 +134,11 @@ pub fn q16() -> Query {
         )
         .group_by(
             &["p_brand", "p_type", "p_size"],
-            vec![AggCall::new(AggFunc::Count, col("ps_suppkey"), "supplier_cnt")],
+            vec![AggCall::new(
+                AggFunc::Count,
+                col("ps_suppkey"),
+                "supplier_cnt",
+            )],
             None,
         )
         .build()
@@ -154,7 +158,11 @@ pub fn q16_wrong() -> Vec<Query> {
         )
         .group_by(
             &["p_brand", "p_type", "p_size"],
-            vec![AggCall::new(AggFunc::Count, col("ps_suppkey"), "supplier_cnt")],
+            vec![AggCall::new(
+                AggFunc::Count,
+                col("ps_suppkey"),
+                "supplier_cnt",
+            )],
             None,
         )
         .build();
@@ -184,7 +192,11 @@ pub fn q16_wrong() -> Vec<Query> {
         )
         .group_by(
             &["p_brand", "p_type", "p_size"],
-            vec![AggCall::new(AggFunc::Count, col("ps_suppkey"), "supplier_cnt")],
+            vec![AggCall::new(
+                AggFunc::Count,
+                col("ps_suppkey"),
+                "supplier_cnt",
+            )],
             None,
         )
         .build();
@@ -193,10 +205,7 @@ pub fn q16_wrong() -> Vec<Query> {
 
 fn q18_with_threshold(threshold: ratest_ra::expr::Expr, date_filter: bool) -> Query {
     let mut join = rel("customer")
-        .join_on(
-            rel("orders").build(),
-            col("c_custkey").eq(col("o_custkey")),
-        )
+        .join_on(rel("orders").build(), col("c_custkey").eq(col("o_custkey")))
         .join_on(
             rel("lineitem").build(),
             col("o_orderkey").eq(col("l_orderkey")),
@@ -268,11 +277,7 @@ fn q21_core(nation: &str, status_filter: bool) -> QueryBuilder {
 /// late-delivery count per supplier of a given nation on finalized orders.
 pub fn q21() -> Query {
     q21_core("SAUDI ARABIA", true)
-        .group_by(
-            &["s_name"],
-            vec![AggCall::count_star("numwait")],
-            None,
-        )
+        .group_by(&["s_name"], vec![AggCall::count_star("numwait")], None)
         .build()
 }
 
@@ -291,9 +296,11 @@ pub fn q21_wrong() -> Vec<Query> {
 /// Q21-S: Q21 with an additional selection on the aggregate value at the top
 /// of the query tree (the paper's modified variant).
 pub fn q21_s() -> Query {
-    QueryBuilder::from_query(q21_core("SAUDI ARABIA", true)
-        .group_by(&["s_name"], vec![AggCall::count_star("numwait")], None)
-        .build())
+    QueryBuilder::from_query(
+        q21_core("SAUDI ARABIA", true)
+            .group_by(&["s_name"], vec![AggCall::count_star("numwait")], None)
+            .build(),
+    )
     .select(col("numwait").ge(lit(3i64)))
     .build()
 }
@@ -302,7 +309,11 @@ pub fn q21_s() -> Query {
 pub fn q21_s_wrong() -> Vec<Query> {
     q21_wrong()
         .into_iter()
-        .map(|q| QueryBuilder::from_query(q).select(col("numwait").ge(lit(3i64))).build())
+        .map(|q| {
+            QueryBuilder::from_query(q)
+                .select(col("numwait").ge(lit(3i64)))
+                .build()
+        })
         .collect()
 }
 
@@ -363,7 +374,12 @@ mod tests {
                 exp.name
             );
             let out = evaluate(&exp.reference, &db);
-            assert!(out.is_ok(), "{} fails to evaluate: {:?}", exp.name, out.err());
+            assert!(
+                out.is_ok(),
+                "{} fails to evaluate: {:?}",
+                exp.name,
+                out.err()
+            );
             for (i, w) in exp.wrong.iter().enumerate() {
                 let ws = output_schema(w, &db).unwrap();
                 let rs = output_schema(&exp.reference, &db).unwrap();

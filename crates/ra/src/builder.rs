@@ -132,7 +132,12 @@ impl QueryBuilder {
     }
 
     /// γ group-by with aggregates and an optional HAVING predicate.
-    pub fn group_by(self, group_by: &[&str], aggregates: Vec<AggCall>, having: Option<Expr>) -> Self {
+    pub fn group_by(
+        self,
+        group_by: &[&str],
+        aggregates: Vec<AggCall>,
+        having: Option<Expr>,
+    ) -> Self {
         QueryBuilder {
             query: Query::GroupBy {
                 input: Arc::new(self.query),
@@ -197,7 +202,9 @@ mod tests {
     #[test]
     fn from_query_round_trip() {
         let q = rel("R").build();
-        let q2 = QueryBuilder::from_query(q.clone()).select(lit(true)).build();
+        let q2 = QueryBuilder::from_query(q.clone())
+            .select(lit(true))
+            .build();
         assert_eq!(q2.children()[0], &q);
         let _as_query: Query = rel("R").into();
     }

@@ -1,0 +1,294 @@
+//! Canonical forms and fingerprints for queries.
+//!
+//! Class-scale grading (the paper's Section 6 deployment) sees many
+//! submissions that are *syntactically* different but obviously the same
+//! query: conjuncts written in a different order, `'CS' = dept` instead of
+//! `dept = 'CS'`, the two branches of a union swapped. The batch grader
+//! dedupes such submissions so each distinct query is explained only once.
+//!
+//! [`canonical_form`] renders a query as a stable string after applying
+//! *conservative*, semantics-preserving normalizations:
+//!
+//! * conjunctions (nested `AND`s) are flattened and sorted,
+//! * disjunctions (nested `OR`s) are flattened and sorted,
+//! * the operands of the symmetric comparisons `=` and `<>` are ordered,
+//! * mirrored comparisons are normalized (`a > b` becomes `b < a`,
+//!   `a >= b` becomes `b <= a`),
+//! * the operands of a union are ordered.
+//!
+//! Joins are deliberately *not* reordered: a theta-join's predicate refers to
+//! the operand columns by (possibly renamed) qualifiers, so commuting the
+//! operands is only sound together with a predicate rewrite — not worth the
+//! risk for a dedup optimization. Two queries with equal canonical forms are
+//! guaranteed equivalent; the converse does not hold, which is fine for a
+//! cache key.
+//!
+//! [`fingerprint`] hashes the canonical form to a stable `u64` (FNV-1a, so
+//! the value is identical across processes and platforms — usable as a
+//! persistent cache key, unlike `DefaultHasher`).
+
+use crate::ast::{ProjectItem, Query};
+use crate::expr::{BinaryOp, Expr};
+
+/// A stable, normalization-applied textual form of a query. Equal canonical
+/// forms imply equivalent queries (the converse does not hold).
+pub fn canonical_form(query: &Query) -> String {
+    let mut out = String::new();
+    write_query(query, &mut out);
+    out
+}
+
+/// FNV-1a hash of [`canonical_form`], platform-stable so it can serve as a
+/// cache/dedup key across processes.
+pub fn fingerprint(query: &Query) -> u64 {
+    fnv1a(canonical_form(query).as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn write_query(q: &Query, out: &mut String) {
+    match q {
+        Query::Relation(name) => {
+            out.push_str("rel(");
+            out.push_str(name);
+            out.push(')');
+        }
+        Query::Select { input, predicate } => {
+            out.push_str("select(");
+            out.push_str(&canonical_expr(predicate));
+            out.push_str(")(");
+            write_query(input, out);
+            out.push(')');
+        }
+        Query::Project { input, items } => {
+            out.push_str("project(");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_project_item(item, out);
+            }
+            out.push_str(")(");
+            write_query(input, out);
+            out.push(')');
+        }
+        Query::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            out.push_str("join(");
+            match predicate {
+                Some(p) => out.push_str(&canonical_expr(p)),
+                None => out.push_str("cross"),
+            }
+            out.push_str(")(");
+            write_query(left, out);
+            out.push(',');
+            write_query(right, out);
+            out.push(')');
+        }
+        Query::Union { left, right } => {
+            // Union is commutative: order the operands by canonical form.
+            let mut l = String::new();
+            let mut r = String::new();
+            write_query(left, &mut l);
+            write_query(right, &mut r);
+            if l > r {
+                std::mem::swap(&mut l, &mut r);
+            }
+            out.push_str("union(");
+            out.push_str(&l);
+            out.push(',');
+            out.push_str(&r);
+            out.push(')');
+        }
+        Query::Difference { left, right } => {
+            out.push_str("difference(");
+            write_query(left, out);
+            out.push(',');
+            write_query(right, out);
+            out.push(')');
+        }
+        Query::Rename { input, prefix } => {
+            out.push_str("rename(");
+            out.push_str(prefix);
+            out.push_str(")(");
+            write_query(input, out);
+            out.push(')');
+        }
+        Query::GroupBy {
+            input,
+            group_by,
+            aggregates,
+            having,
+        } => {
+            out.push_str("groupby(");
+            out.push_str(&group_by.join(","));
+            out.push(';');
+            for (i, a) in aggregates.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(a.func.name());
+                out.push('(');
+                out.push_str(&canonical_expr(&a.arg));
+                out.push_str(")->");
+                out.push_str(&a.alias);
+            }
+            out.push(';');
+            match having {
+                Some(h) => out.push_str(&canonical_expr(h)),
+                None => out.push('_'),
+            }
+            out.push_str(")(");
+            write_query(input, out);
+            out.push(')');
+        }
+    }
+}
+
+fn write_project_item(item: &ProjectItem, out: &mut String) {
+    out.push_str(&canonical_expr(&item.expr));
+    out.push_str("->");
+    out.push_str(&item.alias);
+}
+
+/// Canonicalize an expression to a stable string: flatten + sort AND/OR
+/// chains, order the operands of symmetric comparisons, normalize mirrored
+/// comparisons to their `<` / `<=` form.
+fn canonical_expr(e: &Expr) -> String {
+    match e {
+        Expr::Column(name) => format!("col({name})"),
+        Expr::Literal(v) => format!("lit({v:?})"),
+        Expr::Param(name) => format!("param({name})"),
+        Expr::Unary { op, expr } => format!("{op:?}({})", canonical_expr(expr)),
+        Expr::Binary { op, left, right } => match op {
+            BinaryOp::And => {
+                let mut parts = Vec::new();
+                collect_chain(e, BinaryOp::And, &mut parts);
+                parts.sort();
+                format!("and({})", parts.join(","))
+            }
+            BinaryOp::Or => {
+                let mut parts = Vec::new();
+                collect_chain(e, BinaryOp::Or, &mut parts);
+                parts.sort();
+                format!("or({})", parts.join(","))
+            }
+            BinaryOp::Eq | BinaryOp::Ne => {
+                let mut l = canonical_expr(left);
+                let mut r = canonical_expr(right);
+                if l > r {
+                    std::mem::swap(&mut l, &mut r);
+                }
+                format!("{op:?}({l},{r})")
+            }
+            // a > b  ≡  b < a;  a >= b  ≡  b <= a.
+            BinaryOp::Gt => format!("Lt({},{})", canonical_expr(right), canonical_expr(left)),
+            BinaryOp::Ge => format!("Le({},{})", canonical_expr(right), canonical_expr(left)),
+            _ => format!("{op:?}({},{})", canonical_expr(left), canonical_expr(right)),
+        },
+    }
+}
+
+/// Flatten a chain of the given associative operator into canonicalized
+/// operand strings.
+fn collect_chain(e: &Expr, op: BinaryOp, out: &mut Vec<String>) {
+    match e {
+        Expr::Binary {
+            op: node_op,
+            left,
+            right,
+        } if *node_op == op => {
+            collect_chain(left, op, out);
+            collect_chain(right, op, out);
+        }
+        other => out.push(canonical_expr(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{col, lit, rel};
+
+    #[test]
+    fn conjunct_order_does_not_matter() {
+        let a = rel("R")
+            .select(col("x").eq(lit(1i64)).and(col("y").eq(lit(2i64))))
+            .build();
+        let b = rel("R")
+            .select(col("y").eq(lit(2i64)).and(col("x").eq(lit(1i64))))
+            .build();
+        assert_eq!(canonical_form(&a), canonical_form(&b));
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn symmetric_comparison_operands_are_ordered() {
+        let a = rel("R").select(col("dept").eq(lit("CS"))).build();
+        let b = rel("R").select(lit("CS").eq(col("dept"))).build();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn mirrored_comparisons_are_normalized() {
+        let a = rel("R").select(col("grade").gt(lit(90i64))).build();
+        let b = rel("R").select(lit(90i64).lt(col("grade"))).build();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn union_operand_order_does_not_matter() {
+        let cs = rel("R").select(col("d").eq(lit("CS"))).build();
+        let econ = rel("R").select(col("d").eq(lit("ECON"))).build();
+        let a = crate::builder::QueryBuilder::from_query(cs.clone())
+            .union(econ.clone())
+            .build();
+        let b = crate::builder::QueryBuilder::from_query(econ)
+            .union(cs)
+            .build();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn different_queries_have_different_forms() {
+        let a = rel("R").select(col("d").eq(lit("CS"))).build();
+        let b = rel("R").select(col("d").eq(lit("ECON"))).build();
+        let c = rel("R").select(col("d").ne(lit("CS"))).build();
+        let d = rel("R").build();
+        let forms = [&a, &b, &c, &d].map(canonical_form);
+        for i in 0..forms.len() {
+            for j in i + 1..forms.len() {
+                assert_ne!(forms[i], forms[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn difference_is_not_commuted() {
+        let l = rel("R").build();
+        let r = rel("S").build();
+        let a = crate::builder::QueryBuilder::from_query(l.clone())
+            .difference(r.clone())
+            .build();
+        let b = crate::builder::QueryBuilder::from_query(r)
+            .difference(l)
+            .build();
+        assert_ne!(canonical_form(&a), canonical_form(&b));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_calls() {
+        let q = rel("Student").select(col("major").eq(lit("CS"))).build();
+        assert_eq!(fingerprint(&q), fingerprint(&q.clone()));
+    }
+}

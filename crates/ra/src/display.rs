@@ -44,13 +44,25 @@ pub fn to_algebra_string(q: &Query) -> String {
                 to_algebra_string(left),
                 to_algebra_string(right)
             ),
-            None => format!("({} × {})", to_algebra_string(left), to_algebra_string(right)),
+            None => format!(
+                "({} × {})",
+                to_algebra_string(left),
+                to_algebra_string(right)
+            ),
         },
         Query::Union { left, right } => {
-            format!("({} ∪ {})", to_algebra_string(left), to_algebra_string(right))
+            format!(
+                "({} ∪ {})",
+                to_algebra_string(left),
+                to_algebra_string(right)
+            )
         }
         Query::Difference { left, right } => {
-            format!("({} − {})", to_algebra_string(left), to_algebra_string(right))
+            format!(
+                "({} − {})",
+                to_algebra_string(left),
+                to_algebra_string(right)
+            )
         }
         Query::Rename { input, prefix } => {
             format!("ρ[{prefix}]({})", to_algebra_string(input))
@@ -105,7 +117,12 @@ fn render(q: &Query, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
                 .iter()
                 .map(|a| format!("{}({})", a.func.name(), a.alias))
                 .collect();
-            write!(f, "{pad}groupby [{}; {}]", group_by.join(", "), aggs.join(", "))?;
+            write!(
+                f,
+                "{pad}groupby [{}; {}]",
+                group_by.join(", "),
+                aggs.join(", ")
+            )?;
             if let Some(h) = having {
                 write!(f, " having [{h}]")?;
             }

@@ -270,7 +270,9 @@ pub fn evaluate_with_params(query: &Query, db: &Database, params: &Params) -> Re
 /// Compute an aggregate over the argument values of one group.
 pub fn compute_aggregate(func: AggFunc, args: &[Value]) -> Result<Value> {
     match func {
-        AggFunc::Count => Ok(Value::Int(args.iter().filter(|v| !v.is_null()).count() as i64)),
+        AggFunc::Count => Ok(Value::Int(
+            args.iter().filter(|v| !v.is_null()).count() as i64
+        )),
         AggFunc::Sum => {
             let mut acc_int: i64 = 0;
             let mut acc_f: f64 = 0.0;
@@ -495,7 +497,9 @@ mod tests {
             .rename("s")
             .join_on(
                 rel("Registration").rename("r").build(),
-                col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+                col("s.name")
+                    .eq(col("r.name"))
+                    .and(col("r.dept").eq(lit("CS"))),
             )
             .project(&["s.name", "s.major"])
             .build()
@@ -598,7 +602,9 @@ mod tests {
             .rename("s")
             .join_on(
                 rel("Registration").rename("r").build(),
-                col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+                col("s.name")
+                    .eq(col("r.name"))
+                    .and(col("r.dept").eq(lit("CS"))),
             )
             .group_by(
                 &["s.name"],
@@ -621,7 +627,9 @@ mod tests {
             .rename("s")
             .join_on(
                 rel("Registration").rename("r").build(),
-                col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+                col("s.name")
+                    .eq(col("r.name"))
+                    .and(col("r.dept").eq(lit("CS"))),
             )
             .group_by(
                 &["s.name"],
@@ -664,14 +672,26 @@ mod tests {
     #[test]
     fn aggregate_functions_compute_correctly() {
         let vals = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
-        assert_eq!(compute_aggregate(AggFunc::Count, &vals).unwrap(), Value::Int(3));
-        assert_eq!(compute_aggregate(AggFunc::Sum, &vals).unwrap(), Value::Int(6));
+        assert_eq!(
+            compute_aggregate(AggFunc::Count, &vals).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            compute_aggregate(AggFunc::Sum, &vals).unwrap(),
+            Value::Int(6)
+        );
         assert_eq!(
             compute_aggregate(AggFunc::Avg, &vals).unwrap(),
             Value::double(2.0)
         );
-        assert_eq!(compute_aggregate(AggFunc::Min, &vals).unwrap(), Value::Int(1));
-        assert_eq!(compute_aggregate(AggFunc::Max, &vals).unwrap(), Value::Int(3));
+        assert_eq!(
+            compute_aggregate(AggFunc::Min, &vals).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            compute_aggregate(AggFunc::Max, &vals).unwrap(),
+            Value::Int(3)
+        );
         assert_eq!(compute_aggregate(AggFunc::Sum, &[]).unwrap(), Value::Null);
         assert_eq!(
             compute_aggregate(AggFunc::Sum, &[Value::Int(1), Value::double(0.5)]).unwrap(),

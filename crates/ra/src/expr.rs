@@ -170,6 +170,7 @@ impl Expr {
         Expr::binary(BinaryOp::Or, self, other)
     }
     /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         Expr::Unary {
             op: UnaryOp::Not,
@@ -177,10 +178,12 @@ impl Expr {
         }
     }
     /// `self + other`
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         Expr::binary(BinaryOp::Add, self, other)
     }
     /// `self - other`
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         Expr::binary(BinaryOp::Sub, self, other)
     }
@@ -519,7 +522,10 @@ mod tests {
 
     #[test]
     fn suffix_resolution_of_qualified_columns() {
-        let s = Schema::new(vec![("s.name", DataType::Text), ("r.course", DataType::Text)]);
+        let s = Schema::new(vec![
+            ("s.name", DataType::Text),
+            ("r.course", DataType::Text),
+        ]);
         assert_eq!(Expr::resolve_column(&s, "name").unwrap(), 0);
         assert_eq!(Expr::resolve_column(&s, "r.course").unwrap(), 1);
         assert_eq!(Expr::resolve_column(&s, "course").unwrap(), 1);
@@ -612,10 +618,7 @@ mod tests {
 
     #[test]
     fn null_comparisons_are_false() {
-        let s = Schema::from_columns(vec![ratest_storage::Column::nullable(
-            "x",
-            DataType::Int,
-        )]);
+        let s = Schema::from_columns(vec![ratest_storage::Column::nullable("x", DataType::Int)]);
         let e = Expr::Column("x".into()).eq(Expr::Literal(Value::Int(1)));
         assert!(!e.eval_predicate(&s, &[Value::Null], &no_params()).unwrap());
     }

@@ -47,6 +47,7 @@
 
 pub mod ast;
 pub mod builder;
+pub mod canonical;
 pub mod classify;
 pub mod display;
 pub mod error;
@@ -60,6 +61,7 @@ pub mod typecheck;
 
 pub use ast::{AggCall, AggFunc, Query};
 pub use builder::{col, lit, param, rel, QueryBuilder};
+pub use canonical::{canonical_form, fingerprint};
 pub use classify::{classify, classify_pair, QueryClass};
 pub use error::{QueryError, Result};
 pub use eval::{evaluate, evaluate_with_params, Params, ResultSet};

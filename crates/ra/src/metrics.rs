@@ -59,7 +59,12 @@ fn walk(q: &Query, m: &mut QueryMetrics) -> usize {
             m.operators += 1;
         }
     }
-    let child_height = q.children().into_iter().map(|c| walk(c, m)).max().unwrap_or(0);
+    let child_height = q
+        .children()
+        .into_iter()
+        .map(|c| walk(c, m))
+        .max()
+        .unwrap_or(0);
     child_height + 1
 }
 
@@ -90,15 +95,18 @@ mod tests {
         assert_eq!(m.joins, 1);
         assert_eq!(m.differences, 1);
         assert_eq!(m.operators, 5); // join, select, project, project, difference
-        // height: difference(4+1) over project(select(join(R,S))) chain:
-        // R=1, join=2, select=3, project=4, difference=5
+                                    // height: difference(4+1) over project(select(join(R,S))) chain:
+                                    // R=1, join=2, select=3, project=4, difference=5
         assert_eq!(m.height, 5);
         assert_eq!(m.aggregates, 0);
     }
 
     #[test]
     fn renames_are_transparent() {
-        let q = rel("R").rename("r").select(col("r.x").eq(lit(1i64))).build();
+        let q = rel("R")
+            .rename("r")
+            .select(col("r.x").eq(lit(1i64)))
+            .build();
         let m = QueryMetrics::of(&q);
         assert_eq!(m.operators, 1);
         assert_eq!(m.height, 3);

@@ -121,9 +121,13 @@ impl<'a> Lexer<'a> {
                     TokenKind::Param(name)
                 }
                 c if c.is_ascii_digit() => self.lex_number(start)?,
-                c if c.is_ascii_alphabetic() || c == b'_' => TokenKind::Ident(self.lex_ident_text()),
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    TokenKind::Ident(self.lex_ident_text())
+                }
                 other => {
-                    return Err(self.error(start, format!("unexpected character `{}`", other as char)))
+                    return Err(
+                        self.error(start, format!("unexpected character `{}`", other as char))
+                    )
                 }
             };
             out.push(Token {

@@ -214,7 +214,7 @@ impl Parser {
                 let having = if self.check_symbol(';') {
                     self.advance();
                     let kw = self.parse_ident()?;
-                    if kw.to_ascii_lowercase() != "having" {
+                    if !kw.eq_ignore_ascii_case("having") {
                         return Err(self.error(format!("expected `having`, found `{kw}`")));
                     }
                     Some(self.parse_expr()?)
@@ -437,9 +437,8 @@ impl Parser {
                         TokenKind::Ident(s) => full.push_str(&s),
                         TokenKind::Int(i) => full.push_str(&i.to_string()),
                         other => {
-                            return Err(self.error(format!(
-                                "expected identifier after `.`, found {other:?}"
-                            )))
+                            return Err(self
+                                .error(format!("expected identifier after `.`, found {other:?}")))
                         }
                     }
                 }
@@ -493,7 +492,11 @@ mod tests {
         assert_eq!(classify(&q), QueryClass::SPJUDStar);
         let db = figure1_db();
         let out = evaluate(&q, &db).unwrap();
-        assert_eq!(out.len(), 1, "only John registered for exactly one CS course");
+        assert_eq!(
+            out.len(),
+            1,
+            "only John registered for exactly one CS course"
+        );
     }
 
     #[test]
@@ -522,7 +525,10 @@ mod tests {
         let err = parse_query("project[a](R) extra").unwrap_err();
         assert!(err.to_string().contains("trailing"));
         assert!(parse_query("groupby[; bogus(x) as y](R)").is_err());
-        assert!(parse_query("project[a + 1](R)").is_err(), "computed item needs alias");
+        assert!(
+            parse_query("project[a + 1](R)").is_err(),
+            "computed item needs alias"
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ fn push_predicate(predicate: Expr, input: &Query, db: &Database) -> Result<Query
             // Merge σ_p(σ_q(E)) = σ_{p ∧ q}(E) and keep pushing.
             push_predicate(predicate.and(q.clone()), inner, db)
         }
-        Query::Project { input: inner, items } => {
+        Query::Project {
+            input: inner,
+            items,
+        } => {
             // Only push when every referenced alias maps to a pure column or
             // literal expression (substitution is then exact).
             let rewritten = substitute_aliases(&predicate, items);
@@ -124,12 +127,12 @@ fn push_predicate(predicate: Expr, input: &Query, db: &Database) -> Result<Query
             let mut stay = Vec::new();
             for conj in predicate.conjuncts() {
                 let cols = conj.columns();
-                let all_left = cols
-                    .iter()
-                    .all(|c| Expr::resolve_column(&ls, c).is_ok() && Expr::resolve_column(&rs, c).is_err());
-                let all_right = cols
-                    .iter()
-                    .all(|c| Expr::resolve_column(&rs, c).is_ok() && Expr::resolve_column(&ls, c).is_err());
+                let all_left = cols.iter().all(|c| {
+                    Expr::resolve_column(&ls, c).is_ok() && Expr::resolve_column(&rs, c).is_err()
+                });
+                let all_right = cols.iter().all(|c| {
+                    Expr::resolve_column(&rs, c).is_ok() && Expr::resolve_column(&ls, c).is_err()
+                });
                 if all_left {
                     to_left.push(conj.clone());
                 } else if all_right {
@@ -156,7 +159,10 @@ fn push_predicate(predicate: Expr, input: &Query, db: &Database) -> Result<Query
                 None => joined,
             })
         }
-        Query::Rename { input: inner, prefix } => {
+        Query::Rename {
+            input: inner,
+            prefix,
+        } => {
             let outer = output_schema(input, db)?;
             let inner_schema = output_schema(inner, db)?;
             let mapped = remap_columns(&predicate, |name| {
@@ -179,8 +185,11 @@ fn push_predicate(predicate: Expr, input: &Query, db: &Database) -> Result<Query
             having,
         } => {
             let out = output_schema(input, db)?;
-            let group_aliases: Vec<String> =
-                out.names().take(group_by.len()).map(|s| s.to_owned()).collect();
+            let group_aliases: Vec<String> = out
+                .names()
+                .take(group_by.len())
+                .map(|s| s.to_owned())
+                .collect();
             let mut push = Vec::new();
             let mut stay = Vec::new();
             for conj in predicate.conjuncts() {
@@ -382,11 +391,7 @@ mod tests {
     fn groupby_pushes_group_column_predicates_only() {
         let db = db();
         let q = rel("R")
-            .group_by(
-                &["b"],
-                vec![crate::ast::AggCall::count_star("n")],
-                None,
-            )
+            .group_by(&["b"], vec![crate::ast::AggCall::count_star("n")], None)
             .select(col("b").eq(lit("even")).and(col("n").ge(lit(1i64))))
             .build();
         let pushed = push_selections_down(&q, &db).unwrap();

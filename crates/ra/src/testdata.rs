@@ -99,7 +99,9 @@ pub fn example1_q2() -> Query {
         .rename("s")
         .join_on(
             rel("Registration").rename("r").build(),
-            col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+            col("s.name")
+                .eq(col("r.name"))
+                .and(col("r.dept").eq(lit("CS"))),
         )
         .project(&["s.name", "s.major"])
         .build()
@@ -124,7 +126,9 @@ pub fn example1_q1() -> Query {
         )
         .project(&["s.name", "s.major"])
         .build();
-    QueryBuilder::from_query(example1_q2()).difference(q3).build()
+    QueryBuilder::from_query(example1_q2())
+        .difference(q3)
+        .build()
 }
 
 /// Q1 of Example 4: per-student average grade over **CS** registrations.
@@ -133,7 +137,9 @@ pub fn example4_q1() -> Query {
         .rename("s")
         .join_on(
             rel("Registration").rename("r").build(),
-            col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+            col("s.name")
+                .eq(col("r.name"))
+                .and(col("r.dept").eq(lit("CS"))),
         )
         .group_by(
             &["s.name"],
@@ -188,7 +194,9 @@ fn example5_q1_with_threshold(threshold: crate::expr::Expr) -> Query {
         .rename("s")
         .join_on(
             rel("Registration").rename("r").build(),
-            col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+            col("s.name")
+                .eq(col("r.name"))
+                .and(col("r.dept").eq(lit("CS"))),
         )
         .group_by(
             &["s.name"],

@@ -131,7 +131,9 @@ pub fn aggregate_type(func: AggFunc, arg: &Expr, input: &Schema) -> Result<DataT
         AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
             let t = arg.infer_type(input)?;
             if func == AggFunc::Sum && !t.is_numeric() {
-                return Err(QueryError::TypeError(format!("SUM over non-numeric type {t}")));
+                return Err(QueryError::TypeError(format!(
+                    "SUM over non-numeric type {t}"
+                )));
             }
             t
         }
@@ -248,9 +250,7 @@ mod tests {
             .build();
         assert!(output_schema(&ok, &db).is_ok());
 
-        let bad = rel("Student")
-            .union(rel("Registration").build())
-            .build();
+        let bad = rel("Student").union(rel("Registration").build()).build();
         assert!(matches!(
             output_schema(&bad, &db),
             Err(QueryError::NotUnionCompatible { .. })

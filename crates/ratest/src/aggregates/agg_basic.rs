@@ -109,7 +109,9 @@ pub(crate) fn candidate_group_keys(
 }
 
 fn group_var_count(p: &AggregateProvenance, key: &[Value]) -> usize {
-    p.group_by_key(key).map(|g| g.variables().len()).unwrap_or(0)
+    p.group_by_key(key)
+        .map(|g| g.variables().len())
+        .unwrap_or(0)
 }
 
 fn rows_differ_on_full_instance(
@@ -166,17 +168,13 @@ fn solve_for_group(
         let selection = vars_for_theory.selection_from_vars(true_vars);
         queries_differ_under(p1, p2, &selection, params).unwrap_or(false)
     };
-    let sol = match minimize_ones_with_theory(
-        &formula,
-        &objective,
-        &MinOnesOptions::default(),
-        accept,
-    ) {
-        Ok(sol) => sol,
-        Err(ratest_solver::SolverError::Unsatisfiable)
-        | Err(ratest_solver::SolverError::BudgetExhausted { .. }) => return Ok(None),
-        Err(e) => return Err(e.into()),
-    };
+    let sol =
+        match minimize_ones_with_theory(&formula, &objective, &MinOnesOptions::default(), accept) {
+            Ok(sol) => sol,
+            Err(ratest_solver::SolverError::Unsatisfiable)
+            | Err(ratest_solver::SolverError::BudgetExhausted { .. }) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
     let selection = vars.selection_from_vars(&sol.true_vars);
     match build_counterexample(q1, q2, db, selection, None, params) {
         Ok(cex) => Ok(Some(cex)),
@@ -272,12 +270,6 @@ mod tests {
         // Empty sub-instance: both queries return nothing — no difference.
         assert!(!queries_differ_under(&p1, &p2, &TupleSelection::new(), &Params::new()).unwrap());
         // Full instance: they differ.
-        assert!(queries_differ_under(
-            &p1,
-            &p2,
-            &TupleSelection::all(&db),
-            &Params::new()
-        )
-        .unwrap());
+        assert!(queries_differ_under(&p1, &p2, &TupleSelection::all(&db), &Params::new()).unwrap());
     }
 }

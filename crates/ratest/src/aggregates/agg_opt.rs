@@ -70,7 +70,8 @@ pub fn smallest_counterexample_agg_opt(
     // Acceptance check = line 13 of Algorithm 3: the candidate must make the
     // *original* queries disagree under some parameter setting.
     let accept = |selection: &TupleSelection| -> bool {
-        for candidate in candidate_params(&param_names, original_params, options, selection, &p1, &p2)
+        for candidate in
+            candidate_params(&param_names, original_params, options, selection, &p1, &p2)
         {
             let present = |id| selection.contains(id);
             let out1 = p1.evaluate_under(&present, &candidate);

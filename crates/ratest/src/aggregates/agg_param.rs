@@ -146,15 +146,17 @@ fn solve_group_parameterized(
         }
         false
     };
-    let sol = match minimize_ones_with_theory(&formula, &objective, &MinOnesOptions::default(), accept)
-    {
-        Ok(sol) => sol,
-        Err(ratest_solver::SolverError::Unsatisfiable)
-        | Err(ratest_solver::SolverError::BudgetExhausted { .. }) => return Ok(None),
-        Err(e) => return Err(e.into()),
-    };
+    let sol =
+        match minimize_ones_with_theory(&formula, &objective, &MinOnesOptions::default(), accept) {
+            Ok(sol) => sol,
+            Err(ratest_solver::SolverError::Unsatisfiable)
+            | Err(ratest_solver::SolverError::BudgetExhausted { .. }) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
     let selection = vars.selection_from_vars(&sol.true_vars);
-    let params = chosen.into_inner().unwrap_or_else(|| original_params.clone());
+    let params = chosen
+        .into_inner()
+        .unwrap_or_else(|| original_params.clone());
     match build_counterexample(q1, q2, db, selection, None, &params) {
         Ok(cex) => Ok(Some(cex)),
         Err(RatestError::Unsupported(_)) => Ok(None),

@@ -68,38 +68,108 @@ pub fn smallest_counterexample_basic(
     let ann_q2_minus_q1 = annotate_with_params(&difference_query(q1, q2, false), db, params)?;
     timings.provenance = start.elapsed();
 
-    let mut candidates: Vec<(Vec<ratest_storage::Value>, bool)> = r1
-        .difference(&r2)
+    let cex = smallest_counterexample_from_annotations(
+        q1,
+        q2,
+        db,
+        params,
+        &r1,
+        &r2,
+        &ann_q1_minus_q2,
+        &ann_q2_minus_q1,
+        options,
+        &mut timings,
+    )?;
+    timings.total = timings.raw_eval + timings.provenance + timings.solver;
+    Ok((cex, timings))
+}
+
+/// The candidate-scan core of `Basic`, operating on *precomputed* difference
+/// annotations. Exposed so the batch-grading path can share one reference
+/// annotation across a whole cohort: the caller derives
+/// `ann(Q1 − Q2)` / `ann(Q2 − Q1)` via
+/// [`ratest_provenance::difference_of`] from cached per-query annotations
+/// and hands them here, instead of re-annotating the reference per pair.
+#[allow(clippy::too_many_arguments)]
+pub fn smallest_counterexample_from_annotations(
+    q1: &Query,
+    q2: &Query,
+    db: &Database,
+    params: &Params,
+    r1: &ratest_ra::eval::ResultSet,
+    r2: &ratest_ra::eval::ResultSet,
+    ann_q1_minus_q2: &ratest_provenance::AnnotatedResult,
+    ann_q2_minus_q1: &ratest_provenance::AnnotatedResult,
+    options: &BasicOptions,
+    timings: &mut Timings,
+) -> Result<Counterexample> {
+    // Candidate (tuple, direction) pairs. Iterating only over the tuples
+    // that differ on the *full* instance (with their observed direction) is
+    // not enough for global optimality: on a sub-instance the membership of
+    // a tuple can flip — e.g. dropping every ECON registration of a student
+    // moves them from `Q2(D)` into `(Q1 − Q2)(D')`. The difference
+    // annotations keep a row (with an exact provenance formula) for every
+    // tuple derivable on *any* sub-instance, so iterating over all annotated
+    // rows in both directions covers every possible differing tuple.
+    let observed: std::collections::HashSet<(Vec<ratest_storage::Value>, bool)> = r1
+        .difference(r2)
         .into_iter()
         .map(|t| (t, true))
+        .chain(r2.difference(r1).into_iter().map(|t| (t, false)))
         .collect();
-    candidates.extend(r2.difference(&r1).into_iter().map(|t| (t, false)));
+    let mut candidates: Vec<(Vec<ratest_storage::Value>, bool)> = Vec::new();
+    for (ann, from_q1) in [(ann_q1_minus_q2, true), (ann_q2_minus_q1, false)] {
+        for row in ann.rows() {
+            candidates.push((row.values.clone(), from_q1));
+        }
+    }
+    // Try the differences observed on the full instance first so the best
+    // bound tightens early.
+    candidates.sort_by_key(|c| !observed.contains(c));
 
     let solver_start = Instant::now();
     let mut best: Option<Counterexample> = None;
     for (tuple, from_q1) in candidates.into_iter().take(options.max_tuples) {
         let annotated = if from_q1 {
-            &ann_q1_minus_q2
+            ann_q1_minus_q2
         } else {
-            &ann_q2_minus_q1
+            ann_q2_minus_q1
         };
+        if let Some(b) = &best {
+            if b.size() == 1 {
+                break; // a singleton counterexample cannot be beaten
+            }
+        }
+        // Cheap monotonicity prune: a tuple can only flip into `Qa − Qb` on
+        // a sub-instance if `Qa` is non-monotone or already produced it.
+        if !crate::optsigma::direction_feasible(q1, q2, r1, r2, &tuple, from_q1) {
+            continue;
+        }
         let Some(prv) = annotated.provenance_of(&tuple) else {
             continue;
         };
+        if matches!(prv, ratest_provenance::BoolExpr::False) {
+            continue;
+        }
         let mut vars = VarMap::new();
         let mut parts = vec![encode_provenance(prv, &mut vars)];
         parts.extend(foreign_key_clauses(db, &mut vars)?);
         let formula = Formula::and(parts);
         let objective = vars.all_vars();
 
+        // Only candidates that can beat the incumbent matter: bound the
+        // solver at `best − 1` true variables so hopeless candidates are
+        // discarded with a single bounded solve.
+        let solve_options = MinOnesOptions {
+            upper_bound: best.as_ref().map(|b| b.size().saturating_sub(1)),
+            ..Default::default()
+        };
         let true_vars = match options.strategy {
-            SolverStrategy::Optimize => {
-                match minimize_ones(&formula, &objective, &MinOnesOptions::default()) {
-                    Ok(sol) => sol.true_vars,
-                    Err(ratest_solver::SolverError::Unsatisfiable) => continue,
-                    Err(e) => return Err(e.into()),
-                }
-            }
+            SolverStrategy::Optimize => match minimize_ones(&formula, &objective, &solve_options) {
+                Ok(sol) => sol.true_vars,
+                Err(ratest_solver::SolverError::Unsatisfiable) => continue,
+                Err(e) => return Err(e.into()),
+            },
             SolverStrategy::Enumerate { max_models } => {
                 match enumerate_best(&formula, &objective, max_models) {
                     Ok(res) => res.best_true_vars,
@@ -125,11 +195,9 @@ pub fn smallest_counterexample_basic(
             Err(e) => return Err(e),
         }
     }
-    timings.solver = solver_start.elapsed();
-    timings.total = timings.raw_eval + timings.provenance + timings.solver;
+    timings.solver += solver_start.elapsed();
 
-    best.map(|c| (c, timings))
-        .ok_or(RatestError::QueriesAgreeOnInstance)
+    best.ok_or(RatestError::QueriesAgreeOnInstance)
 }
 
 #[cfg(test)]

@@ -39,7 +39,10 @@ impl fmt::Display for RatestError {
                 write!(f, "queries are not union compatible: {left} vs {right}")
             }
             RatestError::QueriesAgreeOnInstance => {
-                write!(f, "Q1(D) = Q2(D): the instance does not distinguish the queries")
+                write!(
+                    f,
+                    "Q1(D) = Q2(D): the instance does not distinguish the queries"
+                )
             }
             RatestError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
@@ -81,6 +84,8 @@ mod tests {
         assert!(e.to_string().contains("@p"));
         let e: RatestError = ratest_storage::StorageError::UnknownRelation("R".into()).into();
         assert!(e.to_string().contains('R'));
-        assert!(RatestError::QueriesAgreeOnInstance.to_string().contains("Q1(D)"));
+        assert!(RatestError::QueriesAgreeOnInstance
+            .to_string()
+            .contains("Q1(D)"));
     }
 }

@@ -61,5 +61,8 @@ pub mod problem;
 pub mod report;
 
 pub use error::{RatestError, Result};
-pub use pipeline::{explain, ExplainOutcome, RatestOptions, SolverStrategy, Timings};
+pub use pipeline::{
+    explain, explain_with_reference, ExplainOutcome, PreparedReference, RatestOptions,
+    SolverStrategy, Timings,
+};
 pub use problem::{Counterexample, Witness};

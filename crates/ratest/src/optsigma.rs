@@ -85,52 +85,103 @@ where
         return Err(RatestError::QueriesAgreeOnInstance);
     };
 
-    // Phase 2: provenance of the chosen tuple.
-    let start = Instant::now();
-    let provenance = provenance_for_tuple(q1, q2, db, params, &tuple, from_q1, options)?;
-    timings.provenance = start.elapsed();
-
-    // Phase 3: solve min-ones.
-    let start = Instant::now();
-    let mut vars = VarMap::new();
-    let prv_formula = encode_provenance(&provenance, &mut vars);
-    let mut parts = vec![prv_formula];
-    parts.extend(foreign_key_clauses(db, &mut vars)?);
-    let formula = Formula::and(parts);
-    let objective = vars.all_vars();
-
-    let selection = match options.strategy {
-        SolverStrategy::Optimize => {
-            let sol = minimize_ones_with_theory(
-                &formula,
-                &objective,
-                &MinOnesOptions::default(),
-                |true_vars| accept(&vars.selection_from_vars(true_vars)),
-            )?;
-            vars.selection_from_vars(&sol.true_vars)
+    // Phase 2 + 3: provenance of the chosen tuple, then min-ones. The
+    // witness is solved for the direction observed on the full instance
+    // *and* for the flipped direction: on a sub-instance the tuple's
+    // membership can flip (e.g. dropping every ECON registration of a
+    // student moves them from `Q2(D)` into `(Q1 − Q2)(D')`), and the
+    // flipped witness is sometimes strictly smaller. Both remain
+    // single-tuple provenance computations, preserving Optσ's cost profile.
+    let mut selection: Option<(TupleSelection, bool)> = None;
+    for direction in [from_q1, !from_q1] {
+        if direction != from_q1 && !direction_feasible(q1, q2, &r1, &r2, &tuple, direction) {
+            continue;
         }
-        SolverStrategy::Enumerate { max_models } => {
-            let res = enumerate_best(&formula, &objective, max_models)?;
-            let sel = vars.selection_from_vars(&res.best_true_vars);
-            if !accept(&sel) {
-                return Err(RatestError::Unsupported(
-                    "enumeration found no acceptable model within its budget".into(),
-                ));
+        let start = Instant::now();
+        let provenance = provenance_for_tuple(q1, q2, db, params, &tuple, direction, options)?;
+        timings.provenance += start.elapsed();
+        if matches!(provenance, ratest_provenance::BoolExpr::False) {
+            continue;
+        }
+
+        let start = Instant::now();
+        let mut vars = VarMap::new();
+        let prv_formula = encode_provenance(&provenance, &mut vars);
+        let mut parts = vec![prv_formula];
+        parts.extend(foreign_key_clauses(db, &mut vars)?);
+        let formula = Formula::and(parts);
+        let objective = vars.all_vars();
+
+        let candidate = match options.strategy {
+            SolverStrategy::Optimize => {
+                match minimize_ones_with_theory(
+                    &formula,
+                    &objective,
+                    &MinOnesOptions::default(),
+                    |true_vars| accept(&vars.selection_from_vars(true_vars)),
+                ) {
+                    Ok(sol) => Some(vars.selection_from_vars(&sol.true_vars)),
+                    Err(ratest_solver::SolverError::Unsatisfiable) => None,
+                    Err(e) => return Err(e.into()),
+                }
             }
-            sel
+            SolverStrategy::Enumerate { max_models } => {
+                match enumerate_best(&formula, &objective, max_models) {
+                    Ok(res) => {
+                        let sel = vars.selection_from_vars(&res.best_true_vars);
+                        accept(&sel).then_some(sel)
+                    }
+                    Err(ratest_solver::SolverError::Unsatisfiable) => None,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        };
+        timings.solver += start.elapsed();
+
+        // Keep the observed direction on ties so the witness reflects the
+        // disagreement the student actually saw.
+        if let Some(sel) = candidate {
+            let better = selection
+                .as_ref()
+                .map(|(best, _)| sel.len() < best.len())
+                .unwrap_or(true);
+            if better {
+                selection = Some((sel, direction));
+            }
         }
+    }
+    let Some((selection, direction)) = selection else {
+        return Err(RatestError::Unsupported(
+            "no direction of the chosen tuple admits an acceptable witness".into(),
+        ));
     };
-    timings.solver = start.elapsed();
 
     // Phase 4: materialize and verify.
     let witness = Witness {
         tuple: tuple.clone(),
-        from_q1,
+        from_q1: direction,
         selection: selection.clone(),
     };
     let cex = build_counterexample(q1, q2, db, selection, Some(witness), params)?;
     timings.total = timings.raw_eval + timings.provenance + timings.solver;
     Ok((cex, timings))
+}
+
+/// Cheap necessary condition for `t ∈ (Qa − Qb)(D')` to be achievable on
+/// some sub-instance: when `Qa` is monotone (difference- and
+/// aggregate-free), `Qa(D') ⊆ Qa(D)`, so a tuple outside `Qa(D)` can never
+/// enter the difference in that direction. Used to skip the flipped-direction
+/// witness search without computing any provenance.
+pub(crate) fn direction_feasible(
+    q1: &Query,
+    q2: &Query,
+    r1: &ratest_ra::eval::ResultSet,
+    r2: &ratest_ra::eval::ResultSet,
+    tuple: &[Value],
+    from_q1: bool,
+) -> bool {
+    let (qa, ra) = if from_q1 { (q1, r1) } else { (q2, r2) };
+    qa.has_difference() || qa.has_aggregates() || ra.contains(tuple)
 }
 
 /// Compute `Prv_{Qa − Qb}(t)` where `(Qa, Qb)` is `(Q1, Q2)` or `(Q2, Q1)`
@@ -151,8 +202,11 @@ pub fn provenance_for_tuple(
     // output schema has duplicate column names (e.g. a projection onto
     // `a.name, b.name` whose aliases both collapse to `name`) the selection
     // would be ambiguous, so fall back to annotating the full difference.
-    let unique_names =
-        schema.names().collect::<std::collections::HashSet<_>>().len() == schema.arity();
+    let unique_names = schema
+        .names()
+        .collect::<std::collections::HashSet<_>>()
+        .len()
+        == schema.arity();
     let query = if unique_names {
         let predicate = tuple_equality_predicate(&schema, tuple);
         let selected = QueryBuilder::from_query(diff).select(predicate).build();

@@ -10,17 +10,24 @@
 use crate::aggregates::agg_basic::{smallest_counterexample_agg_basic, AggBasicOptions};
 use crate::aggregates::agg_opt::{smallest_counterexample_agg_opt, AggOptOptions};
 use crate::aggregates::agg_param::{smallest_counterexample_agg_param, AggParamOptions};
-use crate::basic::{smallest_counterexample_basic, BasicOptions};
+use crate::basic::{
+    smallest_counterexample_basic, smallest_counterexample_from_annotations, BasicOptions,
+};
 use crate::error::{RatestError, Result};
 use crate::optsigma::{smallest_witness_optsigma, OptSigmaOptions};
-use crate::polytime::{smallest_witness_monotone, smallest_witness_spjud_star};
+use crate::polytime::{
+    smallest_witness_monotone, smallest_witness_monotone_with_results, smallest_witness_spjud_star,
+};
 use crate::problem::{check_distinguishes, Counterexample};
+use ratest_provenance::annotate::{annotate_with_params, difference_of, AnnotatedResult};
 use ratest_ra::ast::Query;
 use ratest_ra::classify::{classify_pair, QueryClass};
-use ratest_ra::eval::Params;
+use ratest_ra::eval::{evaluate_with_params, Params, ResultSet};
+use ratest_ra::typecheck::output_schema;
 use ratest_storage::Database;
 use serde::{Deserialize, Serialize};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How the min-ones problem is solved (the "solver strategy" axis of
 /// Figure 5).
@@ -241,6 +248,190 @@ pub fn explain(
     })
 }
 
+/// A reference (instructor) query prepared once per batch: its result and
+/// provenance annotation over the hidden instance are computed a single time
+/// and shared — via cheap [`Arc`] clones — across every worker grading a
+/// submission against it.
+///
+/// All fields are immutable after [`PreparedReference::prepare`], so the
+/// handle is `Clone + Send + Sync` and can be moved freely across a thread
+/// pool.
+#[derive(Debug, Clone)]
+pub struct PreparedReference {
+    query: Arc<Query>,
+    params: Params,
+    result: Arc<ResultSet>,
+    /// `None` when the reference is an aggregate query (the SPJUD annotator
+    /// does not apply); [`explain_with_reference`] then falls back to the
+    /// unshared pipeline.
+    annotation: Option<Arc<AnnotatedResult>>,
+}
+
+impl PreparedReference {
+    /// Evaluate and annotate the reference query once.
+    pub fn prepare(q1: &Query, db: &Database, params: &Params) -> Result<PreparedReference> {
+        let result = evaluate_with_params(q1, db, params)?;
+        let annotation = if q1.has_aggregates() {
+            None
+        } else {
+            Some(Arc::new(annotate_with_params(q1, db, params)?))
+        };
+        Ok(PreparedReference {
+            query: Arc::new(q1.clone()),
+            params: params.clone(),
+            result: Arc::new(result),
+            annotation,
+        })
+    }
+
+    /// The reference query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The reference query's result on the instance it was prepared on.
+    pub fn result(&self) -> &ResultSet {
+        &self.result
+    }
+
+    /// The shared provenance annotation (absent for aggregate references).
+    pub fn annotation(&self) -> Option<&AnnotatedResult> {
+        self.annotation.as_deref()
+    }
+
+    /// The parameter binding the reference was prepared with.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+}
+
+/// Run RATest for one submission against a [`PreparedReference`], reusing the
+/// reference's result and provenance annotation instead of recomputing them
+/// per pair.
+///
+/// Dispatch mirrors [`explain`]: monotone pairs take the poly-time DNF path
+/// (sharing the reference *evaluation*); other SPJUD pairs run the exact
+/// `Basic` scan over difference annotations derived from the shared
+/// reference *annotation* via [`difference_of`]; aggregate pairs (no shared
+/// artifact applies) fall back to the unshared pipeline.
+pub fn explain_with_reference(
+    reference: &PreparedReference,
+    q2: &Query,
+    db: &Database,
+    options: &RatestOptions,
+) -> Result<ExplainOutcome> {
+    let q1 = reference.query();
+
+    // A forced algorithm choice overrides the shared dispatch entirely —
+    // otherwise the same options would run different algorithms depending on
+    // whether the shared path succeeds.
+    if options.algorithm != Algorithm::Auto {
+        return explain(q1, q2, db, options);
+    }
+
+    let class = classify_pair(q1, q2);
+
+    // Union compatibility + evaluation of the submission only — the
+    // reference result is already on the handle.
+    let s1 = output_schema(q1, db)?;
+    let s2 = output_schema(q2, db)?;
+    if !s1.union_compatible(&s2) {
+        return Err(RatestError::NotUnionCompatible {
+            left: s1.to_string(),
+            right: s2.to_string(),
+        });
+    }
+    let mut timings = Timings::default();
+    let start = Instant::now();
+    let r2 = evaluate_with_params(q2, db, &reference.params)?;
+    timings.raw_eval = start.elapsed();
+    let r1 = reference.result();
+    if r1.set_eq(&r2) {
+        return Ok(ExplainOutcome {
+            counterexample: None,
+            class,
+            algorithm_used: Algorithm::Auto,
+            timings,
+        });
+    }
+
+    // Aggregate pairs use dedicated provenance machinery that the shared
+    // annotation does not cover.
+    let (ref_annotation, is_shareable) = match reference.annotation() {
+        Some(ann) if !q2.has_aggregates() && class != QueryClass::Aggregate => (Some(ann), true),
+        _ => (None, false),
+    };
+    if !is_shareable {
+        return explain(q1, q2, db, options);
+    }
+
+    if class.is_monotone() {
+        match smallest_witness_monotone_with_results(
+            q1,
+            q2,
+            db,
+            &reference.params,
+            r1,
+            &r2,
+            &mut timings,
+        ) {
+            Ok(cex) => {
+                timings.total = timings.raw_eval + timings.provenance + timings.solver;
+                return Ok(ExplainOutcome {
+                    counterexample: Some(cex),
+                    class,
+                    algorithm_used: Algorithm::PolytimeMonotone,
+                    timings,
+                });
+            }
+            // DNF blow-up or similar: fall through to the solver-backed path.
+            Err(RatestError::Unsupported(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Solver-backed exact scan over both difference directions, with the
+    // reference side of each annotation taken from the shared handle.
+    let ref_annotation = ref_annotation.expect("checked above");
+    let start = Instant::now();
+    let ann_q2 = annotate_with_params(q2, db, &reference.params)?;
+    let ann_q1_minus_q2 = difference_of(ref_annotation, &ann_q2);
+    let ann_q2_minus_q1 = difference_of(&ann_q2, ref_annotation);
+    timings.provenance += start.elapsed();
+
+    let basic_options = BasicOptions {
+        strategy: options.strategy,
+        ..Default::default()
+    };
+    match smallest_counterexample_from_annotations(
+        q1,
+        q2,
+        db,
+        &reference.params,
+        r1,
+        &r2,
+        &ann_q1_minus_q2,
+        &ann_q2_minus_q1,
+        &basic_options,
+        &mut timings,
+    ) {
+        Ok(cex) => {
+            timings.total = timings.raw_eval + timings.provenance + timings.solver;
+            Ok(ExplainOutcome {
+                counterexample: Some(cex),
+                class,
+                algorithm_used: Algorithm::Basic,
+                timings,
+            })
+        }
+        // A declined candidate set (e.g. every candidate rejected during
+        // materialization) should not sink the submission: fall back to the
+        // unshared pipeline, which has its own fallback chain.
+        Err(RatestError::Unsupported(_) | RatestError::Solver(_)) => explain(q1, q2, db, options),
+        Err(e) => Err(e),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,7 +529,11 @@ mod tests {
     fn forced_basic_and_optsigma_agree_with_each_other() {
         let db = testdata::figure1_db();
         let mut sizes = Vec::new();
-        for algorithm in [Algorithm::Basic, Algorithm::OptSigma, Algorithm::PolytimeSpjudStar] {
+        for algorithm in [
+            Algorithm::Basic,
+            Algorithm::OptSigma,
+            Algorithm::PolytimeSpjudStar,
+        ] {
             let outcome = explain(
                 &testdata::example1_q1(),
                 &testdata::example1_q2(),
@@ -352,6 +547,87 @@ mod tests {
             sizes.push(outcome.counterexample.unwrap().size());
         }
         assert!(sizes.iter().all(|&s| s == sizes[0]), "sizes: {sizes:?}");
+    }
+
+    #[test]
+    fn pipeline_types_are_cloneable_and_thread_safe() {
+        fn assert_shareable<T: Clone + Send + Sync>() {}
+        assert_shareable::<RatestOptions>();
+        assert_shareable::<ExplainOutcome>();
+        assert_shareable::<Counterexample>();
+        assert_shareable::<Timings>();
+        assert_shareable::<PreparedReference>();
+    }
+
+    #[test]
+    fn explain_with_reference_matches_explain_on_the_running_example() {
+        let db = testdata::figure1_db();
+        let q1 = testdata::example1_q1();
+        let q2 = testdata::example1_q2();
+        let reference = PreparedReference::prepare(&q1, &db, &Params::new()).unwrap();
+        assert!(reference.annotation().is_some());
+        let shared =
+            explain_with_reference(&reference, &q2, &db, &RatestOptions::default()).unwrap();
+        let plain = explain(&q1, &q2, &db, &RatestOptions::default()).unwrap();
+        assert_eq!(
+            shared.counterexample.unwrap().size(),
+            plain.counterexample.unwrap().size()
+        );
+    }
+
+    #[test]
+    fn explain_with_reference_detects_agreement_and_monotone_pairs() {
+        let db = testdata::figure1_db();
+        let q1 = rel("Student").project(&["name"]).build();
+        let reference = PreparedReference::prepare(&q1, &db, &Params::new()).unwrap();
+
+        // Agreement: a syntactically different but equivalent query.
+        let same = rel("Student")
+            .select(col("name").eq(col("name")))
+            .project(&["name"])
+            .build();
+        let outcome =
+            explain_with_reference(&reference, &same, &db, &RatestOptions::default()).unwrap();
+        assert!(outcome.counterexample.is_none());
+
+        // A monotone wrong pair takes the poly-time path on the shared handle.
+        let wrong = rel("Student")
+            .select(col("major").eq(lit("ECON")))
+            .project(&["name"])
+            .build();
+        let outcome =
+            explain_with_reference(&reference, &wrong, &db, &RatestOptions::default()).unwrap();
+        assert_eq!(outcome.algorithm_used, Algorithm::PolytimeMonotone);
+        assert_eq!(outcome.counterexample.unwrap().size(), 1);
+    }
+
+    #[test]
+    fn explain_with_reference_can_be_shared_across_threads() {
+        let db = std::sync::Arc::new(testdata::figure1_db());
+        let reference = std::sync::Arc::new(
+            PreparedReference::prepare(&testdata::example1_q1(), &db, &Params::new()).unwrap(),
+        );
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reference = reference.clone();
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    explain_with_reference(
+                        &reference,
+                        &testdata::example1_q2(),
+                        &db,
+                        &RatestOptions::default(),
+                    )
+                    .unwrap()
+                    .counterexample
+                    .unwrap()
+                    .size()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 3);
+        }
     }
 
     #[test]

@@ -17,5 +17,5 @@
 pub mod monotone;
 pub mod spjud_star;
 
-pub use monotone::smallest_witness_monotone;
+pub use monotone::{smallest_witness_monotone, smallest_witness_monotone_with_results};
 pub use spjud_star::smallest_witness_spjud_star;

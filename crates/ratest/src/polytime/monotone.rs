@@ -37,80 +37,112 @@ pub fn smallest_witness_monotone(
     db: &Database,
     params: &Params,
 ) -> Result<(Counterexample, Timings)> {
+    let mut timings = Timings::default();
+    let start = Instant::now();
+    let (r1, r2) = check_distinguishes(q1, q2, db, params)?;
+    timings.raw_eval = start.elapsed();
+    let cex = smallest_witness_monotone_with_results(q1, q2, db, params, &r1, &r2, &mut timings)?;
+    timings.total = timings.raw_eval + timings.provenance + timings.solver;
+    Ok((cex, timings))
+}
+
+/// The monotone algorithm operating on *precomputed* query results, so a
+/// batch caller can evaluate the (shared) reference query once per cohort.
+pub fn smallest_witness_monotone_with_results(
+    q1: &Query,
+    q2: &Query,
+    db: &Database,
+    params: &Params,
+    r1: &ratest_ra::eval::ResultSet,
+    r2: &ratest_ra::eval::ResultSet,
+    timings: &mut Timings,
+) -> Result<Counterexample> {
     let class = classify_pair(q1, q2);
     if !class.is_monotone() || class == QueryClass::Aggregate {
         return Err(RatestError::Unsupported(format!(
             "the monotone algorithm requires an SPJU pair, got {class}"
         )));
     }
-    let mut timings = Timings::default();
 
-    let start = Instant::now();
-    let (r1, r2) = check_distinguishes(q1, q2, db, params)?;
-    timings.raw_eval = start.elapsed();
-    let diffs = differing_tuples(&r1, &r2);
-    let Some((tuple, from_q1)) = diffs.first().cloned() else {
+    let diffs = differing_tuples(r1, r2);
+    if diffs.is_empty() {
         return Err(RatestError::QueriesAgreeOnInstance);
-    };
-
-    // Provenance of the tuple w.r.t. the query that produced it, computed
-    // with a pushed-down tuple-equality selection.
-    let start = Instant::now();
-    let producer = if from_q1 { q1 } else { q2 };
-    let schema = output_schema(producer, db)?;
-    // Skip the single-tuple selection when the output schema has duplicate
-    // column names (name-based selection would be ambiguous).
-    let unique_names =
-        schema.names().collect::<std::collections::HashSet<_>>().len() == schema.arity();
-    let pushed = if unique_names {
-        let predicate = crate::optsigma::tuple_equality_predicate(&schema, &tuple);
-        let selected = QueryBuilder::from_query(producer.clone())
-            .select(predicate)
-            .build();
-        push_selections_down(&selected, db)?
-    } else {
-        producer.clone()
-    };
-    let annotated = annotate_with_params(&pushed, db, params)?;
-    let prv = annotated
-        .provenance_of(&tuple)
-        .cloned()
-        .ok_or(RatestError::QueriesAgreeOnInstance)?;
-    timings.provenance = start.elapsed();
-
-    // Expand to DNF and pick the smallest minterm. Foreign-key closure is
-    // applied afterwards by `build_counterexample`; among minterms of equal
-    // size we prefer the one whose closure is smallest.
-    let start = Instant::now();
-    let dnf = Dnf::from_monotone(&prv, DEFAULT_DNF_LIMIT).map_err(|e| match e {
-        ratest_provenance::ProvenanceError::DnfTooLarge { limit } => RatestError::Unsupported(
-            format!("provenance DNF exceeds {limit} minterms; use the solver path"),
-        ),
-        other => RatestError::Provenance(other),
-    })?;
-    let mut minterms: Vec<_> = dnf.minterms().to_vec();
-    minterms.sort_by_key(|m| m.len());
-    let smallest_len = minterms.first().map(|m| m.len()).unwrap_or(0);
-    let mut best: Option<TupleSelection> = None;
-    for m in minterms.iter().take_while(|m| m.len() == smallest_len) {
-        let mut sel = TupleSelection::from_ids(m.iter().copied());
-        sel.close_under_foreign_keys(db)?;
-        let better = best.as_ref().map(|b| sel.len() < b.len()).unwrap_or(true);
-        if better {
-            best = Some(sel);
-        }
     }
-    let selection = best.ok_or(RatestError::QueriesAgreeOnInstance)?;
-    timings.solver = start.elapsed();
+
+    // Different differing tuples can have witnesses of different sizes (a
+    // tuple produced by a join needs one base tuple per joined relation, a
+    // tuple that survives a projection needs just one), so scan them all and
+    // keep the global minimum; each one is a cheap single-tuple DNF.
+    let mut best: Option<(TupleSelection, Vec<ratest_storage::Value>, bool)> = None;
+    for (tuple, from_q1) in diffs {
+        if let Some((sel, _, _)) = &best {
+            if sel.len() == 1 {
+                break; // a singleton witness cannot be beaten
+            }
+        }
+        // Provenance of the tuple w.r.t. the query that produced it, computed
+        // with a pushed-down tuple-equality selection. Monotonicity of the
+        // other query guarantees the tuple stays out of its result on every
+        // sub-instance, so no flipped direction needs to be considered.
+        let start = Instant::now();
+        let producer = if from_q1 { q1 } else { q2 };
+        let schema = output_schema(producer, db)?;
+        // Skip the single-tuple selection when the output schema has duplicate
+        // column names (name-based selection would be ambiguous).
+        let unique_names = schema
+            .names()
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            == schema.arity();
+        let pushed = if unique_names {
+            let predicate = crate::optsigma::tuple_equality_predicate(&schema, &tuple);
+            let selected = QueryBuilder::from_query(producer.clone())
+                .select(predicate)
+                .build();
+            push_selections_down(&selected, db)?
+        } else {
+            producer.clone()
+        };
+        let annotated = annotate_with_params(&pushed, db, params)?;
+        let Some(prv) = annotated.provenance_of(&tuple).cloned() else {
+            continue;
+        };
+        timings.provenance += start.elapsed();
+
+        // Expand to DNF and pick the smallest minterm. Foreign-key closure is
+        // applied afterwards by `build_counterexample`; among minterms of
+        // equal size we prefer the one whose closure is smallest.
+        let start = Instant::now();
+        let dnf = Dnf::from_monotone(&prv, DEFAULT_DNF_LIMIT).map_err(|e| match e {
+            ratest_provenance::ProvenanceError::DnfTooLarge { limit } => RatestError::Unsupported(
+                format!("provenance DNF exceeds {limit} minterms; use the solver path"),
+            ),
+            other => RatestError::Provenance(other),
+        })?;
+        let mut minterms: Vec<_> = dnf.minterms().to_vec();
+        minterms.sort_by_key(|m| m.len());
+        let smallest_len = minterms.first().map(|m| m.len()).unwrap_or(0);
+        for m in minterms.iter().take_while(|m| m.len() == smallest_len) {
+            let mut sel = TupleSelection::from_ids(m.iter().copied());
+            sel.close_under_foreign_keys(db)?;
+            let better = best
+                .as_ref()
+                .map(|(b, _, _)| sel.len() < b.len())
+                .unwrap_or(true);
+            if better {
+                best = Some((sel, tuple.clone(), from_q1));
+            }
+        }
+        timings.solver += start.elapsed();
+    }
+    let (selection, tuple, from_q1) = best.ok_or(RatestError::QueriesAgreeOnInstance)?;
 
     let witness = Witness {
         tuple,
         from_q1,
         selection: selection.clone(),
     };
-    let cex = build_counterexample(q1, q2, db, selection, Some(witness), params)?;
-    timings.total = timings.raw_eval + timings.provenance + timings.solver;
-    Ok((cex, timings))
+    build_counterexample(q1, q2, db, selection, Some(witness), params)
 }
 
 #[cfg(test)]
@@ -127,14 +159,18 @@ mod tests {
             .rename("s")
             .join_on(
                 rel("Registration").rename("r").build(),
-                col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+                col("s.name")
+                    .eq(col("r.name"))
+                    .and(col("r.dept").eq(lit("CS"))),
             )
             .build();
         let q2 = rel("Student")
             .rename("s")
             .join_on(
                 rel("Registration").rename("r").build(),
-                col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("ECON"))),
+                col("s.name")
+                    .eq(col("r.name"))
+                    .and(col("r.dept").eq(lit("ECON"))),
             )
             .build();
         let (cex, _) = smallest_witness_monotone(&q1, &q2, &db, &Params::new()).unwrap();
@@ -165,7 +201,9 @@ mod tests {
             .rename("s")
             .join_on(
                 rel("Registration").rename("r").build(),
-                col("s.name").eq(col("r.name")).and(col("r.course").eq(lit("330"))),
+                col("s.name")
+                    .eq(col("r.name"))
+                    .and(col("r.course").eq(lit("330"))),
             )
             .project(&["s.name", "s.major"])
             .build();

@@ -117,11 +117,8 @@ pub fn build_counterexample(
 /// The tuples on which the two results differ, tagged with the side they come
 /// from (`true` = only in `Q1(D)`).
 pub fn differing_tuples(r1: &ResultSet, r2: &ResultSet) -> Vec<(Vec<Value>, bool)> {
-    let mut out: Vec<(Vec<Value>, bool)> = r1
-        .difference(r2)
-        .into_iter()
-        .map(|t| (t, true))
-        .collect();
+    let mut out: Vec<(Vec<Value>, bool)> =
+        r1.difference(r2).into_iter().map(|t| (t, true)).collect();
     out.extend(r2.difference(r1).into_iter().map(|t| (t, false)));
     out
 }
@@ -144,14 +141,7 @@ pub fn difference_query(q1: &Query, q2: &Query, from_q1: bool) -> Query {
 /// The trivial counterexample: all of `D` (used as a fallback and as the
 /// baseline the experiments compare against).
 pub fn trivial_counterexample(q1: &Query, q2: &Query, db: &Database) -> Result<Counterexample> {
-    build_counterexample(
-        q1,
-        q2,
-        db,
-        TupleSelection::all(db),
-        None,
-        &Params::new(),
-    )
+    build_counterexample(q1, q2, db, TupleSelection::all(db), None, &Params::new())
 }
 
 /// Exhaustive search for the true smallest counterexample, used by tests and
@@ -206,18 +196,27 @@ mod tests {
     #[test]
     fn distinguishing_check_matches_figure_2() {
         let db = testdata::figure1_db();
-        let (r1, r2) =
-            check_distinguishes(&testdata::example1_q1(), &testdata::example1_q2(), &db, &Params::new())
-                .unwrap();
+        let (r1, r2) = check_distinguishes(
+            &testdata::example1_q1(),
+            &testdata::example1_q2(),
+            &db,
+            &Params::new(),
+        )
+        .unwrap();
         let diff = differing_tuples(&r1, &r2);
         assert_eq!(diff.len(), 2);
-        assert!(diff.iter().all(|(_, from_q1)| !from_q1), "wrong answers come from Q2");
+        assert!(
+            diff.iter().all(|(_, from_q1)| !from_q1),
+            "wrong answers come from Q2"
+        );
     }
 
     #[test]
     fn incompatible_schemas_are_rejected() {
         let db = testdata::figure1_db();
-        let q1 = ratest_ra::builder::rel("Student").project(&["name"]).build();
+        let q1 = ratest_ra::builder::rel("Student")
+            .project(&["name"])
+            .build();
         let q2 = ratest_ra::builder::rel("Student").build();
         assert!(matches!(
             check_distinguishes(&q1, &q2, &db, &Params::new()),
@@ -280,8 +279,8 @@ mod tests {
     #[test]
     fn trivial_counterexample_has_full_size() {
         let db = testdata::figure1_db();
-        let cex =
-            trivial_counterexample(&testdata::example1_q1(), &testdata::example1_q2(), &db).unwrap();
+        let cex = trivial_counterexample(&testdata::example1_q1(), &testdata::example1_q2(), &db)
+            .unwrap();
         assert_eq!(cex.size(), 11);
     }
 
@@ -296,7 +295,11 @@ mod tests {
         )
         .unwrap()
         .expect("a counterexample exists");
-        assert_eq!(best.size(), 3, "Example 2: no counterexample has fewer than 3 tuples");
+        assert_eq!(
+            best.size(),
+            3,
+            "Example 2: no counterexample has fewer than 3 tuples"
+        );
     }
 
     #[test]

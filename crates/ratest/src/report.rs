@@ -44,7 +44,11 @@ pub fn render_counterexample(cex: &Counterexample) -> String {
         out.push_str(&format!("Chosen parameters: {}\n\n", params.join(", ")));
     }
     if let Some(w) = &cex.witness {
-        let side = if w.from_q1 { "Q1 but not Q2" } else { "Q2 but not Q1" };
+        let side = if w.from_q1 {
+            "Q1 but not Q2"
+        } else {
+            "Q2 but not Q1"
+        };
         let rendered: Vec<String> = w.tuple.iter().map(|v| v.to_string()).collect();
         out.push_str(&format!(
             "On this instance the tuple ({}) appears in {}.\n\n",
@@ -52,9 +56,15 @@ pub fn render_counterexample(cex: &Counterexample) -> String {
             side
         ));
     }
-    out.push_str(&render_result("Result of Q1 on the counterexample", &cex.q1_result));
+    out.push_str(&render_result(
+        "Result of Q1 on the counterexample",
+        &cex.q1_result,
+    ));
     out.push('\n');
-    out.push_str(&render_result("Result of Q2 on the counterexample", &cex.q2_result));
+    out.push_str(&render_result(
+        "Result of Q2 on the counterexample",
+        &cex.q2_result,
+    ));
     out
 }
 

@@ -37,8 +37,8 @@ pub fn at_most_k(cnf: &mut Cnf, lits: &[Lit], k: usize) {
     // x1 -> s[0][1]
     cnf.add_clause(vec![lits[0].negated(), Lit::pos(s[0][0])]);
     // ¬s[0][j] for j in 2..=k
-    for j in 1..k {
-        cnf.add_unit(Lit::neg(s[0][j]));
+    for &sj in &s[0][1..k] {
+        cnf.add_unit(Lit::neg(sj));
     }
     for i in 1..n {
         // xi -> s[i][1]
@@ -86,7 +86,7 @@ mod tests {
         let vars: Vec<Var> = (1..=n).collect();
         at_most_k_vars(&mut cnf, &vars, k);
         let mut s = Solver::from_cnf(&cnf);
-        match s.solve(&[]) {
+        match s.solve(&[]).unwrap() {
             SatResult::Sat(m) => Some(m.count_true(&vars)),
             SatResult::Unsat => None,
         }
@@ -107,7 +107,7 @@ mod tests {
         ];
         assert!(solve_with_bound(4, &clauses, 1).is_none());
         let got = solve_with_bound(4, &clauses, 2).unwrap();
-        assert!(got <= 2 && got >= 2);
+        assert_eq!(got, 2);
     }
 
     #[test]
@@ -123,12 +123,7 @@ mod tests {
         // and some model attains the maximum allowed when the base formula
         // permits it.
         for k in 0..=4usize {
-            let clauses = vec![vec![
-                Lit::pos(1),
-                Lit::pos(2),
-                Lit::pos(3),
-                Lit::pos(4),
-            ]];
+            let clauses = vec![vec![Lit::pos(1), Lit::pos(2), Lit::pos(3), Lit::pos(4)]];
             match solve_with_bound(4, &clauses, k) {
                 Some(got) => assert!(got <= k && got >= 1),
                 None => assert_eq!(k, 0),
@@ -142,7 +137,7 @@ mod tests {
         at_least_one(&mut cnf, &[Lit::pos(1), Lit::pos(2)]);
         at_most_k_vars(&mut cnf, &[1, 2], 1);
         let mut s = Solver::from_cnf(&cnf);
-        let m = match s.solve(&[]) {
+        let m = match s.solve(&[]).unwrap() {
             SatResult::Sat(m) => m,
             _ => panic!("satisfiable"),
         };

@@ -36,7 +36,12 @@ pub fn enumerate_best(
     objective: &[Var],
     max_models: usize,
 ) -> Result<EnumerationResult> {
-    let num_vars = objective.iter().copied().max().unwrap_or(0).max(formula.max_var());
+    let num_vars = objective
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(formula.max_var());
     let cnf = formula.to_cnf(num_vars);
     let mut solver = Solver::from_cnf(&cnf);
     let mut best: Option<Vec<Var>> = None;
@@ -44,7 +49,7 @@ pub fn enumerate_best(
     let mut exhausted = false;
 
     while count < max_models {
-        match solver.solve(&[]) {
+        match solver.solve(&[])? {
             SatResult::Unsat => {
                 exhausted = true;
                 break;
@@ -115,7 +120,10 @@ mod tests {
         let r_all = enumerate_best(&f, &[1, 2, 3], 128).unwrap();
         assert!(r_all.exhausted);
         assert_eq!(r_all.best_true_vars, vec![2]);
-        assert!(r_all.models_enumerated >= 4, "five satisfying projections exist");
+        assert!(
+            r_all.models_enumerated >= 4,
+            "five satisfying projections exist"
+        );
         assert!(r1.best_true_vars.len() >= r_all.best_true_vars.len());
     }
 

@@ -17,6 +17,14 @@ pub enum SolverError {
     },
     /// A variable index of 0 was used (variables are numbered from 1).
     InvalidVariable,
+    /// An internal solver invariant was violated — typically the sign of a
+    /// malformed encoding (e.g. a clause mutated behind the solver's back).
+    /// Reported as an error instead of panicking so that one bad encoding
+    /// cannot take down a whole grading batch.
+    InvariantViolation {
+        /// Which invariant failed.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for SolverError {
@@ -27,6 +35,9 @@ impl fmt::Display for SolverError {
                 write!(f, "search budget exhausted: {budget}")
             }
             SolverError::InvalidVariable => write!(f, "variable indices start at 1"),
+            SolverError::InvariantViolation { detail } => {
+                write!(f, "solver invariant violated: {detail}")
+            }
         }
     }
 }

@@ -34,6 +34,7 @@ impl Formula {
     }
 
     /// Negation with double-negation elimination.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::True => Formula::False,
@@ -224,7 +225,7 @@ mod tests {
         let cnf = f.to_cnf(n);
         let mut solver = Solver::from_cnf(&cnf);
         let brute = brute_force_models(f, n);
-        match solver.solve(&[]) {
+        match solver.solve(&[]).unwrap() {
             SatResult::Sat(model) => {
                 assert!(
                     !brute.is_empty(),
@@ -238,7 +239,10 @@ mod tests {
                 assert!(f.eval(&assignment), "Tseitin model does not satisfy {f:?}");
             }
             SatResult::Unsat => {
-                assert!(brute.is_empty(), "solver reported UNSAT but {f:?} has models");
+                assert!(
+                    brute.is_empty(),
+                    "solver reported UNSAT but {f:?} has models"
+                );
             }
         }
     }
@@ -307,7 +311,7 @@ mod tests {
         assert!(cnf.is_empty());
         let cnf = Formula::False.to_cnf(0);
         let mut solver = Solver::from_cnf(&cnf);
-        assert!(matches!(solver.solve(&[]), SatResult::Unsat));
+        assert!(matches!(solver.solve(&[]).unwrap(), SatResult::Unsat));
     }
 
     #[test]

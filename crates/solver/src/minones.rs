@@ -26,6 +26,12 @@ pub struct MinOnesOptions {
     /// If `true`, use a binary search on the cardinality bound; otherwise
     /// descend linearly from the first model's cost (`cost-1`, `cost-2`, ...).
     pub binary_search: bool,
+    /// Only look for models with at most this many true objective variables;
+    /// the search reports [`SolverError::Unsatisfiable`] when none exists.
+    /// Lets callers that already hold a solution of size `k` probe a new
+    /// instance with `Some(k - 1)` and discard it with a single bounded
+    /// solve instead of a full optimization.
+    pub upper_bound: Option<usize>,
 }
 
 impl Default for MinOnesOptions {
@@ -33,6 +39,7 @@ impl Default for MinOnesOptions {
         MinOnesOptions {
             max_theory_rejections: 10_000,
             binary_search: true,
+            upper_bound: None,
         }
     }
 }
@@ -69,15 +76,21 @@ pub fn minimize_ones_with_theory<F>(
 where
     F: FnMut(&[Var]) -> bool,
 {
-    let num_vars = objective.iter().copied().max().unwrap_or(0).max(formula.max_var());
+    let num_vars = objective
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(formula.max_var());
     let base_cnf = formula.to_cnf(num_vars);
     let mut stats = SolverStats::default();
 
-    // Initial solve without any bound to obtain an upper bound on the cost.
+    // Initial solve to obtain an upper bound on the cost (bounded from the
+    // start when the caller supplied one).
     let first = solve_accepting(
         &base_cnf,
         objective,
-        None,
+        options.upper_bound,
         options.max_theory_rejections,
         &mut accept,
         &mut stats,
@@ -164,7 +177,7 @@ where
     let mut solver = Solver::from_cnf(&cnf);
     let mut rejections = 0usize;
     loop {
-        match solver.solve(&[]) {
+        match solver.solve(&[])? {
             SatResult::Unsat => {
                 stats.merge(&solver.stats);
                 return Ok(None);
@@ -286,12 +299,9 @@ mod tests {
         // (x1 ∨ x2), but the theory refuses models containing x2 alone:
         // the optimizer must settle on {x1}.
         let f = Formula::or(vec![v(1), v(2)]);
-        let sol = minimize_ones_with_theory(
-            &f,
-            &[1, 2],
-            &MinOnesOptions::default(),
-            |true_vars| true_vars != [2],
-        )
+        let sol = minimize_ones_with_theory(&f, &[1, 2], &MinOnesOptions::default(), |true_vars| {
+            true_vars != [2]
+        })
         .unwrap();
         assert_eq!(sol.cost, 1);
         assert_eq!(sol.true_vars, vec![1]);

@@ -10,6 +10,7 @@
 //! scalability experiments need.
 
 use crate::cnf::{Clause, Cnf, Lit, Var};
+use crate::error::{Result, SolverError};
 use crate::stats::SolverStats;
 
 /// The result of a [`Solver::solve`] call.
@@ -73,10 +74,10 @@ enum Assign {
 pub struct Solver {
     num_vars: Var,
     clauses: Vec<Clause>,
-    watches: Vec<Vec<usize>>, // lit.index() -> clause indices
-    assigns: Vec<Assign>,     // var -> value
-    phase: Vec<bool>,         // saved phase
-    level: Vec<u32>,          // var -> decision level
+    watches: Vec<Vec<usize>>,   // lit.index() -> clause indices
+    assigns: Vec<Assign>,       // var -> value
+    phase: Vec<bool>,           // saved phase
+    level: Vec<u32>,            // var -> decision level
     reason: Vec<Option<usize>>, // var -> implying clause
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
@@ -308,8 +309,10 @@ impl Solver {
     }
 
     /// First-UIP conflict analysis. Returns the learned clause and the level
-    /// to backtrack to.
-    fn analyze(&mut self, conflict: usize) -> (Clause, u32) {
+    /// to backtrack to, or [`SolverError::InvariantViolation`] when the
+    /// conflict structure is inconsistent (a symptom of a malformed encoding
+    /// rather than of an unsatisfiable formula).
+    fn analyze(&mut self, conflict: usize) -> Result<(Clause, u32)> {
         let mut learned: Clause = Vec::new();
         let mut seen = vec![false; self.num_vars as usize + 1];
         let mut counter = 0usize;
@@ -335,7 +338,8 @@ impl Solver {
                 }
             }
             // Find the next literal on the trail to resolve on.
-            loop {
+            lit_to_resolve = None;
+            while trail_pos > 0 {
                 trail_pos -= 1;
                 let l = self.trail[trail_pos];
                 if seen[l.var() as usize] {
@@ -343,7 +347,11 @@ impl Solver {
                     break;
                 }
             }
-            let l = lit_to_resolve.expect("a literal at the current level exists");
+            let Some(l) = lit_to_resolve else {
+                return Err(SolverError::InvariantViolation {
+                    detail: "conflict analysis found no literal of the current level on the trail",
+                });
+            };
             seen[l.var() as usize] = false;
             counter -= 1;
             if counter == 0 {
@@ -351,7 +359,14 @@ impl Solver {
                 learned.insert(0, l.negated());
                 break;
             }
-            clause_idx = self.reason[l.var() as usize].expect("non-decision literal has a reason");
+            clause_idx = match self.reason[l.var() as usize] {
+                Some(idx) => idx,
+                None => {
+                    return Err(SolverError::InvariantViolation {
+                        detail: "non-decision literal has no reason clause",
+                    })
+                }
+            };
             // Reason clauses have their asserting literal first; re-order so
             // that position 0 holds the literal we are resolving on.
             let reason = &mut self.clauses[clause_idx];
@@ -375,14 +390,19 @@ impl Solver {
             learned.swap(1, max_pos);
             max_level
         };
-        (learned, backtrack_level)
+        Ok((learned, backtrack_level))
     }
 
     fn backtrack_to(&mut self, level: u32) {
         while self.decision_level() > level {
-            let lim = self.trail_lim.pop().expect("level > 0");
+            // The loop condition guarantees a decision level to pop.
+            let Some(lim) = self.trail_lim.pop() else {
+                break;
+            };
             while self.trail.len() > lim {
-                let l = self.trail.pop().expect("trail is non-empty");
+                let Some(l) = self.trail.pop() else {
+                    break;
+                };
                 let v = l.var() as usize;
                 self.assigns[v] = Assign::Unassigned;
                 self.reason[v] = None;
@@ -408,15 +428,16 @@ impl Solver {
     /// Solve under assumptions. Assumption literals are forced before any
     /// decision; if they are inconsistent with the clauses the result is
     /// [`SatResult::Unsat`] (for this call only — the clause database is
-    /// unchanged).
-    pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+    /// unchanged). Returns an error only when an internal invariant is
+    /// violated, which indicates a malformed encoding.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> Result<SatResult> {
         if self.unsat {
-            return SatResult::Unsat;
+            return Ok(SatResult::Unsat);
         }
         self.backtrack_to(0);
         if self.propagate().is_some() {
             self.unsat = true;
-            return SatResult::Unsat;
+            return Ok(SatResult::Unsat);
         }
 
         let mut conflicts_since_restart = 0u64;
@@ -435,7 +456,7 @@ impl Solver {
                     }
                     Some(false) => {
                         self.backtrack_to(0);
-                        return SatResult::Unsat;
+                        return Ok(SatResult::Unsat);
                     }
                     None => {
                         self.trail_lim.push(self.trail.len());
@@ -445,7 +466,7 @@ impl Solver {
                 if let Some(conflict) = self.propagate() {
                     let _ = conflict;
                     self.backtrack_to(0);
-                    return SatResult::Unsat;
+                    return Ok(SatResult::Unsat);
                 }
             }
 
@@ -455,14 +476,14 @@ impl Solver {
                     conflicts_since_restart += 1;
                     if self.decision_level() == 0 {
                         self.unsat = true;
-                        return SatResult::Unsat;
+                        return Ok(SatResult::Unsat);
                     }
                     if (self.decision_level() as usize) <= assumptions.len() {
                         // Conflict while only assumptions are on the trail.
                         self.backtrack_to(0);
-                        return SatResult::Unsat;
+                        return Ok(SatResult::Unsat);
                     }
-                    let (learned, level) = self.analyze(conflict);
+                    let (learned, level) = self.analyze(conflict)?;
                     let asserting = learned[0];
                     if learned.len() == 1 {
                         // A learned unit is implied by the clause database
@@ -471,7 +492,7 @@ impl Solver {
                         self.backtrack_to(0);
                         if !self.enqueue(asserting, None) || self.propagate().is_some() {
                             self.unsat = true;
-                            return SatResult::Unsat;
+                            return Ok(SatResult::Unsat);
                         }
                     } else {
                         // Never backtrack past the assumptions.
@@ -486,7 +507,7 @@ impl Solver {
                             // The asserting literal is already false at the
                             // backtrack level: the assumptions are inconsistent.
                             self.backtrack_to(0);
-                            return SatResult::Unsat;
+                            return Ok(SatResult::Unsat);
                         }
                     }
                     self.decay();
@@ -502,7 +523,7 @@ impl Solver {
                     None => {
                         let model = self.extract_model();
                         self.backtrack_to(0);
-                        return SatResult::Sat(model);
+                        return Ok(SatResult::Sat(model));
                     }
                     Some(v) => {
                         self.stats.decisions += 1;
@@ -520,8 +541,8 @@ impl Solver {
 
     fn extract_model(&self) -> Model {
         let mut values = vec![false; self.num_vars as usize + 1];
-        for v in 1..=self.num_vars as usize {
-            values[v] = self.assigns[v] == Assign::True;
+        for (value, assign) in values.iter_mut().zip(&self.assigns) {
+            *value = *assign == Assign::True;
         }
         Model { values }
     }
@@ -569,12 +590,12 @@ mod tests {
     fn trivial_sat_and_unsat() {
         let mut s = Solver::new(1);
         assert!(s.add_clause(clause(&[1])));
-        assert!(s.solve(&[]).is_sat());
+        assert!(s.solve(&[]).unwrap().is_sat());
 
         let mut s = Solver::new(1);
         s.add_clause(clause(&[1]));
         assert!(!s.add_clause(clause(&[-1])));
-        assert!(matches!(s.solve(&[]), SatResult::Unsat));
+        assert!(matches!(s.solve(&[]).unwrap(), SatResult::Unsat));
     }
 
     #[test]
@@ -585,7 +606,7 @@ mod tests {
         s.add_clause(clause(&[-1, 2]));
         s.add_clause(clause(&[-2, 3]));
         s.add_clause(clause(&[-3, 4]));
-        match s.solve(&[]) {
+        match s.solve(&[]).unwrap() {
             SatResult::Sat(m) => {
                 assert!(m.value(1) && m.value(2) && m.value(3) && m.value(4));
             }
@@ -608,7 +629,7 @@ mod tests {
                 }
             }
         }
-        assert!(matches!(s.solve(&[]), SatResult::Unsat));
+        assert!(matches!(s.solve(&[]).unwrap(), SatResult::Unsat));
         assert!(s.stats.conflicts > 0);
     }
 
@@ -617,7 +638,7 @@ mod tests {
         let mut s = Solver::new(2);
         s.add_clause(clause(&[1, 2]));
         // Assume ¬x1: model must set x2.
-        match s.solve(&[Lit::neg(1)]) {
+        match s.solve(&[Lit::neg(1)]).unwrap() {
             SatResult::Sat(m) => {
                 assert!(!m.value(1));
                 assert!(m.value(2));
@@ -627,10 +648,10 @@ mod tests {
         // Conflicting assumptions -> Unsat, but the solver is still usable.
         s.add_clause(clause(&[-2, 1]));
         assert!(matches!(
-            s.solve(&[Lit::neg(1), Lit::pos(2)]),
+            s.solve(&[Lit::neg(1), Lit::pos(2)]).unwrap(),
             SatResult::Unsat
         ));
-        assert!(s.solve(&[]).is_sat());
+        assert!(s.solve(&[]).unwrap().is_sat());
     }
 
     #[test]
@@ -670,7 +691,7 @@ mod tests {
                 }
             }
             let mut solver = Solver::from_cnf(&cnf);
-            let result = solver.solve(&[]);
+            let result = solver.solve(&[]).unwrap();
             assert_eq!(result.is_sat(), brute_sat, "instance {instance}");
             if let SatResult::Sat(m) = result {
                 let mut assignment = vec![false; num_vars as usize + 1];
@@ -694,7 +715,7 @@ mod tests {
         s.add_clause(clause(&[1]));
         s.add_clause(clause(&[-2]));
         s.add_clause(clause(&[3]));
-        let m = match s.solve(&[]) {
+        let m = match s.solve(&[]).unwrap() {
             SatResult::Sat(m) => m,
             _ => panic!(),
         };

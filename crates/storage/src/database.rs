@@ -42,7 +42,8 @@ impl Database {
         }
         let idx = self.relations.len() as u32;
         relation.set_relation_index(idx);
-        self.by_name.insert(relation.name().to_owned(), idx as usize);
+        self.by_name
+            .insert(relation.name().to_owned(), idx as usize);
         self.relations.push(relation);
         Ok(idx)
     }

@@ -83,7 +83,8 @@ mod tests {
             "Student",
             Schema::new(vec![("name", DataType::Text), ("major", DataType::Text)]),
         );
-        r.insert(vec![Value::from("Mary"), Value::from("CS")]).unwrap();
+        r.insert(vec![Value::from("Mary"), Value::from("CS")])
+            .unwrap();
         r.insert(vec![Value::from("John"), Value::from("ECON")])
             .unwrap();
         let s = render_relation(&r);

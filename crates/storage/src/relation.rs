@@ -102,10 +102,12 @@ impl Relation {
 
     /// The tuple at a given row index.
     pub fn tuple(&self, row: usize) -> Result<&Tuple> {
-        self.rows.get(row).ok_or_else(|| StorageError::UnknownTuple {
-            relation: self.name.clone(),
-            index: row,
-        })
+        self.rows
+            .get(row)
+            .ok_or_else(|| StorageError::UnknownTuple {
+                relation: self.name.clone(),
+                index: row,
+            })
     }
 
     /// Whether the relation contains a tuple with exactly these values.

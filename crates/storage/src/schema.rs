@@ -135,10 +135,11 @@ impl Schema {
 
     /// Index of a column by name, as a [`Result`].
     pub fn require(&self, name: &str) -> Result<usize> {
-        self.index_of(name).ok_or_else(|| StorageError::UnknownColumn {
-            relation: "<schema>".into(),
-            column: name.into(),
-        })
+        self.index_of(name)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                relation: "<schema>".into(),
+                column: name.into(),
+            })
     }
 
     /// Column by index.
@@ -156,14 +157,9 @@ impl Schema {
     /// Definition 1 of the paper assumes between `Q1(D)` and `Q2(D)`.
     pub fn union_compatible(&self, other: &Schema) -> bool {
         self.arity() == other.arity()
-            && self
-                .columns
-                .iter()
-                .zip(other.columns.iter())
-                .all(|(a, b)| {
-                    a.data_type == b.data_type
-                        || (a.data_type.is_numeric() && b.data_type.is_numeric())
-                })
+            && self.columns.iter().zip(other.columns.iter()).all(|(a, b)| {
+                a.data_type == b.data_type || (a.data_type.is_numeric() && b.data_type.is_numeric())
+            })
     }
 
     /// Concatenate two schemas (used for joins / cross products). Column

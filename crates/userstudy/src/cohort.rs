@@ -113,26 +113,48 @@ pub struct StudyOutcome {
     pub total_submissions: usize,
 }
 
-#[derive(Debug, Clone)]
-struct Student {
-    ability: f64,        // 0..1
-    uses_ratest: bool,   // adopted the tool at all
-    start_days_early: u32, // 1, 2, 3-4 (coded 3), or 5-7 (coded 5)
+/// A sampled member of the class. Public so other subsystems — notably the
+/// batch grader's cohort generator — draw submissions from the *same* class
+/// model the study simulation uses (ability ~ U(0.35, 1), ~80 % adoption,
+/// procrastination coded as days started early).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudentProfile {
+    /// Skill on a 0–1 scale; drives the per-attempt correctness probability.
+    pub ability: f64,
+    /// Whether the student adopted RATest at all.
+    pub uses_ratest: bool,
+    /// Days before the deadline the student started: 1, 2, 3 (=3-4) or
+    /// 5 (=5-7).
+    pub start_days_early: u32,
 }
 
-/// Run the simulation.
-pub fn simulate(config: &StudyConfig) -> StudyOutcome {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let students: Vec<Student> = (0..config.num_students)
-        .map(|_| Student {
+/// Sample a class of `num_students` profiles (deterministic per seed).
+pub fn sample_class(num_students: usize, adoption_rate: f64, seed: u64) -> Vec<StudentProfile> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sample_class_with_rng(num_students, adoption_rate, &mut rng)
+}
+
+fn sample_class_with_rng(
+    num_students: usize,
+    adoption_rate: f64,
+    rng: &mut StdRng,
+) -> Vec<StudentProfile> {
+    (0..num_students)
+        .map(|_| StudentProfile {
             ability: rng.gen_range(0.35..1.0),
-            uses_ratest: rng.gen_bool(config.adoption_rate),
+            uses_ratest: rng.gen_bool(adoption_rate),
             start_days_early: *[1u32, 2, 3, 5]
                 .iter()
                 .max_by_key(|_| rng.gen_range(0..100))
                 .unwrap_or(&3),
         })
-        .collect();
+        .collect()
+}
+
+/// Run the simulation.
+pub fn simulate(config: &StudyConfig) -> StudyOutcome {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let students = sample_class_with_rng(config.num_students, config.adoption_rate, &mut rng);
 
     let mut total_submissions = 0usize;
     let mut scores: Vec<Vec<f64>> = vec![vec![0.0; PROBLEMS.len()]; students.len()];
@@ -164,13 +186,23 @@ pub fn simulate(config: &StudyConfig) -> StudyOutcome {
             let transfer = if p == "h" && s.uses_ratest { 0.12 } else { 0.0 };
 
             let mut correct = false;
-            let max_attempts = if uses_tool { time_budget * 3 } else { time_budget };
+            // Without counterexample feedback a student cannot tell a wrong
+            // query from a right one, so meaningful revision opportunities
+            // are scarce (an eyeball pass or two); RATest users iterate
+            // against concrete counterexamples for as long as their time
+            // budget allows.
+            let max_attempts = if uses_tool {
+                time_budget * 3
+            } else {
+                1 + time_budget / 6
+            };
             for attempt in 1..=max_attempts {
                 if uses_tool {
                     attempts[si][pi] += 1;
                     total_submissions += 1;
                 }
-                let p_correct = (base + transfer + (attempt as f64 - 1.0) * fix_boost / 4.0).min(0.97);
+                let p_correct =
+                    (base + transfer + (attempt as f64 - 1.0) * fix_boost / 4.0).min(0.97);
                 if rng.gen_bool(p_correct) {
                     correct = true;
                     if uses_tool {
@@ -235,7 +267,12 @@ pub fn simulate(config: &StudyConfig) -> StudyOutcome {
     }
 
     // Transfer analysis (Figure 9).
-    let idx = |p: &str| PROBLEMS.iter().position(|&x| x == p).expect("known problem");
+    let idx = |p: &str| {
+        PROBLEMS
+            .iter()
+            .position(|&x| x == p)
+            .expect("known problem")
+    };
     let (i_idx, h_idx, j_idx) = (idx("i"), idx("h"), idx("j"));
     let cohort_row = |label: &str, ids: &[usize]| -> TransferRow {
         let mean = |pi: usize| -> f64 {
@@ -273,9 +310,7 @@ pub fn simulate(config: &StudyConfig) -> StudyOutcome {
 
     // Questionnaire (Figure 10): responders are a subset of the class; users
     // who succeeded with the tool respond positively.
-    let responders: Vec<usize> = (0..students.len())
-        .filter(|_| rng.gen_bool(0.79))
-        .collect();
+    let responders: Vec<usize> = (0..students.len()).filter(|_| rng.gen_bool(0.79)).collect();
     let helpful = responders
         .iter()
         .filter(|&&si| students[si].uses_ratest && rng.gen_bool(0.87))
@@ -350,7 +385,10 @@ mod tests {
         let users = row("used RATest on (i)");
         let nonusers = row("did not use");
         assert!(users.mean_i > nonusers.mean_i);
-        assert!(users.mean_h > nonusers.mean_h, "transfer to the similar problem");
+        assert!(
+            users.mean_h > nonusers.mean_h,
+            "transfer to the similar problem"
+        );
         // No comparable advantage on the dissimilar problem (j).
         assert!((users.mean_j - nonusers.mean_j).abs() < (users.mean_h - nonusers.mean_h) + 3.0);
         // Procrastinators do worse than early starters.

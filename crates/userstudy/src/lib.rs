@@ -28,5 +28,7 @@
 pub mod cohort;
 pub mod report;
 
-pub use cohort::{simulate, ProblemStats, StudyConfig, StudyOutcome, TransferRow};
+pub use cohort::{
+    sample_class, simulate, ProblemStats, StudentProfile, StudyConfig, StudyOutcome, TransferRow,
+};
 pub use report::{render_figure10, render_figure8, render_figure9, render_table5};

@@ -90,7 +90,13 @@ pub fn render_table5(outcome: &StudyOutcome) -> String {
         .collect();
     table(
         "Table 5: mean scores, RATest non-users vs users (simulated cohort)",
-        &["problem", "# non-users", "score non-users", "# users", "score users"],
+        &[
+            "problem",
+            "# non-users",
+            "score non-users",
+            "# users",
+            "score users",
+        ],
         &rows,
     )
 }
@@ -112,7 +118,13 @@ pub fn render_figure9(outcome: &StudyOutcome) -> String {
         .collect();
     table(
         "Figure 9: performance on (i), (h), (j) by RATest usage on (i) and start time",
-        &["cohort", "# students", "score (i)", "score (h)", "score (j)"],
+        &[
+            "cohort",
+            "# students",
+            "score (i)",
+            "score (h)",
+            "score (j)",
+        ],
         &rows,
     )
 }

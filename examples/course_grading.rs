@@ -37,7 +37,10 @@ fn main() {
             .expect("queries are well-formed");
             match outcome.counterexample {
                 None => {
-                    println!("  submission {i}: passes on this instance ({})", submission.description);
+                    println!(
+                        "  submission {i}: passes on this instance ({})",
+                        submission.description
+                    );
                 }
                 Some(cex) => {
                     caught += 1;

@@ -43,7 +43,10 @@ fn course_workload_counterexamples_are_valid_and_small() {
             }
         }
     }
-    assert!(explained >= 6, "a healthy fraction of mutations is explained: {explained}");
+    assert!(
+        explained >= 6,
+        "a healthy fraction of mutations is explained: {explained}"
+    );
 }
 
 /// Forcing different algorithms on the same SPJUD pair must agree on the
@@ -55,7 +58,11 @@ fn algorithms_agree_on_example1_at_scale() {
     let q1 = ratest_suite::queries::course::q3_exactly_one_cs();
     let wrong = ratest_suite::queries::course::q1_some_cs_course();
     let mut sizes = Vec::new();
-    for algorithm in [Algorithm::OptSigma, Algorithm::Basic, Algorithm::PolytimeSpjudStar] {
+    for algorithm in [
+        Algorithm::OptSigma,
+        Algorithm::Basic,
+        Algorithm::PolytimeSpjudStar,
+    ] {
         let outcome = explain(
             &q1,
             &wrong,
@@ -71,7 +78,10 @@ fn algorithms_agree_on_example1_at_scale() {
         }
     }
     assert!(sizes.len() >= 2);
-    assert!(sizes.windows(2).all(|w| w[0] == w[1]), "sizes disagree: {sizes:?}");
+    assert!(
+        sizes.windows(2).all(|w| w[0] == w[1]),
+        "sizes disagree: {sizes:?}"
+    );
 }
 
 /// The TPC-H aggregate pipeline produces small verified counterexamples for
@@ -101,7 +111,10 @@ fn tpch_aggregate_counterexamples_are_verified() {
             found += 1;
         }
     }
-    assert!(found >= 3, "at least a few TPC-H pairs are explained: {found}");
+    assert!(
+        found >= 3,
+        "at least a few TPC-H pairs are explained: {found}"
+    );
 }
 
 /// The user-study reference queries are debuggable too: mutate problem (i)
@@ -109,7 +122,10 @@ fn tpch_aggregate_counterexamples_are_verified() {
 #[test]
 fn beers_problem_i_mutations_are_explained() {
     let db = beers_database(40, 5);
-    let (_, reference) = study_problems().into_iter().find(|(n, _)| *n == "i").unwrap();
+    let (_, reference) = study_problems()
+        .into_iter()
+        .find(|(n, _)| *n == "i")
+        .unwrap();
     let mut explained = 0;
     for m in sample_mutations(&reference, 4, 11) {
         let outcome = explain(&reference, &m.query, &db, &RatestOptions::default()).unwrap();
@@ -134,7 +150,14 @@ fn rendered_explanation_is_complete() {
     )
     .unwrap();
     let text = render_explanation(&outcome);
-    for needle in ["NOT equivalent", "3 tuple", "Student", "Registration", "Q1", "Q2"] {
+    for needle in [
+        "NOT equivalent",
+        "3 tuple",
+        "Student",
+        "Registration",
+        "Q1",
+        "Q2",
+    ] {
         assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
     }
 }

@@ -16,7 +16,7 @@ use ratest_suite::provenance::annotate::consistent_with_evaluation;
 use ratest_suite::ra::ast::Query;
 use ratest_suite::ra::builder::{col, lit, rel, QueryBuilder};
 use ratest_suite::ra::eval::{evaluate, Params};
-use ratest_suite::storage::{Database, DataType, Relation, Schema, TupleSelection, Value};
+use ratest_suite::storage::{DataType, Database, Relation, Schema, TupleSelection, Value};
 
 /// Build a small instance from compact tuple descriptions.
 fn build_db(students: &[(u8, u8)], registrations: &[(u8, u8, u8, i64)]) -> Database {
@@ -41,10 +41,18 @@ fn build_db(students: &[(u8, u8)], registrations: &[(u8, u8, u8, i64)]) -> Datab
             ("grade", DataType::Int),
         ]),
     );
-    let num_students = students.len().max(1) as u8;
+    // Reference an actual student name so the FK constraint holds by
+    // construction (student ids are deduped and need not be contiguous);
+    // with no students there is no valid parent, so drop the registration.
     for (s, c, d, g) in registrations {
+        let Some(parent) = students
+            .get((*s as usize) % students.len().max(1))
+            .map(|t| t.0)
+        else {
+            continue;
+        };
         reg.insert(vec![
-            Value::from(format!("s{}", s % num_students)),
+            Value::from(format!("s{parent}")),
             Value::from(format!("c{}", c % 5)),
             Value::from(if d % 2 == 0 { "CS" } else { "ECON" }),
             Value::Int(60 + (g % 41)),
@@ -65,7 +73,9 @@ fn query_pool() -> Vec<Query> {
         .rename("s")
         .join_on(
             rel("Registration").rename("r").build(),
-            col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("CS"))),
+            col("s.name")
+                .eq(col("r.name"))
+                .and(col("r.dept").eq(lit("CS"))),
         )
         .project(&["s.name"])
         .build();
@@ -73,7 +83,9 @@ fn query_pool() -> Vec<Query> {
         .rename("s")
         .join_on(
             rel("Registration").rename("r").build(),
-            col("s.name").eq(col("r.name")).and(col("r.dept").eq(lit("ECON"))),
+            col("s.name")
+                .eq(col("r.name"))
+                .and(col("r.dept").eq(lit("ECON"))),
         )
         .project(&["s.name"])
         .build();
@@ -96,7 +108,9 @@ fn query_pool() -> Vec<Query> {
         QueryBuilder::from_query(cs_students)
             .difference(high)
             .build(),
-        QueryBuilder::from_query(all_names).difference(econ_students).build(),
+        QueryBuilder::from_query(all_names)
+            .difference(econ_students)
+            .build(),
     ]
 }
 

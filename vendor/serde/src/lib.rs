@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no network access, so the real serde cannot be
+//! fetched from crates.io. The workspace only uses serde for
+//! `#[derive(Serialize, Deserialize)]` annotations (all JSON the project
+//! emits is rendered by hand); the traits here are markers with blanket
+//! impls so those derives and any `T: Serialize` bounds keep compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Blanket-implemented owned-deserialization marker.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this workspace builds in has no network access, so the real
+//! serde cannot be fetched. Nothing in the workspace performs actual
+//! serialization through serde (JSON output is hand-rendered), so the derive
+//! macros only need to *accept* the `#[derive(Serialize, Deserialize)]` and
+//! `#[serde(...)]` attributes that annotate the data types; the sibling
+//! `serde` stub provides blanket trait impls.
+
+use proc_macro::TokenStream;
+
+/// Inert `#[derive(Serialize)]`: accepts `#[serde(...)]` attributes, emits
+/// nothing (the `serde` stub blanket-implements the trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Inert `#[derive(Deserialize)]`: accepts `#[serde(...)]` attributes, emits
+/// nothing (the `serde` stub blanket-implements the trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
