@@ -1,67 +1,148 @@
-//! `grade` — batch-grade a generated cohort of student submissions.
+//! `grade` — batch-grade student submissions against a reference query.
 //!
-//! Generates a class of submissions for one course question (reference
-//! queries + mutation-based student errors + a hidden university instance),
-//! grades them on a worker pool with fingerprint dedup and a shared
-//! reference annotation, and prints the class report.
+//! ## Primary mode: grade a directory of submission files
 //!
 //! ```text
-//! grade [--question 1..8] [--class N] [--db-tuples N] [--workers N]
-//!       [--seed N] [--timeout-ms N] [--json PATH] [--explain ID]
+//! grade <DIR> --reference <N | path.sql | path.ra>
+//!       [--db-tuples N] [--seed N] [--workers N] [--timeout-ms N]
+//!       [--param name=value]... [--json PATH] [--explain ID] [--diagnostics]
+//! ```
+//!
+//! `<DIR>` is walked recursively; `.sql` files go through the SQL frontend,
+//! `.ra` files through the RA surface-syntax parser (dispatch by extension).
+//! Files the frontend rejects appear in the report as `rejected` with a
+//! spanned diagnostic. `--reference` is a course question number (1–8) or a
+//! path to a reference query file. The hidden instance is a generated
+//! university database (`--db-tuples`, `--seed`).
+//!
+//! ## Secondary mode: synthetic cohorts for benchmarks / load tests
+//!
+//! ```text
+//! grade --generate [--question 1..8] [--class N] [--db-tuples N] [--seed N]
+//!       [--workers N] [--timeout-ms N] [--json PATH] [--explain ID]
 //!       [--compare-sequential]
 //! ```
 
-use ratest_grader::{generate_cohort, CohortConfig, Grader, GraderConfig};
+use ratest_grader::{generate_cohort, ingest_dir, CohortConfig, Grader, GraderConfig};
+use ratest_queries::course::course_questions;
+use ratest_ra::ast::Query;
+use ratest_storage::{Database, Value};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
+const USAGE: &str = "usage: grade <DIR> --reference <N|path.sql|path.ra> \
+     [--db-tuples N] [--seed N] [--workers N] [--timeout-ms N] \
+     [--param name=value]... [--json PATH] [--explain ID] [--diagnostics]\n\
+       grade --generate [--question 1..8] [--class N] [--db-tuples N] \
+     [--seed N] [--workers N] [--timeout-ms N] [--json PATH] [--explain ID] \
+     [--compare-sequential]";
+
 struct Args {
+    /// Directory of submissions (primary mode).
+    dir: Option<PathBuf>,
+    /// Reference query: a question number or a file path.
+    reference: Option<String>,
+    /// Synthetic-cohort mode (benchmarks / load tests).
+    generate: bool,
     cohort: CohortConfig,
     workers: usize,
     timeout_ms: u64,
+    params: Vec<(String, Value)>,
     json_path: Option<String>,
     explain_id: Option<String>,
+    diagnostics: bool,
     compare_sequential: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        dir: None,
+        reference: None,
+        generate: false,
         cohort: CohortConfig::default(),
         workers: 4,
         timeout_ms: 30_000,
+        params: Vec::new(),
         json_path: None,
         explain_id: None,
+        diagnostics: false,
         compare_sequential: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
+            "--reference" => args.reference = Some(value("--reference")?),
+            "--generate" => args.generate = true,
             "--question" => args.cohort.question = parse(&value("--question")?)?,
             "--class" => args.cohort.class_size = parse(&value("--class")?)?,
             "--db-tuples" => args.cohort.db_tuples = parse(&value("--db-tuples")?)?,
             "--seed" => args.cohort.seed = parse(&value("--seed")?)?,
             "--workers" => args.workers = parse(&value("--workers")?)?,
             "--timeout-ms" => args.timeout_ms = parse(&value("--timeout-ms")?)?,
+            "--param" => {
+                let kv = value("--param")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--param expects name=value, got `{kv}`"))?;
+                let v = match v.parse::<i64>() {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::from(v),
+                };
+                args.params.push((k.to_owned(), v));
+            }
             "--json" => args.json_path = Some(value("--json")?),
             "--explain" => args.explain_id = Some(value("--explain")?),
+            "--diagnostics" => args.diagnostics = true,
             "--compare-sequential" => args.compare_sequential = true,
             "--help" | "-h" => {
-                println!(
-                    "usage: grade [--question 1..8] [--class N] [--db-tuples N] \
-                     [--workers N] [--seed N] [--timeout-ms N] [--json PATH] \
-                     [--explain ID] [--compare-sequential]"
-                );
+                println!("{USAGE}");
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown flag: {other}")),
+            other if other.starts_with("--") => return Err(format!("unknown flag: {other}")),
+            dir => {
+                if args.dir.replace(PathBuf::from(dir)).is_some() {
+                    return Err("only one submissions directory may be given".into());
+                }
+            }
         }
+    }
+    if args.dir.is_none() && !args.generate {
+        return Err(format!(
+            "expected a submissions directory (or --generate)\n{USAGE}"
+        ));
+    }
+    if args.dir.is_some() && args.generate {
+        return Err("--generate cannot be combined with a submissions directory".into());
     }
     Ok(args)
 }
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid numeric value: {s}"))
+}
+
+/// Resolve `--reference`: a course question number or a `.sql`/`.ra` file.
+fn resolve_reference(spec: &str, db: &Database) -> Result<(String, Query), String> {
+    if let Ok(n) = spec.parse::<usize>() {
+        let questions = course_questions();
+        let q = questions
+            .into_iter()
+            .find(|q| q.number == n)
+            .ok_or_else(|| format!("no course question {n} (valid: 1..8)"))?;
+        return Ok((q.prompt.to_owned(), q.reference));
+    }
+    let path = PathBuf::from(spec);
+    let source = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {spec}: {e}"))?;
+    let query = match path.extension().and_then(|e| e.to_str()) {
+        Some("sql") => ratest_sql::compile_sql(&source, db)
+            .map_err(|e| format!("reference {spec} is invalid:\n{}", e.render(&source)))?,
+        Some("ra") => ratest_ra::parser::parse_query(&source)
+            .map_err(|e| format!("reference {spec} is invalid: {e}"))?,
+        _ => return Err(format!("reference {spec} must end in .sql or .ra")),
+    };
+    Ok((format!("reference {spec}"), query))
 }
 
 fn main() -> ExitCode {
@@ -73,30 +154,85 @@ fn main() -> ExitCode {
         }
     };
 
-    let cohort = generate_cohort(&args.cohort);
-    println!("question {}: {}", args.cohort.question, cohort.prompt);
-    println!(
-        "cohort: {} submissions over a hidden instance of {} tuples (seed {})\n",
-        cohort.submissions.len(),
-        cohort.db.total_tuples(),
-        args.cohort.seed
-    );
-
+    let mut options = ratest_core::RatestOptions::default();
+    for (k, v) in &args.params {
+        options.parameters.insert(k.clone(), v.clone());
+    }
     let grader = Grader::new(GraderConfig {
         workers: args.workers.max(1),
         per_job_timeout: Duration::from_millis(args.timeout_ms),
-        ..Default::default()
+        options,
     });
-    let report = match grader.grade(
-        &cohort.prompt,
-        &cohort.reference,
-        &cohort.db,
-        &cohort.submissions,
-    ) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("grade: {e}");
-            return ExitCode::FAILURE;
+
+    let report = if let Some(dir) = &args.dir {
+        // Primary mode: grade a directory of .sql/.ra submissions.
+        let db = ratest_datagen::university_database(&ratest_datagen::UniversityConfig {
+            total_tuples: args.cohort.db_tuples,
+            seed: args.cohort.seed,
+            ..Default::default()
+        });
+        let spec = match &args.reference {
+            Some(s) => s.clone(),
+            None => {
+                eprintln!("grade: directory mode requires --reference <N|path.sql|path.ra>");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (label, reference) = match resolve_reference(&spec, &db) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("grade: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cohort = match ingest_dir(dir, &db) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("grade: cannot read {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "{label}\ncohort: {} files ({} parsed, {} rejected) over a hidden instance of {} tuples (seed {})\n",
+            cohort.entries.len(),
+            cohort.parsed_count(),
+            cohort.rejected_count(),
+            db.total_tuples(),
+            args.cohort.seed
+        );
+        if args.diagnostics {
+            for r in cohort.rejected() {
+                println!("{}:\n{}\n", r.id, r.rendered);
+            }
+        }
+        match grader.grade_cohort(&label, &reference, &db, &cohort) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("grade: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        // Secondary mode: synthetic cohort for benchmarks / load tests.
+        let cohort = generate_cohort(&args.cohort);
+        println!("question {}: {}", args.cohort.question, cohort.prompt);
+        println!(
+            "cohort: {} generated submissions over a hidden instance of {} tuples (seed {})\n",
+            cohort.submissions.len(),
+            cohort.db.total_tuples(),
+            args.cohort.seed
+        );
+        match grader.grade(
+            &cohort.prompt,
+            &cohort.reference,
+            &cohort.db,
+            &cohort.submissions,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("grade: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     print!("{}", report.render_text());
@@ -109,29 +245,34 @@ fn main() -> ExitCode {
     }
 
     if args.compare_sequential {
-        let sequential = Grader::new(GraderConfig {
-            workers: 1,
-            per_job_timeout: Duration::from_millis(args.timeout_ms),
-            ..Default::default()
-        });
-        match sequential.grade(
-            &cohort.prompt,
-            &cohort.reference,
-            &cohort.db,
-            &cohort.submissions,
-        ) {
-            Ok(seq) => {
-                let par = report.stats.wall_time.as_secs_f64();
-                let s = seq.stats.wall_time.as_secs_f64();
-                println!(
-                    "\nsequential wall {:?} vs {} workers {:?}  (speedup {:.2}x)",
-                    seq.stats.wall_time,
-                    args.workers.max(1),
-                    report.stats.wall_time,
-                    if par > 0.0 { s / par } else { f64::INFINITY }
-                );
+        if args.dir.is_some() {
+            eprintln!("grade: --compare-sequential applies to --generate mode only");
+        } else {
+            let cohort = generate_cohort(&args.cohort);
+            let sequential = Grader::new(GraderConfig {
+                workers: 1,
+                per_job_timeout: Duration::from_millis(args.timeout_ms),
+                ..Default::default()
+            });
+            match sequential.grade(
+                &cohort.prompt,
+                &cohort.reference,
+                &cohort.db,
+                &cohort.submissions,
+            ) {
+                Ok(seq) => {
+                    let par = report.stats.wall_time.as_secs_f64();
+                    let s = seq.stats.wall_time.as_secs_f64();
+                    println!(
+                        "\nsequential wall {:?} vs {} workers {:?}  (speedup {:.2}x)",
+                        seq.stats.wall_time,
+                        args.workers.max(1),
+                        report.stats.wall_time,
+                        if par > 0.0 { s / par } else { f64::INFINITY }
+                    );
+                }
+                Err(e) => eprintln!("grade: sequential comparison failed: {e}"),
             }
-            Err(e) => eprintln!("grade: sequential comparison failed: {e}"),
         }
     }
 

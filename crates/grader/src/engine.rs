@@ -1,7 +1,9 @@
 //! The batch grading engine: shared reference preparation, fingerprint
 //! dedup + cross-batch verdict cache, and a bounded worker pool with
-//! per-job timeouts.
+//! per-job timeouts backed by cooperative cancellation (a timed-out job is
+//! asked to stop via its [`ratest_core::CancelFlag`], not just abandoned).
 
+use crate::ingest::{IngestEntry, IngestedCohort};
 use crate::report::{BatchReport, BatchStats};
 use crate::submission::{group_by_fingerprint, Submission};
 use crate::verdict::{GradedSubmission, Verdict};
@@ -228,6 +230,58 @@ impl Grader {
             stats,
         })
     }
+
+    /// Grade an ingested directory cohort: the parsed submissions run
+    /// through the engine (dedup, cache, worker pool), the frontend-rejected
+    /// ones are merged back into the report as [`Verdict::Rejected`] rows,
+    /// in directory order.
+    pub fn grade_cohort(
+        &self,
+        label: &str,
+        reference: &Query,
+        db: &Database,
+        cohort: &IngestedCohort,
+    ) -> Result<BatchReport, GraderError> {
+        let wall_start = Instant::now();
+        let submissions = cohort.submissions();
+        let inner = self.grade(label, reference, db, &submissions)?;
+        let mut by_id: HashMap<&str, &GradedSubmission> = HashMap::new();
+        for g in &inner.graded {
+            by_id.insert(g.submission_id.as_str(), g);
+        }
+        let graded: Vec<GradedSubmission> = cohort
+            .entries
+            .iter()
+            .map(|entry| match entry {
+                IngestEntry::Parsed(s) => by_id
+                    .get(s.id.as_str())
+                    .copied()
+                    .cloned()
+                    .expect("every parsed submission was graded"),
+                IngestEntry::Rejected(r) => GradedSubmission {
+                    submission_id: r.id.clone(),
+                    author: r.author.clone(),
+                    fingerprint: 0,
+                    verdict: r.verdict.clone(),
+                    from_cache: false,
+                    grading_time: Duration::ZERO,
+                },
+            })
+            .collect();
+        let stats = BatchStats::collect(
+            &graded,
+            inner.stats.distinct_groups,
+            inner.stats.cache_hits,
+            inner.stats.pipeline_runs,
+            self.config.workers,
+            wall_start.elapsed(),
+        );
+        Ok(BatchReport {
+            label: label.to_owned(),
+            graded,
+            stats,
+        })
+    }
 }
 
 /// Drain the job queue with `config.workers` threads; returns
@@ -293,28 +347,37 @@ fn run_jobs(
 
 /// Grade one submission, enforcing the per-job wall-clock budget.
 ///
-/// The pipeline has no cancellation points, so the timeout is implemented by
-/// running the job on its own thread and abandoning it when the budget
-/// elapses: the worker records [`Verdict::Timeout`] and moves on, while the
-/// abandoned thread finishes (or not) in the background without blocking the
-/// batch. With `timeout == 0` the job runs inline on the worker.
+/// The job runs on its own thread; when the budget elapses the worker
+/// records [`Verdict::Timeout`], raises the job's cooperative
+/// [`ratest_core::CancelFlag`] and moves on. The pipeline polls the flag at
+/// its loop boundaries (per candidate tuple / candidate group / solve), so
+/// the timed-out thread unwinds with `RatestError::Cancelled` shortly after
+/// instead of competing with live workers for CPU until it finishes on its
+/// own. With `timeout == 0` the job runs inline on the worker.
 fn grade_one_with_timeout(
     prepared: Arc<PreparedReference>,
     query: Arc<Query>,
     db: Arc<Database>,
-    options: RatestOptions,
+    mut options: RatestOptions,
     timeout: Duration,
 ) -> Verdict {
     if timeout.is_zero() {
         return grade_one(&prepared, &query, &db, &options);
     }
+    // Each job gets its own flag: cancelling this job must not cancel the
+    // batch's other jobs, which share the same base options.
+    let cancel = ratest_core::CancelFlag::new();
+    options.cancel = cancel.clone();
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
         let _ = tx.send(grade_one(&prepared, &query, &db, &options));
     });
     match rx.recv_timeout(timeout) {
         Ok(verdict) => verdict,
-        Err(_) => Verdict::Timeout { budget: timeout },
+        Err(_) => {
+            cancel.cancel();
+            Verdict::Timeout { budget: timeout }
+        }
     }
 }
 

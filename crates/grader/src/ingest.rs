@@ -1,0 +1,311 @@
+//! Directory ingestion: turn a directory of student submission files into a
+//! gradable cohort, dispatching on file extension.
+//!
+//! * `.sql` files go through the `ratest_sql` frontend (parse + lower
+//!   against the hidden instance's schema). Frontend rejections become
+//!   [`Verdict::Rejected`] entries carrying the spanned diagnostic.
+//! * `.ra` files go through the RA surface-syntax parser
+//!   ([`ratest_ra::parser::parse_query`]) followed by a typecheck against
+//!   the instance, so an `.ra` submission naming a missing relation is also
+//!   rejected up front rather than erroring mid-batch.
+//! * Everything else (READMEs, editor droppings) is ignored.
+//!
+//! Subdirectories are walked recursively; the submission id is the relative
+//! path (`errors/parse_missing_from.sql`), the author is the file stem.
+
+use crate::submission::Submission;
+use crate::verdict::Verdict;
+use ratest_sql::SqlError;
+use ratest_storage::Database;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One file of an ingested cohort, in directory order.
+#[derive(Debug, Clone)]
+pub enum IngestEntry {
+    /// The file parsed (and, for SQL, lowered) cleanly.
+    Parsed(Submission),
+    /// The frontend rejected the file; it is reported but never graded.
+    Rejected(RejectedSubmission),
+}
+
+impl IngestEntry {
+    /// The submission id of the entry.
+    pub fn id(&self) -> &str {
+        match self {
+            IngestEntry::Parsed(s) => &s.id,
+            IngestEntry::Rejected(r) => &r.id,
+        }
+    }
+}
+
+/// A submission rejected by the SQL/RA frontend.
+#[derive(Debug, Clone)]
+pub struct RejectedSubmission {
+    /// Submission id (the file's path relative to the ingested directory).
+    pub id: String,
+    /// Author display name (file stem).
+    pub author: String,
+    /// The rejection, as a verdict ([`Verdict::Rejected`]).
+    pub verdict: Verdict,
+    /// The diagnostic rendered against the source, with a caret line.
+    pub rendered: String,
+}
+
+/// An ingested cohort: entries in directory order.
+#[derive(Debug, Clone, Default)]
+pub struct IngestedCohort {
+    /// All entries, parsed and rejected, in directory order.
+    pub entries: Vec<IngestEntry>,
+}
+
+impl IngestedCohort {
+    /// Number of entries the frontend accepted.
+    pub fn parsed_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e, IngestEntry::Parsed(_)))
+            .count()
+    }
+
+    /// Number of entries the frontend rejected.
+    pub fn rejected_count(&self) -> usize {
+        self.entries.len() - self.parsed_count()
+    }
+
+    /// The parsed submissions, in directory order (cloned — used once per
+    /// grading run to hand the engine an owned batch).
+    pub fn submissions(&self) -> Vec<Submission> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e {
+                IngestEntry::Parsed(s) => Some(s.clone()),
+                IngestEntry::Rejected(_) => None,
+            })
+            .collect()
+    }
+
+    /// The rejected submissions, in directory order.
+    pub fn rejected(&self) -> Vec<&RejectedSubmission> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e {
+                IngestEntry::Rejected(r) => Some(r),
+                IngestEntry::Parsed(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// Read every `.sql` / `.ra` file under `dir` (recursively, in sorted
+/// order) and build a cohort against the schema of `db`.
+pub fn ingest_dir(dir: &Path, db: &Database) -> io::Result<IngestedCohort> {
+    let mut files = Vec::new();
+    collect_files(dir, &mut files)?;
+    files.sort();
+    let mut cohort = IngestedCohort::default();
+    for path in files {
+        // The id keeps the extension: `q1.sql` and `q1.ra` in the same
+        // directory are distinct submissions and must not share a report
+        // row.
+        let id = path
+            .strip_prefix(dir)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .into_owned();
+        let author = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| id.clone());
+        let source = std::fs::read_to_string(&path)?;
+        let ext = path
+            .extension()
+            .map(|e| e.to_ascii_lowercase())
+            .unwrap_or_default();
+        let entry = if ext == "sql" {
+            match ratest_sql::compile_sql(&source, db) {
+                Ok(query) => IngestEntry::Parsed(Submission::new(&id, &author, query)),
+                Err(e) => IngestEntry::Rejected(reject_sql(&id, &author, &source, &e)),
+            }
+        } else {
+            match ratest_ra::parser::parse_query(&source) {
+                Ok(query) => match ratest_ra::typecheck::output_schema(&query, db) {
+                    Ok(_) => IngestEntry::Parsed(Submission::new(&id, &author, query)),
+                    Err(e) => IngestEntry::Rejected(reject_ra_resolve(&id, &author, &e)),
+                },
+                Err(e) => IngestEntry::Rejected(reject_ra_parse(&id, &author, &source, &e)),
+            }
+        };
+        cohort.entries.push(entry);
+    }
+    Ok(cohort)
+}
+
+fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_files(&path, out)?;
+        } else if matches!(
+            path.extension().map(|e| e.to_ascii_lowercase()),
+            Some(ext) if ext == "sql" || ext == "ra"
+        ) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn reject_sql(id: &str, author: &str, source: &str, e: &SqlError) -> RejectedSubmission {
+    let span = e.span();
+    RejectedSubmission {
+        id: id.to_owned(),
+        author: author.to_owned(),
+        verdict: Verdict::Rejected {
+            message: e.to_string(),
+            phase: e.phase().name().to_owned(),
+            kind: e.kind().to_owned(),
+            span: Some((span.start, span.end)),
+        },
+        rendered: e.render(source),
+    }
+}
+
+fn reject_ra_parse(
+    id: &str,
+    author: &str,
+    source: &str,
+    e: &ratest_ra::QueryError,
+) -> RejectedSubmission {
+    let span = match e {
+        ratest_ra::QueryError::Parse { position, .. } => {
+            // An end-of-input error sits at `source.len()`; keep the span
+            // inside the source (possibly empty) rather than one past it.
+            let end = if *position < source.len() {
+                *position + 1
+            } else {
+                *position
+            };
+            Some((*position, end))
+        }
+        _ => None,
+    };
+    RejectedSubmission {
+        id: id.to_owned(),
+        author: author.to_owned(),
+        verdict: Verdict::Rejected {
+            message: e.to_string(),
+            phase: "parse".into(),
+            kind: "parse".into(),
+            span,
+        },
+        rendered: e.to_string(),
+    }
+}
+
+fn reject_ra_resolve(id: &str, author: &str, e: &ratest_ra::QueryError) -> RejectedSubmission {
+    let kind = match e {
+        ratest_ra::QueryError::UnknownColumn { .. } => "unknown_column",
+        ratest_ra::QueryError::AmbiguousColumn { .. } => "ambiguous_column",
+        ratest_ra::QueryError::Storage(ratest_storage::StorageError::UnknownRelation(_)) => {
+            "unknown_relation"
+        }
+        _ => "resolve",
+    };
+    RejectedSubmission {
+        id: id.to_owned(),
+        author: author.to_owned(),
+        verdict: Verdict::Rejected {
+            message: e.to_string(),
+            phase: "resolve".into(),
+            kind: kind.into(),
+            span: None,
+        },
+        rendered: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratest_ra::testdata::figure1_db;
+
+    fn write(dir: &Path, name: &str, contents: &str) {
+        let path = dir.join(name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).unwrap();
+        }
+        std::fs::write(path, contents).unwrap();
+    }
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ratest-ingest-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn ingests_mixed_extensions_and_rejects_malformed_files() {
+        let dir = scratch_dir("mixed");
+        write(&dir, "a_sql_query.sql", "SELECT name, major FROM Student");
+        write(&dir, "b_ra_query.ra", "project[name, major](Student)");
+        write(&dir, "c_broken.sql", "SELECT nme FROM Student");
+        write(&dir, "d_bad_ra.ra", "project[name](NoSuchTable)");
+        write(&dir, "README.md", "not a submission");
+        write(
+            &dir,
+            "errors/e_unterminated.sql",
+            "SELECT 'oops FROM Student",
+        );
+
+        let db = figure1_db();
+        let cohort = ingest_dir(&dir, &db).unwrap();
+        assert_eq!(cohort.entries.len(), 5, "README is ignored");
+        assert_eq!(cohort.submissions().len(), 2);
+        let rejected = cohort.rejected();
+        assert_eq!(rejected.len(), 3);
+
+        let by_id = |id: &str| -> &RejectedSubmission {
+            rejected
+                .iter()
+                .find(|r| r.id == id)
+                .copied()
+                .unwrap_or_else(|| panic!("missing {id}"))
+        };
+        match &by_id("c_broken.sql").verdict {
+            Verdict::Rejected { kind, span, .. } => {
+                assert_eq!(kind, "unknown_column");
+                assert_eq!(span.unwrap().0, 7);
+            }
+            other => panic!("unexpected verdict {other:?}"),
+        }
+        match &by_id("d_bad_ra.ra").verdict {
+            Verdict::Rejected { phase, kind, .. } => {
+                assert_eq!(phase, "resolve");
+                assert_eq!(kind, "unknown_relation");
+            }
+            other => panic!("unexpected verdict {other:?}"),
+        }
+        match &by_id("errors/e_unterminated.sql").verdict {
+            Verdict::Rejected { phase, .. } => assert_eq!(phase, "lexer"),
+            other => panic!("unexpected verdict {other:?}"),
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ids_preserve_directory_structure_and_order_is_sorted() {
+        let dir = scratch_dir("order");
+        write(&dir, "z_last.sql", "SELECT name FROM Student");
+        write(&dir, "a_first.sql", "SELECT name FROM Student");
+        write(&dir, "sub/middle.ra", "Student");
+        let db = figure1_db();
+        let cohort = ingest_dir(&dir, &db).unwrap();
+        let ids: Vec<&str> = cohort.entries.iter().map(|e| e.id()).collect();
+        assert_eq!(ids, vec!["a_first.sql", "sub/middle.ra", "z_last.sql"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -26,17 +26,23 @@
 //!    concurrently by `workers` threads with a per-job wall-clock timeout, so
 //!    one pathological submission cannot stall the whole class.
 //!
-//! The [`cohort`] module generates realistic grading workloads (reference
-//! questions from `ratest_queries::course`, student errors from
-//! `ratest_queries::mutations`, ability/adoption from
-//! `ratest_userstudy::sample_class`, hidden instances from
-//! `ratest_datagen`), and the `grade` binary wires it all into a CLI.
+//! Real-world cohorts come from the [`ingest`] module: a directory of
+//! `.sql` / `.ra` submission files is dispatched by extension through the
+//! `ratest_sql` frontend or the RA surface-syntax parser, with frontend
+//! rejections surfacing as first-class [`Verdict::Rejected`] rows (spanned
+//! diagnostics, "did you mean" hints) in the same report. The [`cohort`]
+//! module can still *generate* synthetic workloads (reference questions from
+//! `ratest_queries::course`, student errors from `ratest_queries::mutations`,
+//! ability/adoption from `ratest_userstudy::sample_class`, hidden instances
+//! from `ratest_datagen`) for benchmarks and load tests; the `grade` binary
+//! wires both into a CLI, with directory ingestion as the primary mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cohort;
 pub mod engine;
+pub mod ingest;
 pub mod json;
 pub mod report;
 pub mod submission;
@@ -44,6 +50,7 @@ pub mod verdict;
 
 pub use cohort::{generate_cohort, CohortConfig, GeneratedCohort};
 pub use engine::{Grader, GraderConfig, GraderError};
+pub use ingest::{ingest_dir, IngestEntry, IngestedCohort, RejectedSubmission};
 pub use report::{BatchReport, BatchStats};
 pub use submission::{group_by_fingerprint, Submission, SubmissionGroup};
 pub use verdict::{GradedSubmission, Verdict};

@@ -32,6 +32,8 @@ pub struct BatchStats {
     pub errors: usize,
     /// Submissions whose grading timed out.
     pub timeouts: usize,
+    /// Submissions rejected by the SQL/RA frontend before grading.
+    pub rejected: usize,
     /// Wall-clock time for the whole batch.
     pub wall_time: Duration,
     /// Sum of per-job grading times (≥ `wall_time` when workers > 1 and the
@@ -56,6 +58,7 @@ impl BatchStats {
         let mut wrong = 0;
         let mut errors = 0;
         let mut timeouts = 0;
+        let mut rejected = 0;
         let mut cex_sizes: Vec<usize> = Vec::new();
         for g in graded {
             match &g.verdict {
@@ -66,6 +69,7 @@ impl BatchStats {
                 }
                 Verdict::Error { .. } => errors += 1,
                 Verdict::Timeout { .. } => timeouts += 1,
+                Verdict::Rejected { .. } => rejected += 1,
             }
         }
         // Each group's grading time is counted once (not per member).
@@ -83,7 +87,11 @@ impl BatchStats {
         BatchStats {
             submissions: graded.len(),
             distinct_groups,
-            dedup_hits: graded.len().saturating_sub(distinct_groups),
+            // Rejected submissions never enter a fingerprint group.
+            dedup_hits: graded
+                .len()
+                .saturating_sub(rejected)
+                .saturating_sub(distinct_groups),
             cache_hits,
             pipeline_runs,
             workers,
@@ -91,6 +99,7 @@ impl BatchStats {
             wrong,
             errors,
             timeouts,
+            rejected,
             wall_time,
             total_grading_time,
             mean_counterexample_size,
@@ -132,6 +141,9 @@ impl BatchReport {
                 }
                 Verdict::Error { message } => format!("error: {message}"),
                 Verdict::Timeout { budget } => format!("timed out after {budget:?}"),
+                Verdict::Rejected { message, phase, .. } => {
+                    format!("rejected by the {phase} phase: {message}")
+                }
             };
             let cached = if g.from_cache { " [cached]" } else { "" };
             let _ = writeln!(
@@ -152,8 +164,8 @@ impl BatchReport {
         );
         let _ = writeln!(
             out,
-            "-- verdicts: {} correct / {} wrong / {} error / {} timeout; mean counterexample {:.1} tuples",
-            s.correct, s.wrong, s.errors, s.timeouts, s.mean_counterexample_size
+            "-- verdicts: {} correct / {} wrong / {} rejected / {} error / {} timeout; mean counterexample {:.1} tuples",
+            s.correct, s.wrong, s.rejected, s.errors, s.timeouts, s.mean_counterexample_size
         );
         let _ = writeln!(
             out,
@@ -212,6 +224,22 @@ impl BatchReport {
                     Verdict::Timeout { budget } => {
                         pairs.push(("timeout_ms", Json::Float(budget.as_secs_f64() * 1e3)));
                     }
+                    Verdict::Rejected {
+                        message,
+                        phase,
+                        kind,
+                        span,
+                    } => {
+                        pairs.push(("message", Json::str(message)));
+                        pairs.push(("phase", Json::str(phase)));
+                        pairs.push(("kind", Json::str(kind)));
+                        if let Some((start, end)) = span {
+                            pairs.push((
+                                "span",
+                                Json::Arr(vec![Json::Int(*start as i64), Json::Int(*end as i64)]),
+                            ));
+                        }
+                    }
                     Verdict::Correct => {}
                 }
                 Json::obj(pairs)
@@ -233,6 +261,7 @@ impl BatchReport {
                     ("wrong", Json::Int(s.wrong as i64)),
                     ("errors", Json::Int(s.errors as i64)),
                     ("timeouts", Json::Int(s.timeouts as i64)),
+                    ("rejected", Json::Int(s.rejected as i64)),
                     ("wall_ms", Json::Float(s.wall_time.as_secs_f64() * 1e3)),
                     (
                         "grading_ms",

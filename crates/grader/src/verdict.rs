@@ -34,6 +34,21 @@ pub enum Verdict {
         /// The configured budget that was exceeded.
         budget: Duration,
     },
+    /// The submission never reached the grader: the SQL/RA frontend rejected
+    /// it with a diagnostic. Distinct from [`Verdict::Wrong`] (a rejected
+    /// query has no semantics to compare) and from [`Verdict::Error`] (the
+    /// diagnostic is a first-class, spanned frontend error, not a pipeline
+    /// failure).
+    Rejected {
+        /// Human-readable diagnostic (includes "did you mean" hints).
+        message: String,
+        /// Frontend phase that rejected it: `lexer`, `parse` or `resolve`.
+        phase: String,
+        /// Machine-readable diagnostic kind (e.g. `unknown_column`).
+        kind: String,
+        /// Byte span `[start, end)` of the offending source text, when known.
+        span: Option<(usize, usize)>,
+    },
 }
 
 impl Verdict {
@@ -44,6 +59,7 @@ impl Verdict {
             Verdict::Wrong { .. } => "wrong",
             Verdict::Error { .. } => "error",
             Verdict::Timeout { .. } => "timeout",
+            Verdict::Rejected { .. } => "rejected",
         }
     }
 
@@ -95,6 +111,16 @@ mod tests {
             }
             .tag(),
             "timeout"
+        );
+        assert_eq!(
+            Verdict::Rejected {
+                message: "unknown column `nme`".into(),
+                phase: "resolve".into(),
+                kind: "unknown_column".into(),
+                span: Some((7, 10)),
+            }
+            .tag(),
+            "rejected"
         );
     }
 

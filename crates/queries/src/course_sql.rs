@@ -1,0 +1,121 @@
+//! SQL renditions of the reference queries, as an instructor would actually
+//! write them for the course deployment.
+//!
+//! Each text is written to mirror the structure of the corresponding RA
+//! reference in [`crate::course`] (same join shape, same aliases, same
+//! predicate content), so after lowering through `ratest_sql` the plan has
+//! the **same canonical fingerprint** as the RA reference — SQL and RA
+//! submissions of the same answer dedup into one grading group. The parity
+//! is pinned by tests in the `ratest_sql` crate (`tests/course_parity.rs`),
+//! which avoids a dev-dependency cycle between the two crates.
+
+/// SQL for course question 1: students with at least one CS course.
+pub const Q1_SOME_CS_SQL: &str = "\
+SELECT s.name, s.major
+FROM Student s JOIN Registration r ON s.name = r.name AND r.dept = 'CS'";
+
+/// SQL for course question 2: students with no CS course.
+pub const Q2_NO_CS_SQL: &str = "\
+SELECT name, major FROM Student
+EXCEPT
+SELECT s.name, s.major
+FROM Student s JOIN Registration r ON s.name = r.name AND r.dept = 'CS'";
+
+/// SQL for course question 3: students with exactly one CS course
+/// (Example 1's Q1).
+pub const Q3_EXACTLY_ONE_CS_SQL: &str = "\
+SELECT s.name, s.major
+FROM Student s JOIN Registration r ON s.name = r.name AND r.dept = 'CS'
+EXCEPT
+SELECT s.name, s.major
+FROM Student s
+  JOIN Registration r1 ON s.name = r1.name
+  JOIN Registration r2 ON s.name = r2.name AND r1.course <> r2.course
+       AND r1.dept = 'CS' AND r2.dept = 'CS'";
+
+/// SQL for course question 4: students with both a CS and an ECON course.
+pub const Q4_CS_AND_ECON_SQL: &str = "\
+SELECT s.name, s.major
+FROM Student s
+  JOIN Registration r1 ON s.name = r1.name AND r1.dept = 'CS'
+  JOIN Registration r2 ON s.name = r2.name AND r2.dept = 'ECON'";
+
+/// SQL for course question 5: a grade above 90 in a course of the student's
+/// own major.
+pub const Q5_HIGH_GRADE_SQL: &str = "\
+SELECT s.name
+FROM Student s JOIN Registration r ON s.name = r.name
+WHERE r.dept = s.major AND r.grade > 90";
+
+/// SQL for course question 6: pairs of distinct students sharing a course.
+pub const Q6_COMMON_COURSE_SQL: &str = "\
+SELECT a.name, b.name
+FROM Registration a JOIN Registration b
+  ON a.course = b.course AND a.dept = b.dept AND a.name <> b.name";
+
+/// SQL for course question 7: students registered only for CS courses.
+pub const Q7_ONLY_CS_SQL: &str = "\
+SELECT s.name, s.major
+FROM Student s JOIN Registration r ON s.name = r.name AND r.dept = 'CS'
+EXCEPT
+SELECT s.name, s.major
+FROM Student s JOIN Registration r ON s.name = r.name AND r.dept <> 'CS'";
+
+/// SQL for course question 8: students registered for every CS course
+/// offered (relational division via a double difference).
+pub const Q8_EVERY_CS_SQL: &str = "\
+SELECT name FROM Student
+EXCEPT
+SELECT name FROM (
+  SELECT * FROM (SELECT name FROM Student),
+                (SELECT course FROM Registration WHERE dept = 'CS')
+  EXCEPT
+  SELECT name, course FROM Registration WHERE dept = 'CS'
+)";
+
+/// TPC-H Q4 (order priority checking) in SQL. The derived table mirrors the
+/// RA reference's projection onto distinct `(o_orderkey, o_orderpriority)`
+/// pairs before counting — under set semantics this is what makes the count
+/// a count of *orders* rather than of joined lineitems.
+pub const TPCH_Q4_SQL: &str = "\
+SELECT o_orderpriority, COUNT(*) AS order_count
+FROM (
+  SELECT o_orderkey, o_orderpriority
+  FROM orders JOIN lineitem
+    ON o_orderkey = l_orderkey AND l_commitdate < l_receiptdate
+  WHERE o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1994-04-01'
+)
+GROUP BY o_orderpriority";
+
+/// The SQL texts of the eight course questions, numbered like
+/// [`crate::course::course_questions`].
+pub fn course_sql_texts() -> Vec<(usize, &'static str)> {
+    vec![
+        (1, Q1_SOME_CS_SQL),
+        (2, Q2_NO_CS_SQL),
+        (3, Q3_EXACTLY_ONE_CS_SQL),
+        (4, Q4_CS_AND_ECON_SQL),
+        (5, Q5_HIGH_GRADE_SQL),
+        (6, Q6_COMMON_COURSE_SQL),
+        (7, Q7_ONLY_CS_SQL),
+        (8, Q8_EVERY_CS_SQL),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_question_has_sql_text() {
+        let texts = course_sql_texts();
+        assert_eq!(texts.len(), 8);
+        for (n, text) in texts {
+            assert!(
+                text.to_ascii_uppercase().contains("SELECT"),
+                "question {n} text is not SQL"
+            );
+        }
+        assert!(TPCH_Q4_SQL.contains("GROUP BY"));
+    }
+}

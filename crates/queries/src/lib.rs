@@ -5,6 +5,9 @@
 //! * [`course`] — reference queries for the eight questions of the
 //!   relational-algebra course assignment (Section 7.1), written against the
 //!   `Student`/`Registration` schema of `ratest-datagen`,
+//! * [`course_sql`] — the same references (plus TPC-H Q4) as SQL text,
+//!   written so that lowering through `ratest_sql` reproduces the RA
+//!   references' canonical fingerprints,
 //! * [`mutations`] — a "student error" simulator: systematic mutations
 //!   (dropped predicates, wrong constants, flipped comparisons, missing
 //!   difference branches, ...) that turn a correct query into the kinds of
@@ -20,9 +23,11 @@
 
 pub mod beers_queries;
 pub mod course;
+pub mod course_sql;
 pub mod mutations;
 pub mod tpch_queries;
 
 pub use course::{course_questions, CourseQuestion};
+pub use course_sql::{course_sql_texts, TPCH_Q4_SQL};
 pub use mutations::{mutate, Mutation, MutationKind};
 pub use tpch_queries::{tpch_experiments, TpchExperiment};

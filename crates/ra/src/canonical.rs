@@ -14,7 +14,14 @@
 //! * the operands of the symmetric comparisons `=` and `<>` are ordered,
 //! * mirrored comparisons are normalized (`a > b` becomes `b < a`,
 //!   `a >= b` becomes `b <= a`),
-//! * the operands of a union are ordered.
+//! * the operands of a union are ordered,
+//! * a selection directly above a join (or cross product) is folded into
+//!   the join predicate — `σ_p(A ⋈_q B) ≡ A ⋈_{p∧q} B` by definition of the
+//!   θ-join — and stacked selections collapse
+//!   (`σ_p(σ_q(X)) ≡ σ_{p∧q}(X)`). This makes the SQL frontend's
+//!   `FROM a, b WHERE p` (σ over a cross product) and `JOIN ... ON p`
+//!   (θ-join), and the RA surface syntax's `join[p](a, b)`, all dedup to
+//!   one fingerprint.
 //!
 //! Joins are deliberately *not* reordered: a theta-join's predicate refers to
 //! the operand columns by (possibly renamed) qualifiers, so commuting the
@@ -29,6 +36,7 @@
 
 use crate::ast::{ProjectItem, Query};
 use crate::expr::{BinaryOp, Expr};
+use ratest_storage::Value;
 
 /// A stable, normalization-applied textual form of a query. Equal canonical
 /// forms imply equivalent queries (the converse does not hold).
@@ -61,11 +69,51 @@ fn write_query(q: &Query, out: &mut String) {
             out.push(')');
         }
         Query::Select { input, predicate } => {
-            out.push_str("select(");
-            out.push_str(&canonical_expr(predicate));
-            out.push_str(")(");
-            write_query(input, out);
-            out.push(')');
+            // Fold σ into a join/cross directly below it, and collapse
+            // stacked σs, accumulating the conjuncts as we descend.
+            let mut conjuncts = vec![predicate.clone()];
+            let mut inner: &Query = input;
+            loop {
+                match inner {
+                    Query::Select {
+                        input: deeper,
+                        predicate: p,
+                    } => {
+                        conjuncts.push(p.clone());
+                        inner = deeper;
+                    }
+                    Query::Join {
+                        left,
+                        right,
+                        predicate: join_pred,
+                    } => {
+                        if let Some(p) = join_pred {
+                            conjuncts.push(p.clone());
+                        }
+                        let merged = Expr::conjunction(conjuncts)
+                            .expect("at least the original σ predicate");
+                        write_query(
+                            &Query::Join {
+                                left: left.clone(),
+                                right: right.clone(),
+                                predicate: Some(merged),
+                            },
+                            out,
+                        );
+                        return;
+                    }
+                    other => {
+                        let merged = Expr::conjunction(conjuncts)
+                            .expect("at least the original σ predicate");
+                        out.push_str("select(");
+                        out.push_str(&canonical_expr(&merged));
+                        out.push_str(")(");
+                        write_query(other, out);
+                        out.push(')');
+                        return;
+                    }
+                }
+            }
         }
         Query::Project { input, items } => {
             out.push_str("project(");
@@ -169,6 +217,22 @@ fn canonical_expr(e: &Expr) -> String {
         Expr::Column(name) => format!("col({name})"),
         Expr::Literal(v) => format!("lit({v:?})"),
         Expr::Param(name) => format!("param({name})"),
+        // A negated numeric literal is the literal of the negated value, so
+        // `-5` written as a literal and as unary minus over `5` agree.
+        Expr::Unary {
+            op: crate::expr::UnaryOp::Neg,
+            expr,
+        } if matches!(
+            **expr,
+            Expr::Literal(Value::Int(_)) | Expr::Literal(Value::Double(_))
+        ) =>
+        {
+            match &**expr {
+                Expr::Literal(Value::Int(i)) => format!("lit({:?})", Value::Int(-i)),
+                Expr::Literal(Value::Double(x)) => format!("lit({:?})", Value::double(-x)),
+                _ => unreachable!(),
+            }
+        }
         Expr::Unary { op, expr } => format!("{op:?}({})", canonical_expr(expr)),
         Expr::Binary { op, left, right } => match op {
             BinaryOp::And => {
@@ -284,6 +348,65 @@ mod tests {
             .difference(l)
             .build();
         assert_ne!(canonical_form(&a), canonical_form(&b));
+    }
+
+    #[test]
+    fn select_over_cross_equals_join_on() {
+        // FROM a, b WHERE p (σ over ×) vs JOIN ... ON p (θ-join).
+        let sigma_cross = crate::builder::QueryBuilder::from_query(
+            rel("Student")
+                .rename("s")
+                .cross(rel("Registration").rename("r").build())
+                .build(),
+        )
+        .select(
+            col("s.name")
+                .eq(col("r.name"))
+                .and(col("r.dept").eq(lit("CS"))),
+        )
+        .project(&["s.name", "s.major"])
+        .build();
+        let join_on = rel("Student")
+            .rename("s")
+            .join_on(
+                rel("Registration").rename("r").build(),
+                col("s.name")
+                    .eq(col("r.name"))
+                    .and(col("r.dept").eq(lit("CS"))),
+            )
+            .project(&["s.name", "s.major"])
+            .build();
+        assert_eq!(fingerprint(&sigma_cross), fingerprint(&join_on));
+    }
+
+    #[test]
+    fn stacked_selections_collapse() {
+        let a = rel("R")
+            .select(col("x").eq(lit(1i64)))
+            .select(col("y").eq(lit(2i64)))
+            .build();
+        let b = rel("R")
+            .select(col("y").eq(lit(2i64)).and(col("x").eq(lit(1i64))))
+            .build();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn selection_folds_through_a_join_with_existing_predicate() {
+        let a = rel("R")
+            .join_on(rel("S").build(), col("a").eq(col("b")))
+            .select(col("c").eq(lit(3i64)))
+            .build();
+        let b = rel("R")
+            .join_on(
+                rel("S").build(),
+                col("c").eq(lit(3i64)).and(col("a").eq(col("b"))),
+            )
+            .build();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        // ... but a σ above a non-join operand stays a σ.
+        let c = rel("R").select(col("x").eq(lit(1i64))).build();
+        assert!(canonical_form(&c).starts_with("select("));
     }
 
     #[test]

@@ -1,8 +1,84 @@
-//! Rendering queries as indented relational-algebra text, used by reports
-//! and error messages.
+//! Rendering queries as indented relational-algebra text (for reports and
+//! error messages) and as the parseable RA surface syntax (for round-trips
+//! through [`crate::parser::parse_query`]).
 
 use crate::ast::Query;
 use std::fmt;
+
+/// Render a query in the RA surface syntax accepted by
+/// [`crate::parser::parse_query`]. Parsing the rendering yields a query with
+/// the same canonical fingerprint (aggregate `count(*)` arguments render as
+/// their desugared `count(1)` form, which the parser also produces for
+/// `count(*)`).
+pub fn to_surface_string(q: &Query) -> String {
+    match q {
+        Query::Relation(n) => n.clone(),
+        Query::Select { input, predicate } => {
+            format!("select[{predicate}]({})", to_surface_string(input))
+        }
+        Query::Project { input, items } => {
+            let items: Vec<String> = items
+                .iter()
+                .map(|i| format!("{} as {}", i.expr, i.alias))
+                .collect();
+            format!(
+                "project[{}]({})",
+                items.join(", "),
+                to_surface_string(input)
+            )
+        }
+        Query::Join {
+            left,
+            right,
+            predicate,
+        } => match predicate {
+            Some(p) => format!(
+                "join[{p}]({}, {})",
+                to_surface_string(left),
+                to_surface_string(right)
+            ),
+            None => format!(
+                "cross({}, {})",
+                to_surface_string(left),
+                to_surface_string(right)
+            ),
+        },
+        Query::Union { left, right } => format!(
+            "union({}, {})",
+            to_surface_string(left),
+            to_surface_string(right)
+        ),
+        Query::Difference { left, right } => format!(
+            "diff({}, {})",
+            to_surface_string(left),
+            to_surface_string(right)
+        ),
+        Query::Rename { input, prefix } => {
+            format!("rename[{prefix}]({})", to_surface_string(input))
+        }
+        Query::GroupBy {
+            input,
+            group_by,
+            aggregates,
+            having,
+        } => {
+            let aggs: Vec<String> = aggregates
+                .iter()
+                .map(|a| format!("{}({}) as {}", a.func.name(), a.arg, a.alias))
+                .collect();
+            let having = match having {
+                Some(h) => format!("; having {h}"),
+                None => String::new(),
+            };
+            format!(
+                "groupby[{}; {}{having}]({})",
+                group_by.join(", "),
+                aggs.join(", "),
+                to_surface_string(input)
+            )
+        }
+    }
+}
 
 /// Wrapper implementing [`fmt::Display`] for a query as an indented tree.
 pub struct QueryTree<'a>(pub &'a Query);
@@ -163,6 +239,48 @@ mod tests {
         assert!(lines[0].starts_with("join"));
         assert!(lines[1].starts_with("  R"));
         assert!(lines[2].starts_with("  S"));
+    }
+
+    #[test]
+    fn surface_string_reparses_to_the_same_fingerprint() {
+        use crate::canonical::fingerprint;
+        use crate::parser::parse_query;
+        let queries = [
+            rel("Student")
+                .rename("s")
+                .join_on(
+                    rel("Registration").rename("r").build(),
+                    col("s.name")
+                        .eq(col("r.name"))
+                        .and(col("r.dept").eq(lit("CS"))),
+                )
+                .project(&["s.name", "s.major"])
+                .build(),
+            rel("Student")
+                .project(&["name"])
+                .difference(rel("Registration").project(&["name"]).build())
+                .build(),
+            rel("Registration")
+                .group_by(
+                    &["dept"],
+                    vec![crate::ast::AggCall::count_star("n")],
+                    Some(col("n").ge(crate::builder::param("cutoff"))),
+                )
+                .build(),
+            rel("R")
+                .select(col("d").eq(lit(ratest_storage::Value::date(1994, 1, 1))))
+                .build(),
+        ];
+        for q in queries {
+            let rendered = to_surface_string(&q);
+            let reparsed = parse_query(&rendered)
+                .unwrap_or_else(|e| panic!("`{rendered}` does not re-parse: {e}"));
+            assert_eq!(
+                fingerprint(&q),
+                fingerprint(&reparsed),
+                "round trip changed `{rendered}`"
+            );
+        }
     }
 
     #[test]

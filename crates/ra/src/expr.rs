@@ -479,7 +479,13 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Column(c) => write!(f, "{c}"),
-            Expr::Literal(Value::Text(s)) => write!(f, "'{s}'"),
+            // `''` escaping keeps the rendering re-parseable by the surface
+            // syntax parser.
+            Expr::Literal(Value::Text(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            // Rendered in the `date 'YYYY-MM-DD'` literal syntax the parser
+            // accepts, rather than as bare `YYYY-MM-DD` (which would re-parse
+            // as subtraction).
+            Expr::Literal(v @ Value::Date(_)) => write!(f, "date '{v}'"),
             Expr::Literal(v) => write!(f, "{v}"),
             Expr::Param(p) => write!(f, "@{p}"),
             Expr::Unary { op, expr } => match op {

@@ -274,11 +274,13 @@ impl Parser {
 
     fn parse_proj_item(&mut self) -> Result<ProjectItem> {
         let expr = self.parse_expr()?;
-        // Optional `as alias`.
+        // Optional `as alias`. Aliases may be dotted (`as s.name`): plans
+        // produced by the SQL frontend keep qualified names through interior
+        // projections so outer scopes still resolve them.
         if let TokenKind::Ident(kw) = &self.peek().kind {
             if kw.eq_ignore_ascii_case("as") {
                 self.advance();
-                let alias = self.parse_ident()?;
+                let alias = self.parse_column_name()?;
                 return Ok(ProjectItem { expr, alias });
             }
         }
@@ -428,6 +430,15 @@ impl Parser {
                 if name.eq_ignore_ascii_case("false") {
                     return Ok(Expr::Literal(Value::Bool(false)));
                 }
+                // `date 'YYYY-MM-DD'` literal.
+                if name.eq_ignore_ascii_case("date") {
+                    if let TokenKind::Str(text) = self.peek().kind.clone() {
+                        self.advance();
+                        return parse_date_literal(&text).map(Expr::Literal).ok_or_else(|| {
+                            self.error(format!("bad date literal '{text}' (expected YYYY-MM-DD)"))
+                        });
+                    }
+                }
                 // Possibly dotted column reference.
                 let mut full = name;
                 while self.check_symbol('.') {
@@ -456,6 +467,18 @@ impl Parser {
     fn peek_keyword(&self, kw: &str) -> bool {
         matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
     }
+}
+
+/// Parse `YYYY-MM-DD` into a [`Value::Date`].
+fn parse_date_literal(text: &str) -> Option<Value> {
+    let mut parts = text.split('-');
+    let year: i32 = parts.next()?.parse().ok()?;
+    let month: u32 = parts.next()?.parse().ok()?;
+    let day: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    Some(Value::date(year, month, day))
 }
 
 #[cfg(test)]

@@ -30,11 +30,16 @@ pub struct AggBasicOptions {
     /// Maximum number of candidate groups to try (ordered by provenance
     /// size, smallest first, as suggested in Section 5.3.2).
     pub max_groups: usize,
+    /// Cooperative cancellation, polled once per candidate group.
+    pub cancel: crate::pipeline::CancelFlag,
 }
 
 impl Default for AggBasicOptions {
     fn default() -> Self {
-        AggBasicOptions { max_groups: 8 }
+        AggBasicOptions {
+            max_groups: 8,
+            cancel: crate::pipeline::CancelFlag::new(),
+        }
     }
 }
 
@@ -63,6 +68,7 @@ pub fn smallest_counterexample_agg_basic(
     let candidates = candidate_group_keys(&p1, &p2, params)?;
     let mut best: Option<Counterexample> = None;
     for key in candidates.into_iter().take(options.max_groups) {
+        options.cancel.check()?;
         match solve_for_group(q1, q2, db, params, &p1, &p2, &key)? {
             Some(cex) => {
                 let better = best.as_ref().map(|b| cex.size() < b.size()).unwrap_or(true);

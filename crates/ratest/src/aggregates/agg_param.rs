@@ -32,6 +32,8 @@ pub struct AggParamOptions {
     pub max_groups: usize,
     /// Extra candidate parameter values to try besides the derived ones.
     pub extra_candidates: Vec<i64>,
+    /// Cooperative cancellation, polled once per candidate group.
+    pub cancel: crate::pipeline::CancelFlag,
 }
 
 impl Default for AggParamOptions {
@@ -39,6 +41,7 @@ impl Default for AggParamOptions {
         AggParamOptions {
             max_groups: 8,
             extra_candidates: vec![0, 1],
+            cancel: crate::pipeline::CancelFlag::new(),
         }
     }
 }
@@ -72,6 +75,7 @@ pub fn smallest_counterexample_agg_param(
     let candidates = candidate_group_keys(&p1, &p2, original_params)?;
     let mut best: Option<Counterexample> = None;
     for key in candidates.into_iter().take(options.max_groups) {
+        options.cancel.check()?;
         if let Some(cex) = solve_group_parameterized(
             q1,
             q2,

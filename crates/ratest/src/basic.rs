@@ -10,7 +10,7 @@
 
 use crate::encode::{encode_provenance, foreign_key_clauses, VarMap};
 use crate::error::{RatestError, Result};
-use crate::pipeline::{SolverStrategy, Timings};
+use crate::pipeline::{CancelFlag, SolverStrategy, Timings};
 use crate::problem::{
     build_counterexample, check_distinguishes, difference_query, Counterexample, Witness,
 };
@@ -34,6 +34,8 @@ pub struct BasicOptions {
     /// of output tuples can be large for very wrong queries; the paper
     /// iterates over all of them, which this default preserves).
     pub max_tuples: usize,
+    /// Cooperative cancellation, polled once per candidate tuple.
+    pub cancel: CancelFlag,
 }
 
 impl Default for BasicOptions {
@@ -41,6 +43,7 @@ impl Default for BasicOptions {
         BasicOptions {
             strategy: SolverStrategy::Optimize,
             max_tuples: usize::MAX,
+            cancel: CancelFlag::new(),
         }
     }
 }
@@ -130,6 +133,7 @@ pub fn smallest_counterexample_from_annotations(
     let solver_start = Instant::now();
     let mut best: Option<Counterexample> = None;
     for (tuple, from_q1) in candidates.into_iter().take(options.max_tuples) {
+        options.cancel.check()?;
         let annotated = if from_q1 {
             ann_q1_minus_q2
         } else {
@@ -255,7 +259,7 @@ mod tests {
             &Params::new(),
             &BasicOptions {
                 strategy: SolverStrategy::Enumerate { max_models: 128 },
-                max_tuples: usize::MAX,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -27,6 +27,9 @@ pub enum RatestError {
     QueriesAgreeOnInstance,
     /// An algorithm-specific precondition failed.
     Unsupported(String),
+    /// The run was cancelled cooperatively (e.g. the grading engine timed the
+    /// job out and asked it to stop consuming CPU).
+    Cancelled,
 }
 
 impl fmt::Display for RatestError {
@@ -45,6 +48,7 @@ impl fmt::Display for RatestError {
                 )
             }
             RatestError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            RatestError::Cancelled => write!(f, "cancelled"),
         }
     }
 }

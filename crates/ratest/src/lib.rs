@@ -62,7 +62,7 @@ pub mod report;
 
 pub use error::{RatestError, Result};
 pub use pipeline::{
-    explain, explain_with_reference, ExplainOutcome, PreparedReference, RatestOptions,
+    explain, explain_with_reference, CancelFlag, ExplainOutcome, PreparedReference, RatestOptions,
     SolverStrategy, Timings,
 };
 pub use problem::{Counterexample, Witness};

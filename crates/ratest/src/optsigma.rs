@@ -11,7 +11,7 @@
 
 use crate::encode::{encode_provenance, foreign_key_clauses, VarMap};
 use crate::error::{RatestError, Result};
-use crate::pipeline::{SolverStrategy, Timings};
+use crate::pipeline::{CancelFlag, SolverStrategy, Timings};
 use crate::problem::{
     build_counterexample, check_distinguishes, difference_query, differing_tuples, Counterexample,
     Witness,
@@ -37,6 +37,8 @@ pub struct OptSigmaOptions {
     pub selection_pushdown: bool,
     /// Which solver strategy to use for the min-ones step.
     pub strategy: SolverStrategy,
+    /// Cooperative cancellation, polled once per witness direction / solve.
+    pub cancel: CancelFlag,
 }
 
 impl Default for OptSigmaOptions {
@@ -44,6 +46,7 @@ impl Default for OptSigmaOptions {
         OptSigmaOptions {
             selection_pushdown: true,
             strategy: SolverStrategy::Optimize,
+            cancel: CancelFlag::new(),
         }
     }
 }
@@ -94,6 +97,7 @@ where
     // single-tuple provenance computations, preserving Optσ's cost profile.
     let mut selection: Option<(TupleSelection, bool)> = None;
     for direction in [from_q1, !from_q1] {
+        options.cancel.check()?;
         if direction != from_q1 && !direction_feasible(q1, q2, &r1, &r2, &tuple, direction) {
             continue;
         }

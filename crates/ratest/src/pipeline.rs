@@ -26,8 +26,46 @@ use ratest_ra::eval::{evaluate_with_params, Params, ResultSet};
 use ratest_ra::typecheck::output_schema;
 use ratest_storage::Database;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shared cooperative-cancellation flag.
+///
+/// Cloning is cheap (an [`Arc`] bump) and every clone observes the same
+/// flag. The counterexample algorithms poll it at their loop boundaries —
+/// once per candidate tuple / candidate group / solve attempt — and bail out
+/// with [`RatestError::Cancelled`], so a caller that abandons a run (e.g.
+/// the grading engine on a per-job timeout) can stop it from consuming CPU.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, uncancelled flag.
+    pub fn new() -> CancelFlag {
+        CancelFlag::default()
+    }
+
+    /// Request cancellation. Every clone of the flag observes it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Return [`RatestError::Cancelled`] when cancellation was requested —
+    /// the one-liner the algorithm loops call.
+    pub fn check(&self) -> Result<()> {
+        if self.is_cancelled() {
+            Err(RatestError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
 
 /// How the min-ones problem is solved (the "solver strategy" axis of
 /// Figure 5).
@@ -102,6 +140,8 @@ pub struct RatestOptions {
     pub selection_pushdown: bool,
     /// Original parameter setting λ for parameterized queries.
     pub parameters: Params,
+    /// Cooperative cancellation flag, polled at algorithm loop boundaries.
+    pub cancel: CancelFlag,
 }
 
 impl Default for RatestOptions {
@@ -111,6 +151,7 @@ impl Default for RatestOptions {
             strategy: SolverStrategy::Optimize,
             selection_pushdown: true,
             parameters: Params::new(),
+            cancel: CancelFlag::new(),
         }
     }
 }
@@ -136,6 +177,7 @@ pub fn explain(
     db: &Database,
     options: &RatestOptions,
 ) -> Result<ExplainOutcome> {
+    options.cancel.check()?;
     let class = classify_pair(q1, q2);
 
     // Fast path: do the queries agree on the instance? (Also validates
@@ -166,6 +208,7 @@ pub fn explain(
     };
 
     let run = |algorithm: Algorithm| -> Result<(Counterexample, Timings)> {
+        options.cancel.check()?;
         match algorithm {
             Algorithm::Basic => smallest_counterexample_basic(
                 q1,
@@ -174,6 +217,7 @@ pub fn explain(
                 &options.parameters,
                 &BasicOptions {
                     strategy: options.strategy,
+                    cancel: options.cancel.clone(),
                     ..Default::default()
                 },
             ),
@@ -185,6 +229,7 @@ pub fn explain(
                 &OptSigmaOptions {
                     selection_pushdown: options.selection_pushdown,
                     strategy: options.strategy,
+                    cancel: options.cancel.clone(),
                 },
             ),
             Algorithm::PolytimeMonotone => {
@@ -198,21 +243,33 @@ pub fn explain(
                 q2,
                 db,
                 &options.parameters,
-                &AggBasicOptions::default(),
+                &AggBasicOptions {
+                    cancel: options.cancel.clone(),
+                    ..Default::default()
+                },
             ),
             Algorithm::AggParam => smallest_counterexample_agg_param(
                 q1,
                 q2,
                 db,
                 &options.parameters,
-                &AggParamOptions::default(),
+                &AggParamOptions {
+                    cancel: options.cancel.clone(),
+                    ..Default::default()
+                },
             ),
             Algorithm::AggOpt => smallest_counterexample_agg_opt(
                 q1,
                 q2,
                 db,
                 &options.parameters,
-                &AggOptOptions::default(),
+                &AggOptOptions {
+                    optsigma: OptSigmaOptions {
+                        cancel: options.cancel.clone(),
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
             ),
             Algorithm::Auto => unreachable!("Auto is resolved above"),
         }
@@ -321,6 +378,7 @@ pub fn explain_with_reference(
     options: &RatestOptions,
 ) -> Result<ExplainOutcome> {
     let q1 = reference.query();
+    options.cancel.check()?;
 
     // A forced algorithm choice overrides the shared dispatch entirely —
     // otherwise the same options would run different algorithms depending on
@@ -401,6 +459,7 @@ pub fn explain_with_reference(
 
     let basic_options = BasicOptions {
         strategy: options.strategy,
+        cancel: options.cancel.clone(),
         ..Default::default()
     };
     match smallest_counterexample_from_annotations(
@@ -628,6 +687,42 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), 3);
         }
+    }
+
+    #[test]
+    fn a_cancelled_run_stops_with_a_typed_error() {
+        let db = testdata::figure1_db();
+        let options = RatestOptions::default();
+        options.cancel.cancel();
+        let err = explain(
+            &testdata::example1_q1(),
+            &testdata::example1_q2(),
+            &db,
+            &options,
+        )
+        .expect_err("the flag was raised before the run started");
+        assert_eq!(err, RatestError::Cancelled);
+
+        // The flag is shared by clones — the grading engine raises it from
+        // the worker thread while the job thread polls its own clone.
+        let flag = CancelFlag::new();
+        let observer = flag.clone();
+        assert!(!observer.is_cancelled());
+        flag.cancel();
+        assert!(observer.is_cancelled());
+        assert_eq!(observer.check(), Err(RatestError::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_interrupts_the_shared_reference_path() {
+        let db = testdata::figure1_db();
+        let reference =
+            PreparedReference::prepare(&testdata::example1_q1(), &db, &Params::new()).unwrap();
+        let options = RatestOptions::default();
+        options.cancel.cancel();
+        let err = explain_with_reference(&reference, &testdata::example1_q2(), &db, &options)
+            .expect_err("cancelled before evaluation");
+        assert_eq!(err, RatestError::Cancelled);
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! The SQL abstract syntax tree.
+//!
+//! Every node keeps the byte [`Span`] of the source text it was parsed from,
+//! so the lowering pass can attach precise locations to name-resolution
+//! diagnostics. Operator enums are shared with `ratest_ra` — the SQL scalar
+//! language is deliberately the same language the RA predicates use.
+
+use crate::error::Span;
+use ratest_ra::ast::AggFunc;
+use ratest_ra::expr::{BinaryOp, UnaryOp};
+use ratest_storage::Value;
+
+/// An identifier as written, with its location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ident {
+    /// The name (case preserved).
+    pub name: String,
+    /// Where it was written.
+    pub span: Span,
+}
+
+/// A full query: one `SELECT` body or a set-operation tree over bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlQuery {
+    /// A single `SELECT ... FROM ... [WHERE] [GROUP BY] [HAVING]` block.
+    Select(Box<SelectStmt>),
+    /// `left UNION|EXCEPT|INTERSECT right` (left-associative).
+    SetOp {
+        /// Which set operation.
+        op: SetOp,
+        /// Left input.
+        left: Box<SqlQuery>,
+        /// Right input.
+        right: Box<SqlQuery>,
+        /// Span of the operator keyword.
+        span: Span,
+    },
+}
+
+impl SqlQuery {
+    /// Span covering the whole query.
+    pub fn span(&self) -> Span {
+        match self {
+            SqlQuery::Select(s) => s.span,
+            SqlQuery::SetOp { left, right, .. } => left.span().to(right.span()),
+        }
+    }
+}
+
+/// Set operations between `SELECT` blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// Set union.
+    Union,
+    /// Set difference.
+    Except,
+    /// Set intersection (desugared to a double difference).
+    Intersect,
+}
+
+/// One `SELECT` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Whether `DISTINCT` was written (a no-op under set semantics, accepted
+    /// for familiarity).
+    pub distinct: bool,
+    /// The projection list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` units in source order: the first carries no join predicate;
+    /// later units joined with `JOIN ... ON` carry one, comma-joined units
+    /// do not.
+    pub from: Vec<FromUnit>,
+    /// The `WHERE` predicate.
+    pub selection: Option<SqlExpr>,
+    /// `GROUP BY` column references.
+    pub group_by: Vec<SqlExpr>,
+    /// The `HAVING` predicate.
+    pub having: Option<SqlExpr>,
+    /// Span of the whole block.
+    pub span: Span,
+}
+
+/// One item of the projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — keep every column of the `FROM` plan.
+    Star {
+        /// Where the `*` was written.
+        span: Span,
+    },
+    /// An expression, optionally `AS`-aliased.
+    Expr {
+        /// The expression.
+        expr: SqlExpr,
+        /// The alias, when written.
+        alias: Option<Ident>,
+    },
+}
+
+/// One unit of the `FROM` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromUnit {
+    /// The table or derived-table source.
+    pub source: TableSource,
+    /// Optional alias (`Student s` / `... AS s`).
+    pub alias: Option<Ident>,
+    /// `ON` predicate when this unit was attached with `JOIN ... ON`;
+    /// `None` for the first unit and comma-joined units (cross product).
+    pub on: Option<SqlExpr>,
+}
+
+/// A `FROM` source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableSource {
+    /// A base relation by name.
+    Relation(Ident),
+    /// A parenthesized derived table.
+    Subquery {
+        /// The subquery.
+        query: Box<SqlQuery>,
+        /// Span of the parenthesized text.
+        span: Span,
+    },
+}
+
+impl TableSource {
+    /// Span of the source text.
+    pub fn span(&self) -> Span {
+        match self {
+            TableSource::Relation(i) => i.span,
+            TableSource::Subquery { span, .. } => *span,
+        }
+    }
+}
+
+/// A scalar (or quantified) SQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// A possibly-qualified column reference.
+    Column {
+        /// Optional qualifier (`s` in `s.name`).
+        qualifier: Option<Ident>,
+        /// The column name.
+        name: Ident,
+        /// Span of the full reference.
+        span: Span,
+    },
+    /// A literal value.
+    Literal {
+        /// The value.
+        value: Value,
+        /// Where it was written.
+        span: Span,
+    },
+    /// A query parameter `@name`.
+    Param {
+        /// The parameter name (without `@`).
+        name: String,
+        /// Where it was written.
+        span: Span,
+    },
+    /// Unary operation (`NOT`, unary minus).
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<SqlExpr>,
+        /// Span of the whole expression.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<SqlExpr>,
+        /// Right operand.
+        right: Box<SqlExpr>,
+        /// Span of the whole expression.
+        span: Span,
+    },
+    /// An aggregate call: `COUNT(*)`, `SUM(expr)`, ...
+    Agg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The argument; `None` for `COUNT(*)`.
+        arg: Option<Box<SqlExpr>>,
+        /// Span of the call.
+        span: Span,
+    },
+    /// `expr [NOT] IN (SELECT ...)` — uncorrelated subqueries only.
+    InSubquery {
+        /// The probe expression.
+        expr: Box<SqlExpr>,
+        /// The subquery (must produce one column).
+        subquery: Box<SqlQuery>,
+        /// Whether `NOT IN`.
+        negated: bool,
+        /// Span of the whole predicate.
+        span: Span,
+    },
+    /// `[NOT] EXISTS (SELECT ...)` — uncorrelated subqueries only.
+    Exists {
+        /// The subquery.
+        subquery: Box<SqlQuery>,
+        /// Whether `NOT EXISTS`.
+        negated: bool,
+        /// Span of the whole predicate.
+        span: Span,
+    },
+}
+
+impl SqlExpr {
+    /// Span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            SqlExpr::Column { span, .. }
+            | SqlExpr::Literal { span, .. }
+            | SqlExpr::Param { span, .. }
+            | SqlExpr::Unary { span, .. }
+            | SqlExpr::Binary { span, .. }
+            | SqlExpr::Agg { span, .. }
+            | SqlExpr::InSubquery { span, .. }
+            | SqlExpr::Exists { span, .. } => *span,
+        }
+    }
+
+    /// Whether the expression contains an aggregate call anywhere.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            SqlExpr::Agg { .. } => true,
+            SqlExpr::Column { .. } | SqlExpr::Literal { .. } | SqlExpr::Param { .. } => false,
+            SqlExpr::Unary { expr, .. } => expr.has_aggregate(),
+            SqlExpr::Binary { left, right, .. } => left.has_aggregate() || right.has_aggregate(),
+            // Subquery bodies have their own aggregate scope.
+            SqlExpr::InSubquery { expr, .. } => expr.has_aggregate(),
+            SqlExpr::Exists { .. } => false,
+        }
+    }
+
+    /// The column reference rendered as written (`s.name` or `name`).
+    pub fn column_text(qualifier: &Option<Ident>, name: &Ident) -> String {
+        match qualifier {
+            Some(q) => format!("{}.{}", q.name, name.name),
+            None => name.name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_propagate_through_nesting() {
+        let col = SqlExpr::Column {
+            qualifier: None,
+            name: Ident {
+                name: "x".into(),
+                span: Span::new(4, 5),
+            },
+            span: Span::new(4, 5),
+        };
+        let lit = SqlExpr::Literal {
+            value: Value::Int(1),
+            span: Span::new(8, 9),
+        };
+        let bin = SqlExpr::Binary {
+            op: BinaryOp::Eq,
+            left: Box::new(col),
+            right: Box::new(lit),
+            span: Span::new(4, 9),
+        };
+        assert_eq!(bin.span(), Span::new(4, 9));
+        assert!(!bin.has_aggregate());
+    }
+
+    #[test]
+    fn aggregate_detection_nests() {
+        let agg = SqlExpr::Agg {
+            func: AggFunc::Count,
+            arg: None,
+            span: Span::default(),
+        };
+        let sum = SqlExpr::Binary {
+            op: BinaryOp::Ge,
+            left: Box::new(agg),
+            right: Box::new(SqlExpr::Literal {
+                value: Value::Int(2),
+                span: Span::default(),
+            }),
+            span: Span::default(),
+        };
+        assert!(sum.has_aggregate());
+    }
+}

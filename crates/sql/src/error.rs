@@ -1,0 +1,311 @@
+//! First-class SQL diagnostics: every error carries the byte span of the
+//! offending source text, and name-resolution errors carry "did you mean"
+//! hints computed against the catalog, so a grading report can show a student
+//! exactly where their submission went wrong *before* it is ever graded.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the SQL source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first byte of the offending text.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// The frontend phase that rejected the submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lexer,
+    /// Syntax analysis.
+    Parse,
+    /// Name resolution / lowering against the catalog.
+    Resolve,
+}
+
+impl Phase {
+    /// Lowercase name, matching the `errors/<phase>_*.sql` fixture prefix.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Lexer => "lexer",
+            Phase::Parse => "parse",
+            Phase::Resolve => "resolve",
+        }
+    }
+}
+
+/// A diagnostic produced while parsing or lowering a SQL submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// The tokenizer hit a malformed token.
+    Lex {
+        /// What went wrong.
+        message: String,
+        /// Where.
+        span: Span,
+    },
+    /// The parser hit an unexpected token.
+    Parse {
+        /// What was expected / found.
+        message: String,
+        /// Where.
+        span: Span,
+    },
+    /// A `FROM` item names a relation the catalog does not have.
+    UnknownRelation {
+        /// The name as written.
+        name: String,
+        /// Where it was written.
+        span: Span,
+        /// Closest catalog relation, when one is plausibly intended.
+        hint: Option<String>,
+    },
+    /// A column reference does not resolve in its scope.
+    UnknownColumn {
+        /// The reference as written (possibly qualified).
+        name: String,
+        /// Where it was written.
+        span: Span,
+        /// The columns that were in scope.
+        available: Vec<String>,
+        /// Closest in-scope column, when one is plausibly intended.
+        hint: Option<String>,
+    },
+    /// A column reference matches several in-scope columns.
+    AmbiguousColumn {
+        /// The reference as written.
+        name: String,
+        /// Where it was written.
+        span: Span,
+        /// The columns it matched.
+        candidates: Vec<String>,
+    },
+    /// The statement uses a shape the SPJUDA lowering does not support
+    /// (correlated subquery, multi-column `IN` list, ...).
+    Unsupported {
+        /// What is unsupported and why.
+        message: String,
+        /// Where.
+        span: Span,
+    },
+}
+
+impl SqlError {
+    /// The span of the offending source text.
+    pub fn span(&self) -> Span {
+        match self {
+            SqlError::Lex { span, .. }
+            | SqlError::Parse { span, .. }
+            | SqlError::UnknownRelation { span, .. }
+            | SqlError::UnknownColumn { span, .. }
+            | SqlError::AmbiguousColumn { span, .. }
+            | SqlError::Unsupported { span, .. } => *span,
+        }
+    }
+
+    /// Which frontend phase produced the diagnostic.
+    pub fn phase(&self) -> Phase {
+        match self {
+            SqlError::Lex { .. } => Phase::Lexer,
+            SqlError::Parse { .. } => Phase::Parse,
+            _ => Phase::Resolve,
+        }
+    }
+
+    /// Stable machine-readable kind, used by the error-fixture tests and the
+    /// JSON report.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SqlError::Lex { .. } => "lex",
+            SqlError::Parse { .. } => "parse",
+            SqlError::UnknownRelation { .. } => "unknown_relation",
+            SqlError::UnknownColumn { .. } => "unknown_column",
+            SqlError::AmbiguousColumn { .. } => "ambiguous_column",
+            SqlError::Unsupported { .. } => "unsupported",
+        }
+    }
+
+    /// Render the diagnostic against its source: message plus a caret line
+    /// pointing at the offending text.
+    pub fn render(&self, source: &str) -> String {
+        let span = self.span();
+        let start = span.start.min(source.len());
+        let line_start = source[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = source[start..]
+            .find('\n')
+            .map(|i| start + i)
+            .unwrap_or(source.len());
+        let line_no = source[..start].matches('\n').count() + 1;
+        let col = start - line_start + 1;
+        let line = &source[line_start..line_end];
+        let width = span.end.min(line_end).saturating_sub(start).max(1);
+        format!(
+            "error[{}]: {self}\n  --> line {line_no}, column {col}\n   | {line}\n   | {}{}",
+            self.kind(),
+            " ".repeat(col - 1),
+            "^".repeat(width),
+        )
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { message, span } => write!(f, "{message} (at {span})"),
+            SqlError::Parse { message, span } => write!(f, "{message} (at {span})"),
+            SqlError::UnknownRelation { name, span, hint } => {
+                write!(f, "unknown relation `{name}` (at {span})")?;
+                if let Some(h) = hint {
+                    write!(f, "; did you mean `{h}`?")?;
+                }
+                Ok(())
+            }
+            SqlError::UnknownColumn {
+                name,
+                span,
+                available,
+                hint,
+            } => {
+                write!(f, "unknown column `{name}` (at {span})")?;
+                if let Some(h) = hint {
+                    write!(f, "; did you mean `{h}`?")?;
+                } else if !available.is_empty() {
+                    write!(f, "; in scope: {}", available.join(", "))?;
+                }
+                Ok(())
+            }
+            SqlError::AmbiguousColumn {
+                name,
+                span,
+                candidates,
+            } => write!(
+                f,
+                "ambiguous column `{name}` (at {span}); candidates: {}",
+                candidates.join(", ")
+            ),
+            SqlError::Unsupported { message, span } => write!(f, "{message} (at {span})"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Levenshtein edit distance, used for "did you mean" hints.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate within a name-length-proportional edit budget —
+/// case-insensitive, so `student` suggests `Student`.
+pub(crate) fn did_you_mean<'a, I>(name: &str, candidates: I) -> Option<String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let budget = (name.chars().count() / 3).max(1) + 1;
+    let lower = name.to_ascii_lowercase();
+    candidates
+        .into_iter()
+        .map(|c| (edit_distance(&lower, &c.to_ascii_lowercase()), c))
+        .filter(|(d, _)| *d <= budget)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_join_and_display() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(a.to(b), b.to(a));
+        assert_eq!(a.to_string(), "3..7");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("same", "same"), 0);
+    }
+
+    #[test]
+    fn did_you_mean_suggests_close_names_only() {
+        let cands = ["Student", "Registration"];
+        assert_eq!(
+            did_you_mean("Studnet", cands.iter().copied()),
+            Some("Student".into())
+        );
+        assert_eq!(
+            did_you_mean("student", cands.iter().copied()),
+            Some("Student".into())
+        );
+        assert_eq!(did_you_mean("Professor", cands.iter().copied()), None);
+    }
+
+    #[test]
+    fn render_points_at_the_offending_text() {
+        let src = "SELECT name\nFROM Studnet";
+        let err = SqlError::UnknownRelation {
+            name: "Studnet".into(),
+            span: Span::new(17, 24),
+            hint: Some("Student".into()),
+        };
+        let out = err.render(src);
+        assert!(out.contains("line 2, column 6"), "{out}");
+        assert!(out.contains("^^^^^^^"), "{out}");
+        assert!(out.contains("did you mean `Student`?"), "{out}");
+    }
+
+    #[test]
+    fn kinds_and_phases_are_stable() {
+        let e = SqlError::Lex {
+            message: String::new(),
+            span: Span::default(),
+        };
+        assert_eq!(e.kind(), "lex");
+        assert_eq!(e.phase().name(), "lexer");
+        let e = SqlError::Unsupported {
+            message: String::new(),
+            span: Span::default(),
+        };
+        assert_eq!(e.kind(), "unsupported");
+        assert_eq!(e.phase().name(), "resolve");
+    }
+}

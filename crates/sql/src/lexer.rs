@@ -1,0 +1,337 @@
+//! Hand-rolled SQL tokenizer with byte-span tokens.
+//!
+//! Keywords are not distinguished lexically — the parser matches identifiers
+//! case-insensitively — so relation and column names that happen to collide
+//! with keywords in other dialects keep working. Line comments start with
+//! `--`; string literals are single-quoted with `''` escaping; `DATE
+//! 'YYYY-MM-DD'` literals are handled in the parser (the lexer just yields
+//! the `DATE` identifier followed by a string).
+
+use crate::error::{Span, SqlError};
+
+/// A lexical token plus the byte span it was read from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (matched case-insensitively by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// Query parameter: `@name`.
+    Param(String),
+    /// Operator: `= <> != < <= > >= + - / *`.
+    Op(&'static str),
+    /// Punctuation: `( ) , .`.
+    Punct(char),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Int(i) => format!("`{i}`"),
+            TokenKind::Float(x) => format!("`{x}`"),
+            TokenKind::Str(s) => format!("'{s}'"),
+            TokenKind::Param(p) => format!("`@{p}`"),
+            TokenKind::Op(op) => format!("`{op}`"),
+            TokenKind::Punct(c) => format!("`{c}`"),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenize SQL source into a span-carrying token stream (ending in `Eof`).
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace and `--` comments.
+        loop {
+            match bytes.get(pos) {
+                Some(c) if c.is_ascii_whitespace() => pos += 1,
+                Some(b'-') if bytes.get(pos + 1) == Some(&b'-') => {
+                    while let Some(&c) = bytes.get(pos) {
+                        pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let start = pos;
+        let Some(&c) = bytes.get(pos) else {
+            out.push(Token {
+                kind: TokenKind::Eof,
+                span: Span::new(start, start),
+            });
+            return Ok(out);
+        };
+        let kind = match c {
+            b'(' | b')' | b',' | b'.' => {
+                pos += 1;
+                TokenKind::Punct(c as char)
+            }
+            b'*' => {
+                pos += 1;
+                TokenKind::Op("*")
+            }
+            b'+' => {
+                pos += 1;
+                TokenKind::Op("+")
+            }
+            b'-' => {
+                pos += 1;
+                TokenKind::Op("-")
+            }
+            b'/' => {
+                pos += 1;
+                TokenKind::Op("/")
+            }
+            b'=' => {
+                pos += 1;
+                TokenKind::Op("=")
+            }
+            b'!' => {
+                pos += 1;
+                if bytes.get(pos) == Some(&b'=') {
+                    pos += 1;
+                    TokenKind::Op("!=")
+                } else {
+                    return Err(SqlError::Lex {
+                        message: "unexpected `!` (use `<>` or `!=`)".into(),
+                        span: Span::new(start, pos),
+                    });
+                }
+            }
+            b'<' => {
+                pos += 1;
+                match bytes.get(pos) {
+                    Some(&b'=') => {
+                        pos += 1;
+                        TokenKind::Op("<=")
+                    }
+                    Some(&b'>') => {
+                        pos += 1;
+                        TokenKind::Op("<>")
+                    }
+                    _ => TokenKind::Op("<"),
+                }
+            }
+            b'>' => {
+                pos += 1;
+                if bytes.get(pos) == Some(&b'=') {
+                    pos += 1;
+                    TokenKind::Op(">=")
+                } else {
+                    TokenKind::Op(">")
+                }
+            }
+            b'\'' => {
+                pos += 1;
+                // Copy whole segments between quote bytes as &str slices so
+                // multi-byte UTF-8 text survives intact (a continuation byte
+                // never equals the ASCII quote, so splitting on `'` is safe).
+                let mut s = String::new();
+                let mut segment = pos;
+                loop {
+                    match bytes.get(pos) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                message: "unterminated string literal".into(),
+                                span: Span::new(start, pos),
+                            })
+                        }
+                        Some(&b'\'') if bytes.get(pos + 1) == Some(&b'\'') => {
+                            s.push_str(&input[segment..pos]);
+                            s.push('\'');
+                            pos += 2;
+                            segment = pos;
+                        }
+                        Some(&b'\'') => {
+                            s.push_str(&input[segment..pos]);
+                            pos += 1;
+                            break;
+                        }
+                        Some(_) => pos += 1,
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            b'@' => {
+                pos += 1;
+                let ident_start = pos;
+                while bytes
+                    .get(pos)
+                    .map(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                    .unwrap_or(false)
+                {
+                    pos += 1;
+                }
+                if pos == ident_start {
+                    return Err(SqlError::Lex {
+                        message: "expected parameter name after `@`".into(),
+                        span: Span::new(start, pos),
+                    });
+                }
+                TokenKind::Param(input[ident_start..pos].to_owned())
+            }
+            c if c.is_ascii_digit() => {
+                while bytes.get(pos).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                    pos += 1;
+                }
+                let mut is_float = false;
+                if bytes.get(pos) == Some(&b'.')
+                    && bytes
+                        .get(pos + 1)
+                        .map(|c| c.is_ascii_digit())
+                        .unwrap_or(false)
+                {
+                    is_float = true;
+                    pos += 1;
+                    while bytes.get(pos).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                        pos += 1;
+                    }
+                }
+                let text = &input[start..pos];
+                if is_float {
+                    text.parse::<f64>()
+                        .map(TokenKind::Float)
+                        .map_err(|e| SqlError::Lex {
+                            message: format!("bad float literal: {e}"),
+                            span: Span::new(start, pos),
+                        })?
+                } else {
+                    text.parse::<i64>()
+                        .map(TokenKind::Int)
+                        .map_err(|_| SqlError::Lex {
+                            message: format!("integer literal `{text}` overflows i64"),
+                            span: Span::new(start, pos),
+                        })?
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                while bytes
+                    .get(pos)
+                    .map(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                    .unwrap_or(false)
+                {
+                    pos += 1;
+                }
+                TokenKind::Ident(input[start..pos].to_owned())
+            }
+            _ => {
+                // Decode the actual (possibly multi-byte) character for the
+                // message and span the whole thing.
+                let ch = input[start..].chars().next().expect("byte at start");
+                return Err(SqlError::Lex {
+                    message: format!("unexpected character `{ch}`"),
+                    span: Span::new(start, start + ch.len_utf8()),
+                });
+            }
+        };
+        out.push(Token {
+            kind,
+            span: Span::new(start, pos),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_a_select_statement() {
+        let ks = kinds("SELECT s.name FROM Student s WHERE s.major = 'CS'");
+        assert_eq!(ks[0], TokenKind::Ident("SELECT".into()));
+        assert!(ks.contains(&TokenKind::Punct('.')));
+        assert!(ks.contains(&TokenKind::Op("=")));
+        assert!(ks.contains(&TokenKind::Str("CS".into())));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn spans_cover_the_source_text() {
+        let toks = tokenize("SELECT nm").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 6));
+        assert_eq!(toks[1].span, Span::new(7, 9));
+        assert_eq!(toks[2].span, Span::new(9, 9)); // Eof
+    }
+
+    #[test]
+    fn non_ascii_string_literals_survive_intact() {
+        let ks = kinds("'José' 'naïve ☕'");
+        assert_eq!(ks[0], TokenKind::Str("José".into()));
+        assert_eq!(ks[1], TokenKind::Str("naïve ☕".into()));
+        // Outside a string, a non-ASCII character is a spanned lex error
+        // naming the real character.
+        let err = tokenize("a ☕ b").unwrap_err();
+        assert!(err.to_string().contains('☕'), "{err}");
+        assert_eq!(err.span(), Span::new(2, 2 + '☕'.len_utf8()));
+    }
+
+    #[test]
+    fn comments_strings_numbers_params() {
+        let ks = kinds("-- header\n42 2.5 'it''s' @cutoff");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(2.5),
+                TokenKind::Str("it's".into()),
+                TokenKind::Param("cutoff".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_including_two_char_forms() {
+        let ks = kinds("a <> b <= c >= d != e < f > g");
+        let ops: Vec<&str> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Op(o) => Some(*o),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec!["<>", "<=", ">=", "!=", "<", ">"]);
+    }
+
+    #[test]
+    fn lex_errors_carry_spans() {
+        let err = tokenize("a ? b").unwrap_err();
+        assert_eq!(err.span(), Span::new(2, 3));
+        assert_eq!(err.kind(), "lex");
+        let err = tokenize("'open").unwrap_err();
+        assert_eq!(err.span().start, 0);
+        assert!(tokenize("@ x").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

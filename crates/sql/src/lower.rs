@@ -1,0 +1,706 @@
+//! Name-resolving lowering from the SQL AST to the SPJUDA relational
+//! algebra of `ratest_ra`.
+//!
+//! The lowering is schema-directed: every scalar expression is resolved
+//! against the schema of the plan built so far (computed with the same
+//! `ratest_ra::typecheck` rules the evaluator uses), and every column
+//! reference is rewritten to the schema's canonical column name. Resolution
+//! failures become spanned [`SqlError`] diagnostics with "did you mean"
+//! hints, so a malformed submission is rejected *before* grading with a
+//! message that points at the offending source text.
+//!
+//! ## Desugarings
+//!
+//! * `FROM a, b` → cross join; `JOIN b ON p` → θ-join.
+//! * Table aliases (and derived tables with aliases) become ρ (rename)
+//!   operators, exactly like the course RA's `rename[s](Student)`.
+//! * `WHERE` splits into top-level conjuncts: plain conjuncts form one σ;
+//!   each uncorrelated `IN` / `EXISTS` conjunct becomes a semijoin-style
+//!   join-project plan, and the `NOT` forms subtract that plan with a
+//!   difference — SPJUD only, no new operators.
+//! * `GROUP BY` / aggregate select items / `HAVING` become one γ operator;
+//!   aggregates appearing only in `HAVING` are added as hidden aggregate
+//!   columns and projected away afterwards.
+//! * `UNION` / `EXCEPT` map to ∪ / −; `INTERSECT a b` desugars to
+//!   `a − (a − b)`.
+
+use crate::ast::{FromUnit, Ident, SelectItem, SelectStmt, SetOp, SqlExpr, SqlQuery, TableSource};
+use crate::error::{did_you_mean, Span, SqlError};
+use ratest_ra::ast::{AggCall, AggFunc, ProjectItem, Query};
+use ratest_ra::expr::Expr;
+use ratest_ra::typecheck::output_schema;
+use ratest_ra::QueryError;
+use ratest_storage::{Database, Schema};
+use std::sync::Arc;
+
+/// Lower a parsed SQL query to a relational-algebra query, resolving names
+/// against the relations of `db`.
+pub fn lower(query: &SqlQuery, db: &Database) -> Result<Query, SqlError> {
+    let mut ctx = Lowerer { db, fresh: 0 };
+    let (plan, _) = ctx.lower_query(query)?;
+    Ok(plan)
+}
+
+struct Lowerer<'a> {
+    db: &'a Database,
+    /// Counter for generated rename prefixes (`__sq0`, `__sq1`, ...).
+    fresh: usize,
+}
+
+impl Lowerer<'_> {
+    fn schema_of(&self, plan: &Query, span: Span) -> Result<Schema, SqlError> {
+        output_schema(plan, self.db).map_err(|e| SqlError::Unsupported {
+            message: format!("cannot type the lowered plan: {e}"),
+            span,
+        })
+    }
+
+    fn lower_query(&mut self, q: &SqlQuery) -> Result<(Query, Schema), SqlError> {
+        match q {
+            SqlQuery::Select(s) => self.lower_select(s),
+            SqlQuery::SetOp {
+                op,
+                left,
+                right,
+                span,
+            } => {
+                let (lq, ls) = self.lower_query(left)?;
+                let (rq, rs) = self.lower_query(right)?;
+                if !ls.union_compatible(&rs) {
+                    let name = match op {
+                        SetOp::Union => "UNION",
+                        SetOp::Except => "EXCEPT",
+                        SetOp::Intersect => "INTERSECT",
+                    };
+                    return Err(SqlError::Unsupported {
+                        message: format!("{name} operands have incompatible schemas: {ls} vs {rs}"),
+                        span: *span,
+                    });
+                }
+                let plan = match op {
+                    SetOp::Union => Query::Union {
+                        left: Arc::new(lq),
+                        right: Arc::new(rq),
+                    },
+                    SetOp::Except => Query::Difference {
+                        left: Arc::new(lq),
+                        right: Arc::new(rq),
+                    },
+                    // a ∩ b  ≡  a − (a − b)
+                    SetOp::Intersect => {
+                        let l = Arc::new(lq);
+                        Query::Difference {
+                            left: l.clone(),
+                            right: Arc::new(Query::Difference {
+                                left: l,
+                                right: Arc::new(rq),
+                            }),
+                        }
+                    }
+                };
+                Ok((plan, ls))
+            }
+        }
+    }
+
+    fn lower_select(&mut self, s: &SelectStmt) -> Result<(Query, Schema), SqlError> {
+        // ---- FROM ----
+        // Pass 1: resolve every unit's source and schema, then decide which
+        // unaliased base relations need an automatic table-name qualifier: a
+        // unit is prefixed only when one of its column names collides with
+        // another unit's (so `FROM Student, Registration` qualifies both —
+        // their `name` columns collide — while `FROM orders, lineitem` stays
+        // bare, matching hand-written RA over disjoint schemas).
+        let mut resolved = Vec::with_capacity(s.from.len());
+        for unit in &s.from {
+            resolved.push(self.resolve_from_unit(unit)?);
+        }
+        let preliminary: Vec<Vec<String>> = resolved
+            .iter()
+            .map(|(_, schema, alias, _)| match alias {
+                Some(a) => schema.qualified(a).names().map(str::to_owned).collect(),
+                None => schema.names().map(str::to_owned).collect(),
+            })
+            .collect();
+        let units: Vec<(Query, Schema)> = resolved
+            .into_iter()
+            .enumerate()
+            .map(|(i, (base, schema, alias, auto_prefix))| {
+                let prefix = alias.or_else(|| {
+                    let auto = auto_prefix?;
+                    let collides = preliminary[i].iter().any(|name| {
+                        preliminary
+                            .iter()
+                            .enumerate()
+                            .any(|(j, other)| j != i && other.contains(name))
+                    });
+                    collides.then_some(auto)
+                });
+                match prefix {
+                    Some(prefix) => {
+                        let qualified = schema.qualified(&prefix);
+                        (
+                            Query::Rename {
+                                input: Arc::new(base),
+                                prefix,
+                            },
+                            qualified,
+                        )
+                    }
+                    None => (base, schema),
+                }
+            })
+            .collect();
+
+        // Pass 2: fold the units into a join tree, lowering each ON
+        // predicate against the schema accumulated so far.
+        let mut acc: Option<(Query, Schema)> = None;
+        for (unit, (uq, us)) in s.from.iter().zip(units) {
+            acc = Some(match acc {
+                None => (uq, us),
+                Some((pq, ps)) => {
+                    let joined = ps.concat(&us);
+                    let predicate = match &unit.on {
+                        Some(on) => Some(self.lower_scalar(on, &joined)?),
+                        None => None,
+                    };
+                    (
+                        Query::Join {
+                            left: Arc::new(pq),
+                            right: Arc::new(uq),
+                            predicate,
+                        },
+                        joined,
+                    )
+                }
+            });
+        }
+        let (mut plan, mut schema) = acc.expect("the parser requires at least one FROM unit");
+
+        // ---- WHERE ----
+        if let Some(selection) = &s.selection {
+            let mut plain: Vec<&SqlExpr> = Vec::new();
+            let mut quantified: Vec<&SqlExpr> = Vec::new();
+            let mut stack = vec![selection];
+            while let Some(e) = stack.pop() {
+                match e {
+                    SqlExpr::Binary {
+                        op: ratest_ra::expr::BinaryOp::And,
+                        left,
+                        right,
+                        ..
+                    } => {
+                        stack.push(right);
+                        stack.push(left);
+                    }
+                    SqlExpr::InSubquery { .. } | SqlExpr::Exists { .. } => quantified.push(e),
+                    other => plain.push(other),
+                }
+            }
+            // Preserve source order of the plain conjuncts (the stack pops
+            // left-to-right already, but collect order is interleaved with
+            // quantified conjuncts; σ conjunction order is canonicalized
+            // away, so only readability is at stake).
+            if !plain.is_empty() {
+                let lowered: Vec<Expr> = plain
+                    .iter()
+                    .map(|e| self.lower_scalar(e, &schema))
+                    .collect::<Result<_, _>>()?;
+                let predicate = Expr::conjunction(lowered).expect("non-empty conjunct list");
+                plan = Query::Select {
+                    input: Arc::new(plan),
+                    predicate,
+                };
+            }
+            for q in quantified {
+                (plan, schema) = self.lower_quantified(q, plan, schema)?;
+            }
+        }
+
+        // ---- GROUP BY / aggregates / HAVING ----
+        let has_agg_items = s
+            .items
+            .iter()
+            .any(|it| matches!(it, SelectItem::Expr { expr, .. } if expr.has_aggregate()));
+        let is_aggregate = !s.group_by.is_empty() || has_agg_items || s.having.is_some();
+
+        if is_aggregate {
+            self.lower_aggregate_select(s, plan, schema)
+        } else {
+            self.lower_plain_select(s, plan, schema)
+        }
+    }
+
+    /// Resolve one `FROM` unit to its base plan and schema, plus the
+    /// explicit alias and (for unaliased base relations) the table name as a
+    /// candidate automatic qualifier — the caller decides whether the
+    /// qualifier is needed based on cross-unit column collisions.
+    #[allow(clippy::type_complexity)]
+    fn resolve_from_unit(
+        &mut self,
+        unit: &FromUnit,
+    ) -> Result<(Query, Schema, Option<String>, Option<String>), SqlError> {
+        let (base, base_schema) = match &unit.source {
+            TableSource::Relation(ident) => match self.db.relation(&ident.name) {
+                Ok(rel) => (Query::Relation(ident.name.clone()), rel.schema().clone()),
+                Err(_) => {
+                    return Err(SqlError::UnknownRelation {
+                        name: ident.name.clone(),
+                        span: ident.span,
+                        hint: did_you_mean(&ident.name, self.db.relation_names()),
+                    })
+                }
+            },
+            TableSource::Subquery { query, .. } => self.lower_query(query)?,
+        };
+        let alias = unit.alias.as_ref().map(|a| a.name.clone());
+        let auto_prefix = match &unit.source {
+            TableSource::Relation(ident) if alias.is_none() => Some(ident.name.clone()),
+            _ => None,
+        };
+        Ok((base, base_schema, alias, auto_prefix))
+    }
+
+    /// Desugar one `[NOT] IN` / `[NOT] EXISTS` conjunct into a semijoin-style
+    /// plan over `plan`, preserving its schema.
+    fn lower_quantified(
+        &mut self,
+        e: &SqlExpr,
+        plan: Query,
+        schema: Schema,
+    ) -> Result<(Query, Schema), SqlError> {
+        let (subquery, negated, probe, span) = match e {
+            SqlExpr::InSubquery {
+                expr,
+                subquery,
+                negated,
+                span,
+            } => (subquery, *negated, Some(expr.as_ref()), *span),
+            SqlExpr::Exists {
+                subquery,
+                negated,
+                span,
+            } => (subquery, *negated, None, *span),
+            _ => unreachable!("caller filters quantified conjuncts"),
+        };
+
+        let (sub_plan, sub_schema) = match self.lower_query(subquery) {
+            Ok(ok) => ok,
+            // A column that does not resolve inside the subquery but would
+            // resolve in the outer scope is a correlated subquery — name the
+            // limitation instead of claiming the column does not exist.
+            Err(SqlError::UnknownColumn { name, span, .. })
+                if Expr::resolve_column(&schema, &name).is_ok() =>
+            {
+                return Err(SqlError::Unsupported {
+                    message: format!(
+                        "correlated subqueries are not supported: `{name}` refers to the outer query"
+                    ),
+                    span,
+                })
+            }
+            Err(other) => return Err(other),
+        };
+
+        let prefix = format!("__sq{}", self.fresh);
+        self.fresh += 1;
+        let renamed = Query::Rename {
+            input: Arc::new(sub_plan),
+            prefix: prefix.clone(),
+        };
+
+        let predicate = match probe {
+            Some(probe_expr) => {
+                if sub_schema.arity() != 1 {
+                    return Err(SqlError::Unsupported {
+                        message: format!(
+                            "IN subquery must produce exactly one column (got {})",
+                            sub_schema.arity()
+                        ),
+                        span: subquery.span(),
+                    });
+                }
+                let probe = self.lower_scalar(probe_expr, &schema)?;
+                let sub_col = format!("{prefix}.{}", sub_schema.column(0).name);
+                Some(probe.eq(Expr::Column(sub_col)))
+            }
+            None => None, // EXISTS: plain cross product
+        };
+
+        let join = Query::Join {
+            left: Arc::new(plan.clone()),
+            right: Arc::new(renamed),
+            predicate,
+        };
+        let keep: Vec<ProjectItem> = schema
+            .names()
+            .map(|n| ProjectItem {
+                expr: Expr::Column(n.to_owned()),
+                alias: n.to_owned(),
+            })
+            .collect();
+        let semi = Query::Project {
+            input: Arc::new(join),
+            items: keep,
+        };
+        let lowered = if negated {
+            Query::Difference {
+                left: Arc::new(plan),
+                right: Arc::new(semi),
+            }
+        } else {
+            semi
+        };
+        let out_schema = self.schema_of(&lowered, span)?;
+        Ok((lowered, out_schema))
+    }
+
+    fn lower_plain_select(
+        &mut self,
+        s: &SelectStmt,
+        plan: Query,
+        schema: Schema,
+    ) -> Result<(Query, Schema), SqlError> {
+        if let Some(star) = s.items.iter().find_map(|it| match it {
+            SelectItem::Star { span } => Some(*span),
+            _ => None,
+        }) {
+            if s.items.len() > 1 {
+                return Err(SqlError::Unsupported {
+                    message: "`*` cannot be mixed with other select items".into(),
+                    span: star,
+                });
+            }
+            // SELECT * keeps the FROM plan as-is (set semantics already
+            // deduplicate, so DISTINCT adds nothing).
+            return Ok((plan, schema));
+        }
+
+        let mut items = Vec::with_capacity(s.items.len());
+        for item in &s.items {
+            let SelectItem::Expr { expr, alias } = item else {
+                unreachable!("stars handled above")
+            };
+            let lowered = self.lower_scalar(expr, &schema)?;
+            let alias = match (alias, &lowered) {
+                (Some(a), _) => a.name.clone(),
+                (None, Expr::Column(name)) => strip_qualifier(name),
+                (None, _) => {
+                    return Err(SqlError::Unsupported {
+                        message: "computed select items need an alias: `expr AS name`".into(),
+                        span: expr.span(),
+                    })
+                }
+            };
+            items.push(ProjectItem {
+                expr: lowered,
+                alias,
+            });
+        }
+        let plan = Query::Project {
+            input: Arc::new(plan),
+            items,
+        };
+        let out = self.schema_of(&plan, s.span)?;
+        Ok((plan, out))
+    }
+
+    fn lower_aggregate_select(
+        &mut self,
+        s: &SelectStmt,
+        plan: Query,
+        schema: Schema,
+    ) -> Result<(Query, Schema), SqlError> {
+        // Resolve the grouping columns to canonical schema names.
+        let mut group_by: Vec<String> = Vec::with_capacity(s.group_by.len());
+        for g in &s.group_by {
+            let lowered = self.lower_scalar(g, &schema)?;
+            match lowered {
+                Expr::Column(name) => group_by.push(name),
+                _ => unreachable!("the parser only accepts column refs in GROUP BY"),
+            }
+        }
+
+        let mut aggregates: Vec<AggCall> = Vec::new();
+        // (source column in the γ output, final output alias) per select item.
+        let mut output_spec: Vec<(String, String)> = Vec::new();
+
+        for item in &s.items {
+            match item {
+                SelectItem::Star { span } => {
+                    return Err(SqlError::Unsupported {
+                        message: "`*` cannot be used with GROUP BY / aggregates".into(),
+                        span: *span,
+                    })
+                }
+                SelectItem::Expr { expr, alias } => match expr {
+                    SqlExpr::Agg { func, arg, span } => {
+                        let call =
+                            self.lower_agg_call(*func, arg.as_deref(), *span, &schema, alias)?;
+                        let out_name = call.alias.clone();
+                        if aggregates.iter().any(|a| a.alias == out_name) {
+                            return Err(SqlError::Unsupported {
+                                message: format!(
+                                    "duplicate aggregate alias `{out_name}` (use AS to disambiguate)"
+                                ),
+                                span: *span,
+                            });
+                        }
+                        aggregates.push(call);
+                        output_spec.push((out_name.clone(), out_name));
+                    }
+                    _ if expr.has_aggregate() => {
+                        return Err(SqlError::Unsupported {
+                            message:
+                                "expressions over aggregates are not supported; select the aggregate directly"
+                                    .into(),
+                            span: expr.span(),
+                        })
+                    }
+                    _ => {
+                        let lowered = self.lower_scalar(expr, &schema)?;
+                        let Expr::Column(name) = &lowered else {
+                            return Err(SqlError::Unsupported {
+                                message: "non-aggregate select items must be grouping columns"
+                                    .into(),
+                                span: expr.span(),
+                            });
+                        };
+                        if !group_by.contains(name) {
+                            return Err(SqlError::Unsupported {
+                                message: format!(
+                                    "column `{name}` must appear in GROUP BY or inside an aggregate"
+                                ),
+                                span: expr.span(),
+                            });
+                        }
+                        let source = strip_qualifier(name);
+                        let alias = alias
+                            .as_ref()
+                            .map(|a| a.name.clone())
+                            .unwrap_or_else(|| source.clone());
+                        output_spec.push((source, alias));
+                    }
+                },
+            }
+        }
+
+        // HAVING: inline aggregate calls are rewritten to references to γ
+        // output columns, adding hidden aggregates when necessary.
+        let visible = aggregates.len();
+        let having_sql = match &s.having {
+            Some(h) => Some(self.rewrite_having(h, &schema, &mut aggregates)?),
+            None => None,
+        };
+
+        let groupby = Query::GroupBy {
+            input: Arc::new(plan),
+            group_by,
+            aggregates: aggregates.clone(),
+            having: None,
+        };
+        let gamma_schema = self.schema_of(&groupby, s.span)?;
+        let having = match having_sql {
+            Some(h) => Some(self.lower_scalar(&h, &gamma_schema)?),
+            None => None,
+        };
+        let Query::GroupBy {
+            input, group_by, ..
+        } = groupby
+        else {
+            unreachable!()
+        };
+        let mut plan = Query::GroupBy {
+            input,
+            group_by,
+            aggregates: aggregates.clone(),
+            having,
+        };
+
+        // Final projection, unless the select list already matches the γ
+        // output exactly (same columns, same order, no hidden aggregates).
+        let gamma_names: Vec<String> = gamma_schema.names().map(str::to_owned).collect();
+        let spec_matches = aggregates.len() == visible
+            && output_spec.len() == gamma_names.len()
+            && output_spec
+                .iter()
+                .zip(&gamma_names)
+                .all(|((src, alias), g)| src == g && alias == g);
+        if !spec_matches {
+            plan = Query::Project {
+                input: Arc::new(plan),
+                items: output_spec
+                    .into_iter()
+                    .map(|(source, alias)| ProjectItem {
+                        expr: Expr::Column(source),
+                        alias,
+                    })
+                    .collect(),
+            };
+        }
+        let out = self.schema_of(&plan, s.span)?;
+        Ok((plan, out))
+    }
+
+    fn lower_agg_call(
+        &mut self,
+        func: AggFunc,
+        arg: Option<&SqlExpr>,
+        span: Span,
+        schema: &Schema,
+        alias: &Option<Ident>,
+    ) -> Result<AggCall, SqlError> {
+        let alias = alias
+            .as_ref()
+            .map(|a| a.name.clone())
+            .unwrap_or_else(|| func.name().to_owned());
+        Ok(match arg {
+            None => AggCall::count_star(alias),
+            Some(a) => {
+                if a.has_aggregate() {
+                    return Err(SqlError::Unsupported {
+                        message: "nested aggregate calls are not supported".into(),
+                        span,
+                    });
+                }
+                AggCall {
+                    func,
+                    arg: self.lower_scalar(a, schema)?,
+                    alias,
+                }
+            }
+        })
+    }
+
+    /// Replace aggregate calls inside a HAVING expression with column
+    /// references to γ outputs, registering hidden aggregates as needed.
+    fn rewrite_having(
+        &mut self,
+        e: &SqlExpr,
+        input_schema: &Schema,
+        aggregates: &mut Vec<AggCall>,
+    ) -> Result<SqlExpr, SqlError> {
+        Ok(match e {
+            SqlExpr::Agg { func, arg, span } => {
+                let call =
+                    self.lower_agg_call(*func, arg.as_deref(), *span, input_schema, &None)?;
+                let alias = match aggregates
+                    .iter()
+                    .find(|a| a.func == call.func && a.arg == call.arg)
+                {
+                    Some(existing) => existing.alias.clone(),
+                    None => {
+                        let hidden = format!("__agg{}", aggregates.len());
+                        aggregates.push(AggCall {
+                            alias: hidden.clone(),
+                            ..call
+                        });
+                        hidden
+                    }
+                };
+                SqlExpr::Column {
+                    qualifier: None,
+                    name: Ident {
+                        name: alias,
+                        span: *span,
+                    },
+                    span: *span,
+                }
+            }
+            SqlExpr::Unary { op, expr, span } => SqlExpr::Unary {
+                op: *op,
+                expr: Box::new(self.rewrite_having(expr, input_schema, aggregates)?),
+                span: *span,
+            },
+            SqlExpr::Binary {
+                op,
+                left,
+                right,
+                span,
+            } => SqlExpr::Binary {
+                op: *op,
+                left: Box::new(self.rewrite_having(left, input_schema, aggregates)?),
+                right: Box::new(self.rewrite_having(right, input_schema, aggregates)?),
+                span: *span,
+            },
+            SqlExpr::InSubquery { span, .. } | SqlExpr::Exists { span, .. } => {
+                return Err(SqlError::Unsupported {
+                    message: "subqueries are not supported in HAVING".into(),
+                    span: *span,
+                })
+            }
+            other => other.clone(),
+        })
+    }
+
+    /// Lower a scalar expression, resolving every column reference against
+    /// `schema` and rewriting it to the canonical schema column name.
+    fn lower_scalar(&mut self, e: &SqlExpr, schema: &Schema) -> Result<Expr, SqlError> {
+        match e {
+            SqlExpr::Column {
+                qualifier,
+                name,
+                span,
+            } => {
+                let written = SqlExpr::column_text(qualifier, name);
+                match Expr::resolve_column(schema, &written) {
+                    Ok(idx) => Ok(Expr::Column(schema.column(idx).name.clone())),
+                    Err(QueryError::AmbiguousColumn { candidates, .. }) => {
+                        Err(SqlError::AmbiguousColumn {
+                            name: written,
+                            span: *span,
+                            candidates,
+                        })
+                    }
+                    Err(_) => {
+                        let available: Vec<String> = schema.names().map(str::to_owned).collect();
+                        // Suggest against full names and their unqualified
+                        // suffixes, whichever is closer to what was written.
+                        let hint = did_you_mean(
+                            &written,
+                            schema
+                                .names()
+                                .flat_map(|n| [n, n.rsplit_once('.').map_or(n, |(_, s)| s)]),
+                        );
+                        Err(SqlError::UnknownColumn {
+                            name: written,
+                            span: *span,
+                            available,
+                            hint,
+                        })
+                    }
+                }
+            }
+            SqlExpr::Literal { value, .. } => Ok(Expr::Literal(value.clone())),
+            SqlExpr::Param { name, .. } => Ok(Expr::Param(name.clone())),
+            SqlExpr::Unary { op, expr, .. } => Ok(Expr::Unary {
+                op: *op,
+                expr: Box::new(self.lower_scalar(expr, schema)?),
+            }),
+            SqlExpr::Binary {
+                op, left, right, ..
+            } => Ok(Expr::Binary {
+                op: *op,
+                left: Box::new(self.lower_scalar(left, schema)?),
+                right: Box::new(self.lower_scalar(right, schema)?),
+            }),
+            SqlExpr::Agg { span, .. } => Err(SqlError::Unsupported {
+                message: "aggregate calls are only allowed in SELECT items and HAVING".into(),
+                span: *span,
+            }),
+            SqlExpr::InSubquery { span, .. } | SqlExpr::Exists { span, .. } => {
+                Err(SqlError::Unsupported {
+                    message: "IN/EXISTS subqueries must be top-level conjuncts of WHERE".into(),
+                    span: *span,
+                })
+            }
+        }
+    }
+}
+
+/// `s.name` → `name` (the output naming SQL result sets use).
+fn strip_qualifier(name: &str) -> String {
+    name.rsplit_once('.')
+        .map(|(_, last)| last.to_owned())
+        .unwrap_or_else(|| name.to_owned())
+}

@@ -1,0 +1,902 @@
+//! Recursive-descent parser for the supported SQL dialect.
+//!
+//! ## Grammar (informal)
+//!
+//! ```text
+//! query      := select ( ('union' | 'except' | 'intersect') select )*
+//! select     := 'select' ['distinct'] items 'from' from_list
+//!               ['where' expr] ['group' 'by' columns] ['having' expr]
+//! items      := '*' | item (',' item)*
+//! item       := expr ['as'] ident | agg
+//! from_list  := unit ( ',' unit | 'join' unit 'on' expr )*
+//! unit       := ident [['as'] ident] | '(' query ')' [['as'] ident]
+//! agg        := ('count'|'sum'|'avg'|'min'|'max') '(' ('*' | expr) ')'
+//! expr       := or-expression over and/or/not, comparisons, [not] in
+//!               (subquery), [not] exists (subquery), arithmetic + - * /,
+//!               literals (ints, decimals, 'strings', date 'YYYY-MM-DD',
+//!               true/false), column refs and @parameters
+//! ```
+//!
+//! Keywords are matched case-insensitively and are not reserved: a table may
+//! be called `Course` even though `count` is an aggregate. Bare aliases are
+//! accepted everywhere `AS` is.
+
+use crate::ast::{FromUnit, Ident, SelectItem, SelectStmt, SetOp, SqlExpr, SqlQuery, TableSource};
+use crate::error::{Span, SqlError};
+use crate::lexer::{tokenize, Token, TokenKind};
+use ratest_ra::ast::AggFunc;
+use ratest_ra::expr::{BinaryOp, UnaryOp};
+use ratest_storage::Value;
+
+/// Parse one SQL query (a `SELECT` or a set-operation tree).
+pub fn parse_sql(input: &str) -> Result<SqlQuery, SqlError> {
+    let mut p = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
+    let q = p.parse_query()?;
+    match p.peek().kind {
+        TokenKind::Eof => Ok(q),
+        ref other => Err(p.error(format!("trailing input: {}", other.describe()))),
+    }
+}
+
+/// Keywords that terminate an expression or clause; a bare alias may not
+/// collide with them.
+const CLAUSE_KEYWORDS: &[&str] = &[
+    "from",
+    "where",
+    "group",
+    "having",
+    "union",
+    "except",
+    "intersect",
+    "join",
+    "on",
+    "as",
+    "select",
+    "and",
+    "or",
+    "not",
+    "in",
+    "exists",
+    "distinct",
+    "by",
+];
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            message: message.into(),
+            span: self.peek().span,
+        }
+    }
+
+    /// Whether the next token is the given keyword (case-insensitive).
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consume the given keyword if present.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<Span, SqlError> {
+        if self.at_keyword(kw) {
+            Ok(self.advance().span)
+        } else {
+            Err(self.error(format!(
+                "expected `{}`, found {}",
+                kw.to_ascii_uppercase(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(&self.peek().kind, TokenKind::Punct(p) if *p == c)
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.at_punct(c) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<Span, SqlError> {
+        if self.at_punct(c) {
+            Ok(self.advance().span)
+        } else {
+            Err(self.error(format!(
+                "expected `{c}`, found {}",
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn at_op(&self, op: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Op(o) if *o == op)
+    }
+
+    fn parse_ident(&mut self, what: &str) -> Result<Ident, SqlError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                let span = self.advance().span;
+                Ok(Ident { name, span })
+            }
+            other => Err(self.error(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    // ----- queries -----
+
+    /// `UNION` / `EXCEPT` level (left-associative). `INTERSECT` binds
+    /// tighter, as in standard SQL: `a UNION b INTERSECT c` is
+    /// `a UNION (b INTERSECT c)`.
+    fn parse_query(&mut self) -> Result<SqlQuery, SqlError> {
+        let mut left = self.parse_intersect()?;
+        loop {
+            let op = if self.at_keyword("union") {
+                SetOp::Union
+            } else if self.at_keyword("except") {
+                SetOp::Except
+            } else {
+                break;
+            };
+            let span = self.advance().span;
+            let right = self.parse_intersect()?;
+            left = SqlQuery::SetOp {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    /// `INTERSECT` level (left-associative).
+    fn parse_intersect(&mut self) -> Result<SqlQuery, SqlError> {
+        let mut left = self.parse_select_or_parens()?;
+        while self.at_keyword("intersect") {
+            let span = self.advance().span;
+            let right = self.parse_select_or_parens()?;
+            left = SqlQuery::SetOp {
+                op: SetOp::Intersect,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    /// One operand of a set operation: a `SELECT` block or a parenthesized
+    /// query.
+    fn parse_select_or_parens(&mut self) -> Result<SqlQuery, SqlError> {
+        if self.at_punct('(') {
+            self.advance();
+            let q = self.parse_query()?;
+            self.expect_punct(')')?;
+            return Ok(q);
+        }
+        self.parse_select().map(|s| SqlQuery::Select(Box::new(s)))
+    }
+
+    fn parse_select(&mut self) -> Result<SelectStmt, SqlError> {
+        let start = self.expect_keyword("select")?;
+        let distinct = self.eat_keyword("distinct");
+
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat_punct(',') {
+            items.push(self.parse_select_item()?);
+        }
+
+        self.expect_keyword("from")?;
+        let mut from = vec![self.parse_from_unit(None)?];
+        loop {
+            if self.eat_punct(',') {
+                from.push(self.parse_from_unit(None)?);
+            } else if self.at_keyword("join") {
+                self.advance();
+                let mut unit = self.parse_from_unit(None)?;
+                self.expect_keyword("on")?;
+                unit.on = Some(self.parse_expr()?);
+                from.push(unit);
+            } else {
+                break;
+            }
+        }
+
+        let selection = if self.eat_keyword("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.at_keyword("group") {
+            self.advance();
+            self.expect_keyword("by")?;
+            group_by.push(self.parse_column_ref()?);
+            while self.eat_punct(',') {
+                group_by.push(self.parse_column_ref()?);
+            }
+        }
+
+        let having = if self.eat_keyword("having") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let end = self.tokens[self.pos.saturating_sub(1).min(self.tokens.len() - 1)].span;
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            selection,
+            group_by,
+            having,
+            span: start.to(end),
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, SqlError> {
+        if self.at_op("*") {
+            let span = self.advance().span;
+            return Ok(SelectItem::Star { span });
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_keyword("as") {
+            Some(self.parse_ident("alias after AS")?)
+        } else if let TokenKind::Ident(name) = &self.peek().kind {
+            // Bare alias, as long as it is not a clause keyword.
+            if CLAUSE_KEYWORDS.iter().any(|k| name.eq_ignore_ascii_case(k)) {
+                None
+            } else {
+                Some(self.parse_ident("alias")?)
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_from_unit(&mut self, on: Option<SqlExpr>) -> Result<FromUnit, SqlError> {
+        let source = if self.at_punct('(') {
+            let start = self.advance().span;
+            let query = self.parse_query()?;
+            let end = self.expect_punct(')')?;
+            TableSource::Subquery {
+                query: Box::new(query),
+                span: start.to(end),
+            }
+        } else {
+            TableSource::Relation(self.parse_ident("a table name")?)
+        };
+        let alias = if self.eat_keyword("as") {
+            Some(self.parse_ident("alias after AS")?)
+        } else if let TokenKind::Ident(name) = &self.peek().kind {
+            if CLAUSE_KEYWORDS.iter().any(|k| name.eq_ignore_ascii_case(k)) {
+                None
+            } else {
+                Some(self.parse_ident("alias")?)
+            }
+        } else {
+            None
+        };
+        Ok(FromUnit { source, alias, on })
+    }
+
+    /// A (possibly qualified) column reference, used by `GROUP BY`.
+    fn parse_column_ref(&mut self) -> Result<SqlExpr, SqlError> {
+        if let TokenKind::Ident(name) = &self.peek().kind {
+            if CLAUSE_KEYWORDS.iter().any(|k| name.eq_ignore_ascii_case(k)) {
+                return Err(self.error(format!(
+                    "expected an expression, found keyword `{}`",
+                    name.to_ascii_uppercase()
+                )));
+            }
+        }
+        let first = self.parse_ident("a column name")?;
+        if self.eat_punct('.') {
+            let name = self.parse_ident("a column name after `.`")?;
+            let span = first.span.to(name.span);
+            Ok(SqlExpr::Column {
+                qualifier: Some(first),
+                name,
+                span,
+            })
+        } else {
+            let span = first.span;
+            Ok(SqlExpr::Column {
+                qualifier: None,
+                name: first,
+                span,
+            })
+        }
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    pub(crate) fn parse_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("or") {
+            let right = self.parse_and()?;
+            let span = left.span().to(right.span());
+            left = SqlExpr::Binary {
+                op: BinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("and") {
+            let right = self.parse_not()?;
+            let span = left.span().to(right.span());
+            left = SqlExpr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<SqlExpr, SqlError> {
+        if self.at_keyword("not") {
+            let start = self.advance().span;
+            let inner = self.parse_not()?;
+            let span = start.to(inner.span());
+            // `NOT IN` / `NOT EXISTS` fold into the quantified node itself so
+            // the lowering can pattern-match them directly.
+            return Ok(match inner {
+                SqlExpr::InSubquery {
+                    expr,
+                    subquery,
+                    negated,
+                    ..
+                } => SqlExpr::InSubquery {
+                    expr,
+                    subquery,
+                    negated: !negated,
+                    span,
+                },
+                SqlExpr::Exists {
+                    subquery, negated, ..
+                } => SqlExpr::Exists {
+                    subquery,
+                    negated: !negated,
+                    span,
+                },
+                other => SqlExpr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(other),
+                    span,
+                },
+            });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<SqlExpr, SqlError> {
+        let left = self.parse_additive()?;
+
+        // `[NOT] IN (subquery)`
+        let negated = if self.at_keyword("not") {
+            // Only treat `NOT` as part of `NOT IN` here; a bare trailing NOT
+            // is a syntax error anyway.
+            let save = self.pos;
+            self.advance();
+            if self.at_keyword("in") {
+                true
+            } else {
+                self.pos = save;
+                false
+            }
+        } else {
+            false
+        };
+        if self.at_keyword("in") {
+            let kw = self.advance().span;
+            self.expect_punct('(')?;
+            if !self.at_keyword("select") && !self.at_punct('(') {
+                return Err(SqlError::Parse {
+                    message: "IN expects a subquery: `IN (SELECT ...)`".into(),
+                    span: self.peek().span,
+                });
+            }
+            let subquery = self.parse_query()?;
+            let end = self.expect_punct(')')?;
+            let span = left.span().to(kw).to(end);
+            return Ok(SqlExpr::InSubquery {
+                expr: Box::new(left),
+                subquery: Box::new(subquery),
+                negated,
+                span,
+            });
+        }
+
+        let op = match &self.peek().kind {
+            TokenKind::Op("=") => Some(BinaryOp::Eq),
+            TokenKind::Op("<>") | TokenKind::Op("!=") => Some(BinaryOp::Ne),
+            TokenKind::Op("<") => Some(BinaryOp::Lt),
+            TokenKind::Op("<=") => Some(BinaryOp::Le),
+            TokenKind::Op(">") => Some(BinaryOp::Gt),
+            TokenKind::Op(">=") => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.advance();
+                let right = self.parse_additive()?;
+                let span = left.span().to(right.span());
+                Ok(SqlExpr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    span,
+                })
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = if self.at_op("+") {
+                BinaryOp::Add
+            } else if self.at_op("-") {
+                BinaryOp::Sub
+            } else {
+                break;
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            let span = left.span().to(right.span());
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = if self.at_op("*") {
+                BinaryOp::Mul
+            } else if self.at_op("/") {
+                BinaryOp::Div
+            } else {
+                break;
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            let span = left.span().to(right.span());
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<SqlExpr, SqlError> {
+        if self.at_op("-") {
+            let start = self.advance().span;
+            let inner = self.parse_unary()?;
+            let span = start.to(inner.span());
+            return Ok(SqlExpr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+                span,
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<SqlExpr, SqlError> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Int(i) => {
+                self.advance();
+                Ok(SqlExpr::Literal {
+                    value: Value::Int(i),
+                    span: tok.span,
+                })
+            }
+            TokenKind::Float(x) => {
+                self.advance();
+                Ok(SqlExpr::Literal {
+                    value: Value::double(x),
+                    span: tok.span,
+                })
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(SqlExpr::Literal {
+                    value: Value::Text(s),
+                    span: tok.span,
+                })
+            }
+            TokenKind::Param(p) => {
+                self.advance();
+                Ok(SqlExpr::Param {
+                    name: p,
+                    span: tok.span,
+                })
+            }
+            TokenKind::Punct('(') => {
+                self.advance();
+                let e = self.parse_expr()?;
+                self.expect_punct(')')?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                // EXISTS (subquery)
+                if name.eq_ignore_ascii_case("exists") {
+                    let kw = self.advance().span;
+                    self.expect_punct('(')?;
+                    let subquery = self.parse_query()?;
+                    let end = self.expect_punct(')')?;
+                    return Ok(SqlExpr::Exists {
+                        subquery: Box::new(subquery),
+                        negated: false,
+                        span: kw.to(end),
+                    });
+                }
+                // TRUE / FALSE
+                if name.eq_ignore_ascii_case("true") || name.eq_ignore_ascii_case("false") {
+                    self.advance();
+                    return Ok(SqlExpr::Literal {
+                        value: Value::Bool(name.eq_ignore_ascii_case("true")),
+                        span: tok.span,
+                    });
+                }
+                // DATE 'YYYY-MM-DD'
+                if name.eq_ignore_ascii_case("date") {
+                    if let TokenKind::Str(_) =
+                        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+                    {
+                        let kw = self.advance().span;
+                        let (text, str_span) = match self.advance() {
+                            Token {
+                                kind: TokenKind::Str(s),
+                                span,
+                            } => (s, span),
+                            _ => unreachable!("peeked a string"),
+                        };
+                        let value = parse_date(&text).ok_or(SqlError::Parse {
+                            message: format!("bad date literal '{text}' (expected YYYY-MM-DD)"),
+                            span: str_span,
+                        })?;
+                        return Ok(SqlExpr::Literal {
+                            value,
+                            span: kw.to(str_span),
+                        });
+                    }
+                }
+                // Aggregate call?
+                if let Some(func) = agg_func(&name) {
+                    if self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+                        == TokenKind::Punct('(')
+                    {
+                        let kw = self.advance().span;
+                        self.expect_punct('(')?;
+                        let arg = if self.at_op("*") {
+                            self.advance();
+                            None
+                        } else {
+                            Some(Box::new(self.parse_expr()?))
+                        };
+                        let end = self.expect_punct(')')?;
+                        if func != AggFunc::Count && arg.is_none() {
+                            return Err(SqlError::Parse {
+                                message: format!("{}(*) is only valid for COUNT", func.name()),
+                                span: kw.to(end),
+                            });
+                        }
+                        return Ok(SqlExpr::Agg {
+                            func,
+                            arg,
+                            span: kw.to(end),
+                        });
+                    }
+                }
+                // Plain or qualified column reference.
+                self.parse_column_ref()
+            }
+            other => Err(self.error(format!(
+                "expected an expression, found {}",
+                other.describe()
+            ))),
+        }
+    }
+}
+
+fn agg_func(name: &str) -> Option<AggFunc> {
+    match name.to_ascii_lowercase().as_str() {
+        "count" => Some(AggFunc::Count),
+        "sum" => Some(AggFunc::Sum),
+        "avg" => Some(AggFunc::Avg),
+        "min" => Some(AggFunc::Min),
+        "max" => Some(AggFunc::Max),
+        _ => None,
+    }
+}
+
+/// Parse `YYYY-MM-DD` into a [`Value::Date`].
+fn parse_date(text: &str) -> Option<Value> {
+    let mut parts = text.split('-');
+    let year: i32 = parts.next()?.parse().ok()?;
+    let month: u32 = parts.next()?.parse().ok()?;
+    let day: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    Some(Value::date(year, month, day))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(sql: &str) -> SqlQuery {
+        parse_sql(sql).unwrap()
+    }
+
+    #[test]
+    fn parses_a_basic_select() {
+        let q = parse("SELECT s.name, s.major FROM Student s WHERE s.major = 'CS'");
+        let SqlQuery::Select(s) = q else {
+            panic!("expected select")
+        };
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.from.len(), 1);
+        assert!(s.selection.is_some());
+        assert!(!s.distinct);
+    }
+
+    #[test]
+    fn parses_joins_comma_and_on() {
+        let q = parse(
+            "SELECT * FROM Student s, Registration r JOIN Registration r2 ON r.name = r2.name",
+        );
+        let SqlQuery::Select(s) = q else {
+            panic!("expected select")
+        };
+        assert_eq!(s.from.len(), 3);
+        assert!(s.from[0].on.is_none());
+        assert!(s.from[1].on.is_none());
+        assert!(s.from[2].on.is_some());
+        assert_eq!(s.from[2].alias.as_ref().unwrap().name, "r2");
+    }
+
+    #[test]
+    fn parses_group_by_having_and_aggregates() {
+        let q = parse(
+            "SELECT dept, COUNT(*) AS n, AVG(grade) a FROM Registration \
+             GROUP BY dept HAVING n >= 2 AND AVG(grade) > 80",
+        );
+        let SqlQuery::Select(s) = q else {
+            panic!("expected select")
+        };
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.as_ref().unwrap().has_aggregate());
+        match &s.items[1] {
+            SelectItem::Expr { expr, alias } => {
+                assert!(matches!(
+                    expr,
+                    SqlExpr::Agg {
+                        func: AggFunc::Count,
+                        arg: None,
+                        ..
+                    }
+                ));
+                assert_eq!(alias.as_ref().unwrap().name, "n");
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_set_operations_left_associatively() {
+        let q = parse(
+            "SELECT name FROM Student EXCEPT SELECT name FROM Dropout UNION SELECT name FROM Alum",
+        );
+        let SqlQuery::SetOp { op, left, .. } = q else {
+            panic!("expected set op")
+        };
+        assert_eq!(op, SetOp::Union);
+        assert!(matches!(
+            *left,
+            SqlQuery::SetOp {
+                op: SetOp::Except,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn intersect_binds_tighter_than_union_and_except() {
+        // Standard SQL: a UNION b INTERSECT c  ≡  a UNION (b INTERSECT c).
+        let q = parse(
+            "SELECT name FROM Student UNION SELECT name FROM Alum \
+             INTERSECT SELECT name FROM Dropout",
+        );
+        let SqlQuery::SetOp { op, right, .. } = q else {
+            panic!("expected set op")
+        };
+        assert_eq!(op, SetOp::Union);
+        assert!(matches!(
+            *right,
+            SqlQuery::SetOp {
+                op: SetOp::Intersect,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_subqueries_in_where_and_from() {
+        let q = parse(
+            "SELECT name FROM (SELECT name, major FROM Student) WHERE name IN \
+             (SELECT name FROM Registration WHERE dept = 'CS') AND NOT EXISTS \
+             (SELECT course FROM Registration WHERE dept = 'ART')",
+        );
+        let SqlQuery::Select(s) = q else {
+            panic!("expected select")
+        };
+        assert!(matches!(s.from[0].source, TableSource::Subquery { .. }));
+        let wher = s.selection.unwrap();
+        let SqlExpr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+            ..
+        } = wher
+        else {
+            panic!("expected AND")
+        };
+        assert!(matches!(*left, SqlExpr::InSubquery { negated: false, .. }));
+        assert!(matches!(*right, SqlExpr::Exists { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_not_in() {
+        let q = parse("SELECT name FROM Student WHERE name NOT IN (SELECT name FROM Dropout)");
+        let SqlQuery::Select(s) = q else {
+            panic!("expected select")
+        };
+        assert!(matches!(
+            s.selection.unwrap(),
+            SqlExpr::InSubquery { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_date_literals_params_and_precedence() {
+        let q = parse(
+            "SELECT o_orderkey FROM orders WHERE o_orderdate >= DATE '1994-01-01' \
+             AND o_totalprice + 1 * 2 > @cutoff",
+        );
+        let SqlQuery::Select(s) = q else {
+            panic!("expected select")
+        };
+        let sel = s.selection.unwrap();
+        let SqlExpr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+            ..
+        } = sel
+        else {
+            panic!("expected AND")
+        };
+        match *left {
+            SqlExpr::Binary {
+                op: BinaryOp::Ge,
+                right: date,
+                ..
+            } => {
+                assert!(matches!(
+                    *date,
+                    SqlExpr::Literal {
+                        value: Value::Date(_),
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // 1 * 2 binds tighter than +, which binds tighter than >.
+        match *right {
+            SqlExpr::Binary {
+                op: BinaryOp::Gt,
+                left: sum,
+                right: param,
+                ..
+            } => {
+                assert!(matches!(*param, SqlExpr::Param { .. }));
+                assert!(matches!(
+                    *sum,
+                    SqlExpr::Binary {
+                        op: BinaryOp::Add,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let err = parse_sql("SELECT FROM Student").unwrap_err();
+        assert_eq!(err.kind(), "parse");
+        assert_eq!(err.span().start, 7);
+
+        let err = parse_sql("SELECT name Student").unwrap_err();
+        assert!(err.to_string().contains("FROM"), "{err}");
+
+        let err = parse_sql("SELECT name FROM Student WHERE x IN (1, 2)").unwrap_err();
+        assert!(err.to_string().contains("subquery"), "{err}");
+
+        let err = parse_sql("SELECT name FROM Student extra tokens").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn distinct_and_star() {
+        let q = parse("SELECT DISTINCT * FROM Student");
+        let SqlQuery::Select(s) = q else {
+            panic!("expected select")
+        };
+        assert!(s.distinct);
+        assert!(matches!(s.items[0], SelectItem::Star { .. }));
+    }
+}

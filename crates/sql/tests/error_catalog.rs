@@ -1,0 +1,82 @@
+//! Every fixture under `examples/sql/errors/` must produce exactly the
+//! diagnostic its expectation header promises — same kind, same span start,
+//! and a phase matching its filename prefix.
+//!
+//! Header convention (see `examples/sql/README.md`):
+//!
+//! ```sql
+//! -- expect: <kind> at <needle>
+//! ```
+//!
+//! `<needle>`'s first occurrence after the header line is the expected span
+//! start; `<eof>` means the span starts at end of input.
+
+use ratest_ra::testdata::figure1_db;
+use ratest_sql::compile_sql;
+use std::path::PathBuf;
+
+fn errors_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/sql/errors")
+}
+
+#[test]
+fn every_error_fixture_produces_its_promised_diagnostic() {
+    let db = figure1_db();
+    let mut checked = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(errors_dir())
+        .expect("examples/sql/errors exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "sql"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(&path).unwrap();
+
+        // Parse the expectation header.
+        let header = source.lines().next().unwrap_or_default();
+        let spec = header
+            .strip_prefix("-- expect:")
+            .unwrap_or_else(|| panic!("{name}: missing `-- expect:` header"))
+            .trim();
+        let (kind, needle) = spec
+            .split_once(" at ")
+            .unwrap_or_else(|| panic!("{name}: header must be `<kind> at <needle>`"));
+        let body_start = source.find('\n').map(|i| i + 1).unwrap_or(0);
+        let expected_start = if needle == "<eof>" {
+            source.len()
+        } else {
+            body_start
+                + source[body_start..]
+                    .find(needle)
+                    .unwrap_or_else(|| panic!("{name}: needle `{needle}` not found in body"))
+        };
+
+        let err = compile_sql(&source, &db)
+            .map(|_| ())
+            .expect_err(&format!("{name}: expected a diagnostic, but it compiled"));
+        assert_eq!(err.kind(), kind, "{name}: wrong kind ({err})");
+        assert_eq!(
+            err.span().start,
+            expected_start,
+            "{name}: wrong span start ({err})"
+        );
+
+        // The filename prefix must match the phase of the diagnostic.
+        let phase_prefix = name.split('_').next().unwrap();
+        assert_eq!(
+            err.phase().name(),
+            phase_prefix,
+            "{name}: phase prefix does not match the diagnostic phase"
+        );
+
+        // Rendering against the source must point at the right line.
+        let rendered = err.render(&source);
+        assert!(rendered.contains("-->"), "{name}: rendering lacks location");
+        checked += 1;
+    }
+    assert!(
+        checked >= 7,
+        "the error catalog should cover all phases (found {checked} fixtures)"
+    );
+}

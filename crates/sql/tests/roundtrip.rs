@@ -1,0 +1,78 @@
+//! Round-trip property: lowering SQL, rendering the plan in the RA surface
+//! syntax and re-parsing it must be canonical-fingerprint-stable. This pins
+//! the three representations together — SQL text, RA tree and RA surface
+//! text — which the grader relies on when deduping mixed cohorts.
+
+use proptest::prelude::*;
+use ratest_ra::canonical::fingerprint;
+use ratest_ra::display::to_surface_string;
+use ratest_ra::eval::evaluate;
+use ratest_ra::parser::parse_query;
+use ratest_ra::testdata::figure1_db;
+use ratest_sql::compile_sql;
+
+const DEPTS: [&str; 2] = ["CS", "ECON"];
+const OPS: [&str; 5] = ["=", "<>", "<", ">=", "<="];
+
+/// Build one SQL text from generator draws. Covers plain selects, both join
+/// spellings, aggregates with HAVING, EXCEPT/UNION and IN-subqueries.
+fn render_sql(shape: u8, dept: usize, op: usize, threshold: i64, distinct: bool) -> String {
+    let dept = DEPTS[dept % DEPTS.len()];
+    let op = OPS[op % OPS.len()];
+    let distinct = if distinct { "DISTINCT " } else { "" };
+    match shape % 6 {
+        0 => format!("SELECT {distinct}name, major FROM Student WHERE major = '{dept}'"),
+        1 => format!(
+            "SELECT s.name, s.major FROM Student s JOIN Registration r \
+             ON s.name = r.name AND r.dept = '{dept}' WHERE r.grade {op} {threshold}"
+        ),
+        2 => format!(
+            "SELECT {distinct}s.name FROM Student s, Registration r \
+             WHERE s.name = r.name AND r.grade {op} {threshold}"
+        ),
+        3 => format!(
+            "SELECT name, COUNT(*) AS n FROM Registration WHERE dept = '{dept}' \
+             GROUP BY name HAVING n {op} {threshold}"
+        ),
+        4 => format!(
+            "SELECT name FROM Student EXCEPT \
+             SELECT name FROM Registration WHERE dept = '{dept}'"
+        ),
+        _ => format!(
+            "SELECT name, major FROM Student WHERE name IN \
+             (SELECT name FROM Registration WHERE grade {op} {threshold})"
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// compile(sql) —render→ surface —parse→ plan' must keep the canonical
+    /// fingerprint, and both plans must evaluate identically.
+    #[test]
+    fn surface_round_trip_is_fingerprint_stable(
+        shape in 0u8..6,
+        dept in 0usize..2,
+        op in 0usize..5,
+        threshold in 0i64..101,
+        distinct in 0u8..2,
+    ) {
+        let db = figure1_db();
+        let sql = render_sql(shape, dept, op, threshold, distinct == 1);
+        let lowered = compile_sql(&sql, &db).expect("generated SQL compiles");
+        let rendered = to_surface_string(&lowered);
+        let reparsed = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("`{rendered}` does not re-parse: {e}"));
+        prop_assert_eq!(
+            fingerprint(&lowered),
+            fingerprint(&reparsed),
+            "round trip changed the fingerprint of `{}` (rendered `{}`)",
+            sql,
+            rendered
+        );
+        let a = evaluate(&lowered, &db).expect("lowered plan evaluates");
+        let b = evaluate(&reparsed, &db).expect("re-parsed plan evaluates");
+        prop_assert!(a.set_eq(&b), "round trip changed results of `{}`", sql);
+    }
+}

@@ -1,0 +1,14 @@
+-- [GROUP BY + HAVING inside an IN subquery]
+--
+-- Demonstrates:
+--   - aggregation with a HAVING threshold written directly on COUNT(*)
+--     (the aggregate is hidden: it is added to γ and projected away)
+--   - question 1 rewritten through aggregation: "at least one CS course"
+--     as HAVING COUNT(*) >= 1 — equivalent to join_on.sql
+
+SELECT s.name, s.major
+FROM Student s
+WHERE s.name IN (
+  SELECT name FROM Registration WHERE dept = 'CS'
+  GROUP BY name HAVING COUNT(*) >= 1
+)

@@ -1,0 +1,8 @@
+-- expect: lex at 'CS
+--
+-- The string literal is never closed.
+-- Expected: a lexer diagnostic spanning from the opening quote.
+
+SELECT name, major
+FROM Student
+WHERE major = 'CS

@@ -1,0 +1,9 @@
+-- expect: parse at 'Mary'
+--
+-- IN with a literal list is not part of the supported dialect (only
+-- uncorrelated subqueries can appear after IN).
+-- Expected: a parse diagnostic pointing at the first list element.
+
+SELECT name
+FROM Student
+WHERE name IN ('Mary', 'John')

@@ -1,0 +1,6 @@
+-- expect: parse at <eof>
+--
+-- The statement ends before a FROM clause.
+-- Expected: a parse diagnostic at the end of input asking for FROM.
+
+SELECT name, major

@@ -1,0 +1,9 @@
+-- expect: ambiguous_column at name
+--
+-- Both tables carry a column with this identifier, and the reference in
+-- the select list is unqualified.
+-- Expected: a resolve diagnostic listing the candidate columns.
+
+SELECT name
+FROM Student s, Registration r
+WHERE s.name = r.name

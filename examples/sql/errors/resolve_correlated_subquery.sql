@@ -1,0 +1,11 @@
+-- expect: unsupported at s.name)
+--
+-- The EXISTS subquery references the outer query's alias `s` — a
+-- correlated subquery, which the SPJUDA lowering does not support.
+-- Expected: a resolve diagnostic naming the correlation (not a bogus
+-- "unknown column").
+
+SELECT s.name, s.major
+FROM Student s
+WHERE EXISTS (
+  SELECT r.course FROM Registration r WHERE r.name = s.name)

@@ -1,0 +1,7 @@
+-- expect: unknown_column at nme
+--
+-- The select list misspells the name column.
+-- Expected: a resolve diagnostic with a "did you mean `name`?" hint.
+
+SELECT nme, major
+FROM Student

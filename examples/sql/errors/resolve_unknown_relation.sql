@@ -1,0 +1,7 @@
+-- expect: unknown_relation at Studnet
+--
+-- The FROM clause misspells Student.
+-- Expected: a resolve diagnostic with a "did you mean `Student`?" hint.
+
+SELECT name, major
+FROM Studnet

@@ -1,0 +1,10 @@
+-- [Comma join + WHERE]
+--
+-- Demonstrates:
+--   - FROM with comma-separated tables (cross product) filtered in WHERE
+--   - canonicalization: this file and join_on.sql lower to plans with the
+--     same canonical fingerprint, so the grader explains them once
+
+SELECT s.name, s.major
+FROM Student s, Registration r
+WHERE s.name = r.name AND r.dept = 'CS'

@@ -1,0 +1,11 @@
+-- [Join without the department filter — a classic student error]
+--
+-- Demonstrates:
+--   - the bug: the WHERE clause forgot `r.dept = 'CS'`, so the query
+--     returns students with ANY registration. On an instance where some
+--     student takes only non-CS courses, the grader produces a small
+--     distinguishing counterexample.
+
+SELECT s.name, s.major
+FROM Student s, Registration r
+WHERE s.name = r.name

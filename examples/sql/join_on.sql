@@ -1,0 +1,9 @@
+-- [JOIN ... ON]
+--
+-- Demonstrates:
+--   - explicit θ-join syntax with table aliases
+--   - the instructor's reference answer to course question 1
+--     ("students registered for at least one CS course")
+
+SELECT s.name, s.major
+FROM Student s JOIN Registration r ON s.name = r.name AND r.dept = 'CS'

@@ -1,0 +1,14 @@
+-- [Query parameters]
+--
+-- Demonstrates:
+--   - an @parameter in a HAVING threshold; the grader binds it with
+--     `--param minCS=1` and the parameterized-counterexample algorithm may
+--     re-choose it when explaining a wrong variant
+--   - with minCS = 1 this is equivalent to join_on.sql
+
+SELECT s.name, s.major
+FROM Student s
+WHERE s.name IN (
+  SELECT name FROM Registration WHERE dept = 'CS'
+  GROUP BY name HAVING COUNT(*) >= @minCS
+)

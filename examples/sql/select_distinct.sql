@@ -1,0 +1,7 @@
+-- [SELECT DISTINCT]
+--
+-- Demonstrates:
+--   - DISTINCT is accepted (and is a no-op under the paper's set semantics)
+
+SELECT DISTINCT s.name, s.major
+FROM Student s JOIN Registration r ON s.name = r.name AND r.dept = 'CS'

@@ -1,0 +1,12 @@
+-- [EXCEPT — answering the complementary question]
+--
+-- Demonstrates:
+--   - a set difference between two SELECT blocks
+--   - the bug: this answers question 2 ("no CS course") when the reference
+--     is question 1 ("at least one CS course") — the counterexample shows a
+--     student that one query returns and the other does not
+
+SELECT name, major FROM Student
+EXCEPT
+SELECT s.name, s.major
+FROM Student s JOIN Registration r ON s.name = r.name AND r.dept = 'CS'

@@ -1,0 +1,11 @@
+-- [EXISTS subquery — a classic student error]
+--
+-- Demonstrates:
+--   - an uncorrelated EXISTS (all-or-nothing filter)
+--   - the bug: the subquery is not correlated with the outer student, so
+--     the query returns EVERY student as soon as anyone takes a CS course.
+--     The grader answers with a small counterexample instead of "wrong".
+
+SELECT name, major
+FROM Student
+WHERE EXISTS (SELECT course FROM Registration WHERE dept = 'CS')

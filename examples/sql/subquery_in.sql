@@ -1,0 +1,10 @@
+-- [IN subquery]
+--
+-- Demonstrates:
+--   - an uncorrelated IN subquery desugared to a semijoin-style plan
+--   - semantically equivalent to join_on.sql (graded `correct`), though its
+--     plan shape differs, so it forms its own fingerprint group
+
+SELECT name, major
+FROM Student
+WHERE name IN (SELECT name FROM Registration WHERE dept = 'CS')

@@ -17,7 +17,14 @@ use ratest_suite::ra::testdata;
 /// Every counterexample returned on the course workload must be a verified,
 /// FK-closed sub-instance that the two queries disagree on, and it must be
 /// dramatically smaller than the full instance.
+///
+/// Heavyweight (the 800-tuple instance across all 8 questions takes ~2
+/// minutes in a debug build); CI runs it in release mode via
+/// `cargo test --release --test end_to_end -- --ignored`. The same
+/// machinery is exercised at small scale by `tests/property_based.rs` and
+/// `tests/sql_grading.rs` in the default loop.
 #[test]
+#[ignore = "heavyweight 800-tuple workload; run with --release -- --ignored"]
 fn course_workload_counterexamples_are_valid_and_small() {
     let db = university_database(&UniversityConfig::with_total(800));
     let mut explained = 0usize;
@@ -86,7 +93,13 @@ fn algorithms_agree_on_example1_at_scale() {
 
 /// The TPC-H aggregate pipeline produces small verified counterexamples for
 /// the wrong variants that are detectable at test scale.
+///
+/// Heavyweight (minutes in a debug build — the aggregate provenance over
+/// the TPC-H subset dominates `cargo test`'s wall clock), so it is gated
+/// out of the default tier-1 loop; CI runs it in release mode via
+/// `cargo test --release --test end_to_end -- --ignored`.
 #[test]
+#[ignore = "heavyweight TPC-H aggregates; run with --release -- --ignored"]
 fn tpch_aggregate_counterexamples_are_verified() {
     let db = tpch_database(&TpchConfig::with_scale(0.0008));
     let mut found = 0usize;

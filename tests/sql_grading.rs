@@ -1,0 +1,208 @@
+//! End-to-end SQL grading: ingest the `examples/sql/` catalog (a mixed
+//! `.sql`/`.ra` cohort including the `errors/` fixtures), grade it against
+//! the course question 1 reference, and check the acceptance criteria:
+//!
+//! * equivalent SQL and RA submissions share one canonical fingerprint and
+//!   are explained once,
+//! * wrong submissions get a small verified counterexample,
+//! * malformed submissions get a spanned `SqlError` diagnostic that lands
+//!   in the JSON report as a `rejected` row.
+
+use ratest_grader::{ingest_dir, Grader, GraderConfig, Verdict};
+use ratest_suite::queries::course::q1_some_cs_course;
+use ratest_suite::storage::{DataType, Database, Relation, Schema, Value};
+use std::path::PathBuf;
+
+fn examples_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/sql")
+}
+
+/// A deterministic hidden instance where every wrong example in the catalog
+/// is actually distinguishable: Amy has registrations but no CS course.
+fn hidden_instance() -> Database {
+    let mut student = Relation::new(
+        "Student",
+        Schema::new(vec![("name", DataType::Text), ("major", DataType::Text)]),
+    );
+    student
+        .insert_all(vec![
+            vec![Value::from("Mary"), Value::from("CS")],
+            vec![Value::from("John"), Value::from("ECON")],
+            vec![Value::from("Amy"), Value::from("ART")],
+        ])
+        .unwrap();
+    let mut reg = Relation::new(
+        "Registration",
+        Schema::new(vec![
+            ("name", DataType::Text),
+            ("course", DataType::Text),
+            ("dept", DataType::Text),
+            ("grade", DataType::Int),
+        ]),
+    );
+    reg.insert_all(vec![
+        vec![
+            Value::from("Mary"),
+            Value::from("216"),
+            Value::from("CS"),
+            Value::Int(100),
+        ],
+        vec![
+            Value::from("Mary"),
+            Value::from("230"),
+            Value::from("CS"),
+            Value::Int(75),
+        ],
+        vec![
+            Value::from("John"),
+            Value::from("316"),
+            Value::from("CS"),
+            Value::Int(90),
+        ],
+        vec![
+            Value::from("John"),
+            Value::from("208D"),
+            Value::from("ECON"),
+            Value::Int(88),
+        ],
+        vec![
+            Value::from("Amy"),
+            Value::from("101"),
+            Value::from("ART"),
+            Value::Int(93),
+        ],
+    ])
+    .unwrap();
+    let mut db = Database::new("sql-grading");
+    db.add_relation(student).unwrap();
+    db.add_relation(reg).unwrap();
+    db.constraints_mut()
+        .add_foreign_key("Registration", &["name"], "Student", &["name"]);
+    db
+}
+
+#[test]
+fn the_examples_catalog_grades_end_to_end() {
+    let db = hidden_instance();
+    let cohort = ingest_dir(&examples_dir(), &db).expect("examples/sql is readable");
+    assert!(
+        cohort.entries.len() >= 18,
+        "the catalog has valid and error fixtures (found {})",
+        cohort.entries.len()
+    );
+
+    let mut config = GraderConfig {
+        workers: 2,
+        ..Default::default()
+    };
+    config
+        .options
+        .parameters
+        .insert("minCS".into(), Value::Int(1));
+    let grader = Grader::new(config);
+    let report = grader
+        .grade_cohort("course question 1", &q1_some_cs_course(), &db, &cohort)
+        .expect("the reference grades");
+
+    let verdict = |id: &str| {
+        &report
+            .graded
+            .iter()
+            .find(|g| g.submission_id == id)
+            .unwrap_or_else(|| panic!("missing submission {id}"))
+            .verdict
+    };
+    let fingerprint_of = |id: &str| {
+        report
+            .graded
+            .iter()
+            .find(|g| g.submission_id == id)
+            .unwrap()
+            .fingerprint
+    };
+
+    // Equivalent SQL and RA spellings share one canonical fingerprint...
+    let group = [
+        "join_on.sql",
+        "join_comma.sql",
+        "select_distinct.sql",
+        "ra_reference.ra",
+    ];
+    let fp = fingerprint_of(group[0]);
+    for id in &group {
+        assert_eq!(
+            fingerprint_of(id),
+            fp,
+            "{id} should dedup with {}",
+            group[0]
+        );
+        assert_eq!(verdict(id).tag(), "correct", "{id}");
+    }
+    // ... and the whole group was explained as one unit: 11 parsed files
+    // collapse to 8 distinct fingerprints (the 4 equivalent spellings share
+    // one), each explained by exactly one pipeline run.
+    assert_eq!(report.stats.distinct_groups, 8, "{:?}", report.stats);
+    assert_eq!(report.stats.dedup_hits, 3, "{:?}", report.stats);
+    assert_eq!(
+        report.stats.pipeline_runs, report.stats.distinct_groups,
+        "{:?}",
+        report.stats
+    );
+
+    // Semantically equivalent but structurally different submissions are
+    // still graded correct (their own fingerprint group).
+    for id in ["subquery_in.sql", "agg_having.sql", "param_threshold.sql"] {
+        assert_eq!(verdict(id).tag(), "correct", "{id}");
+        assert_ne!(fingerprint_of(id), fp, "{id} forms its own group");
+    }
+
+    // Wrong submissions get a verified, small counterexample.
+    for id in [
+        "join_missing_filter_wrong.sql",
+        "setop_except_wrong.sql",
+        "subquery_exists_wrong.sql",
+        "ra_wrong_dept.ra",
+    ] {
+        match verdict(id) {
+            Verdict::Wrong { counterexample, .. } => {
+                assert!(
+                    (1..=5).contains(&counterexample.size()),
+                    "{id}: counterexample should be small, got {}",
+                    counterexample.size()
+                );
+                assert!(db.contains_subinstance(counterexample.database()), "{id}");
+            }
+            other => panic!("{id}: expected wrong, got {}", other.tag()),
+        }
+    }
+
+    // Malformed submissions are rejected with a spanned diagnostic.
+    for g in &report.graded {
+        if g.submission_id.starts_with("errors/") {
+            match &g.verdict {
+                Verdict::Rejected { span, phase, .. } => {
+                    assert!(span.is_some(), "{}: missing span", g.submission_id);
+                    assert!(
+                        g.submission_id.starts_with(&format!("errors/{phase}")),
+                        "{}: phase {phase} does not match the fixture prefix",
+                        g.submission_id
+                    );
+                }
+                other => panic!(
+                    "{}: expected rejected, got {}",
+                    g.submission_id,
+                    other.tag()
+                ),
+            }
+        }
+    }
+    assert_eq!(report.stats.rejected, 7);
+
+    // The rejection diagnostics land in the JSON report, spans included.
+    let json = report.to_json();
+    assert!(json.contains("\"verdict\":\"rejected\""));
+    assert!(json.contains("\"span\":["));
+    assert!(json.contains("\"kind\":\"unknown_relation\""));
+    assert!(json.contains("did you mean"));
+    assert!(json.contains("\"rejected\":7"));
+}
