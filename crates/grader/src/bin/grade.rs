@@ -6,6 +6,7 @@
 //! grade <DIR> --reference <N | path.sql | path.ra>
 //!       [--db-tuples N] [--seed N] [--workers N] [--timeout-ms N]
 //!       [--param name=value]... [--json PATH] [--explain ID] [--diagnostics]
+//!       [--shard i/N] [--cache PATH.rvc]
 //! ```
 //!
 //! `<DIR>` is walked recursively; `.sql` files go through the SQL frontend,
@@ -15,6 +16,23 @@
 //! path to a reference query file. The hidden instance is a generated
 //! university database (`--db-tuples`, `--seed`).
 //!
+//! `--cache PATH` persists the verdict cache across invocations: verdicts
+//! are loaded before grading (corrupt records are skipped and reported) and
+//! the newly computed ones are appended afterwards, so a warm re-grade
+//! performs zero counterexample searches. `--shard i/N` grades only the
+//! i-th of N deterministic cohort slices — run one process per shard, then
+//! fuse the artifacts with `grade merge`.
+//!
+//! ## Merge mode: fuse shard artifacts into the class report
+//!
+//! ```text
+//! grade merge <shard.json>... [--json MERGED.json]
+//!             [--cache-in shard.rvc]... [--cache MERGED.rvc]
+//! ```
+//!
+//! The merged report is byte-identical to the one an unsharded run would
+//! have written; the merged cache contains every shard's verdicts, deduped.
+//!
 //! ## Secondary mode: synthetic cohorts for benchmarks / load tests
 //!
 //! ```text
@@ -23,17 +41,25 @@
 //!       [--compare-sequential]
 //! ```
 
-use ratest_grader::{generate_cohort, ingest_dir, CohortConfig, Grader, GraderConfig};
+use ratest_grader::json::Json;
+use ratest_grader::{
+    generate_cohort, ingest_dir, merge_reports, shard_cohort, store, CacheEntry, CohortConfig,
+    Grader, GraderConfig, ShardSpec,
+};
 use ratest_queries::course::course_questions;
 use ratest_ra::ast::Query;
 use ratest_storage::{Database, Value};
-use std::path::PathBuf;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage: grade <DIR> --reference <N|path.sql|path.ra> \
      [--db-tuples N] [--seed N] [--workers N] [--timeout-ms N] \
-     [--param name=value]... [--json PATH] [--explain ID] [--diagnostics]\n\
+     [--param name=value]... [--json PATH] [--explain ID] [--diagnostics] \
+     [--shard i/N] [--cache PATH.rvc]\n\
+       grade merge <shard.json>... [--json MERGED.json] \
+     [--cache-in shard.rvc]... [--cache MERGED.rvc]\n\
        grade --generate [--question 1..8] [--class N] [--db-tuples N] \
      [--seed N] [--workers N] [--timeout-ms N] [--json PATH] [--explain ID] \
      [--compare-sequential]";
@@ -53,9 +79,61 @@ struct Args {
     explain_id: Option<String>,
     diagnostics: bool,
     compare_sequential: bool,
+    /// Grade only this slice of the cohort (directory mode).
+    shard: Option<ShardSpec>,
+    /// Persistent verdict cache to load before and append to after grading.
+    cache_path: Option<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
+/// Arguments of the `merge` subcommand.
+struct MergeArgs {
+    /// Shard report JSON files to fuse.
+    reports: Vec<PathBuf>,
+    /// Where to write the merged report (stdout when absent).
+    json_out: Option<String>,
+    /// Shard verdict cache files to fuse.
+    cache_in: Vec<String>,
+    /// Where to write the merged cache.
+    cache_out: Option<String>,
+}
+
+fn parse_merge_args(rest: impl Iterator<Item = String>) -> Result<MergeArgs, String> {
+    let mut args = MergeArgs {
+        reports: Vec::new(),
+        json_out: None,
+        cache_in: Vec::new(),
+        cache_out: None,
+    };
+    let mut it = rest;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--json" => args.json_out = Some(value("--json")?),
+            "--cache" => args.cache_out = Some(value("--cache")?),
+            "--cache-in" => args.cache_in.push(value("--cache-in")?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag: {other}")),
+            report => args.reports.push(PathBuf::from(report)),
+        }
+    }
+    if args.reports.is_empty() && args.cache_in.is_empty() {
+        return Err(format!(
+            "merge needs shard report files and/or --cache-in files\n{USAGE}"
+        ));
+    }
+    if !args.cache_in.is_empty() && args.cache_out.is_none() {
+        return Err("--cache-in requires --cache <output path>".into());
+    }
+    if args.reports.is_empty() && args.json_out.is_some() {
+        return Err("--json needs shard report files to merge".into());
+    }
+    Ok(args)
+}
+
+fn parse_args(rest: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         dir: None,
         reference: None,
@@ -68,8 +146,10 @@ fn parse_args() -> Result<Args, String> {
         explain_id: None,
         diagnostics: false,
         compare_sequential: false,
+        shard: None,
+        cache_path: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = rest;
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
@@ -96,6 +176,8 @@ fn parse_args() -> Result<Args, String> {
             "--explain" => args.explain_id = Some(value("--explain")?),
             "--diagnostics" => args.diagnostics = true,
             "--compare-sequential" => args.compare_sequential = true,
+            "--shard" => args.shard = Some(value("--shard")?.parse()?),
+            "--cache" => args.cache_path = Some(value("--cache")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -115,6 +197,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.dir.is_some() && args.generate {
         return Err("--generate cannot be combined with a submissions directory".into());
+    }
+    if args.generate && args.shard.is_some() {
+        return Err("--shard applies to directory mode only".into());
     }
     Ok(args)
 }
@@ -145,8 +230,112 @@ fn resolve_reference(spec: &str, db: &Database) -> Result<(String, Query), Strin
     Ok((format!("reference {spec}"), query))
 }
 
+/// Run `grade merge`: fuse shard report JSONs and shard verdict caches.
+fn run_merge(args: MergeArgs) -> ExitCode {
+    if !args.reports.is_empty() {
+        let mut docs = Vec::with_capacity(args.reports.len());
+        for path in &args.reports {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("grade: cannot read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Json::parse(&text) {
+                Ok(doc) => docs.push(doc),
+                Err(e) => {
+                    eprintln!("grade: {} is not a report: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let merged = match merge_reports(&docs) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("grade: merge failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let rendered = merged.render();
+        match &args.json_out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &rendered) {
+                    eprintln!("grade: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                let rows = merged
+                    .get("submissions")
+                    .and_then(Json::as_array)
+                    .map(|a| a.len())
+                    .unwrap_or(0);
+                eprintln!(
+                    "merged {} shard report(s) ({rows} submissions) into {path}",
+                    args.reports.len()
+                );
+            }
+            // The document itself owns stdout (so `grade merge ... >
+            // class.json` is valid JSON); status lines go to stderr.
+            None => println!("{rendered}"),
+        }
+    }
+
+    if let Some(out) = &args.cache_out {
+        let mut entries: Vec<CacheEntry> = Vec::new();
+        for path in &args.cache_in {
+            // `store::load` treats a missing file as an empty cache — right
+            // for the cold-start grading path, wrong for an explicit merge
+            // input, where a typo'd path would silently drop a shard.
+            if !Path::new(path).exists() {
+                eprintln!("grade: --cache-in {path}: no such file");
+                return ExitCode::FAILURE;
+            }
+            match store::load(Path::new(path)) {
+                Ok(loaded) => {
+                    report_skipped(path, &loaded.skipped);
+                    entries.extend(loaded.entries);
+                }
+                Err(e) => {
+                    eprintln!("grade: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let total = entries.len();
+        if let Err(e) = store::write_merged(Path::new(out), &entries) {
+            eprintln!("grade: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "merged {} cache file(s) ({total} records) into {out}",
+            args.cache_in.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn report_skipped(path: &str, skipped: &[store::SkippedRecord]) {
+    for s in skipped {
+        eprintln!(
+            "grade: {path}: skipped corrupt record at line {}: {}",
+            s.line, s.reason
+        );
+    }
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("merge") {
+        argv.next();
+        return match parse_merge_args(argv) {
+            Ok(a) => run_merge(a),
+            Err(e) => {
+                eprintln!("grade: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let args = match parse_args(argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("grade: {e}");
@@ -163,6 +352,28 @@ fn main() -> ExitCode {
         per_job_timeout: Duration::from_millis(args.timeout_ms),
         options,
     });
+
+    // Seed the engine from the persistent verdict cache, remembering which
+    // keys were already on disk so only the fresh ones are appended later.
+    let mut persisted_keys: HashSet<(u64, u64)> = HashSet::new();
+    if let Some(path) = &args.cache_path {
+        match store::load(Path::new(path)) {
+            Ok(loaded) => {
+                report_skipped(path, &loaded.skipped);
+                persisted_keys = loaded
+                    .entries
+                    .iter()
+                    .map(|e| (e.context, e.fingerprint))
+                    .collect();
+                let inserted = grader.preload_cache(loaded.entries);
+                println!("verdict cache: loaded {inserted} record(s) from {path}");
+            }
+            Err(e) => {
+                eprintln!("grade: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let report = if let Some(dir) = &args.dir {
         // Primary mode: grade a directory of .sql/.ra submissions.
@@ -185,13 +396,21 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let cohort = match ingest_dir(dir, &db) {
+        let mut cohort = match ingest_dir(dir, &db) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("grade: cannot read {}: {e}", dir.display());
                 return ExitCode::FAILURE;
             }
         };
+        let total_files = cohort.entries.len();
+        if let Some(spec) = &args.shard {
+            cohort = shard_cohort(&cohort, spec);
+            println!(
+                "shard {spec}: {} of {total_files} submission(s) belong to this shard",
+                cohort.entries.len()
+            );
+        }
         println!(
             "{label}\ncohort: {} files ({} parsed, {} rejected) over a hidden instance of {} tuples (seed {})\n",
             cohort.entries.len(),
@@ -282,6 +501,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("\nwrote JSON report to {path}");
+    }
+
+    // Append-only persistence: records that were already on disk are never
+    // rewritten, only this run's fresh verdicts go out.
+    if let Some(path) = &args.cache_path {
+        let fresh: Vec<CacheEntry> = grader
+            .cache_entries()
+            .into_iter()
+            .filter(|e| !persisted_keys.contains(&(e.context, e.fingerprint)))
+            .collect();
+        if let Err(e) = store::append(Path::new(path), &fresh) {
+            eprintln!("grade: cannot update {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "verdict cache: appended {} new record(s) to {path}",
+            fresh.len()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -97,6 +97,50 @@ impl Grader {
         self.cache.lock().map(|c| c.len()).unwrap_or(0)
     }
 
+    /// Seed the in-memory verdict cache from a persistent store (see
+    /// [`crate::store`]). Entries already present in memory win — the live
+    /// engine is never downgraded by stale disk state. Returns the number of
+    /// entries actually inserted.
+    pub fn preload_cache(
+        &self,
+        entries: impl IntoIterator<Item = crate::store::CacheEntry>,
+    ) -> usize {
+        let mut cache = self.cache.lock().expect("grader cache poisoned");
+        let mut inserted = 0;
+        for e in entries {
+            // Timeouts are never cached in memory; refuse them from disk
+            // too, whatever produced the file.
+            if matches!(e.verdict, Verdict::Timeout { .. }) {
+                continue;
+            }
+            if let std::collections::hash_map::Entry::Vacant(slot) =
+                cache.entry((e.context, e.fingerprint))
+            {
+                slot.insert(e.verdict);
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// Snapshot the cross-batch verdict cache as persistable entries, sorted
+    /// by `(context, fingerprint)` so the snapshot is deterministic.
+    pub fn cache_entries(&self) -> Vec<crate::store::CacheEntry> {
+        let cache = self.cache.lock().expect("grader cache poisoned");
+        let mut out: Vec<crate::store::CacheEntry> = cache
+            .iter()
+            .map(
+                |(&(context, fingerprint), verdict)| crate::store::CacheEntry {
+                    context,
+                    fingerprint,
+                    verdict: verdict.clone(),
+                },
+            )
+            .collect();
+        out.sort_by_key(|e| (e.context, e.fingerprint));
+        out
+    }
+
     /// Hash of everything (besides the submission) a verdict depends on:
     /// the reference query's canonical form, the hidden instance's full
     /// content, and the pipeline options. Batches with different contexts
@@ -124,13 +168,8 @@ impl Grader {
         for (k, v) in params {
             let _ = write!(desc, "|param:{k}={v:?}");
         }
-        // FNV-1a, matching the platform-stable submission fingerprints.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in desc.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
+        // The same platform-stable hash as the submission fingerprints.
+        ratest_ra::canonical::fnv1a(desc.as_bytes())
     }
 
     /// Grade a batch of submissions against one reference query on a hidden
@@ -173,7 +212,7 @@ impl Grader {
         let pipeline_runs = jobs.len();
 
         // Grade the distinct jobs on a bounded worker pool.
-        let fresh = run_jobs(jobs, prepared, Arc::new(db.clone()), &self.config);
+        let fresh = run_jobs(jobs, prepared.clone(), Arc::new(db.clone()), &self.config);
         {
             let mut cache = self.cache.lock().expect("grader cache poisoned");
             for (fp, (v, _)) in &fresh {
@@ -226,6 +265,10 @@ impl Grader {
         );
         Ok(BatchReport {
             label: label.to_owned(),
+            // The ROADMAP `aggprov` gap, surfaced instead of silent: for
+            // aggregate references `PreparedReference.annotation` is `None`
+            // and every pair falls back to the unshared pipeline.
+            shared_annotation: prepared.annotation().is_some(),
             graded,
             stats,
         })
@@ -278,6 +321,7 @@ impl Grader {
         );
         Ok(BatchReport {
             label: label.to_owned(),
+            shared_annotation: inner.shared_annotation,
             graded,
             stats,
         })

@@ -97,27 +97,66 @@ impl IngestedCohort {
     }
 }
 
-/// Read every `.sql` / `.ra` file under `dir` (recursively, in sorted
-/// order) and build a cohort against the schema of `db`.
+/// Read every `.sql` / `.ra` file under `dir` (recursively) and build a
+/// cohort against the schema of `db`.
+///
+/// Entries are ordered by their submission id (the `/`-separated relative
+/// path) — a canonical order every process agrees on, which is what lets
+/// `grade merge` interleave shard rows back into exactly this sequence.
+///
+/// Only directory *enumeration* failures are `Err`: anything wrong with an
+/// individual file — a frontend rejection, a non-UTF-8 or unreadable body —
+/// becomes a [`Verdict::Rejected`] row so one bad submission can never sink
+/// the cohort.
 pub fn ingest_dir(dir: &Path, db: &Database) -> io::Result<IngestedCohort> {
     let mut files = Vec::new();
     collect_files(dir, &mut files)?;
-    files.sort();
+    // The id keeps the extension: `q1.sql` and `q1.ra` in the same
+    // directory are distinct submissions and must not share a report row.
+    let mut ids: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .map(|path| {
+            let id = path
+                .strip_prefix(dir)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace(std::path::MAIN_SEPARATOR, "/");
+            (id, path)
+        })
+        .collect();
+    ids.sort_by(|a, b| a.0.cmp(&b.0));
     let mut cohort = IngestedCohort::default();
-    for path in files {
-        // The id keeps the extension: `q1.sql` and `q1.ra` in the same
-        // directory are distinct submissions and must not share a report
-        // row.
-        let id = path
-            .strip_prefix(dir)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .into_owned();
+    for (id, path) in ids {
         let author = path
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| id.clone());
-        let source = std::fs::read_to_string(&path)?;
+        let source = match std::fs::read(&path) {
+            Ok(bytes) => match String::from_utf8(bytes) {
+                Ok(s) => s,
+                Err(e) => {
+                    let at = e.utf8_error().valid_up_to();
+                    cohort.entries.push(IngestEntry::Rejected(reject_unreadable(
+                        &id,
+                        &author,
+                        format!("submission is not valid UTF-8 (first bad byte at offset {at})"),
+                        "invalid_utf8",
+                        Some((at, at + 1)),
+                    )));
+                    continue;
+                }
+            },
+            Err(e) => {
+                cohort.entries.push(IngestEntry::Rejected(reject_unreadable(
+                    &id,
+                    &author,
+                    format!("submission could not be read: {e}"),
+                    "unreadable",
+                    None,
+                )));
+                continue;
+            }
+        };
         let ext = path
             .extension()
             .map(|e| e.to_ascii_lowercase())
@@ -139,6 +178,29 @@ pub fn ingest_dir(dir: &Path, db: &Database) -> io::Result<IngestedCohort> {
         cohort.entries.push(entry);
     }
     Ok(cohort)
+}
+
+/// A file that never reached a frontend: unreadable bytes are rejected in an
+/// `ingest` phase of their own, with a span when one exists (the offset of
+/// the first invalid byte).
+fn reject_unreadable(
+    id: &str,
+    author: &str,
+    message: String,
+    kind: &str,
+    span: Option<(usize, usize)>,
+) -> RejectedSubmission {
+    RejectedSubmission {
+        id: id.to_owned(),
+        author: author.to_owned(),
+        rendered: message.clone(),
+        verdict: Verdict::Rejected {
+            message,
+            phase: "ingest".into(),
+            kind: kind.into(),
+            span,
+        },
+    }
 }
 
 fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -293,6 +355,86 @@ mod tests {
             other => panic!("unexpected verdict {other:?}"),
         }
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_empty_directory_is_an_empty_cohort_and_still_grades() {
+        let dir = scratch_dir("empty");
+        let db = figure1_db();
+        let cohort = ingest_dir(&dir, &db).unwrap();
+        assert!(cohort.entries.is_empty());
+        assert_eq!(cohort.parsed_count(), 0);
+        assert_eq!(cohort.rejected_count(), 0);
+        // Grading an empty cohort is a report with zero rows, not an error.
+        let report = crate::engine::Grader::new(crate::engine::GraderConfig::default())
+            .grade_cohort("empty", &ratest_ra::testdata::example1_q1(), &db, &cohort)
+            .unwrap();
+        assert_eq!(report.stats.submissions, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_stems_are_distinct_submissions() {
+        let dir = scratch_dir("dupstem");
+        write(&dir, "a.sql", "SELECT name, major FROM Student");
+        write(&dir, "a.ra", "project[name, major](Student)");
+        let db = figure1_db();
+        let cohort = ingest_dir(&dir, &db).unwrap();
+        assert_eq!(cohort.entries.len(), 2);
+        let ids: Vec<&str> = cohort.entries.iter().map(|e| e.id()).collect();
+        assert_eq!(ids, vec!["a.ra", "a.sql"], "extension kept, both present");
+        // Both parsed — and they stay separate report rows even though the
+        // stems (and thus authors) collide.
+        assert_eq!(cohort.parsed_count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_utf8_files_become_spanned_rejections_not_errors() {
+        let dir = scratch_dir("nonutf8");
+        std::fs::write(dir.join("binary.sql"), [0x53, 0x45, 0x4c, 0xff, 0xfe]).unwrap();
+        write(&dir, "fine.sql", "SELECT name, major FROM Student");
+        let db = figure1_db();
+        let cohort = ingest_dir(&dir, &db).expect("one bad file must not sink the cohort");
+        assert_eq!(cohort.entries.len(), 2);
+        assert_eq!(cohort.parsed_count(), 1);
+        let rejected = cohort.rejected();
+        assert_eq!(rejected.len(), 1);
+        match &rejected[0].verdict {
+            Verdict::Rejected {
+                phase, kind, span, ..
+            } => {
+                assert_eq!(phase, "ingest");
+                assert_eq!(kind, "invalid_utf8");
+                assert_eq!(*span, Some((3, 4)), "span points at the first bad byte");
+            }
+            other => panic!("unexpected verdict {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_byte_files_become_rejections_not_panics() {
+        let dir = scratch_dir("zerobyte");
+        write(&dir, "empty.sql", "");
+        write(&dir, "empty.ra", "");
+        let db = figure1_db();
+        let cohort = ingest_dir(&dir, &db).unwrap();
+        assert_eq!(cohort.entries.len(), 2);
+        assert_eq!(cohort.parsed_count(), 0);
+        for r in cohort.rejected() {
+            match &r.verdict {
+                Verdict::Rejected { span, .. } => {
+                    // A span on empty input must stay inside the (empty)
+                    // source, not point past it.
+                    if let Some((start, end)) = span {
+                        assert!(*start == 0 && *end == 0, "{}: span {span:?}", r.id);
+                    }
+                }
+                other => panic!("{}: unexpected verdict {other:?}", r.id),
+            }
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,9 +1,12 @@
-//! A minimal JSON document builder.
+//! A minimal JSON document builder **and parser**.
 //!
 //! The build container has no network access, so `serde_json` is not
-//! available; the class-level report only needs to *emit* JSON, which this
-//! ~100-line writer covers (correct string escaping, stable key order as
-//! inserted).
+//! available. The class-level report needs to *emit* JSON (correct string
+//! escaping, stable key order as inserted), and `grade merge` needs to
+//! *read back* shard reports written by this same writer. The parser keeps
+//! object keys in document order, so re-rendering a parsed document (or any
+//! sub-object, e.g. a submission row lifted into a merged report)
+//! reproduces the original bytes.
 
 use std::fmt::Write as _;
 
@@ -32,6 +35,295 @@ impl Json {
         Json::Str(s.into())
     }
 
+    /// Parse a JSON document. Object key order is preserved.
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            input,
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("end of document"));
+        }
+        Ok(value)
+    }
+
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON parse failure: what was expected and the byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// What the parser expected.
+    pub expected: String,
+    /// Byte offset of the failure.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected {} at byte {}", self.expected, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+    depth: usize,
+}
+
+/// Containers deeper than this are a parse error, not a stack overflow —
+/// the parser recurses per nesting level, and `grade merge` feeds it
+/// arbitrary files. Real reports nest 4 levels.
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn err(&self, expected: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            expected: expected.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.input[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("`{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("a JSON value")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.err(format!("nesting no deeper than {MAX_DEPTH}")))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.enter()?;
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                self.depth -= 1;
+                return Ok(Json::Arr(items));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("`,` or `]`"));
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.enter()?;
+        self.pos += 1; // '{'
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            self.depth -= 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("`:`"));
+            }
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                self.depth -= 1;
+                return Ok(Json::Obj(pairs));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("`,` or `}`"));
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        if !self.eat(b'"') {
+            return Err(self.err("`\"`"));
+        }
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain (unescaped, non-quote) bytes at once.
+            while !matches!(self.bytes.get(self.pos), None | Some(b'"' | b'\\')) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                if !self.input.is_char_boundary(self.pos) {
+                    return Err(self.err("valid UTF-8 string content"));
+                }
+                out.push_str(&self.input[start..self.pos]);
+            }
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .input
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("4 hex digits"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("4 hex digits"))?;
+                            // The writer only emits \u for control chars, so
+                            // surrogate pairs are not supported; reject them
+                            // rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("non-surrogate code point"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("escape character")),
+                    }
+                    self.pos += 1;
+                }
+                None => return Err(self.err("closing `\"`")),
+                _ => unreachable!("loop above stops only at quote/backslash/end"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.eat(b'.') {
+            is_float = true;
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if !self.eat(b'-') {
+                let _ = self.eat(b'+');
+            }
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("a number"))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.err("an integer"))
+        }
+    }
+}
+
+impl Json {
     /// Build an object from key/value pairs.
     pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
@@ -136,5 +428,97 @@ mod tests {
     fn non_finite_floats_become_null() {
         assert_eq!(Json::Float(f64::NAN).render(), "null");
         assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn parse_render_roundtrip_is_byte_identical() {
+        // Everything the report writer can emit must survive a parse →
+        // render cycle byte-for-byte: that is what makes `grade merge`
+        // capable of reproducing the unsharded document exactly.
+        for doc in [
+            r#"{"name":"cohort","size":50,"rate":0.25,"tags":["a",null,true]}"#,
+            r#"{}"#,
+            r#"[]"#,
+            r#"{"nested":{"deep":[1,-2,3.5],"empty":{}},"last":false}"#,
+            "\"a\\\"b\\\\c\\nd\\u0001\"",
+            r#"{"ms":1833.33024,"neg":-0.5,"tiny":0.0000001}"#,
+            r#""unicode: Märy 学生""#,
+        ] {
+            let parsed = Json::parse(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+            assert_eq!(parsed.render(), doc);
+        }
+    }
+
+    #[test]
+    fn parse_preserves_key_order() {
+        let parsed = Json::parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        match &parsed {
+            Json::Obj(pairs) => {
+                let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, vec!["z", "a", "m"]);
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_documents() {
+        let doc = Json::parse(r#"{"stats":{"wrong":3},"rows":[{"id":"a"}],"ok":true}"#).unwrap();
+        assert_eq!(
+            doc.get("stats")
+                .and_then(|s| s.get("wrong"))
+                .and_then(Json::as_i64),
+            Some(3)
+        );
+        assert_eq!(
+            doc.get("rows")
+                .and_then(Json::as_array)
+                .and_then(|r| r[0].get("id"))
+                .and_then(Json::as_str),
+            Some("a")
+        );
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn malformed_documents_are_errors_not_panics() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            r#"{"a" 1}"#,
+            r#"{"a":}"#,
+            "tru",
+            "01x",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "{} trailing",
+            "nan",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail to parse");
+        }
+    }
+
+    #[test]
+    fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000);
+        assert!(Json::parse(&deep).is_err());
+        let mixed = "{\"a\":".repeat(100_000);
+        assert!(Json::parse(&mixed).is_err());
+        // Nesting at the cap still parses; one past it does not.
+        let ok = format!("{}1{}", "[".repeat(128), "]".repeat(128));
+        assert!(Json::parse(&ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(129), "]".repeat(129));
+        assert!(Json::parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn whitespace_between_tokens_is_accepted() {
+        let doc = " {\n\t\"a\" : [ 1 , 2 ] ,\r\n \"b\" : null } ";
+        let parsed = Json::parse(doc).unwrap();
+        assert_eq!(parsed.render(), r#"{"a":[1,2],"b":null}"#);
     }
 }

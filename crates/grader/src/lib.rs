@@ -26,6 +26,18 @@
 //!    concurrently by `workers` threads with a per-job wall-clock timeout, so
 //!    one pathological submission cannot stall the whole class.
 //!
+//! Two more layers take the engine beyond one process:
+//!
+//! 4. **A persistent verdict store** ([`store`]): the cross-batch cache
+//!    serializes to an on-disk, versioned, append-only file keyed by the
+//!    platform-stable FNV-1a canonical fingerprints. A warm re-grade from a
+//!    populated cache performs zero counterexample searches and renders a
+//!    byte-identical JSON report.
+//! 5. **Cohort sharding** ([`shard`]): `grade --shard i/N` grades a
+//!    deterministic slice of the cohort in its own process; `grade merge`
+//!    fuses the shard reports and caches into exactly the unsharded
+//!    artifacts.
+//!
 //! Real-world cohorts come from the [`ingest`] module: a directory of
 //! `.sql` / `.ra` submission files is dispatched by extension through the
 //! `ratest_sql` frontend or the RA surface-syntax parser, with frontend
@@ -45,6 +57,8 @@ pub mod engine;
 pub mod ingest;
 pub mod json;
 pub mod report;
+pub mod shard;
+pub mod store;
 pub mod submission;
 pub mod verdict;
 
@@ -52,5 +66,7 @@ pub use cohort::{generate_cohort, CohortConfig, GeneratedCohort};
 pub use engine::{Grader, GraderConfig, GraderError};
 pub use ingest::{ingest_dir, IngestEntry, IngestedCohort, RejectedSubmission};
 pub use report::{BatchReport, BatchStats};
+pub use shard::{merge_reports, shard_cohort, shard_of, ShardSpec};
+pub use store::{CacheEntry, LoadedCache, SkippedRecord, StoreError};
 pub use submission::{group_by_fingerprint, Submission, SubmissionGroup};
 pub use verdict::{GradedSubmission, Verdict};

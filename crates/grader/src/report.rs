@@ -121,10 +121,134 @@ impl BatchStats {
 pub struct BatchReport {
     /// Batch label (e.g. the question prompt).
     pub label: String,
+    /// Whether the reference's provenance annotation was shared across
+    /// workers. `false` exactly when the reference is an aggregate query
+    /// ([`ratest_core::pipeline::PreparedReference`] has no annotation for
+    /// those — the ROADMAP `aggprov` gap) and every pair paid for its own
+    /// reference annotation.
+    pub shared_annotation: bool,
     /// Per-submission verdicts, in submission order.
     pub graded: Vec<GradedSubmission>,
     /// Aggregate statistics.
     pub stats: BatchStats,
+}
+
+/// The deterministic slice of [`BatchStats`] that goes into the JSON report:
+/// pure functions of the verdict rows, independent of workers, caches and
+/// wall clocks. This is what makes a warm re-grade render byte-identically
+/// to the cold run, and what lets `grade merge` recompute the class totals
+/// from shard rows alone.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ReportCounts {
+    pub submissions: usize,
+    pub distinct_groups: usize,
+    pub dedup_hits: usize,
+    pub correct: usize,
+    pub wrong: usize,
+    pub errors: usize,
+    pub timeouts: usize,
+    pub rejected: usize,
+    pub mean_counterexample_size: f64,
+}
+
+impl ReportCounts {
+    pub(crate) fn from_stats(s: &BatchStats) -> ReportCounts {
+        ReportCounts {
+            submissions: s.submissions,
+            distinct_groups: s.distinct_groups,
+            dedup_hits: s.dedup_hits,
+            correct: s.correct,
+            wrong: s.wrong,
+            errors: s.errors,
+            timeouts: s.timeouts,
+            rejected: s.rejected,
+            mean_counterexample_size: s.mean_counterexample_size,
+        }
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("submissions", Json::Int(self.submissions as i64)),
+            ("distinct_groups", Json::Int(self.distinct_groups as i64)),
+            ("dedup_hits", Json::Int(self.dedup_hits as i64)),
+            ("correct", Json::Int(self.correct as i64)),
+            ("wrong", Json::Int(self.wrong as i64)),
+            ("errors", Json::Int(self.errors as i64)),
+            ("timeouts", Json::Int(self.timeouts as i64)),
+            ("rejected", Json::Int(self.rejected as i64)),
+            (
+                "mean_counterexample_size",
+                Json::Float(self.mean_counterexample_size),
+            ),
+        ])
+    }
+}
+
+/// Assemble the canonical report document. Shared by [`BatchReport::to_json`]
+/// and the shard merger so the two construction paths cannot drift.
+pub(crate) fn report_document(
+    label: &str,
+    shared_annotation: bool,
+    counts: &ReportCounts,
+    rows: Vec<Json>,
+) -> Json {
+    Json::obj(vec![
+        ("label", Json::str(label)),
+        ("shared_annotation", Json::Bool(shared_annotation)),
+        ("stats", counts.to_json()),
+        ("submissions", Json::Arr(rows)),
+    ])
+}
+
+/// Render one graded submission as its canonical JSON row (deterministic
+/// fields only — cache provenance and timings are run-level facts reported
+/// by the text output, not part of the verdict).
+pub(crate) fn row_to_json(g: &GradedSubmission) -> Json {
+    let mut pairs = vec![
+        ("id", Json::str(&g.submission_id)),
+        ("author", Json::str(&g.author)),
+        ("fingerprint", Json::str(format!("{:016x}", g.fingerprint))),
+        ("verdict", Json::str(g.verdict.tag())),
+    ];
+    match &g.verdict {
+        Verdict::Wrong {
+            counterexample,
+            class,
+            algorithm,
+            ..
+        } => {
+            pairs.push((
+                "counterexample_size",
+                Json::Int(counterexample.size() as i64),
+            ));
+            pairs.push(("class", Json::str(class.to_string())));
+            pairs.push(("algorithm", Json::str(format!("{algorithm:?}"))));
+        }
+        Verdict::Error { message } => {
+            pairs.push(("message", Json::str(message)));
+        }
+        Verdict::Timeout { budget } => {
+            pairs.push(("timeout_ms", Json::Float(budget.as_secs_f64() * 1e3)));
+        }
+        Verdict::Rejected {
+            message,
+            phase,
+            kind,
+            span,
+        } => {
+            pairs.push(("message", Json::str(message)));
+            pairs.push(("phase", Json::str(phase)));
+            pairs.push(("kind", Json::str(kind)));
+            if let Some((start, end)) = span {
+                pairs.push((
+                    "span",
+                    Json::Arr(vec![Json::Int(*start as i64), Json::Int(*end as i64)]),
+                ));
+            }
+        }
+        Verdict::Correct => {}
+    }
+    Json::obj(pairs)
 }
 
 impl BatchReport {
@@ -174,6 +298,12 @@ impl BatchReport {
             s.total_grading_time,
             s.reuse_rate() * 100.0
         );
+        if !self.shared_annotation {
+            let _ = writeln!(
+                out,
+                "-- reference annotation not shared (aggregate reference): each pair annotated separately"
+            );
+        }
         out
     }
 
@@ -188,94 +318,21 @@ impl BatchReport {
     }
 
     /// Render the class-level JSON report.
+    ///
+    /// The document is **deterministic**: it contains only facts derivable
+    /// from the verdict rows (no wall-clock times, worker counts or cache
+    /// provenance), so a warm re-grade from a populated verdict cache
+    /// renders byte-identically to the cold run, and merging shard reports
+    /// reproduces the unsharded document exactly. The run-level facts remain
+    /// available on [`BatchReport::stats`] and in [`BatchReport::render_text`].
     pub fn to_json(&self) -> String {
-        let graded: Vec<Json> = self
-            .graded
-            .iter()
-            .map(|g| {
-                let mut pairs = vec![
-                    ("id", Json::str(&g.submission_id)),
-                    ("author", Json::str(&g.author)),
-                    ("fingerprint", Json::str(format!("{:016x}", g.fingerprint))),
-                    ("verdict", Json::str(g.verdict.tag())),
-                    ("from_cache", Json::Bool(g.from_cache)),
-                    (
-                        "grading_ms",
-                        Json::Float(g.grading_time.as_secs_f64() * 1e3),
-                    ),
-                ];
-                match &g.verdict {
-                    Verdict::Wrong {
-                        counterexample,
-                        class,
-                        algorithm,
-                        ..
-                    } => {
-                        pairs.push((
-                            "counterexample_size",
-                            Json::Int(counterexample.size() as i64),
-                        ));
-                        pairs.push(("class", Json::str(class.to_string())));
-                        pairs.push(("algorithm", Json::str(format!("{algorithm:?}"))));
-                    }
-                    Verdict::Error { message } => {
-                        pairs.push(("message", Json::str(message)));
-                    }
-                    Verdict::Timeout { budget } => {
-                        pairs.push(("timeout_ms", Json::Float(budget.as_secs_f64() * 1e3)));
-                    }
-                    Verdict::Rejected {
-                        message,
-                        phase,
-                        kind,
-                        span,
-                    } => {
-                        pairs.push(("message", Json::str(message)));
-                        pairs.push(("phase", Json::str(phase)));
-                        pairs.push(("kind", Json::str(kind)));
-                        if let Some((start, end)) = span {
-                            pairs.push((
-                                "span",
-                                Json::Arr(vec![Json::Int(*start as i64), Json::Int(*end as i64)]),
-                            ));
-                        }
-                    }
-                    Verdict::Correct => {}
-                }
-                Json::obj(pairs)
-            })
-            .collect();
-        let s = &self.stats;
-        Json::obj(vec![
-            ("label", Json::str(&self.label)),
-            (
-                "stats",
-                Json::obj(vec![
-                    ("submissions", Json::Int(s.submissions as i64)),
-                    ("distinct_groups", Json::Int(s.distinct_groups as i64)),
-                    ("dedup_hits", Json::Int(s.dedup_hits as i64)),
-                    ("cache_hits", Json::Int(s.cache_hits as i64)),
-                    ("pipeline_runs", Json::Int(s.pipeline_runs as i64)),
-                    ("workers", Json::Int(s.workers as i64)),
-                    ("correct", Json::Int(s.correct as i64)),
-                    ("wrong", Json::Int(s.wrong as i64)),
-                    ("errors", Json::Int(s.errors as i64)),
-                    ("timeouts", Json::Int(s.timeouts as i64)),
-                    ("rejected", Json::Int(s.rejected as i64)),
-                    ("wall_ms", Json::Float(s.wall_time.as_secs_f64() * 1e3)),
-                    (
-                        "grading_ms",
-                        Json::Float(s.total_grading_time.as_secs_f64() * 1e3),
-                    ),
-                    (
-                        "mean_counterexample_size",
-                        Json::Float(s.mean_counterexample_size),
-                    ),
-                    ("reuse_rate", Json::Float(s.reuse_rate())),
-                ]),
-            ),
-            ("submissions", Json::Arr(graded)),
-        ])
+        let rows: Vec<Json> = self.graded.iter().map(row_to_json).collect();
+        report_document(
+            &self.label,
+            self.shared_annotation,
+            &ReportCounts::from_stats(&self.stats),
+            rows,
+        )
         .render()
     }
 }
@@ -317,10 +374,51 @@ mod tests {
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"submissions\":3"));
-        assert!(json.contains("\"pipeline_runs\":2"));
+        assert!(json.contains("\"distinct_groups\":2"));
         assert!(json.contains("\"verdict\":\"wrong\""));
         assert!(json.contains("\"counterexample_size\":3"));
         assert!(json.contains("\"fingerprint\""));
+        assert!(json.contains("\"shared_annotation\":true"));
+    }
+
+    #[test]
+    fn json_report_is_deterministic_no_volatile_fields() {
+        let report = toy_report();
+        let json = report.to_json();
+        // Wall clocks, worker counts and cache provenance are run-level
+        // facts; their presence would break cold/warm byte-parity.
+        for volatile in [
+            "wall_ms",
+            "grading_ms",
+            "from_cache",
+            "workers",
+            "cache_hits",
+            "pipeline_runs",
+            "reuse_rate",
+        ] {
+            assert!(!json.contains(volatile), "volatile field `{volatile}`");
+        }
+        // Two renders of the same grading are byte-identical.
+        assert_eq!(json, report.to_json());
+    }
+
+    #[test]
+    fn aggregate_references_report_unshared_annotation() {
+        // Regression for the ROADMAP `aggprov` gap: the missing shared
+        // annotation used to be silent (`PreparedReference.annotation` is
+        // `None` for group-by references); the report now states it.
+        let db = testdata::figure1_db();
+        let reference = testdata::example4_q1();
+        let subs = vec![Submission::new("s0", "Ada", testdata::example4_q2())];
+        let report = Grader::new(GraderConfig::default())
+            .grade("avg grade per dept", &reference, &db, &subs)
+            .unwrap();
+        assert!(!report.shared_annotation);
+        assert!(report.to_json().contains("\"shared_annotation\":false"));
+        assert!(report.render_text().contains("annotation not shared"));
+
+        // A SPJUD reference, by contrast, shares its annotation.
+        assert!(toy_report().shared_annotation);
     }
 
     #[test]

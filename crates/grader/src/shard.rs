@@ -1,0 +1,330 @@
+//! Cohort sharding and shard-report merging — the multi-process scaling
+//! path (`grade --shard i/N` … `grade merge`).
+//!
+//! The single-CPU grading container cannot express parallelism with threads
+//! alone; sharding lets N independent processes (or machines) each grade a
+//! deterministic slice of the cohort and write a shard report + verdict
+//! cache, which [`merge_reports`] and [`crate::store::write_merged`] then
+//! fuse into exactly the artifacts the unsharded run would have produced.
+//!
+//! The partition is a pure function of the submission id (FNV-1a of the id,
+//! modulo the shard count) — independent of directory enumeration order,
+//! shard launch order, and of which other files happen to be present — so
+//! re-running a shard is idempotent and adding a straggler file only moves
+//! that file.
+
+use crate::ingest::IngestedCohort;
+use crate::json::Json;
+use crate::report::{report_document, ReportCounts};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+/// One shard of a cohort: 1-based index `i` out of `count` (`--shard i/N`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// 1-based shard index, `1 ≤ index ≤ count`.
+    pub index: usize,
+    /// Total number of shards, ≥ 1.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Construct a validated spec.
+    pub fn new(index: usize, count: usize) -> Result<ShardSpec, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index == 0 || index > count {
+            return Err(format!("shard index must be in 1..={count}, got {index}"));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Whether this shard owns the submission with the given id.
+    pub fn owns(&self, submission_id: &str) -> bool {
+        shard_of(submission_id, self.count) == self.index - 1
+    }
+}
+
+impl FromStr for ShardSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ShardSpec, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("--shard expects i/N (e.g. 1/2), got `{s}`"))?;
+        let index: usize = i
+            .parse()
+            .map_err(|_| format!("invalid shard index `{i}`"))?;
+        let count: usize = n
+            .parse()
+            .map_err(|_| format!("invalid shard count `{n}`"))?;
+        ShardSpec::new(index, count)
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The 0-based shard a submission id belongs to, out of `count`.
+/// [`ratest_ra::canonical::fnv1a`] of the id bytes — the same
+/// platform-stable hash the canonical fingerprints use, so every process
+/// computes the same partition.
+pub fn shard_of(submission_id: &str, count: usize) -> usize {
+    (ratest_ra::canonical::fnv1a(submission_id.as_bytes()) % count.max(1) as u64) as usize
+}
+
+/// Restrict a cohort to the entries a shard owns, preserving their relative
+/// order. With `count == 1` this is the identity partition.
+pub fn shard_cohort(cohort: &IngestedCohort, spec: &ShardSpec) -> IngestedCohort {
+    IngestedCohort {
+        entries: cohort
+            .entries
+            .iter()
+            .filter(|e| spec.owns(e.id()))
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Merge shard report documents (parsed JSON, as written by
+/// [`crate::report::BatchReport::to_json`]) into the class report.
+///
+/// Rows are pooled and re-sorted by submission id — the same order directory
+/// ingestion produces — and the class statistics are recomputed from the
+/// merged rows, so for any shard count the merged document is **byte
+/// identical** to the report of the corresponding unsharded run (pinned by
+/// the conformance suite). Duplicate ids and mismatched labels are merge
+/// errors: they mean the inputs are not shards of one cohort.
+pub fn merge_reports(shards: &[Json]) -> Result<Json, String> {
+    if shards.is_empty() {
+        return Err("nothing to merge: no shard reports given".into());
+    }
+    let mut label: Option<&str> = None;
+    let mut shared_annotation: Option<bool> = None;
+    let mut rows: Vec<&Json> = Vec::new();
+    for (i, shard) in shards.iter().enumerate() {
+        let this_label = shard
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("shard {}: missing `label`", i + 1))?;
+        match label {
+            None => label = Some(this_label),
+            Some(l) if l == this_label => {}
+            Some(l) => {
+                return Err(format!(
+                    "shard {}: label `{this_label}` does not match `{l}` — \
+                     these are not shards of one batch",
+                    i + 1
+                ))
+            }
+        }
+        let this_shared = shard
+            .get("shared_annotation")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("shard {}: missing `shared_annotation`", i + 1))?;
+        match shared_annotation {
+            None => shared_annotation = Some(this_shared),
+            Some(s) if s == this_shared => {}
+            Some(_) => {
+                return Err(format!(
+                    "shard {}: shared_annotation disagrees across shards",
+                    i + 1
+                ))
+            }
+        }
+        let submissions = shard
+            .get("submissions")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("shard {}: missing `submissions` array", i + 1))?;
+        rows.extend(submissions.iter());
+    }
+
+    // Ingestion sorts by id; restoring that order makes the merge agree with
+    // the unsharded run row-for-row.
+    let mut keyed: Vec<(&str, &Json)> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let id = row
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("a submission row is missing `id`")?;
+        keyed.push((id, row));
+    }
+    keyed.sort_by_key(|(id, _)| *id);
+    for w in keyed.windows(2) {
+        if w[0].0 == w[1].0 {
+            return Err(format!(
+                "submission `{}` appears in more than one shard — \
+                 the inputs overlap or a shard ran twice",
+                w[0].0
+            ));
+        }
+    }
+
+    let counts = recompute_counts(&keyed)?;
+    Ok(report_document(
+        label.expect("at least one shard"),
+        shared_annotation.expect("at least one shard"),
+        &counts,
+        keyed.into_iter().map(|(_, row)| row.clone()).collect(),
+    ))
+}
+
+/// Recompute the deterministic class statistics from merged rows. Matches
+/// [`crate::report::BatchStats::collect`] on every field the JSON carries —
+/// including `distinct_groups`, which must be counted over the *merged* row
+/// set (one fingerprint can occur in several shards).
+fn recompute_counts(rows: &[(&str, &Json)]) -> Result<ReportCounts, String> {
+    let mut counts = ReportCounts {
+        submissions: rows.len(),
+        distinct_groups: 0,
+        dedup_hits: 0,
+        correct: 0,
+        wrong: 0,
+        errors: 0,
+        timeouts: 0,
+        rejected: 0,
+        mean_counterexample_size: 0.0,
+    };
+    let mut fingerprints: BTreeSet<&str> = BTreeSet::new();
+    let mut cex_sizes: Vec<usize> = Vec::new();
+    for (id, row) in rows {
+        let verdict = row
+            .get("verdict")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("row `{id}`: missing `verdict`"))?;
+        match verdict {
+            "correct" => counts.correct += 1,
+            "wrong" => {
+                counts.wrong += 1;
+                let size = row
+                    .get("counterexample_size")
+                    .and_then(Json::as_i64)
+                    .filter(|s| *s >= 0)
+                    .ok_or_else(|| {
+                        format!("row `{id}`: missing or negative `counterexample_size`")
+                    })?;
+                cex_sizes.push(size as usize);
+            }
+            "error" => counts.errors += 1,
+            "timeout" => counts.timeouts += 1,
+            "rejected" => counts.rejected += 1,
+            other => return Err(format!("row `{id}`: unknown verdict `{other}`")),
+        }
+        if verdict != "rejected" {
+            let fp = row
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("row `{id}`: missing `fingerprint`"))?;
+            fingerprints.insert(fp);
+        }
+    }
+    counts.distinct_groups = fingerprints.len();
+    counts.dedup_hits = counts
+        .submissions
+        .saturating_sub(counts.rejected)
+        .saturating_sub(counts.distinct_groups);
+    if !cex_sizes.is_empty() {
+        counts.mean_counterexample_size =
+            cex_sizes.iter().sum::<usize>() as f64 / cex_sizes.len() as f64;
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_specs_parse_and_validate() {
+        assert_eq!(
+            "1/2".parse::<ShardSpec>().unwrap(),
+            ShardSpec::new(1, 2).unwrap()
+        );
+        assert_eq!("3/3".parse::<ShardSpec>().unwrap().to_string(), "3/3");
+        for bad in ["0/2", "3/2", "1/0", "x/2", "1-2", "1/", "/2"] {
+            assert!(bad.parse::<ShardSpec>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn the_partition_is_total_and_deterministic() {
+        let ids = ["a.sql", "b.sql", "errors/c.sql", "d.ra", "sub/dir/e.sql"];
+        for count in 1..=4usize {
+            for id in ids {
+                let shard = shard_of(id, count);
+                assert!(shard < count);
+                assert_eq!(shard, shard_of(id, count), "stable across calls");
+                // Exactly one shard owns each id.
+                let owners: Vec<usize> = (1..=count)
+                    .filter(|&i| ShardSpec::new(i, count).unwrap().owns(id))
+                    .collect();
+                assert_eq!(owners.len(), 1, "{id} with {count} shards");
+                assert_eq!(owners[0] - 1, shard);
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_owns_everything() {
+        let spec = ShardSpec::new(1, 1).unwrap();
+        for id in ["x.sql", "", "ünicode.ra"] {
+            assert!(spec.owns(id));
+        }
+    }
+
+    #[test]
+    fn merging_rejects_mismatched_or_overlapping_shards() {
+        let a = Json::parse(
+            r#"{"label":"q1","shared_annotation":true,"stats":{},"submissions":[{"id":"a.sql","author":"a","fingerprint":"00","verdict":"correct"}]}"#,
+        )
+        .unwrap();
+        let b_other_label =
+            Json::parse(r#"{"label":"q2","shared_annotation":true,"stats":{},"submissions":[]}"#)
+                .unwrap();
+        assert!(merge_reports(&[a.clone(), b_other_label])
+            .unwrap_err()
+            .contains("label"));
+        assert!(merge_reports(&[a.clone(), a.clone()])
+            .unwrap_err()
+            .contains("more than one shard"));
+        assert!(merge_reports(&[]).is_err());
+    }
+
+    #[test]
+    fn merging_recomputes_distinct_groups_across_shards() {
+        // The same fingerprint graded in two shards must count once, and a
+        // rejected row must not contribute a fingerprint.
+        let a = Json::parse(
+            r#"{"label":"q","shared_annotation":true,"stats":{},"submissions":[{"id":"a.sql","author":"a","fingerprint":"0f","verdict":"correct"},{"id":"c.sql","author":"c","fingerprint":"0000000000000000","verdict":"rejected","message":"m","phase":"parse","kind":"parse"}]}"#,
+        )
+        .unwrap();
+        let b = Json::parse(
+            r#"{"label":"q","shared_annotation":true,"stats":{},"submissions":[{"id":"b.sql","author":"b","fingerprint":"0f","verdict":"wrong","counterexample_size":3,"class":"SPJU","algorithm":"PolytimeMonotone"}]}"#,
+        )
+        .unwrap();
+        let merged = merge_reports(&[a, b]).unwrap();
+        let stats = merged.get("stats").unwrap();
+        assert_eq!(stats.get("submissions").and_then(Json::as_i64), Some(3));
+        assert_eq!(stats.get("distinct_groups").and_then(Json::as_i64), Some(1));
+        assert_eq!(stats.get("dedup_hits").and_then(Json::as_i64), Some(1));
+        assert_eq!(stats.get("rejected").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            stats.get("mean_counterexample_size"),
+            Some(&Json::Float(3.0))
+        );
+        // Rows come back sorted by id.
+        let ids: Vec<&str> = merged
+            .get("submissions")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|r| r.get("id").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(ids, vec!["a.sql", "b.sql", "c.sql"]);
+    }
+}

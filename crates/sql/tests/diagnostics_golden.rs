@@ -1,0 +1,90 @@
+//! Golden-file tests for the rendered `SqlError` diagnostics: every fixture
+//! in `examples/sql/errors/` has its full caret rendering pinned under
+//! `tests/golden/`, so a regression in messages, spans, hints or the caret
+//! line itself fails loudly with a diff instead of drifting silently.
+//!
+//! To re-bless after an *intentional* diagnostics change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p ratest_sql --test diagnostics_golden
+//! ```
+
+use ratest_ra::testdata::figure1_db;
+use ratest_sql::compile_sql;
+use std::path::PathBuf;
+
+fn errors_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/sql/errors")
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn every_error_fixture_has_a_pinned_caret_rendering() {
+    let bless = std::env::var_os("BLESS").is_some();
+    let db = figure1_db();
+    let mut fixtures: Vec<_> = std::fs::read_dir(errors_dir())
+        .expect("examples/sql/errors exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "sql"))
+        .collect();
+    fixtures.sort();
+    assert!(!fixtures.is_empty(), "the error catalog must not be empty");
+
+    let mut pinned = 0usize;
+    for path in &fixtures {
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(path).unwrap();
+        let err = compile_sql(&source, &db)
+            .map(|_| ())
+            .expect_err(&format!("{stem}: expected a diagnostic, but it compiled"));
+        let rendered = err.render(&source);
+        assert!(
+            rendered.contains('^'),
+            "{stem}: rendering has no caret line:\n{rendered}"
+        );
+
+        let golden_path = golden_dir().join(format!("{stem}.txt"));
+        if bless {
+            std::fs::create_dir_all(golden_dir()).unwrap();
+            std::fs::write(&golden_path, &rendered).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!(
+                "{stem}: missing golden file {} — run with BLESS=1 to create it",
+                golden_path.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            golden,
+            "\n{stem}: rendered diagnostic drifted from {}.\n\
+             If the change is intentional, re-bless with BLESS=1.\n\
+             --- rendered ---\n{rendered}\n--- golden ---\n{golden}",
+            golden_path.display()
+        );
+        pinned += 1;
+    }
+    if !bless {
+        assert_eq!(pinned, fixtures.len());
+    }
+
+    // The reverse direction: every golden file corresponds to a live
+    // fixture, so deleting a fixture cannot leave a stale pin behind.
+    for entry in std::fs::read_dir(golden_dir()).expect("tests/golden exists") {
+        let golden = entry.unwrap().path();
+        if golden.extension().is_some_and(|e| e == "txt") {
+            let stem = golden.file_stem().unwrap().to_string_lossy().into_owned();
+            assert!(
+                fixtures
+                    .iter()
+                    .any(|f| f.file_stem().unwrap().to_string_lossy() == stem),
+                "stale golden file {} has no fixture",
+                golden.display()
+            );
+        }
+    }
+}

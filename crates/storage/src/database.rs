@@ -152,6 +152,28 @@ impl Database {
         true
     }
 
+    /// Reassemble a database from previously serialized parts, keeping each
+    /// relation's index and tuple identifiers exactly as given (unlike
+    /// [`Database::add_relation`], which re-identifies). Used by
+    /// [`crate::codec`].
+    pub(crate) fn from_parts(
+        name: String,
+        relations: Vec<Relation>,
+        constraints: ConstraintSet,
+    ) -> Database {
+        let by_name = relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name().to_owned(), i))
+            .collect();
+        Database {
+            name,
+            relations,
+            by_name,
+            constraints,
+        }
+    }
+
     /// Rebuild name and dedup indexes (needed after deserialization).
     pub fn rebuild_indexes(&mut self) {
         self.by_name = self

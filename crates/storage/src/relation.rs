@@ -141,6 +141,27 @@ impl Relation {
     pub fn rebuild_index(&mut self) {
         self.dedup = self.rows.iter().map(|t| t.values.clone()).collect();
     }
+
+    /// Reassemble a relation from previously serialized parts, *preserving*
+    /// the given tuple identifiers instead of reassigning them the way
+    /// [`Relation::insert`] does. Used by [`crate::codec`] to round-trip
+    /// counterexample sub-instances, whose id spaces legitimately contain
+    /// holes.
+    pub(crate) fn from_parts(
+        name: String,
+        schema: Schema,
+        relation_index: u32,
+        rows: Vec<Tuple>,
+    ) -> Relation {
+        let dedup = rows.iter().map(|t| t.values.clone()).collect();
+        Relation {
+            name,
+            schema,
+            rows,
+            dedup,
+            relation_index,
+        }
+    }
 }
 
 #[cfg(test)]

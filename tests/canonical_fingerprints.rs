@@ -1,0 +1,115 @@
+//! Property suite for the canonical fingerprints the persistent verdict
+//! cache is keyed by (ISSUE 4, satellite 1):
+//!
+//! * **Injectivity on the course workload**: across the 8 reference
+//!   questions and *every* single-site mutation `ratest_queries::mutations`
+//!   can produce from them, no two distinct canonical forms collide to one
+//!   fingerprint. (Fingerprints of equal forms are of course equal — that
+//!   is the dedup working as intended.)
+//! * **Stability under plan serialization**: rendering a plan to the RA
+//!   surface syntax and re-parsing it preserves the canonical form, so a
+//!   fingerprint computed from a deserialized plan matches the one written
+//!   into a cache file by the original process.
+
+use ratest_suite::queries::course::course_questions;
+use ratest_suite::queries::mutations::mutate;
+use ratest_suite::ra::ast::Query;
+use ratest_suite::ra::canonical::{canonical_form, fingerprint};
+use ratest_suite::ra::display::to_surface_string;
+use ratest_suite::ra::parser::parse_query;
+use std::collections::HashMap;
+
+/// The full workload: each course reference plus all its mutations.
+fn workload() -> Vec<(String, Query)> {
+    let mut out = Vec::new();
+    for q in course_questions() {
+        for m in mutate(&q.reference) {
+            out.push((format!("q{} / {}", q.number, m.description), m.query));
+        }
+        out.push((format!("q{} reference", q.number), q.reference));
+    }
+    out
+}
+
+#[test]
+fn fingerprints_are_injective_on_the_course_workload() {
+    let workload = workload();
+    assert!(
+        workload.len() > 50,
+        "the mutation engine should produce a rich workload, got {}",
+        workload.len()
+    );
+    // form → (fingerprint, label); every collision must be a form equality.
+    let mut by_fingerprint: HashMap<u64, (String, String)> = HashMap::new();
+    for (label, query) in &workload {
+        let form = canonical_form(query);
+        let fp = fingerprint(query);
+        match by_fingerprint.get(&fp) {
+            None => {
+                by_fingerprint.insert(fp, (form, label.clone()));
+            }
+            Some((existing_form, existing_label)) => {
+                assert_eq!(
+                    existing_form, &form,
+                    "fingerprint collision between distinct queries:\n  {existing_label}\n  {label}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn references_have_pairwise_distinct_fingerprints() {
+    let questions = course_questions();
+    for a in &questions {
+        for b in &questions {
+            if a.number != b.number {
+                assert_ne!(
+                    fingerprint(&a.reference),
+                    fingerprint(&b.reference),
+                    "q{} and q{} must not dedup together",
+                    a.number,
+                    b.number
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_mutation_changes_the_fingerprint_of_its_reference() {
+    // A mutation that fingerprints like its reference would be graded
+    // `correct` without a pipeline run — a silently wrong workload.
+    for q in course_questions() {
+        let reference_fp = fingerprint(&q.reference);
+        for m in mutate(&q.reference) {
+            assert_ne!(
+                fingerprint(&m.query),
+                reference_fp,
+                "q{}: mutation `{}` is canonical-form-identical to the reference",
+                q.number,
+                m.description
+            );
+        }
+    }
+}
+
+#[test]
+fn fingerprints_survive_plan_serialization() {
+    // Serialize every workload plan to the surface syntax and re-parse: the
+    // canonical form (and so the persistent cache key) must be unchanged.
+    let mut checked = 0usize;
+    for (label, query) in workload() {
+        let rendered = to_surface_string(&query);
+        let reparsed = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("{label}: rendering does not re-parse: {e}\n{rendered}"));
+        assert_eq!(
+            canonical_form(&query),
+            canonical_form(&reparsed),
+            "{label}: canonical form changed across serialize/deserialize\n{rendered}"
+        );
+        assert_eq!(fingerprint(&query), fingerprint(&reparsed), "{label}");
+        checked += 1;
+    }
+    assert!(checked > 50, "checked only {checked} plans");
+}
