@@ -23,6 +23,31 @@
 //! i-th of N deterministic cohort slices — run one process per shard, then
 //! fuse the artifacts with `grade merge`.
 //!
+//! ## Spawn mode: run every shard from one invocation
+//!
+//! ```text
+//! grade <DIR> --reference <...> --spawn N --json MERGED.json [--cache MERGED.rvc] [...]
+//! ```
+//!
+//! The driver launches one `grade --shard i/N` subprocess per shard
+//! (sequentially — the container is single-CPU; on a multi-core host run
+//! the shards yourself in parallel and `grade merge` them) and automatically
+//! fuses the shard reports into exactly the report the unsharded run would
+//! have produced. `--cache` keeps its unsharded load-then-append semantics:
+//! every shard loads the file and appends its fresh verdicts in turn (later
+//! shards even warm-start from earlier shards' work).
+//!
+//! ## Serve mode: a persistent grading daemon
+//!
+//! ```text
+//! grade serve
+//! ```
+//!
+//! Speaks the versioned `ratest-serve` NDJSON protocol over stdin/stdout:
+//! `prepare` a reference once, then `grade` submissions interactively with
+//! warm per-reference state (a re-grade performs zero counterexample
+//! searches). See `ratest_grader::serve` for the protocol reference.
+//!
 //! ## Merge mode: fuse shard artifacts into the class report
 //!
 //! ```text
@@ -57,7 +82,8 @@ use std::time::Duration;
 const USAGE: &str = "usage: grade <DIR> --reference <N|path.sql|path.ra> \
      [--db-tuples N] [--seed N] [--workers N] [--timeout-ms N] \
      [--param name=value]... [--json PATH] [--explain ID] [--diagnostics] \
-     [--shard i/N] [--cache PATH.rvc]\n\
+     [--shard i/N | --spawn N] [--cache PATH.rvc]\n\
+       grade serve\n\
        grade merge <shard.json>... [--json MERGED.json] \
      [--cache-in shard.rvc]... [--cache MERGED.rvc]\n\
        grade --generate [--question 1..8] [--class N] [--db-tuples N] \
@@ -81,6 +107,8 @@ struct Args {
     compare_sequential: bool,
     /// Grade only this slice of the cohort (directory mode).
     shard: Option<ShardSpec>,
+    /// Run all N shards as subprocesses from this invocation and auto-merge.
+    spawn: Option<usize>,
     /// Persistent verdict cache to load before and append to after grading.
     cache_path: Option<String>,
 }
@@ -147,6 +175,7 @@ fn parse_args(rest: impl Iterator<Item = String>) -> Result<Args, String> {
         diagnostics: false,
         compare_sequential: false,
         shard: None,
+        spawn: None,
         cache_path: None,
     };
     let mut it = rest;
@@ -177,6 +206,7 @@ fn parse_args(rest: impl Iterator<Item = String>) -> Result<Args, String> {
             "--diagnostics" => args.diagnostics = true,
             "--compare-sequential" => args.compare_sequential = true,
             "--shard" => args.shard = Some(value("--shard")?.parse()?),
+            "--spawn" => args.spawn = Some(parse(&value("--spawn")?)?),
             "--cache" => args.cache_path = Some(value("--cache")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -200,6 +230,20 @@ fn parse_args(rest: impl Iterator<Item = String>) -> Result<Args, String> {
     }
     if args.generate && args.shard.is_some() {
         return Err("--shard applies to directory mode only".into());
+    }
+    if let Some(n) = args.spawn {
+        if n == 0 {
+            return Err("--spawn needs at least 1 shard".into());
+        }
+        if args.generate {
+            return Err("--spawn applies to directory mode only".into());
+        }
+        if args.shard.is_some() {
+            return Err("--spawn drives the shards itself; drop --shard".into());
+        }
+        if args.json_path.is_none() {
+            return Err("--spawn needs --json <MERGED.json> for the fused report".into());
+        }
     }
     Ok(args)
 }
@@ -314,6 +358,88 @@ fn run_merge(args: MergeArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Run all N shards as sequential subprocesses of this same binary and
+/// fuse their artifacts — the single-invocation driver for the
+/// shard-within-a-machine path. `raw_args` is the original command line;
+/// the driver strips its own flags and adds `--shard i/N` plus per-shard
+/// artifact paths.
+fn run_spawn(args: &Args, raw_args: &[String]) -> ExitCode {
+    let n = args.spawn.expect("spawn mode");
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("grade: cannot locate own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tmp = std::env::temp_dir().join(format!("ratest-spawn-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&tmp) {
+        eprintln!("grade: cannot create {}: {e}", tmp.display());
+        return ExitCode::FAILURE;
+    }
+    // The per-shard artifacts are scratch state; remove them on every exit
+    // path, including a failed shard (the merged outputs the user asked for
+    // live at --json/--cache, outside the scratch dir).
+    let code = run_spawn_in(args, raw_args, n, &exe, &tmp);
+    let _ = std::fs::remove_dir_all(&tmp);
+    code
+}
+
+/// The body of [`run_spawn`], with the scratch directory's lifetime managed
+/// by the caller.
+fn run_spawn_in(args: &Args, raw_args: &[String], n: usize, exe: &Path, tmp: &Path) -> ExitCode {
+    // The shard invocations inherit everything except the driver-only
+    // flags. `--cache` is deliberately *kept*: the shards run sequentially,
+    // and the verdict cache is append-only and load-before-grade, so
+    // pointing every shard at the user's cache file gives exactly the
+    // unsharded `--cache` semantics — pre-existing records warm-start each
+    // shard (and shard i+1 even reuses shard i's fresh verdicts), and
+    // nothing is ever overwritten.
+    let mut base: Vec<String> = Vec::new();
+    let mut it = raw_args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--spawn" | "--json" => {
+                let _ = it.next();
+            }
+            _ => base.push(a.clone()),
+        }
+    }
+
+    let mut shard_reports: Vec<PathBuf> = Vec::new();
+    for i in 1..=n {
+        let json = tmp.join(format!("shard{i}.json"));
+        let mut cmd = std::process::Command::new(exe);
+        cmd.args(&base)
+            .arg("--shard")
+            .arg(format!("{i}/{n}"))
+            .arg("--json")
+            .arg(&json);
+        eprintln!("spawn {i}/{n}: {}", exe.display());
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("grade: shard {i}/{n} failed with {status}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("grade: cannot spawn shard {i}/{n}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        shard_reports.push(json);
+    }
+
+    // Fuse the shard reports exactly like `grade merge` would (the cache
+    // needs no merge step — the shards appended to it directly).
+    run_merge(MergeArgs {
+        reports: shard_reports,
+        json_out: args.json_path.clone(),
+        cache_in: Vec::new(),
+        cache_out: None,
+    })
+}
+
 fn report_skipped(path: &str, skipped: &[store::SkippedRecord]) {
     for s in skipped {
         eprintln!(
@@ -324,16 +450,30 @@ fn report_skipped(path: &str, skipped: &[store::SkippedRecord]) {
 }
 
 fn main() -> ExitCode {
-    let mut argv = std::env::args().skip(1).peekable();
-    if argv.peek().map(String::as_str) == Some("merge") {
-        argv.next();
-        return match parse_merge_args(argv) {
-            Ok(a) => run_merge(a),
-            Err(e) => {
-                eprintln!("grade: {e}");
-                ExitCode::FAILURE
-            }
-        };
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv = raw_args.iter().cloned().peekable();
+    match argv.peek().map(String::as_str) {
+        Some("merge") => {
+            argv.next();
+            return match parse_merge_args(argv) {
+                Ok(a) => run_merge(a),
+                Err(e) => {
+                    eprintln!("grade: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("serve") => {
+            let stdin = std::io::stdin();
+            return match ratest_grader::serve::serve(stdin.lock(), std::io::stdout()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("grade: serve transport error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
     }
     let args = match parse_args(argv) {
         Ok(a) => a,
@@ -342,6 +482,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.spawn.is_some() {
+        return run_spawn(&args, &raw_args);
+    }
 
     let mut options = ratest_core::RatestOptions::default();
     for (k, v) in &args.params {

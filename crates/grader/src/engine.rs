@@ -1,18 +1,23 @@
-//! The batch grading engine: shared reference preparation, fingerprint
-//! dedup + cross-batch verdict cache, and a bounded worker pool with
-//! per-job timeouts backed by cooperative cancellation (a timed-out job is
-//! asked to stop via its [`ratest_core::CancelFlag`], not just abandoned).
+//! The batch grading engine, rebuilt on the session API: one warm
+//! [`Session`] per grading context carries the prepared reference,
+//! fingerprint dedup + the cross-batch verdict cache answer repeats, and a
+//! bounded worker pool enforces per-job [`Budget`]s (deadline + cooperative
+//! cancellation — a timed-out job is asked to stop, not just abandoned, and
+//! the deadline reaches *into* evaluator row loops via the budget hook).
 
+use crate::api::{ExplainRequest, ExplainResponse};
 use crate::ingest::{IngestEntry, IngestedCohort};
 use crate::report::{BatchReport, BatchStats};
 use crate::submission::{group_by_fingerprint, Submission};
 use crate::verdict::{GradedSubmission, Verdict};
-use ratest_core::pipeline::{explain_with_reference, PreparedReference, RatestOptions};
+use ratest_core::pipeline::RatestOptions;
+use ratest_core::session::{Budget, ReferenceHandle, Session};
 use ratest_core::RatestError;
 use ratest_ra::ast::Query;
 use ratest_storage::Database;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -47,21 +52,37 @@ pub enum GraderError {
     /// The reference query itself failed to evaluate or annotate; nothing
     /// can be graded against it.
     Reference(RatestError),
+    /// A [`GradeContext`] handle from a different engine (or a bug) was
+    /// presented to [`Grader::respond_prepared`].
+    UnknownContext,
 }
 
 impl std::fmt::Display for GraderError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraderError::Reference(e) => write!(f, "reference query is not gradable: {e}"),
+            GraderError::UnknownContext => {
+                write!(f, "unknown grading context (prepare it first)")
+            }
         }
     }
 }
 
+/// A handle to a warm grading context — the `(reference, hidden instance,
+/// options)` identity hash. Computing it walks the whole database, so
+/// request-per-call servers obtain it once via [`Grader::prepare_context`]
+/// and answer every subsequent request through
+/// [`Grader::respond_prepared`] without re-hashing the instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GradeContext(u64);
+
 impl std::error::Error for GraderError {}
 
 /// The batch grading engine. One instance carries a fingerprint → verdict
-/// cache across batches, so regrading a class after a deadline extension
-/// only pays for the new distinct submissions.
+/// cache *and* a warm [`Session`] per grading context across batches, so
+/// regrading a class after a deadline extension only pays for the new
+/// distinct submissions — and never re-prepares a reference it has already
+/// seen.
 #[derive(Debug, Default)]
 pub struct Grader {
     config: GraderConfig,
@@ -70,6 +91,21 @@ pub struct Grader {
     /// options, so one engine can serve multiple assignments without
     /// leaking verdicts between them.
     cache: Mutex<HashMap<(u64, u64), Verdict>>,
+    /// Warm per-context sessions (context key → prepared session). This is
+    /// what makes a served re-grade — and the second batch of a long-lived
+    /// daemon — skip reference preparation entirely.
+    sessions: Mutex<HashMap<u64, Arc<GradingSession>>>,
+    /// Counterexample searches this engine actually ran (cache hits and
+    /// dedup excluded). The daemon's `stats` command reports it, and the
+    /// warm-path guarantees are asserted against it.
+    searches: AtomicU64,
+}
+
+/// A prepared session for one grading context.
+#[derive(Debug)]
+struct GradingSession {
+    session: Session,
+    reference: ReferenceHandle,
 }
 
 /// One unit of work: a distinct fingerprint group to explain.
@@ -84,6 +120,8 @@ impl Grader {
         Grader {
             config,
             cache: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            searches: AtomicU64::new(0),
         }
     }
 
@@ -183,12 +221,9 @@ impl Grader {
     ) -> Result<BatchReport, GraderError> {
         let wall_start = Instant::now();
 
-        // Evaluate + annotate the reference once for the whole batch.
-        let prepared = Arc::new(
-            PreparedReference::prepare(reference, db, &self.config.options.parameters)
-                .map_err(GraderError::Reference)?,
-        );
-        let context = self.context_key(reference, db);
+        // Evaluate + annotate the reference once per *context* (not per
+        // batch): a warm engine reuses the prepared session.
+        let (context, warm) = self.session_for(reference, db)?;
 
         // Dedup: each distinct canonical fingerprint is explained once.
         let groups = group_by_fingerprint(submissions);
@@ -212,7 +247,9 @@ impl Grader {
         let pipeline_runs = jobs.len();
 
         // Grade the distinct jobs on a bounded worker pool.
-        let fresh = run_jobs(jobs, prepared.clone(), Arc::new(db.clone()), &self.config);
+        self.searches
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        let fresh = run_jobs(jobs, warm.clone(), &self.config);
         {
             let mut cache = self.cache.lock().expect("grader cache poisoned");
             for (fp, (v, _)) in &fresh {
@@ -266,12 +303,191 @@ impl Grader {
         Ok(BatchReport {
             label: label.to_owned(),
             // The ROADMAP `aggprov` gap, surfaced instead of silent: for
-            // aggregate references `PreparedReference.annotation` is `None`
-            // and every pair falls back to the unshared pipeline.
-            shared_annotation: prepared.annotation().is_some(),
+            // aggregate references the prepared annotation is `None` and
+            // every pair falls back to the unshared pipeline.
+            shared_annotation: warm.shared_annotation(),
             graded,
             stats,
         })
+    }
+
+    /// Get-or-create the warm session for a `(reference, db, options)`
+    /// context.
+    fn session_for(
+        &self,
+        reference: &Query,
+        db: &Database,
+    ) -> Result<(u64, Arc<GradingSession>), GraderError> {
+        let context = self.context_key(reference, db);
+        if let Some(warm) = self
+            .sessions
+            .lock()
+            .expect("grader session cache poisoned")
+            .get(&context)
+        {
+            return Ok((context, warm.clone()));
+        }
+        // Built outside the lock: preparation evaluates + annotates the
+        // reference, which can be slow, and a second thread racing to the
+        // same context would only do duplicate work, not wrong work.
+        let session = Session::builder(db.clone())
+            .options(self.config.options.clone())
+            .build();
+        let handle = session.prepare(reference).map_err(GraderError::Reference)?;
+        let warm = Arc::new(GradingSession {
+            session,
+            reference: handle,
+        });
+        Ok((
+            context,
+            self.sessions
+                .lock()
+                .expect("grader session cache poisoned")
+                .entry(context)
+                .or_insert(warm)
+                .clone(),
+        ))
+    }
+
+    /// Whether the reference's provenance annotation is shared across the
+    /// context's workers (`false` for aggregate references — the `aggprov`
+    /// gap). Prepares the context's warm session if needed.
+    pub fn shared_annotation(&self, reference: &Query, db: &Database) -> Result<bool, GraderError> {
+        let (_, warm) = self.session_for(reference, db)?;
+        Ok(warm.shared_annotation())
+    }
+
+    /// [`Grader::shared_annotation`] for an already-prepared context — no
+    /// instance re-hash.
+    pub fn shared_annotation_for(&self, context: GradeContext) -> Result<bool, GraderError> {
+        self.sessions
+            .lock()
+            .expect("grader session cache poisoned")
+            .get(&context.0)
+            .map(|warm| warm.shared_annotation())
+            .ok_or(GraderError::UnknownContext)
+    }
+
+    /// Number of warm per-context sessions currently held.
+    pub fn warm_sessions(&self) -> usize {
+        self.sessions.lock().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Counterexample searches this engine has run (cache hits excluded).
+    pub fn searches_total(&self) -> u64 {
+        self.searches.load(Ordering::Relaxed)
+    }
+
+    /// Warm up (or look up) the grading context for a `(reference, db)`
+    /// pair and return its handle. The expensive part — hashing the full
+    /// instance and preparing the reference — happens at most once per
+    /// context; servers call this at prepare time and then use
+    /// [`Grader::respond_prepared`] per request.
+    pub fn prepare_context(
+        &self,
+        reference: &Query,
+        db: &Database,
+    ) -> Result<GradeContext, GraderError> {
+        let (context, _) = self.session_for(reference, db)?;
+        Ok(GradeContext(context))
+    }
+
+    /// Answer one [`ExplainRequest`] against a reference — the `grade
+    /// serve` request path. Warm state short-circuits twice: the context's
+    /// session skips reference preparation, and the verdict cache answers
+    /// repeated fingerprints with zero counterexample searches.
+    pub fn respond(
+        &self,
+        reference: &Query,
+        db: &Database,
+        request: &ExplainRequest,
+    ) -> Result<ExplainResponse, GraderError> {
+        let (context, warm) = self.session_for(reference, db)?;
+        self.respond_impl(
+            context,
+            &warm,
+            request,
+            warm.session.options().events.clone(),
+        )
+    }
+
+    /// Answer one request against an already-prepared [`GradeContext`],
+    /// streaming progress into a per-request event sink. This is the
+    /// daemon's hot path: no instance re-hashing, no reference
+    /// re-preparation — and because the sink belongs to *this* request, a
+    /// stale thread from an earlier timed-out job keeps emitting into its
+    /// own retired sink instead of polluting this request's stream.
+    pub fn respond_prepared(
+        &self,
+        context: GradeContext,
+        request: &ExplainRequest,
+        events: ratest_core::session::EventHandle,
+    ) -> Result<ExplainResponse, GraderError> {
+        let warm = self
+            .sessions
+            .lock()
+            .expect("grader session cache poisoned")
+            .get(&context.0)
+            .cloned()
+            .ok_or(GraderError::UnknownContext)?;
+        self.respond_impl(context.0, &warm, request, events)
+    }
+
+    fn respond_impl(
+        &self,
+        context: u64,
+        warm: &Arc<GradingSession>,
+        request: &ExplainRequest,
+        events: ratest_core::session::EventHandle,
+    ) -> Result<ExplainResponse, GraderError> {
+        let fingerprint = request.fingerprint();
+        if let Some(verdict) = self
+            .cache
+            .lock()
+            .expect("grader cache poisoned")
+            .get(&(context, fingerprint))
+        {
+            return Ok(ExplainResponse {
+                id: request.id.clone(),
+                author: request.author.clone(),
+                fingerprint,
+                verdict: verdict.clone(),
+                from_cache: true,
+            });
+        }
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        let verdict = grade_one_with_timeout(
+            warm.clone(),
+            request.query.clone(),
+            self.config.per_job_timeout,
+            events,
+        );
+        if !matches!(verdict, Verdict::Timeout { .. }) {
+            self.cache
+                .lock()
+                .expect("grader cache poisoned")
+                .insert((context, fingerprint), verdict.clone());
+        }
+        Ok(ExplainResponse {
+            id: request.id.clone(),
+            author: request.author.clone(),
+            fingerprint,
+            verdict,
+            from_cache: false,
+        })
+    }
+
+    /// Answer a batch of requests in order (dedup/cache apply per request).
+    pub fn respond_all(
+        &self,
+        reference: &Query,
+        db: &Database,
+        requests: &[ExplainRequest],
+    ) -> Result<Vec<ExplainResponse>, GraderError> {
+        requests
+            .iter()
+            .map(|r| self.respond(reference, db, r))
+            .collect()
     }
 
     /// Grade an ingested directory cohort: the parsed submissions run
@@ -328,12 +544,22 @@ impl Grader {
     }
 }
 
+impl GradingSession {
+    /// Whether the reference's provenance annotation is shared (absent for
+    /// aggregate references — the `aggprov` gap).
+    fn shared_annotation(&self) -> bool {
+        self.session
+            .prepared(self.reference)
+            .map(|p| p.annotation().is_some())
+            .unwrap_or(false)
+    }
+}
+
 /// Drain the job queue with `config.workers` threads; returns
 /// fingerprint → (verdict, grading time).
 fn run_jobs(
     jobs: VecDeque<Job>,
-    prepared: Arc<PreparedReference>,
-    db: Arc<Database>,
+    warm: Arc<GradingSession>,
     config: &GraderConfig,
 ) -> HashMap<u64, (Verdict, Duration)> {
     let results: Arc<Mutex<HashMap<u64, (Verdict, Duration)>>> =
@@ -350,9 +576,7 @@ fn run_jobs(
     for _ in 0..worker_count {
         let queue = queue.clone();
         let results = results.clone();
-        let prepared = prepared.clone();
-        let db = db.clone();
-        let options = config.options.clone();
+        let warm = warm.clone();
         let timeout = config.per_job_timeout;
         handles.push(std::thread::spawn(move || loop {
             let job = match queue.lock() {
@@ -364,11 +588,10 @@ fn run_jobs(
             };
             let start = Instant::now();
             let verdict = grade_one_with_timeout(
-                prepared.clone(),
+                warm.clone(),
                 job.query.clone(),
-                db.clone(),
-                options.clone(),
                 timeout,
+                warm.session.options().events.clone(),
             );
             let elapsed = start.elapsed();
             if let Ok(mut r) = results.lock() {
@@ -391,50 +614,57 @@ fn run_jobs(
 
 /// Grade one submission, enforcing the per-job wall-clock budget.
 ///
-/// The job runs on its own thread; when the budget elapses the worker
-/// records [`Verdict::Timeout`], raises the job's cooperative
-/// [`ratest_core::CancelFlag`] and moves on. The pipeline polls the flag at
-/// its loop boundaries (per candidate tuple / candidate group / solve), so
-/// the timed-out thread unwinds with `RatestError::Cancelled` shortly after
-/// instead of competing with live workers for CPU until it finishes on its
-/// own. With `timeout == 0` the job runs inline on the worker.
+/// Belt and braces: the job runs under a per-job [`Budget`] whose deadline
+/// the pipeline polls at loop boundaries *and* inside evaluator row loops,
+/// so a flooding evaluation self-terminates; *and* the worker watches from
+/// outside via a channel, so even a job stuck somewhere unpolled is
+/// recorded as [`Verdict::Timeout`] on time (its budget is cancelled so the
+/// stray thread stops consuming CPU shortly after). With `timeout == 0` the
+/// job runs inline on the worker under the session budget.
 fn grade_one_with_timeout(
-    prepared: Arc<PreparedReference>,
+    warm: Arc<GradingSession>,
     query: Arc<Query>,
-    db: Arc<Database>,
-    mut options: RatestOptions,
     timeout: Duration,
+    events: ratest_core::session::EventHandle,
 ) -> Verdict {
     if timeout.is_zero() {
-        return grade_one(&prepared, &query, &db, &options);
+        return grade_one(&warm, &query, warm.session.budget(), events);
     }
-    // Each job gets its own flag: cancelling this job must not cancel the
-    // batch's other jobs, which share the same base options.
-    let cancel = ratest_core::CancelFlag::new();
-    options.cancel = cancel.clone();
+    // Each job gets its own budget: cancelling this job must not cancel the
+    // batch's other jobs.
+    let budget = Budget::unlimited().with_deadline(timeout);
+    let job_budget = budget.clone();
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
-        let _ = tx.send(grade_one(&prepared, &query, &db, &options));
+        let _ = tx.send(grade_one(&warm, &query, &job_budget, events));
     });
-    match rx.recv_timeout(timeout) {
+    match rx.recv_timeout(timeout + Duration::from_millis(50)) {
+        // A budget-exhausted run is a timeout whichever layer noticed
+        // first; the verdict always names the *configured* budget (the job
+        // itself cannot know it).
+        Ok(Verdict::Timeout { .. }) => Verdict::Timeout { budget: timeout },
+        Ok(Verdict::Error { .. }) if budget.poll().is_some() => {
+            Verdict::Timeout { budget: timeout }
+        }
         Ok(verdict) => verdict,
         Err(_) => {
-            cancel.cancel();
+            budget.cancel();
             Verdict::Timeout { budget: timeout }
         }
     }
 }
 
-/// Run the shared-reference pipeline for one submission, converting every
-/// failure mode (typed errors *and* panics) into a verdict.
+/// Run the shared-reference session pipeline for one submission, converting
+/// every failure mode (typed errors *and* panics) into a verdict.
 fn grade_one(
-    prepared: &PreparedReference,
+    warm: &GradingSession,
     query: &Query,
-    db: &Database,
-    options: &RatestOptions,
+    budget: &Budget,
+    events: ratest_core::session::EventHandle,
 ) -> Verdict {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        explain_with_reference(prepared, query, db, options)
+        warm.session
+            .explain_with(warm.reference, query, budget, events)
     }));
     match outcome {
         Ok(Ok(outcome)) => match outcome.counterexample {
@@ -445,6 +675,11 @@ fn grade_one(
                 algorithm: outcome.algorithm_used,
                 timings: outcome.timings,
             },
+        },
+        // The job's own budget ran out mid-pipeline: that is a timeout, not
+        // an ungradable submission.
+        Ok(Err(e)) if e.is_budget_exhausted() => Verdict::Timeout {
+            budget: Duration::ZERO,
         },
         Ok(Err(e)) => Verdict::Error {
             message: e.to_string(),

@@ -161,23 +161,63 @@ pub fn ingest_dir(dir: &Path, db: &Database) -> io::Result<IngestedCohort> {
             .extension()
             .map(|e| e.to_ascii_lowercase())
             .unwrap_or_default();
-        let entry = if ext == "sql" {
-            match ratest_sql::compile_sql(&source, db) {
-                Ok(query) => IngestEntry::Parsed(Submission::new(&id, &author, query)),
-                Err(e) => IngestEntry::Rejected(reject_sql(&id, &author, &source, &e)),
-            }
+        let lang = if ext == "sql" {
+            SourceLang::Sql
         } else {
-            match ratest_ra::parser::parse_query(&source) {
-                Ok(query) => match ratest_ra::typecheck::output_schema(&query, db) {
-                    Ok(_) => IngestEntry::Parsed(Submission::new(&id, &author, query)),
-                    Err(e) => IngestEntry::Rejected(reject_ra_resolve(&id, &author, &e)),
-                },
-                Err(e) => IngestEntry::Rejected(reject_ra_parse(&id, &author, &source, &e)),
-            }
+            SourceLang::Ra
         };
-        cohort.entries.push(entry);
+        cohort
+            .entries
+            .push(compile_submission(&id, &author, lang, &source, db));
     }
     Ok(cohort)
+}
+
+/// The frontend a submission source goes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceLang {
+    /// The `ratest_sql` SQL frontend (parse + lower against the schema).
+    Sql,
+    /// The RA surface-syntax parser followed by a typecheck.
+    Ra,
+}
+
+impl std::str::FromStr for SourceLang {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SourceLang, String> {
+        match s {
+            "sql" => Ok(SourceLang::Sql),
+            "ra" => Ok(SourceLang::Ra),
+            other => Err(format!("unknown submission language `{other}` (sql|ra)")),
+        }
+    }
+}
+
+/// Compile one submission source through the frontend for `lang`, producing
+/// either a parsed [`Submission`] or a spanned rejection — the shared
+/// ingestion step behind both directory grading and the `grade serve`
+/// daemon's inline `grade` command.
+pub fn compile_submission(
+    id: &str,
+    author: &str,
+    lang: SourceLang,
+    source: &str,
+    db: &Database,
+) -> IngestEntry {
+    match lang {
+        SourceLang::Sql => match ratest_sql::compile_sql(source, db) {
+            Ok(query) => IngestEntry::Parsed(Submission::new(id, author, query)),
+            Err(e) => IngestEntry::Rejected(reject_sql(id, author, source, &e)),
+        },
+        SourceLang::Ra => match ratest_ra::parser::parse_query(source) {
+            Ok(query) => match ratest_ra::typecheck::output_schema(&query, db) {
+                Ok(_) => IngestEntry::Parsed(Submission::new(id, author, query)),
+                Err(e) => IngestEntry::Rejected(reject_ra_resolve(id, author, &e)),
+            },
+            Err(e) => IngestEntry::Rejected(reject_ra_parse(id, author, source, &e)),
+        },
+    }
 }
 
 /// A file that never reached a frontend: unreadable bytes are rejected in an

@@ -36,7 +36,17 @@
 //! 5. **Cohort sharding** ([`shard`]): `grade --shard i/N` grades a
 //!    deterministic slice of the cohort in its own process; `grade merge`
 //!    fuses the shard reports and caches into exactly the unsharded
-//!    artifacts.
+//!    artifacts, and `grade --spawn N` drives all N shards (as sequential
+//!    subprocesses) plus the merge from one invocation.
+//! 6. **Warm sessions + a wire API** ([`api`]): the engine is built on
+//!    [`ratest_core::session::Session`] — one prepared session per grading
+//!    context survives across batches — and every consumer speaks
+//!    [`ExplainRequest`]/[`ExplainResponse`] values that serialize via
+//!    `ratest_storage::codec`.
+//! 7. **A persistent daemon** ([`serve`]): `grade serve` speaks the
+//!    versioned `ratest-serve` NDJSON protocol over stdio with warm
+//!    per-reference state, streaming typed progress events; a served
+//!    re-grade performs zero counterexample searches.
 //!
 //! Real-world cohorts come from the [`ingest`] module: a directory of
 //! `.sql` / `.ra` submission files is dispatched by extension through the
@@ -52,19 +62,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod cohort;
 pub mod engine;
 pub mod ingest;
 pub mod json;
 pub mod report;
+pub mod serve;
 pub mod shard;
 pub mod store;
 pub mod submission;
 pub mod verdict;
 
+pub use api::{ExplainRequest, ExplainResponse};
 pub use cohort::{generate_cohort, CohortConfig, GeneratedCohort};
-pub use engine::{Grader, GraderConfig, GraderError};
-pub use ingest::{ingest_dir, IngestEntry, IngestedCohort, RejectedSubmission};
+pub use engine::{GradeContext, Grader, GraderConfig, GraderError};
+pub use ingest::{
+    compile_submission, ingest_dir, IngestEntry, IngestedCohort, RejectedSubmission, SourceLang,
+};
 pub use report::{BatchReport, BatchStats};
 pub use shard::{merge_reports, shard_cohort, shard_of, ShardSpec};
 pub use store::{CacheEntry, LoadedCache, SkippedRecord, StoreError};

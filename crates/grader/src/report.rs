@@ -264,6 +264,11 @@ impl BatchReport {
                     format!("counterexample with {} tuple(s)", counterexample.size())
                 }
                 Verdict::Error { message } => format!("error: {message}"),
+                Verdict::Timeout { budget } if budget.is_zero() => {
+                    // No per-job timeout was configured; the session-level
+                    // budget (deadline/quota/cancel) stopped the run.
+                    "timed out (session budget exhausted)".to_owned()
+                }
                 Verdict::Timeout { budget } => format!("timed out after {budget:?}"),
                 Verdict::Rejected { message, phase, .. } => {
                     format!("rejected by the {phase} phase: {message}")

@@ -1,0 +1,731 @@
+//! `grade serve` — a persistent grading daemon speaking a versioned NDJSON
+//! request/response protocol over stdin/stdout.
+//!
+//! The paper's RATest deployment was a long-lived service students queried
+//! interactively all semester. This module is that shape: one process stays
+//! up, holds **warm per-reference state** (the prepared [`Session`] inside a
+//! [`Grader`] plus its verdict cache), and answers each request line with
+//! one response line — so a re-grade of an already-seen submission performs
+//! **zero counterexample searches**, and a whole cohort can be graded one
+//! interactive request at a time. The container has no network, so stdio is
+//! the transport; any process supervisor or socket relay can wrap it.
+//!
+//! ## Protocol (`ratest-serve` version 1)
+//!
+//! One JSON object per line, in both directions. The daemon starts by
+//! announcing itself:
+//!
+//! ```text
+//! {"event":"protocol","name":"ratest-serve","version":1}
+//! ```
+//!
+//! Requests carry a `cmd` field; every request produces exactly one
+//! response object with an `ok` field (plus zero or more `event` lines
+//! before it when streaming is requested):
+//!
+//! | cmd        | fields                                                        |
+//! |------------|---------------------------------------------------------------|
+//! | `hello`    | — capability probe, echoes the protocol version               |
+//! | `prepare`  | `ref`, and `question` (1–8) *or* `lang`+`source`; optional `db_tuples`, `seed`, `params` (object), `timeout_ms` |
+//! | `grade`    | `ref`, `id`, `lang`, `source`; optional `author`, `events`, `explain` |
+//! | `stats`    | `ref` — graded/cache-hit/search counters for the reference    |
+//! | `shutdown` | — acknowledge and exit                                        |
+//!
+//! A `grade` with `"events":true` streams the session's typed progress
+//! events ([`ratest_core::session::ExplainEvent`]) as NDJSON lines before
+//! the response. All emitted fields are **deterministic** (no wall-clock
+//! readings), so a scripted conversation replayed against a fresh daemon
+//! produces byte-identical output — pinned by the protocol goldens in
+//! `tests/serve_protocol.rs` and the `serve-protocol` CI job.
+//!
+//! Frontend rejections are *successful* gradings with a `rejected` verdict
+//! (the diagnostic is the answer); only malformed requests get
+//! `"ok":false`.
+
+use crate::api::ExplainRequest;
+use crate::engine::{Grader, GraderConfig};
+use crate::ingest::{compile_submission, IngestEntry, SourceLang};
+use crate::json::Json;
+use crate::verdict::Verdict;
+use ratest_core::pipeline::RatestOptions;
+use ratest_core::session::{EventHandle, EventSink, ExplainEvent};
+use ratest_queries::course::course_questions;
+use ratest_storage::{Database, Value};
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Protocol name announced in the banner.
+pub const PROTOCOL_NAME: &str = "ratest-serve";
+/// Protocol version; bump on any wire-visible change (the goldens pin it).
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// Warm state for one prepared reference.
+struct RefState {
+    label: String,
+    db: Database,
+    grader: Grader,
+    /// The prepared grading context: established once at `prepare`, so the
+    /// per-request path never re-hashes the instance.
+    context: crate::engine::GradeContext,
+    fingerprint: u64,
+    graded: u64,
+    cache_hits: u64,
+}
+
+/// The event sink of **one** streamed `grade` request: it owns its
+/// submission id and writes NDJSON lines until [`RequestSink::retire`]d.
+/// Per-request ownership is what keeps attribution correct: if a timed-out
+/// job's thread is still unwinding when the next request starts, the stale
+/// thread holds *this* (retired, silent) sink — it can never emit under the
+/// next request's id.
+struct RequestSink<W: Write + Send> {
+    out: Arc<Mutex<W>>,
+    id: String,
+    live: std::sync::atomic::AtomicBool,
+}
+
+impl<W: Write + Send> RequestSink<W> {
+    fn new(out: Arc<Mutex<W>>, id: &str) -> Arc<RequestSink<W>> {
+        Arc::new(RequestSink {
+            out,
+            id: id.to_owned(),
+            live: std::sync::atomic::AtomicBool::new(true),
+        })
+    }
+
+    /// Stop emitting: the request is answered. Taking the output lock makes
+    /// retirement atomic with any in-flight [`EventSink::emit`] — once this
+    /// returns, no event line for this request can appear after the
+    /// response line that follows.
+    fn retire(&self) {
+        let _out = self.out.lock().expect("serve output poisoned");
+        self.live.store(false, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl<W: Write + Send> EventSink for RequestSink<W> {
+    fn emit(&self, event: &ExplainEvent) {
+        let id = self.id.as_str();
+        let json = match event {
+            ExplainEvent::PhaseStarted { phase } => Json::obj(vec![
+                ("event", Json::str("phase")),
+                ("id", Json::str(id)),
+                ("phase", Json::str(phase.name())),
+            ]),
+            ExplainEvent::CandidateChecked { index, best_size } => {
+                let mut pairs = vec![
+                    ("event", Json::str("candidate")),
+                    ("id", Json::str(id)),
+                    ("index", Json::Int(*index as i64)),
+                ];
+                if let Some(best) = best_size {
+                    pairs.push(("best", Json::Int(*best as i64)));
+                }
+                Json::obj(pairs)
+            }
+            ExplainEvent::SolverStats {
+                variables,
+                solution_size,
+            } => {
+                let mut pairs = vec![
+                    ("event", Json::str("solver")),
+                    ("id", Json::str(id)),
+                    ("variables", Json::Int(*variables as i64)),
+                ];
+                if let Some(size) = solution_size {
+                    pairs.push(("solution", Json::Int(*size as i64)));
+                }
+                Json::obj(pairs)
+            }
+            ExplainEvent::Verdict {
+                agrees,
+                counterexample_size,
+                class,
+                algorithm,
+            } => {
+                let mut pairs = vec![
+                    ("event", Json::str("verdict")),
+                    ("id", Json::str(id)),
+                    ("agrees", Json::Bool(*agrees)),
+                ];
+                if let Some(size) = counterexample_size {
+                    pairs.push(("counterexample_size", Json::Int(*size as i64)));
+                }
+                pairs.push(("class", Json::str(class.to_string())));
+                pairs.push(("algorithm", Json::str(format!("{algorithm:?}"))));
+                Json::obj(pairs)
+            }
+        };
+        if let Ok(mut out) = self.out.lock() {
+            // Checked under the lock so a concurrent retire() fully
+            // serializes against this write (events strictly precede the
+            // response; a stale thread from a timed-out job stays silent).
+            if !self.live.load(std::sync::atomic::Ordering::Relaxed) {
+                return;
+            }
+            let _ = writeln!(out, "{}", json.render());
+            let _ = out.flush();
+        }
+    }
+}
+
+/// Run the daemon loop: read NDJSON requests from `input`, write responses
+/// (and streamed events) to `output`, until `shutdown` or EOF.
+pub fn serve<R: BufRead, W: Write + Send + 'static>(input: R, output: W) -> io::Result<()> {
+    let out = Arc::new(Mutex::new(output));
+    write_line(
+        &out,
+        &Json::obj(vec![
+            ("event", Json::str("protocol")),
+            ("name", Json::str(PROTOCOL_NAME)),
+            ("version", Json::Int(PROTOCOL_VERSION)),
+        ]),
+    )?;
+
+    let mut refs: HashMap<String, RefState> = HashMap::new();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = handle_request(&line, &mut refs, &out);
+        write_line(&out, &response)?;
+        if shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn write_line<W: Write>(out: &Arc<Mutex<W>>, json: &Json) -> io::Result<()> {
+    let mut out = out.lock().expect("serve output poisoned");
+    writeln!(out, "{}", json.render())?;
+    out.flush()
+}
+
+fn error_response(cmd: Option<&str>, message: impl Into<String>) -> Json {
+    let mut pairs = vec![("ok", Json::Bool(false))];
+    if let Some(cmd) = cmd {
+        pairs.push(("cmd", Json::str(cmd)));
+    }
+    pairs.push(("error", Json::str(message.into())));
+    Json::obj(pairs)
+}
+
+/// Handle one request line; returns the response document and whether the
+/// daemon should exit.
+fn handle_request<W: Write + Send + 'static>(
+    line: &str,
+    refs: &mut HashMap<String, RefState>,
+    out: &Arc<Mutex<W>>,
+) -> (Json, bool) {
+    let request = match Json::parse(line) {
+        Ok(json) => json,
+        Err(e) => {
+            return (
+                error_response(None, format!("request is not JSON: {e}")),
+                false,
+            )
+        }
+    };
+    let Some(cmd) = request.get("cmd").and_then(Json::as_str) else {
+        return (error_response(None, "request has no `cmd` field"), false);
+    };
+    match cmd {
+        "hello" => (
+            Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("cmd", Json::str("hello")),
+                ("protocol", Json::str(PROTOCOL_NAME)),
+                ("version", Json::Int(PROTOCOL_VERSION)),
+            ]),
+            false,
+        ),
+        "prepare" => (cmd_prepare(&request, refs), false),
+        "grade" => (cmd_grade(&request, refs, out), false),
+        "stats" => (cmd_stats(&request, refs), false),
+        "shutdown" => (
+            Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("cmd", Json::str("shutdown")),
+            ]),
+            true,
+        ),
+        other => (
+            error_response(Some(other), format!("unknown command `{other}`")),
+            false,
+        ),
+    }
+}
+
+fn ref_field<'a>(request: &'a Json, cmd: &str) -> Result<&'a str, Json> {
+    request
+        .get("ref")
+        .and_then(Json::as_str)
+        .ok_or_else(|| error_response(Some(cmd), "missing `ref` field"))
+}
+
+fn cmd_prepare(request: &Json, refs: &mut HashMap<String, RefState>) -> Json {
+    let ref_id = match ref_field(request, "prepare") {
+        Ok(r) => r.to_owned(),
+        Err(e) => return e,
+    };
+    let db_tuples = request
+        .get("db_tuples")
+        .and_then(Json::as_i64)
+        .unwrap_or(60)
+        .max(0) as usize;
+    // The instance is generated daemon-side; cap it so one request cannot
+    // stall the single-threaded loop on data generation alone.
+    const MAX_DB_TUPLES: usize = 100_000;
+    if db_tuples > MAX_DB_TUPLES {
+        return error_response(
+            Some("prepare"),
+            format!("db_tuples {db_tuples} exceeds the daemon cap of {MAX_DB_TUPLES}"),
+        );
+    }
+    let seed = request.get("seed").and_then(Json::as_i64).unwrap_or(2019) as u64;
+    let timeout_ms = request
+        .get("timeout_ms")
+        .and_then(Json::as_i64)
+        .unwrap_or(30_000)
+        .max(0) as u64;
+
+    let db = ratest_datagen::university_database(&ratest_datagen::UniversityConfig {
+        total_tuples: db_tuples,
+        seed,
+        ..Default::default()
+    });
+
+    // Resolve the reference: a course question number or inline source.
+    let (label, reference) = if let Some(n) = request.get("question").and_then(Json::as_i64) {
+        match course_questions()
+            .into_iter()
+            .find(|q| q.number == n as usize)
+        {
+            Some(q) => (q.prompt.to_owned(), q.reference),
+            None => {
+                return error_response(
+                    Some("prepare"),
+                    format!("no course question {n} (valid: 1..8)"),
+                )
+            }
+        }
+    } else {
+        let lang: SourceLang = match request
+            .get("lang")
+            .and_then(Json::as_str)
+            .unwrap_or("sql")
+            .parse()
+        {
+            Ok(l) => l,
+            Err(e) => return error_response(Some("prepare"), e),
+        };
+        let Some(source) = request.get("source").and_then(Json::as_str) else {
+            return error_response(Some("prepare"), "prepare needs `question` or `source`");
+        };
+        match compile_submission(&ref_id, &ref_id, lang, source, &db) {
+            IngestEntry::Parsed(s) => (format!("reference {ref_id}"), s.query),
+            IngestEntry::Rejected(r) => {
+                return error_response(
+                    Some("prepare"),
+                    format!("reference does not compile: {}", r.rendered),
+                )
+            }
+        }
+    };
+
+    let mut options = RatestOptions::default();
+    // Reference preparation (evaluate + annotate) runs under the same
+    // wall-clock bound as grading, so a flooding inline reference cannot
+    // hang the daemon. The deadline is fixed at prepare time; that is safe
+    // because with `timeout_ms > 0` every grade request runs under its own
+    // fresh per-job budget, and with `timeout_ms == 0` the user explicitly
+    // asked for no limits at all.
+    if timeout_ms > 0 {
+        options.budget = ratest_core::session::Budget::unlimited()
+            .with_deadline(Duration::from_millis(timeout_ms));
+    }
+    if let Some(Json::Obj(pairs)) = request.get("params") {
+        for (name, value) in pairs {
+            let value = match value {
+                Json::Int(i) => Value::Int(*i),
+                Json::Str(s) => Value::from(s.as_str()),
+                other => {
+                    return error_response(
+                        Some("prepare"),
+                        format!("param `{name}` must be an int or string, got {other:?}"),
+                    )
+                }
+            };
+            options.parameters.insert(name.clone(), value);
+        }
+    }
+    let grader = Grader::new(GraderConfig {
+        workers: 1,
+        per_job_timeout: Duration::from_millis(timeout_ms),
+        options,
+    });
+
+    // Warm the session now: the context is established (instance hashed,
+    // reference evaluated + annotated) exactly once, at prepare time; every
+    // grade request reuses the handle. A failure here (e.g. a reference
+    // that does not evaluate) is a prepare error.
+    let context = match grader.prepare_context(&reference, &db) {
+        Ok(c) => c,
+        Err(e) => return error_response(Some("prepare"), e.to_string()),
+    };
+    let probe = ExplainRequest::new("__warmup__", "__warmup__", reference.clone());
+    let fingerprint = probe.fingerprint();
+    if let Err(e) = grader.respond_prepared(context, &probe, EventHandle::none()) {
+        return error_response(Some("prepare"), e.to_string());
+    }
+    let shared_annotation = grader.shared_annotation_for(context).unwrap_or(false);
+
+    let state = RefState {
+        label,
+        db,
+        grader,
+        context,
+        fingerprint,
+        graded: 0,
+        cache_hits: 0,
+    };
+    let response = Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("cmd", Json::str("prepare")),
+        ("ref", Json::str(&ref_id)),
+        ("label", Json::str(&state.label)),
+        (
+            "fingerprint",
+            Json::str(format!("{:016x}", state.fingerprint)),
+        ),
+        ("shared_annotation", Json::Bool(shared_annotation)),
+        ("db_tuples", Json::Int(state.db.total_tuples() as i64)),
+        ("seed", Json::Int(seed as i64)),
+    ]);
+    refs.insert(ref_id, state);
+    response
+}
+
+fn cmd_grade<W: Write + Send + 'static>(
+    request: &Json,
+    refs: &mut HashMap<String, RefState>,
+    out: &Arc<Mutex<W>>,
+) -> Json {
+    let ref_id = match ref_field(request, "grade") {
+        Ok(r) => r.to_owned(),
+        Err(e) => return e,
+    };
+    let Some(state) = refs.get_mut(&ref_id) else {
+        return error_response(
+            Some("grade"),
+            format!("unknown reference `{ref_id}` — `prepare` it first"),
+        );
+    };
+    let Some(id) = request.get("id").and_then(Json::as_str) else {
+        return error_response(Some("grade"), "missing `id` field");
+    };
+    let author = request
+        .get("author")
+        .and_then(Json::as_str)
+        .unwrap_or(id)
+        .to_owned();
+    let lang: SourceLang = match request
+        .get("lang")
+        .and_then(Json::as_str)
+        .unwrap_or("sql")
+        .parse()
+    {
+        Ok(l) => l,
+        Err(e) => return error_response(Some("grade"), e),
+    };
+    let Some(source) = request.get("source").and_then(Json::as_str) else {
+        return error_response(Some("grade"), "missing `source` field");
+    };
+    let want_events = request
+        .get("events")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let want_explanation = request
+        .get("explain")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+
+    state.graded += 1;
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("cmd", Json::str("grade")),
+        ("ref", Json::str(&ref_id)),
+        ("id", Json::str(id)),
+        ("author", Json::str(&author)),
+    ];
+    match compile_submission(id, &author, lang, source, &state.db) {
+        IngestEntry::Rejected(r) => {
+            // A frontend rejection is a verdict, not a protocol error.
+            pairs.push(("fingerprint", Json::str(format!("{:016x}", 0))));
+            pairs.push(("verdict", Json::str("rejected")));
+            pairs.push(("from_cache", Json::Bool(false)));
+            if let Verdict::Rejected {
+                message,
+                phase,
+                kind,
+                span,
+            } = &r.verdict
+            {
+                pairs.push(("message", Json::str(message)));
+                pairs.push(("phase", Json::str(phase)));
+                pairs.push(("kind", Json::str(kind)));
+                if let Some((start, end)) = span {
+                    pairs.push((
+                        "span",
+                        Json::Arr(vec![Json::Int(*start as i64), Json::Int(*end as i64)]),
+                    ));
+                }
+            }
+            Json::obj(pairs)
+        }
+        IngestEntry::Parsed(submission) => {
+            // A per-request sink (not a shared gate): a stale thread from an
+            // earlier timed-out job keeps its own retired sink and can never
+            // emit under this request's id.
+            let sink = want_events.then(|| RequestSink::new(out.clone(), id));
+            let events = match &sink {
+                Some(sink) => EventHandle::new(sink.clone() as Arc<dyn EventSink>),
+                None => EventHandle::none(),
+            };
+            let outcome = state.grader.respond_prepared(
+                state.context,
+                &ExplainRequest::new(submission.id.clone(), author.clone(), submission.query),
+                events,
+            );
+            if let Some(sink) = &sink {
+                sink.retire();
+            }
+            let response = match outcome {
+                Ok(r) => r,
+                Err(e) => return error_response(Some("grade"), e.to_string()),
+            };
+            if response.from_cache {
+                state.cache_hits += 1;
+            }
+            pairs.push((
+                "fingerprint",
+                Json::str(format!("{:016x}", response.fingerprint)),
+            ));
+            pairs.push(("verdict", Json::str(response.verdict.tag())));
+            pairs.push(("from_cache", Json::Bool(response.from_cache)));
+            match &response.verdict {
+                Verdict::Wrong {
+                    counterexample,
+                    class,
+                    algorithm,
+                    ..
+                } => {
+                    pairs.push((
+                        "counterexample_size",
+                        Json::Int(counterexample.size() as i64),
+                    ));
+                    pairs.push(("class", Json::str(class.to_string())));
+                    pairs.push(("algorithm", Json::str(format!("{algorithm:?}"))));
+                    if want_explanation {
+                        pairs.push((
+                            "explanation",
+                            Json::str(ratest_core::report::render_counterexample(counterexample)),
+                        ));
+                    }
+                }
+                Verdict::Error { message } => {
+                    pairs.push(("message", Json::str(message)));
+                }
+                Verdict::Timeout { budget } => {
+                    pairs.push(("timeout_ms", Json::Int(budget.as_millis() as i64)));
+                }
+                Verdict::Correct | Verdict::Rejected { .. } => {}
+            }
+            Json::obj(pairs)
+        }
+    }
+}
+
+fn cmd_stats(request: &Json, refs: &HashMap<String, RefState>) -> Json {
+    let ref_id = match ref_field(request, "stats") {
+        Ok(r) => r.to_owned(),
+        Err(e) => return e,
+    };
+    let Some(state) = refs.get(&ref_id) else {
+        return error_response(Some("stats"), format!("unknown reference `{ref_id}`"));
+    };
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("cmd", Json::str("stats")),
+        ("ref", Json::str(&ref_id)),
+        ("graded", Json::Int(state.graded as i64)),
+        ("cache_hits", Json::Int(state.cache_hits as i64)),
+        (
+            "searches",
+            // Exclude the prepare-time warmup probe: it is not a student
+            // grading.
+            Json::Int(state.grader.searches_total().saturating_sub(1) as i64),
+        ),
+        (
+            "cached_verdicts",
+            Json::Int(state.grader.cached_verdicts() as i64),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cloneable in-memory writer for driving the daemon in-process.
+    #[derive(Clone, Default)]
+    pub(crate) struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        pub(crate) fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn run(script: &str) -> String {
+        let out = SharedBuf::default();
+        serve(script.as_bytes(), out.clone()).unwrap();
+        out.contents()
+    }
+
+    #[test]
+    fn the_daemon_announces_its_protocol_and_answers_hello() {
+        let out = run(r#"{"cmd":"hello"}"#);
+        let mut lines = out.lines();
+        let banner = Json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(
+            banner.get("name").and_then(Json::as_str),
+            Some(PROTOCOL_NAME)
+        );
+        assert_eq!(banner.get("version").and_then(Json::as_i64), Some(1));
+        let hello = Json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(hello.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_are_protocol_errors() {
+        let out = run("not json\n{\"no_cmd\":1}\n{\"cmd\":\"nope\"}\n{\"cmd\":\"grade\",\"ref\":\"missing\",\"id\":\"s\",\"source\":\"x\"}");
+        let errors: Vec<Json> = out
+            .lines()
+            .skip(1)
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(errors.len(), 4);
+        for e in &errors {
+            assert_eq!(e.get("ok").and_then(Json::as_bool), Some(false), "{e:?}");
+        }
+        assert!(errors[3]
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("prepare"));
+    }
+
+    #[test]
+    fn a_conversation_grades_warm_regrades_and_shuts_down() {
+        let script = r#"
+{"cmd":"prepare","ref":"q3","question":3,"db_tuples":24,"seed":7}
+{"cmd":"grade","ref":"q3","id":"s1.ra","lang":"ra","source":"project[s.name, s.major](join[s.name = r.name and r.dept = 'CS'](rename[s](Student), rename[r](Registration)))"}
+{"cmd":"grade","ref":"q3","id":"s2.ra","lang":"ra","source":"project[s.name, s.major](join[s.name = r.name](rename[s](Student), rename[r](Registration)))"}
+{"cmd":"grade","ref":"q3","id":"s1-again.ra","lang":"ra","source":"project[s.name, s.major](join[s.name = r.name and r.dept = 'CS'](rename[s](Student), rename[r](Registration)))"}
+{"cmd":"stats","ref":"q3"}
+{"cmd":"shutdown"}
+"#;
+        let out = run(script);
+        let docs: Vec<Json> = out.lines().map(|l| Json::parse(l).unwrap()).collect();
+        // banner, prepare, 3 grades, stats, shutdown
+        assert_eq!(docs.len(), 7, "{out}");
+        assert_eq!(docs[1].get("cmd").and_then(Json::as_str), Some("prepare"));
+        assert_eq!(docs[1].get("ok").and_then(Json::as_bool), Some(true));
+
+        // The warm re-grade of s1 is answered from cache.
+        assert_eq!(
+            docs[2].get("from_cache").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            docs[4].get("from_cache").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            docs[2].get("verdict").and_then(Json::as_str),
+            docs[4].get("verdict").and_then(Json::as_str),
+        );
+        // Two distinct submissions → exactly two searches despite three grades.
+        let stats = &docs[5];
+        assert_eq!(stats.get("graded").and_then(Json::as_i64), Some(3));
+        assert_eq!(stats.get("searches").and_then(Json::as_i64), Some(2));
+        assert_eq!(stats.get("cache_hits").and_then(Json::as_i64), Some(1));
+        assert_eq!(docs[6].get("cmd").and_then(Json::as_str), Some("shutdown"));
+    }
+
+    #[test]
+    fn rejected_sources_are_verdicts_not_errors() {
+        let script = r#"
+{"cmd":"prepare","ref":"q1","question":1,"db_tuples":24,"seed":7,"params":{"minCS":1}}
+{"cmd":"grade","ref":"q1","id":"bad.sql","lang":"sql","source":"SELECT nme FROM Student"}
+{"cmd":"shutdown"}
+"#;
+        let out = run(script);
+        let docs: Vec<Json> = out.lines().map(|l| Json::parse(l).unwrap()).collect();
+        let graded = &docs[2];
+        assert_eq!(graded.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            graded.get("verdict").and_then(Json::as_str),
+            Some("rejected")
+        );
+        assert_eq!(graded.get("phase").and_then(Json::as_str), Some("resolve"));
+        assert!(graded.get("span").is_some());
+    }
+
+    #[test]
+    fn event_streaming_is_opt_in_and_deterministic() {
+        let script = r#"
+{"cmd":"prepare","ref":"q3","question":3,"db_tuples":24,"seed":7}
+{"cmd":"grade","ref":"q3","id":"w.ra","lang":"ra","source":"project[s.name, s.major](join[s.name = r.name and r.dept = 'CS'](rename[s](Student), rename[r](Registration)))","events":true}
+{"cmd":"shutdown"}
+"#;
+        let a = run(script);
+        let b = run(script);
+        assert_eq!(a, b, "two daemon runs are byte-identical");
+        let events: Vec<Json> = a
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .filter(|d| d.get("event").and_then(Json::as_str) == Some("phase"))
+            .collect();
+        assert!(!events.is_empty(), "{a}");
+        assert!(events
+            .iter()
+            .all(|e| e.get("id").and_then(Json::as_str) == Some("w.ra")));
+        // The final event is the verdict, matching the response line.
+        let verdict_events: Vec<Json> = a
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .filter(|d| d.get("event").and_then(Json::as_str) == Some("verdict"))
+            .collect();
+        assert_eq!(verdict_events.len(), 1);
+        assert_eq!(
+            verdict_events[0].get("agrees").and_then(Json::as_bool),
+            Some(false)
+        );
+    }
+}

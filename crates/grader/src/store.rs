@@ -294,8 +294,16 @@ fn decode_counterexample(d: &mut Decoder) -> Result<Counterexample, String> {
 ///
 /// Returns [`StoreError::Unpersistable`] for timeouts and rejections, which
 /// are intentionally excluded from the persistent cache (see module docs).
+/// (The wire-level [`crate::api`] codec, which has no persistence policy,
+/// encodes those two kinds itself and reuses this stream for the rest.)
 pub fn encode_verdict(v: &Verdict) -> Result<String, StoreError> {
     let mut e = Encoder::new();
+    encode_verdict_into(v, &mut e)?;
+    Ok(e.finish())
+}
+
+/// Append a persistable verdict to an existing encoder stream.
+pub(crate) fn encode_verdict_into(v: &Verdict, e: &mut Encoder) -> Result<(), StoreError> {
     match v {
         Verdict::Correct => {
             e.tag("correct");
@@ -309,7 +317,7 @@ pub fn encode_verdict(v: &Verdict) -> Result<String, StoreError> {
             e.tag("wrong")
                 .tag(class_tag(*class))
                 .tag(algorithm_tag(*algorithm));
-            encode_counterexample(counterexample, &mut e);
+            encode_counterexample(counterexample, e);
         }
         Verdict::Error { message } => {
             e.tag("error").s(message);
@@ -317,18 +325,17 @@ pub fn encode_verdict(v: &Verdict) -> Result<String, StoreError> {
         Verdict::Timeout { .. } => return Err(StoreError::Unpersistable("timeout")),
         Verdict::Rejected { .. } => return Err(StoreError::Unpersistable("rejected")),
     }
-    Ok(e.finish())
+    Ok(())
 }
 
-/// Decode a verdict payload string.
-pub fn decode_verdict(payload: &str) -> Result<Verdict, String> {
-    let mut d = Decoder::new(payload);
-    let verdict = match d.tag().map_err(|e| e.to_string())? {
+/// Decode the body of a verdict whose tag was already consumed.
+pub(crate) fn decode_verdict_tagged(tag: &str, d: &mut Decoder) -> Result<Verdict, String> {
+    Ok(match tag {
         "correct" => Verdict::Correct,
         "wrong" => {
             let class = decode_class(d.tag().map_err(|e| e.to_string())?)?;
             let algorithm = decode_algorithm(d.tag().map_err(|e| e.to_string())?)?;
-            let cex = decode_counterexample(&mut d)?;
+            let cex = decode_counterexample(d)?;
             Verdict::Wrong {
                 counterexample: Box::new(cex),
                 class,
@@ -340,7 +347,14 @@ pub fn decode_verdict(payload: &str) -> Result<Verdict, String> {
             message: d.s().map_err(|e| e.to_string())?,
         },
         other => return Err(format!("unknown verdict tag `{other}`")),
-    };
+    })
+}
+
+/// Decode a verdict payload string.
+pub fn decode_verdict(payload: &str) -> Result<Verdict, String> {
+    let mut d = Decoder::new(payload);
+    let tag = d.tag().map_err(|e| e.to_string())?;
+    let verdict = decode_verdict_tagged(tag, &mut d)?;
     d.done().map_err(|e| e.to_string())?;
     Ok(verdict)
 }

@@ -1,0 +1,193 @@
+//! Protocol-conformance suite for the `grade serve` daemon.
+//!
+//! * **Golden conversation** (`fixtures/serve/course_conversation.ndjson` →
+//!   `.expected`): the scripted dialogue of the acceptance criteria —
+//!   prepare a reference, grade three submissions (one streamed with
+//!   events, one rejected), re-grade one warm — must produce byte-exact
+//!   output. `BLESS=1 cargo test -p ratest_grader --test serve_protocol`
+//!   re-blesses after an intentional protocol change (bump
+//!   [`ratest_grader::serve::PROTOCOL_VERSION`] when the change is
+//!   wire-visible).
+//! * **Determinism**: two fresh daemon runs over the same script are
+//!   byte-identical.
+//! * **Warm re-grade**: the re-graded submission is answered
+//!   `"from_cache":true` and the `searches` counter does not move — zero
+//!   counterexample searches.
+//! * **Binary transport**: the same conversation piped through the real
+//!   `grade serve` subprocess matches the in-process output, so the CI
+//!   `serve-protocol` job and the library tests pin one artifact.
+
+use ratest_grader::json::Json;
+use ratest_grader::serve::serve;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/serve")
+        .join(name)
+}
+
+/// A cloneable writer so the test can read the daemon's output back.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn run_in_process(script: &str) -> String {
+    let out = SharedBuf::default();
+    serve(script.as_bytes(), out.clone()).expect("serve loop runs");
+    let bytes = out.0.lock().unwrap().clone();
+    String::from_utf8(bytes).expect("daemon output is UTF-8")
+}
+
+fn course_conversation() -> String {
+    std::fs::read_to_string(fixture("course_conversation.ndjson")).expect("fixture exists")
+}
+
+#[test]
+fn the_course_conversation_matches_its_golden_transcript() {
+    let got = run_in_process(&course_conversation());
+    let expected_path = fixture("course_conversation.expected");
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(&expected_path, &got).unwrap();
+        eprintln!("blessed {}", expected_path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path)
+        .expect("golden transcript exists (run with BLESS=1 to create)");
+    assert_eq!(
+        got, expected,
+        "protocol output drifted from the golden transcript; if the change \
+         is intentional, bump PROTOCOL_VERSION if wire-visible and re-bless \
+         with BLESS=1"
+    );
+}
+
+#[test]
+fn two_daemon_runs_are_byte_identical() {
+    let script = course_conversation();
+    assert_eq!(run_in_process(&script), run_in_process(&script));
+}
+
+#[test]
+fn the_warm_regrade_is_answered_without_a_search() {
+    let out = run_in_process(&course_conversation());
+    let docs: Vec<Json> = out.lines().map(|l| Json::parse(l).unwrap()).collect();
+    let responses: Vec<&Json> = docs.iter().filter(|d| d.get("ok").is_some()).collect();
+    // hello, prepare, 4 grades, 2 stats, shutdown.
+    assert_eq!(responses.len(), 9, "{out}");
+
+    let grade = |id: &str| {
+        responses
+            .iter()
+            .find(|d| d.get("id").and_then(Json::as_str) == Some(id))
+            .unwrap_or_else(|| panic!("no response for {id}"))
+            .to_owned()
+    };
+    // Cold grades actually searched; the rejection never reached the engine.
+    assert_eq!(
+        grade("s1.ra").get("from_cache").and_then(Json::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        grade("s1.ra").get("verdict").and_then(Json::as_str),
+        Some("wrong")
+    );
+    assert_eq!(
+        grade("s3.sql").get("verdict").and_then(Json::as_str),
+        Some("rejected")
+    );
+    // The warm re-grade: same fingerprint, same verdict, zero new searches.
+    let regrade = grade("s1-regrade.ra");
+    assert_eq!(
+        regrade.get("from_cache").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        regrade.get("fingerprint"),
+        grade("s1.ra").get("fingerprint")
+    );
+    assert_eq!(
+        regrade.get("counterexample_size"),
+        grade("s1.ra").get("counterexample_size")
+    );
+    let stats: Vec<&&Json> = responses
+        .iter()
+        .filter(|d| d.get("cmd").and_then(Json::as_str) == Some("stats"))
+        .collect();
+    assert_eq!(stats.len(), 2);
+    let searches_before = stats[0].get("searches").and_then(Json::as_i64).unwrap();
+    let searches_after = stats[1].get("searches").and_then(Json::as_i64).unwrap();
+    assert_eq!(searches_before, 2, "two distinct gradable submissions");
+    assert_eq!(
+        searches_after, searches_before,
+        "the warm re-grade performed zero counterexample searches"
+    );
+}
+
+#[test]
+fn the_grade_binary_speaks_the_same_protocol() {
+    let script = course_conversation();
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_grade"))
+        .arg("serve")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("grade serve starts");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("daemon exits on shutdown");
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8(out.stdout).unwrap(),
+        run_in_process(&script),
+        "the subprocess transport and the in-process loop emit one artifact"
+    );
+}
+
+/// `grade --spawn N` (the single-invocation shard driver) fuses its shard
+/// artifacts into exactly the report the unsharded run writes.
+#[test]
+fn spawn_driver_matches_the_unsharded_report() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let examples = repo_root.join("examples/sql");
+    let tmp = std::env::temp_dir().join(format!("ratest-spawn-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+
+    let grade = |extra: &[&str]| {
+        let status = std::process::Command::new(env!("CARGO_BIN_EXE_grade"))
+            .arg(&examples)
+            .args(["--reference", "1", "--param", "minCS=1"])
+            .args(extra)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .expect("grade runs");
+        assert!(status.success(), "grade {extra:?} failed");
+    };
+    let cold = tmp.join("cold.json");
+    let spawned = tmp.join("spawned.json");
+    grade(&["--json", cold.to_str().unwrap()]);
+    grade(&["--spawn", "2", "--json", spawned.to_str().unwrap()]);
+    assert_eq!(
+        std::fs::read_to_string(&cold).unwrap(),
+        std::fs::read_to_string(&spawned).unwrap(),
+        "spawn-merged report differs from the unsharded run"
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}

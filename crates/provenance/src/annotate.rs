@@ -10,6 +10,7 @@ use crate::error::{ProvenanceError, Result};
 use ratest_ra::ast::Query;
 use ratest_ra::eval::hash_join_keys;
 use ratest_ra::expr::ParamMap;
+use ratest_ra::interrupt::{Interrupt, Pacer};
 use ratest_ra::typecheck::{output_schema, rename_schema};
 use ratest_storage::{Database, Schema, Value};
 use std::collections::HashMap;
@@ -134,6 +135,30 @@ pub fn annotate_with_params(
     db: &Database,
     params: &ParamMap,
 ) -> Result<AnnotatedResult> {
+    annotate_interruptible(query, db, params, &Interrupt::none())
+}
+
+/// Annotate under a cooperative [`Interrupt`]: the row loops poll the hook
+/// at the evaluator's stride, so a flooding provenance computation (whose
+/// join fan-out is at least that of plain evaluation) stops within a bounded
+/// amount of work of the hook being raised. See
+/// [`ratest_ra::eval::evaluate_interruptible`] for the pacing contract.
+pub fn annotate_interruptible(
+    query: &Query,
+    db: &Database,
+    params: &ParamMap,
+    interrupt: &Interrupt,
+) -> Result<AnnotatedResult> {
+    let pacer = Pacer::new(interrupt);
+    annotate_node(query, db, params, &pacer)
+}
+
+fn annotate_node(
+    query: &Query,
+    db: &Database,
+    params: &ParamMap,
+    pacer: &Pacer,
+) -> Result<AnnotatedResult> {
     match query {
         Query::Relation(name) => {
             let rel = db.relation(name)?;
@@ -147,9 +172,10 @@ pub fn annotate_with_params(
             Ok(out)
         }
         Query::Select { input, predicate } => {
-            let inp = annotate_with_params(input, db, params)?;
+            let inp = annotate_node(input, db, params, pacer)?;
             let mut out = AnnotatedResult::empty(inp.schema().clone());
             for row in inp.rows() {
+                pacer.tick()?;
                 if predicate.eval_predicate(inp.schema(), &row.values, params)? {
                     out.push(row.values.clone(), row.provenance.clone());
                 }
@@ -157,10 +183,11 @@ pub fn annotate_with_params(
             Ok(out)
         }
         Query::Project { input, items } => {
-            let inp = annotate_with_params(input, db, params)?;
+            let inp = annotate_node(input, db, params, pacer)?;
             let schema = output_schema(query, db)?;
             let mut out = AnnotatedResult::empty(schema);
             for row in inp.rows() {
+                pacer.tick()?;
                 let mut projected = Vec::with_capacity(items.len());
                 for item in items {
                     projected.push(item.expr.eval(inp.schema(), &row.values, params)?);
@@ -174,8 +201,8 @@ pub fn annotate_with_params(
             right,
             predicate,
         } => {
-            let l = annotate_with_params(left, db, params)?;
-            let r = annotate_with_params(right, db, params)?;
+            let l = annotate_node(left, db, params, pacer)?;
+            let r = annotate_node(right, db, params, pacer)?;
             let schema = l.schema().concat(r.schema());
             let mut out = AnnotatedResult::empty(schema.clone());
             if let Some(pred) = predicate {
@@ -186,9 +213,11 @@ pub fn annotate_with_params(
                         table.entry(key).or_default().push(i);
                     }
                     for lrow in l.rows() {
+                        pacer.tick()?;
                         let key: Vec<Value> = lk.iter().map(|&k| lrow.values[k].clone()).collect();
                         if let Some(matches) = table.get(&key) {
                             for &ri in matches {
+                                pacer.tick()?;
                                 let rrow = &r.rows()[ri];
                                 let mut values = lrow.values.clone();
                                 values.extend(rrow.values.iter().cloned());
@@ -213,6 +242,7 @@ pub fn annotate_with_params(
             }
             for lrow in l.rows() {
                 for rrow in r.rows() {
+                    pacer.tick()?;
                     let mut values = lrow.values.clone();
                     values.extend(rrow.values.iter().cloned());
                     let keep = match predicate {
@@ -230,24 +260,26 @@ pub fn annotate_with_params(
             Ok(out)
         }
         Query::Union { left, right } => {
-            let l = annotate_with_params(left, db, params)?;
-            let r = annotate_with_params(right, db, params)?;
+            let l = annotate_node(left, db, params, pacer)?;
+            let r = annotate_node(right, db, params, pacer)?;
             let mut out = AnnotatedResult::empty(l.schema().clone());
             for row in l.rows() {
+                pacer.tick()?;
                 out.push(row.values.clone(), row.provenance.clone());
             }
             for row in r.rows() {
+                pacer.tick()?;
                 out.push(row.values.clone(), row.provenance.clone());
             }
             Ok(out)
         }
         Query::Difference { left, right } => {
-            let l = annotate_with_params(left, db, params)?;
-            let r = annotate_with_params(right, db, params)?;
+            let l = annotate_node(left, db, params, pacer)?;
+            let r = annotate_node(right, db, params, pacer)?;
             Ok(difference_of(&l, &r))
         }
         Query::Rename { input, prefix } => {
-            let inp = annotate_with_params(input, db, params)?;
+            let inp = annotate_node(input, db, params, pacer)?;
             let schema = rename_schema(inp.schema(), prefix);
             let mut out = AnnotatedResult::empty(schema);
             for row in inp.rows() {

@@ -39,7 +39,10 @@ pub mod error;
 pub mod smtlib;
 
 pub use aggprov::{aggregate_provenance, AggregateProvenance, GroupProvenance};
-pub use annotate::{annotate, annotate_with_params, difference_of, AnnotatedResult, AnnotatedRow};
+pub use annotate::{
+    annotate, annotate_interruptible, annotate_with_params, difference_of, AnnotatedResult,
+    AnnotatedRow,
+};
 pub use boolexpr::BoolExpr;
 pub use dnf::{Dnf, Minterm};
 pub use error::{ProvenanceError, Result};

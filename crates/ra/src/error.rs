@@ -46,6 +46,10 @@ pub enum QueryError {
         /// Byte offset in the input where the error was detected.
         position: usize,
     },
+    /// The evaluation was stopped cooperatively by an
+    /// [`crate::interrupt::InterruptHook`] (cancellation, deadline, step
+    /// quota) before it finished.
+    Interrupted(crate::interrupt::Interrupted),
 }
 
 impl fmt::Display for QueryError {
@@ -73,6 +77,9 @@ impl fmt::Display for QueryError {
             }
             QueryError::Parse { message, position } => {
                 write!(f, "parse error at byte {position}: {message}")
+            }
+            QueryError::Interrupted(reason) => {
+                write!(f, "evaluation interrupted: {reason}")
             }
         }
     }

@@ -9,6 +9,7 @@
 use crate::ast::{AggFunc, Query};
 use crate::error::{QueryError, Result};
 use crate::expr::{BinaryOp, Expr, ParamMap};
+use crate::interrupt::{Interrupt, Pacer};
 use crate::typecheck::{output_schema, rename_schema};
 use ratest_storage::{Database, Schema, Value};
 use std::collections::{HashMap, HashSet};
@@ -107,6 +108,27 @@ pub fn evaluate(query: &Query, db: &Database) -> Result<ResultSet> {
 
 /// Evaluate a query with parameter bindings.
 pub fn evaluate_with_params(query: &Query, db: &Database, params: &Params) -> Result<ResultSet> {
+    evaluate_interruptible(query, db, params, &Interrupt::none())
+}
+
+/// Evaluate a query with parameter bindings under a cooperative
+/// [`Interrupt`]: the inner row loops poll the hook every
+/// [`Pacer::STRIDE`] rows, so a single long evaluation (a flooding join, a
+/// huge grouping) stops within a bounded amount of work of the hook being
+/// raised instead of running to completion. A hookless interrupt costs one
+/// decrement per row.
+pub fn evaluate_interruptible(
+    query: &Query,
+    db: &Database,
+    params: &Params,
+    interrupt: &Interrupt,
+) -> Result<ResultSet> {
+    // One pacer for the whole tree: the stride counts global work.
+    let pacer = Pacer::new(interrupt);
+    eval_node(query, db, params, &pacer)
+}
+
+fn eval_node(query: &Query, db: &Database, params: &Params, pacer: &Pacer) -> Result<ResultSet> {
     match query {
         Query::Relation(name) => {
             let rel = db.relation(name)?;
@@ -115,9 +137,10 @@ pub fn evaluate_with_params(query: &Query, db: &Database, params: &Params) -> Re
             Ok(ResultSet::from_rows(schema, rows))
         }
         Query::Select { input, predicate } => {
-            let inp = evaluate_with_params(input, db, params)?;
+            let inp = eval_node(input, db, params, pacer)?;
             let mut out = ResultSet::empty(inp.schema().clone());
             for row in inp.rows() {
+                pacer.tick()?;
                 if predicate.eval_predicate(inp.schema(), row, params)? {
                     out.push(row.clone());
                 }
@@ -125,10 +148,11 @@ pub fn evaluate_with_params(query: &Query, db: &Database, params: &Params) -> Re
             Ok(out)
         }
         Query::Project { input, items } => {
-            let inp = evaluate_with_params(input, db, params)?;
+            let inp = eval_node(input, db, params, pacer)?;
             let schema = output_schema(query, db)?;
             let mut out = ResultSet::empty(schema);
             for row in inp.rows() {
+                pacer.tick()?;
                 let mut projected = Vec::with_capacity(items.len());
                 for item in items {
                     projected.push(item.expr.eval(inp.schema(), row, params)?);
@@ -142,8 +166,8 @@ pub fn evaluate_with_params(query: &Query, db: &Database, params: &Params) -> Re
             right,
             predicate,
         } => {
-            let l = evaluate_with_params(left, db, params)?;
-            let r = evaluate_with_params(right, db, params)?;
+            let l = eval_node(left, db, params, pacer)?;
+            let r = eval_node(right, db, params, pacer)?;
             let schema = l.schema().concat(r.schema());
             let mut out = ResultSet::empty(schema.clone());
             // Use a hash join on equality conjuncts when possible.
@@ -155,9 +179,11 @@ pub fn evaluate_with_params(query: &Query, db: &Database, params: &Params) -> Re
                         table.entry(key).or_default().push(i);
                     }
                     for lrow in l.rows() {
+                        pacer.tick()?;
                         let key: Vec<Value> = lk.iter().map(|&k| lrow[k].clone()).collect();
                         if let Some(matches) = table.get(&key) {
                             for &ri in matches {
+                                pacer.tick()?;
                                 let mut row = lrow.clone();
                                 row.extend(r.rows()[ri].iter().cloned());
                                 let ok = match &residual {
@@ -176,6 +202,7 @@ pub fn evaluate_with_params(query: &Query, db: &Database, params: &Params) -> Re
             // Fallback: nested loops.
             for lrow in l.rows() {
                 for rrow in r.rows() {
+                    pacer.tick()?;
                     let mut row = lrow.clone();
                     row.extend(rrow.iter().cloned());
                     let keep = match predicate {
@@ -190,24 +217,27 @@ pub fn evaluate_with_params(query: &Query, db: &Database, params: &Params) -> Re
             Ok(out)
         }
         Query::Union { left, right } => {
-            let l = evaluate_with_params(left, db, params)?;
-            let r = evaluate_with_params(right, db, params)?;
+            let l = eval_node(left, db, params, pacer)?;
+            let r = eval_node(right, db, params, pacer)?;
             check_union_compat(&l, &r)?;
             let mut out = ResultSet::empty(l.schema().clone());
             for row in l.rows() {
+                pacer.tick()?;
                 out.push(row.clone());
             }
             for row in r.rows() {
+                pacer.tick()?;
                 out.push(row.clone());
             }
             Ok(out)
         }
         Query::Difference { left, right } => {
-            let l = evaluate_with_params(left, db, params)?;
-            let r = evaluate_with_params(right, db, params)?;
+            let l = eval_node(left, db, params, pacer)?;
+            let r = eval_node(right, db, params, pacer)?;
             check_union_compat(&l, &r)?;
             let mut out = ResultSet::empty(l.schema().clone());
             for row in l.rows() {
+                pacer.tick()?;
                 if !r.contains(row) {
                     out.push(row.clone());
                 }
@@ -215,7 +245,7 @@ pub fn evaluate_with_params(query: &Query, db: &Database, params: &Params) -> Re
             Ok(out)
         }
         Query::Rename { input, prefix } => {
-            let inp = evaluate_with_params(input, db, params)?;
+            let inp = eval_node(input, db, params, pacer)?;
             let schema = rename_schema(inp.schema(), prefix);
             Ok(ResultSet::from_rows(schema, inp.rows().to_vec()))
         }
@@ -225,7 +255,7 @@ pub fn evaluate_with_params(query: &Query, db: &Database, params: &Params) -> Re
             aggregates,
             having,
         } => {
-            let inp = evaluate_with_params(input, db, params)?;
+            let inp = eval_node(input, db, params, pacer)?;
             let out_schema = output_schema(query, db)?;
             let group_idx: Vec<usize> = group_by
                 .iter()
@@ -235,6 +265,7 @@ pub fn evaluate_with_params(query: &Query, db: &Database, params: &Params) -> Re
             let mut groups: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::new();
             let mut order: Vec<Vec<Value>> = Vec::new();
             for row in inp.rows() {
+                pacer.tick()?;
                 let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
                 if !groups.contains_key(&key) {
                     order.push(key.clone());
@@ -250,6 +281,7 @@ pub fn evaluate_with_params(query: &Query, db: &Database, params: &Params) -> Re
                 for agg in aggregates {
                     let mut args = Vec::with_capacity(rows.len());
                     for row in rows {
+                        pacer.tick()?;
                         args.push(agg.arg.eval(inp.schema(), row, params)?);
                     }
                     output_row.push(compute_aggregate(agg.func, &args)?);
@@ -697,6 +729,50 @@ mod tests {
             compute_aggregate(AggFunc::Sum, &[Value::Int(1), Value::double(0.5)]).unwrap(),
             Value::double(1.5)
         );
+    }
+
+    #[test]
+    fn evaluation_is_interruptible_mid_query() {
+        use crate::interrupt::{Interrupt, InterruptHook, Interrupted};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        // Fires on its first poll — which the pacer only reaches after a
+        // full stride of inner-loop row work, i.e. strictly mid-evaluation
+        // for the ~500-pair nested-loop self-join below. Counts polls so the
+        // test can assert the stride actually amortized them.
+        #[derive(Debug)]
+        struct Quota(AtomicU64);
+        impl InterruptHook for Quota {
+            fn interrupted(&self) -> Option<Interrupted> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Some(Interrupted::StepQuotaExhausted)
+            }
+        }
+
+        let db = figure1_db();
+        let q = rel("Registration")
+            .rename("r1")
+            .join_on(
+                rel("Registration").rename("r2").build(),
+                col("r1.course").ne(col("r2.course")),
+            )
+            .join_on(
+                rel("Registration").rename("r3").build(),
+                col("r1.course").ne(col("r3.course")),
+            )
+            .build();
+        let polls = Arc::new(Quota(AtomicU64::new(0)));
+        let interrupt = Interrupt::hooked(polls.clone());
+        let err = evaluate_interruptible(&q, &db, &Params::new(), &interrupt)
+            .expect_err("the quota fires mid-join");
+        assert_eq!(
+            err,
+            QueryError::Interrupted(Interrupted::StepQuotaExhausted)
+        );
+        assert_eq!(polls.0.load(Ordering::Relaxed), 1, "one poll per stride");
+        // The hookless paths are unaffected.
+        assert!(evaluate(&q, &db).is_ok());
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod display;
 pub mod error;
 pub mod eval;
 pub mod expr;
+pub mod interrupt;
 pub mod metrics;
 pub mod parser;
 pub mod rewrite;
@@ -64,8 +65,9 @@ pub use builder::{col, lit, param, rel, QueryBuilder};
 pub use canonical::{canonical_form, fingerprint};
 pub use classify::{classify, classify_pair, QueryClass};
 pub use error::{QueryError, Result};
-pub use eval::{evaluate, evaluate_with_params, Params, ResultSet};
+pub use eval::{evaluate, evaluate_interruptible, evaluate_with_params, Params, ResultSet};
 pub use expr::{BinaryOp, Expr, UnaryOp};
+pub use interrupt::{Interrupt, InterruptHook, Interrupted};
 pub use metrics::QueryMetrics;
 pub use typecheck::output_schema;
 

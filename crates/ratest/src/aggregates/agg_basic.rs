@@ -30,15 +30,18 @@ pub struct AggBasicOptions {
     /// Maximum number of candidate groups to try (ordered by provenance
     /// size, smallest first, as suggested in Section 5.3.2).
     pub max_groups: usize,
-    /// Cooperative cancellation, polled once per candidate group.
-    pub cancel: crate::pipeline::CancelFlag,
+    /// Unified resource budget, polled once per candidate group.
+    pub budget: crate::session::Budget,
+    /// Progress events (per candidate group).
+    pub events: crate::session::EventHandle,
 }
 
 impl Default for AggBasicOptions {
     fn default() -> Self {
         AggBasicOptions {
             max_groups: 8,
-            cancel: crate::pipeline::CancelFlag::new(),
+            budget: crate::session::Budget::unlimited(),
+            events: crate::session::EventHandle::none(),
         }
     }
 }
@@ -67,8 +70,14 @@ pub fn smallest_counterexample_agg_basic(
     let start = Instant::now();
     let candidates = candidate_group_keys(&p1, &p2, params)?;
     let mut best: Option<Counterexample> = None;
-    for key in candidates.into_iter().take(options.max_groups) {
-        options.cancel.check()?;
+    for (index, key) in candidates.into_iter().take(options.max_groups).enumerate() {
+        options.budget.check()?;
+        options
+            .events
+            .emit(crate::session::ExplainEvent::CandidateChecked {
+                index,
+                best_size: best.as_ref().map(|b| b.size()),
+            });
         match solve_for_group(q1, q2, db, params, &p1, &p2, &key)? {
             Some(cex) => {
                 let better = best.as_ref().map(|b| cex.size() < b.size()).unwrap_or(true);

@@ -32,8 +32,10 @@ pub struct AggParamOptions {
     pub max_groups: usize,
     /// Extra candidate parameter values to try besides the derived ones.
     pub extra_candidates: Vec<i64>,
-    /// Cooperative cancellation, polled once per candidate group.
-    pub cancel: crate::pipeline::CancelFlag,
+    /// Unified resource budget, polled once per candidate group.
+    pub budget: crate::session::Budget,
+    /// Progress events (per candidate group).
+    pub events: crate::session::EventHandle,
 }
 
 impl Default for AggParamOptions {
@@ -41,7 +43,8 @@ impl Default for AggParamOptions {
         AggParamOptions {
             max_groups: 8,
             extra_candidates: vec![0, 1],
-            cancel: crate::pipeline::CancelFlag::new(),
+            budget: crate::session::Budget::unlimited(),
+            events: crate::session::EventHandle::none(),
         }
     }
 }
@@ -74,8 +77,14 @@ pub fn smallest_counterexample_agg_param(
     let start = Instant::now();
     let candidates = candidate_group_keys(&p1, &p2, original_params)?;
     let mut best: Option<Counterexample> = None;
-    for key in candidates.into_iter().take(options.max_groups) {
-        options.cancel.check()?;
+    for (index, key) in candidates.into_iter().take(options.max_groups).enumerate() {
+        options.budget.check()?;
+        options
+            .events
+            .emit(crate::session::ExplainEvent::CandidateChecked {
+                index,
+                best_size: best.as_ref().map(|b| b.size()),
+            });
         if let Some(cex) = solve_group_parameterized(
             q1,
             q2,

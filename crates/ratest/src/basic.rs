@@ -10,11 +10,10 @@
 
 use crate::encode::{encode_provenance, foreign_key_clauses, VarMap};
 use crate::error::{RatestError, Result};
-use crate::pipeline::{CancelFlag, SolverStrategy, Timings};
-use crate::problem::{
-    build_counterexample, check_distinguishes, difference_query, Counterexample, Witness,
-};
-use ratest_provenance::annotate::annotate_with_params;
+use crate::pipeline::{SolverStrategy, Timings};
+use crate::problem::{build_counterexample, difference_query, Counterexample, Witness};
+use crate::session::{Budget, EventHandle, ExplainEvent, Phase};
+use ratest_provenance::annotate::annotate_interruptible;
 use ratest_ra::ast::Query;
 use ratest_ra::eval::Params;
 use ratest_solver::enumerate::enumerate_best;
@@ -34,8 +33,11 @@ pub struct BasicOptions {
     /// of output tuples can be large for very wrong queries; the paper
     /// iterates over all of them, which this default preserves).
     pub max_tuples: usize,
-    /// Cooperative cancellation, polled once per candidate tuple.
-    pub cancel: CancelFlag,
+    /// Unified resource budget, polled once per candidate tuple and inside
+    /// the provenance row loops.
+    pub budget: Budget,
+    /// Progress events (per-candidate, per-solve).
+    pub events: EventHandle,
 }
 
 impl Default for BasicOptions {
@@ -43,7 +45,8 @@ impl Default for BasicOptions {
         BasicOptions {
             strategy: SolverStrategy::Optimize,
             max_tuples: usize::MAX,
-            cancel: CancelFlag::new(),
+            budget: Budget::unlimited(),
+            events: EventHandle::none(),
         }
     }
 }
@@ -58,17 +61,27 @@ pub fn smallest_counterexample_basic(
 ) -> Result<(Counterexample, Timings)> {
     let mut timings = Timings::default();
 
+    options.events.emit(ExplainEvent::PhaseStarted {
+        phase: Phase::RawEval,
+    });
     let start = Instant::now();
-    let (r1, r2) = check_distinguishes(q1, q2, db, params)?;
+    let (r1, r2) =
+        crate::problem::check_distinguishes_budgeted(q1, q2, db, params, &options.budget)?;
     timings.raw_eval = start.elapsed();
     if r1.set_eq(&r2) {
         return Err(RatestError::QueriesAgreeOnInstance);
     }
 
     // Annotate both difference directions once ("prov-all" in Figure 4).
+    options.events.emit(ExplainEvent::PhaseStarted {
+        phase: Phase::Provenance,
+    });
+    let interrupt = options.budget.interrupt();
     let start = Instant::now();
-    let ann_q1_minus_q2 = annotate_with_params(&difference_query(q1, q2, true), db, params)?;
-    let ann_q2_minus_q1 = annotate_with_params(&difference_query(q1, q2, false), db, params)?;
+    let ann_q1_minus_q2 =
+        annotate_interruptible(&difference_query(q1, q2, true), db, params, &interrupt)?;
+    let ann_q2_minus_q1 =
+        annotate_interruptible(&difference_query(q1, q2, false), db, params, &interrupt)?;
     timings.provenance = start.elapsed();
 
     let cex = smallest_counterexample_from_annotations(
@@ -130,10 +143,17 @@ pub fn smallest_counterexample_from_annotations(
     // bound tightens early.
     candidates.sort_by_key(|c| !observed.contains(c));
 
+    options.events.emit(ExplainEvent::PhaseStarted {
+        phase: Phase::Solve,
+    });
     let solver_start = Instant::now();
     let mut best: Option<Counterexample> = None;
-    for (tuple, from_q1) in candidates.into_iter().take(options.max_tuples) {
-        options.cancel.check()?;
+    for (index, (tuple, from_q1)) in candidates.into_iter().take(options.max_tuples).enumerate() {
+        options.budget.check()?;
+        options.events.emit(ExplainEvent::CandidateChecked {
+            index,
+            best_size: best.as_ref().map(|b| b.size()),
+        });
         let annotated = if from_q1 {
             ann_q1_minus_q2
         } else {
@@ -168,19 +188,26 @@ pub fn smallest_counterexample_from_annotations(
             upper_bound: best.as_ref().map(|b| b.size().saturating_sub(1)),
             ..Default::default()
         };
-        let true_vars = match options.strategy {
+        let solved = match options.strategy {
             SolverStrategy::Optimize => match minimize_ones(&formula, &objective, &solve_options) {
-                Ok(sol) => sol.true_vars,
-                Err(ratest_solver::SolverError::Unsatisfiable) => continue,
+                Ok(sol) => Some(sol.true_vars),
+                Err(ratest_solver::SolverError::Unsatisfiable) => None,
                 Err(e) => return Err(e.into()),
             },
             SolverStrategy::Enumerate { max_models } => {
                 match enumerate_best(&formula, &objective, max_models) {
-                    Ok(res) => res.best_true_vars,
-                    Err(ratest_solver::SolverError::Unsatisfiable) => continue,
+                    Ok(res) => Some(res.best_true_vars),
+                    Err(ratest_solver::SolverError::Unsatisfiable) => None,
                     Err(e) => return Err(e.into()),
                 }
             }
+        };
+        options.events.emit(ExplainEvent::SolverStats {
+            variables: objective.len(),
+            solution_size: solved.as_ref().map(|v| v.len()),
+        });
+        let Some(true_vars) = solved else {
+            continue;
         };
         let selection = vars.selection_from_vars(&true_vars);
         let witness = Witness {

@@ -30,6 +30,35 @@ pub enum RatestError {
     /// The run was cancelled cooperatively (e.g. the grading engine timed the
     /// job out and asked it to stop consuming CPU).
     Cancelled,
+    /// The run's [`crate::session::Budget`] deadline passed.
+    DeadlineExceeded,
+    /// The run's [`crate::session::Budget`] step quota was exhausted.
+    StepQuotaExhausted,
+}
+
+impl RatestError {
+    /// Translate an evaluator-layer interruption reason into the matching
+    /// typed error. This is what keeps a budget raised deep inside
+    /// `ra::eval` indistinguishable from one raised at an algorithm loop
+    /// boundary.
+    pub fn from_interrupted(reason: ratest_ra::Interrupted) -> RatestError {
+        match reason {
+            ratest_ra::Interrupted::Cancelled => RatestError::Cancelled,
+            ratest_ra::Interrupted::DeadlineExceeded => RatestError::DeadlineExceeded,
+            ratest_ra::Interrupted::StepQuotaExhausted => RatestError::StepQuotaExhausted,
+        }
+    }
+
+    /// Whether this error means the run hit its budget (cancelled, deadline,
+    /// quota) rather than failing on the inputs.
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(
+            self,
+            RatestError::Cancelled
+                | RatestError::DeadlineExceeded
+                | RatestError::StepQuotaExhausted
+        )
+    }
 }
 
 impl fmt::Display for RatestError {
@@ -49,6 +78,8 @@ impl fmt::Display for RatestError {
             }
             RatestError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             RatestError::Cancelled => write!(f, "cancelled"),
+            RatestError::DeadlineExceeded => write!(f, "budget deadline exceeded"),
+            RatestError::StepQuotaExhausted => write!(f, "budget step quota exhausted"),
         }
     }
 }
@@ -57,12 +88,23 @@ impl std::error::Error for RatestError {}
 
 impl From<ratest_ra::QueryError> for RatestError {
     fn from(e: ratest_ra::QueryError) -> Self {
-        RatestError::Query(e)
+        match e {
+            // A budget raised inside the evaluator is a budget error, not a
+            // query error: the callers that map outcomes to verdicts must
+            // see one consistent shape wherever the interruption landed.
+            ratest_ra::QueryError::Interrupted(reason) => RatestError::from_interrupted(reason),
+            other => RatestError::Query(other),
+        }
     }
 }
 impl From<ratest_provenance::ProvenanceError> for RatestError {
     fn from(e: ratest_provenance::ProvenanceError) -> Self {
-        RatestError::Provenance(e)
+        match e {
+            ratest_provenance::ProvenanceError::Query(ratest_ra::QueryError::Interrupted(
+                reason,
+            )) => RatestError::from_interrupted(reason),
+            other => RatestError::Provenance(other),
+        }
     }
 }
 impl From<ratest_solver::SolverError> for RatestError {
@@ -91,5 +133,22 @@ mod tests {
         assert!(RatestError::QueriesAgreeOnInstance
             .to_string()
             .contains("Q1(D)"));
+    }
+
+    #[test]
+    fn interruptions_normalize_to_budget_errors() {
+        let e: RatestError =
+            ratest_ra::QueryError::Interrupted(ratest_ra::Interrupted::DeadlineExceeded).into();
+        assert_eq!(e, RatestError::DeadlineExceeded);
+        assert!(e.is_budget_exhausted());
+        let e: RatestError = ratest_provenance::ProvenanceError::Query(
+            ratest_ra::QueryError::Interrupted(ratest_ra::Interrupted::Cancelled),
+        )
+        .into();
+        assert_eq!(e, RatestError::Cancelled);
+        let e: RatestError =
+            ratest_ra::QueryError::Interrupted(ratest_ra::Interrupted::StepQuotaExhausted).into();
+        assert_eq!(e, RatestError::StepQuotaExhausted);
+        assert!(!RatestError::QueriesAgreeOnInstance.is_budget_exhausted());
     }
 }

@@ -24,28 +24,34 @@
 //! * [`aggregates`] — the aggregate-query extensions of Section 5
 //!   (`Agg-Basic` provenance encoding, `Agg-Param` parameterized
 //!   counterexamples, `Agg-Opt` heuristic — Algorithm 3),
-//! * [`pipeline`] — the end-to-end RATest entry point that classifies the
-//!   query pair and dispatches to the right algorithm, with per-phase
-//!   timing breakdowns used by the experiment harness,
+//! * [`pipeline`] — the end-to-end RATest dispatch that classifies the
+//!   query pair and runs the right algorithm, with per-phase timing
+//!   breakdowns used by the experiment harness,
+//! * [`session`] — the durable, session-oriented public API: a [`Session`]
+//!   owns the database and prepared references, a unified [`session::Budget`]
+//!   (deadline + step quota + cancellation) bounds every request, and an
+//!   [`session::EventSink`] streams typed progress events,
 //! * [`report`] — human-readable explanations (the CLI stand-in for the
 //!   web UI shown to students).
 //!
 //! ## Quick start
 //!
 //! ```
-//! use ratest_core::pipeline::{explain, RatestOptions};
+//! use ratest_core::session::Session;
 //! use ratest_ra::testdata;
 //!
-//! let db = testdata::figure1_db();
-//! let outcome = explain(
-//!     &testdata::example1_q1(), // instructor's correct query
-//!     &testdata::example1_q2(), // student's wrong query
-//!     &db,
-//!     &RatestOptions::default(),
-//! ).unwrap();
+//! let session = Session::builder(testdata::figure1_db()).build();
+//! let reference = session.prepare(&testdata::example1_q1()).unwrap(); // instructor's query
+//! let outcome = session
+//!     .explain(reference, &testdata::example1_q2()) // student's wrong query
+//!     .unwrap();
 //! let cex = outcome.counterexample.expect("queries differ");
 //! assert_eq!(cex.size(), 3); // e.g. {Mary} ∪ {two of her CS registrations}
 //! ```
+//!
+//! The pre-session one-shot functions ([`pipeline::explain`],
+//! [`pipeline::explain_with_reference`]) remain as deprecated wrappers with
+//! identical outcomes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,10 +65,16 @@ pub mod pipeline;
 pub mod polytime;
 pub mod problem;
 pub mod report;
+pub mod session;
 
 pub use error::{RatestError, Result};
+#[allow(deprecated)]
+pub use pipeline::{explain, explain_with_reference};
 pub use pipeline::{
-    explain, explain_with_reference, CancelFlag, ExplainOutcome, PreparedReference, RatestOptions,
-    SolverStrategy, Timings,
+    CancelFlag, ExplainOutcome, PreparedReference, RatestOptions, SolverStrategy, Timings,
 };
 pub use problem::{Counterexample, Witness};
+pub use session::{
+    Budget, CollectingSink, EventHandle, EventSink, ExplainEvent, Phase, ReferenceHandle, Session,
+    SessionBuilder,
+};

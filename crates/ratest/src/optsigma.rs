@@ -11,12 +11,12 @@
 
 use crate::encode::{encode_provenance, foreign_key_clauses, VarMap};
 use crate::error::{RatestError, Result};
-use crate::pipeline::{CancelFlag, SolverStrategy, Timings};
+use crate::pipeline::{SolverStrategy, Timings};
 use crate::problem::{
-    build_counterexample, check_distinguishes, difference_query, differing_tuples, Counterexample,
-    Witness,
+    build_counterexample, difference_query, differing_tuples, Counterexample, Witness,
 };
-use ratest_provenance::annotate::annotate_with_params;
+use crate::session::{Budget, EventHandle, ExplainEvent, Phase};
+use ratest_provenance::annotate::annotate_interruptible;
 use ratest_ra::ast::Query;
 use ratest_ra::builder::QueryBuilder;
 use ratest_ra::eval::Params;
@@ -37,8 +37,11 @@ pub struct OptSigmaOptions {
     pub selection_pushdown: bool,
     /// Which solver strategy to use for the min-ones step.
     pub strategy: SolverStrategy,
-    /// Cooperative cancellation, polled once per witness direction / solve.
-    pub cancel: CancelFlag,
+    /// Unified resource budget, polled once per witness direction / solve
+    /// and inside the provenance row loops.
+    pub budget: Budget,
+    /// Progress events (per-phase, per-solve).
+    pub events: EventHandle,
 }
 
 impl Default for OptSigmaOptions {
@@ -46,7 +49,8 @@ impl Default for OptSigmaOptions {
         OptSigmaOptions {
             selection_pushdown: true,
             strategy: SolverStrategy::Optimize,
-            cancel: CancelFlag::new(),
+            budget: Budget::unlimited(),
+            events: EventHandle::none(),
         }
     }
 }
@@ -80,8 +84,12 @@ where
     let mut timings = Timings::default();
 
     // Phase 1: raw evaluation of both queries.
+    options.events.emit(ExplainEvent::PhaseStarted {
+        phase: Phase::RawEval,
+    });
     let start = Instant::now();
-    let (r1, r2) = check_distinguishes(q1, q2, db, params)?;
+    let (r1, r2) =
+        crate::problem::check_distinguishes_budgeted(q1, q2, db, params, &options.budget)?;
     timings.raw_eval = start.elapsed();
     let diffs = differing_tuples(&r1, &r2);
     let Some((tuple, from_q1)) = diffs.first().cloned() else {
@@ -96,11 +104,18 @@ where
     // flipped witness is sometimes strictly smaller. Both remain
     // single-tuple provenance computations, preserving Optσ's cost profile.
     let mut selection: Option<(TupleSelection, bool)> = None;
-    for direction in [from_q1, !from_q1] {
-        options.cancel.check()?;
+    for (index, direction) in [from_q1, !from_q1].into_iter().enumerate() {
+        options.budget.check()?;
         if direction != from_q1 && !direction_feasible(q1, q2, &r1, &r2, &tuple, direction) {
             continue;
         }
+        options.events.emit(ExplainEvent::CandidateChecked {
+            index,
+            best_size: selection.as_ref().map(|(best, _)| best.len()),
+        });
+        options.events.emit(ExplainEvent::PhaseStarted {
+            phase: Phase::Provenance,
+        });
         let start = Instant::now();
         let provenance = provenance_for_tuple(q1, q2, db, params, &tuple, direction, options)?;
         timings.provenance += start.elapsed();
@@ -108,6 +123,9 @@ where
             continue;
         }
 
+        options.events.emit(ExplainEvent::PhaseStarted {
+            phase: Phase::Solve,
+        });
         let start = Instant::now();
         let mut vars = VarMap::new();
         let prv_formula = encode_provenance(&provenance, &mut vars);
@@ -141,6 +159,10 @@ where
             }
         };
         timings.solver += start.elapsed();
+        options.events.emit(ExplainEvent::SolverStats {
+            variables: objective.len(),
+            solution_size: candidate.as_ref().map(|sel| sel.len()),
+        });
 
         // Keep the observed direction on ties so the witness reflects the
         // disagreement the student actually saw.
@@ -222,7 +244,7 @@ pub fn provenance_for_tuple(
     } else {
         diff
     };
-    let annotated = annotate_with_params(&query, db, params)?;
+    let annotated = annotate_interruptible(&query, db, params, &options.budget.interrupt())?;
     Ok(annotated
         .provenance_of(tuple)
         .cloned()

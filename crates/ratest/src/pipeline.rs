@@ -18,11 +18,12 @@ use crate::optsigma::{smallest_witness_optsigma, OptSigmaOptions};
 use crate::polytime::{
     smallest_witness_monotone, smallest_witness_monotone_with_results, smallest_witness_spjud_star,
 };
-use crate::problem::{check_distinguishes, Counterexample};
-use ratest_provenance::annotate::{annotate_with_params, difference_of, AnnotatedResult};
+use crate::problem::Counterexample;
+use crate::session::{Budget, EventHandle, ExplainEvent, Phase};
+use ratest_provenance::annotate::{annotate_interruptible, difference_of, AnnotatedResult};
 use ratest_ra::ast::Query;
 use ratest_ra::classify::{classify_pair, QueryClass};
-use ratest_ra::eval::{evaluate_with_params, Params, ResultSet};
+use ratest_ra::eval::{Params, ResultSet};
 use ratest_ra::typecheck::output_schema;
 use ratest_storage::Database;
 use serde::{Deserialize, Serialize};
@@ -128,7 +129,8 @@ impl Timings {
     }
 }
 
-/// Options for [`explain`].
+/// The option bag every explanation run carries (one per
+/// [`crate::session::Session`], overridable per request).
 #[derive(Debug, Clone)]
 pub struct RatestOptions {
     /// Which algorithm to run.
@@ -140,8 +142,14 @@ pub struct RatestOptions {
     pub selection_pushdown: bool,
     /// Original parameter setting λ for parameterized queries.
     pub parameters: Params,
-    /// Cooperative cancellation flag, polled at algorithm loop boundaries.
-    pub cancel: CancelFlag,
+    /// The unified resource budget: cancellation + deadline + step quota,
+    /// polled at algorithm loop boundaries *and* inside the
+    /// evaluator/annotator row loops. Replaces the pre-session scatter of
+    /// per-call timeouts and bare [`CancelFlag`]s.
+    pub budget: Budget,
+    /// Typed progress events ([`crate::session::ExplainEvent`]) are emitted
+    /// here; the default handle drops them.
+    pub events: EventHandle,
 }
 
 impl Default for RatestOptions {
@@ -151,7 +159,8 @@ impl Default for RatestOptions {
             strategy: SolverStrategy::Optimize,
             selection_pushdown: true,
             parameters: Params::new(),
-            cancel: CancelFlag::new(),
+            budget: Budget::unlimited(),
+            events: EventHandle::none(),
         }
     }
 }
@@ -171,18 +180,75 @@ pub struct ExplainOutcome {
 }
 
 /// Run RATest on a query pair.
+///
+/// One-shot compatibility wrapper: each call re-prepares everything and
+/// shares no state with any other call. New code should build a
+/// [`crate::session::Session`] and use [`crate::session::Session::explain`],
+/// which amortizes reference preparation and carries one [`Budget`] and
+/// event sink for the whole dialogue. The wrapper is bit-for-bit equivalent
+/// to `Session::explain_pair` on a fresh session (pinned by
+/// `tests/session_api.rs`).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` (`Session::builder(db).build()`) and call `explain_pair`"
+)]
 pub fn explain(
     q1: &Query,
     q2: &Query,
     db: &Database,
     options: &RatestOptions,
 ) -> Result<ExplainOutcome> {
-    options.cancel.check()?;
+    explain_impl(q1, q2, db, options)
+}
+
+/// The non-deprecated entry the session layer calls.
+pub(crate) fn explain_impl(
+    q1: &Query,
+    q2: &Query,
+    db: &Database,
+    options: &RatestOptions,
+) -> Result<ExplainOutcome> {
+    let outcome = explain_inner(q1, q2, db, options, true)?;
+    emit_verdict(options, &outcome);
+    Ok(outcome)
+}
+
+/// Emit the final [`ExplainEvent::Verdict`] for a finished run.
+fn emit_verdict(options: &RatestOptions, outcome: &ExplainOutcome) {
+    options.events.emit(ExplainEvent::Verdict {
+        agrees: outcome.counterexample.is_none(),
+        counterexample_size: outcome.counterexample.as_ref().map(|c| c.size()),
+        class: outcome.class,
+        algorithm: outcome.algorithm_used,
+    });
+}
+
+/// The full pipeline. The boolean distinguishes a fresh search from a
+/// fallback re-entry out of the shared-reference path (same logical
+/// search; kept so verdict events are emitted exactly once by the
+/// wrappers).
+fn explain_inner(
+    q1: &Query,
+    q2: &Query,
+    db: &Database,
+    options: &RatestOptions,
+    _top_level: bool,
+) -> Result<ExplainOutcome> {
+    options.budget.check()?;
     let class = classify_pair(q1, q2);
 
     // Fast path: do the queries agree on the instance? (Also validates
     // union compatibility.)
-    let (r1, r2) = check_distinguishes(q1, q2, db, &options.parameters)?;
+    options.events.emit(ExplainEvent::PhaseStarted {
+        phase: Phase::RawEval,
+    });
+    let (r1, r2) = crate::problem::check_distinguishes_budgeted(
+        q1,
+        q2,
+        db,
+        &options.parameters,
+        &options.budget,
+    )?;
     if r1.set_eq(&r2) {
         return Ok(ExplainOutcome {
             counterexample: None,
@@ -208,7 +274,7 @@ pub fn explain(
     };
 
     let run = |algorithm: Algorithm| -> Result<(Counterexample, Timings)> {
-        options.cancel.check()?;
+        options.budget.check()?;
         match algorithm {
             Algorithm::Basic => smallest_counterexample_basic(
                 q1,
@@ -217,7 +283,8 @@ pub fn explain(
                 &options.parameters,
                 &BasicOptions {
                     strategy: options.strategy,
-                    cancel: options.cancel.clone(),
+                    budget: options.budget.clone(),
+                    events: options.events.clone(),
                     ..Default::default()
                 },
             ),
@@ -229,7 +296,8 @@ pub fn explain(
                 &OptSigmaOptions {
                     selection_pushdown: options.selection_pushdown,
                     strategy: options.strategy,
-                    cancel: options.cancel.clone(),
+                    budget: options.budget.clone(),
+                    events: options.events.clone(),
                 },
             ),
             Algorithm::PolytimeMonotone => {
@@ -244,7 +312,8 @@ pub fn explain(
                 db,
                 &options.parameters,
                 &AggBasicOptions {
-                    cancel: options.cancel.clone(),
+                    budget: options.budget.clone(),
+                    events: options.events.clone(),
                     ..Default::default()
                 },
             ),
@@ -254,7 +323,8 @@ pub fn explain(
                 db,
                 &options.parameters,
                 &AggParamOptions {
-                    cancel: options.cancel.clone(),
+                    budget: options.budget.clone(),
+                    events: options.events.clone(),
                     ..Default::default()
                 },
             ),
@@ -265,7 +335,8 @@ pub fn explain(
                 &options.parameters,
                 &AggOptOptions {
                     optsigma: OptSigmaOptions {
-                        cancel: options.cancel.clone(),
+                        budget: options.budget.clone(),
+                        events: options.events.clone(),
                         ..Default::default()
                     },
                     ..Default::default()
@@ -327,11 +398,25 @@ pub struct PreparedReference {
 impl PreparedReference {
     /// Evaluate and annotate the reference query once.
     pub fn prepare(q1: &Query, db: &Database, params: &Params) -> Result<PreparedReference> {
-        let result = evaluate_with_params(q1, db, params)?;
+        PreparedReference::prepare_budgeted(q1, db, params, &Budget::unlimited())
+    }
+
+    /// [`PreparedReference::prepare`] under a [`Budget`]: both the
+    /// evaluation and the annotation poll the budget inside their row loops.
+    pub fn prepare_budgeted(
+        q1: &Query,
+        db: &Database,
+        params: &Params,
+        budget: &Budget,
+    ) -> Result<PreparedReference> {
+        let interrupt = budget.interrupt();
+        let result = ratest_ra::eval::evaluate_interruptible(q1, db, params, &interrupt)?;
         let annotation = if q1.has_aggregates() {
             None
         } else {
-            Some(Arc::new(annotate_with_params(q1, db, params)?))
+            Some(Arc::new(annotate_interruptible(
+                q1, db, params, &interrupt,
+            )?))
         };
         Ok(PreparedReference {
             query: Arc::new(q1.clone()),
@@ -371,20 +456,36 @@ impl PreparedReference {
 /// `Basic` scan over difference annotations derived from the shared
 /// reference *annotation* via [`difference_of`]; aggregate pairs (no shared
 /// artifact applies) fall back to the unshared pipeline.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session`, `prepare` the reference once, and call `explain`"
+)]
 pub fn explain_with_reference(
     reference: &PreparedReference,
     q2: &Query,
     db: &Database,
     options: &RatestOptions,
 ) -> Result<ExplainOutcome> {
+    explain_prepared_impl(reference, q2, db, options)
+}
+
+/// The shared-reference pipeline the session layer calls.
+pub(crate) fn explain_prepared_impl(
+    reference: &PreparedReference,
+    q2: &Query,
+    db: &Database,
+    options: &RatestOptions,
+) -> Result<ExplainOutcome> {
     let q1 = reference.query();
-    options.cancel.check()?;
+    options.budget.check()?;
 
     // A forced algorithm choice overrides the shared dispatch entirely —
     // otherwise the same options would run different algorithms depending on
     // whether the shared path succeeds.
     if options.algorithm != Algorithm::Auto {
-        return explain(q1, q2, db, options);
+        let outcome = explain_inner(q1, q2, db, options, false)?;
+        emit_verdict(options, &outcome);
+        return Ok(outcome);
     }
 
     let class = classify_pair(q1, q2);
@@ -400,17 +501,27 @@ pub fn explain_with_reference(
         });
     }
     let mut timings = Timings::default();
+    options.events.emit(ExplainEvent::PhaseStarted {
+        phase: Phase::RawEval,
+    });
     let start = Instant::now();
-    let r2 = evaluate_with_params(q2, db, &reference.params)?;
+    let r2 = ratest_ra::eval::evaluate_interruptible(
+        q2,
+        db,
+        &reference.params,
+        &options.budget.interrupt(),
+    )?;
     timings.raw_eval = start.elapsed();
     let r1 = reference.result();
     if r1.set_eq(&r2) {
-        return Ok(ExplainOutcome {
+        let outcome = ExplainOutcome {
             counterexample: None,
             class,
             algorithm_used: Algorithm::Auto,
             timings,
-        });
+        };
+        emit_verdict(options, &outcome);
+        return Ok(outcome);
     }
 
     // Aggregate pairs use dedicated provenance machinery that the shared
@@ -420,7 +531,9 @@ pub fn explain_with_reference(
         _ => (None, false),
     };
     if !is_shareable {
-        return explain(q1, q2, db, options);
+        let outcome = explain_inner(q1, q2, db, options, false)?;
+        emit_verdict(options, &outcome);
+        return Ok(outcome);
     }
 
     if class.is_monotone() {
@@ -435,12 +548,14 @@ pub fn explain_with_reference(
         ) {
             Ok(cex) => {
                 timings.total = timings.raw_eval + timings.provenance + timings.solver;
-                return Ok(ExplainOutcome {
+                let outcome = ExplainOutcome {
                     counterexample: Some(cex),
                     class,
                     algorithm_used: Algorithm::PolytimeMonotone,
                     timings,
-                });
+                };
+                emit_verdict(options, &outcome);
+                return Ok(outcome);
             }
             // DNF blow-up or similar: fall through to the solver-backed path.
             Err(RatestError::Unsupported(_)) => {}
@@ -451,15 +566,19 @@ pub fn explain_with_reference(
     // Solver-backed exact scan over both difference directions, with the
     // reference side of each annotation taken from the shared handle.
     let ref_annotation = ref_annotation.expect("checked above");
+    options.events.emit(ExplainEvent::PhaseStarted {
+        phase: Phase::Provenance,
+    });
     let start = Instant::now();
-    let ann_q2 = annotate_with_params(q2, db, &reference.params)?;
+    let ann_q2 = annotate_interruptible(q2, db, &reference.params, &options.budget.interrupt())?;
     let ann_q1_minus_q2 = difference_of(ref_annotation, &ann_q2);
     let ann_q2_minus_q1 = difference_of(&ann_q2, ref_annotation);
     timings.provenance += start.elapsed();
 
     let basic_options = BasicOptions {
         strategy: options.strategy,
-        cancel: options.cancel.clone(),
+        budget: options.budget.clone(),
+        events: options.events.clone(),
         ..Default::default()
     };
     match smallest_counterexample_from_annotations(
@@ -476,17 +595,23 @@ pub fn explain_with_reference(
     ) {
         Ok(cex) => {
             timings.total = timings.raw_eval + timings.provenance + timings.solver;
-            Ok(ExplainOutcome {
+            let outcome = ExplainOutcome {
                 counterexample: Some(cex),
                 class,
                 algorithm_used: Algorithm::Basic,
                 timings,
-            })
+            };
+            emit_verdict(options, &outcome);
+            Ok(outcome)
         }
         // A declined candidate set (e.g. every candidate rejected during
         // materialization) should not sink the submission: fall back to the
         // unshared pipeline, which has its own fallback chain.
-        Err(RatestError::Unsupported(_) | RatestError::Solver(_)) => explain(q1, q2, db, options),
+        Err(RatestError::Unsupported(_) | RatestError::Solver(_)) => {
+            let outcome = explain_inner(q1, q2, db, options, false)?;
+            emit_verdict(options, &outcome);
+            Ok(outcome)
+        }
         Err(e) => Err(e),
     }
 }
@@ -494,6 +619,19 @@ pub fn explain_with_reference(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test shorthand for the non-deprecated entry points.
+    fn explain(q1: &Query, q2: &Query, db: &Database, o: &RatestOptions) -> Result<ExplainOutcome> {
+        explain_impl(q1, q2, db, o)
+    }
+    fn explain_with_reference(
+        r: &PreparedReference,
+        q2: &Query,
+        db: &Database,
+        o: &RatestOptions,
+    ) -> Result<ExplainOutcome> {
+        explain_prepared_impl(r, q2, db, o)
+    }
     use ratest_ra::builder::{col, lit, rel};
     use ratest_ra::testdata;
     use ratest_storage::Value;
@@ -693,7 +831,7 @@ mod tests {
     fn a_cancelled_run_stops_with_a_typed_error() {
         let db = testdata::figure1_db();
         let options = RatestOptions::default();
-        options.cancel.cancel();
+        options.budget.cancel();
         let err = explain(
             &testdata::example1_q1(),
             &testdata::example1_q2(),
@@ -719,7 +857,7 @@ mod tests {
         let reference =
             PreparedReference::prepare(&testdata::example1_q1(), &db, &Params::new()).unwrap();
         let options = RatestOptions::default();
-        options.cancel.cancel();
+        options.budget.cancel();
         let err = explain_with_reference(&reference, &testdata::example1_q2(), &db, &options)
             .expect_err("cancelled before evaluation");
         assert_eq!(err, RatestError::Cancelled);

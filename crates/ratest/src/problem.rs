@@ -67,6 +67,19 @@ pub fn check_distinguishes(
     db: &Database,
     params: &Params,
 ) -> Result<(ResultSet, ResultSet)> {
+    check_distinguishes_budgeted(q1, q2, db, params, &crate::session::Budget::unlimited())
+}
+
+/// [`check_distinguishes`] under a [`crate::session::Budget`]: the raw
+/// evaluations poll the budget inside their row loops, so one flooding
+/// submission cannot out-run its deadline during this phase.
+pub fn check_distinguishes_budgeted(
+    q1: &Query,
+    q2: &Query,
+    db: &Database,
+    params: &Params,
+    budget: &crate::session::Budget,
+) -> Result<(ResultSet, ResultSet)> {
     let s1 = output_schema(q1, db)?;
     let s2 = output_schema(q2, db)?;
     if !s1.union_compatible(&s2) {
@@ -75,8 +88,9 @@ pub fn check_distinguishes(
             right: s2.to_string(),
         });
     }
-    let r1 = evaluate_with_params(q1, db, params)?;
-    let r2 = evaluate_with_params(q2, db, params)?;
+    let interrupt = budget.interrupt();
+    let r1 = ratest_ra::eval::evaluate_interruptible(q1, db, params, &interrupt)?;
+    let r2 = ratest_ra::eval::evaluate_interruptible(q2, db, params, &interrupt)?;
     Ok((r1, r2))
 }
 

@@ -86,7 +86,7 @@ pub fn render_result(caption: &str, result: &ResultSet) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{explain, RatestOptions};
+    use crate::pipeline::{explain_impl as explain, RatestOptions};
     use ratest_ra::testdata;
 
     #[test]

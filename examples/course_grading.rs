@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --example course_grading`
 
-use ratest_suite::core::pipeline::{explain, RatestOptions};
+use ratest_suite::core::session::Session;
 use ratest_suite::datagen::{university_database, UniversityConfig};
 use ratest_suite::queries::course::course_questions;
 use ratest_suite::queries::mutations::sample_mutations;
@@ -19,22 +19,24 @@ fn main() {
         db.relation_count()
     );
 
+    // One session for the whole class: each question's reference is
+    // prepared once, however many submissions follow.
+    let session = Session::builder(db.clone()).build();
     let mut caught = 0usize;
     let mut total = 0usize;
     for question in course_questions() {
         println!("Question {}: {}", question.number, question.prompt);
+        let reference = session
+            .prepare(&question.reference)
+            .expect("reference queries are well-formed");
         for (i, submission) in sample_mutations(&question.reference, 2, 7 + question.number as u64)
             .into_iter()
             .enumerate()
         {
             total += 1;
-            let outcome = explain(
-                &question.reference,
-                &submission.query,
-                &db,
-                &RatestOptions::default(),
-            )
-            .expect("queries are well-formed");
+            let outcome = session
+                .explain(reference, &submission.query)
+                .expect("queries are well-formed");
             match outcome.counterexample {
                 None => {
                     println!(

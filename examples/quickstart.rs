@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use ratest_suite::core::pipeline::{explain, RatestOptions};
 use ratest_suite::core::report::render_explanation;
+use ratest_suite::core::session::Session;
 use ratest_suite::ra::testdata;
 use ratest_suite::storage::display::render_database;
 
@@ -20,7 +20,14 @@ fn main() {
     let correct = testdata::example1_q1();
     let submitted = testdata::example1_q2();
 
-    let outcome = explain(&correct, &submitted, &db, &RatestOptions::default())
+    // A session owns the instance and the prepared reference: grading a
+    // second submission against `reference` would reuse all of that state.
+    let session = Session::builder(db.clone()).build();
+    let reference = session
+        .prepare(&correct)
+        .expect("the reference query is well-formed");
+    let outcome = session
+        .explain(reference, &submitted)
         .expect("the toy instance is well-formed");
 
     println!("{}", render_explanation(&outcome));

@@ -12,8 +12,8 @@
 //! With no arguments it falls back to that built-in demo pair, evaluated on
 //! the Figure 1 toy instance.
 
-use ratest_suite::core::pipeline::{explain, RatestOptions};
 use ratest_suite::core::report::render_explanation;
+use ratest_suite::core::session::Session;
 use ratest_suite::ra::parser::parse_query;
 use ratest_suite::ra::testdata;
 
@@ -48,7 +48,8 @@ fn main() {
     println!("Q2: {q2_text}");
     println!("Instance: the Student/Registration toy database of Figure 1.\n");
 
-    match explain(&q1, &q2, &db, &RatestOptions::default()) {
+    let session = Session::builder(db).build();
+    match session.explain_pair(&q1, &q2) {
         Ok(outcome) => println!("{}", render_explanation(&outcome)),
         Err(e) => {
             eprintln!("RATest error: {e}");

@@ -2,8 +2,9 @@
 //! counterexample algorithms → verified explanations, exercising the same
 //! paths as the experiment harness but with hard assertions.
 
-use ratest_suite::core::pipeline::{explain, Algorithm, RatestOptions};
+use ratest_suite::core::pipeline::Algorithm;
 use ratest_suite::core::report::render_explanation;
+use ratest_suite::core::session::Session;
 use ratest_suite::datagen::{
     beers_database, tpch_database, university_database, TpchConfig, UniversityConfig,
 };
@@ -27,16 +28,14 @@ use ratest_suite::ra::testdata;
 #[ignore = "heavyweight 800-tuple workload; run with --release -- --ignored"]
 fn course_workload_counterexamples_are_valid_and_small() {
     let db = university_database(&UniversityConfig::with_total(800));
+    let session = Session::builder(db.clone()).build();
     let mut explained = 0usize;
     for question in course_questions() {
+        let reference = session.prepare(&question.reference).expect("prepares");
         for mutation in sample_mutations(&question.reference, 2, question.number as u64) {
-            let outcome = explain(
-                &question.reference,
-                &mutation.query,
-                &db,
-                &RatestOptions::default(),
-            )
-            .expect("pipeline runs");
+            let outcome = session
+                .explain(reference, &mutation.query)
+                .expect("pipeline runs");
             if let Some(cex) = outcome.counterexample {
                 explained += 1;
                 assert!(db.contains_subinstance(cex.database()));
@@ -70,16 +69,8 @@ fn algorithms_agree_on_example1_at_scale() {
         Algorithm::Basic,
         Algorithm::PolytimeSpjudStar,
     ] {
-        let outcome = explain(
-            &q1,
-            &wrong,
-            &db,
-            &RatestOptions {
-                algorithm,
-                ..Default::default()
-            },
-        )
-        .expect("pipeline runs");
+        let session = Session::builder(db.clone()).algorithm(algorithm).build();
+        let outcome = session.explain_pair(&q1, &wrong).expect("pipeline runs");
         if let Some(cex) = outcome.counterexample {
             sizes.push(cex.size());
         }
@@ -102,6 +93,7 @@ fn algorithms_agree_on_example1_at_scale() {
 #[ignore = "heavyweight TPC-H aggregates; run with --release -- --ignored"]
 fn tpch_aggregate_counterexamples_are_verified() {
     let db = tpch_database(&TpchConfig::with_scale(0.0008));
+    let session = Session::builder(db.clone()).build();
     let mut found = 0usize;
     for exp in tpch_experiments() {
         for wrong in &exp.wrong {
@@ -110,7 +102,8 @@ fn tpch_aggregate_counterexamples_are_verified() {
             if reference_result.set_eq(&wrong_result) {
                 continue; // not detectable at this scale
             }
-            let outcome = explain(&exp.reference, wrong, &db, &RatestOptions::default())
+            let outcome = session
+                .explain_pair(&exp.reference, wrong)
                 .unwrap_or_else(|e| panic!("{}: {e}", exp.name));
             let cex = outcome.counterexample.expect("detectable pair");
             assert!(db.contains_subinstance(cex.database()));
@@ -139,9 +132,11 @@ fn beers_problem_i_mutations_are_explained() {
         .into_iter()
         .find(|(n, _)| *n == "i")
         .unwrap();
+    let session = Session::builder(db.clone()).build();
+    let prepared = session.prepare(&reference).unwrap();
     let mut explained = 0;
     for m in sample_mutations(&reference, 4, 11) {
-        let outcome = explain(&reference, &m.query, &db, &RatestOptions::default()).unwrap();
+        let outcome = session.explain(prepared, &m.query).unwrap();
         if let Some(cex) = outcome.counterexample {
             assert!(cex.size() <= 10);
             explained += 1;
@@ -155,13 +150,10 @@ fn beers_problem_i_mutations_are_explained() {
 #[test]
 fn rendered_explanation_is_complete() {
     let db = testdata::figure1_db();
-    let outcome = explain(
-        &testdata::example1_q1(),
-        &testdata::example1_q2(),
-        &db,
-        &RatestOptions::default(),
-    )
-    .unwrap();
+    let outcome = Session::builder(db)
+        .build()
+        .explain_pair(&testdata::example1_q1(), &testdata::example1_q2())
+        .unwrap();
     let text = render_explanation(&outcome);
     for needle in [
         "NOT equivalent",

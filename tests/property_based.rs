@@ -10,8 +10,8 @@
 //! evaluation on random sub-instances.
 
 use proptest::prelude::*;
-use ratest_suite::core::pipeline::{explain, RatestOptions};
 use ratest_suite::core::problem::brute_force_smallest;
+use ratest_suite::core::session::Session;
 use ratest_suite::provenance::annotate::consistent_with_evaluation;
 use ratest_suite::ra::ast::Query;
 use ratest_suite::ra::builder::{col, lit, rel, QueryBuilder};
@@ -143,7 +143,10 @@ proptest! {
         let q2 = &pool[qj];
         let r1 = evaluate(q1, &db).unwrap();
         let r2 = evaluate(q2, &db).unwrap();
-        let outcome = explain(q1, q2, &db, &RatestOptions::default()).unwrap();
+        let outcome = Session::builder(db.clone())
+            .build()
+            .explain_pair(q1, q2)
+            .unwrap();
         match outcome.counterexample {
             None => prop_assert!(r1.set_eq(&r2)),
             Some(cex) => {
