@@ -82,7 +82,8 @@ use std::time::Duration;
 const USAGE: &str = "usage: grade <DIR> --reference <N|path.sql|path.ra> \
      [--db-tuples N] [--seed N] [--workers N] [--timeout-ms N] \
      [--param name=value]... [--json PATH] [--explain ID] [--diagnostics] \
-     [--shard i/N | --spawn N] [--cache PATH.rvc]\n\
+     [--shard i/N | --spawn N] [--cache PATH.rvc] \
+     [--metrics PATH.json] [--trace PATH.ndjson]\n\
        grade serve\n\
        grade merge <shard.json>... [--json MERGED.json] \
      [--cache-in shard.rvc]... [--cache MERGED.rvc]\n\
@@ -111,6 +112,12 @@ struct Args {
     spawn: Option<usize>,
     /// Persistent verdict cache to load before and append to after grading.
     cache_path: Option<String>,
+    /// Write the engine's full metrics snapshot (including the volatile
+    /// duration section) as JSON after grading.
+    metrics_path: Option<String>,
+    /// Record explain-trace spans and write them as NDJSON after grading.
+    /// Forces `--workers 1` so the span tree stays well-nested.
+    trace_path: Option<String>,
 }
 
 /// Arguments of the `merge` subcommand.
@@ -177,6 +184,8 @@ fn parse_args(rest: impl Iterator<Item = String>) -> Result<Args, String> {
         shard: None,
         spawn: None,
         cache_path: None,
+        metrics_path: None,
+        trace_path: None,
     };
     let mut it = rest;
     while let Some(flag) = it.next() {
@@ -208,6 +217,8 @@ fn parse_args(rest: impl Iterator<Item = String>) -> Result<Args, String> {
             "--shard" => args.shard = Some(value("--shard")?.parse()?),
             "--spawn" => args.spawn = Some(parse(&value("--spawn")?)?),
             "--cache" => args.cache_path = Some(value("--cache")?),
+            "--metrics" => args.metrics_path = Some(value("--metrics")?),
+            "--trace" => args.trace_path = Some(value("--trace")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -243,6 +254,12 @@ fn parse_args(rest: impl Iterator<Item = String>) -> Result<Args, String> {
         }
         if args.json_path.is_none() {
             return Err("--spawn needs --json <MERGED.json> for the fused report".into());
+        }
+        if args.metrics_path.is_some() || args.trace_path.is_some() {
+            return Err(
+                "--metrics/--trace instrument one grading process; run them per shard, not with --spawn"
+                    .into(),
+            );
         }
     }
     Ok(args)
@@ -490,8 +507,25 @@ fn main() -> ExitCode {
     for (k, v) in &args.params {
         options.parameters.insert(k.clone(), v.clone());
     }
+    // `--trace` needs a single worker: the span tree is reconstructed from
+    // the flat event order, which interleaved workers would scramble.
+    let trace_sink = args.trace_path.as_ref().map(|_| {
+        let sink = std::sync::Arc::new(ratest_core::TracingSink::new());
+        options.events = ratest_core::session::EventHandle::new(
+            sink.clone() as std::sync::Arc<dyn ratest_core::session::EventSink>
+        );
+        sink
+    });
+    let workers = if trace_sink.is_some() {
+        if args.workers > 1 {
+            eprintln!("grade: --trace forces --workers 1 (spans must stay well-nested)");
+        }
+        1
+    } else {
+        args.workers.max(1)
+    };
     let grader = Grader::new(GraderConfig {
-        workers: args.workers.max(1),
+        workers,
         per_job_timeout: Duration::from_millis(args.timeout_ms),
         options,
     });
@@ -662,6 +696,25 @@ fn main() -> ExitCode {
             "verdict cache: appended {} new record(s) to {path}",
             fresh.len()
         );
+    }
+
+    if let Some(path) = &args.metrics_path {
+        // The file gets the *full* snapshot: counters/gauges/histograms are
+        // deterministic, wall-clock totals ride in the `volatile` section so
+        // a consumer can strip them structurally for byte-wise comparison.
+        let snapshot = grader.metrics_snapshot().to_json(true);
+        if let Err(e) = std::fs::write(path, snapshot) {
+            eprintln!("grade: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote metrics snapshot to {path}");
+    }
+    if let (Some(path), Some(sink)) = (&args.trace_path, &trace_sink) {
+        if let Err(e) = std::fs::write(path, sink.to_ndjson()) {
+            eprintln!("grade: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote explain-trace spans to {path}");
     }
     ExitCode::SUCCESS
 }

@@ -15,9 +15,9 @@ use ratest_core::session::{Budget, ReferenceHandle, Session};
 use ratest_core::RatestError;
 use ratest_ra::ast::Query;
 use ratest_storage::Database;
+use ratest_telemetry::{MetricsHandle, MetricsRegistry, MetricsSnapshot};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -83,7 +83,7 @@ impl std::error::Error for GraderError {}
 /// regrading a class after a deadline extension only pays for the new
 /// distinct submissions — and never re-prepares a reference it has already
 /// seen.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Grader {
     config: GraderConfig,
     /// Keyed by `(grading context, submission fingerprint)` — the context
@@ -95,10 +95,17 @@ pub struct Grader {
     /// what makes a served re-grade — and the second batch of a long-lived
     /// daemon — skip reference preparation entirely.
     sessions: Mutex<HashMap<u64, Arc<GradingSession>>>,
-    /// Counterexample searches this engine actually ran (cache hits and
-    /// dedup excluded). The daemon's `stats` command reports it, and the
-    /// warm-path guarantees are asserted against it.
-    searches: AtomicU64,
+    /// One registry for the whole engine: grading-layer counters
+    /// (`grader.searches`, `grader.cache_hits`, …) land next to the
+    /// pipeline/solver/evaluator counters because the same registry is wired
+    /// into every session via `config.options.metrics`.
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl Default for Grader {
+    fn default() -> Self {
+        Grader::new(GraderConfig::default())
+    }
 }
 
 /// A prepared session for one grading context.
@@ -115,14 +122,37 @@ struct Job {
 }
 
 impl Grader {
-    /// Create an engine with the given configuration.
-    pub fn new(config: GraderConfig) -> Grader {
+    /// Create an engine with the given configuration. If the configuration
+    /// does not already carry a metrics registry, the engine creates one and
+    /// wires it into the pipeline options, so evaluator, provenance and
+    /// solver counters from every grading session accumulate alongside the
+    /// engine's own cache/search counters.
+    pub fn new(mut config: GraderConfig) -> Grader {
+        let metrics = match config.options.metrics.registry() {
+            Some(registry) => registry.clone(),
+            None => {
+                let registry = Arc::new(MetricsRegistry::new());
+                config.options.metrics = MetricsHandle::new(registry.clone());
+                registry
+            }
+        };
         Grader {
             config,
             cache: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
-            searches: AtomicU64::new(0),
+            metrics,
         }
+    }
+
+    /// The engine's metrics registry (shared with every grading session).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Snapshot the engine's registry — grading counters plus everything the
+    /// underlying pipeline recorded.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// The engine configuration.
@@ -245,10 +275,20 @@ impl Grader {
         }
         let cache_hits = verdicts.len();
         let pipeline_runs = jobs.len();
+        self.metrics
+            .counter_add("grader.cache_hits", cache_hits as u64);
+        self.metrics
+            .counter_add("grader.cache_misses", pipeline_runs as u64);
+        self.metrics.counter_add(
+            "grader.dedup_hits",
+            (submissions.len() - groups.len()) as u64,
+        );
+        self.metrics
+            .gauge_max("grader.queue_depth", pipeline_runs as i64);
 
         // Grade the distinct jobs on a bounded worker pool.
-        self.searches
-            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        self.metrics
+            .counter_add("grader.searches", pipeline_runs as u64);
         let fresh = run_jobs(jobs, warm.clone(), &self.config);
         {
             let mut cache = self.cache.lock().expect("grader cache poisoned");
@@ -338,15 +378,14 @@ impl Grader {
             session,
             reference: handle,
         });
-        Ok((
-            context,
-            self.sessions
-                .lock()
-                .expect("grader session cache poisoned")
-                .entry(context)
-                .or_insert(warm)
-                .clone(),
-        ))
+        let warm = {
+            let mut sessions = self.sessions.lock().expect("grader session cache poisoned");
+            let warm = sessions.entry(context).or_insert(warm).clone();
+            self.metrics
+                .gauge_set("grader.warm_sessions", sessions.len() as i64);
+            warm
+        };
+        Ok((context, warm))
     }
 
     /// Whether the reference's provenance annotation is shared across the
@@ -373,9 +412,10 @@ impl Grader {
         self.sessions.lock().map(|s| s.len()).unwrap_or(0)
     }
 
-    /// Counterexample searches this engine has run (cache hits excluded).
+    /// Counterexample searches this engine has run (cache hits excluded) —
+    /// a registry read of the `grader.searches` counter.
     pub fn searches_total(&self) -> u64 {
-        self.searches.load(Ordering::Relaxed)
+        self.metrics.counter("grader.searches")
     }
 
     /// Warm up (or look up) the grading context for a `(reference, db)`
@@ -447,6 +487,7 @@ impl Grader {
             .expect("grader cache poisoned")
             .get(&(context, fingerprint))
         {
+            self.metrics.counter_inc("grader.cache_hits");
             return Ok(ExplainResponse {
                 id: request.id.clone(),
                 author: request.author.clone(),
@@ -455,7 +496,8 @@ impl Grader {
                 from_cache: true,
             });
         }
-        self.searches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.counter_inc("grader.cache_misses");
+        self.metrics.counter_inc("grader.searches");
         let verdict = grade_one_with_timeout(
             warm.clone(),
             request.query.clone(),

@@ -70,8 +70,10 @@ struct RefState {
     /// per-request path never re-hashes the instance.
     context: crate::engine::GradeContext,
     fingerprint: u64,
-    graded: u64,
-    cache_hits: u64,
+    /// Registry snapshot taken right after the prepare-time warmup probe:
+    /// `stats` reports counter deltas against it, so the probe's search and
+    /// cache miss never count as student gradings.
+    baseline: ratest_telemetry::MetricsSnapshot,
 }
 
 /// The event sink of **one** streamed `grade` request: it owns its
@@ -384,14 +386,14 @@ fn cmd_prepare(request: &Json, refs: &mut HashMap<String, RefState>) -> Json {
     }
     let shared_annotation = grader.shared_annotation_for(context).unwrap_or(false);
 
+    let baseline = grader.metrics_snapshot();
     let state = RefState {
         label,
         db,
         grader,
         context,
         fingerprint,
-        graded: 0,
-        cache_hits: 0,
+        baseline,
     };
     let response = Json::obj(vec![
         ("ok", Json::Bool(true)),
@@ -454,7 +456,7 @@ fn cmd_grade<W: Write + Send + 'static>(
         .and_then(Json::as_bool)
         .unwrap_or(false);
 
-    state.graded += 1;
+    state.grader.metrics().counter_inc("serve.requests.grade");
     let mut pairs = vec![
         ("ok", Json::Bool(true)),
         ("cmd", Json::str("grade")),
@@ -508,9 +510,6 @@ fn cmd_grade<W: Write + Send + 'static>(
                 Ok(r) => r,
                 Err(e) => return error_response(Some("grade"), e.to_string()),
             };
-            if response.from_cache {
-                state.cache_hits += 1;
-            }
             pairs.push((
                 "fingerprint",
                 Json::str(format!("{:016x}", response.fingerprint)),
@@ -558,22 +557,29 @@ fn cmd_stats(request: &Json, refs: &HashMap<String, RefState>) -> Json {
     let Some(state) = refs.get(&ref_id) else {
         return error_response(Some("stats"), format!("unknown reference `{ref_id}`"));
     };
+    // Every headline figure is a registry delta against the post-warmup
+    // baseline, so the prepare-time probe never counts as a student grading
+    // — the old hand-maintained counters (and the `- 1` warmup hack) are
+    // gone. The full deterministic registry rides along under `metrics`
+    // (volatile durations structurally stripped, keeping the reply
+    // byte-reproducible).
+    let snapshot = state.grader.metrics_snapshot();
+    let since = |name: &str| Json::Int(snapshot.counter_since(&state.baseline, name) as i64);
+    let metrics =
+        Json::parse(&snapshot.to_json(false)).expect("registry snapshot renders valid JSON");
     Json::obj(vec![
         ("ok", Json::Bool(true)),
         ("cmd", Json::str("stats")),
         ("ref", Json::str(&ref_id)),
-        ("graded", Json::Int(state.graded as i64)),
-        ("cache_hits", Json::Int(state.cache_hits as i64)),
-        (
-            "searches",
-            // Exclude the prepare-time warmup probe: it is not a student
-            // grading.
-            Json::Int(state.grader.searches_total().saturating_sub(1) as i64),
-        ),
+        ("graded", since("serve.requests.grade")),
+        ("cache_hits", since("grader.cache_hits")),
+        ("cache_misses", since("grader.cache_misses")),
+        ("searches", since("grader.searches")),
         (
             "cached_verdicts",
             Json::Int(state.grader.cached_verdicts() as i64),
         ),
+        ("metrics", metrics),
     ])
 }
 

@@ -402,3 +402,70 @@ fn the_cache_file_schema_is_pinned() {
     check_golden("verdict_cache.rvc", &contents);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry conformance (the deterministic-metrics contract)
+// ---------------------------------------------------------------------------
+
+/// The warm-path guarantee, proven over the registry instead of report
+/// fields: a warm re-grade's metrics delta shows zero counterexample
+/// searches and one cache hit per distinct group.
+#[test]
+fn warm_regrade_metrics_prove_zero_searches() {
+    let db = hidden_instance();
+    let reference = q1_reference();
+    let cohort = examples_cohort(&db);
+    let engine = grader();
+    engine
+        .grade_cohort("course question 1", &reference, &db, &cohort)
+        .unwrap();
+
+    let baseline = engine.metrics_snapshot();
+    let warm = engine
+        .grade_cohort("course question 1", &reference, &db, &cohort)
+        .unwrap();
+    let after = engine.metrics_snapshot();
+
+    assert_eq!(after.counter_since(&baseline, "grader.searches"), 0);
+    assert_eq!(after.counter_since(&baseline, "grader.cache_misses"), 0);
+    assert_eq!(
+        after.counter_since(&baseline, "grader.cache_hits"),
+        warm.stats.distinct_groups as u64,
+        "every distinct group of the warm cohort is a cache hit"
+    );
+    // No pipeline work happened either: the evaluator/solver counters are
+    // exactly where the cold run left them.
+    for name in ["explain.runs", "ra.eval.calls", "solver.calls"] {
+        assert_eq!(after.counter_since(&baseline, name), 0, "{name} moved");
+    }
+}
+
+/// Two identical cold runs on fresh engines produce byte-identical metrics
+/// JSON once the volatile duration section is (structurally) stripped.
+#[test]
+fn metrics_snapshots_are_byte_deterministic_without_volatile_fields() {
+    let run = || {
+        let db = hidden_instance();
+        let reference = q1_reference();
+        let cohort = examples_cohort(&db);
+        let mut config = GraderConfig {
+            workers: 1,
+            ..Default::default()
+        };
+        config
+            .options
+            .parameters
+            .insert("minCS".into(), Value::Int(1));
+        let engine = Grader::new(config);
+        engine
+            .grade_cohort("course question 1", &reference, &db, &cohort)
+            .unwrap();
+        engine.metrics_snapshot()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.to_json(false), b.to_json(false));
+    // The stripped rendering contains no volatile section at all, while the
+    // full rendering isolates wall-clock totals under the single key.
+    assert!(!a.to_json(false).contains("volatile"));
+    assert!(a.counter("grader.searches") > 0);
+}

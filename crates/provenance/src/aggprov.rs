@@ -21,14 +21,16 @@
 //!   re-evaluated under a candidate sub-instance or a new parameter value
 //!   (the `t4⊗1 +_SUM t5⊗1 ≥ 3` part).
 
-use crate::annotate::annotate_with_params;
+use crate::annotate::annotate_instrumented;
 use crate::boolexpr::BoolExpr;
 use crate::error::{ProvenanceError, Result};
 use ratest_ra::ast::{AggCall, ProjectItem, Query};
 use ratest_ra::eval::compute_aggregate;
 use ratest_ra::expr::{Expr, ParamMap};
+use ratest_ra::interrupt::{Interrupt, Pacer};
 use ratest_ra::typecheck::output_schema;
 use ratest_storage::{Database, Schema, TupleId, Value};
+use ratest_telemetry::MetricsHandle;
 use std::collections::{BTreeSet, HashMap};
 
 /// One member of a group: the provenance of the contributing input tuple and
@@ -176,6 +178,36 @@ pub fn aggregate_provenance(
     db: &Database,
     params: &ParamMap,
 ) -> Result<AggregateProvenance> {
+    aggregate_provenance_interruptible(query, db, params, &Interrupt::none())
+}
+
+/// [`aggregate_provenance`] under a cooperative [`Interrupt`]: both the inner
+/// SPJUD annotation and the group-building loop poll the hook at the
+/// evaluator's stride, so an aggregate reference over a flooding input
+/// respects `Budget` deadlines instead of running to completion first.
+pub fn aggregate_provenance_interruptible(
+    query: &Query,
+    db: &Database,
+    params: &ParamMap,
+    interrupt: &Interrupt,
+) -> Result<AggregateProvenance> {
+    aggregate_provenance_instrumented(query, db, params, interrupt, &MetricsHandle::none())
+}
+
+/// [`aggregate_provenance_interruptible`] plus telemetry: records the group
+/// structure (`provenance.aggprov.groups`, `.members`) alongside the inner
+/// annotation's row counters.
+pub fn aggregate_provenance_instrumented(
+    query: &Query,
+    db: &Database,
+    params: &ParamMap,
+    interrupt: &Interrupt,
+    metrics: &MetricsHandle,
+) -> Result<AggregateProvenance> {
+    // Fail fast when the hook is already raised (e.g. an expired deadline):
+    // the strided pacer below only polls after a full stride of work, which a
+    // small input may never reach.
+    interrupt.check()?;
     let shape = decompose(query)?;
     let output_schema_q = output_schema(query, db).map_err(ProvenanceError::Query)?;
     let group_schema = output_schema(&shape.groupby, db).map_err(ProvenanceError::Query)?;
@@ -195,18 +227,22 @@ pub fn aggregate_provenance(
         _ => unreachable!("decompose returns a GroupBy"),
     };
 
-    // Annotate the SPJUD core.
-    let annotated = annotate_with_params(&input, db, params)?;
+    // Annotate the SPJUD core (interruptibly: this is where a flooding join
+    // spends its time).
+    let annotated = annotate_instrumented(&input, db, params, interrupt, metrics)?;
     let input_schema = annotated.schema().clone();
     let group_idx: Vec<usize> = group_by
         .iter()
         .map(|g| Expr::resolve_column(&input_schema, g).map_err(ProvenanceError::Query))
         .collect::<Result<_>>()?;
 
-    // Build the groups.
+    // Build the groups. The loop is paced as well: group assembly over a
+    // huge annotated input is itself linear work that must honour deadlines.
+    let pacer = Pacer::new(interrupt);
     let mut groups: Vec<GroupProvenance> = Vec::new();
     let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
     for row in annotated.rows() {
+        pacer.tick()?;
         let key: Vec<Value> = group_idx.iter().map(|&i| row.values[i].clone()).collect();
         let mut agg_args = Vec::with_capacity(aggregates.len());
         for agg in &aggregates {
@@ -254,6 +290,13 @@ pub fn aggregate_provenance(
             .collect::<Result<Vec<usize>>>()?,
         None => (0..group_schema.arity()).collect(),
     };
+
+    metrics.counter_inc("provenance.aggprov.calls");
+    metrics.counter_add("provenance.aggprov.groups", groups.len() as u64);
+    metrics.counter_add(
+        "provenance.aggprov.members",
+        groups.iter().map(|g| g.members.len() as u64).sum(),
+    );
 
     Ok(AggregateProvenance {
         group_schema,
@@ -350,6 +393,61 @@ mod tests {
             .unwrap();
         assert_eq!(rows, vec![vec![Value::from("Jesse"), Value::double(90.0)]]);
     }
+
+    #[test]
+    fn an_expired_interrupt_stops_aggregate_provenance() {
+        use ratest_ra::interrupt::{InterruptHook, Interrupted};
+        use std::sync::Arc;
+
+        struct AlwaysExpired;
+        impl InterruptHook for AlwaysExpired {
+            fn interrupted(&self) -> Option<Interrupted> {
+                Some(Interrupted::DeadlineExceeded)
+            }
+        }
+
+        let db = testdata::figure1_db();
+        let interrupt = ratest_ra::interrupt::Interrupt::hooked(Arc::new(AlwaysExpired));
+        let err = aggregate_provenance_interruptible(
+            &testdata::example5_q1(),
+            &db,
+            &ParamMap::new(),
+            &interrupt,
+        )
+        .unwrap_err();
+        match err {
+            ProvenanceError::Query(ratest_ra::QueryError::Interrupted(reason)) => {
+                assert_eq!(reason, Interrupted::DeadlineExceeded);
+            }
+            other => panic!("expected an interrupted error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggprov_telemetry_counts_groups_and_members() {
+        let db = testdata::figure1_db();
+        let registry = Arc::new(ratest_telemetry::MetricsRegistry::new());
+        let metrics = MetricsHandle::new(registry.clone());
+        aggregate_provenance_instrumented(
+            &testdata::example5_q1(),
+            &db,
+            &ParamMap::new(),
+            &Interrupt::none(),
+            &metrics,
+        )
+        .unwrap();
+        let prov = aggregate_provenance(&testdata::example5_q1(), &db, &ParamMap::new()).unwrap();
+        let expected_members: u64 = prov.groups.iter().map(|g| g.members.len() as u64).sum();
+        assert_eq!(registry.counter("provenance.aggprov.calls"), 1);
+        assert_eq!(registry.counter("provenance.aggprov.groups"), 3);
+        assert_eq!(
+            registry.counter("provenance.aggprov.members"),
+            expected_members
+        );
+        assert!(registry.counter("provenance.annotate.rows") > 0);
+    }
+
+    use std::sync::Arc;
 
     #[test]
     fn example5_q2_returns_mary_and_jesse_on_full_instance() {

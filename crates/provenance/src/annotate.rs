@@ -13,6 +13,7 @@ use ratest_ra::expr::ParamMap;
 use ratest_ra::interrupt::{Interrupt, Pacer};
 use ratest_ra::typecheck::{output_schema, rename_schema};
 use ratest_storage::{Database, Schema, Value};
+use ratest_telemetry::MetricsHandle;
 use std::collections::HashMap;
 
 /// One output tuple together with its how-provenance.
@@ -149,8 +150,27 @@ pub fn annotate_interruptible(
     params: &ParamMap,
     interrupt: &Interrupt,
 ) -> Result<AnnotatedResult> {
+    annotate_instrumented(query, db, params, interrupt, &MetricsHandle::none())
+}
+
+/// [`annotate_interruptible`] plus telemetry: folds the pacer's work counters
+/// into `metrics` as `provenance.annotate.rows`, `provenance.annotate.batches`
+/// and `provenance.annotate.interrupt_polls`, whether or not the annotation
+/// completes. An inert handle records nothing.
+pub fn annotate_instrumented(
+    query: &Query,
+    db: &Database,
+    params: &ParamMap,
+    interrupt: &Interrupt,
+    metrics: &MetricsHandle,
+) -> Result<AnnotatedResult> {
     let pacer = Pacer::new(interrupt);
-    annotate_node(query, db, params, &pacer)
+    let result = annotate_node(query, db, params, &pacer);
+    metrics.counter_inc("provenance.annotate.calls");
+    metrics.counter_add("provenance.annotate.rows", pacer.work());
+    metrics.counter_add("provenance.annotate.batches", pacer.batches());
+    metrics.counter_add("provenance.annotate.interrupt_polls", pacer.polls());
+    result
 }
 
 fn annotate_node(
@@ -159,6 +179,7 @@ fn annotate_node(
     params: &ParamMap,
     pacer: &Pacer,
 ) -> Result<AnnotatedResult> {
+    pacer.note_batch();
     match query {
         Query::Relation(name) => {
             let rel = db.relation(name)?;

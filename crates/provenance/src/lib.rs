@@ -38,7 +38,10 @@ pub mod dnf;
 pub mod error;
 pub mod smtlib;
 
-pub use aggprov::{aggregate_provenance, AggregateProvenance, GroupProvenance};
+pub use aggprov::{
+    aggregate_provenance, aggregate_provenance_instrumented, aggregate_provenance_interruptible,
+    AggregateProvenance, GroupProvenance,
+};
 pub use annotate::{
     annotate, annotate_interruptible, annotate_with_params, difference_of, AnnotatedResult,
     AnnotatedRow,

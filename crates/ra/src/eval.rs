@@ -12,6 +12,7 @@ use crate::expr::{BinaryOp, Expr, ParamMap};
 use crate::interrupt::{Interrupt, Pacer};
 use crate::typecheck::{output_schema, rename_schema};
 use ratest_storage::{Database, Schema, Value};
+use ratest_telemetry::MetricsHandle;
 use std::collections::{HashMap, HashSet};
 
 /// Parameter bindings passed to [`evaluate_with_params`].
@@ -123,12 +124,32 @@ pub fn evaluate_interruptible(
     params: &Params,
     interrupt: &Interrupt,
 ) -> Result<ResultSet> {
+    evaluate_instrumented(query, db, params, interrupt, &MetricsHandle::none())
+}
+
+/// [`evaluate_interruptible`] plus telemetry: after the run (successful or
+/// not) the pacer's work counters are folded into `metrics` as
+/// `ra.eval.rows_scanned`, `ra.eval.batches` and `ra.eval.interrupt_polls`.
+/// An inert handle records nothing and costs nothing on the row path.
+pub fn evaluate_instrumented(
+    query: &Query,
+    db: &Database,
+    params: &Params,
+    interrupt: &Interrupt,
+    metrics: &MetricsHandle,
+) -> Result<ResultSet> {
     // One pacer for the whole tree: the stride counts global work.
     let pacer = Pacer::new(interrupt);
-    eval_node(query, db, params, &pacer)
+    let result = eval_node(query, db, params, &pacer);
+    metrics.counter_inc("ra.eval.calls");
+    metrics.counter_add("ra.eval.rows_scanned", pacer.work());
+    metrics.counter_add("ra.eval.batches", pacer.batches());
+    metrics.counter_add("ra.eval.interrupt_polls", pacer.polls());
+    result
 }
 
 fn eval_node(query: &Query, db: &Database, params: &Params, pacer: &Pacer) -> Result<ResultSet> {
+    pacer.note_batch();
     match query {
         Query::Relation(name) => {
             let rel = db.relation(name)?;

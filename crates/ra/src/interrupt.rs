@@ -104,6 +104,9 @@ impl fmt::Debug for Interrupt {
 pub struct Pacer {
     interrupt: Interrupt,
     countdown: Cell<u32>,
+    work: Cell<u64>,
+    polls: Cell<u64>,
+    batches: Cell<u64>,
 }
 
 impl Pacer {
@@ -117,19 +120,45 @@ impl Pacer {
         Pacer {
             interrupt: interrupt.clone(),
             countdown: Cell::new(Self::STRIDE),
+            work: Cell::new(0),
+            polls: Cell::new(0),
+            batches: Cell::new(0),
         }
     }
 
     /// Count one unit of work; every [`Pacer::STRIDE`]-th call polls the
     /// hook. Hookless pacers only pay the decrement.
     pub fn tick(&self) -> crate::error::Result<()> {
+        self.work.set(self.work.get() + 1);
         let left = self.countdown.get();
         if left > 1 {
             self.countdown.set(left - 1);
             return Ok(());
         }
         self.countdown.set(Self::STRIDE);
+        self.polls.set(self.polls.get() + 1);
         self.interrupt.check()
+    }
+
+    /// Note one operator-level batch (a materialized intermediate result).
+    /// Recorded for telemetry only; never polls the hook.
+    pub fn note_batch(&self) {
+        self.batches.set(self.batches.get() + 1);
+    }
+
+    /// Units of work ticked so far (rows processed by inner loops).
+    pub fn work(&self) -> u64 {
+        self.work.get()
+    }
+
+    /// How many times the hook was actually polled.
+    pub fn polls(&self) -> u64 {
+        self.polls.get()
+    }
+
+    /// Operator batches noted via [`Pacer::note_batch`].
+    pub fn batches(&self) -> u64 {
+        self.batches.get()
     }
 }
 
@@ -179,6 +208,19 @@ mod tests {
             err,
             crate::error::QueryError::Interrupted(Interrupted::StepQuotaExhausted)
         );
+    }
+
+    #[test]
+    fn the_pacer_counts_work_polls_and_batches() {
+        let pacer = Pacer::new(&Interrupt::none());
+        for _ in 0..(2 * Pacer::STRIDE as u64 + 5) {
+            pacer.tick().unwrap();
+        }
+        pacer.note_batch();
+        pacer.note_batch();
+        assert_eq!(pacer.work(), 2 * Pacer::STRIDE as u64 + 5);
+        assert_eq!(pacer.polls(), 2);
+        assert_eq!(pacer.batches(), 2);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use ratest_ra::eval::Params;
 use ratest_solver::formula::Formula;
 use ratest_solver::minones::{minimize_ones_with_theory, MinOnesOptions};
 use ratest_storage::{Database, TupleSelection, Value};
+use ratest_telemetry::MetricsHandle;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -34,6 +35,8 @@ pub struct AggBasicOptions {
     pub budget: crate::session::Budget,
     /// Progress events (per candidate group).
     pub events: crate::session::EventHandle,
+    /// Metrics sink: provenance and solver counters are folded in here.
+    pub metrics: MetricsHandle,
 }
 
 impl Default for AggBasicOptions {
@@ -42,6 +45,7 @@ impl Default for AggBasicOptions {
             max_groups: 8,
             budget: crate::session::Budget::unlimited(),
             events: crate::session::EventHandle::none(),
+            metrics: MetricsHandle::none(),
         }
     }
 }
@@ -64,7 +68,14 @@ pub fn smallest_counterexample_agg_basic(
     }
 
     let start = Instant::now();
-    let (p1, p2) = pair_provenance(q1, q2, db, params)?;
+    let (p1, p2) = pair_provenance(
+        q1,
+        q2,
+        db,
+        params,
+        &options.budget.interrupt(),
+        &options.metrics,
+    )?;
     timings.provenance = start.elapsed();
 
     let start = Instant::now();
@@ -78,7 +89,7 @@ pub fn smallest_counterexample_agg_basic(
                 index,
                 best_size: best.as_ref().map(|b| b.size()),
             });
-        match solve_for_group(q1, q2, db, params, &p1, &p2, &key)? {
+        match solve_for_group(q1, q2, db, params, &p1, &p2, &key, &options.metrics)? {
             Some(cex) => {
                 let better = best.as_ref().map(|b| cex.size() < b.size()).unwrap_or(true);
                 if better {
@@ -148,6 +159,7 @@ fn rows_differ_on_full_instance(
 }
 
 /// Solve the min-ones problem restricted to one group.
+#[allow(clippy::too_many_arguments)]
 fn solve_for_group(
     q1: &Query,
     q2: &Query,
@@ -156,6 +168,7 @@ fn solve_for_group(
     p1: &AggregateProvenance,
     p2: &AggregateProvenance,
     key: &[Value],
+    metrics: &MetricsHandle,
 ) -> Result<Option<Counterexample>> {
     let exists1 = p1
         .group_by_key(key)
@@ -183,6 +196,8 @@ fn solve_for_group(
         let selection = vars_for_theory.selection_from_vars(true_vars);
         queries_differ_under(p1, p2, &selection, params).unwrap_or(false)
     };
+    metrics.counter_inc("agg.groups_solved");
+    metrics.observe("solver.objective_vars", objective.len() as u64);
     let sol =
         match minimize_ones_with_theory(&formula, &objective, &MinOnesOptions::default(), accept) {
             Ok(sol) => sol,
@@ -190,6 +205,7 @@ fn solve_for_group(
             | Err(ratest_solver::SolverError::BudgetExhausted { .. }) => return Ok(None),
             Err(e) => return Err(e.into()),
         };
+    sol.stats.record(metrics);
     let selection = vars.selection_from_vars(&sol.true_vars);
     match build_counterexample(q1, q2, db, selection, None, params) {
         Ok(cex) => Ok(Some(cex)),
@@ -280,6 +296,8 @@ mod tests {
             &testdata::example4_q2(),
             &db,
             &Params::new(),
+            &ratest_ra::interrupt::Interrupt::none(),
+            &MetricsHandle::none(),
         )
         .unwrap();
         // Empty sub-instance: both queries return nothing — no difference.

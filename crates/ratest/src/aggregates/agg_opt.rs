@@ -59,7 +59,14 @@ pub fn smallest_counterexample_agg_opt(
     // Aggregate provenance gives us (a) the stripped inner queries Q1', Q2'
     // and (b) a fast way to re-check the original queries on candidates.
     let start = Instant::now();
-    let (p1, p2) = pair_provenance(q1, q2, db, original_params)?;
+    let (p1, p2) = pair_provenance(
+        q1,
+        q2,
+        db,
+        original_params,
+        &options.optsigma.budget.interrupt(),
+        &options.optsigma.metrics,
+    )?;
     let inner1 = p1.inner.clone();
     let inner2 = p2.inner.clone();
     timings.provenance = start.elapsed();

@@ -21,6 +21,7 @@ use ratest_ra::eval::Params;
 use ratest_solver::formula::Formula;
 use ratest_solver::minones::{minimize_ones_with_theory, MinOnesOptions};
 use ratest_storage::{Database, TupleSelection, Value};
+use ratest_telemetry::MetricsHandle;
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -36,6 +37,8 @@ pub struct AggParamOptions {
     pub budget: crate::session::Budget,
     /// Progress events (per candidate group).
     pub events: crate::session::EventHandle,
+    /// Metrics sink: provenance and solver counters are folded in here.
+    pub metrics: MetricsHandle,
 }
 
 impl Default for AggParamOptions {
@@ -45,6 +48,7 @@ impl Default for AggParamOptions {
             extra_candidates: vec![0, 1],
             budget: crate::session::Budget::unlimited(),
             events: crate::session::EventHandle::none(),
+            metrics: MetricsHandle::none(),
         }
     }
 }
@@ -71,7 +75,14 @@ pub fn smallest_counterexample_agg_param(
     }
 
     let start = Instant::now();
-    let (p1, p2) = pair_provenance(q1, q2, db, original_params)?;
+    let (p1, p2) = pair_provenance(
+        q1,
+        q2,
+        db,
+        original_params,
+        &options.budget.interrupt(),
+        &options.metrics,
+    )?;
     timings.provenance = start.elapsed();
 
     let start = Instant::now();
@@ -159,6 +170,10 @@ fn solve_group_parameterized(
         }
         false
     };
+    options.metrics.counter_inc("agg.groups_solved");
+    options
+        .metrics
+        .observe("solver.objective_vars", objective.len() as u64);
     let sol =
         match minimize_ones_with_theory(&formula, &objective, &MinOnesOptions::default(), accept) {
             Ok(sol) => sol,
@@ -166,6 +181,7 @@ fn solve_group_parameterized(
             | Err(ratest_solver::SolverError::BudgetExhausted { .. }) => return Ok(None),
             Err(e) => return Err(e.into()),
         };
+    sol.stats.record(&options.metrics);
     let selection = vars.selection_from_vars(&sol.true_vars);
     let params = chosen
         .into_inner()

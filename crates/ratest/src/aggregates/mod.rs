@@ -26,19 +26,26 @@ pub use agg_opt::smallest_counterexample_agg_opt;
 pub use agg_param::smallest_counterexample_agg_param;
 
 use crate::error::Result;
-use ratest_provenance::aggprov::{aggregate_provenance, AggregateProvenance};
+use ratest_provenance::aggprov::{aggregate_provenance_instrumented, AggregateProvenance};
 use ratest_ra::ast::Query;
 use ratest_ra::eval::Params;
+use ratest_ra::interrupt::Interrupt;
 use ratest_storage::Database;
+use ratest_telemetry::MetricsHandle;
 
-/// Compute aggregate provenance for both queries of a pair.
+/// Compute aggregate provenance for both queries of a pair. Both annotations
+/// run under the caller's `interrupt` (so aggregate references honour
+/// `Budget` deadlines inside the provenance loops) and fold their row/group
+/// counters into `metrics`.
 pub(crate) fn pair_provenance(
     q1: &Query,
     q2: &Query,
     db: &Database,
     params: &Params,
+    interrupt: &Interrupt,
+    metrics: &MetricsHandle,
 ) -> Result<(AggregateProvenance, AggregateProvenance)> {
-    let p1 = aggregate_provenance(q1, db, params)?;
-    let p2 = aggregate_provenance(q2, db, params)?;
+    let p1 = aggregate_provenance_instrumented(q1, db, params, interrupt, metrics)?;
+    let p2 = aggregate_provenance_instrumented(q2, db, params, interrupt, metrics)?;
     Ok((p1, p2))
 }

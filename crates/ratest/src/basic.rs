@@ -13,13 +13,14 @@ use crate::error::{RatestError, Result};
 use crate::pipeline::{SolverStrategy, Timings};
 use crate::problem::{build_counterexample, difference_query, Counterexample, Witness};
 use crate::session::{Budget, EventHandle, ExplainEvent, Phase};
-use ratest_provenance::annotate::annotate_interruptible;
+use ratest_provenance::annotate::annotate_instrumented;
 use ratest_ra::ast::Query;
 use ratest_ra::eval::Params;
 use ratest_solver::enumerate::enumerate_best;
 use ratest_solver::formula::Formula;
 use ratest_solver::minones::{minimize_ones, MinOnesOptions};
 use ratest_storage::Database;
+use ratest_telemetry::MetricsHandle;
 use std::time::Instant;
 
 /// Options for the `Basic` algorithm.
@@ -38,6 +39,9 @@ pub struct BasicOptions {
     pub budget: Budget,
     /// Progress events (per-candidate, per-solve).
     pub events: EventHandle,
+    /// Metrics sink: solver statistics and candidate counts are folded in
+    /// here; the default handle records nothing.
+    pub metrics: MetricsHandle,
 }
 
 impl Default for BasicOptions {
@@ -47,6 +51,7 @@ impl Default for BasicOptions {
             max_tuples: usize::MAX,
             budget: Budget::unlimited(),
             events: EventHandle::none(),
+            metrics: MetricsHandle::none(),
         }
     }
 }
@@ -78,10 +83,20 @@ pub fn smallest_counterexample_basic(
     });
     let interrupt = options.budget.interrupt();
     let start = Instant::now();
-    let ann_q1_minus_q2 =
-        annotate_interruptible(&difference_query(q1, q2, true), db, params, &interrupt)?;
-    let ann_q2_minus_q1 =
-        annotate_interruptible(&difference_query(q1, q2, false), db, params, &interrupt)?;
+    let ann_q1_minus_q2 = annotate_instrumented(
+        &difference_query(q1, q2, true),
+        db,
+        params,
+        &interrupt,
+        &options.metrics,
+    )?;
+    let ann_q2_minus_q1 = annotate_instrumented(
+        &difference_query(q1, q2, false),
+        db,
+        params,
+        &interrupt,
+        &options.metrics,
+    )?;
     timings.provenance = start.elapsed();
 
     let cex = smallest_counterexample_from_annotations(
@@ -188,15 +203,25 @@ pub fn smallest_counterexample_from_annotations(
             upper_bound: best.as_ref().map(|b| b.size().saturating_sub(1)),
             ..Default::default()
         };
+        options.metrics.counter_inc("basic.candidates");
+        options
+            .metrics
+            .observe("solver.objective_vars", objective.len() as u64);
         let solved = match options.strategy {
             SolverStrategy::Optimize => match minimize_ones(&formula, &objective, &solve_options) {
-                Ok(sol) => Some(sol.true_vars),
+                Ok(sol) => {
+                    sol.stats.record(&options.metrics);
+                    Some(sol.true_vars)
+                }
                 Err(ratest_solver::SolverError::Unsatisfiable) => None,
                 Err(e) => return Err(e.into()),
             },
             SolverStrategy::Enumerate { max_models } => {
                 match enumerate_best(&formula, &objective, max_models) {
-                    Ok(res) => Some(res.best_true_vars),
+                    Ok(res) => {
+                        res.stats.record(&options.metrics);
+                        Some(res.best_true_vars)
+                    }
                     Err(ratest_solver::SolverError::Unsatisfiable) => None,
                     Err(e) => return Err(e.into()),
                 }

@@ -66,6 +66,7 @@ pub mod polytime;
 pub mod problem;
 pub mod report;
 pub mod session;
+pub mod trace;
 
 pub use error::{RatestError, Result};
 #[allow(deprecated)]
@@ -78,3 +79,4 @@ pub use session::{
     Budget, CollectingSink, EventHandle, EventSink, ExplainEvent, Phase, ReferenceHandle, Session,
     SessionBuilder,
 };
+pub use trace::TracingSink;

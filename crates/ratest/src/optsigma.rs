@@ -16,7 +16,7 @@ use crate::problem::{
     build_counterexample, difference_query, differing_tuples, Counterexample, Witness,
 };
 use crate::session::{Budget, EventHandle, ExplainEvent, Phase};
-use ratest_provenance::annotate::annotate_interruptible;
+use ratest_provenance::annotate::annotate_instrumented;
 use ratest_ra::ast::Query;
 use ratest_ra::builder::QueryBuilder;
 use ratest_ra::eval::Params;
@@ -27,6 +27,7 @@ use ratest_solver::enumerate::enumerate_best;
 use ratest_solver::formula::Formula;
 use ratest_solver::minones::{minimize_ones_with_theory, MinOnesOptions};
 use ratest_storage::{Database, TupleSelection, Value};
+use ratest_telemetry::MetricsHandle;
 use std::time::Instant;
 
 /// Options for the `Optσ` algorithm.
@@ -42,6 +43,9 @@ pub struct OptSigmaOptions {
     pub budget: Budget,
     /// Progress events (per-phase, per-solve).
     pub events: EventHandle,
+    /// Metrics sink: solver statistics are folded in here; the default
+    /// handle records nothing.
+    pub metrics: MetricsHandle,
 }
 
 impl Default for OptSigmaOptions {
@@ -51,6 +55,7 @@ impl Default for OptSigmaOptions {
             strategy: SolverStrategy::Optimize,
             budget: Budget::unlimited(),
             events: EventHandle::none(),
+            metrics: MetricsHandle::none(),
         }
     }
 }
@@ -134,6 +139,10 @@ where
         let formula = Formula::and(parts);
         let objective = vars.all_vars();
 
+        options.metrics.counter_inc("optsigma.directions");
+        options
+            .metrics
+            .observe("solver.objective_vars", objective.len() as u64);
         let candidate = match options.strategy {
             SolverStrategy::Optimize => {
                 match minimize_ones_with_theory(
@@ -142,7 +151,10 @@ where
                     &MinOnesOptions::default(),
                     |true_vars| accept(&vars.selection_from_vars(true_vars)),
                 ) {
-                    Ok(sol) => Some(vars.selection_from_vars(&sol.true_vars)),
+                    Ok(sol) => {
+                        sol.stats.record(&options.metrics);
+                        Some(vars.selection_from_vars(&sol.true_vars))
+                    }
                     Err(ratest_solver::SolverError::Unsatisfiable) => None,
                     Err(e) => return Err(e.into()),
                 }
@@ -150,6 +162,7 @@ where
             SolverStrategy::Enumerate { max_models } => {
                 match enumerate_best(&formula, &objective, max_models) {
                     Ok(res) => {
+                        res.stats.record(&options.metrics);
                         let sel = vars.selection_from_vars(&res.best_true_vars);
                         accept(&sel).then_some(sel)
                     }
@@ -244,7 +257,13 @@ pub fn provenance_for_tuple(
     } else {
         diff
     };
-    let annotated = annotate_interruptible(&query, db, params, &options.budget.interrupt())?;
+    let annotated = annotate_instrumented(
+        &query,
+        db,
+        params,
+        &options.budget.interrupt(),
+        &options.metrics,
+    )?;
     Ok(annotated
         .provenance_of(tuple)
         .cloned()

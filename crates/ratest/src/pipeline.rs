@@ -20,12 +20,13 @@ use crate::polytime::{
 };
 use crate::problem::Counterexample;
 use crate::session::{Budget, EventHandle, ExplainEvent, Phase};
-use ratest_provenance::annotate::{annotate_interruptible, difference_of, AnnotatedResult};
+use ratest_provenance::annotate::{annotate_instrumented, difference_of, AnnotatedResult};
 use ratest_ra::ast::Query;
 use ratest_ra::classify::{classify_pair, QueryClass};
 use ratest_ra::eval::{Params, ResultSet};
 use ratest_ra::typecheck::output_schema;
 use ratest_storage::Database;
+use ratest_telemetry::MetricsHandle;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -150,6 +151,10 @@ pub struct RatestOptions {
     /// Typed progress events ([`crate::session::ExplainEvent`]) are emitted
     /// here; the default handle drops them.
     pub events: EventHandle,
+    /// Metrics sink for the whole run: evaluator row counts, provenance
+    /// sizes, solver statistics and per-phase wall-clock durations are
+    /// recorded here. The default handle records nothing.
+    pub metrics: MetricsHandle,
 }
 
 impl Default for RatestOptions {
@@ -161,6 +166,7 @@ impl Default for RatestOptions {
             parameters: Params::new(),
             budget: Budget::unlimited(),
             events: EventHandle::none(),
+            metrics: MetricsHandle::none(),
         }
     }
 }
@@ -213,7 +219,10 @@ pub(crate) fn explain_impl(
     Ok(outcome)
 }
 
-/// Emit the final [`ExplainEvent::Verdict`] for a finished run.
+/// Emit the final [`ExplainEvent::Verdict`] for a finished run, and fold the
+/// run's outcome into the metrics registry: deterministic counters for the
+/// verdict and counterexample size, volatile duration totals for the phase
+/// timings (wall-clock values never enter the byte-reproducible sections).
 fn emit_verdict(options: &RatestOptions, outcome: &ExplainOutcome) {
     options.events.emit(ExplainEvent::Verdict {
         agrees: outcome.counterexample.is_none(),
@@ -221,6 +230,28 @@ fn emit_verdict(options: &RatestOptions, outcome: &ExplainOutcome) {
         class: outcome.class,
         algorithm: outcome.algorithm_used,
     });
+    options.metrics.counter_inc("explain.runs");
+    match &outcome.counterexample {
+        None => options.metrics.counter_inc("explain.agreements"),
+        Some(cex) => {
+            options.metrics.counter_inc("explain.counterexamples");
+            options
+                .metrics
+                .observe("explain.counterexample_size", cex.size() as u64);
+        }
+    }
+    options
+        .metrics
+        .record_duration("explain.raw_eval_ms", outcome.timings.raw_eval);
+    options
+        .metrics
+        .record_duration("explain.provenance_ms", outcome.timings.provenance);
+    options
+        .metrics
+        .record_duration("explain.solver_ms", outcome.timings.solver);
+    options
+        .metrics
+        .record_duration("explain.total_ms", outcome.timings.total);
 }
 
 /// The full pipeline. The boolean distinguishes a fresh search from a
@@ -242,12 +273,13 @@ fn explain_inner(
     options.events.emit(ExplainEvent::PhaseStarted {
         phase: Phase::RawEval,
     });
-    let (r1, r2) = crate::problem::check_distinguishes_budgeted(
+    let (r1, r2) = crate::problem::check_distinguishes_instrumented(
         q1,
         q2,
         db,
         &options.parameters,
         &options.budget,
+        &options.metrics,
     )?;
     if r1.set_eq(&r2) {
         return Ok(ExplainOutcome {
@@ -285,6 +317,7 @@ fn explain_inner(
                     strategy: options.strategy,
                     budget: options.budget.clone(),
                     events: options.events.clone(),
+                    metrics: options.metrics.clone(),
                     ..Default::default()
                 },
             ),
@@ -298,6 +331,7 @@ fn explain_inner(
                     strategy: options.strategy,
                     budget: options.budget.clone(),
                     events: options.events.clone(),
+                    metrics: options.metrics.clone(),
                 },
             ),
             Algorithm::PolytimeMonotone => {
@@ -314,6 +348,7 @@ fn explain_inner(
                 &AggBasicOptions {
                     budget: options.budget.clone(),
                     events: options.events.clone(),
+                    metrics: options.metrics.clone(),
                     ..Default::default()
                 },
             ),
@@ -325,6 +360,7 @@ fn explain_inner(
                 &AggParamOptions {
                     budget: options.budget.clone(),
                     events: options.events.clone(),
+                    metrics: options.metrics.clone(),
                     ..Default::default()
                 },
             ),
@@ -337,6 +373,7 @@ fn explain_inner(
                     optsigma: OptSigmaOptions {
                         budget: options.budget.clone(),
                         events: options.events.clone(),
+                        metrics: options.metrics.clone(),
                         ..Default::default()
                     },
                     ..Default::default()
@@ -362,6 +399,7 @@ fn explain_inner(
         Err(RatestError::Unsupported(_) | RatestError::Solver(_))
             if algorithm != fallback_target =>
         {
+            options.metrics.counter_inc("explain.fallbacks");
             let (cex, t) = run(fallback_target)?;
             (cex, t, fallback_target)
         }
@@ -409,15 +447,29 @@ impl PreparedReference {
         params: &Params,
         budget: &Budget,
     ) -> Result<PreparedReference> {
+        PreparedReference::prepare_instrumented(q1, db, params, budget, &MetricsHandle::none())
+    }
+
+    /// [`PreparedReference::prepare_budgeted`] plus telemetry: the reference
+    /// evaluation and annotation record their row counters into `metrics`,
+    /// and `explain.references_prepared` counts the preparation itself.
+    pub fn prepare_instrumented(
+        q1: &Query,
+        db: &Database,
+        params: &Params,
+        budget: &Budget,
+        metrics: &MetricsHandle,
+    ) -> Result<PreparedReference> {
         let interrupt = budget.interrupt();
-        let result = ratest_ra::eval::evaluate_interruptible(q1, db, params, &interrupt)?;
+        let result = ratest_ra::eval::evaluate_instrumented(q1, db, params, &interrupt, metrics)?;
         let annotation = if q1.has_aggregates() {
             None
         } else {
-            Some(Arc::new(annotate_interruptible(
-                q1, db, params, &interrupt,
+            Some(Arc::new(annotate_instrumented(
+                q1, db, params, &interrupt, metrics,
             )?))
         };
+        metrics.counter_inc("explain.references_prepared");
         Ok(PreparedReference {
             query: Arc::new(q1.clone()),
             params: params.clone(),
@@ -505,11 +557,12 @@ pub(crate) fn explain_prepared_impl(
         phase: Phase::RawEval,
     });
     let start = Instant::now();
-    let r2 = ratest_ra::eval::evaluate_interruptible(
+    let r2 = ratest_ra::eval::evaluate_instrumented(
         q2,
         db,
         &reference.params,
         &options.budget.interrupt(),
+        &options.metrics,
     )?;
     timings.raw_eval = start.elapsed();
     let r1 = reference.result();
@@ -566,11 +619,18 @@ pub(crate) fn explain_prepared_impl(
     // Solver-backed exact scan over both difference directions, with the
     // reference side of each annotation taken from the shared handle.
     let ref_annotation = ref_annotation.expect("checked above");
+    options.metrics.counter_inc("explain.annotation_reuse_hits");
     options.events.emit(ExplainEvent::PhaseStarted {
         phase: Phase::Provenance,
     });
     let start = Instant::now();
-    let ann_q2 = annotate_interruptible(q2, db, &reference.params, &options.budget.interrupt())?;
+    let ann_q2 = annotate_instrumented(
+        q2,
+        db,
+        &reference.params,
+        &options.budget.interrupt(),
+        &options.metrics,
+    )?;
     let ann_q1_minus_q2 = difference_of(ref_annotation, &ann_q2);
     let ann_q2_minus_q1 = difference_of(&ann_q2, ref_annotation);
     timings.provenance += start.elapsed();
@@ -579,6 +639,7 @@ pub(crate) fn explain_prepared_impl(
         strategy: options.strategy,
         budget: options.budget.clone(),
         events: options.events.clone(),
+        metrics: options.metrics.clone(),
         ..Default::default()
     };
     match smallest_counterexample_from_annotations(

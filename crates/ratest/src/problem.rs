@@ -80,6 +80,26 @@ pub fn check_distinguishes_budgeted(
     params: &Params,
     budget: &crate::session::Budget,
 ) -> Result<(ResultSet, ResultSet)> {
+    check_distinguishes_instrumented(
+        q1,
+        q2,
+        db,
+        params,
+        budget,
+        &ratest_telemetry::MetricsHandle::none(),
+    )
+}
+
+/// [`check_distinguishes_budgeted`] plus telemetry: both evaluations fold
+/// their row counters into `metrics` (`ra.eval.*`).
+pub fn check_distinguishes_instrumented(
+    q1: &Query,
+    q2: &Query,
+    db: &Database,
+    params: &Params,
+    budget: &crate::session::Budget,
+    metrics: &ratest_telemetry::MetricsHandle,
+) -> Result<(ResultSet, ResultSet)> {
     let s1 = output_schema(q1, db)?;
     let s2 = output_schema(q2, db)?;
     if !s1.union_compatible(&s2) {
@@ -89,8 +109,8 @@ pub fn check_distinguishes_budgeted(
         });
     }
     let interrupt = budget.interrupt();
-    let r1 = ratest_ra::eval::evaluate_interruptible(q1, db, params, &interrupt)?;
-    let r2 = ratest_ra::eval::evaluate_interruptible(q2, db, params, &interrupt)?;
+    let r1 = ratest_ra::eval::evaluate_instrumented(q1, db, params, &interrupt, metrics)?;
+    let r2 = ratest_ra::eval::evaluate_instrumented(q2, db, params, &interrupt, metrics)?;
     Ok((r1, r2))
 }
 

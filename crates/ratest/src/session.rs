@@ -400,6 +400,13 @@ impl SessionBuilder {
         self
     }
 
+    /// Attach a metrics registry: every explain run on the session folds its
+    /// evaluator, provenance and solver counters into it.
+    pub fn metrics(mut self, registry: Arc<ratest_telemetry::MetricsRegistry>) -> SessionBuilder {
+        self.options.metrics = ratest_telemetry::MetricsHandle::new(registry);
+        self
+    }
+
     /// Start from fully spelled-out options (the engine configuration path).
     pub fn options(mut self, options: RatestOptions) -> SessionBuilder {
         self.options = options;
@@ -459,11 +466,12 @@ impl Session {
                 return Ok(ReferenceHandle(fingerprint));
             }
         }
-        let prepared = Arc::new(PreparedReference::prepare_budgeted(
+        let prepared = Arc::new(PreparedReference::prepare_instrumented(
             reference,
             &self.db,
             &self.options.parameters,
             &self.options.budget,
+            &self.options.metrics,
         )?);
         self.references
             .write()
@@ -684,5 +692,58 @@ mod tests {
         let bogus = ReferenceHandle(0xdead_beef);
         assert!(session.explain(bogus, &testdata::example1_q2()).is_err());
         assert!(session.prepared(bogus).is_none());
+    }
+
+    #[test]
+    fn an_expired_deadline_stops_a_group_by_reference() {
+        // Regression for the aggregate-class-parity gap: aggregate provenance
+        // must honour the budget deadline inside its own loops, so preparing
+        // or explaining a GROUP BY reference under an already-expired budget
+        // fails with DeadlineExceeded instead of running to completion.
+        let session = Session::builder(testdata::figure1_db())
+            .budget(Budget::unlimited().with_deadline(Duration::ZERO))
+            .build();
+        let err = session
+            .explain_pair(&testdata::example5_q1(), &testdata::example5_q2())
+            .expect_err("the deadline expired before the run started");
+        assert_eq!(err, RatestError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn session_metrics_capture_the_whole_stack() {
+        let registry = Arc::new(ratest_telemetry::MetricsRegistry::new());
+        let session = Session::builder(testdata::figure1_db())
+            .metrics(registry.clone())
+            .build();
+        let reference = session.prepare(&testdata::example1_q1()).unwrap();
+        session
+            .explain(reference, &testdata::example1_q2())
+            .unwrap();
+
+        assert_eq!(registry.counter("explain.runs"), 1);
+        assert_eq!(registry.counter("explain.counterexamples"), 1);
+        assert_eq!(registry.counter("explain.references_prepared"), 1);
+        assert_eq!(registry.counter("explain.annotation_reuse_hits"), 1);
+        assert!(registry.counter("ra.eval.rows_scanned") > 0);
+        assert!(registry.counter("provenance.annotate.rows") > 0);
+        assert!(registry.counter("solver.calls") > 0);
+        assert!(registry.counter("solver.decisions") + registry.counter("solver.propagations") > 0);
+        // Volatile durations live apart from the deterministic counters.
+        let snap = registry.snapshot();
+        assert!(snap.durations_ms.contains_key("explain.total_ms"));
+        assert!(!snap.to_json(false).contains("volatile"));
+    }
+
+    #[test]
+    fn aggregate_explains_record_group_counters() {
+        let registry = Arc::new(ratest_telemetry::MetricsRegistry::new());
+        let session = Session::builder(testdata::figure1_db())
+            .metrics(registry.clone())
+            .build();
+        session
+            .explain_pair(&testdata::example5_q1(), &testdata::example5_q2())
+            .unwrap();
+        assert!(registry.counter("provenance.aggprov.calls") >= 2);
+        assert!(registry.counter("provenance.aggprov.groups") > 0);
     }
 }

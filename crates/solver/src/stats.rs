@@ -1,5 +1,6 @@
 //! Solver statistics reported by the experiment harness.
 
+use ratest_telemetry::MetricsHandle;
 use serde::{Deserialize, Serialize};
 
 /// Counters accumulated while solving.
@@ -27,6 +28,19 @@ impl SolverStats {
         self.learned_clauses += other.learned_clauses;
         self.restarts += other.restarts;
     }
+
+    /// Fold these counters into a metrics registry under the `solver.*`
+    /// namespace, and count one solver call. This is how per-search SAT
+    /// statistics — previously dropped at the call sites — reach the
+    /// telemetry layer.
+    pub fn record(&self, metrics: &MetricsHandle) {
+        metrics.counter_inc("solver.calls");
+        metrics.counter_add("solver.decisions", self.decisions);
+        metrics.counter_add("solver.propagations", self.propagations);
+        metrics.counter_add("solver.conflicts", self.conflicts);
+        metrics.counter_add("solver.learned_clauses", self.learned_clauses);
+        metrics.counter_add("solver.restarts", self.restarts);
+    }
 }
 
 #[cfg(test)]
@@ -45,5 +59,25 @@ mod tests {
         a.merge(&a.clone());
         assert_eq!(a.decisions, 2);
         assert_eq!(a.restarts, 10);
+    }
+
+    #[test]
+    fn record_folds_into_the_registry() {
+        use std::sync::Arc;
+        let registry = Arc::new(ratest_telemetry::MetricsRegistry::new());
+        let metrics = MetricsHandle::new(registry.clone());
+        let stats = SolverStats {
+            decisions: 1,
+            propagations: 2,
+            conflicts: 3,
+            learned_clauses: 4,
+            restarts: 5,
+        };
+        stats.record(&metrics);
+        stats.record(&metrics);
+        assert_eq!(registry.counter("solver.calls"), 2);
+        assert_eq!(registry.counter("solver.decisions"), 2);
+        assert_eq!(registry.counter("solver.conflicts"), 6);
+        assert_eq!(registry.counter("solver.restarts"), 10);
     }
 }

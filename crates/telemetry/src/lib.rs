@@ -1,0 +1,65 @@
+//! Deterministic metrics and trace spans for RATest-rs.
+//!
+//! This crate is the observability backbone of the workspace. It has **zero
+//! dependencies** (not even the vendored serde stand-in) so every other crate
+//! can depend on it without cycles, and it is built around one invariant:
+//!
+//! > Everything a [`MetricsRegistry`] records is either *deterministic* —
+//! > counters, gauges, and fixed-bucket histograms whose values depend only on
+//! > the work performed — or *volatile* — wall-clock durations that vary from
+//! > run to run. Snapshots keep the two strictly apart so that the
+//! > deterministic part renders to byte-identical JSON across identical runs,
+//! > following the report-layer convention established by the grading cache
+//! > and the `ReportCounts` slice.
+//!
+//! The registry is **global-free**: there is no process-wide singleton.
+//! Callers construct a registry, wrap it in a cheap cloneable
+//! [`MetricsHandle`] (mirroring `EventHandle` / `Interrupt` elsewhere in the
+//! workspace), and thread it through options structs. A default handle is a
+//! no-op, so instrumented hot loops cost one branch when telemetry is off.
+//!
+//! The [`span`] module provides the hierarchical trace-span side
+//! (`explain > phase > candidate > solver_call`), which higher layers drive
+//! from the existing `ExplainEvent` stream and export as NDJSON.
+
+pub mod registry;
+pub mod span;
+
+pub use registry::{HistogramSnapshot, MetricsHandle, MetricsRegistry, MetricsSnapshot};
+pub use span::{SpanCollector, SpanRecord};
+
+/// Escape a string for embedding in a JSON string literal.
+///
+/// Matches the grader's hand-rolled JSON renderer byte for byte (`"`/`\`
+/// escaped, `\n` `\r` `\t` named, other control characters as `\u00XX`), so
+/// telemetry output can be parsed and re-embedded by that layer losslessly.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_matches_the_grader_renderer() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\n\r\ty"), "x\\n\\r\\ty");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,194 @@
+//! Hierarchical trace spans.
+//!
+//! A [`SpanCollector`] records a tree of named spans with deterministic
+//! sequence numbers and integer attributes. RATest's explain pipeline drives
+//! it from the `ExplainEvent` stream, producing the taxonomy
+//! `explain > phase > candidate > solver_call`; the collector itself is
+//! generic and knows nothing about those names.
+//!
+//! Spans deliberately carry **no timestamps**: ordering is the deterministic
+//! `seq` number, and any wall-clock timing belongs in the registry's volatile
+//! duration metrics instead. This keeps NDJSON exports byte-identical across
+//! identical runs.
+
+use std::sync::Mutex;
+
+use crate::escape_json;
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span kind, e.g. `explain`, `phase`, `candidate`, `solver_call`.
+    pub name: String,
+    /// Human-readable discriminator (phase name, candidate index, ...).
+    pub detail: String,
+    /// Deterministic open order, starting at 0.
+    pub seq: u64,
+    /// `seq` of the parent span, if any.
+    pub parent: Option<u64>,
+    /// Nesting depth (root spans are 0).
+    pub depth: usize,
+    /// Integer attributes in insertion order.
+    pub attrs: Vec<(String, i64)>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<SpanRecord>,
+    /// Indices into `spans` of the currently open chain, root first.
+    stack: Vec<usize>,
+}
+
+/// Collects a span tree. Thread-safe, though explain runs drive it from a
+/// single thread.
+#[derive(Debug, Default)]
+pub struct SpanCollector {
+    state: Mutex<State>,
+}
+
+impl SpanCollector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a child of the innermost open span (or a root) and return its
+    /// sequence number.
+    pub fn open(&self, name: &str, detail: &str) -> u64 {
+        let mut state = self.state.lock().unwrap();
+        let seq = state.spans.len() as u64;
+        let parent = state.stack.last().map(|&i| state.spans[i].seq);
+        let depth = state.stack.len();
+        state.spans.push(SpanRecord {
+            name: name.to_string(),
+            detail: detail.to_string(),
+            seq,
+            parent,
+            depth,
+            attrs: Vec::new(),
+        });
+        let idx = state.spans.len() - 1;
+        state.stack.push(idx);
+        seq
+    }
+
+    /// Attach an integer attribute to the innermost open span (overwrites an
+    /// existing attribute of the same key).
+    pub fn set_attr(&self, key: &str, value: i64) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(&idx) = state.stack.last() {
+            let attrs = &mut state.spans[idx].attrs;
+            if let Some(slot) = attrs.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value;
+            } else {
+                attrs.push((key.to_string(), value));
+            }
+        }
+    }
+
+    /// Close the innermost open span. A no-op when nothing is open.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.stack.pop();
+    }
+
+    /// Close open spans until nesting depth is at most `depth`.
+    pub fn close_to_depth(&self, depth: usize) {
+        let mut state = self.state.lock().unwrap();
+        state.stack.truncate(depth);
+    }
+
+    /// Current nesting depth (number of open spans).
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().stack.len()
+    }
+
+    /// Close everything and return the recorded spans in open order.
+    pub fn finish(&self) -> Vec<SpanRecord> {
+        let mut state = self.state.lock().unwrap();
+        state.stack.clear();
+        state.spans.clone()
+    }
+
+    /// Render all recorded spans as NDJSON, one object per line, in open
+    /// order. Deterministic: no timestamps, sorted nothing — insertion order
+    /// throughout.
+    pub fn to_ndjson(&self) -> String {
+        let spans = {
+            let state = self.state.lock().unwrap();
+            state.spans.clone()
+        };
+        let mut out = String::new();
+        for span in &spans {
+            out.push_str(&format!(
+                "{{\"span\":\"{}\",\"detail\":\"{}\",\"seq\":{},\"parent\":{},\"depth\":{},\"attrs\":{{",
+                escape_json(&span.name),
+                escape_json(&span.detail),
+                span.seq,
+                span.parent
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "null".to_string()),
+                span.depth,
+            ));
+            for (i, (key, value)) in span.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", escape_json(key), value));
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let c = SpanCollector::new();
+        let root = c.open("explain", "");
+        let phase = c.open("phase", "solve");
+        c.open("candidate", "0");
+        c.set_attr("index", 0);
+        c.close();
+        c.close_to_depth(1);
+        assert_eq!(c.depth(), 1);
+        let spans = c.finish();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(root));
+        assert_eq!(spans[2].parent, Some(phase));
+        assert_eq!(spans[2].attrs, vec![("index".to_string(), 0)]);
+    }
+
+    #[test]
+    fn set_attr_overwrites_by_key() {
+        let c = SpanCollector::new();
+        c.open("explain", "");
+        c.set_attr("best", 5);
+        c.set_attr("best", 3);
+        let spans = c.finish();
+        assert_eq!(spans[0].attrs, vec![("best".to_string(), 3)]);
+    }
+
+    #[test]
+    fn ndjson_export_is_deterministic_and_line_per_span() {
+        let run = || {
+            let c = SpanCollector::new();
+            c.open("explain", "");
+            c.open("phase", "raw-eval");
+            c.set_attr("rows", 12);
+            c.close();
+            c.to_ndjson()
+        };
+        let text = run();
+        assert_eq!(text, run());
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with(
+            "{\"span\":\"explain\",\"detail\":\"\",\"seq\":0,\"parent\":null,\"depth\":0,\"attrs\":{}}\n"
+        ));
+        assert!(text.contains("\"attrs\":{\"rows\":12}"));
+    }
+}
