@@ -1,14 +1,16 @@
 //! `ratest-bench` — the committed perf trajectory.
 //!
-//! Measures three end-to-end shapes and emits one schema-versioned JSON
-//! document (`ratest-bench/1`):
+//! Measures four end-to-end shapes and emits one schema-versioned JSON
+//! document (`ratest-bench/2`):
 //!
 //! * `search_latency` — counterexample-search latency over the course
 //!   workload, bucketed by the algorithm the pipeline dispatched to,
 //! * `grade_throughput` — cold-vs-warm batch grading of a synthetic cohort
 //!   (the warm pass must be answered entirely from the verdict cache),
 //! * `serve_roundtrip` — a scripted `grade serve` conversation driven
-//!   in-process.
+//!   in-process,
+//! * `repair_latency` — provenance-directed repair over every wrong course
+//!   pair that yields a counterexample (enumerate → rank → validate).
 //!
 //! Every section separates **deterministic counters** (registry counters,
 //! gauges, flattened histogram totals — byte-identical across identical
@@ -29,7 +31,7 @@ use ratest_core::session::Session;
 use ratest_datagen::{university_database, UniversityConfig};
 use ratest_grader::json::Json;
 use ratest_grader::{generate_cohort, CohortConfig, Grader, GraderConfig};
-use ratest_telemetry::{MetricsRegistry, MetricsSnapshot};
+use ratest_telemetry::{MetricsHandle, MetricsRegistry, MetricsSnapshot};
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::process::ExitCode;
@@ -38,9 +40,14 @@ use std::time::{Duration, Instant};
 
 /// Schema identifier; bump on any shape change (`BENCH_SCHEMA.md` documents
 /// the format).
-const SCHEMA: &str = "ratest-bench/1";
+const SCHEMA: &str = "ratest-bench/2";
 /// The section names, in document order; `--check` requires all of them.
-const SECTIONS: [&str; 3] = ["search_latency", "grade_throughput", "serve_roundtrip"];
+const SECTIONS: [&str; 4] = [
+    "search_latency",
+    "grade_throughput",
+    "serve_roundtrip",
+    "repair_latency",
+];
 
 const USAGE: &str = "usage: ratest-bench [--quick] [--out PATH]\n\
        ratest-bench [--quick] --bless PATH\n\
@@ -209,6 +216,7 @@ fn grade_throughput(quick: bool) -> Section {
         workers: 1,
         per_job_timeout: Duration::ZERO,
         options: Default::default(),
+        repair: None,
     });
     let cold_start = Instant::now();
     let cold = grader
@@ -253,6 +261,65 @@ fn grade_throughput(quick: bool) -> Section {
                 "warm_submissions_per_s",
                 Json::Float(throughput(cohort.submissions.len(), warm_wall)),
             ),
+        ],
+    }
+}
+
+/// Provenance-directed repair latency: for every wrong course pair the
+/// instance distinguishes, run the full repair pipeline (enumerate → rank →
+/// validate) against the counterexample. One shared registry accumulates the
+/// `repair.*` counters for the whole section.
+fn repair_latency(quick: bool) -> Section {
+    let (mutations, tuples) = if quick { (1, 40) } else { (2, 60) };
+    let db = university_database(&UniversityConfig {
+        total_tuples: tuples,
+        seed: 2019,
+        ..Default::default()
+    });
+    let registry = Arc::new(MetricsRegistry::new());
+    let metrics = MetricsHandle::new(registry.clone());
+    let options = ratest_repair::RepairOptions::default();
+    let mut runs = 0u64;
+    let mut recovered = 0u64;
+    let mut wall = Duration::ZERO;
+    for pair in course_workload(mutations, 7) {
+        let session = Session::builder(db.clone()).build();
+        let Ok(outcome) = session.explain_pair(&pair.reference, &pair.wrong) else {
+            continue;
+        };
+        let Some(cex) = outcome.counterexample else {
+            // The instance does not distinguish this pair, so there is no
+            // Wrong verdict to repair; Table 3 accounts for these.
+            continue;
+        };
+        let start = Instant::now();
+        let suggestions = ratest_repair::suggest_repairs_on(
+            &pair.wrong,
+            &pair.reference,
+            &cex,
+            &db,
+            &options,
+            &metrics,
+        );
+        wall += start.elapsed();
+        runs += 1;
+        if !suggestions.is_empty() {
+            recovered += 1;
+        }
+    }
+    let mut counters = flatten(&registry.snapshot());
+    counters.insert("bench.repair_runs".into(), runs as i64);
+    counters.insert("bench.repairs_with_suggestion".into(), recovered as i64);
+    let mean = if runs > 0 {
+        ((ms(wall) / runs as f64) * 1000.0).round() / 1000.0
+    } else {
+        0.0
+    };
+    Section {
+        counters,
+        volatile: vec![
+            ("total_ms", Json::Float(ms(wall))),
+            ("mean_repair_ms", Json::Float(mean)),
         ],
     }
 }
@@ -324,6 +391,7 @@ fn run(quick: bool, include_volatile: bool) -> Json {
         ("search_latency".to_string(), search_latency(quick)),
         ("grade_throughput".to_string(), grade_throughput(quick)),
         ("serve_roundtrip".to_string(), serve_roundtrip()),
+        ("repair_latency".to_string(), repair_latency(quick)),
     ];
     Json::obj(vec![
         ("schema", Json::str(SCHEMA)),

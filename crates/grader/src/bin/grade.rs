@@ -29,13 +29,26 @@
 //! grade <DIR> --reference <...> --spawn N --json MERGED.json [--cache MERGED.rvc] [...]
 //! ```
 //!
-//! The driver launches one `grade --shard i/N` subprocess per shard
-//! (sequentially — the container is single-CPU; on a multi-core host run
-//! the shards yourself in parallel and `grade merge` them) and automatically
-//! fuses the shard reports into exactly the report the unsharded run would
-//! have produced. `--cache` keeps its unsharded load-then-append semantics:
-//! every shard loads the file and appends its fresh verdicts in turn (later
-//! shards even warm-start from earlier shards' work).
+//! The driver launches one `grade --shard i/N` subprocess per shard — all
+//! of them concurrently, so on a multi-core host the wall clock is the
+//! slowest shard rather than the sum — and automatically fuses the shard
+//! reports into exactly the report the unsharded run would have produced.
+//! `--cache` keeps its unsharded load-then-append semantics: every shard
+//! warm-starts from a private copy of the file's pre-existing records, and
+//! the driver appends the fresh verdicts (deduped across shards) once all
+//! of them are done.
+//!
+//! ## Fmt mode: canonicalize RA surface syntax
+//!
+//! ```text
+//! grade fmt <file.ra>... [--write]
+//! ```
+//!
+//! Parses each `.ra` file and re-renders it through the parseable surface
+//! renderer (`ra::display::to_surface_string`). Formatting is idempotent:
+//! formatting an already-formatted file is a no-op. Without `--write` the
+//! formatted text goes to stdout; with it the files are rewritten in place
+//! (only when the text actually changed).
 //!
 //! ## Serve mode: a persistent grading daemon
 //!
@@ -82,9 +95,10 @@ use std::time::Duration;
 const USAGE: &str = "usage: grade <DIR> --reference <N|path.sql|path.ra> \
      [--db-tuples N] [--seed N] [--workers N] [--timeout-ms N] \
      [--param name=value]... [--json PATH] [--explain ID] [--diagnostics] \
-     [--shard i/N | --spawn N] [--cache PATH.rvc] \
+     [--suggest] [--shard i/N | --spawn N] [--cache PATH.rvc] \
      [--metrics PATH.json] [--trace PATH.ndjson]\n\
        grade serve\n\
+       grade fmt <file.ra>... [--write]\n\
        grade merge <shard.json>... [--json MERGED.json] \
      [--cache-in shard.rvc]... [--cache MERGED.rvc]\n\
        grade --generate [--question 1..8] [--class N] [--db-tuples N] \
@@ -118,6 +132,8 @@ struct Args {
     /// Record explain-trace spans and write them as NDJSON after grading.
     /// Forces `--workers 1` so the span tree stays well-nested.
     trace_path: Option<String>,
+    /// Enrich wrong verdicts with provenance-directed repair suggestions.
+    suggest: bool,
 }
 
 /// Arguments of the `merge` subcommand.
@@ -186,6 +202,7 @@ fn parse_args(rest: impl Iterator<Item = String>) -> Result<Args, String> {
         cache_path: None,
         metrics_path: None,
         trace_path: None,
+        suggest: false,
     };
     let mut it = rest;
     while let Some(flag) = it.next() {
@@ -219,6 +236,7 @@ fn parse_args(rest: impl Iterator<Item = String>) -> Result<Args, String> {
             "--cache" => args.cache_path = Some(value("--cache")?),
             "--metrics" => args.metrics_path = Some(value("--metrics")?),
             "--trace" => args.trace_path = Some(value("--trace")?),
+            "--suggest" => args.suggest = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -375,11 +393,14 @@ fn run_merge(args: MergeArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Run all N shards as sequential subprocesses of this same binary and
+/// Run all N shards as concurrent subprocesses of this same binary and
 /// fuse their artifacts — the single-invocation driver for the
 /// shard-within-a-machine path. `raw_args` is the original command line;
 /// the driver strips its own flags and adds `--shard i/N` plus per-shard
-/// artifact paths.
+/// artifact paths. The shards launch together and the driver waits for all
+/// of them, so on a multi-core host the wall clock is the slowest shard,
+/// not the sum — while the merged report stays byte-identical to the
+/// unsharded run's.
 fn run_spawn(args: &Args, raw_args: &[String]) -> ExitCode {
     let n = args.spawn.expect("spawn mode");
     let exe = match std::env::current_exe() {
@@ -406,24 +427,29 @@ fn run_spawn(args: &Args, raw_args: &[String]) -> ExitCode {
 /// by the caller.
 fn run_spawn_in(args: &Args, raw_args: &[String], n: usize, exe: &Path, tmp: &Path) -> ExitCode {
     // The shard invocations inherit everything except the driver-only
-    // flags. `--cache` is deliberately *kept*: the shards run sequentially,
-    // and the verdict cache is append-only and load-before-grade, so
-    // pointing every shard at the user's cache file gives exactly the
-    // unsharded `--cache` semantics — pre-existing records warm-start each
-    // shard (and shard i+1 even reuses shard i's fresh verdicts), and
-    // nothing is ever overwritten.
+    // flags. `--cache` is stripped too: with the shards running
+    // *concurrently*, pointing them all at the user's cache file would race
+    // on the append — each shard instead gets a private scratch copy
+    // (pre-existing records still warm-start every shard), and the driver
+    // folds the fresh verdicts back into the user's file once all shards
+    // are done, preserving the unsharded load-then-append semantics.
     let mut base: Vec<String> = Vec::new();
     let mut it = raw_args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--spawn" | "--json" => {
+            "--spawn" | "--json" | "--cache" => {
                 let _ = it.next();
             }
             _ => base.push(a.clone()),
         }
     }
+    let user_cache = args.cache_path.as_ref().map(Path::new);
+    let cache_preexists = user_cache.map(|p| p.exists()).unwrap_or(false);
 
+    // Launch every shard before waiting on any of them.
+    let mut children: Vec<(usize, std::process::Child)> = Vec::new();
     let mut shard_reports: Vec<PathBuf> = Vec::new();
+    let mut shard_caches: Vec<PathBuf> = Vec::new();
     for i in 1..=n {
         let json = tmp.join(format!("shard{i}.json"));
         let mut cmd = std::process::Command::new(exe);
@@ -432,29 +458,158 @@ fn run_spawn_in(args: &Args, raw_args: &[String], n: usize, exe: &Path, tmp: &Pa
             .arg(format!("{i}/{n}"))
             .arg("--json")
             .arg(&json);
-        eprintln!("spawn {i}/{n}: {}", exe.display());
-        match cmd.status() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                eprintln!("grade: shard {i}/{n} failed with {status}");
-                return ExitCode::FAILURE;
+        if let Some(user) = user_cache {
+            let scratch = tmp.join(format!("shard{i}.rvc"));
+            if cache_preexists {
+                if let Err(e) = std::fs::copy(user, &scratch) {
+                    eprintln!("grade: cannot seed shard cache {}: {e}", scratch.display());
+                    return ExitCode::FAILURE;
+                }
             }
+            cmd.arg("--cache").arg(&scratch);
+            shard_caches.push(scratch);
+        }
+        eprintln!("spawn {i}/{n}: {}", exe.display());
+        match cmd.spawn() {
+            Ok(child) => children.push((i, child)),
             Err(e) => {
                 eprintln!("grade: cannot spawn shard {i}/{n}: {e}");
+                for (_, mut c) in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
                 return ExitCode::FAILURE;
             }
         }
         shard_reports.push(json);
     }
+    let mut failed = false;
+    for (i, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("grade: shard {i}/{n} failed with {status}");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("grade: cannot wait for shard {i}/{n}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
 
-    // Fuse the shard reports exactly like `grade merge` would (the cache
-    // needs no merge step — the shards appended to it directly).
+    // Fold the shards' fresh verdicts back into the user's cache file,
+    // append-only: records already on disk are never rewritten, and a
+    // fingerprint two shards both graded lands once (the verdicts are
+    // deterministic, so first-shard-wins loses nothing).
+    if let Some(user) = user_cache {
+        let persisted: HashSet<(u64, u64)> = if cache_preexists {
+            match store::load(user) {
+                Ok(loaded) => loaded
+                    .entries
+                    .iter()
+                    .map(|e| (e.context, e.fingerprint))
+                    .collect(),
+                Err(e) => {
+                    eprintln!("grade: {}: {e}", user.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            HashSet::new()
+        };
+        let mut seen = persisted;
+        let mut fresh: Vec<CacheEntry> = Vec::new();
+        for scratch in &shard_caches {
+            match store::load(scratch) {
+                Ok(loaded) => {
+                    report_skipped(&scratch.display().to_string(), &loaded.skipped);
+                    for e in loaded.entries {
+                        if seen.insert((e.context, e.fingerprint)) {
+                            fresh.push(e);
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("grade: {}: {e}", scratch.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(e) = store::append(user, &fresh) {
+            eprintln!("grade: cannot update {}: {e}", user.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "verdict cache: appended {} new record(s) to {}",
+            fresh.len(),
+            user.display()
+        );
+    }
+
+    // Fuse the shard reports exactly like `grade merge` would.
     run_merge(MergeArgs {
         reports: shard_reports,
         json_out: args.json_path.clone(),
         cache_in: Vec::new(),
         cache_out: None,
     })
+}
+
+/// Run `grade fmt`: parse each `.ra` file and re-render it through the
+/// parseable surface renderer. The renderer's output re-parses to the same
+/// AST, so formatting is idempotent — pinned by the property test in
+/// `tests/repair_conformance.rs`.
+fn run_fmt(files: &[String], write: bool) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("grade: fmt needs at least one .ra file\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in files {
+        if !path.ends_with(".ra") {
+            eprintln!("grade: fmt handles .ra files only, got {path}");
+            failed = true;
+            continue;
+        }
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("grade: cannot read {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let query = match ratest_ra::parser::parse_query(&source) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("grade: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let formatted = format!("{}\n", ratest_ra::display::to_surface_string(&query));
+        if write {
+            if formatted != source {
+                if let Err(e) = std::fs::write(path, &formatted) {
+                    eprintln!("grade: cannot write {path}: {e}");
+                    failed = true;
+                    continue;
+                }
+                eprintln!("formatted {path}");
+            }
+        } else {
+            print!("{formatted}");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn report_skipped(path: &str, skipped: &[store::SkippedRecord]) {
@@ -479,6 +634,13 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             };
+        }
+        Some("fmt") => {
+            argv.next();
+            let rest: Vec<String> = argv.collect();
+            let write = rest.iter().any(|a| a == "--write");
+            let files: Vec<String> = rest.into_iter().filter(|a| a != "--write").collect();
+            return run_fmt(&files, write);
         }
         Some("serve") => {
             let stdin = std::io::stdin();
@@ -528,6 +690,7 @@ fn main() -> ExitCode {
         workers,
         per_job_timeout: Duration::from_millis(args.timeout_ms),
         options,
+        repair: args.suggest.then(ratest_repair::RepairOptions::default),
     });
 
     // Seed the engine from the persistent verdict cache, remembering which

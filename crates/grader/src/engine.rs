@@ -14,6 +14,7 @@ use ratest_core::pipeline::RatestOptions;
 use ratest_core::session::{Budget, ReferenceHandle, Session};
 use ratest_core::RatestError;
 use ratest_ra::ast::Query;
+use ratest_repair::RepairOptions;
 use ratest_storage::Database;
 use ratest_telemetry::{MetricsHandle, MetricsRegistry, MetricsSnapshot};
 use std::collections::{HashMap, VecDeque};
@@ -33,6 +34,11 @@ pub struct GraderConfig {
     pub per_job_timeout: Duration,
     /// Pipeline options forwarded to every explanation run.
     pub options: RatestOptions,
+    /// When set, every [`Verdict::Wrong`] is enriched with ranked repair
+    /// suggestions (see [`ratest_repair`]). `None` keeps grading
+    /// suggestion-free; per-request opt-in is available through
+    /// [`Grader::respond_prepared_with`].
+    pub repair: Option<RepairOptions>,
 }
 
 impl Default for GraderConfig {
@@ -41,6 +47,7 @@ impl Default for GraderConfig {
             workers: 4,
             per_job_timeout: Duration::from_secs(30),
             options: RatestOptions::default(),
+            repair: None,
         }
     }
 }
@@ -275,6 +282,39 @@ impl Grader {
         }
         let cache_hits = verdicts.len();
         let pipeline_runs = jobs.len();
+
+        // Suggestions are a *monotone enrichment* of a Wrong verdict, not
+        // part of the cache key: a suggestion-less hit is upgraded in place
+        // when repair is requested, and an enriched hit is stripped from the
+        // report (never from the cache) when it is not — so the cache always
+        // keeps the richest form it has seen.
+        match &self.config.repair {
+            Some(repair) => {
+                let events = warm.session.options().events.clone();
+                let mut upgraded: Vec<(u64, Verdict)> = Vec::new();
+                for g in &groups {
+                    if let Some((v, _, true)) = verdicts.get_mut(&g.fingerprint) {
+                        if enrich_with_repairs(&warm, &g.query, v, repair, &events) {
+                            upgraded.push((g.fingerprint, v.clone()));
+                        }
+                    }
+                }
+                if !upgraded.is_empty() {
+                    let mut cache = self.cache.lock().expect("grader cache poisoned");
+                    for (fp, v) in upgraded {
+                        cache.insert((context, fp), v);
+                    }
+                }
+            }
+            None => {
+                for (v, _, _) in verdicts.values_mut() {
+                    if !v.suggestions().is_empty() {
+                        *v = v.without_suggestions();
+                    }
+                }
+            }
+        }
+
         self.metrics
             .counter_add("grader.cache_hits", cache_hits as u64);
         self.metrics
@@ -448,6 +488,7 @@ impl Grader {
             &warm,
             request,
             warm.session.options().events.clone(),
+            self.config.repair.as_ref(),
         )
     }
 
@@ -463,6 +504,21 @@ impl Grader {
         request: &ExplainRequest,
         events: ratest_core::session::EventHandle,
     ) -> Result<ExplainResponse, GraderError> {
+        self.respond_prepared_with(context, request, events, self.config.repair.as_ref())
+    }
+
+    /// [`Grader::respond_prepared`] with a per-request repair override —
+    /// the daemon's `repair` opt-in. `Some` enriches a Wrong verdict with
+    /// ranked suggestions (upgrading a suggestion-less cache hit in place);
+    /// `None` answers suggestion-free even when the cached verdict has been
+    /// enriched by an earlier opted-in request.
+    pub fn respond_prepared_with(
+        &self,
+        context: GradeContext,
+        request: &ExplainRequest,
+        events: ratest_core::session::EventHandle,
+        repair: Option<&RepairOptions>,
+    ) -> Result<ExplainResponse, GraderError> {
         let warm = self
             .sessions
             .lock()
@@ -470,7 +526,7 @@ impl Grader {
             .get(&context.0)
             .cloned()
             .ok_or(GraderError::UnknownContext)?;
-        self.respond_impl(context.0, &warm, request, events)
+        self.respond_impl(context.0, &warm, request, events, repair)
     }
 
     fn respond_impl(
@@ -479,20 +535,37 @@ impl Grader {
         warm: &Arc<GradingSession>,
         request: &ExplainRequest,
         events: ratest_core::session::EventHandle,
+        repair: Option<&RepairOptions>,
     ) -> Result<ExplainResponse, GraderError> {
         let fingerprint = request.fingerprint();
-        if let Some(verdict) = self
+        let cached = self
             .cache
             .lock()
             .expect("grader cache poisoned")
             .get(&(context, fingerprint))
-        {
+            .cloned();
+        if let Some(mut verdict) = cached {
             self.metrics.counter_inc("grader.cache_hits");
+            match repair {
+                Some(opts) => {
+                    if enrich_with_repairs(warm, &request.query, &mut verdict, opts, &events) {
+                        self.cache
+                            .lock()
+                            .expect("grader cache poisoned")
+                            .insert((context, fingerprint), verdict.clone());
+                    }
+                }
+                None => {
+                    if !verdict.suggestions().is_empty() {
+                        verdict = verdict.without_suggestions();
+                    }
+                }
+            }
             return Ok(ExplainResponse {
                 id: request.id.clone(),
                 author: request.author.clone(),
                 fingerprint,
-                verdict: verdict.clone(),
+                verdict,
                 from_cache: true,
             });
         }
@@ -503,6 +576,7 @@ impl Grader {
             request.query.clone(),
             self.config.per_job_timeout,
             events,
+            repair.cloned(),
         );
         if !matches!(verdict, Verdict::Timeout { .. }) {
             self.cache
@@ -620,6 +694,7 @@ fn run_jobs(
         let results = results.clone();
         let warm = warm.clone();
         let timeout = config.per_job_timeout;
+        let repair = config.repair.clone();
         handles.push(std::thread::spawn(move || loop {
             let job = match queue.lock() {
                 Ok(mut q) => q.pop_front(),
@@ -634,6 +709,7 @@ fn run_jobs(
                 job.query.clone(),
                 timeout,
                 warm.session.options().events.clone(),
+                repair.clone(),
             );
             let elapsed = start.elapsed();
             if let Ok(mut r) = results.lock() {
@@ -668,9 +744,16 @@ fn grade_one_with_timeout(
     query: Arc<Query>,
     timeout: Duration,
     events: ratest_core::session::EventHandle,
+    repair: Option<RepairOptions>,
 ) -> Verdict {
     if timeout.is_zero() {
-        return grade_one(&warm, &query, warm.session.budget(), events);
+        return grade_one(
+            &warm,
+            &query,
+            warm.session.budget(),
+            events,
+            repair.as_ref(),
+        );
     }
     // Each job gets its own budget: cancelling this job must not cancel the
     // batch's other jobs.
@@ -678,7 +761,13 @@ fn grade_one_with_timeout(
     let job_budget = budget.clone();
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
-        let _ = tx.send(grade_one(&warm, &query, &job_budget, events));
+        let _ = tx.send(grade_one(
+            &warm,
+            &query,
+            &job_budget,
+            events,
+            repair.as_ref(),
+        ));
     });
     match rx.recv_timeout(timeout + Duration::from_millis(50)) {
         // A budget-exhausted run is a timeout whichever layer noticed
@@ -696,6 +785,50 @@ fn grade_one_with_timeout(
     }
 }
 
+/// Enrich a [`Verdict::Wrong`] with ranked repair suggestions computed
+/// against the context's warm session. Returns `true` when the verdict
+/// gained suggestions it did not already have (the caller then upgrades
+/// the cache in place); a verdict that is not `Wrong`, already carries
+/// suggestions, or yields no confirmed repair is left untouched.
+fn enrich_with_repairs(
+    warm: &GradingSession,
+    query: &Query,
+    verdict: &mut Verdict,
+    options: &RepairOptions,
+    events: &ratest_core::session::EventHandle,
+) -> bool {
+    let Verdict::Wrong {
+        counterexample,
+        suggestions,
+        ..
+    } = verdict
+    else {
+        return false;
+    };
+    if !suggestions.is_empty() {
+        return false;
+    }
+    let Some(prepared) = warm.session.prepared(warm.reference) else {
+        return false;
+    };
+    let metrics = warm.session.options().metrics.clone();
+    let computed = ratest_repair::suggest_repairs(
+        query,
+        prepared.query(),
+        counterexample,
+        &warm.session,
+        warm.reference,
+        options,
+        events,
+        &metrics,
+    );
+    if computed.is_empty() {
+        return false;
+    }
+    *suggestions = computed;
+    true
+}
+
 /// Run the shared-reference session pipeline for one submission, converting
 /// every failure mode (typed errors *and* panics) into a verdict.
 fn grade_one(
@@ -703,20 +836,28 @@ fn grade_one(
     query: &Query,
     budget: &Budget,
     events: ratest_core::session::EventHandle,
+    repair: Option<&RepairOptions>,
 ) -> Verdict {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         warm.session
-            .explain_with(warm.reference, query, budget, events)
+            .explain_with(warm.reference, query, budget, events.clone())
     }));
     match outcome {
         Ok(Ok(outcome)) => match outcome.counterexample {
             None => Verdict::Correct,
-            Some(cex) => Verdict::Wrong {
-                counterexample: Box::new(cex),
-                class: outcome.class,
-                algorithm: outcome.algorithm_used,
-                timings: outcome.timings,
-            },
+            Some(cex) => {
+                let mut verdict = Verdict::Wrong {
+                    counterexample: Box::new(cex),
+                    class: outcome.class,
+                    algorithm: outcome.algorithm_used,
+                    timings: outcome.timings,
+                    suggestions: Vec::new(),
+                };
+                if let Some(opts) = repair {
+                    enrich_with_repairs(warm, query, &mut verdict, opts, &events);
+                }
+                verdict
+            }
         },
         // The job's own budget ran out mid-pipeline: that is a timeout, not
         // an ungradable submission.

@@ -215,6 +215,7 @@ pub(crate) fn row_to_json(g: &GradedSubmission) -> Json {
             counterexample,
             class,
             algorithm,
+            suggestions,
             ..
         } => {
             pairs.push((
@@ -223,6 +224,15 @@ pub(crate) fn row_to_json(g: &GradedSubmission) -> Json {
             ));
             pairs.push(("class", Json::str(class.to_string())));
             pairs.push(("algorithm", Json::str(format!("{algorithm:?}"))));
+            // Present only when repair ran and confirmed a fix, so
+            // suggestion-free reports render byte-identically to before.
+            if !suggestions.is_empty() {
+                let rendered: Vec<Json> = suggestions
+                    .iter()
+                    .map(|s| Json::parse(&s.to_json()).expect("suggestions render valid JSON"))
+                    .collect();
+                pairs.push(("suggestions", Json::Arr(rendered)));
+            }
         }
         Verdict::Error { message } => {
             pairs.push(("message", Json::str(message)));
@@ -260,9 +270,18 @@ impl BatchReport {
         for g in &self.graded {
             let detail = match &g.verdict {
                 Verdict::Correct => "agrees with the reference".to_owned(),
-                Verdict::Wrong { counterexample, .. } => {
-                    format!("counterexample with {} tuple(s)", counterexample.size())
-                }
+                Verdict::Wrong {
+                    counterexample,
+                    suggestions,
+                    ..
+                } => match suggestions.first() {
+                    Some(s) => format!(
+                        "counterexample with {} tuple(s); suggested fix: {}",
+                        counterexample.size(),
+                        s.description
+                    ),
+                    None => format!("counterexample with {} tuple(s)", counterexample.size()),
+                },
                 Verdict::Error { message } => format!("error: {message}"),
                 Verdict::Timeout { budget } if budget.is_zero() => {
                     // No per-job timeout was configured; the session-level

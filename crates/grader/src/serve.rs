@@ -10,13 +10,13 @@
 //! interactive request at a time. The container has no network, so stdio is
 //! the transport; any process supervisor or socket relay can wrap it.
 //!
-//! ## Protocol (`ratest-serve` version 1)
+//! ## Protocol (`ratest-serve` version 2)
 //!
 //! One JSON object per line, in both directions. The daemon starts by
 //! announcing itself:
 //!
 //! ```text
-//! {"event":"protocol","name":"ratest-serve","version":1}
+//! {"event":"protocol","name":"ratest-serve","version":2}
 //! ```
 //!
 //! Requests carry a `cmd` field; every request produces exactly one
@@ -27,15 +27,19 @@
 //! |------------|---------------------------------------------------------------|
 //! | `hello`    | — capability probe, echoes the protocol version               |
 //! | `prepare`  | `ref`, and `question` (1–8) *or* `lang`+`source`; optional `db_tuples`, `seed`, `params` (object), `timeout_ms` |
-//! | `grade`    | `ref`, `id`, `lang`, `source`; optional `author`, `events`, `explain` |
+//! | `grade`    | `ref`, `id`, `lang`, `source`; optional `author`, `events`, `explain`, `repair` |
 //! | `stats`    | `ref` — graded/cache-hit/search counters for the reference    |
 //! | `shutdown` | — acknowledge and exit                                        |
 //!
 //! A `grade` with `"events":true` streams the session's typed progress
 //! events ([`ratest_core::session::ExplainEvent`]) as NDJSON lines before
-//! the response. All emitted fields are **deterministic** (no wall-clock
-//! readings), so a scripted conversation replayed against a fresh daemon
-//! produces byte-identical output — pinned by the protocol goldens in
+//! the response. A `grade` with `"repair":true` additionally runs the
+//! provenance-directed repair search (see [`ratest_repair`]) on a wrong
+//! verdict: candidate progress streams as `repair_*` events, and the
+//! response's `suggestions` array carries the ranked, confirmed fixes. All
+//! emitted fields are **deterministic** (no wall-clock readings), so a
+//! scripted conversation replayed against a fresh daemon produces
+//! byte-identical output — pinned by the protocol goldens in
 //! `tests/serve_protocol.rs` and the `serve-protocol` CI job.
 //!
 //! Frontend rejections are *successful* gradings with a `rejected` verdict
@@ -59,7 +63,9 @@ use std::time::Duration;
 /// Protocol name announced in the banner.
 pub const PROTOCOL_NAME: &str = "ratest-serve";
 /// Protocol version; bump on any wire-visible change (the goldens pin it).
-pub const PROTOCOL_VERSION: i64 = 1;
+/// v2 added the `repair` opt-in on `grade` (suggestions + `repair_*`
+/// events).
+pub const PROTOCOL_VERSION: i64 = 2;
 
 /// Warm state for one prepared reference.
 struct RefState {
@@ -159,6 +165,23 @@ impl<W: Write + Send> EventSink for RequestSink<W> {
                 pairs.push(("algorithm", Json::str(format!("{algorithm:?}"))));
                 Json::obj(pairs)
             }
+            ExplainEvent::RepairStarted { candidates } => Json::obj(vec![
+                ("event", Json::str("repair_started")),
+                ("id", Json::str(id)),
+                ("candidates", Json::Int(*candidates as i64)),
+            ]),
+            ExplainEvent::RepairCandidateChecked { index, confirmed } => Json::obj(vec![
+                ("event", Json::str("repair_candidate")),
+                ("id", Json::str(id)),
+                ("index", Json::Int(*index as i64)),
+                ("confirmed", Json::Bool(*confirmed)),
+            ]),
+            ExplainEvent::RepairFinished { suggestions, tried } => Json::obj(vec![
+                ("event", Json::str("repair_finished")),
+                ("id", Json::str(id)),
+                ("suggestions", Json::Int(*suggestions as i64)),
+                ("tried", Json::Int(*tried as i64)),
+            ]),
         };
         if let Ok(mut out) = self.out.lock() {
             // Checked under the lock so a concurrent retire() fully
@@ -369,6 +392,8 @@ fn cmd_prepare(request: &Json, refs: &mut HashMap<String, RefState>) -> Json {
         workers: 1,
         per_job_timeout: Duration::from_millis(timeout_ms),
         options,
+        // Repair is a per-request opt-in on `grade`, never ambient state.
+        repair: None,
     });
 
     // Warm the session now: the context is established (instance hashed,
@@ -455,6 +480,10 @@ fn cmd_grade<W: Write + Send + 'static>(
         .get("explain")
         .and_then(Json::as_bool)
         .unwrap_or(false);
+    let want_repair = request
+        .get("repair")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
 
     state.grader.metrics().counter_inc("serve.requests.grade");
     let mut pairs = vec![
@@ -498,10 +527,12 @@ fn cmd_grade<W: Write + Send + 'static>(
                 Some(sink) => EventHandle::new(sink.clone() as Arc<dyn EventSink>),
                 None => EventHandle::none(),
             };
-            let outcome = state.grader.respond_prepared(
+            let repair_options = want_repair.then(ratest_repair::RepairOptions::default);
+            let outcome = state.grader.respond_prepared_with(
                 state.context,
                 &ExplainRequest::new(submission.id.clone(), author.clone(), submission.query),
                 events,
+                repair_options.as_ref(),
             );
             if let Some(sink) = &sink {
                 sink.retire();
@@ -521,6 +552,7 @@ fn cmd_grade<W: Write + Send + 'static>(
                     counterexample,
                     class,
                     algorithm,
+                    suggestions,
                     ..
                 } => {
                     pairs.push((
@@ -534,6 +566,15 @@ fn cmd_grade<W: Write + Send + 'static>(
                             "explanation",
                             Json::str(ratest_core::report::render_counterexample(counterexample)),
                         ));
+                    }
+                    if want_repair {
+                        let rendered: Vec<Json> = suggestions
+                            .iter()
+                            .map(|s| {
+                                Json::parse(&s.to_json()).expect("suggestions render valid JSON")
+                            })
+                            .collect();
+                        pairs.push(("suggestions", Json::Arr(rendered)));
                     }
                 }
                 Verdict::Error { message } => {
@@ -622,7 +663,10 @@ mod tests {
             banner.get("name").and_then(Json::as_str),
             Some(PROTOCOL_NAME)
         );
-        assert_eq!(banner.get("version").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            banner.get("version").and_then(Json::as_i64),
+            Some(PROTOCOL_VERSION)
+        );
         let hello = Json::parse(lines.next().unwrap()).unwrap();
         assert_eq!(hello.get("ok").and_then(Json::as_bool), Some(true));
     }

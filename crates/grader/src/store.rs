@@ -7,13 +7,18 @@
 //! replays all deterministic verdicts without a single counterexample
 //! search, and `grade merge` can fuse the caches of independent shards.
 //!
-//! ## File format (version 1)
+//! ## File format (version 2)
 //!
 //! ```text
-//! ratest-verdict-cache v1
+//! ratest-verdict-cache v2
 //! <context:016x> <fingerprint:016x> <checksum:016x> <payload>
 //! ...
 //! ```
+//!
+//! Version 2 extends the `wrong` payload with the verdict's (possibly empty)
+//! list of repair suggestions; everything else is unchanged from v1. The
+//! header bump makes the incompatibility explicit: a v1 file fails loudly
+//! with a version error instead of silently skipping every record.
 //!
 //! One record per line. The payload is a [`ratest_storage::codec`] token
 //! stream describing the verdict (including, for wrong submissions, the full
@@ -48,9 +53,9 @@ use std::fmt;
 use std::io;
 use std::path::Path;
 
-/// Magic first line of a verdict cache file; bump the `v1` suffix on any
+/// Magic first line of a verdict cache file; bump the version suffix on any
 /// format change (golden tests pin the current schema).
-pub const CACHE_HEADER: &str = "ratest-verdict-cache v1";
+pub const CACHE_HEADER: &str = "ratest-verdict-cache v2";
 
 /// One persisted cache entry: the grading-context key, the submission's
 /// canonical fingerprint, and the verdict.
@@ -313,11 +318,16 @@ pub(crate) fn encode_verdict_into(v: &Verdict, e: &mut Encoder) -> Result<(), St
             class,
             algorithm,
             timings: _, // normalised to zero: run provenance, not verdict
+            suggestions,
         } => {
             e.tag("wrong")
                 .tag(class_tag(*class))
                 .tag(algorithm_tag(*algorithm));
             encode_counterexample(counterexample, e);
+            e.u(suggestions.len() as u64);
+            for s in suggestions {
+                ratest_repair::encode_suggestion(s, e);
+            }
         }
         Verdict::Error { message } => {
             e.tag("error").s(message);
@@ -336,11 +346,17 @@ pub(crate) fn decode_verdict_tagged(tag: &str, d: &mut Decoder) -> Result<Verdic
             let class = decode_class(d.tag().map_err(|e| e.to_string())?)?;
             let algorithm = decode_algorithm(d.tag().map_err(|e| e.to_string())?)?;
             let cex = decode_counterexample(d)?;
+            let nsugg = d.usize().map_err(|e| e.to_string())?;
+            let mut suggestions = Vec::with_capacity(nsugg.min(64));
+            for _ in 0..nsugg {
+                suggestions.push(ratest_repair::decode_suggestion(d).map_err(|e| e.to_string())?);
+            }
             Verdict::Wrong {
                 counterexample: Box::new(cex),
                 class,
                 algorithm,
                 timings: Timings::default(),
+                suggestions,
             }
         }
         "error" => Verdict::Error {

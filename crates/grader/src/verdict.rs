@@ -3,6 +3,7 @@
 use ratest_core::pipeline::{Algorithm, Timings};
 use ratest_core::problem::Counterexample;
 use ratest_ra::classify::QueryClass;
+use ratest_repair::RepairSuggestion;
 use std::time::Duration;
 
 /// The outcome of grading one (distinct) submission.
@@ -21,6 +22,9 @@ pub enum Verdict {
         algorithm: Algorithm,
         /// Per-phase timing breakdown of the explanation run.
         timings: Timings,
+        /// Ranked repair suggestions (empty unless repair was requested
+        /// and confirmed at least one fix).
+        suggestions: Vec<RepairSuggestion>,
     },
     /// The submission could not be graded (type error, unsupported shape,
     /// solver failure, ...). The message is surfaced to the student.
@@ -68,6 +72,37 @@ impl Verdict {
         match self {
             Verdict::Wrong { counterexample, .. } => Some(counterexample),
             _ => None,
+        }
+    }
+
+    /// Repair suggestions, when the verdict is [`Verdict::Wrong`] and
+    /// carries any.
+    pub fn suggestions(&self) -> &[RepairSuggestion] {
+        match self {
+            Verdict::Wrong { suggestions, .. } => suggestions,
+            _ => &[],
+        }
+    }
+
+    /// A copy with any repair suggestions stripped: responses for callers
+    /// that did not opt into repair stay byte-stable even when the cached
+    /// verdict has been enriched.
+    pub fn without_suggestions(&self) -> Verdict {
+        match self {
+            Verdict::Wrong {
+                counterexample,
+                class,
+                algorithm,
+                timings,
+                ..
+            } => Verdict::Wrong {
+                counterexample: counterexample.clone(),
+                class: *class,
+                algorithm: *algorithm,
+                timings: *timings,
+                suggestions: Vec::new(),
+            },
+            other => other.clone(),
         }
     }
 }

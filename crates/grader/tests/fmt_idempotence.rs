@@ -1,0 +1,85 @@
+//! `grade fmt` conformance: the formatter (parse + re-render via
+//! `ra::display::to_surface_string`) is idempotent — formatting its own
+//! output is the identity — and the round trip preserves the query's
+//! canonical fingerprint.
+
+use proptest::prelude::*;
+use ratest_queries::course::course_questions;
+use ratest_queries::mutations::sample_mutations;
+use ratest_ra::ast::Query;
+use ratest_ra::canonical::fingerprint;
+use ratest_ra::display::to_surface_string;
+use ratest_ra::parser::parse_query;
+
+/// One fmt pass over an AST: what `grade fmt` prints, minus the newline.
+fn fmt_once(q: &Query) -> String {
+    to_surface_string(q)
+}
+
+fn assert_fmt_fixpoint(q: &Query, label: &str) {
+    let once = fmt_once(q);
+    let reparsed = parse_query(&once)
+        .unwrap_or_else(|e| panic!("{label}: formatted output must reparse: {e}"));
+    let twice = fmt_once(&reparsed);
+    assert_eq!(once, twice, "{label}: fmt ∘ fmt differs from fmt");
+    assert_eq!(
+        fingerprint(q),
+        fingerprint(&reparsed),
+        "{label}: fmt must preserve the canonical fingerprint"
+    );
+}
+
+#[test]
+fn fmt_is_idempotent_on_every_course_reference() {
+    for q in course_questions() {
+        assert_fmt_fixpoint(&q.reference, &format!("question {}", q.number));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property: for any sampled mutation of any course question, one fmt
+    /// pass is a fixpoint.
+    #[test]
+    fn fmt_is_idempotent_on_sampled_mutations(question in 0usize..8, seed in 0u64..1_000) {
+        let q = &course_questions()[question];
+        for m in sample_mutations(&q.reference, 2, seed) {
+            assert_fmt_fixpoint(&m.query, &m.description);
+        }
+    }
+}
+
+/// Drive the real subcommand: `grade fmt` on a file, then on its own
+/// output, must produce identical bytes (and exit 0).
+#[test]
+fn the_fmt_subcommand_is_idempotent_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("ratest-fmt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let q3 = course_questions()
+        .into_iter()
+        .find(|q| q.number == 3)
+        .unwrap()
+        .reference;
+    let input = dir.join("q3.ra");
+    // Deliberately un-normalized spelling of the same query.
+    std::fs::write(&input, format!("  {}  \n", to_surface_string(&q3))).unwrap();
+
+    let fmt = |path: &std::path::Path| -> String {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_grade"))
+            .arg("fmt")
+            .arg(path)
+            .output()
+            .expect("grade fmt runs");
+        assert!(out.status.success(), "grade fmt exits 0");
+        String::from_utf8(out.stdout).expect("fmt output is UTF-8")
+    };
+    let first = fmt(&input);
+    let again = dir.join("q3-formatted.ra");
+    std::fs::write(&again, &first).unwrap();
+    let second = fmt(&again);
+    assert_eq!(first, second, "grade fmt is idempotent end-to-end");
+    let _ = std::fs::remove_dir_all(&dir);
+}

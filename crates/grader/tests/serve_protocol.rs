@@ -84,8 +84,8 @@ fn the_warm_regrade_is_answered_without_a_search() {
     let out = run_in_process(&course_conversation());
     let docs: Vec<Json> = out.lines().map(|l| Json::parse(l).unwrap()).collect();
     let responses: Vec<&Json> = docs.iter().filter(|d| d.get("ok").is_some()).collect();
-    // hello, prepare, 4 grades, 2 stats, shutdown.
-    assert_eq!(responses.len(), 9, "{out}");
+    // hello, prepare, 6 grades, 2 stats, shutdown.
+    assert_eq!(responses.len(), 11, "{out}");
 
     let grade = |id: &str| {
         responses
@@ -120,6 +120,17 @@ fn the_warm_regrade_is_answered_without_a_search() {
     assert_eq!(
         regrade.get("counterexample_size"),
         grade("s1.ra").get("counterexample_size")
+    );
+    // The repair re-grade: answered from the cache, enriched with ranked
+    // suggestions (the `repair` opt-in upgrades the cached Wrong verdict).
+    let repaired = grade("s4-repair.ra");
+    assert_eq!(
+        repaired.get("from_cache").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert!(
+        matches!(repaired.get("suggestions"), Some(Json::Arr(a)) if !a.is_empty()),
+        "repair:true on a wrong submission returns suggestions: {repaired:?}"
     );
     let stats: Vec<&&Json> = responses
         .iter()

@@ -263,6 +263,11 @@ pub fn aggregate_provenance_instrumented(
                 g.members.push(member);
             }
             None => {
+                // Poll unconditionally at every group boundary: the strided
+                // pacer above only fires after `Pacer::STRIDE` rows, so an
+                // input with many small groups could blow past a mid-flight
+                // deadline or quota without a single poll landing.
+                interrupt.check()?;
                 index.insert(key.clone(), groups.len());
                 groups.push(GroupProvenance {
                     key,
@@ -421,6 +426,52 @@ mod tests {
             }
             other => panic!("expected an interrupted error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn a_quota_expiring_mid_groups_interrupts_group_assembly() {
+        use ratest_ra::interrupt::{InterruptHook, Interrupted};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // A step quota counted in polls: the figure-1 instance is far below
+        // `Pacer::STRIDE`, so the strided row-loop never polls and only the
+        // unconditional per-group checks can observe the expiry. Budget the
+        // quota to survive the up-front checks but not all three groups.
+        struct ExpiresAfter {
+            polls: AtomicU64,
+            limit: u64,
+        }
+        impl InterruptHook for ExpiresAfter {
+            fn interrupted(&self) -> Option<Interrupted> {
+                if self.polls.fetch_add(1, Ordering::Relaxed) >= self.limit {
+                    Some(Interrupted::StepQuotaExhausted)
+                } else {
+                    None
+                }
+            }
+        }
+
+        let db = testdata::figure1_db();
+        let hook = Arc::new(ExpiresAfter {
+            polls: AtomicU64::new(0),
+            limit: 3,
+        });
+        let interrupt = ratest_ra::interrupt::Interrupt::hooked(hook.clone());
+        let err = aggregate_provenance_interruptible(
+            &testdata::example5_q1(),
+            &db,
+            &ParamMap::new(),
+            &interrupt,
+        )
+        .unwrap_err();
+        match err {
+            ProvenanceError::Query(ratest_ra::QueryError::Interrupted(reason)) => {
+                assert_eq!(reason, Interrupted::StepQuotaExhausted);
+            }
+            other => panic!("expected an interrupted error, got {other:?}"),
+        }
+        // The expiry was observed mid-assembly, not by the up-front check.
+        assert!(hook.polls.load(Ordering::Relaxed) > 3);
     }
 
     #[test]

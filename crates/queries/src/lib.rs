@@ -29,5 +29,5 @@ pub mod tpch_queries;
 
 pub use course::{course_questions, CourseQuestion};
 pub use course_sql::{course_sql_texts, TPCH_Q4_SQL};
-pub use mutations::{mutate, Mutation, MutationKind};
+pub use mutations::{mutate, repairs, Mutation, MutationKind};
 pub use tpch_queries::{tpch_experiments, TpchExperiment};

@@ -46,16 +46,19 @@ pub struct Mutation {
     pub description: String,
     /// The wrong query.
     pub query: Query,
+    /// Child-index path from the root to the edited node (empty = root).
+    pub path: Vec<usize>,
 }
 
 /// Enumerate every applicable single-site mutation of a query.
 pub fn mutate(query: &Query) -> Vec<Mutation> {
     let mut out = Vec::new();
-    collect(query, &mut |mutated, kind, description| {
+    collect(query, &mut |mutated, kind, description, path| {
         out.push(Mutation {
             kind,
             description,
             query: mutated,
+            path,
         })
     });
     out
@@ -70,94 +73,136 @@ pub fn sample_mutations(query: &Query, n: usize, seed: u64) -> Vec<Mutation> {
     all
 }
 
+/// Enumerate candidate *repairs* of `query`, using `donor` (typically the
+/// reference solution) as the source of correct predicates, constants and
+/// set-operation branches. Where [`mutate`] walks *away* from a correct
+/// query, `repairs` walks *toward* one: for every error class a mutation can
+/// inject, it emits the inverse edit, so a single-site mutation of the donor
+/// is always recoverable. The [`Mutation::kind`] of each candidate names the
+/// error class the edit would undo.
+///
+/// The enumeration is deterministic (walk order), may contain candidates
+/// that do not type-check against the schema (e.g. a join conjunct grafted
+/// into an unrelated selection) — callers validate by evaluation — and never
+/// includes `query` itself verbatim.
+pub fn repairs(query: &Query, donor: &Query) -> Vec<Mutation> {
+    let donor_literals = donor_literals(donor);
+    let donor_conjuncts = donor_conjuncts(donor);
+    let donor_setops = donor_setops(donor);
+    let mut out = Vec::new();
+    {
+        let emit = &mut |mutated: Query, kind, description, path| {
+            out.push(Mutation {
+                kind,
+                description,
+                query: mutated,
+                path,
+            })
+        };
+        repair_walk(
+            query,
+            query,
+            Vec::new(),
+            &donor_literals,
+            &donor_conjuncts,
+            &donor_setops,
+            emit,
+        );
+    }
+    out.retain(|m| m.query != *query);
+    out
+}
+
+/// Rebuild a full query with the node at `path` (child indices from the
+/// root) replaced by `replacement`.
+fn rebuild(root: &Query, path: &[usize], replacement: Query) -> Query {
+    if path.is_empty() {
+        return replacement;
+    }
+    let child_idx = path[0];
+    let rest = &path[1..];
+    let rebuild_child = |q: &Arc<Query>| Arc::new(rebuild(q, rest, replacement.clone()));
+    match root {
+        Query::Select { input, predicate } => Query::Select {
+            input: rebuild_child(input),
+            predicate: predicate.clone(),
+        },
+        Query::Project { input, items } => Query::Project {
+            input: rebuild_child(input),
+            items: items.clone(),
+        },
+        Query::Rename { input, prefix } => Query::Rename {
+            input: rebuild_child(input),
+            prefix: prefix.clone(),
+        },
+        Query::GroupBy {
+            input,
+            group_by,
+            aggregates,
+            having,
+        } => Query::GroupBy {
+            input: rebuild_child(input),
+            group_by: group_by.clone(),
+            aggregates: aggregates.clone(),
+            having: having.clone(),
+        },
+        Query::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            if child_idx == 0 {
+                Query::Join {
+                    left: rebuild_child(left),
+                    right: right.clone(),
+                    predicate: predicate.clone(),
+                }
+            } else {
+                Query::Join {
+                    left: left.clone(),
+                    right: rebuild_child(right),
+                    predicate: predicate.clone(),
+                }
+            }
+        }
+        Query::Union { left, right } => {
+            if child_idx == 0 {
+                Query::Union {
+                    left: rebuild_child(left),
+                    right: right.clone(),
+                }
+            } else {
+                Query::Union {
+                    left: left.clone(),
+                    right: rebuild_child(right),
+                }
+            }
+        }
+        Query::Difference { left, right } => {
+            if child_idx == 0 {
+                Query::Difference {
+                    left: rebuild_child(left),
+                    right: right.clone(),
+                }
+            } else {
+                Query::Difference {
+                    left: left.clone(),
+                    right: rebuild_child(right),
+                }
+            }
+        }
+        Query::Relation(_) => replacement,
+    }
+}
+
 /// Walk the query, invoking `emit` with a full query copy for every mutation
 /// site.
-fn collect(root: &Query, emit: &mut impl FnMut(Query, MutationKind, String)) {
-    fn rebuild(root: &Query, path: &[usize], replacement: Query) -> Query {
-        if path.is_empty() {
-            return replacement;
-        }
-        let child_idx = path[0];
-        let rest = &path[1..];
-        let rebuild_child = |q: &Arc<Query>| Arc::new(rebuild(q, rest, replacement.clone()));
-        match root {
-            Query::Select { input, predicate } => Query::Select {
-                input: rebuild_child(input),
-                predicate: predicate.clone(),
-            },
-            Query::Project { input, items } => Query::Project {
-                input: rebuild_child(input),
-                items: items.clone(),
-            },
-            Query::Rename { input, prefix } => Query::Rename {
-                input: rebuild_child(input),
-                prefix: prefix.clone(),
-            },
-            Query::GroupBy {
-                input,
-                group_by,
-                aggregates,
-                having,
-            } => Query::GroupBy {
-                input: rebuild_child(input),
-                group_by: group_by.clone(),
-                aggregates: aggregates.clone(),
-                having: having.clone(),
-            },
-            Query::Join {
-                left,
-                right,
-                predicate,
-            } => {
-                if child_idx == 0 {
-                    Query::Join {
-                        left: rebuild_child(left),
-                        right: right.clone(),
-                        predicate: predicate.clone(),
-                    }
-                } else {
-                    Query::Join {
-                        left: left.clone(),
-                        right: rebuild_child(right),
-                        predicate: predicate.clone(),
-                    }
-                }
-            }
-            Query::Union { left, right } => {
-                if child_idx == 0 {
-                    Query::Union {
-                        left: rebuild_child(left),
-                        right: right.clone(),
-                    }
-                } else {
-                    Query::Union {
-                        left: left.clone(),
-                        right: rebuild_child(right),
-                    }
-                }
-            }
-            Query::Difference { left, right } => {
-                if child_idx == 0 {
-                    Query::Difference {
-                        left: rebuild_child(left),
-                        right: right.clone(),
-                    }
-                } else {
-                    Query::Difference {
-                        left: left.clone(),
-                        right: rebuild_child(right),
-                    }
-                }
-            }
-            Query::Relation(_) => replacement,
-        }
-    }
-
+fn collect(root: &Query, emit: &mut impl FnMut(Query, MutationKind, String, Vec<usize>)) {
     fn walk(
         root: &Query,
         node: &Query,
         path: Vec<usize>,
-        emit: &mut impl FnMut(Query, MutationKind, String),
+        emit: &mut impl FnMut(Query, MutationKind, String, Vec<usize>),
     ) {
         // Node-level mutations.
         match node {
@@ -171,6 +216,7 @@ fn collect(root: &Query, emit: &mut impl FnMut(Query, MutationKind, String)) {
                         rebuild(root, &path, replacement),
                         kind,
                         format!("selection: {desc}"),
+                        path.clone(),
                     );
                 }
             }
@@ -189,6 +235,7 @@ fn collect(root: &Query, emit: &mut impl FnMut(Query, MutationKind, String)) {
                         rebuild(root, &path, replacement),
                         kind,
                         format!("join: {desc}"),
+                        path.clone(),
                     );
                 }
             }
@@ -197,6 +244,7 @@ fn collect(root: &Query, emit: &mut impl FnMut(Query, MutationKind, String)) {
                     rebuild(root, &path, left.as_ref().clone()),
                     MutationKind::DropDifference,
                     "dropped the subtracted side of a difference".into(),
+                    path.clone(),
                 );
                 emit(
                     rebuild(
@@ -209,6 +257,7 @@ fn collect(root: &Query, emit: &mut impl FnMut(Query, MutationKind, String)) {
                     ),
                     MutationKind::SwapDifference,
                     "swapped the operands of a difference".into(),
+                    path.clone(),
                 );
             }
             Query::Union { left, .. } => {
@@ -216,6 +265,7 @@ fn collect(root: &Query, emit: &mut impl FnMut(Query, MutationKind, String)) {
                     rebuild(root, &path, left.as_ref().clone()),
                     MutationKind::DropUnionBranch,
                     "dropped the right branch of a union".into(),
+                    path.clone(),
                 );
             }
             Query::GroupBy {
@@ -235,6 +285,7 @@ fn collect(root: &Query, emit: &mut impl FnMut(Query, MutationKind, String)) {
                         rebuild(root, &path, replacement),
                         kind,
                         format!("having: {desc}"),
+                        path.clone(),
                     );
                 }
             }
@@ -340,6 +391,272 @@ fn flip(op: BinaryOp) -> BinaryOp {
     }
 }
 
+/// Every predicate expression reachable in `q` (selections, join
+/// predicates, `HAVING` clauses), in walk order.
+fn predicates_of(q: &Query) -> Vec<&Expr> {
+    fn go<'a>(q: &'a Query, out: &mut Vec<&'a Expr>) {
+        match q {
+            Query::Select { predicate, .. } => out.push(predicate),
+            Query::Join {
+                predicate: Some(p), ..
+            } => out.push(p),
+            Query::GroupBy {
+                having: Some(h), ..
+            } => out.push(h),
+            _ => {}
+        }
+        for c in q.children() {
+            go(c, out);
+        }
+    }
+    let mut out = Vec::new();
+    go(q, &mut out);
+    out
+}
+
+/// Constants the donor compares against — the pool of "right answers" for
+/// undoing a [`MutationKind::WrongConstant`].
+fn donor_literals(donor: &Query) -> Vec<Value> {
+    let mut out: Vec<Value> = Vec::new();
+    for pred in predicates_of(donor) {
+        for c in pred.conjuncts() {
+            if let Expr::Binary { op, right, .. } = c {
+                if op.is_comparison() {
+                    if let Expr::Literal(v) = right.as_ref() {
+                        if !out.contains(v) {
+                            out.push(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Conjuncts the donor uses anywhere — candidates for re-adding a condition
+/// the submission forgot ([`MutationKind::DropConjunct`]).
+fn donor_conjuncts(donor: &Query) -> Vec<Expr> {
+    let mut out: Vec<Expr> = Vec::new();
+    for pred in predicates_of(donor) {
+        for c in pred.conjuncts() {
+            if matches!(c, Expr::Literal(Value::Bool(true))) {
+                continue;
+            }
+            if !out.contains(c) {
+                out.push(c.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Difference and union nodes of the donor — graft sources for restoring a
+/// dropped branch ([`MutationKind::DropDifference`] /
+/// [`MutationKind::DropUnionBranch`]).
+fn donor_setops(donor: &Query) -> Vec<Query> {
+    fn go(q: &Query, out: &mut Vec<Query>) {
+        if matches!(q, Query::Difference { .. } | Query::Union { .. }) && !out.contains(q) {
+            out.push(q.clone());
+        }
+        for c in q.children() {
+            go(c, out);
+        }
+    }
+    let mut out = Vec::new();
+    go(donor, &mut out);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn repair_walk(
+    root: &Query,
+    node: &Query,
+    path: Vec<usize>,
+    literals: &[Value],
+    conjuncts: &[Expr],
+    setops: &[Query],
+    emit: &mut impl FnMut(Query, MutationKind, String, Vec<usize>),
+) {
+    // Predicate-site repairs.
+    match node {
+        Query::Select { input, predicate } => {
+            for (p, kind, desc) in repair_predicate(predicate, literals, conjuncts) {
+                let replacement = Query::Select {
+                    input: input.clone(),
+                    predicate: p,
+                };
+                emit(
+                    rebuild(root, &path, replacement),
+                    kind,
+                    format!("selection: {desc}"),
+                    path.clone(),
+                );
+            }
+        }
+        Query::Join {
+            left,
+            right,
+            predicate: Some(predicate),
+        } => {
+            for (p, kind, desc) in repair_predicate(predicate, literals, conjuncts) {
+                let replacement = Query::Join {
+                    left: left.clone(),
+                    right: right.clone(),
+                    predicate: Some(p),
+                };
+                emit(
+                    rebuild(root, &path, replacement),
+                    kind,
+                    format!("join: {desc}"),
+                    path.clone(),
+                );
+            }
+        }
+        Query::GroupBy {
+            input,
+            group_by,
+            aggregates,
+            having: Some(having),
+        } => {
+            for (p, kind, desc) in repair_predicate(having, literals, conjuncts) {
+                let replacement = Query::GroupBy {
+                    input: input.clone(),
+                    group_by: group_by.clone(),
+                    aggregates: aggregates.clone(),
+                    having: Some(p),
+                };
+                emit(
+                    rebuild(root, &path, replacement),
+                    kind,
+                    format!("having: {desc}"),
+                    path.clone(),
+                );
+            }
+        }
+        Query::Difference { left, right } => {
+            emit(
+                rebuild(
+                    root,
+                    &path,
+                    Query::Difference {
+                        left: right.clone(),
+                        right: left.clone(),
+                    },
+                ),
+                MutationKind::SwapDifference,
+                "swapped the operands of a difference back".into(),
+                path.clone(),
+            );
+        }
+        _ => {}
+    }
+    // Graft a donor set operation over a structurally matching branch: if
+    // this subtree equals one side of a donor difference/union, the student
+    // plausibly wrote that side and forgot the operation around it.
+    for s in setops {
+        match s {
+            Query::Difference { left, .. } if node == left.as_ref() => {
+                emit(
+                    rebuild(root, &path, s.clone()),
+                    MutationKind::DropDifference,
+                    "restored the subtracted side of a difference".into(),
+                    path.clone(),
+                );
+            }
+            Query::Union { left, right } if node == left.as_ref() || node == right.as_ref() => {
+                emit(
+                    rebuild(root, &path, s.clone()),
+                    MutationKind::DropUnionBranch,
+                    "restored the missing branch of a union".into(),
+                    path.clone(),
+                );
+            }
+            _ => {}
+        }
+    }
+    // Recurse.
+    for (i, child) in node.children().into_iter().enumerate() {
+        let mut p = path.clone();
+        p.push(i);
+        repair_walk(root, child, p, literals, conjuncts, setops, emit);
+    }
+}
+
+/// Predicate-level repairs: flip a comparison back, substitute a donor
+/// constant, re-add a forgotten donor conjunct.
+fn repair_predicate(
+    p: &Expr,
+    literals: &[Value],
+    donor_conjuncts: &[Expr],
+) -> Vec<(Expr, MutationKind, String)> {
+    let mut out = Vec::new();
+    let conjuncts: Vec<Expr> = p.conjuncts().into_iter().cloned().collect();
+    // Non-placeholder conjuncts: a gutted predicate (`true` left behind by a
+    // dropped sole conjunct) contributes nothing, so re-adding the donor
+    // conjunct restores the donor predicate exactly. Conjunct order is
+    // irrelevant under `ra::canonical`, which sorts them.
+    let kept: Vec<Expr> = conjuncts
+        .iter()
+        .filter(|c| !matches!(c, Expr::Literal(Value::Bool(true))))
+        .cloned()
+        .collect();
+    for d in donor_conjuncts {
+        if kept.contains(d) {
+            continue;
+        }
+        let mut with = kept.clone();
+        with.push(d.clone());
+        out.push((
+            Expr::conjunction(with).expect("non-empty"),
+            MutationKind::DropConjunct,
+            format!("added conjunct `{d}`"),
+        ));
+    }
+    // Constant substitution and operator flips, one comparison at a time.
+    for (i, c) in conjuncts.iter().enumerate() {
+        if let Expr::Binary { op, left, right } = c {
+            if op.is_comparison() {
+                if let Expr::Literal(v) = right.as_ref() {
+                    for replacement in literals {
+                        if replacement == v
+                            || std::mem::discriminant(replacement) != std::mem::discriminant(v)
+                        {
+                            continue;
+                        }
+                        let mut changed = conjuncts.clone();
+                        changed[i] = Expr::Binary {
+                            op: *op,
+                            left: left.clone(),
+                            right: Box::new(Expr::Literal(replacement.clone())),
+                        };
+                        out.push((
+                            Expr::conjunction(changed).expect("non-empty"),
+                            MutationKind::WrongConstant,
+                            format!("replaced constant `{v}` with `{replacement}`"),
+                        ));
+                    }
+                }
+                let flipped = flip(*op);
+                if flipped != *op {
+                    let mut changed = conjuncts.clone();
+                    changed[i] = Expr::Binary {
+                        op: flipped,
+                        left: left.clone(),
+                        right: right.clone(),
+                    };
+                    out.push((
+                        Expr::conjunction(changed).expect("non-empty"),
+                        MutationKind::FlipComparison,
+                        format!("changed `{op}` back to `{flipped}` in `{c}`"),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +738,45 @@ mod tests {
             a.iter().map(|m| m.description.clone()).collect::<Vec<_>>(),
             c.iter().map(|m| m.description.clone()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn repairs_recover_every_single_site_mutation() {
+        use ratest_ra::canonical::fingerprint;
+        for q in course_questions() {
+            let target = fingerprint(&q.reference);
+            for m in mutate(&q.reference) {
+                let candidates = repairs(&m.query, &q.reference);
+                assert!(
+                    candidates.iter().all(|r| r.query != m.query),
+                    "repairs never include the query itself"
+                );
+                assert!(
+                    candidates.iter().any(|r| fingerprint(&r.query) == target),
+                    "question {} mutation {:?} (`{}`) is not recoverable",
+                    q.number,
+                    m.kind,
+                    m.description
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repair_enumeration_is_deterministic() {
+        let q = q3_exactly_one_cs();
+        let wrong = mutate(&q)
+            .into_iter()
+            .find(|m| m.kind == MutationKind::DropDifference)
+            .unwrap()
+            .query;
+        let a = repairs(&wrong, &q);
+        let b = repairs(&wrong, &q);
+        assert_eq!(
+            a.iter().map(|m| m.description.clone()).collect::<Vec<_>>(),
+            b.iter().map(|m| m.description.clone()).collect::<Vec<_>>()
+        );
+        assert!(a.iter().any(|m| m.kind == MutationKind::DropDifference));
     }
 
     #[test]

@@ -249,6 +249,25 @@ pub enum ExplainEvent {
         /// Which algorithm produced the outcome.
         algorithm: Algorithm,
     },
+    /// Repair started: candidate edits were enumerated and ranked.
+    RepairStarted {
+        /// Number of candidate edits in the ranked queue.
+        candidates: usize,
+    },
+    /// One repair candidate was validated.
+    RepairCandidateChecked {
+        /// 0-based index of the candidate in the ranked order.
+        index: usize,
+        /// Whether the candidate was confirmed as a suggestion.
+        confirmed: bool,
+    },
+    /// Repair finished.
+    RepairFinished {
+        /// Number of confirmed suggestions.
+        suggestions: usize,
+        /// Number of candidates validated before stopping.
+        tried: usize,
+    },
 }
 
 /// A consumer of [`ExplainEvent`]s. Implementations must be cheap and

@@ -97,6 +97,30 @@ impl EventSink for TracingSink {
                 }
                 self.collector.close();
             }
+            ExplainEvent::RepairStarted { candidates } => {
+                self.ensure_root();
+                self.collector.close_to_depth(DEPTH_ROOT);
+                self.collector.open("phase", "repair");
+                self.collector.set_attr("candidates", *candidates as i64);
+            }
+            ExplainEvent::RepairCandidateChecked { index, confirmed } => {
+                self.ensure_root();
+                if self.collector.depth() > DEPTH_PHASE {
+                    self.collector.close_to_depth(DEPTH_PHASE);
+                }
+                self.collector.open("candidate", &index.to_string());
+                self.collector.set_attr("index", *index as i64);
+                self.collector.set_attr("confirmed", i64::from(*confirmed));
+                self.collector.close();
+            }
+            ExplainEvent::RepairFinished { suggestions, tried } => {
+                self.ensure_root();
+                self.collector.close_to_depth(DEPTH_ROOT);
+                self.collector
+                    .set_attr("repair_suggestions", *suggestions as i64);
+                self.collector.set_attr("repair_tried", *tried as i64);
+                self.collector.close();
+            }
         }
     }
 }
