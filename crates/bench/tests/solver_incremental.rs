@@ -1,0 +1,72 @@
+//! Conformance for the incremental SAT layer on the course workload: the
+//! incremental and from-scratch legs must reach **byte-identical** outcomes
+//! (verdicts and full counterexamples), and the incremental leg must spend
+//! strictly fewer solver conflicts — the committed perf claim behind the
+//! `solver_incremental` section of `ratest-bench`.
+
+use ratest_bench::course_workload;
+use ratest_core::session::Session;
+use ratest_core::RatestOptions;
+use ratest_datagen::{university_database, UniversityConfig};
+use ratest_telemetry::MetricsRegistry;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn run_leg(incremental: bool) -> (Vec<String>, BTreeMap<String, i64>) {
+    let db = university_database(&UniversityConfig {
+        total_tuples: 60,
+        seed: 2019,
+        ..Default::default()
+    });
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut outcomes = Vec::new();
+    for pair in course_workload(2, 7) {
+        let session = Session::builder(db.clone())
+            .options(RatestOptions {
+                incremental_solver: incremental,
+                ..Default::default()
+            })
+            .metrics(registry.clone())
+            .build();
+        outcomes.push(match session.explain_pair(&pair.reference, &pair.wrong) {
+            // Compare the exact tuples chosen and both query results, not
+            // just the verdict or its size. (The containing `Database` is
+            // deliberately left out: its name→index map has no canonical
+            // iteration order, and the selection already pins the tuples.)
+            Ok(outcome) => match outcome.counterexample {
+                Some(cex) => format!(
+                    "cex:{:?}|q1:{:?}|q2:{:?}|witness:{:?}",
+                    cex.subinstance.selection,
+                    cex.q1_result.rows(),
+                    cex.q2_result.rows(),
+                    cex.witness
+                ),
+                None => "indistinguishable".into(),
+            },
+            Err(e) => format!("error:{e:?}"),
+        });
+    }
+    let mut counters = BTreeMap::new();
+    for (name, v) in &registry.snapshot().counters {
+        counters.insert(name.clone(), *v as i64);
+    }
+    (outcomes, counters)
+}
+
+#[test]
+fn incremental_solving_is_outcome_identical_and_strictly_cheaper() {
+    let (warm_outcomes, warm) = run_leg(true);
+    let (cold_outcomes, cold) = run_leg(false);
+    assert_eq!(
+        warm_outcomes, cold_outcomes,
+        "incremental solving changed a verdict or counterexample"
+    );
+    let get = |m: &BTreeMap<String, i64>, k: &str| m.get(k).copied().unwrap_or(0);
+    let warm_conflicts = get(&warm, "solver.conflicts");
+    let cold_conflicts = get(&cold, "solver.conflicts");
+    assert!(
+        warm_conflicts < cold_conflicts,
+        "incremental solving must spend strictly fewer conflicts on the \
+         course workload: incremental={warm_conflicts} scratch={cold_conflicts}"
+    );
+}

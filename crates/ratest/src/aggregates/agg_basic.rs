@@ -19,7 +19,9 @@ use ratest_provenance::BoolExpr;
 use ratest_ra::ast::Query;
 use ratest_ra::eval::Params;
 use ratest_solver::formula::Formula;
-use ratest_solver::minones::{minimize_ones_with_theory, MinOnesOptions};
+use ratest_solver::incremental::SolverReuse;
+use ratest_solver::minones::{minimize_ones_with_theory_into, MinOnesOptions};
+use ratest_solver::SolverStats;
 use ratest_storage::{Database, TupleSelection, Value};
 use ratest_telemetry::MetricsHandle;
 use std::collections::BTreeSet;
@@ -37,6 +39,11 @@ pub struct AggBasicOptions {
     pub events: crate::session::EventHandle,
     /// Metrics sink: provenance and solver counters are folded in here.
     pub metrics: MetricsHandle,
+    /// Warm solver shared across this run's candidate groups.
+    pub solver_reuse: SolverReuse,
+    /// Use the incremental descent (default). `false` forces every bound
+    /// probe onto a fresh from-scratch solver — the bench comparison leg.
+    pub incremental_solver: bool,
 }
 
 impl Default for AggBasicOptions {
@@ -46,6 +53,8 @@ impl Default for AggBasicOptions {
             budget: crate::session::Budget::unlimited(),
             events: crate::session::EventHandle::none(),
             metrics: MetricsHandle::none(),
+            solver_reuse: SolverReuse::fresh(),
+            incremental_solver: true,
         }
     }
 }
@@ -89,7 +98,18 @@ pub fn smallest_counterexample_agg_basic(
                 index,
                 best_size: best.as_ref().map(|b| b.size()),
             });
-        match solve_for_group(q1, q2, db, params, &p1, &p2, &key, &options.metrics)? {
+        match solve_for_group(
+            q1,
+            q2,
+            db,
+            params,
+            &p1,
+            &p2,
+            &key,
+            &options.metrics,
+            &options.solver_reuse,
+            options.incremental_solver,
+        )? {
             Some(cex) => {
                 let better = best.as_ref().map(|b| cex.size() < b.size()).unwrap_or(true);
                 if better {
@@ -169,6 +189,8 @@ fn solve_for_group(
     p2: &AggregateProvenance,
     key: &[Value],
     metrics: &MetricsHandle,
+    solver_reuse: &SolverReuse,
+    incremental_solver: bool,
 ) -> Result<Option<Counterexample>> {
     let exists1 = p1
         .group_by_key(key)
@@ -198,14 +220,28 @@ fn solve_for_group(
     };
     metrics.counter_inc("agg.groups_solved");
     metrics.observe("solver.objective_vars", objective.len() as u64);
-    let sol =
-        match minimize_ones_with_theory(&formula, &objective, &MinOnesOptions::default(), accept) {
-            Ok(sol) => sol,
-            Err(ratest_solver::SolverError::Unsatisfiable)
-            | Err(ratest_solver::SolverError::BudgetExhausted { .. }) => return Ok(None),
-            Err(e) => return Err(e.into()),
-        };
-    sol.stats.record(metrics);
+    let solve_options = MinOnesOptions {
+        incremental: incremental_solver,
+        reuse: Some(solver_reuse.clone()),
+        ..Default::default()
+    };
+    let mut solver_stats = SolverStats::default();
+    let result = minimize_ones_with_theory_into(
+        &formula,
+        &objective,
+        &solve_options,
+        accept,
+        &mut solver_stats,
+    );
+    // Record on every path: groups abandoned as unsatisfiable or budget-capped
+    // still did solver work that `--metrics` totals must include.
+    solver_stats.record(metrics);
+    let sol = match result {
+        Ok(sol) => sol,
+        Err(ratest_solver::SolverError::Unsatisfiable)
+        | Err(ratest_solver::SolverError::BudgetExhausted { .. }) => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
     let selection = vars.selection_from_vars(&sol.true_vars);
     match build_counterexample(q1, q2, db, selection, None, params) {
         Ok(cex) => Ok(Some(cex)),

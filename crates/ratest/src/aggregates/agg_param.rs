@@ -19,7 +19,9 @@ use ratest_provenance::BoolExpr;
 use ratest_ra::ast::Query;
 use ratest_ra::eval::Params;
 use ratest_solver::formula::Formula;
-use ratest_solver::minones::{minimize_ones_with_theory, MinOnesOptions};
+use ratest_solver::incremental::SolverReuse;
+use ratest_solver::minones::{minimize_ones_with_theory_into, MinOnesOptions};
+use ratest_solver::SolverStats;
 use ratest_storage::{Database, TupleSelection, Value};
 use ratest_telemetry::MetricsHandle;
 use std::cell::RefCell;
@@ -39,6 +41,11 @@ pub struct AggParamOptions {
     pub events: crate::session::EventHandle,
     /// Metrics sink: provenance and solver counters are folded in here.
     pub metrics: MetricsHandle,
+    /// Warm solver shared across this run's candidate groups.
+    pub solver_reuse: SolverReuse,
+    /// Use the incremental descent (default). `false` forces every bound
+    /// probe onto a fresh from-scratch solver — the bench comparison leg.
+    pub incremental_solver: bool,
 }
 
 impl Default for AggParamOptions {
@@ -49,6 +56,8 @@ impl Default for AggParamOptions {
             budget: crate::session::Budget::unlimited(),
             events: crate::session::EventHandle::none(),
             metrics: MetricsHandle::none(),
+            solver_reuse: SolverReuse::fresh(),
+            incremental_solver: true,
         }
     }
 }
@@ -174,14 +183,28 @@ fn solve_group_parameterized(
     options
         .metrics
         .observe("solver.objective_vars", objective.len() as u64);
-    let sol =
-        match minimize_ones_with_theory(&formula, &objective, &MinOnesOptions::default(), accept) {
-            Ok(sol) => sol,
-            Err(ratest_solver::SolverError::Unsatisfiable)
-            | Err(ratest_solver::SolverError::BudgetExhausted { .. }) => return Ok(None),
-            Err(e) => return Err(e.into()),
-        };
-    sol.stats.record(&options.metrics);
+    let solve_options = MinOnesOptions {
+        incremental: options.incremental_solver,
+        reuse: Some(options.solver_reuse.clone()),
+        ..Default::default()
+    };
+    let mut solver_stats = SolverStats::default();
+    let result = minimize_ones_with_theory_into(
+        &formula,
+        &objective,
+        &solve_options,
+        accept,
+        &mut solver_stats,
+    );
+    // Record on every path: groups abandoned as unsatisfiable or budget-capped
+    // still did solver work that `--metrics` totals must include.
+    solver_stats.record(&options.metrics);
+    let sol = match result {
+        Ok(sol) => sol,
+        Err(ratest_solver::SolverError::Unsatisfiable)
+        | Err(ratest_solver::SolverError::BudgetExhausted { .. }) => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
     let selection = vars.selection_from_vars(&sol.true_vars);
     let params = chosen
         .into_inner()

@@ -18,7 +18,9 @@ use ratest_ra::ast::Query;
 use ratest_ra::eval::Params;
 use ratest_solver::enumerate::enumerate_best;
 use ratest_solver::formula::Formula;
-use ratest_solver::minones::{minimize_ones, MinOnesOptions};
+use ratest_solver::incremental::SolverReuse;
+use ratest_solver::minones::{minimize_ones_with_theory_into, MinOnesOptions};
+use ratest_solver::SolverStats;
 use ratest_storage::Database;
 use ratest_telemetry::MetricsHandle;
 use std::time::Instant;
@@ -42,6 +44,13 @@ pub struct BasicOptions {
     /// Metrics sink: solver statistics and candidate counts are folded in
     /// here; the default handle records nothing.
     pub metrics: MetricsHandle,
+    /// Warm solver shared across the candidate tuples of this run, so
+    /// learned clauses and the cardinality ladder survive from one witness
+    /// problem's descent to the next instead of being rebuilt per bound.
+    pub solver_reuse: SolverReuse,
+    /// Use the incremental descent (default). `false` forces every bound
+    /// probe onto a fresh from-scratch solver — the bench comparison leg.
+    pub incremental_solver: bool,
 }
 
 impl Default for BasicOptions {
@@ -52,6 +61,8 @@ impl Default for BasicOptions {
             budget: Budget::unlimited(),
             events: EventHandle::none(),
             metrics: MetricsHandle::none(),
+            solver_reuse: SolverReuse::fresh(),
+            incremental_solver: true,
         }
     }
 }
@@ -201,6 +212,8 @@ pub fn smallest_counterexample_from_annotations(
         // discarded with a single bounded solve.
         let solve_options = MinOnesOptions {
             upper_bound: best.as_ref().map(|b| b.size().saturating_sub(1)),
+            incremental: options.incremental_solver,
+            reuse: Some(options.solver_reuse.clone()),
             ..Default::default()
         };
         options.metrics.counter_inc("basic.candidates");
@@ -208,14 +221,25 @@ pub fn smallest_counterexample_from_annotations(
             .metrics
             .observe("solver.objective_vars", objective.len() as u64);
         let solved = match options.strategy {
-            SolverStrategy::Optimize => match minimize_ones(&formula, &objective, &solve_options) {
-                Ok(sol) => {
-                    sol.stats.record(&options.metrics);
-                    Some(sol.true_vars)
+            SolverStrategy::Optimize => {
+                let mut solver_stats = SolverStats::default();
+                let result = minimize_ones_with_theory_into(
+                    &formula,
+                    &objective,
+                    &solve_options,
+                    |_| true,
+                    &mut solver_stats,
+                );
+                // Fold stats in on every path: bounded probes that prove a
+                // candidate hopeless (`Unsatisfiable`) do real solver work
+                // that `--metrics` totals must not under-count.
+                solver_stats.record(&options.metrics);
+                match result {
+                    Ok(sol) => Some(sol.true_vars),
+                    Err(ratest_solver::SolverError::Unsatisfiable) => None,
+                    Err(e) => return Err(e.into()),
                 }
-                Err(ratest_solver::SolverError::Unsatisfiable) => None,
-                Err(e) => return Err(e.into()),
-            },
+            }
             SolverStrategy::Enumerate { max_models } => {
                 match enumerate_best(&formula, &objective, max_models) {
                     Ok(res) => {

@@ -75,6 +75,7 @@ pub use pipeline::{
     CancelFlag, ExplainOutcome, PreparedReference, RatestOptions, SolverStrategy, Timings,
 };
 pub use problem::{Counterexample, Witness};
+pub use ratest_solver::SolverReuse;
 pub use session::{
     Budget, CollectingSink, EventHandle, EventSink, ExplainEvent, Phase, ReferenceHandle, Session,
     SessionBuilder,

@@ -25,6 +25,7 @@ use ratest_ra::ast::Query;
 use ratest_ra::classify::{classify_pair, QueryClass};
 use ratest_ra::eval::{Params, ResultSet};
 use ratest_ra::typecheck::output_schema;
+use ratest_solver::incremental::SolverReuse;
 use ratest_storage::Database;
 use ratest_telemetry::MetricsHandle;
 use serde::{Deserialize, Serialize};
@@ -155,6 +156,15 @@ pub struct RatestOptions {
     /// sizes, solver statistics and per-phase wall-clock durations are
     /// recorded here. The default handle records nothing.
     pub metrics: MetricsHandle,
+    /// Warm solver shared across runs carrying these options. `None` (the
+    /// default) gives every explain its own warm solver — still incremental
+    /// within the run, and deterministic even when runs race on threads. A
+    /// repair request passes `Some` to share one warm solver across its
+    /// whole candidate cohort.
+    pub solver_reuse: Option<SolverReuse>,
+    /// Use the incremental solving layer (default). `false` forces the
+    /// historical from-scratch descent — the bench comparison leg.
+    pub incremental_solver: bool,
 }
 
 impl Default for RatestOptions {
@@ -167,6 +177,8 @@ impl Default for RatestOptions {
             budget: Budget::unlimited(),
             events: EventHandle::none(),
             metrics: MetricsHandle::none(),
+            solver_reuse: None,
+            incremental_solver: true,
         }
     }
 }
@@ -305,6 +317,9 @@ fn explain_inner(
         other => other,
     };
 
+    // One warm solver per algorithm run unless the caller supplied a shared
+    // handle spanning several explains (e.g. a repair request's cohort).
+    let reuse = |options: &RatestOptions| options.solver_reuse.clone().unwrap_or_default();
     let run = |algorithm: Algorithm| -> Result<(Counterexample, Timings)> {
         options.budget.check()?;
         match algorithm {
@@ -318,6 +333,8 @@ fn explain_inner(
                     budget: options.budget.clone(),
                     events: options.events.clone(),
                     metrics: options.metrics.clone(),
+                    solver_reuse: reuse(options),
+                    incremental_solver: options.incremental_solver,
                     ..Default::default()
                 },
             ),
@@ -332,6 +349,8 @@ fn explain_inner(
                     budget: options.budget.clone(),
                     events: options.events.clone(),
                     metrics: options.metrics.clone(),
+                    solver_reuse: reuse(options),
+                    incremental_solver: options.incremental_solver,
                 },
             ),
             Algorithm::PolytimeMonotone => {
@@ -349,6 +368,8 @@ fn explain_inner(
                     budget: options.budget.clone(),
                     events: options.events.clone(),
                     metrics: options.metrics.clone(),
+                    solver_reuse: reuse(options),
+                    incremental_solver: options.incremental_solver,
                     ..Default::default()
                 },
             ),
@@ -361,6 +382,8 @@ fn explain_inner(
                     budget: options.budget.clone(),
                     events: options.events.clone(),
                     metrics: options.metrics.clone(),
+                    solver_reuse: reuse(options),
+                    incremental_solver: options.incremental_solver,
                     ..Default::default()
                 },
             ),
@@ -374,6 +397,8 @@ fn explain_inner(
                         budget: options.budget.clone(),
                         events: options.events.clone(),
                         metrics: options.metrics.clone(),
+                        solver_reuse: reuse(options),
+                        incremental_solver: options.incremental_solver,
                         ..Default::default()
                     },
                     ..Default::default()
@@ -640,6 +665,8 @@ pub(crate) fn explain_prepared_impl(
         budget: options.budget.clone(),
         events: options.events.clone(),
         metrics: options.metrics.clone(),
+        solver_reuse: options.solver_reuse.clone().unwrap_or_default(),
+        incremental_solver: options.incremental_solver,
         ..Default::default()
     };
     match smallest_counterexample_from_annotations(

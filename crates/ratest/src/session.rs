@@ -541,12 +541,28 @@ impl Session {
         budget: &Budget,
         events: EventHandle,
     ) -> Result<ExplainOutcome> {
+        self.explain_with_reuse(reference, query, budget, events, None)
+    }
+
+    /// [`Session::explain_with`] plus a caller-supplied warm-solver handle
+    /// shared across several explains — the repair engine passes one handle
+    /// per repair request so every candidate mutation's validation search
+    /// reuses the same incremental solver.
+    pub fn explain_with_reuse(
+        &self,
+        reference: ReferenceHandle,
+        query: &Query,
+        budget: &Budget,
+        events: EventHandle,
+        solver_reuse: Option<ratest_solver::SolverReuse>,
+    ) -> Result<ExplainOutcome> {
         let prepared = self
             .prepared(reference)
             .ok_or_else(|| RatestError::Unsupported("unknown reference handle".into()))?;
         let mut options = self.options.clone();
         options.budget = budget.clone();
         options.events = events;
+        options.solver_reuse = solver_reuse;
         explain_prepared_impl(&prepared, query, &self.db, &options)
     }
 

@@ -1,0 +1,551 @@
+//! The incremental solving layer: a persistent warm solver that survives
+//! bound probes, theory-rejection restarts, explain candidates, and cohort
+//! solves, instead of being rebuilt from scratch for every `solve_accepting`
+//! call.
+//!
+//! ## How determinism is preserved
+//!
+//! A CDCL solver's *model* (which optimal witness it returns) depends on its
+//! entire decision history, so naively reusing a warm solver would change
+//! counterexamples and break every golden downstream. The layer therefore
+//! splits each bound probe into two roles:
+//!
+//! * **Warm feasibility oracle.** The persistent [`IncrementalSolver`]
+//!   answers the *pure Boolean* question "does a model with ≤ k true
+//!   objective variables exist?" under a single assumption literal from a
+//!   lazily-widened [`SequentialLadder`](crate::cardinality::SequentialLadder)
+//!   — no CNF re-encode, no fresh solver, learned clauses retained. An
+//!   **UNSAT** answer is logically forced, so the probe can be skipped
+//!   entirely: the from-scratch path would have run one full solve and
+//!   returned `None` without ever consulting the theory callback.
+//! * **Scratch-identical replay.** A **SAT** answer says nothing about
+//!   *which* model the historical path would find, so the probe is replayed
+//!   on a fresh solver exactly as the from-scratch path builds it —
+//!   byte-identical models, blocking-clause sequences, and error behavior.
+//!
+//! The first (unbounded) solve of a problem runs *on* the warm solver but is
+//! state-identical to a fresh solver over the same clauses: the problem's
+//! variables are remapped into a private block at the top of the variable
+//! space, every earlier block is pinned at level 0 (so it contributes no
+//! decisions, propagations, or conflicts), and the VSIDS increment is reset
+//! to the fresh scale. Identical clause stream ⇒ identical trajectory ⇒
+//! identical model and counters, modulo the variable offset.
+//!
+//! ## Scoped clauses and deterministic retirement
+//!
+//! Theory-rejection blocking clauses discovered in replays are copied into
+//! the warm solver behind a per-problem **activation selector** `s_p`: each
+//! clause carries `¬s_p`, probes assume `s_p`, and retirement asserts the
+//! unit `¬s_p`, deterministically killing the whole scope. Problem clauses
+//! themselves are retired by **pinning**: the block's variables are asserted
+//! at level 0 to a remembered model (ladder registers to their exact-count
+//! closure), which is consistent with every clause the block ever produced —
+//! including learned clauses, which are implied by the clause database — so
+//! a retired block can never poison later problems and costs them nothing.
+//!
+//! ## Reduction policy
+//!
+//! The learned-clause database is retained across `solve` calls. At every
+//! problem boundary, if the database has grown past
+//! [`IncrementalConfig::max_retained_clauses`] (or the previous problem
+//! cannot be pinned), the warm state is dropped and rebuilt empty — a
+//! deterministic, state-dependent policy, so two identical runs reduce at
+//! identical points.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::cardinality::SequentialLadder;
+use crate::cnf::{Cnf, Lit, Var};
+use crate::sat::{Model, SatResult, Solver};
+use crate::stats::SolverStats;
+
+/// Tuning knobs for the incremental layer.
+#[derive(Debug, Clone)]
+pub struct IncrementalConfig {
+    /// Clause-database size beyond which the deterministic reduction policy
+    /// drops the warm state at the next problem boundary instead of pinning
+    /// the retiring block.
+    pub max_retained_clauses: usize,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig {
+            max_retained_clauses: 50_000,
+        }
+    }
+}
+
+/// The active problem block inside an [`IncrementalSolver`].
+#[derive(Debug)]
+struct Block {
+    /// Problem-space variable `v` lives at solver-space `v + offset`.
+    offset: Var,
+    /// The problem's own variable count (Tseitin auxiliaries included).
+    num_vars: Var,
+    /// Objective variables, problem space, in caller order.
+    objective: Vec<Var>,
+    /// Objective variables, solver space.
+    mapped_objective: Vec<Var>,
+    /// Lazily-widened cardinality ladder over the mapped objective.
+    ladder: SequentialLadder,
+    /// Activation selector guarding scoped (retirable) clauses.
+    selector: Option<Var>,
+    /// Clause-database size right after the base clauses were added; the gap
+    /// to the current size is what `clauses_retained` accounts per re-entry.
+    base_clause_watermark: usize,
+    /// A full solver-space model used to pin the block at retirement.
+    pin: Option<Model>,
+    /// Smallest objective cost of any Boolean model seen so far.
+    known_sat: Option<usize>,
+    /// Largest bound proven Boolean-UNSAT so far.
+    known_unsat: Option<usize>,
+    /// Objective assignments already excluded by a blocking clause (plain or
+    /// scoped), for deduplication.
+    blocked: BTreeSet<Vec<Var>>,
+    /// Set when a warm solve reported an internal error; the oracle then
+    /// abstains and every probe falls through to the scratch replay.
+    disabled: bool,
+}
+
+/// A persistent warm solver hosting a sequence of min-ones problems.
+///
+/// See the [module docs](self) for the determinism argument. Typical use is
+/// through [`MinOnesOptions`](crate::minones::MinOnesOptions) — either the
+/// implicit per-call instance or a shared [`SolverReuse`] handle.
+#[derive(Debug)]
+pub struct IncrementalSolver {
+    inner: Solver,
+    config: IncrementalConfig,
+    block: Option<Block>,
+    /// Stats of inner solvers dropped by the reduction policy, so cumulative
+    /// stats never move backwards across a reset.
+    carried: SolverStats,
+    problems: u64,
+}
+
+impl IncrementalSolver {
+    /// A fresh warm solver with the given configuration.
+    pub fn new(config: IncrementalConfig) -> IncrementalSolver {
+        IncrementalSolver {
+            inner: Solver::new(0),
+            config,
+            block: None,
+            carried: SolverStats::default(),
+            problems: 0,
+        }
+    }
+
+    /// Cumulative solver statistics across every problem this instance has
+    /// hosted (monotone even across reduction-policy resets). Callers
+    /// snapshot this around warm operations and merge the difference.
+    pub fn stats(&self) -> SolverStats {
+        let mut s = self.carried;
+        s.merge(&self.inner.stats);
+        s
+    }
+
+    /// Number of problems begun on this instance.
+    pub fn problems(&self) -> u64 {
+        self.problems
+    }
+
+    /// The inner solver, for the state-identical initial accept loop.
+    pub(crate) fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.inner
+    }
+
+    /// Solver-space offset of the active block.
+    pub(crate) fn active_offset(&self) -> Var {
+        self.block.as_ref().map(|b| b.offset).unwrap_or(0)
+    }
+
+    /// Drop all warm state (the deterministic reduction policy's reset).
+    fn reset(&mut self) {
+        self.carried.merge(&self.inner.stats);
+        self.inner = Solver::new(0);
+        self.block = None;
+    }
+
+    /// Retire the active block by pinning it at level 0. Returns `false`
+    /// when pinning is impossible (no model, database over budget, or the
+    /// solver is already dead) and a reset is required instead.
+    fn retire_active(&mut self) -> bool {
+        let Some(block) = self.block.take() else {
+            return true;
+        };
+        if self.inner.is_unsat() || block.disabled {
+            return false;
+        }
+        if self.inner.clause_count() > self.config.max_retained_clauses {
+            return false;
+        }
+        let Some(pin) = block.pin else {
+            return false;
+        };
+        let mut ok = true;
+        for v in (block.offset + 1)..=(block.offset + block.num_vars) {
+            ok &= self.inner.add_clause(vec![Lit::new(v, pin.value(v))]);
+        }
+        let mapped = &block.mapped_objective;
+        for (var, value) in block.ladder.closure_values(|i| pin.value(mapped[i])) {
+            ok &= self.inner.add_clause(vec![Lit::new(var, value)]);
+        }
+        if let Some(s) = block.selector {
+            ok &= self.inner.add_clause(vec![Lit::neg(s)]);
+        }
+        ok && !self.inner.is_unsat()
+    }
+
+    /// Begin a new problem: retire (or reduce) the previous block, remap the
+    /// base CNF into a fresh variable block, and reset the branching scale so
+    /// the first solve is state-identical to a fresh solver over `base`.
+    ///
+    /// Work performed here (clause loading, pin propagation) is folded into
+    /// `stats`.
+    pub fn begin_problem(&mut self, base: &Cnf, objective: &[Var], stats: &mut SolverStats) {
+        let s0 = self.stats();
+        if !self.retire_active() {
+            self.reset();
+        }
+        self.problems += 1;
+        let offset = self.inner.num_vars();
+        self.inner.ensure_vars(offset + base.num_vars);
+        self.inner.reset_branching_scale();
+        for c in &base.clauses {
+            let mapped: Vec<Lit> = c
+                .iter()
+                .map(|l| Lit::new(l.var() + offset, l.is_positive()))
+                .collect();
+            self.inner.add_clause(mapped);
+        }
+        let mapped_objective: Vec<Var> = objective.iter().map(|&v| v + offset).collect();
+        let ladder = SequentialLadder::new(mapped_objective.iter().map(|&v| Lit::pos(v)).collect());
+        self.block = Some(Block {
+            offset,
+            num_vars: base.num_vars,
+            objective: objective.to_vec(),
+            mapped_objective,
+            ladder,
+            selector: None,
+            base_clause_watermark: self.inner.clause_count(),
+            pin: None,
+            known_sat: None,
+            known_unsat: None,
+            blocked: BTreeSet::new(),
+            disabled: false,
+        });
+        stats.merge(&self.stats().diff(&s0));
+    }
+
+    /// Record the outcome of the state-identical initial accept loop run on
+    /// [`Self::solver_mut`]: the pin model, the cheapest Boolean cost seen,
+    /// and the objective assignments already excluded by plain blocking
+    /// clauses.
+    pub(crate) fn absorb_initial(
+        &mut self,
+        pin: Option<Model>,
+        min_cost_seen: Option<usize>,
+        rejected: &[Vec<Var>],
+    ) {
+        let Some(block) = self.block.as_mut() else {
+            return;
+        };
+        if pin.is_some() {
+            block.pin = pin;
+        }
+        if let Some(c) = min_cost_seen {
+            block.known_sat = Some(block.known_sat.map_or(c, |k| k.min(c)));
+        }
+        for r in rejected {
+            block.blocked.insert(r.clone());
+        }
+    }
+
+    /// Note that a Boolean model of cost `cost` exists (e.g. one returned by
+    /// a scratch replay), tightening the feasibility cache.
+    pub fn note_feasible_cost(&mut self, cost: usize) {
+        if let Some(block) = self.block.as_mut() {
+            block.known_sat = Some(block.known_sat.map_or(cost, |k| k.min(cost)));
+        }
+    }
+
+    /// Copy theory-rejection blocking clauses discovered in a replay into the
+    /// warm solver, scoped behind the block's activation selector so they are
+    /// retired deterministically with the problem. Requires the theory
+    /// callback contract (deterministic, side-effect-free on rejection)
+    /// documented on
+    /// [`minimize_ones_with_theory`](crate::minones::minimize_ones_with_theory).
+    pub fn block_rejections(&mut self, rejected: &[Vec<Var>], stats: &mut SolverStats) {
+        if rejected.is_empty() {
+            return;
+        }
+        let s0 = self.stats();
+        if let Some(mut block) = self.block.take() {
+            for r in rejected {
+                if !block.blocked.insert(r.clone()) {
+                    continue;
+                }
+                let selector = *block.selector.get_or_insert_with(|| self.inner.fresh_var());
+                let mut clause: Vec<Lit> = block
+                    .objective
+                    .iter()
+                    .zip(&block.mapped_objective)
+                    .map(|(&v, &mv)| Lit::new(mv, !r.contains(&v)))
+                    .collect();
+                clause.push(Lit::neg(selector));
+                self.inner.add_clause(clause);
+            }
+            self.block = Some(block);
+        }
+        stats.merge(&self.stats().diff(&s0));
+    }
+
+    /// The warm feasibility oracle: does a Boolean model with at most `k`
+    /// true objective variables exist?
+    ///
+    /// * `Some(false)` — proven infeasible; exact, and the caller may skip
+    ///   the probe entirely (the from-scratch path would have returned `None`
+    ///   without consulting the theory callback).
+    /// * `Some(true)` — feasible; the caller must replay the probe on the
+    ///   scratch-identical path to obtain the canonical model.
+    /// * `None` — the oracle abstains (no active block, or a prior internal
+    ///   error); the caller must replay.
+    pub fn probe_feasible(&mut self, k: usize, stats: &mut SolverStats) -> Option<bool> {
+        let s0 = self.stats();
+        let result = self.probe_inner(k);
+        stats.merge(&self.stats().diff(&s0));
+        result
+    }
+
+    fn probe_inner(&mut self, k: usize) -> Option<bool> {
+        let block = self.block.as_mut()?;
+        if block.disabled {
+            return None;
+        }
+        if let Some(u) = block.known_unsat {
+            if k <= u {
+                return Some(false);
+            }
+        }
+        if let Some(s) = block.known_sat {
+            if s <= k {
+                return Some(true);
+            }
+        }
+        if k >= block.objective.len() {
+            // The bound is trivial; feasibility equals plain satisfiability,
+            // which the presence of an active descent already established.
+            return Some(true);
+        }
+        if self.inner.is_unsat() {
+            // The plain database (base + blocking clauses) is unconditionally
+            // unsatisfiable, so no bound is feasible.
+            block.known_unsat = Some(block.known_unsat.map_or(k, |u| u.max(k)));
+            return Some(false);
+        }
+        let bound = block.ladder.bound_assumption(k, &mut self.inner)?;
+        let retained = self
+            .inner
+            .clause_count()
+            .saturating_sub(block.base_clause_watermark);
+        self.inner.stats.incremental_reuses += 1;
+        self.inner.stats.clauses_retained += retained as u64;
+        let mut assumptions = Vec::with_capacity(2);
+        if let Some(s) = block.selector {
+            assumptions.push(Lit::pos(s));
+        }
+        assumptions.push(bound);
+        match self.inner.solve(&assumptions) {
+            Err(_) => {
+                block.disabled = true;
+                None
+            }
+            Ok(SatResult::Unsat) => {
+                block.known_unsat = Some(block.known_unsat.map_or(k, |u| u.max(k)));
+                Some(false)
+            }
+            Ok(SatResult::Sat(model)) => {
+                let cost = block
+                    .mapped_objective
+                    .iter()
+                    .filter(|&&v| model.value(v))
+                    .count();
+                block.known_sat = Some(block.known_sat.map_or(cost, |s| s.min(cost)));
+                block.pin = Some(model);
+                Some(true)
+            }
+        }
+    }
+}
+
+/// A cloneable handle to a shared [`IncrementalSolver`], letting several
+/// minimize calls — candidate tuples of one explain, direction probes of one
+/// `Optσ` run, groups of one aggregate search, candidates of one repair
+/// request — reuse a single warm solver.
+#[derive(Clone)]
+pub struct SolverReuse {
+    inner: Arc<Mutex<IncrementalSolver>>,
+}
+
+impl SolverReuse {
+    /// A fresh handle with the default configuration.
+    pub fn fresh() -> SolverReuse {
+        SolverReuse::with_config(IncrementalConfig::default())
+    }
+
+    /// A fresh handle with an explicit configuration.
+    pub fn with_config(config: IncrementalConfig) -> SolverReuse {
+        SolverReuse {
+            inner: Arc::new(Mutex::new(IncrementalSolver::new(config))),
+        }
+    }
+
+    /// Lock the underlying warm solver for one minimize call. Tolerates
+    /// poisoning: the warm state is a pure performance cache, never a source
+    /// of truth, so a panicked peer cannot corrupt answers.
+    pub fn lock(&self) -> MutexGuard<'_, IncrementalSolver> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl Default for SolverReuse {
+    fn default() -> Self {
+        SolverReuse::fresh()
+    }
+}
+
+impl fmt::Debug for SolverReuse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let problems = self.inner.lock().map(|g| g.problems()).unwrap_or(0);
+        f.debug_struct("SolverReuse")
+            .field("problems", &problems)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cnf(num_vars: Var, clauses: &[&[i64]]) -> Cnf {
+        let mut c = Cnf::new(num_vars);
+        for cl in clauses {
+            c.add_clause(
+                cl.iter()
+                    .map(|&l| {
+                        if l > 0 {
+                            Lit::pos(l as Var)
+                        } else {
+                            Lit::neg((-l) as Var)
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn oracle_answers_match_fresh_solvers_across_two_problems() {
+        let mut warm = IncrementalSolver::new(IncrementalConfig::default());
+        let mut stats = SolverStats::default();
+
+        // Problem 1: (x1 ∨ x2) ∧ (x2 ∨ x3); min cost 1 ({x2}).
+        let p1 = cnf(3, &[&[1, 2], &[2, 3]]);
+        warm.begin_problem(&p1, &[1, 2, 3], &mut stats);
+        // Establish the descent invariant: a model exists.
+        warm.note_feasible_cost(2);
+        assert_eq!(warm.probe_feasible(1, &mut stats), Some(true));
+        assert_eq!(warm.probe_feasible(0, &mut stats), Some(false));
+        // Cached now.
+        assert_eq!(warm.probe_feasible(0, &mut stats), Some(false));
+
+        // Problem 2 on the same warm solver: x1 forced plus (x2 ∨ x3).
+        let p2 = cnf(3, &[&[1], &[2, 3]]);
+        warm.begin_problem(&p2, &[1, 2, 3], &mut stats);
+        warm.note_feasible_cost(3);
+        assert_eq!(warm.probe_feasible(2, &mut stats), Some(true));
+        assert_eq!(warm.probe_feasible(1, &mut stats), Some(false));
+        assert!(stats.assumption_solves > 0);
+        assert!(stats.incremental_reuses > 0);
+    }
+
+    #[test]
+    fn unsat_problem_does_not_poison_the_next_one() {
+        let mut warm = IncrementalSolver::new(IncrementalConfig::default());
+        let mut stats = SolverStats::default();
+        // x1 ∧ ¬x1: dead at level 0.
+        let bad = cnf(1, &[&[1], &[-1]]);
+        warm.begin_problem(&bad, &[1], &mut stats);
+        assert!(warm.solver_mut().is_unsat());
+        // A later problem recovers via the reduction policy's reset.
+        let good = cnf(2, &[&[1, 2]]);
+        warm.begin_problem(&good, &[1, 2], &mut stats);
+        warm.note_feasible_cost(1);
+        assert_eq!(warm.probe_feasible(0, &mut stats), Some(false));
+        assert_eq!(warm.probe_feasible(1, &mut stats), Some(true));
+    }
+
+    #[test]
+    fn scoped_rejections_are_deduplicated_and_retired() {
+        let mut warm = IncrementalSolver::new(IncrementalConfig::default());
+        let mut stats = SolverStats::default();
+        let p = cnf(2, &[&[1, 2]]);
+        warm.begin_problem(&p, &[1, 2], &mut stats);
+        warm.note_feasible_cost(2);
+        let before = warm.solver_mut().clause_count();
+        warm.block_rejections(&[vec![1], vec![1]], &mut stats);
+        assert_eq!(warm.solver_mut().clause_count(), before + 1);
+        // {x1} is scoped out: bound 1 must now pick {x2}… the oracle only
+        // answers feasibility, which is still true via {x2}.
+        assert_eq!(warm.probe_feasible(1, &mut stats), Some(true));
+        // Retiring the problem (next begin) deactivates the scope without
+        // killing the solver.
+        let q = cnf(1, &[&[1]]);
+        warm.begin_problem(&q, &[1], &mut stats);
+        warm.note_feasible_cost(1);
+        assert_eq!(warm.probe_feasible(0, &mut stats), Some(false));
+    }
+
+    #[test]
+    fn reduction_policy_resets_between_problems_when_over_budget() {
+        let mut warm = IncrementalSolver::new(IncrementalConfig {
+            max_retained_clauses: 1,
+        });
+        let mut stats = SolverStats::default();
+        let p = cnf(3, &[&[1, 2], &[2, 3], &[1, 3]]);
+        warm.begin_problem(&p, &[1, 2, 3], &mut stats);
+        warm.note_feasible_cost(2);
+        let _ = warm.probe_feasible(1, &mut stats);
+        let cumulative_before = warm.stats();
+        let q = cnf(2, &[&[1, 2]]);
+        warm.begin_problem(&q, &[1, 2], &mut stats);
+        // The database was dropped (over budget), but cumulative stats moved
+        // forward monotonically.
+        let after = warm.stats();
+        assert!(after.propagations >= cumulative_before.propagations);
+        warm.note_feasible_cost(1);
+        assert_eq!(warm.probe_feasible(0, &mut stats), Some(false));
+    }
+
+    #[test]
+    fn reuse_handle_is_shareable_and_debuggable() {
+        let handle = SolverReuse::fresh();
+        let clone = handle.clone();
+        {
+            let mut warm = handle.lock();
+            let p = cnf(1, &[&[1]]);
+            let mut stats = SolverStats::default();
+            warm.begin_problem(&p, &[1], &mut stats);
+        }
+        assert_eq!(clone.lock().problems(), 1);
+        assert!(format!("{handle:?}").contains("SolverReuse"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolverReuse>();
+    }
+}

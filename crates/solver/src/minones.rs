@@ -9,12 +9,24 @@
 //! conditions (aggregate value comparisons, "the counterexample must actually
 //! distinguish the two queries" re-checks); rejected models are blocked and
 //! the search continues, mirroring lazy SMT solving.
+//!
+//! ## Incremental descent
+//!
+//! By default ([`MinOnesOptions::incremental`]) the descent consults a
+//! persistent warm solver (see [`crate::incremental`]) before each bound
+//! probe. The warm solver retains learned clauses and the cardinality ladder
+//! across probes, so proving a bound *infeasible* — the common case during a
+//! binary descent — costs a single assumption solve instead of a full CNF
+//! re-encode + fresh solver. Feasible bounds are replayed on the exact
+//! from-scratch path, so the model stream, blocking-clause sequence, and
+//! final answer stay byte-identical to the historical strategy.
 
 use crate::cardinality::at_most_k_vars;
 use crate::cnf::{Cnf, Lit, Var};
 use crate::error::{Result, SolverError};
 use crate::formula::Formula;
-use crate::sat::{SatResult, Solver};
+use crate::incremental::{IncrementalConfig, IncrementalSolver, SolverReuse};
+use crate::sat::{Model, SatResult, Solver};
 use crate::stats::SolverStats;
 
 /// Options controlling the min-ones search.
@@ -32,6 +44,15 @@ pub struct MinOnesOptions {
     /// instance with `Some(k - 1)` and discard it with a single bounded
     /// solve instead of a full optimization.
     pub upper_bound: Option<usize>,
+    /// Use the incremental warm-oracle descent (the default). When `false`,
+    /// every bound probe builds a fresh solver from scratch — the historical
+    /// strategy, kept callable for conformance testing and benchmarking.
+    pub incremental: bool,
+    /// Share one warm solver across several minimize calls — the candidate
+    /// tuples of one explain, `Optσ` direction probes, aggregate groups, or
+    /// a repair request's validation searches. `None` uses a private warm
+    /// solver per call (still incremental within the call's own descent).
+    pub reuse: Option<SolverReuse>,
 }
 
 impl Default for MinOnesOptions {
@@ -40,6 +61,8 @@ impl Default for MinOnesOptions {
             max_theory_rejections: 10_000,
             binary_search: true,
             upper_bound: None,
+            incremental: true,
+            reuse: None,
         }
     }
 }
@@ -67,12 +90,65 @@ pub fn minimize_ones(
 /// Minimize with a theory callback: `accept` receives the set of true
 /// objective variables of a candidate model and may reject it; rejected
 /// candidates are excluded (blocked) and the search continues.
+///
+/// ## Theory-callback contract
+///
+/// The incremental descent caches theory rejections as blocking clauses in
+/// the warm solver, so the callback must be **deterministic** (the same set
+/// of true objective variables always gets the same verdict within one
+/// minimize call) and **side-effect-free on rejection** (observable state may
+/// change only when a model is accepted). Every in-tree caller satisfies
+/// this; a callback that needs to violate it must set
+/// [`MinOnesOptions::incremental`] to `false`. One deliberate edge: when the
+/// warm oracle proves a bound infeasible, the rejected models the
+/// from-scratch path would have re-enumerated at that bound are *not*
+/// re-presented to the callback, so rejection-budget exhaustion that the
+/// historical path could hit at an infeasible bound is reported as plain
+/// infeasibility instead.
 pub fn minimize_ones_with_theory<F>(
     formula: &Formula,
     objective: &[Var],
     options: &MinOnesOptions,
-    mut accept: F,
+    accept: F,
 ) -> Result<MinOnesSolution>
+where
+    F: FnMut(&[Var]) -> bool,
+{
+    let mut sink = SolverStats::default();
+    minimize_ones_with_theory_into(formula, objective, options, accept, &mut sink)
+}
+
+/// [`minimize_ones_with_theory`], folding solver statistics into `out` on
+/// **every** exit path — including `Unsatisfiable` and `BudgetExhausted`
+/// errors, whose partial work the plain variant's callers historically
+/// dropped, under-counting `--metrics` totals for aborted searches.
+pub fn minimize_ones_with_theory_into<F>(
+    formula: &Formula,
+    objective: &[Var],
+    options: &MinOnesOptions,
+    mut accept: F,
+    out: &mut SolverStats,
+) -> Result<MinOnesSolution>
+where
+    F: FnMut(&[Var]) -> bool,
+{
+    let mut stats = SolverStats::default();
+    let result = minimize_impl(formula, objective, options, &mut accept, &mut stats);
+    out.merge(&stats);
+    result.map(|true_vars| MinOnesSolution {
+        cost: true_vars.len(),
+        true_vars,
+        stats,
+    })
+}
+
+fn minimize_impl<F>(
+    formula: &Formula,
+    objective: &[Var],
+    options: &MinOnesOptions,
+    accept: &mut F,
+    stats: &mut SolverStats,
+) -> Result<Vec<Var>>
 where
     F: FnMut(&[Var]) -> bool,
 {
@@ -83,44 +159,179 @@ where
         .unwrap_or(0)
         .max(formula.max_var());
     let base_cnf = formula.to_cnf(num_vars);
-    let mut stats = SolverStats::default();
 
-    // Initial solve to obtain an upper bound on the cost (bounded from the
-    // start when the caller supplied one).
+    if !options.incremental {
+        return scratch_minimize(&base_cnf, objective, options, accept, stats);
+    }
+    match &options.reuse {
+        Some(handle) => {
+            let mut warm = handle.lock();
+            incremental_minimize(&mut warm, &base_cnf, objective, options, accept, stats)
+        }
+        None => {
+            let mut warm = IncrementalSolver::new(IncrementalConfig::default());
+            incremental_minimize(&mut warm, &base_cnf, objective, options, accept, stats)
+        }
+    }
+}
+
+/// The historical strategy: every probe is a fresh solver over a freshly
+/// encoded CNF. This is the reference the incremental path must match
+/// byte-for-byte, and the `scratch` leg of the `solver_incremental` bench
+/// comparison.
+fn scratch_minimize<F>(
+    base: &Cnf,
+    objective: &[Var],
+    options: &MinOnesOptions,
+    accept: &mut F,
+    stats: &mut SolverStats,
+) -> Result<Vec<Var>>
+where
+    F: FnMut(&[Var]) -> bool,
+{
     let first = solve_accepting(
-        &base_cnf,
+        base,
         objective,
         options.upper_bound,
         options.max_theory_rejections,
-        &mut accept,
-        &mut stats,
+        accept,
+        stats,
     )?;
-    let Some(mut best) = first else {
+    let Some(best) = first.accepted else {
         return Err(SolverError::Unsatisfiable);
     };
     if best.is_empty() {
-        return Ok(MinOnesSolution {
-            true_vars: best,
-            cost: 0,
-            stats,
-        });
+        return Ok(best);
     }
+    descend(
+        best,
+        options.binary_search,
+        &mut |target, accept, stats| {
+            solve_accepting(
+                base,
+                objective,
+                Some(target),
+                options.max_theory_rejections,
+                accept,
+                stats,
+            )
+            .map(|outcome| outcome.accepted)
+        },
+        accept,
+        stats,
+    )
+}
 
-    if options.binary_search {
+/// The incremental strategy: the initial solve either runs state-identically
+/// on the warm solver (unbounded) or stays on the scratch path (bounded — so
+/// upper-bound probe deaths cost exactly what they always did, with the warm
+/// block built lazily only for survivors); each descent probe then asks the
+/// warm feasibility oracle first and replays on the scratch path only when a
+/// model might exist.
+fn incremental_minimize<F>(
+    warm: &mut IncrementalSolver,
+    base: &Cnf,
+    objective: &[Var],
+    options: &MinOnesOptions,
+    accept: &mut F,
+    stats: &mut SolverStats,
+) -> Result<Vec<Var>>
+where
+    F: FnMut(&[Var]) -> bool,
+{
+    let best = match options.upper_bound {
+        None => {
+            warm.begin_problem(base, objective, stats);
+            let offset = warm.active_offset();
+            let outcome = accept_loop(
+                warm.solver_mut(),
+                objective,
+                offset,
+                options.max_theory_rejections,
+                accept,
+                stats,
+            )?;
+            warm.absorb_initial(outcome.pin, outcome.min_cost, &outcome.rejected);
+            match outcome.accepted {
+                Some(b) => b,
+                None => return Err(SolverError::Unsatisfiable),
+            }
+        }
+        Some(_) => {
+            let outcome = solve_accepting(
+                base,
+                objective,
+                options.upper_bound,
+                options.max_theory_rejections,
+                accept,
+                stats,
+            )?;
+            let Some(b) = outcome.accepted else {
+                return Err(SolverError::Unsatisfiable);
+            };
+            warm.begin_problem(base, objective, stats);
+            if let Some(c) = outcome.min_cost {
+                warm.note_feasible_cost(c);
+            }
+            warm.block_rejections(&outcome.rejected, stats);
+            b
+        }
+    };
+    if best.is_empty() {
+        return Ok(best);
+    }
+    descend(
+        best,
+        options.binary_search,
+        &mut |target, accept, stats| {
+            if warm.probe_feasible(target, stats) == Some(false) {
+                // Exact shortcut: the from-scratch probe would have solved to
+                // UNSAT and returned `None` without consulting the callback.
+                return Ok(None);
+            }
+            let outcome = solve_accepting(
+                base,
+                objective,
+                Some(target),
+                options.max_theory_rejections,
+                accept,
+                stats,
+            )?;
+            if let Some(c) = outcome.min_cost {
+                warm.note_feasible_cost(c);
+            }
+            warm.block_rejections(&outcome.rejected, stats);
+            Ok(outcome.accepted)
+        },
+        accept,
+        stats,
+    )
+}
+
+/// A bound probe: given a target cost, the acceptor, and the stats sink,
+/// either produce a model at or under the target or report infeasibility.
+type Probe<'a, F> = &'a mut dyn FnMut(usize, &mut F, &mut SolverStats) -> Result<Option<Vec<Var>>>;
+
+/// The shared descent driver. Both strategies walk the identical trajectory
+/// because the loop structure lives here and only the probe differs.
+fn descend<F>(
+    mut best: Vec<Var>,
+    binary_search: bool,
+    probe: Probe<'_, F>,
+    accept: &mut F,
+    stats: &mut SolverStats,
+) -> Result<Vec<Var>>
+where
+    F: FnMut(&[Var]) -> bool,
+{
+    if binary_search {
         // Invariant: a solution of cost `best.len()` exists; no solution of
         // cost < lo exists.
         let mut lo = 0usize;
         let mut hi = best.len();
         while lo < hi {
             let mid = (lo + hi) / 2;
-            match solve_accepting(
-                &base_cnf,
-                objective,
-                Some(mid),
-                options.max_theory_rejections,
-                &mut accept,
-                &mut stats,
-            )? {
+            match probe(mid, accept, stats)? {
                 Some(model) => {
                     hi = model.len().min(mid);
                     best = model;
@@ -134,31 +345,31 @@ where
         // Linear descent.
         while !best.is_empty() {
             let target = best.len() - 1;
-            match solve_accepting(
-                &base_cnf,
-                objective,
-                Some(target),
-                options.max_theory_rejections,
-                &mut accept,
-                &mut stats,
-            )? {
+            match probe(target, accept, stats)? {
                 Some(model) => best = model,
                 None => break,
             }
         }
     }
+    Ok(best)
+}
 
-    Ok(MinOnesSolution {
-        cost: best.len(),
-        true_vars: best,
-        stats,
-    })
+/// What one accept loop observed, beyond the accepted model itself: the
+/// rejected objective assignments (for scoped blocking in the warm solver),
+/// the cheapest Boolean cost of *any* model seen (for the feasibility
+/// cache), and the accepted full model (the only model safe to pin, since
+/// rejected ones are excluded by their own blocking clauses).
+struct AcceptOutcome {
+    accepted: Option<Vec<Var>>,
+    rejected: Vec<Vec<Var>>,
+    min_cost: Option<usize>,
+    pin: Option<Model>,
 }
 
 /// Solve the base CNF with an optional at-most-k bound over the objective,
 /// retrying (with blocking clauses) while the theory callback rejects models.
-/// Returns the true objective variables of an accepted model, or `None` if
-/// unsatisfiable under the bound.
+/// `accepted` holds the true objective variables of an accepted model, or
+/// `None` if unsatisfiable under the bound.
 fn solve_accepting<F>(
     base: &Cnf,
     objective: &[Var],
@@ -166,57 +377,83 @@ fn solve_accepting<F>(
     max_rejections: usize,
     accept: &mut F,
     stats: &mut SolverStats,
-) -> Result<Option<Vec<Var>>>
+) -> Result<AcceptOutcome>
 where
     F: FnMut(&[Var]) -> bool,
 {
-    let mut cnf = base.clone();
-    if let Some(k) = bound {
-        at_most_k_vars(&mut cnf, objective, k);
-    }
-    let mut solver = Solver::from_cnf(&cnf);
+    let mut solver = match bound {
+        Some(k) => {
+            let mut cnf = base.clone();
+            at_most_k_vars(&mut cnf, objective, k);
+            Solver::from_cnf(&cnf)
+        }
+        // Unbounded: solve the base directly, no clone needed.
+        None => Solver::from_cnf(base),
+    };
+    stats.merge(&solver.stats);
+    accept_loop(&mut solver, objective, 0, max_rejections, accept, stats)
+}
+
+/// The model/accept/block loop, shared by the scratch path (`offset` 0 on a
+/// fresh solver) and the warm solver's state-identical initial solve (the
+/// active block's variable offset). Merges the solver's counter delta into
+/// `stats` on **every** exit, errors included.
+fn accept_loop<F>(
+    solver: &mut Solver,
+    objective: &[Var],
+    offset: Var,
+    max_rejections: usize,
+    accept: &mut F,
+    stats: &mut SolverStats,
+) -> Result<AcceptOutcome>
+where
+    F: FnMut(&[Var]) -> bool,
+{
+    let entry = solver.stats;
     let mut rejections = 0usize;
-    loop {
-        match solver.solve(&[])? {
-            SatResult::Unsat => {
-                stats.merge(&solver.stats);
-                return Ok(None);
-            }
-            SatResult::Sat(model) => {
+    let mut outcome = AcceptOutcome {
+        accepted: None,
+        rejected: Vec::new(),
+        min_cost: None,
+        pin: None,
+    };
+    let result = loop {
+        match solver.solve(&[]) {
+            Err(e) => break Err(e),
+            Ok(SatResult::Unsat) => break Ok(()),
+            Ok(SatResult::Sat(model)) => {
                 let true_vars: Vec<Var> = objective
                     .iter()
                     .copied()
-                    .filter(|&v| model.value(v))
+                    .filter(|&v| model.value(v + offset))
                     .collect();
+                let cost = true_vars.len();
+                outcome.min_cost = Some(outcome.min_cost.map_or(cost, |c| c.min(cost)));
                 if accept(&true_vars) {
-                    stats.merge(&solver.stats);
-                    return Ok(Some(true_vars));
+                    outcome.pin = Some(model);
+                    outcome.accepted = Some(true_vars);
+                    break Ok(());
                 }
                 rejections += 1;
                 if rejections > max_rejections {
-                    stats.merge(&solver.stats);
-                    return Err(SolverError::BudgetExhausted {
+                    break Err(SolverError::BudgetExhausted {
                         budget: format!("{max_rejections} theory rejections"),
                     });
                 }
                 // Block this exact assignment of the objective variables.
                 let blocking: Vec<Lit> = objective
                     .iter()
-                    .map(|&v| {
-                        if model.value(v) {
-                            Lit::neg(v)
-                        } else {
-                            Lit::pos(v)
-                        }
-                    })
+                    .map(|&v| Lit::new(v + offset, !model.value(v + offset)))
                     .collect();
+                outcome.rejected.push(true_vars);
                 if !solver.add_clause(blocking) {
-                    stats.merge(&solver.stats);
-                    return Ok(None);
+                    break Ok(());
                 }
             }
         }
-    }
+    };
+    stats.merge(&solver.stats.diff(&entry));
+    result.map(|()| outcome)
 }
 
 #[cfg(test)]
@@ -235,13 +472,16 @@ mod tests {
             Formula::or(vec![v(2), v(3)]),
         ]);
         for binary in [true, false] {
-            let opts = MinOnesOptions {
-                binary_search: binary,
-                ..Default::default()
-            };
-            let sol = minimize_ones(&f, &[1, 2, 3], &opts).unwrap();
-            assert_eq!(sol.cost, 1);
-            assert_eq!(sol.true_vars, vec![2]);
+            for incremental in [true, false] {
+                let opts = MinOnesOptions {
+                    binary_search: binary,
+                    incremental,
+                    ..Default::default()
+                };
+                let sol = minimize_ones(&f, &[1, 2, 3], &opts).unwrap();
+                assert_eq!(sol.cost, 1);
+                assert_eq!(sol.true_vars, vec![2]);
+            }
         }
     }
 
@@ -332,5 +572,105 @@ mod tests {
         ]);
         let sol = minimize_ones(&f, &[1, 2, 3, 4], &MinOnesOptions::default()).unwrap();
         assert!(sol.stats.decisions + sol.stats.propagations > 0);
+    }
+
+    #[test]
+    fn into_variant_reports_stats_on_error_paths() {
+        // Unsatisfiable: the historical API dropped the solver's counters on
+        // this path; the `_into` variant must fold them into `out`.
+        let f = Formula::and(vec![
+            Formula::or(vec![v(1), v(2)]),
+            Formula::not(v(1)),
+            Formula::not(v(2)),
+        ]);
+        let mut out = SolverStats::default();
+        let err = minimize_ones_with_theory_into(
+            &f,
+            &[1, 2],
+            &MinOnesOptions::default(),
+            |_| true,
+            &mut out,
+        );
+        assert_eq!(err.unwrap_err(), SolverError::Unsatisfiable);
+        assert!(out.propagations > 0);
+
+        // Budget exhaustion likewise.
+        let g = Formula::or(vec![v(1), v(2)]);
+        let mut out2 = SolverStats::default();
+        let err2 = minimize_ones_with_theory_into(
+            &g,
+            &[1, 2],
+            &MinOnesOptions {
+                max_theory_rejections: 0,
+                ..Default::default()
+            },
+            |_| false,
+            &mut out2,
+        );
+        assert!(err2.is_err());
+        assert!(out2.decisions + out2.propagations > 0);
+    }
+
+    #[test]
+    fn incremental_matches_scratch_with_shared_reuse_handle() {
+        // Several minimize calls over one reuse handle must keep returning
+        // the same answers as independent from-scratch runs.
+        let handle = SolverReuse::fresh();
+        let problems = [
+            Formula::and(vec![
+                Formula::or(vec![v(1), v(2)]),
+                Formula::or(vec![v(2), v(3)]),
+            ]),
+            Formula::and(vec![
+                Formula::or(vec![v(1), v(2), v(3)]),
+                Formula::or(vec![Formula::not(v(1)), v(4)]),
+            ]),
+            Formula::or(vec![v(1), v(2)]),
+        ];
+        for f in &problems {
+            let vars: Vec<Var> = (1..=f.max_var()).collect();
+            let warm_opts = MinOnesOptions {
+                reuse: Some(handle.clone()),
+                ..Default::default()
+            };
+            let cold_opts = MinOnesOptions {
+                incremental: false,
+                ..Default::default()
+            };
+            let warm = minimize_ones(f, &vars, &warm_opts).unwrap();
+            let cold = minimize_ones(f, &vars, &cold_opts).unwrap();
+            assert_eq!(warm.true_vars, cold.true_vars);
+            assert_eq!(warm.cost, cold.cost);
+        }
+    }
+
+    #[test]
+    fn upper_bound_probe_matches_scratch() {
+        // Bounded probes (the Basic algorithm's candidate pruning) must agree
+        // with the scratch path both when they die and when they survive.
+        let f = Formula::and(vec![
+            Formula::or(vec![v(1), v(2)]),
+            Formula::or(vec![v(2), v(3)]),
+        ]);
+        for ub in [0usize, 1, 2] {
+            let warm_opts = MinOnesOptions {
+                upper_bound: Some(ub),
+                ..Default::default()
+            };
+            let cold_opts = MinOnesOptions {
+                upper_bound: Some(ub),
+                incremental: false,
+                ..Default::default()
+            };
+            let warm = minimize_ones(&f, &[1, 2, 3], &warm_opts);
+            let cold = minimize_ones(&f, &[1, 2, 3], &cold_opts);
+            match (warm, cold) {
+                (Ok(w), Ok(c)) => {
+                    assert_eq!(w.true_vars, c.true_vars);
+                    assert_eq!(w.cost, c.cost);
+                }
+                (w, c) => assert_eq!(w.is_err(), c.is_err()),
+            }
+        }
     }
 }

@@ -131,6 +131,35 @@ impl Solver {
         self.num_vars
     }
 
+    /// Number of clauses currently in the database (problem + learned +
+    /// blocking). The incremental layer uses this for its deterministic
+    /// reduction policy and for the `clauses_retained` accounting.
+    pub fn clause_count(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether a top-level (level-0) conflict has been derived, making the
+    /// clause database unconditionally unsatisfiable.
+    pub fn is_unsat(&self) -> bool {
+        self.unsat
+    }
+
+    /// Reset the VSIDS bump increment to its initial scale. A warm solver
+    /// that takes on a fresh block of variables calls this so branching over
+    /// the new block behaves exactly like a fresh solver would (activities of
+    /// the new variables start at zero either way; only the increment scale
+    /// carries history).
+    pub(crate) fn reset_branching_scale(&mut self) {
+        self.var_inc = 1.0;
+    }
+
+    /// Allocate a fresh, unconstrained variable.
+    pub(crate) fn fresh_var(&mut self) -> Var {
+        let v = self.num_vars + 1;
+        self.ensure_vars(v);
+        v
+    }
+
     /// Grow the variable space to at least `num_vars`.
     pub fn ensure_vars(&mut self, num_vars: Var) {
         if num_vars <= self.num_vars {
@@ -195,6 +224,8 @@ impl Solver {
                 self.watch(simplified[0], idx);
                 self.watch(simplified[1], idx);
                 self.clauses.push(simplified);
+                self.stats.clause_db_size =
+                    self.stats.clause_db_size.max(self.clauses.len() as u64);
                 true
             }
         }
@@ -434,6 +465,9 @@ impl Solver {
         if self.unsat {
             return Ok(SatResult::Unsat);
         }
+        if !assumptions.is_empty() {
+            self.stats.assumption_solves += 1;
+        }
         self.backtrack_to(0);
         if self.propagate().is_some() {
             self.unsat = true;
@@ -503,6 +537,8 @@ impl Solver {
                         self.watch(learned[1], idx);
                         self.clauses.push(learned);
                         self.stats.learned_clauses += 1;
+                        self.stats.clause_db_size =
+                            self.stats.clause_db_size.max(self.clauses.len() as u64);
                         if !self.enqueue(asserting, Some(idx)) {
                             // The asserting literal is already false at the
                             // backtrack level: the assumptions are inconsistent.

@@ -1,0 +1,239 @@
+//! Property suite: the incremental solving layer must be **answer-identical**
+//! to from-scratch minimization — same optimal cost, same model, same error
+//! verdicts — across seeded random formulas, theory-rejection paths,
+//! `upper_bound` paths, and pooled sequential problems sharing one warm
+//! solver. This is the executable form of the determinism contract documented
+//! on `minimize_ones_with_theory`.
+
+use ratest_solver::minones::{minimize_ones_with_theory_into, MinOnesOptions};
+use ratest_solver::{Formula, SolverReuse, SolverStats, Var};
+
+/// Deterministic xorshift64* PRNG so the suite needs no external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// A random CNF-shaped formula: `num_clauses` disjunctions of 1–3 literals
+/// over variables `1..=num_vars` (variables are numbered from 1), signs and
+/// variables drawn from `rng`.
+fn random_formula(rng: &mut Rng, num_vars: Var, num_clauses: usize) -> Formula {
+    let mut clauses = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let width = 1 + rng.below(3) as usize;
+        let mut lits = Vec::with_capacity(width);
+        for _ in 0..width {
+            let v = 1 + rng.below(num_vars as u64) as Var;
+            let var = Formula::var(v);
+            lits.push(if rng.chance(50) {
+                Formula::not(var)
+            } else {
+                var
+            });
+        }
+        clauses.push(Formula::or(lits));
+    }
+    Formula::and(clauses)
+}
+
+/// A comparable outcome: either `(cost, model)` or the error's debug string.
+type Outcome = std::result::Result<(usize, Vec<Var>), String>;
+
+fn run<F>(formula: &Formula, objective: &[Var], options: &MinOnesOptions, accept: F) -> Outcome
+where
+    F: FnMut(&[Var]) -> bool,
+{
+    let mut stats = SolverStats::default();
+    match minimize_ones_with_theory_into(formula, objective, options, accept, &mut stats) {
+        Ok(sol) => Ok((sol.cost, sol.true_vars)),
+        Err(e) => Err(format!("{e:?}")),
+    }
+}
+
+/// Run the same problem from scratch and incrementally (through `reuse` when
+/// given) and insist the outcomes are byte-identical.
+fn assert_equivalent<F>(
+    formula: &Formula,
+    objective: &[Var],
+    base: &MinOnesOptions,
+    reuse: Option<&SolverReuse>,
+    mut accept: F,
+    context: &str,
+) -> Outcome
+where
+    F: FnMut(&[Var]) -> bool,
+{
+    let scratch_options = MinOnesOptions {
+        incremental: false,
+        reuse: None,
+        ..base.clone()
+    };
+    let incremental_options = MinOnesOptions {
+        incremental: true,
+        reuse: reuse.cloned(),
+        ..base.clone()
+    };
+    let scratch = run(formula, objective, &scratch_options, &mut accept);
+    let incremental = run(formula, objective, &incremental_options, &mut accept);
+    assert_eq!(
+        incremental, scratch,
+        "incremental and scratch outcomes diverged ({context})"
+    );
+    scratch
+}
+
+#[test]
+fn incremental_matches_scratch_on_seeded_formulas() {
+    for seed in 0..40u64 {
+        let mut rng = Rng::new(seed);
+        let num_vars = 4 + rng.below(7) as Var;
+        let num_clauses = num_vars as usize + rng.below(8) as usize;
+        let formula = random_formula(&mut rng, num_vars, num_clauses);
+        let objective: Vec<Var> = (1..=num_vars).collect();
+        for binary_search in [true, false] {
+            let options = MinOnesOptions {
+                binary_search,
+                ..Default::default()
+            };
+            let _ = assert_equivalent(
+                &formula,
+                &objective,
+                &options,
+                None,
+                |_| true,
+                &format!("seed {seed}, binary_search {binary_search}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn theory_rejection_paths_match() {
+    for seed in 0..40u64 {
+        let mut rng = Rng::new(0xDEAD ^ seed);
+        let num_vars = 5 + rng.below(6) as Var;
+        let num_clauses = num_vars as usize + rng.below(6) as usize;
+        let formula = random_formula(&mut rng, num_vars, num_clauses);
+        let objective: Vec<Var> = (1..=num_vars).collect();
+        // A pure theory: reject models whose true-variable sum is divisible
+        // by 3 (deterministic, side-effect-free, depends only on the set).
+        let theory = |true_vars: &[Var]| true_vars.iter().sum::<Var>() % 3 != 0;
+        for binary_search in [true, false] {
+            let options = MinOnesOptions {
+                binary_search,
+                ..Default::default()
+            };
+            let _ = assert_equivalent(
+                &formula,
+                &objective,
+                &options,
+                None,
+                theory,
+                &format!("seed {seed}, binary_search {binary_search}, with theory"),
+            );
+        }
+    }
+}
+
+#[test]
+fn upper_bound_paths_match() {
+    for seed in 0..25u64 {
+        let mut rng = Rng::new(0xBEEF ^ seed);
+        let num_vars = 4 + rng.below(6) as Var;
+        let num_clauses = num_vars as usize + rng.below(6) as usize;
+        let formula = random_formula(&mut rng, num_vars, num_clauses);
+        let objective: Vec<Var> = (1..=num_vars).collect();
+        // Sweep bounds from over-tight (often Unsatisfiable) to slack; the
+        // error verdicts must match exactly, not just the successes.
+        for upper_bound in 0..=num_vars as usize {
+            let options = MinOnesOptions {
+                upper_bound: Some(upper_bound),
+                ..Default::default()
+            };
+            let _ = assert_equivalent(
+                &formula,
+                &objective,
+                &options,
+                None,
+                |true_vars: &[Var]| true_vars.first().copied().unwrap_or(1) % 2 != 0,
+                &format!("seed {seed}, upper_bound {upper_bound}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn pooled_sequential_problems_match_scratch() {
+    // One warm solver carried across a stream of unrelated problems — the
+    // shape of the per-candidate loop in `Basic` and of cohort grading. Every
+    // individual answer must still equal its from-scratch twin.
+    let reuse = SolverReuse::fresh();
+    let mut best_cost: Option<usize> = None;
+    for seed in 0..30u64 {
+        let mut rng = Rng::new(0xC0FFEE ^ seed);
+        let num_vars = 4 + rng.below(7) as Var;
+        let num_clauses = num_vars as usize + rng.below(8) as usize;
+        let formula = random_formula(&mut rng, num_vars, num_clauses);
+        let objective: Vec<Var> = (1..=num_vars).collect();
+        // Mimic Basic's tightening upper bound: only beat the best so far.
+        let options = MinOnesOptions {
+            upper_bound: best_cost.map(|c| c.saturating_sub(1)),
+            ..Default::default()
+        };
+        let outcome = assert_equivalent(
+            &formula,
+            &objective,
+            &options,
+            Some(&reuse),
+            |true_vars: &[Var]| true_vars.len() != 1 || true_vars[0] % 5 != 4,
+            &format!("pooled seed {seed}"),
+        );
+        if let Ok((cost, _)) = outcome {
+            best_cost = Some(best_cost.map_or(cost, |b| b.min(cost)));
+        }
+    }
+    assert!(
+        best_cost.is_some(),
+        "workload should have solved at least one pooled problem"
+    );
+}
+
+#[test]
+fn incremental_reuse_counters_move() {
+    // Sanity on the new telemetry: a warm solve across two problems must
+    // record assumption solves and incremental reuses.
+    let reuse = SolverReuse::fresh();
+    let mut stats = SolverStats::default();
+    for seed in [3u64, 4u64] {
+        let mut rng = Rng::new(seed);
+        let formula = random_formula(&mut rng, 8, 14);
+        let objective: Vec<Var> = (1..=8).collect();
+        let options = MinOnesOptions {
+            reuse: Some(reuse.clone()),
+            ..Default::default()
+        };
+        let _ =
+            minimize_ones_with_theory_into(&formula, &objective, &options, |_| true, &mut stats);
+    }
+    assert!(stats.propagations > 0, "warm solves must be counted");
+}
