@@ -1,7 +1,7 @@
 //! `ratest-bench` — the committed perf trajectory.
 //!
-//! Measures five end-to-end shapes and emits one schema-versioned JSON
-//! document (`ratest-bench/3`):
+//! Measures six end-to-end shapes and emits one schema-versioned JSON
+//! document (`ratest-bench/4`):
 //!
 //! * `search_latency` — counterexample-search latency over the course
 //!   workload, bucketed by the algorithm the pipeline dispatched to,
@@ -9,6 +9,11 @@
 //!   (the warm pass must be answered entirely from the verdict cache),
 //! * `serve_roundtrip` — a scripted `grade serve` conversation driven
 //!   in-process,
+//! * `serve_load` — a synthetic semester replayed through the v3 daemon:
+//!   all 8 course questions, generated cohorts, a resubmission flood, a
+//!   warm-state cap and a persistent verdict store. Two fresh runs must be
+//!   byte-identical, warm state must stay under the cap throughout, and a
+//!   restarted daemon reusing the store must re-grade with zero searches,
 //! * `repair_latency` — provenance-directed repair over every wrong course
 //!   pair that yields a counterexample (enumerate → rank → validate),
 //! * `solver_incremental` — the same course workload solved twice, once on
@@ -45,12 +50,13 @@ use std::time::{Duration, Instant};
 
 /// Schema identifier; bump on any shape change (`BENCH_SCHEMA.md` documents
 /// the format).
-const SCHEMA: &str = "ratest-bench/3";
+const SCHEMA: &str = "ratest-bench/4";
 /// The section names, in document order; `--check` requires all of them.
-const SECTIONS: [&str; 5] = [
+const SECTIONS: [&str; 6] = [
     "search_latency",
     "grade_throughput",
     "serve_roundtrip",
+    "serve_load",
     "repair_latency",
     "solver_incremental",
 ];
@@ -223,6 +229,7 @@ fn grade_throughput(quick: bool) -> Section {
         per_job_timeout: Duration::ZERO,
         options: Default::default(),
         repair: None,
+        warm_cap: None,
     });
     let cold_start = Instant::now();
     let cold = grader
@@ -480,12 +487,207 @@ fn serve_roundtrip() -> Section {
     }
 }
 
+/// Build the synthetic-semester NDJSON transcript: per course question a
+/// `prepare`, the generated cohort's grades (rendered back to RA surface
+/// syntax), and a per-reference `stats` probe taken *before* the next
+/// prepare can evict the reference; question 3 additionally gets an
+/// adversarial flood of one duplicated wrong answer. Ends with daemon-scope
+/// `stats`, `sync` and `shutdown`.
+fn semester_script(class_size: usize, db_tuples: usize) -> (String, i64) {
+    let mut script = String::from("{\"cmd\":\"hello\"}\n");
+    let mut grades = 0i64;
+    for q in 1..=8usize {
+        let cohort = generate_cohort(&CohortConfig {
+            question: q,
+            class_size,
+            db_tuples,
+            seed: 7,
+            ..Default::default()
+        });
+        script.push_str(
+            &Json::obj(vec![
+                ("cmd", Json::str("prepare")),
+                ("ref", Json::str(format!("q{q}"))),
+                ("question", Json::Int(q as i64)),
+                ("db_tuples", Json::Int(db_tuples as i64)),
+                ("seed", Json::Int(7)),
+            ])
+            .render(),
+        );
+        script.push('\n');
+        let grade_line = |id: String, author: &str, query: &ratest_ra::ast::Query| {
+            Json::obj(vec![
+                ("cmd", Json::str("grade")),
+                ("ref", Json::str(format!("q{q}"))),
+                ("id", Json::str(id)),
+                ("author", Json::str(author)),
+                ("lang", Json::str("ra")),
+                (
+                    "source",
+                    Json::str(ratest_ra::display::to_surface_string(query)),
+                ),
+            ])
+            .render()
+        };
+        for s in &cohort.submissions {
+            script.push_str(&grade_line(format!("q{q}-{}", s.id), &s.author, &s.query));
+            script.push('\n');
+            grades += 1;
+        }
+        if q == 3 {
+            // The flood: one wrong answer resubmitted over and over — the
+            // daemon must answer every copy (dedup, not drop).
+            let wrong = cohort
+                .submissions
+                .iter()
+                .find(|s| s.query != cohort.reference)
+                .expect("a generated cohort contains wrong answers");
+            for i in 0..10 {
+                script.push_str(&grade_line(
+                    format!("q3-flood-{i:02}"),
+                    "flood",
+                    &wrong.query,
+                ));
+                script.push('\n');
+                grades += 1;
+            }
+        }
+        script.push_str(&format!("{{\"cmd\":\"stats\",\"ref\":\"q{q}\"}}\n"));
+    }
+    script.push_str("{\"cmd\":\"stats\"}\n{\"cmd\":\"sync\"}\n{\"cmd\":\"shutdown\"}\n");
+    (script, grades)
+}
+
+/// Semester-scale serving under load (the ISSUE 9 harness): replay the
+/// synthetic semester through `serve_with` with a warm-state cap of 4 refs
+/// and an on-disk verdict store. Pins three contracts as hard asserts:
+/// byte-identical output across two fresh runs, warm state bounded by the
+/// cap at every point in the conversation, and a restarted daemon reusing
+/// the first run's store re-grading the whole semester with zero
+/// counterexample searches.
+fn serve_load(quick: bool) -> Section {
+    use ratest_grader::serve::{serve_with, ServeConfig};
+
+    let (class_size, db_tuples) = if quick { (6, 24) } else { (16, 40) };
+    let warm_cap = 4usize;
+    let (script, grades) = semester_script(class_size, db_tuples);
+    let dir = std::env::temp_dir().join(format!("ratest-bench-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir for the serve_load store");
+
+    let run_leg = |cache: std::path::PathBuf| {
+        let out = SharedBuf::default();
+        let start = Instant::now();
+        serve_with(
+            script.as_bytes(),
+            out.clone(),
+            ServeConfig {
+                threads: 1,
+                warm_cap: Some(warm_cap),
+                cache: Some(cache),
+                admit_timeout_ms: 30_000,
+            },
+        )
+        .expect("serve_load leg");
+        let wall = start.elapsed();
+        let text = String::from_utf8(out.0.lock().unwrap().clone()).expect("UTF-8 output");
+        (text, wall)
+    };
+
+    let (cold, cold_wall) = run_leg(dir.join("semester.rvc"));
+    let (cold2, _) = run_leg(dir.join("semester2.rvc"));
+    assert_eq!(
+        cold, cold2,
+        "two fresh semester replays must be byte-identical"
+    );
+    // The restart: a brand-new daemon on the *first* run's store file.
+    let (restart, restart_wall) = run_leg(dir.join("semester.rvc"));
+
+    let parse_leg = |text: &str| {
+        let docs: Vec<Json> = text
+            .lines()
+            .map(|l| Json::parse(l).expect("daemon emits JSON lines"))
+            .collect();
+        let field = |d: &Json, name: &str| d.get(name).and_then(Json::as_i64).unwrap_or(0);
+        let searches: i64 = docs
+            .iter()
+            .filter(|d| {
+                d.get("cmd").and_then(Json::as_str) == Some("stats") && d.get("ref").is_some()
+            })
+            .map(|d| field(d, "searches"))
+            .sum();
+        let cold_grades = docs
+            .iter()
+            .filter(|d| {
+                d.get("cmd").and_then(Json::as_str) == Some("grade")
+                    && d.get("from_cache").and_then(Json::as_bool) == Some(false)
+            })
+            .count() as i64;
+        let max_warm_refs = docs
+            .iter()
+            .map(|d| field(d, "warm_refs"))
+            .max()
+            .unwrap_or(0);
+        let daemon = docs
+            .iter()
+            .find(|d| d.get("scope").and_then(Json::as_str) == Some("daemon"))
+            .expect("daemon-scope stats reply");
+        (
+            docs.len() as i64,
+            searches,
+            cold_grades,
+            max_warm_refs,
+            field(daemon, "evictions"),
+            field(daemon, "warm_refs"),
+            field(daemon, "persisted"),
+        )
+    };
+    let (responses, cold_searches, _, max_warm_refs, evictions, warm_refs, persisted) =
+        parse_leg(&cold);
+    let (_, restart_searches, restart_cold_grades, ..) = parse_leg(&restart);
+
+    assert!(
+        max_warm_refs as usize <= warm_cap,
+        "warm state exceeded the cap: {max_warm_refs} refs vs --warm-cap {warm_cap}"
+    );
+    assert_eq!(
+        restart_searches, 0,
+        "a restarted daemon on a populated store must re-grade search-free"
+    );
+    assert_eq!(
+        restart_cold_grades, 0,
+        "every restarted-daemon verdict must come from warm state"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut counters = BTreeMap::new();
+    counters.insert("serve_load.questions".into(), 8);
+    counters.insert("serve_load.requests".into(), script.lines().count() as i64);
+    counters.insert("serve_load.responses".into(), responses);
+    counters.insert("serve_load.grades".into(), grades);
+    counters.insert("serve_load.cold_searches".into(), cold_searches);
+    counters.insert("serve_load.restart_searches".into(), restart_searches);
+    counters.insert("serve_load.warm_cap".into(), warm_cap as i64);
+    counters.insert("serve_load.max_warm_refs".into(), max_warm_refs);
+    counters.insert("serve_load.final_warm_refs".into(), warm_refs);
+    counters.insert("serve_load.evictions".into(), evictions);
+    counters.insert("serve_load.persisted".into(), persisted);
+    Section {
+        counters,
+        volatile: vec![
+            ("cold_ms", Json::Float(ms(cold_wall))),
+            ("restart_ms", Json::Float(ms(restart_wall))),
+        ],
+    }
+}
+
 /// Run every section and assemble the document.
 fn run(quick: bool, include_volatile: bool) -> Json {
     let sections = vec![
         ("search_latency".to_string(), search_latency(quick)),
         ("grade_throughput".to_string(), grade_throughput(quick)),
         ("serve_roundtrip".to_string(), serve_roundtrip()),
+        ("serve_load".to_string(), serve_load(quick)),
         ("repair_latency".to_string(), repair_latency(quick)),
         ("solver_incremental".to_string(), solver_incremental()),
     ];

@@ -53,13 +53,20 @@
 //! ## Serve mode: a persistent grading daemon
 //!
 //! ```text
-//! grade serve
+//! grade serve [--threads N] [--warm-cap N] [--cache PATH.rvc]
+//!             [--admit-timeout-ms N]
 //! ```
 //!
 //! Speaks the versioned `ratest-serve` NDJSON protocol over stdin/stdout:
 //! `prepare` a reference once, then `grade` submissions interactively with
 //! warm per-reference state (a re-grade performs zero counterexample
-//! searches). See `ratest_grader::serve` for the protocol reference.
+//! searches). `--threads` grades that many requests concurrently (with
+//! admission control — an over-capacity request waits at most
+//! `--admit-timeout-ms` before being rejected with an overload verdict),
+//! `--warm-cap` LRU-evicts warm references beyond the cap, and `--cache`
+//! persists verdicts to the same store `grade --cache` uses, so a restarted
+//! daemon warm-starts. See `ratest_grader::serve` for the protocol
+//! reference.
 //!
 //! ## Merge mode: fuse shard artifacts into the class report
 //!
@@ -96,8 +103,9 @@ const USAGE: &str = "usage: grade <DIR> --reference <N|path.sql|path.ra> \
      [--db-tuples N] [--seed N] [--workers N] [--timeout-ms N] \
      [--param name=value]... [--json PATH] [--explain ID] [--diagnostics] \
      [--suggest] [--shard i/N | --spawn N] [--cache PATH.rvc] \
-     [--metrics PATH.json] [--trace PATH.ndjson]\n\
-       grade serve\n\
+     [--metrics PATH.json] [--trace PATH.ndjson] [--warm-cap N]\n\
+       grade serve [--threads N] [--warm-cap N] [--cache PATH.rvc] \
+     [--admit-timeout-ms N]\n\
        grade fmt <file.ra>... [--write]\n\
        grade merge <shard.json>... [--json MERGED.json] \
      [--cache-in shard.rvc]... [--cache MERGED.rvc]\n\
@@ -134,6 +142,9 @@ struct Args {
     trace_path: Option<String>,
     /// Enrich wrong verdicts with provenance-directed repair suggestions.
     suggest: bool,
+    /// Cap on warm per-context sessions held by the engine (LRU-evicted
+    /// beyond it); `None` = unbounded.
+    warm_cap: Option<usize>,
 }
 
 /// Arguments of the `merge` subcommand.
@@ -184,6 +195,31 @@ fn parse_merge_args(rest: impl Iterator<Item = String>) -> Result<MergeArgs, Str
     Ok(args)
 }
 
+/// Parse the flags of the `serve` subcommand into a [`ServeConfig`].
+///
+/// [`ServeConfig`]: ratest_grader::serve::ServeConfig
+fn parse_serve_args(
+    rest: impl Iterator<Item = String>,
+) -> Result<ratest_grader::serve::ServeConfig, String> {
+    let mut config = ratest_grader::serve::ServeConfig::default();
+    let mut it = rest;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--threads" => config.threads = parse::<usize>(&value("--threads")?)?.max(1),
+            "--warm-cap" => config.warm_cap = Some(parse(&value("--warm-cap")?)?),
+            "--cache" => config.cache = Some(PathBuf::from(value("--cache")?)),
+            "--admit-timeout-ms" => config.admit_timeout_ms = parse(&value("--admit-timeout-ms")?)?,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown serve flag: {other}")),
+        }
+    }
+    Ok(config)
+}
+
 fn parse_args(rest: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         dir: None,
@@ -203,6 +239,7 @@ fn parse_args(rest: impl Iterator<Item = String>) -> Result<Args, String> {
         metrics_path: None,
         trace_path: None,
         suggest: false,
+        warm_cap: None,
     };
     let mut it = rest;
     while let Some(flag) = it.next() {
@@ -237,6 +274,7 @@ fn parse_args(rest: impl Iterator<Item = String>) -> Result<Args, String> {
             "--metrics" => args.metrics_path = Some(value("--metrics")?),
             "--trace" => args.trace_path = Some(value("--trace")?),
             "--suggest" => args.suggest = true,
+            "--warm-cap" => args.warm_cap = Some(parse(&value("--warm-cap")?)?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -643,8 +681,16 @@ fn main() -> ExitCode {
             return run_fmt(&files, write);
         }
         Some("serve") => {
+            argv.next();
+            let config = match parse_serve_args(argv) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("grade: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let stdin = std::io::stdin();
-            return match ratest_grader::serve::serve(stdin.lock(), std::io::stdout()) {
+            return match ratest_grader::serve::serve_with(stdin.lock(), std::io::stdout(), config) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("grade: serve transport error: {e}");
@@ -691,6 +737,7 @@ fn main() -> ExitCode {
         per_job_timeout: Duration::from_millis(args.timeout_ms),
         options,
         repair: args.suggest.then(ratest_repair::RepairOptions::default),
+        warm_cap: args.warm_cap,
     });
 
     // Seed the engine from the persistent verdict cache, remembering which

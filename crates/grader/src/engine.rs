@@ -20,8 +20,18 @@ use ratest_telemetry::{MetricsHandle, MetricsRegistry, MetricsSnapshot};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Lock a mutex, recovering from poisoning. A panicking worker already
+/// surfaces its own failure as a [`Verdict::Error`] (via `catch_unwind` in
+/// `grade_one`); the cache/session maps it touched are plain inserts that
+/// are either fully applied or not at all, so the data behind a poisoned
+/// lock is still consistent. Propagating the poison instead would let one
+/// failed request take down every subsequent one — fatal for a daemon.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Configuration of the grading engine.
 #[derive(Debug, Clone)]
@@ -39,6 +49,13 @@ pub struct GraderConfig {
     /// suggestion-free; per-request opt-in is available through
     /// [`Grader::respond_prepared_with`].
     pub repair: Option<RepairOptions>,
+    /// Maximum number of warm per-context sessions held at once; `None` is
+    /// unbounded (the batch default). When the cap is exceeded the
+    /// least-recently-used session is evicted (`grader.session_evictions`
+    /// counts them, `grader.warm_sessions` tracks the real current size).
+    /// A [`GradeContext`] handle whose session was evicted answers
+    /// [`GraderError::UnknownContext`] — re-prepare it to warm it again.
+    pub warm_cap: Option<usize>,
 }
 
 impl Default for GraderConfig {
@@ -48,6 +65,7 @@ impl Default for GraderConfig {
             per_job_timeout: Duration::from_secs(30),
             options: RatestOptions::default(),
             repair: None,
+            warm_cap: None,
         }
     }
 }
@@ -83,6 +101,15 @@ impl std::fmt::Display for GraderError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GradeContext(u64);
 
+impl GradeContext {
+    /// The raw context key — the same value persisted in
+    /// [`crate::store::CacheEntry::context`], so servers can filter a
+    /// loaded store down to the entries that belong to this context.
+    pub fn key(&self) -> u64 {
+        self.0
+    }
+}
+
 impl std::error::Error for GraderError {}
 
 /// The batch grading engine. One instance carries a fingerprint → verdict
@@ -98,15 +125,95 @@ pub struct Grader {
     /// options, so one engine can serve multiple assignments without
     /// leaking verdicts between them.
     cache: Mutex<HashMap<(u64, u64), Verdict>>,
-    /// Warm per-context sessions (context key → prepared session). This is
-    /// what makes a served re-grade — and the second batch of a long-lived
+    /// Warm per-context sessions (context key → prepared session, with an
+    /// access stamp for LRU eviction under `config.warm_cap`). This is what
+    /// makes a served re-grade — and the second batch of a long-lived
     /// daemon — skip reference preparation entirely.
-    sessions: Mutex<HashMap<u64, Arc<GradingSession>>>,
+    sessions: Mutex<SessionLru>,
+    /// Counterexample searches currently running, keyed like the cache.
+    /// Concurrent requests for the same key single-flight: one leader runs
+    /// the search, everyone else waits on the [`Flight`] and reuses the
+    /// verdict — so a duplicate flood costs exactly one search and the
+    /// cache-hit/miss counters stay deterministic under concurrency.
+    inflight: Mutex<HashMap<(u64, u64), Arc<Flight>>>,
     /// One registry for the whole engine: grading-layer counters
     /// (`grader.searches`, `grader.cache_hits`, …) land next to the
     /// pipeline/solver/evaluator counters because the same registry is wired
     /// into every session via `config.options.metrics`.
     metrics: Arc<MetricsRegistry>,
+}
+
+/// The warm-session map with clock-stamped LRU bookkeeping. Eviction is an
+/// O(n) min-stamp scan — n is bounded by `warm_cap`, which is small (it
+/// exists precisely because sessions are big).
+#[derive(Debug, Default)]
+struct SessionLru {
+    map: HashMap<u64, (Arc<GradingSession>, u64)>,
+    clock: u64,
+}
+
+impl SessionLru {
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Look up a context and mark it most-recently-used.
+    fn touch(&mut self, key: u64) -> Option<Arc<GradingSession>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&key).map(|slot| {
+            slot.1 = clock;
+            slot.0.clone()
+        })
+    }
+
+    /// Insert (first writer wins) and mark most-recently-used.
+    fn insert(&mut self, key: u64, warm: Arc<GradingSession>) -> Arc<GradingSession> {
+        self.clock += 1;
+        let clock = self.clock;
+        let slot = self.map.entry(key).or_insert((warm, clock));
+        slot.1 = clock;
+        slot.0.clone()
+    }
+
+    /// Evict least-recently-used entries until at most `cap` remain;
+    /// returns how many were evicted. The entry just touched carries the
+    /// newest stamp, so it is never the victim.
+    fn evict_over(&mut self, cap: usize) -> u64 {
+        let mut evicted = 0;
+        while self.map.len() > cap.max(1) {
+            let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(&k, _)| k)
+            else {
+                break;
+            };
+            self.map.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// One in-flight counterexample search: the leader publishes the verdict
+/// into `done` and notifies; followers wait instead of duplicating the
+/// search.
+#[derive(Debug, Default)]
+struct Flight {
+    done: Mutex<Option<Verdict>>,
+    cv: Condvar,
+}
+
+/// What [`Grader::claim_flight`] found for a cache-missed key.
+enum Claim {
+    /// A racing leader finished in the meantime: the verdict is cached now.
+    Cached(Verdict),
+    /// This request runs the search and publishes the result.
+    Leader(Arc<Flight>),
+    /// Another request is already searching this key; wait for it.
+    Follower(Arc<Flight>),
 }
 
 impl Default for Grader {
@@ -146,7 +253,8 @@ impl Grader {
         Grader {
             config,
             cache: Mutex::new(HashMap::new()),
-            sessions: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(SessionLru::default()),
+            inflight: Mutex::new(HashMap::new()),
             metrics,
         }
     }
@@ -169,7 +277,7 @@ impl Grader {
 
     /// Number of fingerprints in the cross-batch verdict cache.
     pub fn cached_verdicts(&self) -> usize {
-        self.cache.lock().map(|c| c.len()).unwrap_or(0)
+        lock(&self.cache).len()
     }
 
     /// Seed the in-memory verdict cache from a persistent store (see
@@ -180,7 +288,7 @@ impl Grader {
         &self,
         entries: impl IntoIterator<Item = crate::store::CacheEntry>,
     ) -> usize {
-        let mut cache = self.cache.lock().expect("grader cache poisoned");
+        let mut cache = lock(&self.cache);
         let mut inserted = 0;
         for e in entries {
             // Timeouts are never cached in memory; refuse them from disk
@@ -201,7 +309,7 @@ impl Grader {
     /// Snapshot the cross-batch verdict cache as persistable entries, sorted
     /// by `(context, fingerprint)` so the snapshot is deterministic.
     pub fn cache_entries(&self) -> Vec<crate::store::CacheEntry> {
-        let cache = self.cache.lock().expect("grader cache poisoned");
+        let cache = lock(&self.cache);
         let mut out: Vec<crate::store::CacheEntry> = cache
             .iter()
             .map(
@@ -267,7 +375,7 @@ impl Grader {
         let mut verdicts: HashMap<u64, (Verdict, Duration, bool)> = HashMap::new();
         let mut jobs: VecDeque<Job> = VecDeque::new();
         {
-            let cache = self.cache.lock().expect("grader cache poisoned");
+            let cache = lock(&self.cache);
             for g in &groups {
                 match cache.get(&(context, g.fingerprint)) {
                     Some(v) => {
@@ -300,7 +408,7 @@ impl Grader {
                     }
                 }
                 if !upgraded.is_empty() {
-                    let mut cache = self.cache.lock().expect("grader cache poisoned");
+                    let mut cache = lock(&self.cache);
                     for (fp, v) in upgraded {
                         cache.insert((context, fp), v);
                     }
@@ -323,15 +431,18 @@ impl Grader {
             "grader.dedup_hits",
             (submissions.len() - groups.len()) as u64,
         );
+        // A real occupancy gauge, not a high-water mark: it is set to the
+        // queue length here and decremented as workers pop jobs, so a
+        // drained batch reads 0 (pinned by the conformance suite).
         self.metrics
-            .gauge_max("grader.queue_depth", pipeline_runs as i64);
+            .gauge_set("grader.queue_depth", pipeline_runs as i64);
 
         // Grade the distinct jobs on a bounded worker pool.
         self.metrics
             .counter_add("grader.searches", pipeline_runs as u64);
-        let fresh = run_jobs(jobs, warm.clone(), &self.config);
+        let fresh = run_jobs(jobs, warm.clone(), &self.config, &self.metrics);
         {
-            let mut cache = self.cache.lock().expect("grader cache poisoned");
+            let mut cache = lock(&self.cache);
             for (fp, (v, _)) in &fresh {
                 // Timeout verdicts are load-dependent: caching them would
                 // make a transient stall permanent and defeat regrading with
@@ -399,13 +510,8 @@ impl Grader {
         db: &Database,
     ) -> Result<(u64, Arc<GradingSession>), GraderError> {
         let context = self.context_key(reference, db);
-        if let Some(warm) = self
-            .sessions
-            .lock()
-            .expect("grader session cache poisoned")
-            .get(&context)
-        {
-            return Ok((context, warm.clone()));
+        if let Some(warm) = lock(&self.sessions).touch(context) {
+            return Ok((context, warm));
         }
         // Built outside the lock: preparation evaluates + annotates the
         // reference, which can be slow, and a second thread racing to the
@@ -419,8 +525,17 @@ impl Grader {
             reference: handle,
         });
         let warm = {
-            let mut sessions = self.sessions.lock().expect("grader session cache poisoned");
-            let warm = sessions.entry(context).or_insert(warm).clone();
+            let mut sessions = lock(&self.sessions);
+            let warm = sessions.insert(context, warm);
+            if let Some(cap) = self.config.warm_cap {
+                let evicted = sessions.evict_over(cap);
+                if evicted > 0 {
+                    self.metrics
+                        .counter_add("grader.session_evictions", evicted);
+                }
+            }
+            // Set on insert *and* after eviction: the gauge is the real
+            // current occupancy, not a high-water mark.
             self.metrics
                 .gauge_set("grader.warm_sessions", sessions.len() as i64);
             warm
@@ -439,17 +554,15 @@ impl Grader {
     /// [`Grader::shared_annotation`] for an already-prepared context — no
     /// instance re-hash.
     pub fn shared_annotation_for(&self, context: GradeContext) -> Result<bool, GraderError> {
-        self.sessions
-            .lock()
-            .expect("grader session cache poisoned")
-            .get(&context.0)
+        lock(&self.sessions)
+            .touch(context.0)
             .map(|warm| warm.shared_annotation())
             .ok_or(GraderError::UnknownContext)
     }
 
     /// Number of warm per-context sessions currently held.
     pub fn warm_sessions(&self) -> usize {
-        self.sessions.lock().map(|s| s.len()).unwrap_or(0)
+        lock(&self.sessions).len()
     }
 
     /// Counterexample searches this engine has run (cache hits excluded) —
@@ -519,12 +632,8 @@ impl Grader {
         events: ratest_core::session::EventHandle,
         repair: Option<&RepairOptions>,
     ) -> Result<ExplainResponse, GraderError> {
-        let warm = self
-            .sessions
-            .lock()
-            .expect("grader session cache poisoned")
-            .get(&context.0)
-            .cloned()
+        let warm = lock(&self.sessions)
+            .touch(context.0)
             .ok_or(GraderError::UnknownContext)?;
         self.respond_impl(context.0, &warm, request, events, repair)
     }
@@ -538,59 +647,155 @@ impl Grader {
         repair: Option<&RepairOptions>,
     ) -> Result<ExplainResponse, GraderError> {
         let fingerprint = request.fingerprint();
-        let cached = self
-            .cache
-            .lock()
-            .expect("grader cache poisoned")
-            .get(&(context, fingerprint))
-            .cloned();
-        if let Some(mut verdict) = cached {
+        let key = (context, fingerprint);
+        // Bind the lookup before branching: an `if let` on the guard itself
+        // would keep the cache locked across `respond_cached`, which re-locks
+        // it to upgrade a repair-enriched verdict.
+        let cached = lock(&self.cache).get(&key).cloned();
+        if let Some(verdict) = cached {
             self.metrics.counter_inc("grader.cache_hits");
-            match repair {
-                Some(opts) => {
-                    if enrich_with_repairs(warm, &request.query, &mut verdict, opts, &events) {
-                        self.cache
-                            .lock()
-                            .expect("grader cache poisoned")
-                            .insert((context, fingerprint), verdict.clone());
-                    }
-                }
-                None => {
-                    if !verdict.suggestions().is_empty() {
-                        verdict = verdict.without_suggestions();
-                    }
+            return Ok(self.respond_cached(key, warm, request, verdict, events, repair));
+        }
+        match self.claim_flight(key) {
+            Claim::Cached(verdict) => {
+                self.metrics.counter_inc("grader.cache_hits");
+                Ok(self.respond_cached(key, warm, request, verdict, events, repair))
+            }
+            Claim::Leader(flight) => {
+                self.metrics.counter_inc("grader.cache_misses");
+                self.metrics.counter_inc("grader.searches");
+                // The leader must publish even if grading panics — a
+                // propagated panic here would leave followers blocked on a
+                // flight that never completes (and poison the locks).
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    grade_one_with_timeout(
+                        warm.clone(),
+                        request.query.clone(),
+                        self.config.per_job_timeout,
+                        events,
+                        repair.cloned(),
+                    )
+                }));
+                let verdict = outcome.unwrap_or_else(|panic| Verdict::Error {
+                    message: format!("grading panicked: {}", panic_message(&panic)),
+                });
+                self.finish_flight(key, &flight, verdict.clone());
+                Ok(ExplainResponse {
+                    id: request.id.clone(),
+                    author: request.author.clone(),
+                    fingerprint,
+                    verdict,
+                    from_cache: false,
+                })
+            }
+            Claim::Follower(flight) => {
+                // A duplicate fingerprint already being graded: wait for the
+                // leader's verdict instead of searching again. Counted as a
+                // cache hit — by the time this request is answered, the
+                // verdict *is* cached state.
+                self.metrics.counter_inc("grader.cache_hits");
+                let verdict = self.await_flight(&flight);
+                Ok(self.respond_cached(key, warm, request, verdict, events, repair))
+            }
+        }
+    }
+
+    /// Build the response for a verdict that came out of warm state (the
+    /// cache or a completed in-flight search), applying the per-request
+    /// repair opt-in: `Some` enriches a Wrong verdict in place (and
+    /// upgrades the cached copy), `None` strips suggestions added by an
+    /// earlier opted-in request.
+    fn respond_cached(
+        &self,
+        key: (u64, u64),
+        warm: &Arc<GradingSession>,
+        request: &ExplainRequest,
+        mut verdict: Verdict,
+        events: ratest_core::session::EventHandle,
+        repair: Option<&RepairOptions>,
+    ) -> ExplainResponse {
+        match repair {
+            Some(opts) => {
+                if enrich_with_repairs(warm, &request.query, &mut verdict, opts, &events) {
+                    lock(&self.cache).insert(key, verdict.clone());
                 }
             }
-            return Ok(ExplainResponse {
-                id: request.id.clone(),
-                author: request.author.clone(),
-                fingerprint,
-                verdict,
-                from_cache: true,
-            });
+            None => {
+                if !verdict.suggestions().is_empty() {
+                    verdict = verdict.without_suggestions();
+                }
+            }
         }
-        self.metrics.counter_inc("grader.cache_misses");
-        self.metrics.counter_inc("grader.searches");
-        let verdict = grade_one_with_timeout(
-            warm.clone(),
-            request.query.clone(),
-            self.config.per_job_timeout,
-            events,
-            repair.cloned(),
-        );
-        if !matches!(verdict, Verdict::Timeout { .. }) {
-            self.cache
-                .lock()
-                .expect("grader cache poisoned")
-                .insert((context, fingerprint), verdict.clone());
-        }
-        Ok(ExplainResponse {
+        ExplainResponse {
             id: request.id.clone(),
             author: request.author.clone(),
-            fingerprint,
+            fingerprint: key.1,
             verdict,
-            from_cache: false,
-        })
+            from_cache: true,
+        }
+    }
+
+    /// Claim the in-flight slot for a cache key. Lock order here and in
+    /// [`Grader::finish_flight`] is inflight → cache, so a leader
+    /// publishing while a follower claims cannot deadlock; re-checking the
+    /// cache under the inflight lock closes the race where the leader
+    /// finished between our fast-path miss and this claim.
+    fn claim_flight(&self, key: (u64, u64)) -> Claim {
+        let mut inflight = lock(&self.inflight);
+        if let Some(verdict) = lock(&self.cache).get(&key).cloned() {
+            return Claim::Cached(verdict);
+        }
+        if let Some(flight) = inflight.get(&key) {
+            return Claim::Follower(flight.clone());
+        }
+        let flight = Arc::new(Flight::default());
+        inflight.insert(key, flight.clone());
+        Claim::Leader(flight)
+    }
+
+    /// Publish the leader's verdict: cache it (timeouts stay uncached so a
+    /// retry can search again), retire the flight so new requests go back
+    /// through the cache, then wake every follower.
+    fn finish_flight(&self, key: (u64, u64), flight: &Flight, verdict: Verdict) {
+        {
+            let mut inflight = lock(&self.inflight);
+            if !matches!(verdict, Verdict::Timeout { .. }) {
+                lock(&self.cache).insert(key, verdict.clone());
+            }
+            inflight.remove(&key);
+        }
+        *lock(&flight.done) = Some(verdict);
+        flight.cv.notify_all();
+    }
+
+    /// Block until the flight's leader publishes. Bounded: a leader that
+    /// dies without publishing (it can't under normal operation — see
+    /// `catch_unwind` in `respond_impl`) is treated as a timeout rather
+    /// than hanging this request forever.
+    fn await_flight(&self, flight: &Flight) -> Verdict {
+        let wait_cap = if self.config.per_job_timeout.is_zero() {
+            Duration::from_secs(600)
+        } else {
+            self.config.per_job_timeout * 2 + Duration::from_secs(1)
+        };
+        let deadline = Instant::now() + wait_cap;
+        let mut done = lock(&flight.done);
+        loop {
+            if let Some(v) = done.clone() {
+                return v;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Verdict::Timeout {
+                    budget: self.config.per_job_timeout,
+                };
+            }
+            done = flight
+                .cv
+                .wait_timeout(done, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
     }
 
     /// Answer a batch of requests in order (dedup/cache apply per request).
@@ -677,6 +882,7 @@ fn run_jobs(
     jobs: VecDeque<Job>,
     warm: Arc<GradingSession>,
     config: &GraderConfig,
+    metrics: &Arc<MetricsRegistry>,
 ) -> HashMap<u64, (Verdict, Duration)> {
     let results: Arc<Mutex<HashMap<u64, (Verdict, Duration)>>> =
         Arc::new(Mutex::new(HashMap::new()));
@@ -695,9 +901,19 @@ fn run_jobs(
         let warm = warm.clone();
         let timeout = config.per_job_timeout;
         let repair = config.repair.clone();
+        let metrics = metrics.clone();
         handles.push(std::thread::spawn(move || loop {
             let job = match queue.lock() {
-                Ok(mut q) => q.pop_front(),
+                Ok(mut q) => {
+                    let job = q.pop_front();
+                    if job.is_some() {
+                        // Decrement under the queue lock so the gauge is the
+                        // real remaining depth: a drained batch reads 0
+                        // (pinned by the conformance suite).
+                        metrics.gauge_set("grader.queue_depth", q.len() as i64);
+                    }
+                    job
+                }
                 Err(_) => None,
             };
             let Some(job) = job else {
@@ -868,16 +1084,18 @@ fn grade_one(
             message: e.to_string(),
         },
         Err(panic) => Verdict::Error {
-            message: format!(
-                "explanation panicked: {}",
-                panic
-                    .downcast_ref::<&str>()
-                    .copied()
-                    .or_else(|| panic.downcast_ref::<String>().map(|s| s.as_str()))
-                    .unwrap_or("<non-string panic payload>")
-            ),
+            message: format!("explanation panicked: {}", panic_message(&panic)),
         },
     }
+}
+
+/// Best-effort human-readable payload of a caught panic.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(|s| s.as_str()))
+        .unwrap_or("<non-string panic payload>")
 }
 
 #[cfg(test)]
@@ -1031,5 +1249,104 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(tags(&a), tags(&b));
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_killing_the_engine() {
+        let (reference, db, subs) = toy_batch();
+        let grader = Arc::new(Grader::new(GraderConfig::default()));
+        // Poison both engine locks: a worker panicking mid-critical-section
+        // must cost one request, not every subsequent one.
+        let g = grader.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = g.cache.lock().unwrap();
+            panic!("poison the cache lock");
+        })
+        .join();
+        let g = grader.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = g.sessions.lock().unwrap();
+            panic!("poison the session lock");
+        })
+        .join();
+        let report = grader
+            .grade("poisoned", &reference, &db, &subs)
+            .expect("the engine still grades after a poisoning panic");
+        assert_eq!(report.graded.len(), subs.len());
+        assert_eq!(grader.cached_verdicts(), 2);
+    }
+
+    #[test]
+    fn warm_cap_evicts_lru_sessions_and_tracks_real_occupancy() {
+        let db = testdata::figure1_db();
+        let q1 = testdata::example1_q1();
+        let q2 = testdata::example1_q2();
+        let grader = Grader::new(GraderConfig {
+            warm_cap: Some(1),
+            ..Default::default()
+        });
+        let c1 = grader.prepare_context(&q1, &db).unwrap();
+        assert_eq!(grader.warm_sessions(), 1);
+        let c2 = grader.prepare_context(&q2, &db).unwrap();
+        assert_eq!(
+            grader.warm_sessions(),
+            1,
+            "cap of 1 evicts the older context"
+        );
+        assert_eq!(grader.metrics().gauge("grader.warm_sessions"), Some(1));
+        assert_eq!(grader.metrics().counter("grader.session_evictions"), 1);
+        assert!(matches!(
+            grader.shared_annotation_for(c1),
+            Err(GraderError::UnknownContext)
+        ));
+        assert!(grader.shared_annotation_for(c2).is_ok());
+    }
+
+    #[test]
+    fn queue_depth_gauge_reads_zero_after_the_batch_drains() {
+        let (reference, db, subs) = toy_batch();
+        let grader = Grader::new(GraderConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        grader.grade("batch", &reference, &db, &subs).unwrap();
+        assert_eq!(grader.metrics().gauge("grader.queue_depth"), Some(0));
+    }
+
+    #[test]
+    fn concurrent_duplicate_requests_share_one_search() {
+        let db = testdata::figure1_db();
+        let reference = testdata::example1_q1();
+        let wrong = testdata::example1_q2();
+        let grader = Arc::new(Grader::new(GraderConfig {
+            per_job_timeout: Duration::ZERO,
+            ..Default::default()
+        }));
+        let context = grader.prepare_context(&reference, &db).unwrap();
+        let mut handles = Vec::new();
+        for i in 0..6 {
+            let grader = grader.clone();
+            let wrong = wrong.clone();
+            handles.push(std::thread::spawn(move || {
+                grader
+                    .respond_prepared(
+                        context,
+                        &ExplainRequest::new(format!("s{i}"), format!("s{i}"), wrong),
+                        ratest_core::session::EventHandle::none(),
+                    )
+                    .expect("respond")
+            }));
+        }
+        let responses: Vec<crate::api::ExplainResponse> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Six identical fingerprints in flight at once → one leader searched,
+        // five followers joined it (counted as cache hits: by the time they
+        // were answered, the verdict was cached state).
+        assert_eq!(grader.searches_total(), 1);
+        assert_eq!(grader.metrics().counter("grader.cache_misses"), 1);
+        assert_eq!(grader.metrics().counter("grader.cache_hits"), 5);
+        let tags: std::collections::HashSet<&str> =
+            responses.iter().map(|r| r.verdict.tag()).collect();
+        assert_eq!(tags.len(), 1, "every duplicate got the same verdict");
     }
 }

@@ -81,6 +81,7 @@ pub use ingest::{
     compile_submission, ingest_dir, IngestEntry, IngestedCohort, RejectedSubmission, SourceLang,
 };
 pub use report::{BatchReport, BatchStats};
+pub use serve::{serve, serve_with, ServeConfig};
 pub use shard::{merge_reports, shard_cohort, shard_of, ShardSpec};
 pub use store::{CacheEntry, LoadedCache, SkippedRecord, StoreError};
 pub use submission::{group_by_fingerprint, Submission, SubmissionGroup};

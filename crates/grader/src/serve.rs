@@ -10,13 +10,13 @@
 //! interactive request at a time. The container has no network, so stdio is
 //! the transport; any process supervisor or socket relay can wrap it.
 //!
-//! ## Protocol (`ratest-serve` version 2)
+//! ## Protocol (`ratest-serve` version 3)
 //!
 //! One JSON object per line, in both directions. The daemon starts by
 //! announcing itself:
 //!
 //! ```text
-//! {"event":"protocol","name":"ratest-serve","version":2}
+//! {"event":"protocol","name":"ratest-serve","version":3}
 //! ```
 //!
 //! Requests carry a `cmd` field; every request produces exactly one
@@ -28,7 +28,8 @@
 //! | `hello`    | — capability probe, echoes the protocol version               |
 //! | `prepare`  | `ref`, and `question` (1–8) *or* `lang`+`source`; optional `db_tuples`, `seed`, `params` (object), `timeout_ms` |
 //! | `grade`    | `ref`, `id`, `lang`, `source`; optional `author`, `events`, `explain`, `repair` |
-//! | `stats`    | `ref` — graded/cache-hit/search counters for the reference    |
+//! | `stats`    | optional `ref` — counters for one reference, or daemon-scope occupancy without it |
+//! | `sync`     | — flush unpersisted verdicts to the `--cache` store            |
 //! | `shutdown` | — acknowledge and exit                                        |
 //!
 //! A `grade` with `"events":true` streams the session's typed progress
@@ -42,30 +43,107 @@
 //! byte-identical output — pinned by the protocol goldens in
 //! `tests/serve_protocol.rs` and the `serve-protocol` CI job.
 //!
+//! ## Version 3: semester-scale serving
+//!
+//! v3 (see [`ServeConfig`]) adds the survivability layer the course
+//! deployment needs:
+//!
+//! - **Concurrency** — with `threads > 1`, `grade` requests run
+//!   thread-per-request over the engine's thread-safe warm state. Every
+//!   event line carries its request's `id`, each line is written atomically,
+//!   and a request's events always precede its response — so interleaved
+//!   streams stay parseable by filtering on `id`. `prepare`, `stats`,
+//!   `sync`, and `shutdown` act as barriers: the daemon drains in-flight
+//!   grades before answering them.
+//! - **Admission control** — at most `threads` grades run at once; a
+//!   request that cannot be admitted within `admit_timeout_ms` (a
+//!   [`Budget`] deadline) is rejected with a `"verdict":"timeout"` response
+//!   carrying `"overloaded":true`. The daemon never hangs and never
+//!   queues unboundedly.
+//! - **LRU eviction** — `warm_cap` bounds the number of warm references;
+//!   preparing one more evicts the least-recently-used (its unpersisted
+//!   verdicts are flushed to the store first when one is configured).
+//! - **Persistence** — with a `cache` store, verdicts land in the same
+//!   append-only file `grade --cache` uses; a restarted daemon preloads it
+//!   at `prepare` time, so re-grades after a crash perform zero
+//!   counterexample searches.
+//! - **Disconnect tolerance** — a client vanishing mid-stream (`EPIPE`) is
+//!   a clean shutdown: the daemon drains in-flight work, flushes the store,
+//!   and exits 0.
+//!
 //! Frontend rejections are *successful* gradings with a `rejected` verdict
 //! (the diagnostic is the answer); only malformed requests get
 //! `"ok":false`.
+//!
+//! [`Session`]: ratest_core::session::Session
 
 use crate::api::ExplainRequest;
 use crate::engine::{Grader, GraderConfig};
 use crate::ingest::{compile_submission, IngestEntry, SourceLang};
 use crate::json::Json;
+use crate::store;
 use crate::verdict::Verdict;
 use ratest_core::pipeline::RatestOptions;
-use ratest_core::session::{EventHandle, EventSink, ExplainEvent};
+use ratest_core::session::{Budget, EventHandle, EventSink, ExplainEvent};
 use ratest_queries::course::course_questions;
 use ratest_storage::{Database, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, Write};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// Protocol name announced in the banner.
 pub const PROTOCOL_NAME: &str = "ratest-serve";
 /// Protocol version; bump on any wire-visible change (the goldens pin it).
 /// v2 added the `repair` opt-in on `grade` (suggestions + `repair_*`
-/// events).
-pub const PROTOCOL_VERSION: i64 = 2;
+/// events). v3 added concurrent grading, admission control
+/// (`"overloaded":true` rejects), warm-reference LRU eviction, the `sync`
+/// command, daemon-scope `stats`, and the `warm_refs`/`preloaded` fields on
+/// `prepare`.
+pub const PROTOCOL_VERSION: i64 = 3;
+
+/// Runtime configuration for [`serve_with`] — everything the `grade serve`
+/// flags control.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum concurrently-running `grade` requests. `1` (the default)
+    /// preserves the fully sequential v2 behavior: every response follows
+    /// its request in order.
+    pub threads: usize,
+    /// Maximum warm prepared references held at once; preparing one more
+    /// evicts the least-recently-used. `None` = unbounded.
+    pub warm_cap: Option<usize>,
+    /// Append-only verdict store (the `grade --cache` format): preloaded at
+    /// `prepare` time, flushed on eviction, `sync`, and shutdown.
+    pub cache: Option<PathBuf>,
+    /// How long an over-capacity `grade` request waits for a slot before it
+    /// is rejected with an `"overloaded":true` timeout verdict. `0` rejects
+    /// immediately.
+    pub admit_timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            threads: 1,
+            warm_cap: None,
+            cache: None,
+            admit_timeout_ms: 30_000,
+        }
+    }
+}
+
+/// Recover a usable guard from a possibly-poisoned lock. The daemon's
+/// invariants hold at every await point (worker panics are converted to
+/// error verdicts before locks unwind), so a poisoned output or admission
+/// lock means a dead thread, not corrupt state — one failed request must
+/// not take down the whole semester's daemon.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Warm state for one prepared reference.
 struct RefState {
@@ -82,6 +160,171 @@ struct RefState {
     baseline: ratest_telemetry::MetricsSnapshot,
 }
 
+/// Warm references in LRU order: a clock-stamped map where eviction removes
+/// the minimum stamp. O(n) eviction scans are fine — `warm_cap` is small
+/// (course-scale), and prepare is already the expensive path.
+#[derive(Default)]
+struct RefLru {
+    map: HashMap<String, (Arc<RefState>, u64)>,
+    clock: u64,
+}
+
+impl RefLru {
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Look up a reference and mark it most-recently-used.
+    fn touch(&mut self, id: &str) -> Option<Arc<RefState>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(id).map(|slot| {
+            slot.1 = clock;
+            slot.0.clone()
+        })
+    }
+
+    /// Insert (or replace) a reference as most-recently-used; returns the
+    /// replaced state on re-prepare so its verdicts can be flushed.
+    fn insert(&mut self, id: String, state: Arc<RefState>) -> Option<Arc<RefState>> {
+        self.clock += 1;
+        self.map.insert(id, (state, self.clock)).map(|(old, _)| old)
+    }
+
+    /// Evict least-recently-used references until at most `cap` remain
+    /// (never fewer than one — the reference just prepared stays warm).
+    fn evict_over(&mut self, cap: usize) -> Vec<(String, Arc<RefState>)> {
+        let mut evicted = Vec::new();
+        while self.map.len() > cap.max(1) {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(id, _)| id.clone())
+                .expect("non-empty map has a minimum stamp");
+            let (state, _) = self.map.remove(&victim).expect("victim key present");
+            evicted.push((victim, state));
+        }
+        evicted
+    }
+
+    /// All warm references in deterministic (id) order.
+    fn sorted(&self) -> Vec<(&str, &Arc<RefState>)> {
+        let mut refs: Vec<(&str, &Arc<RefState>)> = self
+            .map
+            .iter()
+            .map(|(id, (state, _))| (id.as_str(), state))
+            .collect();
+        refs.sort_by_key(|(id, _)| *id);
+        refs
+    }
+}
+
+/// Admission gate: a counted semaphore over in-flight `grade` threads.
+/// `drain` doubles as the barrier the sequential commands wait on.
+#[derive(Default)]
+struct Inflight {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Inflight {
+    /// Try to claim a slot, waiting until the budget's deadline runs out.
+    /// Returns `false` on rejection — the caller answers with an overload
+    /// verdict instead of queueing unboundedly.
+    fn acquire(&self, cap: usize, budget: &Budget) -> bool {
+        let mut count = lock(&self.count);
+        loop {
+            if *count < cap {
+                *count += 1;
+                return true;
+            }
+            if budget.poll().is_some() {
+                return false;
+            }
+            count = self
+                .cv
+                .wait_timeout(count, Duration::from_millis(5))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    fn release(&self) {
+        let mut count = lock(&self.count);
+        *count = count.saturating_sub(1);
+        self.cv.notify_all();
+    }
+
+    /// Block until every in-flight grade has released its slot.
+    fn drain(&self) {
+        let mut count = lock(&self.count);
+        while *count > 0 {
+            count = self
+                .cv
+                .wait_timeout(count, Duration::from_millis(5))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+/// The daemon's view of the on-disk verdict store: every entry known to be
+/// on disk (loaded at startup, grown by each flush — so an evicted
+/// reference's verdicts are found again on re-prepare without re-reading
+/// the file), plus the key set for exact-append bookkeeping.
+struct StoreState {
+    path: PathBuf,
+    entries: Vec<store::CacheEntry>,
+    persisted: HashSet<(u64, u64)>,
+    appended: u64,
+}
+
+impl StoreState {
+    fn open(path: PathBuf) -> Result<StoreState, store::StoreError> {
+        let loaded = store::load(&path)?;
+        let persisted = loaded
+            .entries
+            .iter()
+            .map(|e| (e.context, e.fingerprint))
+            .collect();
+        Ok(StoreState {
+            path,
+            entries: loaded.entries,
+            persisted,
+            appended: 0,
+        })
+    }
+
+    /// Seed a freshly-prepared grader with this context's stored verdicts —
+    /// the restart-equals-warm-start path.
+    fn preload(&self, grader: &Grader, context: crate::engine::GradeContext) -> usize {
+        let key = context.key();
+        grader.preload_cache(self.entries.iter().filter(|e| e.context == key).cloned())
+    }
+
+    /// Append the reference's not-yet-persisted verdicts to the store.
+    fn flush(&mut self, state: &RefState) -> Result<u64, store::StoreError> {
+        let fresh: Vec<store::CacheEntry> = state
+            .grader
+            .cache_entries()
+            .into_iter()
+            .filter(|e| !self.persisted.contains(&(e.context, e.fingerprint)))
+            .collect();
+        if fresh.is_empty() {
+            return Ok(0);
+        }
+        store::append(&self.path, &fresh)?;
+        for e in &fresh {
+            self.persisted.insert((e.context, e.fingerprint));
+        }
+        self.appended += fresh.len() as u64;
+        let appended = fresh.len() as u64;
+        self.entries.extend(fresh);
+        Ok(appended)
+    }
+}
+
 /// The event sink of **one** streamed `grade` request: it owns its
 /// submission id and writes NDJSON lines until [`RequestSink::retire`]d.
 /// Per-request ownership is what keeps attribution correct: if a timed-out
@@ -91,15 +334,20 @@ struct RefState {
 struct RequestSink<W: Write + Send> {
     out: Arc<Mutex<W>>,
     id: String,
-    live: std::sync::atomic::AtomicBool,
+    live: AtomicBool,
+    /// Shared daemon-wide disconnect flag: a failed event write marks the
+    /// client gone so the main loop can wind down cleanly instead of
+    /// grinding through the rest of the script.
+    disconnected: Arc<AtomicBool>,
 }
 
 impl<W: Write + Send> RequestSink<W> {
-    fn new(out: Arc<Mutex<W>>, id: &str) -> Arc<RequestSink<W>> {
+    fn new(out: Arc<Mutex<W>>, id: &str, disconnected: Arc<AtomicBool>) -> Arc<RequestSink<W>> {
         Arc::new(RequestSink {
             out,
             id: id.to_owned(),
-            live: std::sync::atomic::AtomicBool::new(true),
+            live: AtomicBool::new(true),
+            disconnected,
         })
     }
 
@@ -108,8 +356,8 @@ impl<W: Write + Send> RequestSink<W> {
     /// returns, no event line for this request can appear after the
     /// response line that follows.
     fn retire(&self) {
-        let _out = self.out.lock().expect("serve output poisoned");
-        self.live.store(false, std::sync::atomic::Ordering::Relaxed);
+        let _out = lock(&self.out);
+        self.live.store(false, Ordering::Relaxed);
     }
 }
 
@@ -183,49 +431,129 @@ impl<W: Write + Send> EventSink for RequestSink<W> {
                 ("tried", Json::Int(*tried as i64)),
             ]),
         };
-        if let Ok(mut out) = self.out.lock() {
-            // Checked under the lock so a concurrent retire() fully
-            // serializes against this write (events strictly precede the
-            // response; a stale thread from a timed-out job stays silent).
-            if !self.live.load(std::sync::atomic::Ordering::Relaxed) {
-                return;
-            }
-            let _ = writeln!(out, "{}", json.render());
-            let _ = out.flush();
+        let mut out = lock(&self.out);
+        // Checked under the lock so a concurrent retire() fully serializes
+        // against this write (events strictly precede the response; a stale
+        // thread from a timed-out job stays silent).
+        if !self.live.load(Ordering::Relaxed) {
+            return;
+        }
+        if writeln!(out, "{}", json.render())
+            .and_then(|_| out.flush())
+            .is_err()
+        {
+            // The client is gone; grading continues (the verdict still
+            // lands in the cache/store) but this stream goes quiet.
+            self.live.store(false, Ordering::Relaxed);
+            self.disconnected.store(true, Ordering::Relaxed);
         }
     }
 }
 
-/// Run the daemon loop: read NDJSON requests from `input`, write responses
-/// (and streamed events) to `output`, until `shutdown` or EOF.
+/// Run the daemon loop with the default (sequential, unbounded, storeless)
+/// configuration: read NDJSON requests from `input`, write responses (and
+/// streamed events) to `output`, until `shutdown` or EOF.
 pub fn serve<R: BufRead, W: Write + Send + 'static>(input: R, output: W) -> io::Result<()> {
-    let out = Arc::new(Mutex::new(output));
-    write_line(
-        &out,
-        &Json::obj(vec![
-            ("event", Json::str("protocol")),
-            ("name", Json::str(PROTOCOL_NAME)),
-            ("version", Json::Int(PROTOCOL_VERSION)),
-        ]),
-    )?;
+    serve_with(input, output, ServeConfig::default())
+}
 
-    let mut refs: HashMap<String, RefState> = HashMap::new();
+/// [`serve`] with explicit [`ServeConfig`] — the `grade serve` entry point
+/// once flags are parsed.
+pub fn serve_with<R: BufRead, W: Write + Send + 'static>(
+    input: R,
+    output: W,
+    config: ServeConfig,
+) -> io::Result<()> {
+    let out = Arc::new(Mutex::new(output));
+    let disconnected = Arc::new(AtomicBool::new(false));
+    let store = match config.cache.clone() {
+        Some(path) => Some(StoreState::open(path).map_err(store_io_error)?),
+        None => None,
+    };
+    let mut daemon = Daemon {
+        config,
+        refs: RefLru::default(),
+        store,
+        inflight: Arc::new(Inflight::default()),
+        evictions: 0,
+        out: out.clone(),
+        disconnected: disconnected.clone(),
+    };
+
+    let banner = Json::obj(vec![
+        ("event", Json::str("protocol")),
+        ("name", Json::str(PROTOCOL_NAME)),
+        ("version", Json::Int(PROTOCOL_VERSION)),
+    ]);
+    if let Err(e) = write_line(&out, &banner) {
+        if is_disconnect(&e) {
+            return Ok(());
+        }
+        return Err(e);
+    }
+
+    let mut result = Ok(());
     for line in input.lines() {
-        let line = line?;
+        if disconnected.load(Ordering::Relaxed) {
+            break;
+        }
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let (response, shutdown) = handle_request(&line, &mut refs, &out);
-        write_line(&out, &response)?;
-        if shutdown {
-            break;
+        match daemon.dispatch(&line) {
+            Flow::Spawned => {}
+            Flow::Respond(response) => {
+                if let Err(e) = write_line(&out, &response) {
+                    if !is_disconnect(&e) {
+                        result = Err(e);
+                    }
+                    break;
+                }
+            }
+            Flow::Shutdown(response) => {
+                if let Err(e) = write_line(&out, &response) {
+                    if !is_disconnect(&e) {
+                        result = Err(e);
+                    }
+                }
+                break;
+            }
         }
     }
-    Ok(())
+
+    // Wind-down — reached on shutdown, EOF, *and* client disconnect alike:
+    // every in-flight verdict finishes and lands in the store before exit,
+    // so a vanished client (`EPIPE`) is a clean `Ok(())`, not a crash.
+    daemon.inflight.drain();
+    let flush = daemon.flush_all().map(|_| ()).map_err(store_io_error);
+    result.and(flush)
+}
+
+fn store_io_error(e: store::StoreError) -> io::Error {
+    io::Error::other(format!("verdict store: {e}"))
+}
+
+/// Whether a write error means the client went away (as opposed to a real
+/// I/O fault). `EPIPE` and its cousins are a clean shutdown signal.
+fn is_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::WriteZero
+    )
 }
 
 fn write_line<W: Write>(out: &Arc<Mutex<W>>, json: &Json) -> io::Result<()> {
-    let mut out = out.lock().expect("serve output poisoned");
+    let mut out = lock(out);
     writeln!(out, "{}", json.render())?;
     out.flush()
 }
@@ -239,49 +567,437 @@ fn error_response(cmd: Option<&str>, message: impl Into<String>) -> Json {
     Json::obj(pairs)
 }
 
-/// Handle one request line; returns the response document and whether the
-/// daemon should exit.
-fn handle_request<W: Write + Send + 'static>(
-    line: &str,
-    refs: &mut HashMap<String, RefState>,
-    out: &Arc<Mutex<W>>,
-) -> (Json, bool) {
-    let request = match Json::parse(line) {
-        Ok(json) => json,
-        Err(e) => {
-            return (
-                error_response(None, format!("request is not JSON: {e}")),
-                false,
-            )
-        }
-    };
-    let Some(cmd) = request.get("cmd").and_then(Json::as_str) else {
-        return (error_response(None, "request has no `cmd` field"), false);
-    };
-    match cmd {
-        "hello" => (
-            Json::obj(vec![
+/// What the main loop does with one request line.
+enum Flow {
+    /// Write this response now (the command ran inline).
+    Respond(Json),
+    /// A grade thread was spawned; it writes its own response.
+    Spawned,
+    /// Write this response, then exit the loop.
+    Shutdown(Json),
+}
+
+/// All daemon state, owned by the main loop. `grade` is the only command
+/// that leaves this thread; everything else runs behind a drain barrier.
+struct Daemon<W: Write + Send + 'static> {
+    config: ServeConfig,
+    refs: RefLru,
+    store: Option<StoreState>,
+    inflight: Arc<Inflight>,
+    evictions: u64,
+    out: Arc<Mutex<W>>,
+    disconnected: Arc<AtomicBool>,
+}
+
+impl<W: Write + Send + 'static> Daemon<W> {
+    fn dispatch(&mut self, line: &str) -> Flow {
+        let request = match Json::parse(line) {
+            Ok(json) => json,
+            Err(e) => {
+                return Flow::Respond(error_response(None, format!("request is not JSON: {e}")))
+            }
+        };
+        let Some(cmd) = request.get("cmd").and_then(Json::as_str) else {
+            return Flow::Respond(error_response(None, "request has no `cmd` field"));
+        };
+        match cmd {
+            "hello" => Flow::Respond(Json::obj(vec![
                 ("ok", Json::Bool(true)),
                 ("cmd", Json::str("hello")),
                 ("protocol", Json::str(PROTOCOL_NAME)),
                 ("version", Json::Int(PROTOCOL_VERSION)),
-            ]),
-            false,
-        ),
-        "prepare" => (cmd_prepare(&request, refs), false),
-        "grade" => (cmd_grade(&request, refs, out), false),
-        "stats" => (cmd_stats(&request, refs), false),
-        "shutdown" => (
-            Json::obj(vec![
+            ])),
+            "grade" => self.dispatch_grade(request),
+            // Everything below reads or mutates daemon-wide state, so it
+            // waits out in-flight grades first — which also guarantees that
+            // by the time `stats` (or the shutdown ack) is written, every
+            // earlier grade's response line is already on the wire.
+            "prepare" => {
+                self.inflight.drain();
+                Flow::Respond(self.cmd_prepare(&request))
+            }
+            "stats" => {
+                self.inflight.drain();
+                Flow::Respond(self.cmd_stats(&request))
+            }
+            "sync" => {
+                self.inflight.drain();
+                Flow::Respond(self.cmd_sync())
+            }
+            "shutdown" => {
+                self.inflight.drain();
+                Flow::Shutdown(Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("cmd", Json::str("shutdown")),
+                ]))
+            }
+            other => Flow::Respond(error_response(
+                Some(other),
+                format!("unknown command `{other}`"),
+            )),
+        }
+    }
+
+    /// Route a `grade`: inline when sequential, thread-per-request when
+    /// concurrent — with admission control so a flood is rejected (with a
+    /// verdict) instead of queueing unboundedly.
+    fn dispatch_grade(&mut self, request: Json) -> Flow {
+        let ref_id = match ref_field(&request, "grade") {
+            Ok(r) => r.to_owned(),
+            Err(e) => return Flow::Respond(e),
+        };
+        let Some(state) = self.refs.touch(&ref_id) else {
+            return Flow::Respond(error_response(
+                Some("grade"),
+                format!("unknown reference `{ref_id}` — `prepare` it first"),
+            ));
+        };
+        let Some(id) = request.get("id").and_then(Json::as_str).map(str::to_owned) else {
+            return Flow::Respond(error_response(Some("grade"), "missing `id` field"));
+        };
+        // Counted at admission, so `stats.graded` = grade requests accepted
+        // for this reference (overload rejects included: the daemon did
+        // answer them).
+        state.grader.metrics().counter_inc("serve.requests.grade");
+        if self.config.threads <= 1 {
+            return Flow::Respond(cmd_grade(
+                &request,
+                &ref_id,
+                &state,
+                &self.out,
+                &self.disconnected,
+            ));
+        }
+        let admit =
+            Budget::unlimited().with_deadline(Duration::from_millis(self.config.admit_timeout_ms));
+        if !self.inflight.acquire(self.config.threads, &admit) {
+            let author = request
+                .get("author")
+                .and_then(Json::as_str)
+                .unwrap_or(&id)
+                .to_owned();
+            return Flow::Respond(Json::obj(vec![
                 ("ok", Json::Bool(true)),
-                ("cmd", Json::str("shutdown")),
-            ]),
-            true,
-        ),
-        other => (
-            error_response(Some(other), format!("unknown command `{other}`")),
-            false,
-        ),
+                ("cmd", Json::str("grade")),
+                ("ref", Json::str(&ref_id)),
+                ("id", Json::str(&id)),
+                ("author", Json::str(&author)),
+                ("verdict", Json::str("timeout")),
+                ("from_cache", Json::Bool(false)),
+                ("timeout_ms", Json::Int(self.config.admit_timeout_ms as i64)),
+                ("overloaded", Json::Bool(true)),
+            ]));
+        }
+        let out = self.out.clone();
+        let disconnected = self.disconnected.clone();
+        let inflight = self.inflight.clone();
+        std::thread::spawn(move || {
+            // The slot is released no matter what: a panicking handler must
+            // not wedge the drain barrier (the engine already converts
+            // grading panics into error verdicts, so this is belt and
+            // braces for the serve plumbing itself).
+            let response = catch_unwind(AssertUnwindSafe(|| {
+                cmd_grade(&request, &ref_id, &state, &out, &disconnected)
+            }))
+            .unwrap_or_else(|_| error_response(Some("grade"), "request handler panicked"));
+            if let Err(e) = write_line(&out, &response) {
+                if is_disconnect(&e) {
+                    disconnected.store(true, Ordering::Relaxed);
+                }
+            }
+            inflight.release();
+        });
+        Flow::Spawned
+    }
+
+    fn cmd_prepare(&mut self, request: &Json) -> Json {
+        let ref_id = match ref_field(request, "prepare") {
+            Ok(r) => r.to_owned(),
+            Err(e) => return e,
+        };
+        let db_tuples = request
+            .get("db_tuples")
+            .and_then(Json::as_i64)
+            .unwrap_or(60)
+            .max(0) as usize;
+        // The instance is generated daemon-side; cap it so one request
+        // cannot stall request intake on data generation alone.
+        const MAX_DB_TUPLES: usize = 100_000;
+        if db_tuples > MAX_DB_TUPLES {
+            return error_response(
+                Some("prepare"),
+                format!("db_tuples {db_tuples} exceeds the daemon cap of {MAX_DB_TUPLES}"),
+            );
+        }
+        let seed = request.get("seed").and_then(Json::as_i64).unwrap_or(2019) as u64;
+        let timeout_ms = request
+            .get("timeout_ms")
+            .and_then(Json::as_i64)
+            .unwrap_or(30_000)
+            .max(0) as u64;
+
+        let db = ratest_datagen::university_database(&ratest_datagen::UniversityConfig {
+            total_tuples: db_tuples,
+            seed,
+            ..Default::default()
+        });
+
+        // Resolve the reference: a course question number or inline source.
+        let (label, reference) = if let Some(n) = request.get("question").and_then(Json::as_i64) {
+            match course_questions()
+                .into_iter()
+                .find(|q| q.number == n as usize)
+            {
+                Some(q) => (q.prompt.to_owned(), q.reference),
+                None => {
+                    return error_response(
+                        Some("prepare"),
+                        format!("no course question {n} (valid: 1..8)"),
+                    )
+                }
+            }
+        } else {
+            let lang: SourceLang = match request
+                .get("lang")
+                .and_then(Json::as_str)
+                .unwrap_or("sql")
+                .parse()
+            {
+                Ok(l) => l,
+                Err(e) => return error_response(Some("prepare"), e),
+            };
+            let Some(source) = request.get("source").and_then(Json::as_str) else {
+                return error_response(Some("prepare"), "prepare needs `question` or `source`");
+            };
+            match compile_submission(&ref_id, &ref_id, lang, source, &db) {
+                IngestEntry::Parsed(s) => (format!("reference {ref_id}"), s.query),
+                IngestEntry::Rejected(r) => {
+                    return error_response(
+                        Some("prepare"),
+                        format!("reference does not compile: {}", r.rendered),
+                    )
+                }
+            }
+        };
+
+        let mut options = RatestOptions::default();
+        // Reference preparation (evaluate + annotate) runs under the same
+        // wall-clock bound as grading, so a flooding inline reference cannot
+        // hang the daemon. The deadline is fixed at prepare time; that is
+        // safe because with `timeout_ms > 0` every grade request runs under
+        // its own fresh per-job budget, and with `timeout_ms == 0` the user
+        // explicitly asked for no limits at all.
+        if timeout_ms > 0 {
+            options.budget = Budget::unlimited().with_deadline(Duration::from_millis(timeout_ms));
+        }
+        if let Some(Json::Obj(pairs)) = request.get("params") {
+            for (name, value) in pairs {
+                let value = match value {
+                    Json::Int(i) => Value::Int(*i),
+                    Json::Str(s) => Value::from(s.as_str()),
+                    other => {
+                        return error_response(
+                            Some("prepare"),
+                            format!("param `{name}` must be an int or string, got {other:?}"),
+                        )
+                    }
+                };
+                options.parameters.insert(name.clone(), value);
+            }
+        }
+        let grader = Grader::new(GraderConfig {
+            workers: 1,
+            per_job_timeout: Duration::from_millis(timeout_ms),
+            options,
+            // Repair is a per-request opt-in on `grade`, never ambient
+            // state; each serve grader holds exactly one context, so the
+            // engine-level session cap is moot — eviction happens at the
+            // whole-reference level (`RefLru`).
+            repair: None,
+            warm_cap: None,
+        });
+
+        // Warm the session now: the context is established (instance
+        // hashed, reference evaluated + annotated) exactly once, at prepare
+        // time; every grade request reuses the handle. A failure here (e.g.
+        // a reference that does not evaluate) is a prepare error.
+        let context = match grader.prepare_context(&reference, &db) {
+            Ok(c) => c,
+            Err(e) => return error_response(Some("prepare"), e.to_string()),
+        };
+        // Preload stored verdicts *before* the warmup probe: on a restart
+        // the probe itself is answered from the store, so a prepared-again
+        // reference performs zero counterexample searches.
+        let preloaded = self
+            .store
+            .as_ref()
+            .map(|s| s.preload(&grader, context) as i64);
+        let probe = ExplainRequest::new("__warmup__", "__warmup__", reference.clone());
+        let fingerprint = probe.fingerprint();
+        if let Err(e) = grader.respond_prepared(context, &probe, EventHandle::none()) {
+            return error_response(Some("prepare"), e.to_string());
+        }
+        let shared_annotation = grader.shared_annotation_for(context).unwrap_or(false);
+
+        let baseline = grader.metrics_snapshot();
+        let state = Arc::new(RefState {
+            label,
+            db,
+            grader,
+            context,
+            fingerprint,
+            baseline,
+        });
+
+        let mut flushed: Vec<Arc<RefState>> = Vec::new();
+        if let Some(old) = self.refs.insert(ref_id.clone(), state.clone()) {
+            flushed.push(old);
+        }
+        if let Some(cap) = self.config.warm_cap {
+            let evicted = self.refs.evict_over(cap);
+            self.evictions += evicted.len() as u64;
+            flushed.extend(evicted.into_iter().map(|(_, s)| s));
+        }
+        if let Some(store) = self.store.as_mut() {
+            for old in &flushed {
+                if let Err(e) = store.flush(old) {
+                    return error_response(
+                        Some("prepare"),
+                        format!("flushing evicted reference failed: {e}"),
+                    );
+                }
+            }
+        }
+
+        let mut pairs = vec![
+            ("ok", Json::Bool(true)),
+            ("cmd", Json::str("prepare")),
+            ("ref", Json::str(&ref_id)),
+            ("label", Json::str(&state.label)),
+            (
+                "fingerprint",
+                Json::str(format!("{:016x}", state.fingerprint)),
+            ),
+            ("shared_annotation", Json::Bool(shared_annotation)),
+            ("db_tuples", Json::Int(state.db.total_tuples() as i64)),
+            ("seed", Json::Int(seed as i64)),
+            ("warm_refs", Json::Int(self.refs.len() as i64)),
+        ];
+        if let Some(preloaded) = preloaded {
+            pairs.push(("preloaded", Json::Int(preloaded)));
+        }
+        Json::obj(pairs)
+    }
+
+    fn cmd_stats(&mut self, request: &Json) -> Json {
+        let Some(ref_id) = request.get("ref").and_then(Json::as_str) else {
+            return self.cmd_stats_daemon();
+        };
+        let Some(state) = self.refs.touch(ref_id) else {
+            return error_response(Some("stats"), format!("unknown reference `{ref_id}`"));
+        };
+        // Every headline figure is a registry delta against the post-warmup
+        // baseline, so the prepare-time probe never counts as a student
+        // grading — the old hand-maintained counters (and the `- 1` warmup
+        // hack) are gone. The full deterministic registry rides along under
+        // `metrics` (volatile durations structurally stripped, keeping the
+        // reply byte-reproducible).
+        let snapshot = state.grader.metrics_snapshot();
+        let since = |name: &str| Json::Int(snapshot.counter_since(&state.baseline, name) as i64);
+        let metrics =
+            Json::parse(&snapshot.to_json(false)).expect("registry snapshot renders valid JSON");
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("cmd", Json::str("stats")),
+            ("ref", Json::str(ref_id)),
+            ("graded", since("serve.requests.grade")),
+            ("cache_hits", since("grader.cache_hits")),
+            ("cache_misses", since("grader.cache_misses")),
+            ("searches", since("grader.searches")),
+            (
+                "cached_verdicts",
+                Json::Int(state.grader.cached_verdicts() as i64),
+            ),
+            ("metrics", metrics),
+        ])
+    }
+
+    /// `stats` without a `ref`: daemon-scope occupancy. Counters sum the
+    /// per-reference deltas of the *currently warm* references (an evicted
+    /// reference takes its counts with it — the store keeps its verdicts).
+    fn cmd_stats_daemon(&self) -> Json {
+        let mut graded = 0i64;
+        let mut searches = 0i64;
+        for (_, state) in self.refs.sorted() {
+            let snapshot = state.grader.metrics_snapshot();
+            graded += snapshot.counter_since(&state.baseline, "serve.requests.grade") as i64;
+            searches += snapshot.counter_since(&state.baseline, "grader.searches") as i64;
+        }
+        let mut pairs = vec![
+            ("ok", Json::Bool(true)),
+            ("cmd", Json::str("stats")),
+            ("scope", Json::str("daemon")),
+            ("protocol_version", Json::Int(PROTOCOL_VERSION)),
+            ("threads", Json::Int(self.config.threads as i64)),
+            ("warm_refs", Json::Int(self.refs.len() as i64)),
+            (
+                "warm_cap",
+                self.config
+                    .warm_cap
+                    .map(|c| Json::Int(c as i64))
+                    .unwrap_or(Json::Null),
+            ),
+            ("evictions", Json::Int(self.evictions as i64)),
+            ("graded", Json::Int(graded)),
+            ("searches", Json::Int(searches)),
+        ];
+        match &self.store {
+            Some(store) => {
+                pairs.push(("persisted", Json::Int(store.persisted.len() as i64)));
+                pairs.push(("appended", Json::Int(store.appended as i64)));
+            }
+            None => {
+                pairs.push(("persisted", Json::Null));
+                pairs.push(("appended", Json::Null));
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// Flush every warm reference's unpersisted verdicts to the store.
+    fn cmd_sync(&mut self) -> Json {
+        if self.store.is_none() {
+            return error_response(Some("sync"), "daemon has no --cache store configured");
+        }
+        match self.flush_all() {
+            Ok(appended) => {
+                let store = self.store.as_ref().expect("store checked above");
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("cmd", Json::str("sync")),
+                    ("appended", Json::Int(appended as i64)),
+                    ("persisted", Json::Int(store.persisted.len() as i64)),
+                ])
+            }
+            Err(e) => error_response(Some("sync"), format!("verdict store append failed: {e}")),
+        }
+    }
+
+    /// Flush all warm references (deterministic id order); returns how many
+    /// entries were appended.
+    fn flush_all(&mut self) -> Result<u64, store::StoreError> {
+        let Some(store) = self.store.as_mut() else {
+            return Ok(0);
+        };
+        let mut ids: Vec<String> = self.refs.map.keys().cloned().collect();
+        ids.sort();
+        let mut appended = 0;
+        for id in ids {
+            if let Some((state, _)) = self.refs.map.get(&id) {
+                appended += store.flush(state)?;
+            }
+        }
+        Ok(appended)
     }
 }
 
@@ -292,166 +1008,17 @@ fn ref_field<'a>(request: &'a Json, cmd: &str) -> Result<&'a str, Json> {
         .ok_or_else(|| error_response(Some(cmd), "missing `ref` field"))
 }
 
-fn cmd_prepare(request: &Json, refs: &mut HashMap<String, RefState>) -> Json {
-    let ref_id = match ref_field(request, "prepare") {
-        Ok(r) => r.to_owned(),
-        Err(e) => return e,
-    };
-    let db_tuples = request
-        .get("db_tuples")
-        .and_then(Json::as_i64)
-        .unwrap_or(60)
-        .max(0) as usize;
-    // The instance is generated daemon-side; cap it so one request cannot
-    // stall the single-threaded loop on data generation alone.
-    const MAX_DB_TUPLES: usize = 100_000;
-    if db_tuples > MAX_DB_TUPLES {
-        return error_response(
-            Some("prepare"),
-            format!("db_tuples {db_tuples} exceeds the daemon cap of {MAX_DB_TUPLES}"),
-        );
-    }
-    let seed = request.get("seed").and_then(Json::as_i64).unwrap_or(2019) as u64;
-    let timeout_ms = request
-        .get("timeout_ms")
-        .and_then(Json::as_i64)
-        .unwrap_or(30_000)
-        .max(0) as u64;
-
-    let db = ratest_datagen::university_database(&ratest_datagen::UniversityConfig {
-        total_tuples: db_tuples,
-        seed,
-        ..Default::default()
-    });
-
-    // Resolve the reference: a course question number or inline source.
-    let (label, reference) = if let Some(n) = request.get("question").and_then(Json::as_i64) {
-        match course_questions()
-            .into_iter()
-            .find(|q| q.number == n as usize)
-        {
-            Some(q) => (q.prompt.to_owned(), q.reference),
-            None => {
-                return error_response(
-                    Some("prepare"),
-                    format!("no course question {n} (valid: 1..8)"),
-                )
-            }
-        }
-    } else {
-        let lang: SourceLang = match request
-            .get("lang")
-            .and_then(Json::as_str)
-            .unwrap_or("sql")
-            .parse()
-        {
-            Ok(l) => l,
-            Err(e) => return error_response(Some("prepare"), e),
-        };
-        let Some(source) = request.get("source").and_then(Json::as_str) else {
-            return error_response(Some("prepare"), "prepare needs `question` or `source`");
-        };
-        match compile_submission(&ref_id, &ref_id, lang, source, &db) {
-            IngestEntry::Parsed(s) => (format!("reference {ref_id}"), s.query),
-            IngestEntry::Rejected(r) => {
-                return error_response(
-                    Some("prepare"),
-                    format!("reference does not compile: {}", r.rendered),
-                )
-            }
-        }
-    };
-
-    let mut options = RatestOptions::default();
-    // Reference preparation (evaluate + annotate) runs under the same
-    // wall-clock bound as grading, so a flooding inline reference cannot
-    // hang the daemon. The deadline is fixed at prepare time; that is safe
-    // because with `timeout_ms > 0` every grade request runs under its own
-    // fresh per-job budget, and with `timeout_ms == 0` the user explicitly
-    // asked for no limits at all.
-    if timeout_ms > 0 {
-        options.budget = ratest_core::session::Budget::unlimited()
-            .with_deadline(Duration::from_millis(timeout_ms));
-    }
-    if let Some(Json::Obj(pairs)) = request.get("params") {
-        for (name, value) in pairs {
-            let value = match value {
-                Json::Int(i) => Value::Int(*i),
-                Json::Str(s) => Value::from(s.as_str()),
-                other => {
-                    return error_response(
-                        Some("prepare"),
-                        format!("param `{name}` must be an int or string, got {other:?}"),
-                    )
-                }
-            };
-            options.parameters.insert(name.clone(), value);
-        }
-    }
-    let grader = Grader::new(GraderConfig {
-        workers: 1,
-        per_job_timeout: Duration::from_millis(timeout_ms),
-        options,
-        // Repair is a per-request opt-in on `grade`, never ambient state.
-        repair: None,
-    });
-
-    // Warm the session now: the context is established (instance hashed,
-    // reference evaluated + annotated) exactly once, at prepare time; every
-    // grade request reuses the handle. A failure here (e.g. a reference
-    // that does not evaluate) is a prepare error.
-    let context = match grader.prepare_context(&reference, &db) {
-        Ok(c) => c,
-        Err(e) => return error_response(Some("prepare"), e.to_string()),
-    };
-    let probe = ExplainRequest::new("__warmup__", "__warmup__", reference.clone());
-    let fingerprint = probe.fingerprint();
-    if let Err(e) = grader.respond_prepared(context, &probe, EventHandle::none()) {
-        return error_response(Some("prepare"), e.to_string());
-    }
-    let shared_annotation = grader.shared_annotation_for(context).unwrap_or(false);
-
-    let baseline = grader.metrics_snapshot();
-    let state = RefState {
-        label,
-        db,
-        grader,
-        context,
-        fingerprint,
-        baseline,
-    };
-    let response = Json::obj(vec![
-        ("ok", Json::Bool(true)),
-        ("cmd", Json::str("prepare")),
-        ("ref", Json::str(&ref_id)),
-        ("label", Json::str(&state.label)),
-        (
-            "fingerprint",
-            Json::str(format!("{:016x}", state.fingerprint)),
-        ),
-        ("shared_annotation", Json::Bool(shared_annotation)),
-        ("db_tuples", Json::Int(state.db.total_tuples() as i64)),
-        ("seed", Json::Int(seed as i64)),
-    ]);
-    refs.insert(ref_id, state);
-    response
-}
-
+/// Grade one submission against a warm reference. Runs on the main loop
+/// when sequential and on its own thread when concurrent — it only touches
+/// the (thread-safe) engine and the shared output lock, never the daemon's
+/// mutable maps.
 fn cmd_grade<W: Write + Send + 'static>(
     request: &Json,
-    refs: &mut HashMap<String, RefState>,
+    ref_id: &str,
+    state: &RefState,
     out: &Arc<Mutex<W>>,
+    disconnected: &Arc<AtomicBool>,
 ) -> Json {
-    let ref_id = match ref_field(request, "grade") {
-        Ok(r) => r.to_owned(),
-        Err(e) => return e,
-    };
-    let Some(state) = refs.get_mut(&ref_id) else {
-        return error_response(
-            Some("grade"),
-            format!("unknown reference `{ref_id}` — `prepare` it first"),
-        );
-    };
     let Some(id) = request.get("id").and_then(Json::as_str) else {
         return error_response(Some("grade"), "missing `id` field");
     };
@@ -485,11 +1052,10 @@ fn cmd_grade<W: Write + Send + 'static>(
         .and_then(Json::as_bool)
         .unwrap_or(false);
 
-    state.grader.metrics().counter_inc("serve.requests.grade");
     let mut pairs = vec![
         ("ok", Json::Bool(true)),
         ("cmd", Json::str("grade")),
-        ("ref", Json::str(&ref_id)),
+        ("ref", Json::str(ref_id)),
         ("id", Json::str(id)),
         ("author", Json::str(&author)),
     ];
@@ -522,7 +1088,7 @@ fn cmd_grade<W: Write + Send + 'static>(
             // A per-request sink (not a shared gate): a stale thread from an
             // earlier timed-out job keeps its own retired sink and can never
             // emit under this request's id.
-            let sink = want_events.then(|| RequestSink::new(out.clone(), id));
+            let sink = want_events.then(|| RequestSink::new(out.clone(), id, disconnected.clone()));
             let events = match &sink {
                 Some(sink) => EventHandle::new(sink.clone() as Arc<dyn EventSink>),
                 None => EventHandle::none(),
@@ -588,40 +1154,6 @@ fn cmd_grade<W: Write + Send + 'static>(
             Json::obj(pairs)
         }
     }
-}
-
-fn cmd_stats(request: &Json, refs: &HashMap<String, RefState>) -> Json {
-    let ref_id = match ref_field(request, "stats") {
-        Ok(r) => r.to_owned(),
-        Err(e) => return e,
-    };
-    let Some(state) = refs.get(&ref_id) else {
-        return error_response(Some("stats"), format!("unknown reference `{ref_id}`"));
-    };
-    // Every headline figure is a registry delta against the post-warmup
-    // baseline, so the prepare-time probe never counts as a student grading
-    // — the old hand-maintained counters (and the `- 1` warmup hack) are
-    // gone. The full deterministic registry rides along under `metrics`
-    // (volatile durations structurally stripped, keeping the reply
-    // byte-reproducible).
-    let snapshot = state.grader.metrics_snapshot();
-    let since = |name: &str| Json::Int(snapshot.counter_since(&state.baseline, name) as i64);
-    let metrics =
-        Json::parse(&snapshot.to_json(false)).expect("registry snapshot renders valid JSON");
-    Json::obj(vec![
-        ("ok", Json::Bool(true)),
-        ("cmd", Json::str("stats")),
-        ("ref", Json::str(&ref_id)),
-        ("graded", since("serve.requests.grade")),
-        ("cache_hits", since("grader.cache_hits")),
-        ("cache_misses", since("grader.cache_misses")),
-        ("searches", since("grader.searches")),
-        (
-            "cached_verdicts",
-            Json::Int(state.grader.cached_verdicts() as i64),
-        ),
-        ("metrics", metrics),
-    ])
 }
 
 #[cfg(test)]
@@ -706,6 +1238,7 @@ mod tests {
         assert_eq!(docs.len(), 7, "{out}");
         assert_eq!(docs[1].get("cmd").and_then(Json::as_str), Some("prepare"));
         assert_eq!(docs[1].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(docs[1].get("warm_refs").and_then(Json::as_i64), Some(1));
 
         // The warm re-grade of s1 is answered from cache.
         assert_eq!(
@@ -777,5 +1310,80 @@ mod tests {
             verdict_events[0].get("agrees").and_then(Json::as_bool),
             Some(false)
         );
+    }
+
+    #[test]
+    fn daemon_scope_stats_report_occupancy() {
+        let script = r#"
+{"cmd":"prepare","ref":"q3","question":3,"db_tuples":24,"seed":7}
+{"cmd":"grade","ref":"q3","id":"s1.ra","lang":"ra","source":"project[s.name, s.major](join[s.name = r.name](rename[s](Student), rename[r](Registration)))"}
+{"cmd":"stats"}
+{"cmd":"shutdown"}
+"#;
+        let out = run(script);
+        let docs: Vec<Json> = out.lines().map(|l| Json::parse(l).unwrap()).collect();
+        let stats = &docs[3];
+        assert_eq!(stats.get("scope").and_then(Json::as_str), Some("daemon"));
+        assert_eq!(stats.get("warm_refs").and_then(Json::as_i64), Some(1));
+        assert_eq!(stats.get("warm_cap"), Some(&Json::Null));
+        assert_eq!(stats.get("evictions").and_then(Json::as_i64), Some(0));
+        assert_eq!(stats.get("graded").and_then(Json::as_i64), Some(1));
+        assert_eq!(stats.get("searches").and_then(Json::as_i64), Some(1));
+        assert_eq!(stats.get("persisted"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn sync_without_a_store_is_an_error() {
+        let out = run("{\"cmd\":\"sync\"}\n{\"cmd\":\"shutdown\"}");
+        let docs: Vec<Json> = out.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(docs[1].get("ok").and_then(Json::as_bool), Some(false));
+        assert!(docs[1]
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("--cache"));
+    }
+
+    /// A writer that fails with `BrokenPipe` after a byte budget — a client
+    /// that hung up mid-conversation.
+    #[derive(Clone)]
+    struct HangupWriter {
+        written: Arc<Mutex<usize>>,
+        budget: usize,
+    }
+
+    impl Write for HangupWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let mut written = self.written.lock().unwrap();
+            if *written + buf.len() > self.budget {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "client went away",
+                ));
+            }
+            *written += buf.len();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn a_client_hangup_is_a_clean_shutdown_not_a_crash() {
+        let script = r#"
+{"cmd":"prepare","ref":"q3","question":3,"db_tuples":24,"seed":7}
+{"cmd":"grade","ref":"q3","id":"s1.ra","lang":"ra","source":"project[s.name, s.major](join[s.name = r.name](rename[s](Student), rename[r](Registration)))"}
+{"cmd":"grade","ref":"q3","id":"s2.ra","lang":"ra","source":"project[s.name](rename[s](Student))"}
+{"cmd":"shutdown"}
+"#;
+        // Budget past the banner + prepare, inside the grade responses: the
+        // daemon must treat the failed write as EPIPE and exit Ok.
+        let writer = HangupWriter {
+            written: Arc::new(Mutex::new(0)),
+            budget: 400,
+        };
+        let result = serve(script.as_bytes(), writer);
+        assert!(result.is_ok(), "{result:?}");
     }
 }

@@ -440,6 +440,50 @@ fn warm_regrade_metrics_prove_zero_searches() {
     }
 }
 
+/// The occupancy gauges report *current* values, not high-water marks:
+/// `grader.queue_depth` drains back to zero with the queue, and
+/// `grader.warm_sessions` goes down when the warm cap evicts a session.
+#[test]
+fn occupancy_gauges_track_real_values_not_high_water_marks() {
+    let db = hidden_instance();
+    let reference = q1_reference();
+    let cohort = examples_cohort(&db);
+    let mut config = GraderConfig {
+        workers: 2,
+        warm_cap: Some(1),
+        ..Default::default()
+    };
+    config
+        .options
+        .parameters
+        .insert("minCS".into(), Value::Int(1));
+    let engine = Grader::new(config);
+    engine
+        .grade_cohort("course question 1", &reference, &db, &cohort)
+        .unwrap();
+
+    // The queue was non-empty mid-batch, but once the batch drains the
+    // gauge reads the real depth (zero), not the batch's high-water mark.
+    let snapshot = engine.metrics_snapshot();
+    assert_eq!(snapshot.gauge("grader.queue_depth"), Some(0));
+    assert_eq!(snapshot.gauge("grader.warm_sessions"), Some(1));
+    assert_eq!(engine.warm_sessions(), 1);
+
+    // Grading a second context under a cap of one evicts the first; the
+    // gauge moves with real occupancy instead of only ever increasing.
+    let q2 = course_questions()
+        .into_iter()
+        .find(|q| q.number == 2)
+        .expect("course question 2 exists")
+        .reference;
+    engine
+        .grade_cohort("course question 2", &q2, &db, &cohort)
+        .unwrap();
+    assert_eq!(engine.warm_sessions(), 1);
+    assert_eq!(engine.metrics().gauge("grader.warm_sessions"), Some(1));
+    assert_eq!(engine.metrics().counter("grader.session_evictions"), 1);
+}
+
 /// Two identical cold runs on fresh engines produce byte-identical metrics
 /// JSON once the volatile duration section is (structurally) stripped.
 #[test]

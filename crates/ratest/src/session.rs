@@ -89,6 +89,14 @@ impl Budget {
     }
 
     /// Limit the run to `timeout` of wall-clock time from *now*.
+    ///
+    /// A budget is not only for search work: the serve daemon uses
+    /// `Budget::unlimited().with_deadline(t)` as an **admission timer** —
+    /// polling it while waiting for a free worker slot, and answering with a
+    /// rejected-overloaded verdict once it expires, so a flooded daemon
+    /// degrades to fast rejections instead of unbounded queueing. A zero
+    /// `timeout` expires on the first poll ([`Budget::poll`] treats
+    /// "now == deadline" as exceeded), which such callers rely on.
     pub fn with_deadline(mut self, timeout: Duration) -> Budget {
         self.deadline = Some(Instant::now() + timeout);
         self

@@ -82,6 +82,12 @@ impl MetricsRegistry {
     }
 
     /// Set the named gauge to `value`.
+    ///
+    /// This is the right primitive for **occupancy** gauges (queue depth,
+    /// warm-session count): the gauge reports the current value and can go
+    /// back down. Use [`MetricsRegistry::gauge_max`] only for genuine
+    /// high-water marks — a long-running daemon that reports occupancy via
+    /// `gauge_max` shows fictional, monotone state forever.
     pub fn gauge_set(&self, name: &str, value: i64) {
         let mut inner = self.inner.lock().unwrap();
         inner.gauges.insert(name.to_string(), value);
@@ -185,6 +191,11 @@ impl MetricsSnapshot {
     /// Counter delta against an earlier baseline snapshot (saturating).
     pub fn counter_since(&self, baseline: &MetricsSnapshot, name: &str) -> u64 {
         self.counter(name).saturating_sub(baseline.counter(name))
+    }
+
+    /// Read a gauge from the snapshot; `None` if it was never set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
     }
 
     /// Render as JSON. The deterministic sections always appear (possibly as
