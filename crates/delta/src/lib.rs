@@ -1,0 +1,1461 @@
+//! Incremental (delta) re-evaluation and provenance for candidate
+//! sub-instances.
+//!
+//! The RATest search algorithms evaluate hundreds of candidate
+//! sub-instances per explain request, and each candidate differs from the
+//! full instance only by a handful of *deleted* tuples. The scratch
+//! evaluator ([`ratest_ra::eval::evaluate_interruptible`]) recomputes every
+//! candidate from the leaves up; this crate instead compiles a query once
+//! into a [`DeltaPlan`] — an arena of operator nodes holding per-operator
+//! state — and answers each candidate by replaying interned row ids through
+//! the operator tree, reusing every predicate verdict, projected row, join
+//! pair, difference membership probe and aggregate argument computed for
+//! any earlier candidate (including the base pass over the full instance).
+//!
+//! # State model
+//!
+//! Nodes are stored in post-order (children before parents), so a linear
+//! bottom-up pass visits rows in exactly the order the scratch evaluator's
+//! recursion does. Each node owns a *row interner* mapping the distinct
+//! output rows it has ever produced to dense `u32` ids, plus operator
+//! memos keyed by child row ids:
+//!
+//! * **Scan** — the base relation's `(tuple id, row id)` list, filtered per
+//!   candidate by the [`TupleSelection`].
+//! * **Select** — a predicate-verdict memo per child row.
+//! * **Project / Rename** — a child-row → output-row translation memo.
+//! * **Join** — resolved hash-join keys, a key interner with per-child key
+//!   memos, and a `(left, right) → output` pair memo carrying the residual
+//!   predicate's verdict.
+//! * **Union / Difference** — translation memos; difference additionally
+//!   memoizes the right-side membership probe for each left row
+//!   (generation-guarded, since aggregate descendants can intern new rows
+//!   in later candidates).
+//! * **GroupBy** — a group-key interner, per-row key and aggregate-argument
+//!   memos, and the base pass's per-group member lists so unchanged groups
+//!   are emitted without re-aggregation.
+//!
+//! Replay produces byte-identical results to scratch evaluation: rows are
+//! deduplicated, ordered and (for annotation) provenance-merged by the same
+//! code path shape, and for SPJUD queries the [`Pacer`] tick sequence — and
+//! therefore interrupt behaviour under a budget — is identical too. The
+//! only pacing deviation is the unchanged-group fast path of `GroupBy`,
+//! which skips the per-member aggregate ticks that scratch evaluation would
+//! pay.
+//!
+//! # Fallback rules
+//!
+//! Compilation fails (and callers fall back to scratch evaluation) when the
+//! base instance violates its own constraints, when the query does not
+//! typecheck, or when the self-check against a caller-supplied expected
+//! base result fails. Provenance replay is only offered for aggregate-free
+//! queries, mirroring the scratch annotator.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use ratest_provenance::annotate::AnnotatedResult;
+use ratest_provenance::boolexpr::BoolExpr;
+use ratest_ra::ast::{AggCall, Query};
+use ratest_ra::error::QueryError;
+use ratest_ra::eval::{compute_aggregate, hash_join_keys, ResultSet};
+use ratest_ra::expr::{Expr, ParamMap};
+use ratest_ra::interrupt::{Interrupt, Pacer};
+use ratest_ra::typecheck::{output_schema, rename_schema};
+use ratest_storage::{Database, Schema, TupleId, TupleSelection, Value};
+
+/// Errors from delta compilation or replay.
+#[derive(Debug)]
+pub enum DeltaError {
+    /// An underlying evaluation error (including interrupts, which callers
+    /// should propagate rather than treat as a fallback trigger).
+    Query(QueryError),
+    /// The query or instance is outside what the delta engine supports.
+    Unsupported(String),
+    /// The base replay disagreed with the caller-supplied expected result.
+    SelfCheck(String),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Query(e) => write!(f, "delta evaluation failed: {e}"),
+            DeltaError::Unsupported(m) => write!(f, "delta evaluation unsupported: {m}"),
+            DeltaError::SelfCheck(m) => write!(f, "delta self-check failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<QueryError> for DeltaError {
+    fn from(e: QueryError) -> Self {
+        DeltaError::Query(e)
+    }
+}
+
+impl From<ratest_storage::StorageError> for DeltaError {
+    fn from(e: ratest_storage::StorageError) -> Self {
+        DeltaError::Query(QueryError::from(e))
+    }
+}
+
+/// `Result` alias for this crate.
+pub type Result<T> = std::result::Result<T, DeltaError>;
+
+/// Interns distinct output rows of one operator node as dense `u32` ids and
+/// carries the per-candidate presence stamps used for set-semantics
+/// deduplication (`seen`) and provenance merging (`annot_seen`/`annot_slot`).
+#[derive(Default)]
+struct RowInterner {
+    rows: Vec<Vec<Value>>,
+    ids: HashMap<Vec<Value>, u32>,
+    seen: Vec<u64>,
+    annot_seen: Vec<u64>,
+    annot_slot: Vec<u32>,
+}
+
+impl RowInterner {
+    fn intern(&mut self, values: Vec<Value>) -> u32 {
+        if let Some(&id) = self.ids.get(&values) {
+            return id;
+        }
+        let id = self.rows.len() as u32;
+        self.ids.insert(values.clone(), id);
+        self.rows.push(values);
+        self.seen.push(0);
+        self.annot_seen.push(0);
+        self.annot_slot.push(0);
+        id
+    }
+
+    fn lookup(&self, values: &[Value]) -> Option<u32> {
+        self.ids.get(values).copied()
+    }
+
+    fn row(&self, id: u32) -> &[Value] {
+        &self.rows[id as usize]
+    }
+
+    /// Set-semantics push: emit `id` once per replay epoch.
+    fn push_out(&mut self, id: u32, epoch: u64, out: &mut Vec<u32>) {
+        let i = id as usize;
+        if self.seen[i] != epoch {
+            self.seen[i] = epoch;
+            out.push(id);
+        }
+    }
+
+    /// Provenance push mirroring `AnnotatedResult::push`: drop `False`
+    /// annotations, OR-merge duplicates in first-occurrence position.
+    fn push_annot(&mut self, id: u32, provenance: BoolExpr, epoch: u64, out: &mut AnnotBuf) {
+        if provenance.is_false() {
+            return;
+        }
+        let i = id as usize;
+        if self.annot_seen[i] == epoch {
+            let slot = self.annot_slot[i] as usize;
+            let existing = std::mem::replace(&mut out[slot].1, BoolExpr::False);
+            out[slot].1 = BoolExpr::or2(existing, provenance);
+        } else {
+            self.annot_seen[i] = epoch;
+            self.annot_slot[i] = out.len() as u32;
+            out.push((id, provenance));
+        }
+    }
+}
+
+/// Interns group-by keys / join keys.
+#[derive(Default)]
+struct KeyInterner {
+    rows: Vec<Vec<Value>>,
+    ids: HashMap<Vec<Value>, u32>,
+}
+
+impl KeyInterner {
+    fn intern(&mut self, key: Vec<Value>) -> u32 {
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.rows.len() as u32;
+        self.ids.insert(key.clone(), id);
+        self.rows.push(key);
+        id
+    }
+}
+
+/// Grow-on-demand memo vector indexed by a child row id.
+fn memo_slot<T>(v: &mut Vec<Option<T>>, i: u32) -> &mut Option<T> {
+    let i = i as usize;
+    if v.len() <= i {
+        v.resize_with(i + 1, || None);
+    }
+    &mut v[i]
+}
+
+/// A memoized right-side membership probe of a difference node. The cached
+/// miss (`id == None`) is only valid while the right child has interned
+/// `checked_len` rows; a hit is a value-level fact and stays valid forever.
+#[derive(Clone, Copy)]
+struct RightMatch {
+    checked_len: u32,
+    id: Option<u32>,
+}
+
+/// The base-pass summary of one group of a `GroupBy` node: when a
+/// candidate's member list for the group is unchanged, the output row and
+/// HAVING verdict are reused without re-aggregating.
+struct GroupBase {
+    members: Vec<u32>,
+    out: u32,
+    keep: bool,
+}
+
+enum JoinStrategy {
+    Hash {
+        lk: Vec<usize>,
+        rk: Vec<usize>,
+        residual: Option<Expr>,
+        keys: KeyInterner,
+        lkey: Vec<Option<u32>>,
+        rkey: Vec<Option<u32>>,
+    },
+    Nested {
+        predicate: Option<Expr>,
+    },
+}
+
+enum Kind {
+    Scan {
+        base: Vec<(TupleId, u32)>,
+    },
+    Select {
+        child: usize,
+        predicate: Expr,
+        verdict: Vec<Option<bool>>,
+        map: Vec<Option<u32>>,
+    },
+    Project {
+        child: usize,
+        items: Vec<Expr>,
+        map: Vec<Option<u32>>,
+    },
+    Join {
+        left: usize,
+        right: usize,
+        strategy: JoinStrategy,
+        pair: HashMap<(u32, u32), Option<u32>>,
+    },
+    Union {
+        left: usize,
+        right: usize,
+        lmap: Vec<Option<u32>>,
+        rmap: Vec<Option<u32>>,
+    },
+    Difference {
+        left: usize,
+        right: usize,
+        lmap: Vec<Option<u32>>,
+        rmatch: Vec<Option<RightMatch>>,
+    },
+    Rename {
+        child: usize,
+        map: Vec<Option<u32>>,
+    },
+    GroupBy {
+        child: usize,
+        group_idx: Vec<usize>,
+        aggregates: Vec<AggCall>,
+        having: Option<Expr>,
+        keys: KeyInterner,
+        key_memo: Vec<Option<u32>>,
+        arg_memo: Vec<Vec<Option<Value>>>,
+        having_memo: HashMap<u32, bool>,
+        base_groups: HashMap<u32, GroupBase>,
+    },
+}
+
+struct Node {
+    schema: Schema,
+    kind: Kind,
+    interner: RowInterner,
+}
+
+type AnnotBuf = Vec<(u32, BoolExpr)>;
+
+/// A compiled incremental evaluation plan for one query over one base
+/// instance with fixed parameter bindings.
+pub struct DeltaPlan {
+    nodes: Vec<Node>,
+    root: usize,
+    params: ParamMap,
+    db_total: usize,
+    annot_supported: bool,
+    epoch: u64,
+    outs: Vec<Vec<u32>>,
+    annot_outs: Vec<AnnotBuf>,
+    base_result: ResultSet,
+}
+
+impl fmt::Debug for DeltaPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeltaPlan")
+            .field("nodes", &self.nodes.len())
+            .field("db_total", &self.db_total)
+            .field("annot_supported", &self.annot_supported)
+            .finish()
+    }
+}
+
+impl DeltaPlan {
+    /// Compile `query` over `db` with `params`, running the base evaluation
+    /// pass over the full instance under `interrupt`. When `expected` is
+    /// supplied the base result is compared against it (full structural
+    /// equality) and a mismatch fails compilation, so callers can fall back
+    /// to scratch evaluation rather than trust a divergent plan.
+    pub fn compile(
+        query: &Query,
+        db: &Database,
+        params: &ParamMap,
+        interrupt: &Interrupt,
+        expected: Option<&ResultSet>,
+    ) -> Result<DeltaPlan> {
+        if db.validate_constraints().is_err() {
+            // A foreign-key-closed subset of a *valid* instance always
+            // validates, which is what lets replay skip per-candidate
+            // constraint checks; without base validity that shortcut is
+            // unsound, so refuse to compile.
+            return Err(DeltaError::Unsupported(
+                "base instance violates its own constraints".into(),
+            ));
+        }
+        let mut nodes = Vec::new();
+        build_node(query, db, &mut nodes)?;
+        let n = nodes.len();
+        let mut plan = DeltaPlan {
+            nodes,
+            root: n - 1,
+            params: params.clone(),
+            db_total: db.total_tuples(),
+            annot_supported: !query.has_aggregates(),
+            epoch: 0,
+            outs: vec![Vec::new(); n],
+            annot_outs: vec![Vec::new(); n],
+            base_result: ResultSet::empty(Schema::empty()),
+        };
+        let (base, _work) = plan.eval_replay(None, interrupt, true)?;
+        if let Some(exp) = expected {
+            if &base != exp {
+                return Err(DeltaError::SelfCheck(
+                    "base delta evaluation disagrees with the scratch result".into(),
+                ));
+            }
+        }
+        plan.base_result = base;
+        Ok(plan)
+    }
+
+    /// The base pass's result over the full instance.
+    pub fn base_result(&self) -> &ResultSet {
+        &self.base_result
+    }
+
+    /// The parameter bindings the plan was compiled with.
+    pub fn params(&self) -> &ParamMap {
+        &self.params
+    }
+
+    /// Total tuples in the base instance (for delta-size accounting).
+    pub fn base_tuples(&self) -> usize {
+        self.db_total
+    }
+
+    /// Whether [`DeltaPlan::annotate`] is available (aggregate-free query).
+    pub fn supports_annotation(&self) -> bool {
+        self.annot_supported
+    }
+
+    /// Evaluate the query over the sub-instance induced by `selection`,
+    /// returning the result and the rows-scanned work counter (the same
+    /// quantity scratch evaluation would report as `ra.eval.rows_scanned`
+    /// minus the savings from memoized group reuse).
+    pub fn eval(
+        &mut self,
+        selection: &TupleSelection,
+        interrupt: &Interrupt,
+    ) -> Result<(ResultSet, u64)> {
+        self.eval_replay(Some(selection), interrupt, false)
+    }
+
+    /// Annotate the query over the sub-instance induced by `selection` with
+    /// how-provenance, byte-identical to `annotate_interruptible` over the
+    /// materialized sub-instance.
+    pub fn annotate(
+        &mut self,
+        selection: &TupleSelection,
+        interrupt: &Interrupt,
+    ) -> Result<(AnnotatedResult, u64)> {
+        if !self.annot_supported {
+            return Err(DeltaError::Unsupported(
+                "provenance replay is not defined for aggregate queries".into(),
+            ));
+        }
+        self.annot_replay(selection, interrupt)
+    }
+
+    fn eval_replay(
+        &mut self,
+        selection: Option<&TupleSelection>,
+        interrupt: &Interrupt,
+        compiling: bool,
+    ) -> Result<(ResultSet, u64)> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let pacer = Pacer::new(interrupt);
+        for idx in 0..self.nodes.len() {
+            let mut buf = std::mem::take(&mut self.outs[idx]);
+            buf.clear();
+            let (head, tail) = self.nodes.split_at_mut(idx);
+            let res = eval_one(
+                &mut tail[0],
+                head,
+                &self.outs,
+                &self.params,
+                &pacer,
+                epoch,
+                selection,
+                compiling,
+                &mut buf,
+            );
+            self.outs[idx] = buf;
+            res?;
+        }
+        let root = &self.nodes[self.root];
+        let mut out = ResultSet::empty(root.schema.clone());
+        for &oid in &self.outs[self.root] {
+            out.push(root.interner.row(oid).to_vec());
+        }
+        Ok((out, pacer.work()))
+    }
+
+    fn annot_replay(
+        &mut self,
+        selection: &TupleSelection,
+        interrupt: &Interrupt,
+    ) -> Result<(AnnotatedResult, u64)> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let pacer = Pacer::new(interrupt);
+        for idx in 0..self.nodes.len() {
+            let mut buf = std::mem::take(&mut self.annot_outs[idx]);
+            buf.clear();
+            let (head, tail) = self.nodes.split_at_mut(idx);
+            let res = annot_one(
+                &mut tail[0],
+                head,
+                &self.annot_outs,
+                &self.params,
+                &pacer,
+                epoch,
+                selection,
+                &mut buf,
+            );
+            self.annot_outs[idx] = buf;
+            res?;
+        }
+        let root = &self.nodes[self.root];
+        let mut out = AnnotatedResult::empty(root.schema.clone());
+        for (oid, prov) in &self.annot_outs[self.root] {
+            out.push(root.interner.row(*oid).to_vec(), prov.clone());
+        }
+        Ok((out, pacer.work()))
+    }
+}
+
+fn build_node(query: &Query, db: &Database, nodes: &mut Vec<Node>) -> Result<usize> {
+    let node = match query {
+        Query::Relation(name) => {
+            let rel = db.relation(name)?;
+            let mut interner = RowInterner::default();
+            let mut base = Vec::new();
+            for t in rel.iter() {
+                let tid =
+                    t.id.ok_or_else(|| DeltaError::Unsupported("base tuple without an id".into()))?;
+                base.push((tid, interner.intern(t.values.clone())));
+            }
+            Node {
+                schema: rel.schema().clone(),
+                kind: Kind::Scan { base },
+                interner,
+            }
+        }
+        Query::Select { input, predicate } => {
+            let child = build_node(input, db, nodes)?;
+            Node {
+                schema: nodes[child].schema.clone(),
+                kind: Kind::Select {
+                    child,
+                    predicate: predicate.clone(),
+                    verdict: Vec::new(),
+                    map: Vec::new(),
+                },
+                interner: RowInterner::default(),
+            }
+        }
+        Query::Project { input, items } => {
+            let child = build_node(input, db, nodes)?;
+            Node {
+                schema: output_schema(query, db)?,
+                kind: Kind::Project {
+                    child,
+                    items: items.iter().map(|it| it.expr.clone()).collect(),
+                    map: Vec::new(),
+                },
+                interner: RowInterner::default(),
+            }
+        }
+        Query::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = build_node(left, db, nodes)?;
+            let r = build_node(right, db, nodes)?;
+            let lschema = nodes[l].schema.clone();
+            let rschema = &nodes[r].schema;
+            let strategy = match predicate {
+                Some(pred) => match hash_join_keys(pred, &lschema, rschema) {
+                    Some((lk, rk, residual)) => JoinStrategy::Hash {
+                        lk,
+                        rk,
+                        residual,
+                        keys: KeyInterner::default(),
+                        lkey: Vec::new(),
+                        rkey: Vec::new(),
+                    },
+                    None => JoinStrategy::Nested {
+                        predicate: Some(pred.clone()),
+                    },
+                },
+                None => JoinStrategy::Nested { predicate: None },
+            };
+            Node {
+                schema: lschema.concat(rschema),
+                kind: Kind::Join {
+                    left: l,
+                    right: r,
+                    strategy,
+                    pair: HashMap::new(),
+                },
+                interner: RowInterner::default(),
+            }
+        }
+        Query::Union { left, right } => {
+            let l = build_node(left, db, nodes)?;
+            let r = build_node(right, db, nodes)?;
+            check_compat(&nodes[l].schema, &nodes[r].schema)?;
+            Node {
+                schema: nodes[l].schema.clone(),
+                kind: Kind::Union {
+                    left: l,
+                    right: r,
+                    lmap: Vec::new(),
+                    rmap: Vec::new(),
+                },
+                interner: RowInterner::default(),
+            }
+        }
+        Query::Difference { left, right } => {
+            let l = build_node(left, db, nodes)?;
+            let r = build_node(right, db, nodes)?;
+            check_compat(&nodes[l].schema, &nodes[r].schema)?;
+            Node {
+                schema: nodes[l].schema.clone(),
+                kind: Kind::Difference {
+                    left: l,
+                    right: r,
+                    lmap: Vec::new(),
+                    rmatch: Vec::new(),
+                },
+                interner: RowInterner::default(),
+            }
+        }
+        Query::Rename { input, prefix } => {
+            let child = build_node(input, db, nodes)?;
+            Node {
+                schema: rename_schema(&nodes[child].schema, prefix),
+                kind: Kind::Rename {
+                    child,
+                    map: Vec::new(),
+                },
+                interner: RowInterner::default(),
+            }
+        }
+        Query::GroupBy {
+            input,
+            group_by,
+            aggregates,
+            having,
+        } => {
+            let child = build_node(input, db, nodes)?;
+            let group_idx = group_by
+                .iter()
+                .map(|g| Expr::resolve_column(&nodes[child].schema, g))
+                .collect::<std::result::Result<Vec<_>, _>>()?;
+            Node {
+                schema: output_schema(query, db)?,
+                kind: Kind::GroupBy {
+                    child,
+                    group_idx,
+                    aggregates: aggregates.clone(),
+                    having: having.clone(),
+                    keys: KeyInterner::default(),
+                    key_memo: Vec::new(),
+                    arg_memo: vec![Vec::new(); aggregates.len()],
+                    having_memo: HashMap::new(),
+                    base_groups: HashMap::new(),
+                },
+                interner: RowInterner::default(),
+            }
+        }
+    };
+    nodes.push(node);
+    Ok(nodes.len() - 1)
+}
+
+fn check_compat(l: &Schema, r: &Schema) -> Result<()> {
+    if !l.union_compatible(r) {
+        return Err(DeltaError::Query(QueryError::NotUnionCompatible {
+            left: l.to_string(),
+            right: r.to_string(),
+        }));
+    }
+    Ok(())
+}
+
+/// Memoized key lookup for join/group keys: child row id → key id.
+fn key_of(
+    keys: &mut KeyInterner,
+    memo: &mut Vec<Option<u32>>,
+    cols: &[usize],
+    child: &RowInterner,
+    cid: u32,
+) -> u32 {
+    let slot = memo_slot(memo, cid);
+    if let Some(k) = slot {
+        return *k;
+    }
+    let row = child.row(cid);
+    let key: Vec<Value> = cols.iter().map(|&k| row[k].clone()).collect();
+    let id = keys.intern(key);
+    *slot = Some(id);
+    id
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_one(
+    node: &mut Node,
+    head: &[Node],
+    outs: &[Vec<u32>],
+    params: &ParamMap,
+    pacer: &Pacer,
+    epoch: u64,
+    selection: Option<&TupleSelection>,
+    compiling: bool,
+    out: &mut Vec<u32>,
+) -> Result<()> {
+    match &mut node.kind {
+        Kind::Scan { base } => {
+            for &(tid, rid) in base.iter() {
+                if selection.is_none_or(|s| s.contains(tid)) {
+                    node.interner.push_out(rid, epoch, out);
+                }
+            }
+        }
+        Kind::Select {
+            child,
+            predicate,
+            verdict,
+            map,
+        } => {
+            let ch = &head[*child];
+            for &cid in &outs[*child] {
+                pacer.tick()?;
+                let keep = match memo_slot(verdict, cid) {
+                    Some(b) => *b,
+                    slot => {
+                        let b =
+                            predicate.eval_predicate(&ch.schema, ch.interner.row(cid), params)?;
+                        *slot = Some(b);
+                        b
+                    }
+                };
+                if keep {
+                    let oid = match memo_slot(map, cid) {
+                        Some(o) => *o,
+                        slot => {
+                            let o = node.interner.intern(ch.interner.row(cid).to_vec());
+                            *slot = Some(o);
+                            o
+                        }
+                    };
+                    node.interner.push_out(oid, epoch, out);
+                }
+            }
+        }
+        Kind::Project { child, items, map } => {
+            let ch = &head[*child];
+            for &cid in &outs[*child] {
+                pacer.tick()?;
+                let oid = match memo_slot(map, cid) {
+                    Some(o) => *o,
+                    slot => {
+                        let row = ch.interner.row(cid);
+                        let mut projected = Vec::with_capacity(items.len());
+                        for item in items.iter() {
+                            projected.push(item.eval(&ch.schema, row, params)?);
+                        }
+                        let o = node.interner.intern(projected);
+                        *slot = Some(o);
+                        o
+                    }
+                };
+                node.interner.push_out(oid, epoch, out);
+            }
+        }
+        Kind::Join {
+            left,
+            right,
+            strategy,
+            pair,
+        } => {
+            let lch = &head[*left];
+            let rch = &head[*right];
+            match strategy {
+                JoinStrategy::Hash {
+                    lk,
+                    rk,
+                    residual,
+                    keys,
+                    lkey,
+                    rkey,
+                } => {
+                    let mut table: HashMap<u32, Vec<u32>> = HashMap::new();
+                    for &rc in &outs[*right] {
+                        let kid = key_of(keys, rkey, rk, &rch.interner, rc);
+                        table.entry(kid).or_default().push(rc);
+                    }
+                    for &lc in &outs[*left] {
+                        pacer.tick()?;
+                        let kid = key_of(keys, lkey, lk, &lch.interner, lc);
+                        if let Some(matches) = table.get(&kid) {
+                            for &rc in matches {
+                                pacer.tick()?;
+                                let oid = match pair.get(&(lc, rc)) {
+                                    Some(o) => *o,
+                                    None => {
+                                        let mut row = lch.interner.row(lc).to_vec();
+                                        row.extend(rch.interner.row(rc).iter().cloned());
+                                        let ok = match residual {
+                                            Some(res) => {
+                                                res.eval_predicate(&node.schema, &row, params)?
+                                            }
+                                            None => true,
+                                        };
+                                        let o = ok.then(|| node.interner.intern(row));
+                                        pair.insert((lc, rc), o);
+                                        o
+                                    }
+                                };
+                                if let Some(oid) = oid {
+                                    node.interner.push_out(oid, epoch, out);
+                                }
+                            }
+                        }
+                    }
+                }
+                JoinStrategy::Nested { predicate } => {
+                    for &lc in &outs[*left] {
+                        for &rc in &outs[*right] {
+                            pacer.tick()?;
+                            let oid = match pair.get(&(lc, rc)) {
+                                Some(o) => *o,
+                                None => {
+                                    let mut row = lch.interner.row(lc).to_vec();
+                                    row.extend(rch.interner.row(rc).iter().cloned());
+                                    let ok = match predicate {
+                                        Some(p) => p.eval_predicate(&node.schema, &row, params)?,
+                                        None => true,
+                                    };
+                                    let o = ok.then(|| node.interner.intern(row));
+                                    pair.insert((lc, rc), o);
+                                    o
+                                }
+                            };
+                            if let Some(oid) = oid {
+                                node.interner.push_out(oid, epoch, out);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Kind::Union {
+            left,
+            right,
+            lmap,
+            rmap,
+        } => {
+            for (src, map) in [(*left, &mut *lmap), (*right, &mut *rmap)] {
+                let ch = &head[src];
+                for &cid in &outs[src] {
+                    pacer.tick()?;
+                    let oid = match memo_slot(map, cid) {
+                        Some(o) => *o,
+                        slot => {
+                            let o = node.interner.intern(ch.interner.row(cid).to_vec());
+                            *slot = Some(o);
+                            o
+                        }
+                    };
+                    node.interner.push_out(oid, epoch, out);
+                }
+            }
+        }
+        Kind::Difference {
+            left,
+            right,
+            lmap,
+            rmatch,
+        } => {
+            let lch = &head[*left];
+            let rch = &head[*right];
+            for &cid in &outs[*left] {
+                pacer.tick()?;
+                let rid = resolve_rmatch(rmatch, cid, &lch.interner, &rch.interner);
+                let present = rid.is_some_and(|r| rch.interner.seen[r as usize] == epoch);
+                if !present {
+                    let oid = match memo_slot(lmap, cid) {
+                        Some(o) => *o,
+                        slot => {
+                            let o = node.interner.intern(lch.interner.row(cid).to_vec());
+                            *slot = Some(o);
+                            o
+                        }
+                    };
+                    node.interner.push_out(oid, epoch, out);
+                }
+            }
+        }
+        Kind::Rename { child, map } => {
+            let ch = &head[*child];
+            for &cid in &outs[*child] {
+                let oid = match memo_slot(map, cid) {
+                    Some(o) => *o,
+                    slot => {
+                        let o = node.interner.intern(ch.interner.row(cid).to_vec());
+                        *slot = Some(o);
+                        o
+                    }
+                };
+                node.interner.push_out(oid, epoch, out);
+            }
+        }
+        Kind::GroupBy {
+            child,
+            group_idx,
+            aggregates,
+            having,
+            keys,
+            key_memo,
+            arg_memo,
+            having_memo,
+            base_groups,
+        } => {
+            let ch = &head[*child];
+            let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
+            let mut order: Vec<u32> = Vec::new();
+            for &cid in &outs[*child] {
+                pacer.tick()?;
+                let kid = key_of(keys, key_memo, group_idx, &ch.interner, cid);
+                if !groups.contains_key(&kid) {
+                    order.push(kid);
+                }
+                groups.entry(kid).or_default().push(cid);
+            }
+            for kid in order {
+                let members = &groups[&kid];
+                if !compiling {
+                    if let Some(base) = base_groups.get(&kid) {
+                        if base.members == *members {
+                            // Unchanged group: reuse the base output row and
+                            // HAVING verdict without paying the per-member
+                            // aggregate ticks scratch evaluation would.
+                            if base.keep {
+                                node.interner.push_out(base.out, epoch, out);
+                            }
+                            continue;
+                        }
+                    }
+                }
+                let mut output_row = keys.rows[kid as usize].clone();
+                for (ai, agg) in aggregates.iter().enumerate() {
+                    let am = &mut arg_memo[ai];
+                    let mut args = Vec::with_capacity(members.len());
+                    for &cid in members {
+                        pacer.tick()?;
+                        let v = match memo_slot(am, cid) {
+                            Some(v) => v.clone(),
+                            slot => {
+                                let v = agg.arg.eval(&ch.schema, ch.interner.row(cid), params)?;
+                                *slot = Some(v.clone());
+                                v
+                            }
+                        };
+                        args.push(v);
+                    }
+                    output_row.push(compute_aggregate(agg.func, &args)?);
+                }
+                let oid = node.interner.intern(output_row);
+                let keep = match having_memo.get(&oid) {
+                    Some(&b) => b,
+                    None => {
+                        let b = match having {
+                            Some(h) => {
+                                h.eval_predicate(&node.schema, node.interner.row(oid), params)?
+                            }
+                            None => true,
+                        };
+                        having_memo.insert(oid, b);
+                        b
+                    }
+                };
+                if keep {
+                    node.interner.push_out(oid, epoch, out);
+                }
+                if compiling {
+                    base_groups.insert(
+                        kid,
+                        GroupBase {
+                            members: members.clone(),
+                            out: oid,
+                            keep,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Resolve the memoized right-side membership probe for a difference node's
+/// left row, re-probing when a cached miss may have been invalidated by the
+/// right child interning new rows.
+fn resolve_rmatch(
+    rmatch: &mut Vec<Option<RightMatch>>,
+    cid: u32,
+    lch: &RowInterner,
+    rch: &RowInterner,
+) -> Option<u32> {
+    let slot = memo_slot(rmatch, cid);
+    if let Some(m) = slot {
+        if m.id.is_some() || m.checked_len as usize == rch.rows.len() {
+            return m.id;
+        }
+    }
+    let id = rch.lookup(lch.row(cid));
+    *slot = Some(RightMatch {
+        checked_len: rch.rows.len() as u32,
+        id,
+    });
+    id
+}
+
+#[allow(clippy::too_many_arguments)]
+fn annot_one(
+    node: &mut Node,
+    head: &[Node],
+    annot_outs: &[AnnotBuf],
+    params: &ParamMap,
+    pacer: &Pacer,
+    epoch: u64,
+    selection: &TupleSelection,
+    out: &mut AnnotBuf,
+) -> Result<()> {
+    match &mut node.kind {
+        Kind::Scan { base } => {
+            for &(tid, rid) in base.iter() {
+                if selection.contains(tid) {
+                    node.interner
+                        .push_annot(rid, BoolExpr::var(tid), epoch, out);
+                }
+            }
+        }
+        Kind::Select {
+            child,
+            predicate,
+            verdict,
+            map,
+        } => {
+            let ch = &head[*child];
+            for (cid, prov) in &annot_outs[*child] {
+                pacer.tick()?;
+                let keep = match memo_slot(verdict, *cid) {
+                    Some(b) => *b,
+                    slot => {
+                        let b =
+                            predicate.eval_predicate(&ch.schema, ch.interner.row(*cid), params)?;
+                        *slot = Some(b);
+                        b
+                    }
+                };
+                if keep {
+                    let oid = match memo_slot(map, *cid) {
+                        Some(o) => *o,
+                        slot => {
+                            let o = node.interner.intern(ch.interner.row(*cid).to_vec());
+                            *slot = Some(o);
+                            o
+                        }
+                    };
+                    node.interner.push_annot(oid, prov.clone(), epoch, out);
+                }
+            }
+        }
+        Kind::Project { child, items, map } => {
+            let ch = &head[*child];
+            for (cid, prov) in &annot_outs[*child] {
+                pacer.tick()?;
+                let oid = match memo_slot(map, *cid) {
+                    Some(o) => *o,
+                    slot => {
+                        let row = ch.interner.row(*cid);
+                        let mut projected = Vec::with_capacity(items.len());
+                        for item in items.iter() {
+                            projected.push(item.eval(&ch.schema, row, params)?);
+                        }
+                        let o = node.interner.intern(projected);
+                        *slot = Some(o);
+                        o
+                    }
+                };
+                node.interner.push_annot(oid, prov.clone(), epoch, out);
+            }
+        }
+        Kind::Join {
+            left,
+            right,
+            strategy,
+            pair,
+        } => {
+            let lch = &head[*left];
+            let rch = &head[*right];
+            let lannot = &annot_outs[*left];
+            let rannot = &annot_outs[*right];
+            match strategy {
+                JoinStrategy::Hash {
+                    lk,
+                    rk,
+                    residual,
+                    keys,
+                    lkey,
+                    rkey,
+                } => {
+                    let mut table: HashMap<u32, Vec<usize>> = HashMap::new();
+                    for (i, (rc, _)) in rannot.iter().enumerate() {
+                        let kid = key_of(keys, rkey, rk, &rch.interner, *rc);
+                        table.entry(kid).or_default().push(i);
+                    }
+                    for (lc, lp) in lannot {
+                        pacer.tick()?;
+                        let kid = key_of(keys, lkey, lk, &lch.interner, *lc);
+                        if let Some(matches) = table.get(&kid) {
+                            for &ri in matches {
+                                pacer.tick()?;
+                                let (rc, rp) = &rannot[ri];
+                                let oid = match pair.get(&(*lc, *rc)) {
+                                    Some(o) => *o,
+                                    None => {
+                                        let mut row = lch.interner.row(*lc).to_vec();
+                                        row.extend(rch.interner.row(*rc).iter().cloned());
+                                        let ok = match residual {
+                                            Some(res) => {
+                                                res.eval_predicate(&node.schema, &row, params)?
+                                            }
+                                            None => true,
+                                        };
+                                        let o = ok.then(|| node.interner.intern(row));
+                                        pair.insert((*lc, *rc), o);
+                                        o
+                                    }
+                                };
+                                if let Some(oid) = oid {
+                                    node.interner.push_annot(
+                                        oid,
+                                        BoolExpr::and2(lp.clone(), rp.clone()),
+                                        epoch,
+                                        out,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                JoinStrategy::Nested { predicate } => {
+                    for (lc, lp) in lannot {
+                        for (rc, rp) in rannot {
+                            pacer.tick()?;
+                            let oid = match pair.get(&(*lc, *rc)) {
+                                Some(o) => *o,
+                                None => {
+                                    let mut row = lch.interner.row(*lc).to_vec();
+                                    row.extend(rch.interner.row(*rc).iter().cloned());
+                                    let ok = match predicate {
+                                        Some(p) => p.eval_predicate(&node.schema, &row, params)?,
+                                        None => true,
+                                    };
+                                    let o = ok.then(|| node.interner.intern(row));
+                                    pair.insert((*lc, *rc), o);
+                                    o
+                                }
+                            };
+                            if let Some(oid) = oid {
+                                node.interner.push_annot(
+                                    oid,
+                                    BoolExpr::and2(lp.clone(), rp.clone()),
+                                    epoch,
+                                    out,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Kind::Union {
+            left,
+            right,
+            lmap,
+            rmap,
+        } => {
+            for (src, map) in [(*left, &mut *lmap), (*right, &mut *rmap)] {
+                let ch = &head[src];
+                for (cid, prov) in &annot_outs[src] {
+                    pacer.tick()?;
+                    let oid = match memo_slot(map, *cid) {
+                        Some(o) => *o,
+                        slot => {
+                            let o = node.interner.intern(ch.interner.row(*cid).to_vec());
+                            *slot = Some(o);
+                            o
+                        }
+                    };
+                    node.interner.push_annot(oid, prov.clone(), epoch, out);
+                }
+            }
+        }
+        Kind::Difference {
+            left,
+            right,
+            lmap,
+            rmatch,
+        } => {
+            let lch = &head[*left];
+            let rch = &head[*right];
+            for (cid, lp) in &annot_outs[*left] {
+                let rid = resolve_rmatch(rmatch, *cid, &lch.interner, &rch.interner);
+                let prov = match rid {
+                    Some(r) if rch.interner.annot_seen[r as usize] == epoch => {
+                        let rp =
+                            &annot_outs[*right][rch.interner.annot_slot[r as usize] as usize].1;
+                        BoolExpr::and2(lp.clone(), rp.clone().negate())
+                    }
+                    _ => lp.clone(),
+                };
+                let oid = match memo_slot(lmap, *cid) {
+                    Some(o) => *o,
+                    slot => {
+                        let o = node.interner.intern(lch.interner.row(*cid).to_vec());
+                        *slot = Some(o);
+                        o
+                    }
+                };
+                node.interner.push_annot(oid, prov, epoch, out);
+            }
+        }
+        Kind::Rename { child, map } => {
+            let ch = &head[*child];
+            for (cid, prov) in &annot_outs[*child] {
+                let oid = match memo_slot(map, *cid) {
+                    Some(o) => *o,
+                    slot => {
+                        let o = node.interner.intern(ch.interner.row(*cid).to_vec());
+                        *slot = Some(o);
+                        o
+                    }
+                };
+                node.interner.push_annot(oid, prov.clone(), epoch, out);
+            }
+        }
+        Kind::GroupBy { .. } => {
+            return Err(DeltaError::Unsupported(
+                "provenance replay is not defined for aggregate queries".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A [`DeltaPlan`] shared across threads behind a mutex, with the
+/// parameter bindings and base-instance size readable without locking.
+#[derive(Clone)]
+pub struct SharedDeltaPlan {
+    inner: Arc<Mutex<DeltaPlan>>,
+    params: Arc<ParamMap>,
+    db_total: usize,
+}
+
+impl fmt::Debug for SharedDeltaPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedDeltaPlan")
+            .field("db_total", &self.db_total)
+            .finish()
+    }
+}
+
+impl SharedDeltaPlan {
+    /// Wrap a compiled plan for sharing.
+    pub fn new(plan: DeltaPlan) -> SharedDeltaPlan {
+        let params = Arc::new(plan.params.clone());
+        let db_total = plan.db_total;
+        SharedDeltaPlan {
+            inner: Arc::new(Mutex::new(plan)),
+            params,
+            db_total,
+        }
+    }
+
+    /// Whether the plan was compiled with exactly these parameter bindings.
+    pub fn params_match(&self, params: &ParamMap) -> bool {
+        *self.params == *params
+    }
+
+    /// Total tuples in the base instance the plan was compiled over.
+    pub fn base_tuples(&self) -> usize {
+        self.db_total
+    }
+
+    /// Evaluate over a candidate sub-instance (see [`DeltaPlan::eval`]).
+    pub fn eval(
+        &self,
+        selection: &TupleSelection,
+        interrupt: &Interrupt,
+    ) -> Result<(ResultSet, u64)> {
+        let mut plan = self
+            .inner
+            .lock()
+            .map_err(|_| DeltaError::Unsupported("delta plan lock poisoned".into()))?;
+        plan.eval(selection, interrupt)
+    }
+
+    /// Annotate over a candidate sub-instance (see [`DeltaPlan::annotate`]).
+    pub fn annotate(
+        &self,
+        selection: &TupleSelection,
+        interrupt: &Interrupt,
+    ) -> Result<(AnnotatedResult, u64)> {
+        let mut plan = self
+            .inner
+            .lock()
+            .map_err(|_| DeltaError::Unsupported("delta plan lock poisoned".into()))?;
+        plan.annotate(selection, interrupt)
+    }
+
+    /// Whether provenance replay is available (aggregate-free query).
+    pub fn supports_annotation(&self) -> bool {
+        self.inner
+            .lock()
+            .map(|p| p.annot_supported)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ratest_provenance::annotate::annotate_interruptible;
+    use ratest_ra::builder::{col, lit, rel};
+    use ratest_ra::eval::evaluate_interruptible;
+    use ratest_ra::interrupt::{InterruptHook, Interrupted};
+    use ratest_ra::testdata;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn all_selections_of_size(db: &Database, drop: usize) -> Vec<TupleSelection> {
+        let all: Vec<TupleId> = TupleSelection::all(db).iter().collect();
+        let mut out = Vec::new();
+        // Enumerate subsets by dropping `drop` tuples (small instances only).
+        let mut stack = vec![(0usize, Vec::new())];
+        while let Some((start, dropped)) = stack.pop() {
+            if dropped.len() == drop {
+                let mut sel = TupleSelection::all(db);
+                let mut ids: Vec<TupleId> = sel.iter().collect();
+                ids.retain(|t| !dropped.contains(t));
+                sel = TupleSelection::from_ids(ids);
+                out.push(sel);
+                continue;
+            }
+            for (i, id) in all.iter().enumerate().skip(start) {
+                let mut d = dropped.clone();
+                d.push(*id);
+                stack.push((i + 1, d));
+            }
+        }
+        out
+    }
+
+    fn closed(db: &Database, mut sel: TupleSelection) -> Option<TupleSelection> {
+        sel.close_under_foreign_keys(db).ok()?;
+        Some(sel)
+    }
+
+    fn assert_delta_matches_scratch(query: &Query, db: &Database) {
+        let params = ParamMap::new();
+        let mut plan =
+            DeltaPlan::compile(query, db, &params, &Interrupt::none(), None).expect("compile");
+        let annot = plan.supports_annotation();
+        for drop in 0..=2usize {
+            for sel in all_selections_of_size(db, drop) {
+                let Some(sel) = closed(db, sel) else { continue };
+                let sub = db.subinstance(|id| sel.contains(id));
+                let scratch =
+                    evaluate_interruptible(query, &sub, &params, &Interrupt::none()).unwrap();
+                let (delta, _work) = plan.eval(&sel, &Interrupt::none()).unwrap();
+                assert_eq!(delta, scratch, "eval mismatch dropping {drop} tuples");
+                if annot {
+                    let scratch_a =
+                        annotate_interruptible(query, &sub, &params, &Interrupt::none()).unwrap();
+                    let (delta_a, _) = plan.annotate(&sel, &Interrupt::none()).unwrap();
+                    assert_eq!(delta_a.schema(), scratch_a.schema());
+                    assert_eq!(delta_a.rows(), scratch_a.rows(), "annotation mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spjud_delta_matches_scratch_over_all_small_deletions() {
+        let db = testdata::figure1_db();
+        assert_delta_matches_scratch(&testdata::example1_q1(), &db);
+        assert_delta_matches_scratch(&testdata::example1_q2(), &db);
+    }
+
+    #[test]
+    fn aggregate_delta_matches_scratch_over_all_small_deletions() {
+        let db = testdata::figure1_db();
+        assert_delta_matches_scratch(&testdata::example4_q1(), &db);
+        assert_delta_matches_scratch(&testdata::example4_q2(), &db);
+        assert_delta_matches_scratch(&testdata::example5_q1(), &db);
+    }
+
+    #[test]
+    fn parameterized_plans_pin_their_bindings() {
+        let db = testdata::figure1_db();
+        let q = testdata::example6_q1();
+        let mut params = ParamMap::new();
+        params.insert("numCS".into(), Value::Int(2));
+        let plan = DeltaPlan::compile(&q, &db, &params, &Interrupt::none(), None).unwrap();
+        let shared = SharedDeltaPlan::new(plan);
+        assert!(shared.params_match(&params));
+        assert!(!shared.params_match(&ParamMap::new()));
+        let sel = TupleSelection::all(&db);
+        let (res, _) = shared.eval(&sel, &Interrupt::none()).unwrap();
+        let scratch = evaluate_interruptible(&q, &db, &params, &Interrupt::none()).unwrap();
+        assert_eq!(res, scratch);
+    }
+
+    #[test]
+    fn compile_self_check_rejects_a_divergent_expectation() {
+        let db = testdata::figure1_db();
+        let q = testdata::example1_q1();
+        let wrong = ResultSet::empty(Schema::new(vec![("name", ratest_storage::DataType::Text)]));
+        let err = DeltaPlan::compile(&q, &db, &ParamMap::new(), &Interrupt::none(), Some(&wrong))
+            .unwrap_err();
+        assert!(matches!(err, DeltaError::SelfCheck(_)));
+    }
+
+    #[test]
+    fn annotation_is_refused_for_aggregate_queries() {
+        let db = testdata::figure1_db();
+        let mut plan = DeltaPlan::compile(
+            &testdata::example4_q1(),
+            &db,
+            &ParamMap::new(),
+            &Interrupt::none(),
+            None,
+        )
+        .unwrap();
+        assert!(!plan.supports_annotation());
+        let sel = TupleSelection::all(&db);
+        let err = plan.annotate(&sel, &Interrupt::none()).unwrap_err();
+        assert!(matches!(err, DeltaError::Unsupported(_)));
+    }
+
+    /// Interrupt hook that allows a fixed number of pacer polls.
+    struct Quota(AtomicU64, u64);
+
+    impl InterruptHook for Quota {
+        fn interrupted(&self) -> Option<Interrupted> {
+            let n = self.0.fetch_add(1, Ordering::Relaxed);
+            (n >= self.1).then_some(Interrupted::StepQuotaExhausted)
+        }
+    }
+
+    #[test]
+    fn interrupts_fire_at_the_same_point_as_scratch_and_leave_the_plan_reusable() {
+        let db = testdata::figure1_db();
+        // A cross-product query big enough to cross the pacer stride.
+        let q = rel("Registration")
+            .rename("a")
+            .cross(rel("Registration").rename("b").build())
+            .cross(rel("Registration").rename("c").build())
+            .select(col("a.course").eq(lit("CS144")))
+            .build();
+        let params = ParamMap::new();
+        let mut plan = DeltaPlan::compile(&q, &db, &params, &Interrupt::none(), None).unwrap();
+        let sel = TupleSelection::all(&db);
+
+        let scratch_hook = Interrupt::hooked(Arc::new(Quota(AtomicU64::new(0), 1)));
+        let scratch = evaluate_interruptible(&q, &db, &params, &scratch_hook);
+        let delta_hook = Interrupt::hooked(Arc::new(Quota(AtomicU64::new(0), 1)));
+        let delta = plan.eval(&sel, &delta_hook);
+        match (scratch, delta) {
+            (
+                Err(QueryError::Interrupted(a)),
+                Err(DeltaError::Query(QueryError::Interrupted(b))),
+            ) => {
+                assert_eq!(a, b)
+            }
+            other => panic!("expected both paths to interrupt, got {other:?}"),
+        }
+
+        // The plan stays usable after an interrupted replay.
+        let (res, _) = plan.eval(&sel, &Interrupt::none()).unwrap();
+        let full = evaluate_interruptible(&q, &db, &params, &Interrupt::none()).unwrap();
+        assert_eq!(res, full);
+    }
+
+    #[test]
+    fn replay_touches_fewer_rows_than_scratch_on_repeat_candidates() {
+        let db = testdata::figure1_db();
+        let q = testdata::example1_q1();
+        let params = ParamMap::new();
+        let mut plan = DeltaPlan::compile(&q, &db, &params, &Interrupt::none(), None).unwrap();
+        let sel = TupleSelection::all(&db);
+        let (_, w1) = plan.eval(&sel, &Interrupt::none()).unwrap();
+        let (_, w2) = plan.eval(&sel, &Interrupt::none()).unwrap();
+        assert_eq!(w1, w2, "replay work is deterministic");
+        assert!(w1 > 0);
+    }
+}

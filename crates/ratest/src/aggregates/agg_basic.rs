@@ -13,7 +13,9 @@ use super::pair_provenance;
 use crate::encode::{encode_provenance, foreign_key_clauses, VarMap};
 use crate::error::{RatestError, Result};
 use crate::pipeline::Timings;
-use crate::problem::{build_counterexample, check_distinguishes, Counterexample};
+use crate::problem::{
+    check_distinguishes, verify_candidate, CandidateEval, Counterexample, DeltaPair,
+};
 use ratest_provenance::aggprov::AggregateProvenance;
 use ratest_provenance::BoolExpr;
 use ratest_ra::ast::Query;
@@ -44,6 +46,10 @@ pub struct AggBasicOptions {
     /// Use the incremental descent (default). `false` forces every bound
     /// probe onto a fresh from-scratch solver — the bench comparison leg.
     pub incremental_solver: bool,
+    /// Delta plans for the query pair, compiled once per prepared reference.
+    /// When present, each surviving candidate sub-instance is verified by
+    /// delta propagation instead of a scratch re-evaluation.
+    pub delta: Option<DeltaPair>,
 }
 
 impl Default for AggBasicOptions {
@@ -55,6 +61,7 @@ impl Default for AggBasicOptions {
             metrics: MetricsHandle::none(),
             solver_reuse: SolverReuse::fresh(),
             incremental_solver: true,
+            delta: None,
         }
     }
 }
@@ -89,6 +96,11 @@ pub fn smallest_counterexample_agg_basic(
 
     let start = Instant::now();
     let candidates = candidate_group_keys(&p1, &p2, params)?;
+    let ctx = CandidateEval {
+        delta: options.delta.clone(),
+        metrics: options.metrics.clone(),
+        interrupt: options.budget.interrupt(),
+    };
     let mut best: Option<Counterexample> = None;
     for (index, key) in candidates.into_iter().take(options.max_groups).enumerate() {
         options.budget.check()?;
@@ -106,9 +118,9 @@ pub fn smallest_counterexample_agg_basic(
             &p1,
             &p2,
             &key,
-            &options.metrics,
             &options.solver_reuse,
             options.incremental_solver,
+            &ctx,
         )? {
             Some(cex) => {
                 let better = best.as_ref().map(|b| cex.size() < b.size()).unwrap_or(true);
@@ -188,10 +200,11 @@ fn solve_for_group(
     p1: &AggregateProvenance,
     p2: &AggregateProvenance,
     key: &[Value],
-    metrics: &MetricsHandle,
     solver_reuse: &SolverReuse,
     incremental_solver: bool,
+    ctx: &CandidateEval,
 ) -> Result<Option<Counterexample>> {
+    let metrics = &ctx.metrics;
     let exists1 = p1
         .group_by_key(key)
         .map(|g| g.exists.clone())
@@ -243,7 +256,7 @@ fn solve_for_group(
         Err(e) => return Err(e.into()),
     };
     let selection = vars.selection_from_vars(&sol.true_vars);
-    match build_counterexample(q1, q2, db, selection, None, params) {
+    match verify_candidate(q1, q2, db, selection, None, params, ctx) {
         Ok(cex) => Ok(Some(cex)),
         Err(RatestError::Unsupported(_)) => Ok(None),
         Err(e) => Err(e),

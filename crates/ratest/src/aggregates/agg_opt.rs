@@ -13,7 +13,9 @@ use super::pair_provenance;
 use crate::error::{RatestError, Result};
 use crate::optsigma::{smallest_witness_optsigma_accepting, OptSigmaOptions};
 use crate::pipeline::Timings;
-use crate::problem::{build_counterexample, check_distinguishes, Counterexample};
+use crate::problem::{
+    check_distinguishes, verify_candidate, CandidateEval, Counterexample, DeltaPair,
+};
 use ratest_ra::ast::Query;
 use ratest_ra::eval::Params;
 use ratest_storage::{Database, TupleSelection, Value};
@@ -24,10 +26,15 @@ use std::time::Instant;
 /// Options for `Agg-Opt`.
 #[derive(Debug, Clone)]
 pub struct AggOptOptions {
-    /// Options forwarded to the inner `Optσ` run.
+    /// Options forwarded to the inner `Optσ` run. Note the inner run works on
+    /// the *stripped* aggregation-input queries, so any delta plans in here
+    /// would not apply; leave `optsigma.delta` as `None`.
     pub optsigma: OptSigmaOptions,
     /// Extra candidate parameter values tried when re-choosing λ'.
     pub extra_candidates: Vec<i64>,
+    /// Delta plans for the *original* aggregate query pair, used by the final
+    /// verification against the chosen λ' (delta engages when λ' = λ).
+    pub delta: Option<DeltaPair>,
 }
 
 impl Default for AggOptOptions {
@@ -35,6 +42,7 @@ impl Default for AggOptOptions {
         AggOptOptions {
             optsigma: OptSigmaOptions::default(),
             extra_candidates: vec![0, 1],
+            delta: None,
         }
     }
 }
@@ -121,7 +129,20 @@ pub fn smallest_counterexample_agg_opt(
     // Rebuild the counterexample against the *original* aggregate queries
     // with the chosen parameter setting λ'.
     let params = chosen.into_inner();
-    let cex = build_counterexample(q1, q2, db, inner_cex.subinstance.selection, None, &params)?;
+    let ctx = CandidateEval {
+        delta: options.delta.clone(),
+        metrics: options.optsigma.metrics.clone(),
+        interrupt: options.optsigma.budget.interrupt(),
+    };
+    let cex = verify_candidate(
+        q1,
+        q2,
+        db,
+        inner_cex.subinstance.selection,
+        None,
+        &params,
+        &ctx,
+    )?;
     timings.total = timings.raw_eval + timings.provenance + timings.solver;
     Ok((cex, timings))
 }

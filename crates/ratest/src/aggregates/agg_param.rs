@@ -13,7 +13,9 @@ use super::pair_provenance;
 use crate::encode::{encode_provenance, foreign_key_clauses, VarMap};
 use crate::error::{RatestError, Result};
 use crate::pipeline::Timings;
-use crate::problem::{build_counterexample, check_distinguishes, Counterexample};
+use crate::problem::{
+    check_distinguishes, verify_candidate, CandidateEval, Counterexample, DeltaPair,
+};
 use ratest_provenance::aggprov::AggregateProvenance;
 use ratest_provenance::BoolExpr;
 use ratest_ra::ast::Query;
@@ -46,6 +48,11 @@ pub struct AggParamOptions {
     /// Use the incremental descent (default). `false` forces every bound
     /// probe onto a fresh from-scratch solver — the bench comparison leg.
     pub incremental_solver: bool,
+    /// Delta plans for the query pair, compiled once per prepared reference
+    /// under the *original* λ. Candidates whose chosen λ' equals λ are
+    /// verified by delta propagation; a different λ' falls back to scratch
+    /// (the plans pin their parameter bindings).
+    pub delta: Option<DeltaPair>,
 }
 
 impl Default for AggParamOptions {
@@ -58,6 +65,7 @@ impl Default for AggParamOptions {
             metrics: MetricsHandle::none(),
             solver_reuse: SolverReuse::fresh(),
             incremental_solver: true,
+            delta: None,
         }
     }
 }
@@ -209,7 +217,12 @@ fn solve_group_parameterized(
     let params = chosen
         .into_inner()
         .unwrap_or_else(|| original_params.clone());
-    match build_counterexample(q1, q2, db, selection, None, &params) {
+    let ctx = CandidateEval {
+        delta: options.delta.clone(),
+        metrics: options.metrics.clone(),
+        interrupt: options.budget.interrupt(),
+    };
+    match verify_candidate(q1, q2, db, selection, None, &params, &ctx) {
         Ok(cex) => Ok(Some(cex)),
         Err(RatestError::Unsupported(_)) => Ok(None),
         Err(e) => Err(e),

@@ -11,7 +11,9 @@
 use crate::encode::{encode_provenance, foreign_key_clauses, VarMap};
 use crate::error::{RatestError, Result};
 use crate::pipeline::{SolverStrategy, Timings};
-use crate::problem::{build_counterexample, difference_query, Counterexample, Witness};
+use crate::problem::{
+    difference_query, verify_candidate, CandidateEval, Counterexample, DeltaPair, Witness,
+};
 use crate::session::{Budget, EventHandle, ExplainEvent, Phase};
 use ratest_provenance::annotate::annotate_instrumented;
 use ratest_ra::ast::Query;
@@ -51,6 +53,10 @@ pub struct BasicOptions {
     /// Use the incremental descent (default). `false` forces every bound
     /// probe onto a fresh from-scratch solver — the bench comparison leg.
     pub incremental_solver: bool,
+    /// Delta plans for the query pair, compiled once per prepared reference.
+    /// When present, each candidate sub-instance is verified by propagating
+    /// its tuple-deletion delta instead of re-evaluating from scratch.
+    pub delta: Option<DeltaPair>,
 }
 
 impl Default for BasicOptions {
@@ -63,6 +69,7 @@ impl Default for BasicOptions {
             metrics: MetricsHandle::none(),
             solver_reuse: SolverReuse::fresh(),
             incremental_solver: true,
+            delta: None,
         }
     }
 }
@@ -172,6 +179,11 @@ pub fn smallest_counterexample_from_annotations(
     options.events.emit(ExplainEvent::PhaseStarted {
         phase: Phase::Solve,
     });
+    let ctx = CandidateEval {
+        delta: options.delta.clone(),
+        metrics: options.metrics.clone(),
+        interrupt: options.budget.interrupt(),
+    };
     let solver_start = Instant::now();
     let mut best: Option<Counterexample> = None;
     for (index, (tuple, from_q1)) in candidates.into_iter().take(options.max_tuples).enumerate() {
@@ -264,7 +276,7 @@ pub fn smallest_counterexample_from_annotations(
             from_q1,
             selection: selection.clone(),
         };
-        match build_counterexample(q1, q2, db, selection, Some(witness), params) {
+        match verify_candidate(q1, q2, db, selection, Some(witness), params, &ctx) {
             Ok(cex) => {
                 let better = best.as_ref().map(|b| cex.size() < b.size()).unwrap_or(true);
                 if better {

@@ -13,7 +13,8 @@ use crate::encode::{encode_provenance, foreign_key_clauses, VarMap};
 use crate::error::{RatestError, Result};
 use crate::pipeline::{SolverStrategy, Timings};
 use crate::problem::{
-    build_counterexample, difference_query, differing_tuples, Counterexample, Witness,
+    difference_query, differing_tuples, verify_candidate, CandidateEval, Counterexample, DeltaPair,
+    Witness,
 };
 use crate::session::{Budget, EventHandle, ExplainEvent, Phase};
 use ratest_provenance::annotate::annotate_instrumented;
@@ -54,6 +55,10 @@ pub struct OptSigmaOptions {
     /// Use the incremental descent (default). `false` forces every bound
     /// probe onto a fresh from-scratch solver — the bench comparison leg.
     pub incremental_solver: bool,
+    /// Delta plans for the query pair, compiled once per prepared reference.
+    /// When present, the final witness verification answers the candidate
+    /// sub-instance by delta propagation instead of a scratch re-evaluation.
+    pub delta: Option<DeltaPair>,
 }
 
 impl Default for OptSigmaOptions {
@@ -66,6 +71,7 @@ impl Default for OptSigmaOptions {
             metrics: MetricsHandle::none(),
             solver_reuse: SolverReuse::fresh(),
             incremental_solver: true,
+            delta: None,
         }
     }
 }
@@ -219,7 +225,12 @@ where
         from_q1: direction,
         selection: selection.clone(),
     };
-    let cex = build_counterexample(q1, q2, db, selection, Some(witness), params)?;
+    let ctx = CandidateEval {
+        delta: options.delta.clone(),
+        metrics: options.metrics.clone(),
+        interrupt: options.budget.interrupt(),
+    };
+    let cex = verify_candidate(q1, q2, db, selection, Some(witness), params, &ctx)?;
     timings.total = timings.raw_eval + timings.provenance + timings.solver;
     Ok((cex, timings))
 }

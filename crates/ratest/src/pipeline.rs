@@ -18,8 +18,9 @@ use crate::optsigma::{smallest_witness_optsigma, OptSigmaOptions};
 use crate::polytime::{
     smallest_witness_monotone, smallest_witness_monotone_with_results, smallest_witness_spjud_star,
 };
-use crate::problem::Counterexample;
+use crate::problem::{CandidateEval, Counterexample, DeltaPair};
 use crate::session::{Budget, EventHandle, ExplainEvent, Phase};
+use ratest_delta::{DeltaPlan, SharedDeltaPlan};
 use ratest_provenance::annotate::{annotate_instrumented, difference_of, AnnotatedResult};
 use ratest_ra::ast::Query;
 use ratest_ra::classify::{classify_pair, QueryClass};
@@ -165,6 +166,15 @@ pub struct RatestOptions {
     /// Use the incremental solving layer (default). `false` forces the
     /// historical from-scratch descent — the bench comparison leg.
     pub incremental_solver: bool,
+    /// Answer candidate sub-instances with the incremental delta-evaluation
+    /// engine (default). `false` forces scratch re-evaluation of every
+    /// candidate — the A/B and differential-testing leg. Results are
+    /// byte-identical either way.
+    pub delta_eval: bool,
+    /// The compiled delta plans of the current request. Set internally by
+    /// the shared-reference pipeline once the submission's plan compiles;
+    /// callers normally leave it `None`.
+    pub delta_pair: Option<DeltaPair>,
 }
 
 impl Default for RatestOptions {
@@ -179,6 +189,8 @@ impl Default for RatestOptions {
             metrics: MetricsHandle::none(),
             solver_reuse: None,
             incremental_solver: true,
+            delta_eval: true,
+            delta_pair: None,
         }
     }
 }
@@ -266,6 +278,17 @@ fn emit_verdict(options: &RatestOptions, outcome: &ExplainOutcome) {
         .record_duration("explain.total_ms", outcome.timings.total);
 }
 
+/// Candidate-verification context handed to the search algorithms: the
+/// request's delta plans (if compiled) plus the metrics/interrupt pair the
+/// delta legs account against.
+fn candidate_ctx(options: &RatestOptions) -> CandidateEval {
+    CandidateEval {
+        delta: options.delta_pair.clone(),
+        metrics: options.metrics.clone(),
+        interrupt: options.budget.interrupt(),
+    }
+}
+
 /// The full pipeline. The boolean distinguishes a fresh search from a
 /// fallback re-entry out of the shared-reference path (same logical
 /// search; kept so verdict events are emitted exactly once by the
@@ -335,6 +358,7 @@ fn explain_inner(
                     metrics: options.metrics.clone(),
                     solver_reuse: reuse(options),
                     incremental_solver: options.incremental_solver,
+                    delta: options.delta_pair.clone(),
                     ..Default::default()
                 },
             ),
@@ -351,14 +375,19 @@ fn explain_inner(
                     metrics: options.metrics.clone(),
                     solver_reuse: reuse(options),
                     incremental_solver: options.incremental_solver,
+                    delta: options.delta_pair.clone(),
                 },
             ),
             Algorithm::PolytimeMonotone => {
-                smallest_witness_monotone(q1, q2, db, &options.parameters)
+                smallest_witness_monotone(q1, q2, db, &options.parameters, &candidate_ctx(options))
             }
-            Algorithm::PolytimeSpjudStar => {
-                smallest_witness_spjud_star(q1, q2, db, &options.parameters)
-            }
+            Algorithm::PolytimeSpjudStar => smallest_witness_spjud_star(
+                q1,
+                q2,
+                db,
+                &options.parameters,
+                &candidate_ctx(options),
+            ),
             Algorithm::AggBasic => smallest_counterexample_agg_basic(
                 q1,
                 q2,
@@ -370,6 +399,7 @@ fn explain_inner(
                     metrics: options.metrics.clone(),
                     solver_reuse: reuse(options),
                     incremental_solver: options.incremental_solver,
+                    delta: options.delta_pair.clone(),
                     ..Default::default()
                 },
             ),
@@ -384,6 +414,7 @@ fn explain_inner(
                     metrics: options.metrics.clone(),
                     solver_reuse: reuse(options),
                     incremental_solver: options.incremental_solver,
+                    delta: options.delta_pair.clone(),
                     ..Default::default()
                 },
             ),
@@ -401,6 +432,11 @@ fn explain_inner(
                         incremental_solver: options.incremental_solver,
                         ..Default::default()
                     },
+                    // The outer verification evaluates the *original* query
+                    // pair, so it gets the request's delta plans; the inner
+                    // `Optσ` run works on the stripped inner queries, which
+                    // the plans do not describe.
+                    delta: options.delta_pair.clone(),
                     ..Default::default()
                 },
             ),
@@ -456,6 +492,16 @@ pub struct PreparedReference {
     /// does not apply); [`explain_with_reference`] then falls back to the
     /// unshared pipeline.
     annotation: Option<Arc<AnnotatedResult>>,
+    /// Compiled delta plan for the reference (self-checked against
+    /// `result` during preparation); `None` when delta evaluation is off or
+    /// compilation declined.
+    delta: Option<SharedDeltaPlan>,
+    /// Warm solver pool shared across every explain request against this
+    /// reference (a grading cohort's common encoding).
+    solver_pool: SolverReuse,
+    /// How many requests have drawn from `solver_pool`, for the
+    /// `solver.pool_cross_request_reuses` counter.
+    pool_uses: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl PreparedReference {
@@ -485,6 +531,22 @@ impl PreparedReference {
         budget: &Budget,
         metrics: &MetricsHandle,
     ) -> Result<PreparedReference> {
+        PreparedReference::prepare_with_delta(q1, db, params, budget, metrics, true)
+    }
+
+    /// [`PreparedReference::prepare_instrumented`] with an explicit
+    /// delta-evaluation switch: when `delta_eval` is on, the reference query
+    /// is additionally compiled into a [`DeltaPlan`] (self-checked against
+    /// the scratch result) so every candidate sub-instance of every request
+    /// against this reference can be answered incrementally.
+    pub fn prepare_with_delta(
+        q1: &Query,
+        db: &Database,
+        params: &Params,
+        budget: &Budget,
+        metrics: &MetricsHandle,
+        delta_eval: bool,
+    ) -> Result<PreparedReference> {
         let interrupt = budget.interrupt();
         let result = ratest_ra::eval::evaluate_instrumented(q1, db, params, &interrupt, metrics)?;
         let annotation = if q1.has_aggregates() {
@@ -494,12 +556,26 @@ impl PreparedReference {
                 q1, db, params, &interrupt, metrics,
             )?))
         };
+        let delta = if delta_eval {
+            match DeltaPlan::compile(q1, db, params, &interrupt, Some(&result)) {
+                Ok(plan) => {
+                    metrics.counter_inc("delta.plans_compiled");
+                    Some(SharedDeltaPlan::new(plan))
+                }
+                Err(_) => None,
+            }
+        } else {
+            None
+        };
         metrics.counter_inc("explain.references_prepared");
         Ok(PreparedReference {
             query: Arc::new(q1.clone()),
             params: params.clone(),
             result: Arc::new(result),
             annotation,
+            delta,
+            solver_pool: SolverReuse::fresh(),
+            pool_uses: Arc::new(std::sync::atomic::AtomicU64::new(0)),
         })
     }
 
@@ -521,6 +597,60 @@ impl PreparedReference {
     /// The parameter binding the reference was prepared with.
     pub fn params(&self) -> &Params {
         &self.params
+    }
+
+    /// The compiled delta plan for the reference, when available.
+    pub fn delta_plan(&self) -> Option<&SharedDeltaPlan> {
+        self.delta.as_ref()
+    }
+
+    /// The warm solver pool shared across every request against this
+    /// reference.
+    pub fn solver_pool(&self) -> &SolverReuse {
+        &self.solver_pool
+    }
+
+    /// Record one request drawing from the shared pool; returns how many
+    /// requests drew from it before this one.
+    pub fn note_pool_use(&self) -> u64 {
+        self.pool_uses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Compile the submission's delta plan and pair it with the reference's,
+    /// when delta evaluation is enabled and both plans are available with
+    /// matching parameter bindings. Any compile failure quietly yields
+    /// `None` — the pipeline then evaluates candidates from scratch.
+    fn delta_pair_for(
+        &self,
+        q2: &Query,
+        db: &Database,
+        options: &RatestOptions,
+        expected_r2: Option<&ResultSet>,
+    ) -> Option<DeltaPair> {
+        if !options.delta_eval {
+            return None;
+        }
+        let q1_plan = self.delta.clone()?;
+        if !q1_plan.params_match(&self.params) {
+            return None;
+        }
+        match DeltaPlan::compile(
+            q2,
+            db,
+            &self.params,
+            &options.budget.interrupt(),
+            expected_r2,
+        ) {
+            Ok(plan) => {
+                options.metrics.counter_inc("delta.plans_compiled");
+                Some(DeltaPair {
+                    q1: q1_plan,
+                    q2: SharedDeltaPlan::new(plan),
+                })
+            }
+            Err(_) => None,
+        }
     }
 }
 
@@ -560,8 +690,10 @@ pub(crate) fn explain_prepared_impl(
     // otherwise the same options would run different algorithms depending on
     // whether the shared path succeeds.
     if options.algorithm != Algorithm::Auto {
-        let outcome = explain_inner(q1, q2, db, options, false)?;
-        emit_verdict(options, &outcome);
+        let mut options = options.clone();
+        options.delta_pair = reference.delta_pair_for(q2, db, &options, None);
+        let outcome = explain_inner(q1, q2, db, &options, false)?;
+        emit_verdict(&options, &outcome);
         return Ok(outcome);
     }
 
@@ -602,6 +734,13 @@ pub(crate) fn explain_prepared_impl(
         return Ok(outcome);
     }
 
+    // The queries differ: compile the submission's delta plan (self-checked
+    // against the result just computed) so every candidate loop below —
+    // including the fallback re-entries — can evaluate incrementally.
+    let mut options = options.clone();
+    options.delta_pair = reference.delta_pair_for(q2, db, &options, Some(&r2));
+    let options = &options;
+
     // Aggregate pairs use dedicated provenance machinery that the shared
     // annotation does not cover.
     let (ref_annotation, is_shareable) = match reference.annotation() {
@@ -623,6 +762,7 @@ pub(crate) fn explain_prepared_impl(
             r1,
             &r2,
             &mut timings,
+            &candidate_ctx(options),
         ) {
             Ok(cex) => {
                 timings.total = timings.raw_eval + timings.provenance + timings.solver;
@@ -667,6 +807,7 @@ pub(crate) fn explain_prepared_impl(
         metrics: options.metrics.clone(),
         solver_reuse: options.solver_reuse.clone().unwrap_or_default(),
         incremental_solver: options.incremental_solver,
+        delta: options.delta_pair.clone(),
         ..Default::default()
     };
     match smallest_counterexample_from_annotations(

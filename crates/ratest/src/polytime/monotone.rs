@@ -10,7 +10,7 @@
 use crate::error::{RatestError, Result};
 use crate::pipeline::Timings;
 use crate::problem::{
-    build_counterexample, check_distinguishes, differing_tuples, Counterexample, Witness,
+    check_distinguishes, differing_tuples, verify_candidate, CandidateEval, Counterexample, Witness,
 };
 use ratest_provenance::annotate::annotate_with_params;
 use ratest_provenance::Dnf;
@@ -36,18 +36,21 @@ pub fn smallest_witness_monotone(
     q2: &Query,
     db: &Database,
     params: &Params,
+    ctx: &CandidateEval,
 ) -> Result<(Counterexample, Timings)> {
     let mut timings = Timings::default();
     let start = Instant::now();
     let (r1, r2) = check_distinguishes(q1, q2, db, params)?;
     timings.raw_eval = start.elapsed();
-    let cex = smallest_witness_monotone_with_results(q1, q2, db, params, &r1, &r2, &mut timings)?;
+    let cex =
+        smallest_witness_monotone_with_results(q1, q2, db, params, &r1, &r2, &mut timings, ctx)?;
     timings.total = timings.raw_eval + timings.provenance + timings.solver;
     Ok((cex, timings))
 }
 
 /// The monotone algorithm operating on *precomputed* query results, so a
 /// batch caller can evaluate the (shared) reference query once per cohort.
+#[allow(clippy::too_many_arguments)]
 pub fn smallest_witness_monotone_with_results(
     q1: &Query,
     q2: &Query,
@@ -56,6 +59,7 @@ pub fn smallest_witness_monotone_with_results(
     r1: &ratest_ra::eval::ResultSet,
     r2: &ratest_ra::eval::ResultSet,
     timings: &mut Timings,
+    ctx: &CandidateEval,
 ) -> Result<Counterexample> {
     let class = classify_pair(q1, q2);
     if !class.is_monotone() || class == QueryClass::Aggregate {
@@ -142,7 +146,7 @@ pub fn smallest_witness_monotone_with_results(
         from_q1,
         selection: selection.clone(),
     };
-    build_counterexample(q1, q2, db, selection, Some(witness), params)
+    verify_candidate(q1, q2, db, selection, Some(witness), params, ctx)
 }
 
 #[cfg(test)]
@@ -173,7 +177,9 @@ mod tests {
                     .and(col("r.dept").eq(lit("ECON"))),
             )
             .build();
-        let (cex, _) = smallest_witness_monotone(&q1, &q2, &db, &Params::new()).unwrap();
+        let (cex, _) =
+            smallest_witness_monotone(&q1, &q2, &db, &Params::new(), &CandidateEval::none())
+                .unwrap();
         // One student plus one registration (Theorem 1: one tuple per relation).
         assert_eq!(cex.size(), 2);
     }
@@ -187,7 +193,9 @@ mod tests {
             .select(col("major").eq(lit("ECON")))
             .project(&["name"])
             .build();
-        let (cex, _) = smallest_witness_monotone(&q1, &q2, &db, &Params::new()).unwrap();
+        let (cex, _) =
+            smallest_witness_monotone(&q1, &q2, &db, &Params::new(), &CandidateEval::none())
+                .unwrap();
         assert_eq!(cex.size(), 1);
     }
 
@@ -207,7 +215,9 @@ mod tests {
             )
             .project(&["s.name", "s.major"])
             .build();
-        let (cex, _) = smallest_witness_monotone(&q1, &q2, &db, &Params::new()).unwrap();
+        let (cex, _) =
+            smallest_witness_monotone(&q1, &q2, &db, &Params::new(), &CandidateEval::none())
+                .unwrap();
         let (via_solver, _) = crate::optsigma::smallest_witness_optsigma(
             &q1,
             &q2,
@@ -229,7 +239,8 @@ mod tests {
                 &testdata::example1_q1(),
                 &testdata::example1_q2(),
                 &db,
-                &Params::new()
+                &Params::new(),
+                &CandidateEval::none()
             ),
             Err(RatestError::Unsupported(_))
         ));

@@ -40,7 +40,7 @@ use ratest_queries::mutations::{repairs, Mutation, MutationKind};
 use ratest_ra::ast::Query;
 use ratest_ra::canonical::fingerprint;
 use ratest_ra::display::to_surface_string;
-use ratest_ra::eval::evaluate_with_params;
+use ratest_ra::eval::{evaluate_with_params, ResultSet};
 use ratest_ra::expr::{Expr, ParamMap};
 use ratest_storage::codec::{CodecError, DecodeResult, Decoder, Encoder};
 use ratest_storage::Value;
@@ -281,14 +281,20 @@ fn gather_evidence(
     reference: &Query,
     cex: &Counterexample,
     params: &ParamMap,
+    reference_on_cex: Option<&ResultSet>,
 ) -> Evidence {
     let db = cex.database();
-    let (sub_res, ref_res) = match (
-        evaluate_with_params(submission, db, params),
-        evaluate_with_params(reference, db, params),
-    ) {
-        (Ok(a), Ok(b)) => (a, b),
-        _ => return Evidence::none(),
+    let Ok(sub_res) = evaluate_with_params(submission, db, params) else {
+        return Evidence::none();
+    };
+    // The reference side is usually already answered by the session's delta
+    // plan; only evaluate from scratch when the caller has no result.
+    let ref_res = match reference_on_cex {
+        Some(r) => r.clone(),
+        None => match evaluate_with_params(reference, db, params) {
+            Ok(r) => r,
+            Err(_) => return Evidence::none(),
+        },
     };
     let diffs = differing_tuples(&sub_res, &ref_res);
     let Some((tuple, from_submission)) = diffs.first() else {
@@ -490,10 +496,25 @@ pub fn suggest_repairs(
         }
     }
 
+    // Reference result on the counterexample instance, for evidence
+    // gathering and stage 1. Answered through the prepared reference's delta
+    // plan when one is compiled (the counterexample's selection is a
+    // tuple-deletion delta of the grading instance); scratch otherwise.
+    let cex_db = cex.database();
+    let reference_on_cex = session
+        .reference_delta_result(reference_handle, &cex.subinstance.selection, params)
+        .or_else(|| evaluate_with_params(reference, cex_db, params).ok());
+
     // Rank by provenance locality (stable, so enumeration order breaks
     // ties) and truncate to the validation budget.
     if options.directed {
-        let evidence = gather_evidence(submission, reference, cex, params);
+        let evidence = gather_evidence(
+            submission,
+            reference,
+            cex,
+            params,
+            reference_on_cex.as_ref(),
+        );
         let mut keyed: Vec<(Mutation, u64, LocalityKey)> = candidates
             .into_iter()
             .enumerate()
@@ -510,9 +531,6 @@ pub fn suggest_repairs(
         candidates: candidates.len(),
     });
 
-    // Reference result on the counterexample instance, for stage 1.
-    let cex_db = cex.database();
-    let reference_on_cex = evaluate_with_params(reference, cex_db, params).ok();
     let per_candidate_budget = Budget::unlimited().with_step_quota(options.per_candidate_steps);
     // One warm solver for the whole repair request: every candidate's
     // stage-3 validation search shares the same incremental solver instead
